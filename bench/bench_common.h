@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table benchmark binaries.
+ *
+ * Every binary in bench/ regenerates one table or figure of the paper
+ * as text (rows/series), using only the public library API. Paper
+ * reference values are printed alongside so EXPERIMENTS.md can record
+ * paper-vs-measured without re-deriving anything.
+ */
+#ifndef SSDCHECK_BENCH_BENCH_COMMON_H
+#define SSDCHECK_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/diagnosis.h"
+#include "core/ssdcheck.h"
+#include "ssd/presets.h"
+#include "ssd/ssd_device.h"
+#include "stats/table_printer.h"
+
+namespace ssdcheck::bench {
+
+/** Print the figure/table banner with a short description. */
+inline void
+banner(const std::string &id, const std::string &what)
+{
+    stats::printBanner(std::cout, id);
+    std::cout << what << "\n\n";
+}
+
+/** A preset device plus its diagnosis output, ready for experiments. */
+struct DiagnosedDevice
+{
+    std::unique_ptr<ssd::SsdDevice> dev;
+    core::FeatureSet features;
+    sim::SimTime now = 0;
+};
+
+/** Build and fully diagnose one Table-I preset. */
+inline DiagnosedDevice
+diagnosePreset(ssd::SsdModel model, uint64_t seedSalt = 0)
+{
+    DiagnosedDevice out;
+    out.dev = std::make_unique<ssd::SsdDevice>(
+        ssd::makePreset(model, seedSalt));
+    core::DiagnosisRunner runner(*out.dev, core::DiagnosisConfig{});
+    out.features = runner.extractFeatures();
+    out.now = runner.now();
+    return out;
+}
+
+} // namespace ssdcheck::bench
+
+#endif // SSDCHECK_BENCH_BENCH_COMMON_H

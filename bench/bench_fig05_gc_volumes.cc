@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fig. 5 — GC-volume identification.
+ *
+ * (a) GC-interval CDF of the Fixed pattern vs Flip_x patterns on
+ *     SSD E: only the volume bits (17, 18) change the distribution.
+ * (b) Chi-squared p-value per flipped bit on SSD A, D and E:
+ *     near-zero only at the true GC-volume bits.
+ */
+#include "bench_common.h"
+
+#include <algorithm>
+
+using namespace ssdcheck;
+
+namespace {
+
+std::string
+cdfRow(std::vector<uint32_t> v, double q)
+{
+    if (v.empty())
+        return "-";
+    std::sort(v.begin(), v.end());
+    const size_t idx = std::min(v.size() - 1,
+                                static_cast<size_t>(q * (v.size() - 1)));
+    return std::to_string(v[idx]);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 5", "GC-volume diagnosis: Fixed vs Flip_x "
+                            "interval distributions + chi-squared scan");
+
+    // (a): the interval distribution on SSD E.
+    {
+        ssd::SsdDevice dev(ssd::makePreset(ssd::SsdModel::E));
+        core::DiagnosisRunner runner(dev, core::DiagnosisConfig{});
+        runner.precondition();
+        const core::GcVolumeScan scan = runner.scanGcVolumes();
+        std::cout << "(a) GC-interval quantiles on SSD E "
+                     "(writes between GC events)\n";
+        stats::TablePrinter t;
+        t.header({"pattern", "q10", "q25", "q50", "q75", "q90"});
+        auto addRow = [&](const std::string &name,
+                          const std::vector<uint32_t> &v) {
+            t.row({name, cdfRow(v, 0.10), cdfRow(v, 0.25), cdfRow(v, 0.50),
+                   cdfRow(v, 0.75), cdfRow(v, 0.90)});
+        };
+        addRow("Fixed", scan.fixedIntervals);
+        for (const uint32_t bit : {12u, 16u, 17u, 18u}) {
+            const auto it = scan.flipIntervals.find(bit);
+            if (it != scan.flipIntervals.end())
+                addRow("Flip_" + std::to_string(bit), it->second);
+        }
+        t.print(std::cout);
+        std::cout << "paper: only Flip_17 and Flip_18 deviate from "
+                     "Fixed on SSD E.\n\n";
+    }
+
+    // (b): p-value per bit on A, D, E.
+    std::cout << "(b) chi-squared p-value per flipped bit\n";
+    stats::TablePrinter t;
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> header{"bit"};
+    bool first = true;
+    for (const auto m :
+         {ssd::SsdModel::A, ssd::SsdModel::D, ssd::SsdModel::E}) {
+        ssd::SsdDevice dev(ssd::makePreset(m));
+        core::DiagnosisRunner runner(dev, core::DiagnosisConfig{});
+        runner.precondition();
+        const core::GcVolumeScan scan = runner.scanGcVolumes();
+        header.push_back(dev.name());
+        for (size_t i = 0; i < scan.perBitPValue.size(); ++i) {
+            if (first)
+                rows.push_back(
+                    {std::to_string(scan.perBitPValue[i].first)});
+            rows[i].push_back(
+                stats::TablePrinter::num(scan.perBitPValue[i].second, 3));
+        }
+        first = false;
+        std::cout << dev.name() << " detected GC-volume bits:";
+        if (scan.gcVolumeBits.empty())
+            std::cout << " none (single GC volume)";
+        for (const uint32_t b : scan.gcVolumeBits)
+            std::cout << " " << b;
+        std::cout << "\n";
+    }
+    std::cout << "\n";
+    stats::TablePrinter table;
+    table.header({header[0], header[1], header[2], header[3]});
+    for (auto &r : rows)
+        table.row(r);
+    table.print(std::cout);
+    std::cout << "paper: SSD A high p everywhere (single GC volume); "
+                 "SSD D p~0 at bit 17; SSD E p~0 at bits 17 and 18.\n";
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig. 6 — Write-buffer profiling on SSD A: the background_read_test
+ * observes periodic read-latency spikes; the write count between
+ * adjacent spikes reveals the buffer size (paper: 248KB).
+ */
+#include "bench_common.h"
+
+using namespace ssdcheck;
+
+int
+main()
+{
+    bench::banner("Fig. 6", "background_read_test on SSD A: read "
+                            "latency vs writes issued");
+
+    ssd::SsdDevice dev(ssd::makePreset(ssd::SsdModel::A));
+    core::DiagnosisRunner runner(dev, core::DiagnosisConfig{});
+    runner.sequentialFill();
+    const core::WbAnalysis wb = runner.analyzeWriteBuffer({});
+
+    // Print the spike positions (one line per blocked-read window).
+    std::cout << "read-latency spikes (>250us), by writes issued:\n";
+    stats::TablePrinter t;
+    t.header({"writes issued", "read latency", "delta writes"});
+    uint64_t last = 0;
+    bool inSpike = false;
+    int shown = 0;
+    for (const auto &[writes, lat] : wb.readLatencySeries) {
+        if (lat > sim::microseconds(250)) {
+            if (!inSpike && shown < 16) {
+                t.row({std::to_string(writes), sim::formatDuration(lat),
+                       last == 0 ? "-" : std::to_string(writes - last)});
+                last = writes;
+                ++shown;
+            }
+            inSpike = true;
+        } else {
+            inSpike = false;
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\ndiagnosed buffer: " << wb.bufferBytes / 1024 << "KB, "
+              << toString(wb.bufferType) << ", flush="
+              << (wb.flushAlgorithms.readTrigger ? "full+read" : "full")
+              << "  (mean spike latency "
+              << sim::formatDuration(wb.meanSpikeLatency) << ")\n";
+    std::cout << "paper: periodic spikes every 62 writes -> 248KB "
+                 "buffer on SSD A.\n";
+    return 0;
+}

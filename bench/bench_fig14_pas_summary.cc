@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Fig. 14 — Tail latency and throughput of Build/Exch/Live on SSD F
+ * and G, normalized to noop, including the ideal (oracle) PAS.
+ *
+ * Paper: PAS cuts tail latency by 71%/67% (F/G avg) and raises
+ * throughput by 32%/27% vs noop; ideal PAS bounds the misprediction
+ * cost (PAS within ~8-36% latency and ~5% throughput of ideal).
+ */
+#include "bench_common.h"
+
+#include <algorithm>
+#include <array>
+
+#include "usecases/pas.h"
+#include "usecases/runner.h"
+#include "workload/snia_synth.h"
+
+using namespace ssdcheck;
+
+namespace {
+
+struct RunStats
+{
+    sim::SimDuration tail;
+    double mbps;
+};
+
+RunStats
+runOne(ssd::SsdModel model, workload::SniaWorkload w,
+       const std::string &which, double tailPct)
+{
+    auto trace = workload::buildSniaTrace(w, 32 * 1024, 0.015,
+                                          40 + static_cast<uint64_t>(w));
+    sim::Rng rng(7 + static_cast<uint64_t>(w));
+    trace.assignPoissonArrivals(5000.0, rng);
+
+    ssd::SsdDevice dev(ssd::makePreset(model));
+    core::DiagnosisRunner runner(dev, core::DiagnosisConfig{});
+    usecases::ScheduledRunResult res;
+    if (which == "ideal") {
+        runner.sequentialFill();
+        usecases::IdealPasScheduler sched(dev);
+        res = usecases::runScheduled(dev, sched, trace, runner.now(),
+                                     nullptr);
+    } else {
+        const auto fs = runner.extractFeatures();
+        core::SsdCheck check(fs);
+        if (which == "pas") {
+            usecases::PasScheduler sched(check);
+            res = usecases::runScheduled(dev, sched, trace, runner.now(),
+                                         &check);
+        } else {
+            usecases::NoopScheduler sched;
+            res = usecases::runScheduled(dev, sched, trace, runner.now(),
+                                         &check);
+        }
+    }
+    return RunStats{res.stream.readLatency.percentile(tailPct),
+                    res.stream.throughputMbps()};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 14", "PAS vs noop vs ideal: read tail latency "
+                             "and throughput (normalized to noop)");
+
+    // Measurement percentiles follow the paper's per-pair points.
+    const double tailPct = 97.6;
+
+    stats::TablePrinter t;
+    t.header({"workload-SSD", "tail noop", "tail pas", "tail ideal",
+              "pas/noop", "tput pas/noop", "tput ideal/noop"});
+    double tailSumF = 0, tailSumG = 0, tputSumF = 0, tputSumG = 0;
+    int nF = 0, nG = 0;
+    for (const auto m : {ssd::SsdModel::F, ssd::SsdModel::G}) {
+        for (const auto w : workload::readIntensiveWorkloads()) {
+            const RunStats noop = runOne(m, w, "noop", tailPct);
+            const RunStats pas = runOne(m, w, "pas", tailPct);
+            const RunStats ideal = runOne(m, w, "ideal", tailPct);
+            const double tailRatio = static_cast<double>(pas.tail) /
+                                     static_cast<double>(noop.tail);
+            const double tputRatio = pas.mbps / noop.mbps;
+            if (m == ssd::SsdModel::F) {
+                tailSumF += tailRatio;
+                tputSumF += tputRatio;
+                ++nF;
+            } else {
+                tailSumG += tailRatio;
+                tputSumG += tputRatio;
+                ++nG;
+            }
+            t.row({toString(w) + "-" + ssd::toString(m),
+                   sim::formatDuration(noop.tail),
+                   sim::formatDuration(pas.tail),
+                   sim::formatDuration(ideal.tail),
+                   stats::TablePrinter::pct(tailRatio, 1),
+                   stats::TablePrinter::num(tputRatio, 2) + "x",
+                   stats::TablePrinter::num(ideal.mbps / noop.mbps, 2) +
+                       "x"});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\navg PAS tail vs noop: SSD F "
+              << stats::TablePrinter::pct(tailSumF / nF, 1) << ", SSD G "
+              << stats::TablePrinter::pct(tailSumG / nG, 1)
+              << "   (paper: 29% and 33% of noop)\n"
+              << "avg PAS throughput vs noop: SSD F "
+              << stats::TablePrinter::num(tputSumF / nF, 2) << "x, SSD G "
+              << stats::TablePrinter::num(tputSumG / nG, 2)
+              << "x   (paper: 1.32x and 1.27x)\n";
+    return 0;
+}

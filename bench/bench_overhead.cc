@@ -1,0 +1,91 @@
+/**
+ * @file
+ * §V-B claim — "SSDcheck's prediction overheads are negligible (a few
+ * nanoseconds)". Microbenchmarks of the hot runtime-framework paths
+ * using google-benchmark.
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/ssdcheck.h"
+#include "sim/rng.h"
+
+using namespace ssdcheck;
+
+namespace {
+
+core::FeatureSet
+features(size_t volumeBits)
+{
+    core::FeatureSet fs;
+    fs.bufferBytes = 248 * 1024;
+    fs.bufferType = core::BufferTypeFeature::Back;
+    fs.flushAlgorithms.fullTrigger = true;
+    fs.observedFlushOverheadNs = sim::milliseconds(2);
+    for (size_t i = 0; i < volumeBits; ++i)
+        fs.allocationVolumeBits.push_back(17 + static_cast<uint32_t>(i));
+    fs.gcVolumeBits = fs.allocationVolumeBits;
+    return fs;
+}
+
+void
+BM_Predict(benchmark::State &state)
+{
+    core::SsdCheck check(features(static_cast<size_t>(state.range(0))));
+    sim::Rng rng(1);
+    sim::SimTime now = 0;
+    for (auto _ : state) {
+        const auto req = blockdev::makeRead4k(rng.nextBelow(1 << 20));
+        now += 1000;
+        benchmark::DoNotOptimize(check.predict(req, now));
+    }
+}
+BENCHMARK(BM_Predict)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_PredictWrite(benchmark::State &state)
+{
+    core::SsdCheck check(features(0));
+    sim::Rng rng(2);
+    sim::SimTime now = 0;
+    for (auto _ : state) {
+        const auto req = blockdev::makeWrite4k(rng.nextBelow(1 << 20));
+        now += 1000;
+        benchmark::DoNotOptimize(check.predict(req, now));
+    }
+}
+BENCHMARK(BM_PredictWrite);
+
+void
+BM_OnSubmit(benchmark::State &state)
+{
+    core::SsdCheck check(features(0));
+    sim::Rng rng(3);
+    sim::SimTime now = 0;
+    for (auto _ : state) {
+        const auto req = blockdev::makeWrite4k(rng.nextBelow(1 << 20));
+        now += 1000;
+        check.onSubmit(req, now);
+    }
+}
+BENCHMARK(BM_OnSubmit);
+
+void
+BM_FullPredictSubmitComplete(benchmark::State &state)
+{
+    core::SsdCheck check(features(0));
+    sim::Rng rng(4);
+    sim::SimTime now = 0;
+    for (auto _ : state) {
+        const auto req = blockdev::makeWrite4k(rng.nextBelow(1 << 20));
+        now += 1000;
+        const auto pred = check.predict(req, now);
+        check.onSubmit(req, now);
+        benchmark::DoNotOptimize(
+            check.onComplete(req, pred, now, now + 40000));
+    }
+}
+BENCHMARK(BM_FullPredictSubmitComplete);
+
+} // namespace
+
+BENCHMARK_MAIN();

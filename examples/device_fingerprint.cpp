@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fingerprint a fleet of black-box SSDs.
+ *
+ * Scenario: a storage team qualifying new devices wants each drive's
+ * internal layout — how many allocation/GC volumes, which LBA bits
+ * select them, and how the write buffer behaves — before deciding
+ * placement and partitioning. This example runs the full SSDcheck
+ * diagnosis against each (simulated) device and prints the fleet
+ * report, i.e. it regenerates the paper's Table I from scratch.
+ */
+#include <cstdio>
+
+#include "core/diagnosis.h"
+#include "ssd/presets.h"
+#include "ssd/ssd_device.h"
+
+using namespace ssdcheck;
+
+int
+main()
+{
+    std::printf("Fingerprinting 7 black-box devices...\n\n");
+    std::printf("%-8s %-40s %s\n", "device", "diagnosed features",
+                "diagnosis I/O (virtual time)");
+    std::printf("%s\n", std::string(90, '-').c_str());
+
+    for (const auto m : ssd::allModels()) {
+        ssd::SsdDevice dev(ssd::makePreset(m));
+        core::DiagnosisRunner runner(dev, core::DiagnosisConfig{});
+        const core::FeatureSet fs = runner.extractFeatures();
+        std::printf("%-8s %-40s %s\n", dev.name().c_str(),
+                    fs.summary().c_str(),
+                    sim::formatDuration(runner.now()).c_str());
+    }
+
+    std::printf("\nVolume bits feed VA-LVM partitioning; buffer "
+                "size/type/flush configure the runtime predictor.\n");
+    return 0;
+}

@@ -1,0 +1,6 @@
+#include "blockdev/block_device.h"
+
+// BlockDevice is a pure interface; this translation unit anchors its
+// vtable so the library has a home for the key function.
+
+namespace ssdcheck::blockdev {} // namespace ssdcheck::blockdev

@@ -1,0 +1,33 @@
+#include "blockdev/request.h"
+
+namespace ssdcheck::blockdev {
+
+std::string
+toString(IoType t)
+{
+    switch (t) {
+      case IoType::Read:
+        return "read";
+      case IoType::Write:
+        return "write";
+      case IoType::Trim:
+        return "trim";
+    }
+    return "?";
+}
+
+IoRequest
+makeRead4k(uint64_t pageIndex)
+{
+    return IoRequest{IoType::Read, pageIndex * kSectorsPerPage,
+                     kSectorsPerPage};
+}
+
+IoRequest
+makeWrite4k(uint64_t pageIndex)
+{
+    return IoRequest{IoType::Write, pageIndex * kSectorsPerPage,
+                     kSectorsPerPage};
+}
+
+} // namespace ssdcheck::blockdev

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Block I/O request and completion types.
+ *
+ * Addresses are in 512-byte sectors (LBA), matching the paper's use of
+ * "LBA bit indices": the allocation/GC volume of a request is decided
+ * by specific bit positions of its sector LBA. Payload sizes are in
+ * sectors; the FTL operates on 4KB pages (8 sectors).
+ */
+#ifndef SSDCHECK_BLOCKDEV_REQUEST_H
+#define SSDCHECK_BLOCKDEV_REQUEST_H
+
+#include <cstdint>
+#include <string>
+
+#include "sim/sim_time.h"
+
+namespace ssdcheck::blockdev {
+
+/** Bytes per LBA sector. */
+inline constexpr uint32_t kSectorSize = 512;
+
+/** Bytes per FTL page. */
+inline constexpr uint32_t kPageSize = 4096;
+
+/** Sectors per FTL page. */
+inline constexpr uint32_t kSectorsPerPage = kPageSize / kSectorSize;
+
+/** Kind of block I/O operation. */
+enum class IoType : uint8_t { Read, Write, Trim };
+
+/** Human-readable name of an IoType. */
+std::string toString(IoType t);
+
+/** One block I/O request as seen at the device interface. */
+struct IoRequest
+{
+    IoType type = IoType::Read;
+    uint64_t lba = 0;      ///< First sector address.
+    uint32_t sectors = kSectorsPerPage; ///< Length in sectors.
+
+    /** Length in bytes. */
+    uint64_t bytes() const
+    {
+        return static_cast<uint64_t>(sectors) * kSectorSize;
+    }
+
+    /** Number of FTL pages touched (requests are page-aligned here). */
+    uint32_t pages() const
+    {
+        return (sectors + kSectorsPerPage - 1) / kSectorsPerPage;
+    }
+
+    /** First page number covered. */
+    uint64_t firstPage() const { return lba / kSectorsPerPage; }
+
+    bool isRead() const { return type == IoType::Read; }
+    bool isWrite() const { return type == IoType::Write; }
+};
+
+/** Completion record returned by a device for one request. */
+struct IoResult
+{
+    sim::SimTime submitTime = 0;   ///< When the host submitted it.
+    sim::SimTime completeTime = 0; ///< When the device completed it.
+
+    /** End-to-end device latency. */
+    sim::SimDuration latency() const { return completeTime - submitTime; }
+};
+
+/** Convenience constructors for page-sized (4KB) requests. */
+IoRequest makeRead4k(uint64_t pageIndex);
+IoRequest makeWrite4k(uint64_t pageIndex);
+
+} // namespace ssdcheck::blockdev
+
+#endif // SSDCHECK_BLOCKDEV_REQUEST_H

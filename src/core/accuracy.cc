@@ -1,0 +1,35 @@
+#include "core/accuracy.h"
+
+namespace ssdcheck::core {
+
+AccuracyResult
+evaluatePredictionAccuracy(blockdev::BlockDevice &dev, SsdCheck &check,
+                           const workload::Trace &trace,
+                           sim::SimTime startTime, sim::SimTime *endTime)
+{
+    AccuracyResult acc;
+    sim::SimTime t = startTime;
+    for (const auto &rec : trace.records()) {
+        const blockdev::IoRequest &req = rec.req;
+        const Prediction pred = check.predict(req, t);
+        check.onSubmit(req, t);
+        const blockdev::IoResult res = dev.submit(req, t);
+        const bool actualHl =
+            check.onComplete(req, pred, t, res.completeTime);
+        if (actualHl) {
+            ++acc.hlTotal;
+            if (pred.hl)
+                ++acc.hlCorrect;
+        } else {
+            ++acc.nlTotal;
+            if (!pred.hl)
+                ++acc.nlCorrect;
+        }
+        t = res.completeTime;
+    }
+    if (endTime != nullptr)
+        *endTime = t;
+    return acc;
+}
+
+} // namespace ssdcheck::core

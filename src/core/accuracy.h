@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Prediction-accuracy evaluation (paper §V-B, Fig. 11).
+ *
+ * Replays a trace closed-loop (QD1, like the paper's modified fio
+ * replay), querying SSDcheck before every request and comparing the
+ * predicted class against the measured one. NL accuracy and HL
+ * accuracy are per-class recall, reported separately because they
+ * matter differently (§II-C): missing an HL request loses a scheduling
+ * opportunity; flagging an NL request delays latency-critical work.
+ */
+#ifndef SSDCHECK_CORE_ACCURACY_H
+#define SSDCHECK_CORE_ACCURACY_H
+
+#include <cstdint>
+
+#include "blockdev/block_device.h"
+#include "core/ssdcheck.h"
+#include "sim/sim_time.h"
+#include "workload/trace.h"
+
+namespace ssdcheck::core {
+
+/** Confusion counts of one accuracy evaluation. */
+struct AccuracyResult
+{
+    uint64_t nlTotal = 0;
+    uint64_t nlCorrect = 0;
+    uint64_t hlTotal = 0;
+    uint64_t hlCorrect = 0;
+
+    /** NL recall (1.0 when no NL requests occurred). */
+    double nlAccuracy() const
+    {
+        return nlTotal == 0 ? 1.0
+                            : static_cast<double>(nlCorrect) /
+                                  static_cast<double>(nlTotal);
+    }
+
+    /** HL recall (1.0 when no HL requests occurred). */
+    double hlAccuracy() const
+    {
+        return hlTotal == 0 ? 1.0
+                            : static_cast<double>(hlCorrect) /
+                                  static_cast<double>(hlTotal);
+    }
+
+    /** Fraction of requests that were HL. */
+    double hlFraction() const
+    {
+        const uint64_t total = nlTotal + hlTotal;
+        return total == 0 ? 0.0
+                          : static_cast<double>(hlTotal) /
+                                static_cast<double>(total);
+    }
+};
+
+/**
+ * Replay @p trace on @p dev at QD1 starting at @p startTime, running
+ * @p check in predict-before-issue mode.
+ * @param endTime receives the virtual finish time (optional).
+ */
+AccuracyResult evaluatePredictionAccuracy(blockdev::BlockDevice &dev,
+                                          SsdCheck &check,
+                                          const workload::Trace &trace,
+                                          sim::SimTime startTime,
+                                          sim::SimTime *endTime = nullptr);
+
+} // namespace ssdcheck::core
+
+#endif // SSDCHECK_CORE_ACCURACY_H

@@ -1,0 +1,70 @@
+#include "core/calibrator.h"
+
+namespace ssdcheck::core {
+
+Calibrator::Calibrator(CalibratorConfig cfg)
+    : cfg_(cfg), readService_(cfg.initialReadService),
+      writeService_(cfg.initialWriteService),
+      flushOverhead_(cfg.initialFlushOverhead),
+      gcOverhead_(cfg.initialGcOverhead)
+{
+}
+
+void
+Calibrator::seedFlushOverhead(sim::SimDuration d)
+{
+    if (d > 0)
+        flushOverhead_ = d;
+}
+
+void
+Calibrator::ewma(sim::SimDuration &est, sim::SimDuration sample)
+{
+    est = static_cast<sim::SimDuration>(
+        (1.0 - cfg_.ewmaAlpha) * static_cast<double>(est) +
+        cfg_.ewmaAlpha * static_cast<double>(sample));
+}
+
+void
+Calibrator::observeNlRead(sim::SimDuration lat)
+{
+    ewma(readService_, lat);
+}
+
+void
+Calibrator::observeNlWrite(sim::SimDuration lat)
+{
+    ewma(writeService_, lat);
+}
+
+void
+Calibrator::observeFlushEvent(sim::SimDuration lat)
+{
+    ewma(flushOverhead_, lat);
+}
+
+void
+Calibrator::observeGcEvent(sim::SimDuration lat)
+{
+    ewma(gcOverhead_, lat);
+}
+
+bool
+Calibrator::onAccuracySample(double rollingHl, uint32_t rollingHlEvents)
+{
+    ++observations_;
+    if (rollingHlEvents < cfg_.minHlEvents)
+        return false;
+    const bool resetGc = rollingHl < cfg_.gcResetAccuracy;
+
+    if (rollingHl < cfg_.disableAccuracy)
+        ++lowAccuracyStreak_;
+    else
+        lowAccuracyStreak_ = 0;
+    if (lowAccuracyStreak_ > cfg_.disableAfter)
+        enabled_ = false;
+
+    return resetGc;
+}
+
+} // namespace ssdcheck::core

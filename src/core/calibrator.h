@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Runtime calibrator (paper §III-C2).
+ *
+ * Maintains EWMA estimates of the latency groups the prediction
+ * engine adds into EBT (plain read/write service, buffer-flush
+ * overhead, GC overhead), resynchronizes the buffer model on
+ * discrepancies, resets stale GC history when rolling HL accuracy
+ * collapses, and disables prediction entirely for devices outside the
+ * model's coverage ("harmlessly turned off").
+ */
+#ifndef SSDCHECK_CORE_CALIBRATOR_H
+#define SSDCHECK_CORE_CALIBRATOR_H
+
+#include <cstdint>
+
+#include "sim/sim_time.h"
+
+namespace ssdcheck::core {
+
+/** Calibrator tunables. */
+struct CalibratorConfig
+{
+    double ewmaAlpha = 0.1;
+    /** Reset GC history when rolling HL accuracy drops below this. */
+    double gcResetAccuracy = 0.25;
+    /** Minimum rolling HL events before acting on accuracy. */
+    uint32_t minHlEvents = 20;
+    /** Disable prediction when long-run HL accuracy stays below this
+     *  after disableAfter observations. */
+    double disableAccuracy = 0.05;
+    uint64_t disableAfter = 50000;
+    /** Initial estimates (overridden by diagnosis observations). */
+    sim::SimDuration initialReadService = sim::microseconds(90);
+    sim::SimDuration initialWriteService = sim::microseconds(35);
+    sim::SimDuration initialFlushOverhead = sim::milliseconds(2);
+    sim::SimDuration initialGcOverhead = sim::milliseconds(30);
+};
+
+/** EWMA overhead estimates + model-health actions. */
+class Calibrator
+{
+  public:
+    explicit Calibrator(CalibratorConfig cfg = {});
+
+    /** Seed the flush-overhead estimate from diagnosis. */
+    void seedFlushOverhead(sim::SimDuration d);
+
+    // -- estimate updates (fed by the engine on completions) ------------
+    void observeNlRead(sim::SimDuration lat);
+    void observeNlWrite(sim::SimDuration lat);
+    void observeFlushEvent(sim::SimDuration lat);
+    void observeGcEvent(sim::SimDuration lat);
+
+    // -- current estimates ------------------------------------------------
+    sim::SimDuration readService() const { return readService_; }
+    sim::SimDuration writeService() const { return writeService_; }
+    sim::SimDuration flushOverhead() const { return flushOverhead_; }
+    sim::SimDuration gcOverhead() const { return gcOverhead_; }
+
+    // -- health -------------------------------------------------------
+    /**
+     * Feed long-run accuracy so prediction can be auto-disabled.
+     * @param rollingHl rolling HL accuracy from the latency monitor.
+     * @param rollingHlEvents HL events in the rolling window.
+     * @return true when the GC history should be reset now.
+     */
+    bool onAccuracySample(double rollingHl, uint32_t rollingHlEvents);
+
+    /** False once prediction has been harmlessly turned off. */
+    bool predictionEnabled() const { return enabled_; }
+
+    const CalibratorConfig &config() const { return cfg_; }
+
+  private:
+    void ewma(sim::SimDuration &est, sim::SimDuration sample);
+
+    CalibratorConfig cfg_;
+    sim::SimDuration readService_;
+    sim::SimDuration writeService_;
+    sim::SimDuration flushOverhead_;
+    sim::SimDuration gcOverhead_;
+    uint64_t observations_ = 0;
+    uint64_t lowAccuracyStreak_ = 0;
+    bool enabled_ = true;
+};
+
+} // namespace ssdcheck::core
+
+#endif // SSDCHECK_CORE_CALIBRATOR_H

@@ -1,0 +1,57 @@
+#include "core/feature_set.h"
+
+#include <sstream>
+
+namespace ssdcheck::core {
+
+std::string
+toString(BufferTypeFeature t)
+{
+    switch (t) {
+      case BufferTypeFeature::Unknown:
+        return "unknown";
+      case BufferTypeFeature::Back:
+        return "back";
+      case BufferTypeFeature::Fore:
+        return "fore";
+    }
+    return "?";
+}
+
+std::string
+FeatureSet::summary() const
+{
+    std::ostringstream os;
+    os << numVolumes() << " volume(s) (";
+    if (allocationVolumeBits.empty()) {
+        os << "none";
+    } else {
+        for (size_t i = 0; i < allocationVolumeBits.size(); ++i) {
+            if (i > 0)
+                os << ", ";
+            os << allocationVolumeBits[i];
+        }
+    }
+    os << "), buffer " << bufferBytes / 1024 << "KB "
+       << toString(bufferType) << ", flush ";
+    if (flushAlgorithms.fullTrigger && flushAlgorithms.readTrigger)
+        os << "full+read";
+    else if (flushAlgorithms.fullTrigger)
+        os << "full";
+    else if (flushAlgorithms.readTrigger)
+        os << "read";
+    else
+        os << "unknown";
+    return os.str();
+}
+
+uint32_t
+volumeIndexOf(const std::vector<uint32_t> &bits, uint64_t lba)
+{
+    uint32_t v = 0;
+    for (size_t i = 0; i < bits.size(); ++i)
+        v |= static_cast<uint32_t>((lba >> bits[i]) & 1ULL) << i;
+    return v;
+}
+
+} // namespace ssdcheck::core

@@ -1,0 +1,48 @@
+#include "core/gc_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ssdcheck::core {
+
+GcModel::GcModel(GcModelConfig cfg) : cfg_(cfg) {}
+
+void
+GcModel::onGcObserved()
+{
+    history_.push_back(intervalCounter_);
+    if (history_.size() > cfg_.historyWindow)
+        history_.pop_front();
+    intervalCounter_ = 0;
+}
+
+uint32_t
+GcModel::thresholdIntervals() const
+{
+    if (history_.size() < cfg_.minHistory)
+        return 0;
+    std::vector<uint32_t> v(history_.begin(), history_.end());
+    std::sort(v.begin(), v.end());
+    const auto idx = static_cast<size_t>(
+        std::floor(cfg_.quantile * static_cast<double>(v.size() - 1)));
+    return std::max<uint32_t>(1, v[idx]);
+}
+
+bool
+GcModel::gcExpectedOnNextFlush() const
+{
+    const uint32_t thr = thresholdIntervals();
+    if (thr == 0)
+        return false;
+    return intervalCounter_ + 1 >= thr;
+}
+
+void
+GcModel::resetHistory()
+{
+    history_.clear();
+    intervalCounter_ = 0;
+}
+
+} // namespace ssdcheck::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * History-based GC model (paper §III-C1).
+ *
+ * Counts buffer flushes between observed GC events and keeps a sliding
+ * window of those intervals. A GC is predicted on the next flush once
+ * the interval counter reaches a conservative low quantile of the
+ * history — the paper's rationale: the valid-page distribution (and
+ * hence the interval distribution) drifts slowly, so recent history
+ * predicts the near future.
+ */
+#ifndef SSDCHECK_CORE_GC_MODEL_H
+#define SSDCHECK_CORE_GC_MODEL_H
+
+#include <cstdint>
+#include <deque>
+
+namespace ssdcheck::core {
+
+/** Tunables of the GC interval model. */
+struct GcModelConfig
+{
+    uint32_t historyWindow = 48; ///< Intervals remembered.
+    uint32_t minHistory = 6;     ///< No predictions before this many.
+    double quantile = 0.25;      ///< Predict once counter passes this.
+};
+
+/** Flush-interval counter + distribution for one GC volume. */
+class GcModel
+{
+  public:
+    explicit GcModel(GcModelConfig cfg = {});
+
+    /** Account one buffer flush. */
+    void onFlush() { ++intervalCounter_; }
+
+    /** Account an observed GC event; records the interval. */
+    void onGcObserved();
+
+    /**
+     * Would a flush occurring now be expected to trigger GC?
+     * True once the counter (including the pending flush) reaches the
+     * configured quantile of the recorded interval distribution.
+     */
+    bool gcExpectedOnNextFlush() const;
+
+    /** Calibrator: drop stale history (paper: "reset the interval
+     *  distribution to remove the current, ineffective history"). */
+    void resetHistory();
+
+    uint32_t intervalCounter() const { return intervalCounter_; }
+    const std::deque<uint32_t> &history() const { return history_; }
+
+  private:
+    /** Current quantile estimate (0 when history too short). */
+    uint32_t thresholdIntervals() const;
+
+    GcModelConfig cfg_;
+    uint32_t intervalCounter_ = 0;
+    std::deque<uint32_t> history_;
+};
+
+} // namespace ssdcheck::core
+
+#endif // SSDCHECK_CORE_GC_MODEL_H

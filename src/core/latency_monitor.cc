@@ -1,0 +1,63 @@
+#include "core/latency_monitor.h"
+
+namespace ssdcheck::core {
+
+LatencyMonitor::LatencyMonitor(LatencyThresholds thresholds, uint32_t window)
+    : thresholds_(thresholds), window_(window)
+{
+}
+
+bool
+LatencyMonitor::isHighLatency(const blockdev::IoRequest &req,
+                              sim::SimDuration latency) const
+{
+    const sim::SimDuration thr =
+        req.isWrite() ? thresholds_.write : thresholds_.read;
+    return latency > thr;
+}
+
+void
+LatencyMonitor::record(bool predictedHl, bool actualHl)
+{
+    outcomes_.push_back(Outcome{predictedHl, actualHl});
+    if (actualHl) {
+        ++hlTotal_;
+        if (predictedHl)
+            ++hlCorrect_;
+    } else {
+        ++nlTotal_;
+        if (!predictedHl)
+            ++nlCorrect_;
+    }
+    if (outcomes_.size() > window_) {
+        const Outcome old = outcomes_.front();
+        outcomes_.pop_front();
+        if (old.actualHl) {
+            --hlTotal_;
+            if (old.predictedHl)
+                --hlCorrect_;
+        } else {
+            --nlTotal_;
+            if (!old.predictedHl)
+                --nlCorrect_;
+        }
+    }
+}
+
+double
+LatencyMonitor::rollingHlAccuracy() const
+{
+    if (hlTotal_ == 0)
+        return 1.0;
+    return static_cast<double>(hlCorrect_) / static_cast<double>(hlTotal_);
+}
+
+double
+LatencyMonitor::rollingNlAccuracy() const
+{
+    if (nlTotal_ == 0)
+        return 1.0;
+    return static_cast<double>(nlCorrect_) / static_cast<double>(nlTotal_);
+}
+
+} // namespace ssdcheck::core

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Latency monitor (paper §III-C2): classifies every completed request
+ * into NL/HL against per-type latency thresholds and keeps the rolling
+ * prediction-accuracy window the calibrator consults.
+ */
+#ifndef SSDCHECK_CORE_LATENCY_MONITOR_H
+#define SSDCHECK_CORE_LATENCY_MONITOR_H
+
+#include <cstdint>
+#include <deque>
+
+#include "blockdev/request.h"
+#include "sim/sim_time.h"
+
+namespace ssdcheck::core {
+
+/** NL/HL classification thresholds (paper Table III: 250us). */
+struct LatencyThresholds
+{
+    sim::SimDuration read = sim::microseconds(250);
+    sim::SimDuration write = sim::microseconds(250);
+    /** Above this, an HL event is attributed to GC (fn. 2). */
+    sim::SimDuration gc = sim::milliseconds(3);
+};
+
+/** Classifies completions and tracks rolling accuracy. */
+class LatencyMonitor
+{
+  public:
+    explicit LatencyMonitor(LatencyThresholds thresholds = {},
+                            uint32_t window = 2000);
+
+    /** Is this latency HL for this request type? */
+    bool isHighLatency(const blockdev::IoRequest &req,
+                       sim::SimDuration latency) const;
+
+    /** Does this latency look like a GC event? */
+    bool isGcEvent(sim::SimDuration latency) const
+    {
+        return latency > thresholds_.gc;
+    }
+
+    /** Record one (predictedHl, actualHl) outcome. */
+    void record(bool predictedHl, bool actualHl);
+
+    /** Rolling HL recall (1.0 when no HL seen yet). */
+    double rollingHlAccuracy() const;
+
+    /** Rolling NL recall (1.0 when no NL seen yet). */
+    double rollingNlAccuracy() const;
+
+    /** HL events inside the rolling window. */
+    uint32_t rollingHlCount() const { return hlTotal_; }
+
+    const LatencyThresholds &thresholds() const { return thresholds_; }
+
+  private:
+    struct Outcome
+    {
+        bool predictedHl;
+        bool actualHl;
+    };
+
+    LatencyThresholds thresholds_;
+    uint32_t window_;
+    std::deque<Outcome> outcomes_;
+    uint32_t hlTotal_ = 0;
+    uint32_t hlCorrect_ = 0;
+    uint32_t nlTotal_ = 0;
+    uint32_t nlCorrect_ = 0;
+};
+
+} // namespace ssdcheck::core
+
+#endif // SSDCHECK_CORE_LATENCY_MONITOR_H

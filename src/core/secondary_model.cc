@@ -1,0 +1,97 @@
+#include "core/secondary_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ssdcheck::core {
+
+SecondaryModel::SecondaryModel(GcModelConfig cfg)
+    : models_{GcModel(cfg), GcModel(cfg)}, logCentroid_{0.0, 0.0}
+{
+}
+
+void
+SecondaryModel::onFlush()
+{
+    for (auto &m : models_)
+        m.onFlush();
+}
+
+int
+SecondaryModel::classify(sim::SimDuration latency) const
+{
+    const double x = std::log(static_cast<double>(latency));
+    if (logCentroid_[0] == 0.0)
+        return 0;
+    if (logCentroid_[1] == 0.0) {
+        // Second cluster opens once an event differs from the first
+        // centroid by more than ~2x in either direction.
+        return std::fabs(x - logCentroid_[0]) > std::log(2.0) ? 1 : 0;
+    }
+    return std::fabs(x - logCentroid_[0]) <= std::fabs(x - logCentroid_[1])
+               ? 0
+               : 1;
+}
+
+int
+SecondaryModel::onEventObserved(sim::SimDuration latency)
+{
+    assert(latency > 0);
+    const int c = classify(latency);
+    const double x = std::log(static_cast<double>(latency));
+    if (logCentroid_[c] == 0.0)
+        logCentroid_[c] = x;
+    else
+        logCentroid_[c] = 0.9 * logCentroid_[c] + 0.1 * x;
+    models_[c].onGcObserved();
+    ++events_;
+    return c;
+}
+
+bool
+SecondaryModel::eventExpectedOnNextFlush() const
+{
+    for (const auto &m : models_) {
+        if (m.gcExpectedOnNextFlush())
+            return true;
+    }
+    return false;
+}
+
+sim::SimDuration
+SecondaryModel::expectedOverhead() const
+{
+    double sum = 0.0;
+    for (int c = 0; c < kClusters; ++c) {
+        if (models_[c].gcExpectedOnNextFlush() && logCentroid_[c] != 0.0)
+            sum += std::exp(logCentroid_[c]);
+    }
+    return static_cast<sim::SimDuration>(sum);
+}
+
+void
+SecondaryModel::resetHistory()
+{
+    for (auto &m : models_)
+        m.resetHistory();
+    logCentroid_ = {0.0, 0.0};
+    events_ = 0;
+}
+
+sim::SimDuration
+SecondaryModel::centroid(int cluster) const
+{
+    assert(cluster >= 0 && cluster < kClusters);
+    if (logCentroid_[cluster] == 0.0)
+        return 0;
+    return static_cast<sim::SimDuration>(std::exp(logCentroid_[cluster]));
+}
+
+const GcModel &
+SecondaryModel::clusterModel(int cluster) const
+{
+    assert(cluster >= 0 && cluster < kClusters);
+    return models_[cluster];
+}
+
+} // namespace ssdcheck::core

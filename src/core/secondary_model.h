@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Secondary-feature model — the paper's §VI future work, implemented.
+ *
+ * On devices with an SLC cache (SSD D/E), long events come from two
+ * distinct mechanisms: garbage collection and SLC→MLC migration.
+ * Their magnitudes differ, and so do their periods, so folding both
+ * into one interval history (what the base model does) blurs both
+ * predictions. This model splits GC-class observations into two
+ * latency clusters with an online 2-means in log space and keeps an
+ * independent flush-interval history per cluster, exactly mirroring
+ * the paper's history-based GC model.
+ */
+#ifndef SSDCHECK_CORE_SECONDARY_MODEL_H
+#define SSDCHECK_CORE_SECONDARY_MODEL_H
+
+#include <array>
+#include <cstdint>
+
+#include "core/gc_model.h"
+#include "sim/sim_time.h"
+
+namespace ssdcheck::core {
+
+/** Two-cluster event classifier + per-cluster interval models. */
+class SecondaryModel
+{
+  public:
+    /** Number of event clusters tracked. */
+    static constexpr int kClusters = 2;
+
+    explicit SecondaryModel(GcModelConfig cfg = {});
+
+    /** Account one buffer flush (advances every cluster's counter). */
+    void onFlush();
+
+    /**
+     * Account an observed long (GC-class) event of @p latency:
+     * classifies it, updates the cluster centroid and records the
+     * interval in that cluster's history.
+     * @return the cluster index the event was assigned to.
+     */
+    int onEventObserved(sim::SimDuration latency);
+
+    /** Would any cluster expect an event on the next flush? */
+    bool eventExpectedOnNextFlush() const;
+
+    /**
+     * Expected busy time contributed by the clusters that currently
+     * predict an event on the next flush (sum of their centroids).
+     */
+    sim::SimDuration expectedOverhead() const;
+
+    /** Drop all history (calibrator reset). */
+    void resetHistory();
+
+    /** Cluster centroid latency (0 until seen). */
+    sim::SimDuration centroid(int cluster) const;
+
+    /** Per-cluster interval model (introspection/tests). */
+    const GcModel &clusterModel(int cluster) const;
+
+    /** Events observed so far. */
+    uint64_t eventsObserved() const { return events_; }
+
+  private:
+    /** Cluster whose log-centroid is nearest to @p latency. */
+    int classify(sim::SimDuration latency) const;
+
+    std::array<GcModel, kClusters> models_;
+    std::array<double, kClusters> logCentroid_; ///< 0 = unset.
+    uint64_t events_ = 0;
+};
+
+} // namespace ssdcheck::core
+
+#endif // SSDCHECK_CORE_SECONDARY_MODEL_H

@@ -1,0 +1,95 @@
+#include "core/ssdcheck.h"
+
+#include <algorithm>
+
+namespace ssdcheck::core {
+
+namespace {
+
+/**
+ * GC events must be separable from plain buffer flushes by latency
+ * (paper fn. 2). A fixed bound misclassifies devices whose flushes
+ * are long, so scale the bound with the flush overhead the diagnosis
+ * observed (mean blocked-request latency is about half the flush
+ * window, so 3x clears the whole window with margin).
+ */
+LatencyThresholds
+adaptThresholds(LatencyThresholds t, const FeatureSet &fs)
+{
+    if (fs.observedFlushOverheadNs > 0)
+        t.gc = std::max<sim::SimDuration>(t.gc,
+                                          3 * fs.observedFlushOverheadNs);
+    return t;
+}
+
+} // namespace
+
+SsdCheck::SsdCheck(FeatureSet features, RuntimeConfig cfg)
+    : features_(std::move(features)), calibrator_(cfg.calibrator),
+      monitor_(adaptThresholds(cfg.thresholds, features_),
+               cfg.accuracyWindow)
+{
+    if (features_.bufferModelUsable()) {
+        calibrator_.seedFlushOverhead(features_.observedFlushOverheadNs);
+        PredictionEngine::Options opts;
+        opts.useVolumeModel = cfg.useVolumeModel;
+        opts.useGcModel = cfg.useGcModel;
+        opts.useCalibrator = cfg.useCalibrator;
+        opts.useSecondaryModel = cfg.useSecondaryModel;
+        engine_ = std::make_unique<PredictionEngine>(
+            features_, calibrator_, monitor_, cfg.gcModel, opts);
+    }
+}
+
+FeatureSet
+SsdCheck::diagnose(blockdev::BlockDevice &dev, DiagnosisConfig cfg,
+                   sim::SimTime startTime)
+{
+    DiagnosisRunner runner(dev, std::move(cfg), startTime);
+    return runner.extractFeatures();
+}
+
+Prediction
+SsdCheck::predict(const blockdev::IoRequest &req, sim::SimTime now) const
+{
+    if (!enabled()) {
+        // Harmlessly disabled: everything reads as normal latency.
+        Prediction p;
+        p.eet = req.isWrite() ? calibrator_.writeService()
+                              : calibrator_.readService();
+        p.hl = false;
+        return p;
+    }
+    return engine_->predict(req, now);
+}
+
+void
+SsdCheck::onSubmit(const blockdev::IoRequest &req, sim::SimTime now)
+{
+    if (engine_ != nullptr)
+        engine_->onSubmit(req, now);
+}
+
+bool
+SsdCheck::onComplete(const blockdev::IoRequest &req, const Prediction &pred,
+                     sim::SimTime submit, sim::SimTime complete)
+{
+    if (engine_ != nullptr)
+        return engine_->onComplete(req, pred, submit, complete);
+    return classifyActual(req, complete - submit);
+}
+
+bool
+SsdCheck::classifyActual(const blockdev::IoRequest &req,
+                         sim::SimDuration latency) const
+{
+    return monitor_.isHighLatency(req, latency);
+}
+
+bool
+SsdCheck::enabled() const
+{
+    return engine_ != nullptr && calibrator_.predictionEnabled();
+}
+
+} // namespace ssdcheck::core

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The SSDcheck facade: the public API of the paper's contribution.
+ *
+ * Typical use:
+ *
+ *   auto features = SsdCheck::diagnose(device);      // §III-B snippets
+ *   SsdCheck check(features);                        // §III-C model
+ *   ...
+ *   auto pred = check.predict(req, now);             // query
+ *   check.onSubmit(req, now);                        // host issues req
+ *   auto res = device.submit(req, now);
+ *   check.onComplete(req, pred, now, res.completeTime);
+ *
+ * When the diagnosis could not build a usable model (bufferBytes == 0)
+ * or the calibrator turned prediction off, predict() returns NL for
+ * everything — the paper's "harmlessly disabled" behaviour.
+ */
+#ifndef SSDCHECK_CORE_SSDCHECK_H
+#define SSDCHECK_CORE_SSDCHECK_H
+
+#include <memory>
+#include <optional>
+
+#include "blockdev/block_device.h"
+#include "core/calibrator.h"
+#include "core/diagnosis.h"
+#include "core/feature_set.h"
+#include "core/latency_monitor.h"
+#include "core/prediction_engine.h"
+
+namespace ssdcheck::core {
+
+/** Runtime-framework configuration. */
+struct RuntimeConfig
+{
+    LatencyThresholds thresholds;
+    GcModelConfig gcModel;
+    CalibratorConfig calibrator;
+    uint32_t accuracyWindow = 2000;
+
+    /**
+     * Ablation switches (used by bench_ablation_model and the tests;
+     * all on in normal operation):
+     *  - useVolumeModel: route requests through the diagnosed volume
+     *    bits; off = model the device as one volume (paper §V-B notes
+     *    accuracy on SSD D/E is "extremely low" without it).
+     *  - useGcModel: history-based GC prediction; off = never charge
+     *    GC overhead into EBT.
+     *  - useCalibrator: runtime resynchronization (buffer-counter
+     *    resync, EBT corrections, history resets); off = the static
+     *    model runs open-loop.
+     */
+    bool useVolumeModel = true;
+    bool useGcModel = true;
+    bool useCalibrator = true;
+    /** §VI future work: two-cluster secondary-feature model. */
+    bool useSecondaryModel = false;
+};
+
+/** Diagnosis + runtime model behind one object. */
+class SsdCheck
+{
+  public:
+    /** Build the runtime framework from extracted features. */
+    explicit SsdCheck(FeatureSet features, RuntimeConfig cfg = {});
+
+    /** Run the §III-B diagnosis snippets against a device. */
+    static FeatureSet diagnose(blockdev::BlockDevice &dev,
+                               DiagnosisConfig cfg = {},
+                               sim::SimTime startTime = 0);
+
+    /** Predict the latency of @p req if submitted at @p now. */
+    Prediction predict(const blockdev::IoRequest &req,
+                       sim::SimTime now) const;
+
+    /** Account a request the host actually submitted. */
+    void onSubmit(const blockdev::IoRequest &req, sim::SimTime now);
+
+    /**
+     * Account a completion.
+     * @return the actual NL/HL classification of the request.
+     */
+    bool onComplete(const blockdev::IoRequest &req, const Prediction &pred,
+                    sim::SimTime submit, sim::SimTime complete);
+
+    /** Classify a latency without updating any state. */
+    bool classifyActual(const blockdev::IoRequest &req,
+                        sim::SimDuration latency) const;
+
+    /** True while the model is usable and not auto-disabled. */
+    bool enabled() const;
+
+    const FeatureSet &features() const { return features_; }
+    const LatencyMonitor &monitor() const { return monitor_; }
+    const Calibrator &calibrator() const { return calibrator_; }
+
+    /** Engine introspection (tests); null when the model is unusable. */
+    const PredictionEngine *engine() const { return engine_.get(); }
+
+  private:
+    FeatureSet features_;
+    Calibrator calibrator_;
+    LatencyMonitor monitor_;
+    std::unique_ptr<PredictionEngine> engine_;
+};
+
+} // namespace ssdcheck::core
+
+#endif // SSDCHECK_CORE_SSDCHECK_H

@@ -1,0 +1,36 @@
+#include "core/wb_model.h"
+
+#include <cassert>
+
+namespace ssdcheck::core {
+
+WriteBufferModel::WriteBufferModel(uint32_t bufferPages, bool readTrigger)
+    : size_(bufferPages), readTrigger_(readTrigger)
+{
+    assert(bufferPages > 0);
+}
+
+bool
+WriteBufferModel::onWriteSubmitted(uint32_t pages)
+{
+    counter_ += pages;
+    if (counter_ >= size_) {
+        // Pages beyond the boundary land in the next buffer: carry
+        // the remainder or the phase drifts on multi-page writes.
+        counter_ -= size_;
+        return true;
+    }
+    return false;
+}
+
+bool
+WriteBufferModel::onReadSubmitted()
+{
+    if (readTrigger_ && counter_ > 0) {
+        counter_ = 0;
+        return true;
+    }
+    return false;
+}
+
+} // namespace ssdcheck::core

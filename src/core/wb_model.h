@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Runtime write-buffer model (paper §III-C1).
+ *
+ * Tracks a buffer counter per volume; when it reaches the diagnosed
+ * buffer size a flush is assumed (full-trigger), and for read-trigger
+ * devices any read with a non-empty counter is assumed to flush. The
+ * flush detector exposes both a side-effect-free "would this request
+ * flush?" query (used by predictions) and the state transition applied
+ * when the request is actually submitted.
+ */
+#ifndef SSDCHECK_CORE_WB_MODEL_H
+#define SSDCHECK_CORE_WB_MODEL_H
+
+#include <cstdint>
+
+namespace ssdcheck::core {
+
+/** Buffer counter + flush detector for one volume. */
+class WriteBufferModel
+{
+  public:
+    /**
+     * @param bufferPages diagnosed buffer capacity in pages.
+     * @param readTrigger device flushes on reads (§III-B3).
+     */
+    WriteBufferModel(uint32_t bufferPages, bool readTrigger);
+
+    /** Would a write submitted now fill the buffer? (no side effect) */
+    bool wouldFlushOnWrite(uint32_t pages = 1) const
+    {
+        return counter_ + pages >= size_;
+    }
+
+    /** Would a read submitted now trigger a flush? (no side effect) */
+    bool wouldFlushOnRead() const
+    {
+        return readTrigger_ && counter_ > 0;
+    }
+
+    /**
+     * Account a submitted write of @p pages pages.
+     * @return true when a flush is assumed to have occurred.
+     */
+    bool onWriteSubmitted(uint32_t pages = 1);
+
+    /**
+     * Account a submitted read.
+     * @return true when a read-trigger flush is assumed.
+     */
+    bool onReadSubmitted();
+
+    /** Calibrator resync: assume the buffer just flushed. */
+    void resetCounter() { counter_ = 0; }
+
+    uint32_t counter() const { return counter_; }
+    uint32_t size() const { return size_; }
+
+  private:
+    uint32_t size_;
+    bool readTrigger_;
+    uint32_t counter_ = 0;
+};
+
+} // namespace ssdcheck::core
+
+#endif // SSDCHECK_CORE_WB_MODEL_H

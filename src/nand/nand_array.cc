@@ -1,0 +1,112 @@
+#include "nand/nand_array.h"
+
+#include <cassert>
+
+namespace ssdcheck::nand {
+
+NandArray::NandArray(const NandGeometry &geo, const NandTiming &timing)
+    : geo_(geo), timing_(timing)
+{
+    assert(geo.valid());
+    chips_.reserve(geo.chips());
+    for (uint32_t c = 0; c < geo.chips(); ++c)
+        chips_.emplace_back(geo, timing);
+}
+
+NandArray::ChipCoord
+NandArray::chipOfPlane(uint32_t plane) const
+{
+    assert(plane < geo_.totalPlanes());
+    return ChipCoord{plane / geo_.planesPerChip(),
+                     plane % geo_.planesPerChip()};
+}
+
+sim::SimDuration
+NandArray::programPage(Ppn ppn, uint64_t payload)
+{
+    const PhysicalPageAddress a = decodePpn(geo_, ppn);
+    const ChipCoord cc = chipOfPlane(a.plane);
+    return chips_[cc.chip].programPage(cc.localPlane, a.block, a.page,
+                                       payload);
+}
+
+sim::SimDuration
+NandArray::readPage(Ppn ppn, uint64_t *payloadOut)
+{
+    const PhysicalPageAddress a = decodePpn(geo_, ppn);
+    const ChipCoord cc = chipOfPlane(a.plane);
+    return chips_[cc.chip].readPage(cc.localPlane, a.block, a.page,
+                                    payloadOut);
+}
+
+sim::SimDuration
+NandArray::eraseBlock(Pbn pbn)
+{
+    assert(pbn < totalBlocks());
+    const uint32_t plane = static_cast<uint32_t>(pbn / geo_.blocksPerPlane);
+    const uint32_t block = static_cast<uint32_t>(pbn % geo_.blocksPerPlane);
+    const ChipCoord cc = chipOfPlane(plane);
+    return chips_[cc.chip].eraseBlock(cc.localPlane, block);
+}
+
+uint32_t
+NandArray::blockWritePointer(Pbn pbn) const
+{
+    assert(pbn < totalBlocks());
+    const uint32_t plane = static_cast<uint32_t>(pbn / geo_.blocksPerPlane);
+    const uint32_t block = static_cast<uint32_t>(pbn % geo_.blocksPerPlane);
+    const ChipCoord cc = chipOfPlane(plane);
+    return chips_[cc.chip].writePointer(cc.localPlane, block);
+}
+
+uint32_t
+NandArray::blockEraseCount(Pbn pbn) const
+{
+    assert(pbn < totalBlocks());
+    const uint32_t plane = static_cast<uint32_t>(pbn / geo_.blocksPerPlane);
+    const uint32_t block = static_cast<uint32_t>(pbn % geo_.blocksPerPlane);
+    const ChipCoord cc = chipOfPlane(plane);
+    return chips_[cc.chip].eraseCount(cc.localPlane, block);
+}
+
+uint32_t
+NandArray::blockReadCount(Pbn pbn) const
+{
+    assert(pbn < totalBlocks());
+    const uint32_t plane = static_cast<uint32_t>(pbn / geo_.blocksPerPlane);
+    const uint32_t block = static_cast<uint32_t>(pbn % geo_.blocksPerPlane);
+    const ChipCoord cc = chipOfPlane(plane);
+    return chips_[cc.chip].readCount(cc.localPlane, block);
+}
+
+bool
+NandArray::isProgrammed(Ppn ppn) const
+{
+    const PhysicalPageAddress a = decodePpn(geo_, ppn);
+    const ChipCoord cc = chipOfPlane(a.plane);
+    return chips_[cc.chip].isProgrammed(cc.localPlane, a.block, a.page);
+}
+
+sim::SimDuration
+NandArray::batchProgramTime(uint64_t pages, bool slc) const
+{
+    if (pages == 0)
+        return 0;
+    const uint64_t waves =
+        (pages + geo_.totalPlanes() - 1) / geo_.totalPlanes();
+    const sim::SimDuration per =
+        slc ? timing_.slcProgramLatency : timing_.programLatency;
+    return static_cast<sim::SimDuration>(waves) * per;
+}
+
+sim::SimDuration
+NandArray::batchReadTime(uint64_t pages) const
+{
+    if (pages == 0)
+        return 0;
+    const uint64_t waves =
+        (pages + geo_.totalPlanes() - 1) / geo_.totalPlanes();
+    return static_cast<sim::SimDuration>(waves) * timing_.readLatency;
+}
+
+} // namespace ssdcheck::nand

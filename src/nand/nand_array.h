@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A multi-channel array of NAND chips with flat physical addressing.
+ *
+ * The FTL (ssd/page_mapper, ssd/garbage_collector) addresses pages by
+ * flat Ppn; the array routes each operation to the owning chip and
+ * plane and provides the batch-timing model: operations spread over N
+ * planes proceed in parallel, so a batch of k page programs costs
+ * ceil(k / totalPlanes) * tProg (paper §III-A: buffered writes are
+ * distributed to all chips in channels in parallel).
+ */
+#ifndef SSDCHECK_NAND_NAND_ARRAY_H
+#define SSDCHECK_NAND_NAND_ARRAY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nand/nand_chip.h"
+#include "nand/nand_config.h"
+
+namespace ssdcheck::nand {
+
+/** Array of NAND chips addressed by flat physical page number. */
+class NandArray
+{
+  public:
+    NandArray(const NandGeometry &geo, const NandTiming &timing);
+
+    /** Program one page (must follow the block's write pointer). */
+    sim::SimDuration programPage(Ppn ppn, uint64_t payload);
+
+    /** Read one programmed page (counts read-disturb exposure). */
+    sim::SimDuration readPage(Ppn ppn, uint64_t *payloadOut = nullptr);
+
+    /** Erase the block containing flat block number @p pbn. */
+    sim::SimDuration eraseBlock(Pbn pbn);
+
+    /** Write pointer (pages programmed) of flat block @p pbn. */
+    uint32_t blockWritePointer(Pbn pbn) const;
+
+    /** Erase count of flat block @p pbn. */
+    uint32_t blockEraseCount(Pbn pbn) const;
+
+    /** Reads served from flat block @p pbn since its last erase. */
+    uint32_t blockReadCount(Pbn pbn) const;
+
+    /** True if @p ppn currently holds data. */
+    bool isProgrammed(Ppn ppn) const;
+
+    /**
+     * Virtual-time cost of programming @p pages pages striped across
+     * all planes: ceil(pages / totalPlanes) * tProg.
+     */
+    sim::SimDuration batchProgramTime(uint64_t pages, bool slc = false) const;
+
+    /** Virtual-time cost of reading @p pages pages striped in parallel. */
+    sim::SimDuration batchReadTime(uint64_t pages) const;
+
+    const NandGeometry &geometry() const { return geo_; }
+    const NandTiming &timing() const { return timing_; }
+
+    /** Total pages in the array. */
+    uint64_t totalPages() const { return geo_.totalPages(); }
+
+    /** Total blocks in the array. */
+    uint64_t totalBlocks() const { return geo_.totalBlocks(); }
+
+  private:
+    struct ChipCoord
+    {
+        uint32_t chip;
+        uint32_t localPlane;
+    };
+
+    /** Map a global plane index to (chip, chip-local plane). */
+    ChipCoord chipOfPlane(uint32_t plane) const;
+
+    NandGeometry geo_;
+    NandTiming timing_;
+    std::vector<NandChip> chips_;
+};
+
+} // namespace ssdcheck::nand
+
+#endif // SSDCHECK_NAND_NAND_ARRAY_H

@@ -1,0 +1,93 @@
+#include "nand/nand_chip.h"
+
+#include <cassert>
+
+namespace ssdcheck::nand {
+
+NandChip::NandChip(const NandGeometry &geo, const NandTiming &timing)
+    : geo_(geo), timing_(timing)
+{
+    assert(geo.valid());
+    const size_t nBlocks =
+        static_cast<size_t>(geo.planesPerChip()) * geo.blocksPerPlane;
+    blocks_.resize(nBlocks);
+    payloads_.assign(nBlocks * geo.pagesPerBlock, kErasedPayload);
+}
+
+size_t
+NandChip::blockIndex(uint32_t plane, uint32_t block) const
+{
+    assert(plane < geo_.planesPerChip());
+    assert(block < geo_.blocksPerPlane);
+    return static_cast<size_t>(plane) * geo_.blocksPerPlane + block;
+}
+
+size_t
+NandChip::pageIndex(uint32_t plane, uint32_t block, uint32_t page) const
+{
+    assert(page < geo_.pagesPerBlock);
+    return blockIndex(plane, block) * geo_.pagesPerBlock + page;
+}
+
+sim::SimDuration
+NandChip::programPage(uint32_t plane, uint32_t block, uint32_t page,
+                      uint64_t payload)
+{
+    BlockState &bs = blocks_[blockIndex(plane, block)];
+    assert(page == bs.writePtr && "NAND requires sequential in-block writes");
+    assert(page < geo_.pagesPerBlock && "block is full");
+    payloads_[pageIndex(plane, block, page)] = payload;
+    ++bs.writePtr;
+    return timing_.programLatency;
+}
+
+sim::SimDuration
+NandChip::readPage(uint32_t plane, uint32_t block, uint32_t page,
+                   uint64_t *payloadOut)
+{
+    BlockState &bs = blocks_[blockIndex(plane, block)];
+    assert(page < bs.writePtr && "reading an unprogrammed page");
+    ++bs.readCount;
+    if (payloadOut != nullptr)
+        *payloadOut = payloads_[pageIndex(plane, block, page)];
+    return timing_.readLatency;
+}
+
+sim::SimDuration
+NandChip::eraseBlock(uint32_t plane, uint32_t block)
+{
+    BlockState &bs = blocks_[blockIndex(plane, block)];
+    bs.writePtr = 0;
+    bs.readCount = 0;
+    ++bs.eraseCount;
+    const size_t base = blockIndex(plane, block) * geo_.pagesPerBlock;
+    for (uint32_t p = 0; p < geo_.pagesPerBlock; ++p)
+        payloads_[base + p] = kErasedPayload;
+    return timing_.eraseLatency;
+}
+
+uint32_t
+NandChip::writePointer(uint32_t plane, uint32_t block) const
+{
+    return blocks_[blockIndex(plane, block)].writePtr;
+}
+
+uint32_t
+NandChip::eraseCount(uint32_t plane, uint32_t block) const
+{
+    return blocks_[blockIndex(plane, block)].eraseCount;
+}
+
+uint32_t
+NandChip::readCount(uint32_t plane, uint32_t block) const
+{
+    return blocks_[blockIndex(plane, block)].readCount;
+}
+
+bool
+NandChip::isProgrammed(uint32_t plane, uint32_t block, uint32_t page) const
+{
+    return page < blocks_[blockIndex(plane, block)].writePtr;
+}
+
+} // namespace ssdcheck::nand

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * State machine of one NAND flash chip.
+ *
+ * Enforces the physical constraints the paper's FTL must respect:
+ *  - erase-before-write: a page can be programmed exactly once per
+ *    erase cycle;
+ *  - sequential in-block programming: pages within a block must be
+ *    programmed in order (standard NAND requirement);
+ *  - erase operates on whole blocks.
+ *
+ * Each page stores a 64-bit payload stamp so higher layers (and the
+ * property tests) can verify data survives buffer flushes and GC
+ * merges end to end.
+ */
+#ifndef SSDCHECK_NAND_NAND_CHIP_H
+#define SSDCHECK_NAND_NAND_CHIP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nand/nand_config.h"
+
+namespace ssdcheck::nand {
+
+/** Sentinel payload of a never-programmed (erased) page. */
+inline constexpr uint64_t kErasedPayload = ~0ULL;
+
+/**
+ * One NAND chip: diesPerChip x planesPerDie planes, each with
+ * blocksPerPlane blocks of pagesPerBlock pages.
+ *
+ * Addresses passed in are chip-local: plane in [0, planesPerChip()).
+ */
+class NandChip
+{
+  public:
+    NandChip(const NandGeometry &geo, const NandTiming &timing);
+
+    /**
+     * Program the next expected page of (plane, block) with @p payload.
+     * @param page must equal the block's write pointer (sequential).
+     * @return program latency.
+     */
+    sim::SimDuration programPage(uint32_t plane, uint32_t block,
+                                 uint32_t page, uint64_t payload);
+
+    /**
+     * Read a previously programmed page.
+     * @param payloadOut receives the stored stamp (may be null).
+     * @return read latency.
+     */
+    sim::SimDuration readPage(uint32_t plane, uint32_t block, uint32_t page,
+                              uint64_t *payloadOut = nullptr);
+
+    /**
+     * Erase a whole block, resetting its write pointer.
+     * @return erase latency.
+     */
+    sim::SimDuration eraseBlock(uint32_t plane, uint32_t block);
+
+    /** Pages programmed so far in (plane, block) — the write pointer. */
+    uint32_t writePointer(uint32_t plane, uint32_t block) const;
+
+    /** Times (plane, block) has been erased (wear). */
+    uint32_t eraseCount(uint32_t plane, uint32_t block) const;
+
+    /**
+     * Reads served from (plane, block) since its last erase — the
+     * read-disturb exposure counter (reset by eraseBlock).
+     */
+    uint32_t readCount(uint32_t plane, uint32_t block) const;
+
+    /** True if (plane, block, page) currently holds data. */
+    bool isProgrammed(uint32_t plane, uint32_t block, uint32_t page) const;
+
+    const NandGeometry &geometry() const { return geo_; }
+    const NandTiming &timing() const { return timing_; }
+
+  private:
+    struct BlockState
+    {
+        uint32_t writePtr = 0;   ///< Next page to program.
+        uint32_t eraseCount = 0;
+        uint32_t readCount = 0;  ///< Reads since the last erase.
+    };
+
+    size_t blockIndex(uint32_t plane, uint32_t block) const;
+    size_t pageIndex(uint32_t plane, uint32_t block, uint32_t page) const;
+
+    NandGeometry geo_;
+    NandTiming timing_;
+    std::vector<BlockState> blocks_;   ///< planesPerChip * blocksPerPlane.
+    std::vector<uint64_t> payloads_;   ///< One stamp per page.
+};
+
+} // namespace ssdcheck::nand
+
+#endif // SSDCHECK_NAND_NAND_CHIP_H

@@ -1,0 +1,44 @@
+#include "nand/nand_config.h"
+
+#include <cassert>
+
+namespace ssdcheck::nand {
+
+bool
+NandGeometry::valid() const
+{
+    return channels > 0 && chipsPerChannel > 0 && diesPerChip > 0 &&
+           planesPerDie > 0 && blocksPerPlane > 0 && pagesPerBlock > 0;
+}
+
+Ppn
+encodePpn(const NandGeometry &geo, const PhysicalPageAddress &a)
+{
+    assert(a.plane < geo.totalPlanes());
+    assert(a.block < geo.blocksPerPlane);
+    assert(a.page < geo.pagesPerBlock);
+    return (static_cast<Ppn>(a.plane) * geo.blocksPerPlane + a.block) *
+               geo.pagesPerBlock +
+           a.page;
+}
+
+PhysicalPageAddress
+decodePpn(const NandGeometry &geo, Ppn ppn)
+{
+    assert(ppn < geo.totalPages());
+    PhysicalPageAddress a;
+    a.page = static_cast<uint32_t>(ppn % geo.pagesPerBlock);
+    const Pbn blk = ppn / geo.pagesPerBlock;
+    a.block = static_cast<uint32_t>(blk % geo.blocksPerPlane);
+    a.plane = static_cast<uint32_t>(blk / geo.blocksPerPlane);
+    return a;
+}
+
+Pbn
+blockOfPpn(const NandGeometry &geo, Ppn ppn)
+{
+    assert(ppn < geo.totalPages());
+    return ppn / geo.pagesPerBlock;
+}
+
+} // namespace ssdcheck::nand

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * NAND flash geometry and timing parameters.
+ *
+ * Latency constants follow the paper (§II-A): read ~60us, program
+ * ~1000us, erase ~3500us. Geometry mirrors the paper's FPGA prototype
+ * defaults (4 channels x 4 chips x 2 planes = 32 planes) but every
+ * dimension is configurable per SSD preset.
+ */
+#ifndef SSDCHECK_NAND_NAND_CONFIG_H
+#define SSDCHECK_NAND_NAND_CONFIG_H
+
+#include <cstdint>
+
+#include "sim/sim_time.h"
+
+namespace ssdcheck::nand {
+
+/** Latencies of the three basic NAND operations. */
+struct NandTiming
+{
+    sim::SimDuration readLatency = sim::microseconds(60);
+    sim::SimDuration programLatency = sim::microseconds(1000);
+    sim::SimDuration eraseLatency = sim::microseconds(3500);
+    /** Faster program latency when a page is used in SLC mode. */
+    sim::SimDuration slcProgramLatency = sim::microseconds(300);
+};
+
+/** Physical organization of a NAND array. */
+struct NandGeometry
+{
+    uint32_t channels = 4;
+    uint32_t chipsPerChannel = 4;
+    uint32_t diesPerChip = 1;
+    uint32_t planesPerDie = 2;
+    uint32_t blocksPerPlane = 64;
+    uint32_t pagesPerBlock = 64;
+
+    uint32_t chips() const { return channels * chipsPerChannel; }
+    uint32_t planesPerChip() const { return diesPerChip * planesPerDie; }
+    uint32_t totalPlanes() const { return chips() * planesPerChip(); }
+    uint64_t totalBlocks() const
+    {
+        return static_cast<uint64_t>(totalPlanes()) * blocksPerPlane;
+    }
+    uint64_t totalPages() const
+    {
+        return totalBlocks() * pagesPerBlock;
+    }
+
+    /** True when every dimension is nonzero. */
+    bool valid() const;
+};
+
+/** Physical page address decomposed along the geometry. */
+struct PhysicalPageAddress
+{
+    uint32_t plane = 0; ///< Global plane index in [0, totalPlanes).
+    uint32_t block = 0; ///< Block index within the plane.
+    uint32_t page = 0;  ///< Page index within the block.
+};
+
+/** Flat physical page number over the whole array. */
+using Ppn = uint64_t;
+
+/** Flat physical block number over the whole array. */
+using Pbn = uint64_t;
+
+/** Sentinel for "no physical page". */
+inline constexpr Ppn kInvalidPpn = ~0ULL;
+
+/** Encode a PhysicalPageAddress into a flat Ppn. */
+Ppn encodePpn(const NandGeometry &geo, const PhysicalPageAddress &a);
+
+/** Decode a flat Ppn into plane/block/page coordinates. */
+PhysicalPageAddress decodePpn(const NandGeometry &geo, Ppn ppn);
+
+/** Flat block number of a Ppn. */
+Pbn blockOfPpn(const NandGeometry &geo, Ppn ppn);
+
+} // namespace ssdcheck::nand
+
+#endif // SSDCHECK_NAND_NAND_CONFIG_H

@@ -1,0 +1,99 @@
+#include "nvm/nvm_device.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ssdcheck::nvm {
+
+NvmDevice::NvmDevice(NvmConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed)
+{
+    assert(cfg_.capacityPages > 0);
+}
+
+uint64_t
+NvmDevice::capacitySectors() const
+{
+    // The NVM is a cache tier: it accepts any page index; capacity
+    // reflects only how many dirty pages it can hold at once.
+    return ~0ULL / 2;
+}
+
+blockdev::IoResult
+NvmDevice::submit(const blockdev::IoRequest &req, sim::SimTime now)
+{
+    blockdev::IoResult res;
+    res.submitTime = now;
+    const sim::SimTime start = std::max(now, busGate_);
+    busGate_ = start + cfg_.busTime;
+
+    sim::SimDuration lat = 0;
+    const uint64_t firstPage = req.firstPage();
+    for (uint32_t p = 0; p < req.pages(); ++p) {
+        const uint64_t page = firstPage + p;
+        if (req.isWrite()) {
+            if (dirty_.find(page) == dirty_.end()) {
+                assert(!full() && "caller must respect NVM backpressure");
+                fifo_.push_back(Entry{page, totalWrites_});
+            }
+            dirty_[page] = totalWrites_;
+            ++totalWrites_;
+            lat += cfg_.writeLatency;
+        } else {
+            lat += cfg_.readLatency;
+        }
+    }
+    lat = static_cast<sim::SimDuration>(
+        static_cast<double>(lat) * rng_.lognormalFactor(cfg_.jitterSigma));
+    res.completeTime = busGate_ + lat;
+    return res;
+}
+
+void
+NvmDevice::purge(sim::SimTime now)
+{
+    (void)now;
+    fifo_.clear();
+    dirty_.clear();
+}
+
+std::vector<uint64_t>
+NvmDevice::takeDirty(size_t n)
+{
+    std::vector<uint64_t> out;
+    // Second-chance (clock) eviction: a page rewritten since it was
+    // enqueued goes back for another pass, so hot pages stay resident
+    // and keep coalescing rewrites; cold pages drain. Bound the scan
+    // to one full pass so a purely hot pool terminates.
+    size_t scansLeft = fifo_.size();
+    while (out.size() < n && scansLeft-- > 0 && !fifo_.empty()) {
+        const Entry e = fifo_.front();
+        fifo_.pop_front();
+        const auto it = dirty_.find(e.page);
+        if (it == dirty_.end())
+            continue; // superseded by a newer copy elsewhere
+        if (it->second != e.stampAtEnqueue) {
+            // Rewritten since enqueue: give it another pass.
+            fifo_.push_back(Entry{e.page, it->second});
+            continue;
+        }
+        dirty_.erase(it);
+        out.push_back(e.page);
+    }
+    return out;
+}
+
+bool
+NvmDevice::holds(uint64_t pageIndex) const
+{
+    return dirty_.find(pageIndex) != dirty_.end();
+}
+
+void
+NvmDevice::invalidate(uint64_t pageIndex)
+{
+    // The FIFO entry stays behind; takeDirty() skips entries whose
+    // dirty record is gone.
+    dirty_.erase(pageIndex);
+}
+
+} // namespace ssdcheck::nvm

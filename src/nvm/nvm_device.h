@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fast non-volatile memory device for the Hybrid PAS use case
+ * (paper §IV-B): small capacity, microsecond-scale accesses, and a
+ * dirty-page pool that a background thread periodically drains into
+ * the SSD. When the pool is full the NVM exerts backpressure — the
+ * tiering policy (not this device) decides what to do about it.
+ */
+#ifndef SSDCHECK_NVM_NVM_DEVICE_H
+#define SSDCHECK_NVM_NVM_DEVICE_H
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "sim/rng.h"
+
+namespace ssdcheck::nvm {
+
+/** Configuration of the NVM tier. */
+struct NvmConfig
+{
+    std::string name = "NVM";
+    /** Dirty-page capacity (how much write burst it can absorb). */
+    uint64_t capacityPages = 4096; // 16 MB
+    sim::SimDuration readLatency = sim::microseconds(2);
+    sim::SimDuration writeLatency = sim::microseconds(4);
+    sim::SimDuration busTime = sim::nanoseconds(300);
+    double jitterSigma = 0.03;
+    uint64_t seed = 7;
+};
+
+/** Byte-class NVM exposed as a (very fast) block device. */
+class NvmDevice : public blockdev::BlockDevice
+{
+  public:
+    explicit NvmDevice(NvmConfig cfg);
+
+    // BlockDevice interface. Writes to a full pool assert — callers
+    // must check freePages() first (that is the backpressure signal).
+    blockdev::IoResult submit(const blockdev::IoRequest &req,
+                              sim::SimTime now) override;
+    uint64_t capacitySectors() const override;
+    void purge(sim::SimTime now) override;
+    std::string name() const override { return cfg_.name; }
+
+    /** Dirty pages currently held. */
+    uint64_t dirtyPages() const { return dirty_.size(); }
+
+    /** Remaining dirty-page slots. */
+    uint64_t freePages() const { return cfg_.capacityPages - dirty_.size(); }
+
+    /** True when no more writes can be absorbed. */
+    bool full() const { return dirty_.size() >= cfg_.capacityPages; }
+
+    /**
+     * Remove up to @p n oldest dirty pages (the background drain).
+     * @return the page indices to be written back to the SSD.
+     */
+    std::vector<uint64_t> takeDirty(size_t n);
+
+    /** True when @p pageIndex is held dirty (and newer than the SSD). */
+    bool holds(uint64_t pageIndex) const;
+
+    /**
+     * Drop the dirty copy of @p pageIndex (a newer version was
+     * written elsewhere). No-op when the page is not held.
+     */
+    void invalidate(uint64_t pageIndex);
+
+    const NvmConfig &config() const { return cfg_; }
+
+    /** Total pages ever written (NVM pressure metric, Fig. 15c). */
+    uint64_t totalWritesAbsorbed() const { return totalWrites_; }
+
+  private:
+    struct Entry
+    {
+        uint64_t page;
+        uint64_t stampAtEnqueue; ///< dirty_ stamp when enqueued.
+    };
+
+    NvmConfig cfg_;
+    sim::Rng rng_;
+    sim::SimTime busGate_ = 0;
+    std::deque<Entry> fifo_;                       ///< Eviction clock.
+    std::unordered_map<uint64_t, uint64_t> dirty_; ///< page -> stamp.
+    uint64_t totalWrites_ = 0;
+};
+
+} // namespace ssdcheck::nvm
+
+#endif // SSDCHECK_NVM_NVM_DEVICE_H

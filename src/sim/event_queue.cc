@@ -1,0 +1,51 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ssdcheck::sim {
+
+void
+EventQueue::schedule(SimTime when, Callback cb)
+{
+    assert(when >= now_ && "cannot schedule events in the past");
+    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleAfter(SimDuration delay, Callback cb)
+{
+    schedule(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() returns const&; move out via const_cast is
+    // avoided by copying the (small) entry and popping first.
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.when;
+    e.cb(now_);
+    return true;
+}
+
+void
+EventQueue::runUntil(SimTime limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit)
+        runOne();
+    if (now_ < limit)
+        now_ = limit;
+}
+
+void
+EventQueue::runAll()
+{
+    while (runOne()) {
+    }
+}
+
+} // namespace ssdcheck::sim

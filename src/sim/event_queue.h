@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A minimal discrete-event queue used by the experiment runners.
+ *
+ * The SSD device itself computes completion times analytically at
+ * submit time (see ssd/ssd_device.h), so the event queue is only
+ * needed where several actors interleave in virtual time: closed-loop
+ * streams, open-loop schedulers, and the Hybrid-PAS background drain
+ * thread.
+ */
+#ifndef SSDCHECK_SIM_EVENT_QUEUE_H
+#define SSDCHECK_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace ssdcheck::sim {
+
+/**
+ * Priority queue of (time, sequence, callback) events.
+ *
+ * Events scheduled for the same timestamp fire in scheduling order
+ * (FIFO tie-break), which keeps runners deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void(SimTime)>;
+
+    /** Schedule @p cb to fire at absolute virtual time @p when. */
+    void schedule(SimTime when, Callback cb);
+
+    /** Schedule @p cb to fire @p delay after the current time. */
+    void scheduleAfter(SimDuration delay, Callback cb);
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    size_t size() const { return heap_.size(); }
+
+    /** Current virtual time (time of the last event fired). */
+    SimTime now() const { return now_; }
+
+    /**
+     * Fire the earliest pending event, advancing now().
+     * @return false if the queue was empty.
+     */
+    bool runOne();
+
+    /** Run events until the queue is empty or now() exceeds @p limit. */
+    void runUntil(SimTime limit);
+
+    /** Run every pending event (including ones scheduled while running). */
+    void runAll();
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        uint64_t seq;
+        Callback cb;
+        bool operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    SimTime now_ = kTimeZero;
+    uint64_t nextSeq_ = 0;
+};
+
+} // namespace ssdcheck::sim
+
+#endif // SSDCHECK_SIM_EVENT_QUEUE_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic random number generation for the simulator.
+ *
+ * A small, fast xoshiro256** generator plus the handful of
+ * distributions the library needs (uniform, lognormal jitter,
+ * Bernoulli, Zipf-ish skew). std::mt19937 is avoided so that streams
+ * are cheap to fork per component and the numeric output is identical
+ * across standard library implementations.
+ */
+#ifndef SSDCHECK_SIM_RNG_H
+#define SSDCHECK_SIM_RNG_H
+
+#include <cstdint>
+
+namespace ssdcheck::sim {
+
+/**
+ * Seeded pseudo-random number generator (xoshiro256**).
+ *
+ * Each simulated component owns its own Rng (forked from a parent via
+ * fork()) so that adding randomness to one component does not perturb
+ * another component's stream.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded with splitmix64). */
+    explicit Rng(uint64_t seed = 0x5eed5eedULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform01();
+
+    /** Uniform double in [lo, hi). */
+    double uniformReal(double lo, double hi);
+
+    /** True with probability p. */
+    bool bernoulli(double p);
+
+    /** Standard normal via Box-Muller (no cached spare; stateless). */
+    double gaussian();
+
+    /**
+     * Multiplicative lognormal jitter factor with median 1.0.
+     * @param sigma log-space standard deviation (0 disables jitter).
+     */
+    double lognormalFactor(double sigma);
+
+    /** Fork an independent child stream (hash of state + salt). */
+    Rng fork(uint64_t salt);
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace ssdcheck::sim
+
+#endif // SSDCHECK_SIM_RNG_H

@@ -1,0 +1,25 @@
+#include "sim/sim_time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ssdcheck::sim {
+
+std::string
+formatDuration(SimDuration d)
+{
+    char buf[64];
+    const double ad = std::abs(static_cast<double>(d));
+    if (ad < 1e3) {
+        std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(d));
+    } else if (ad < 1e6) {
+        std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(d) / 1e3);
+    } else if (ad < 1e9) {
+        std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(d) / 1e6);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(d) / 1e9);
+    }
+    return buf;
+}
+
+} // namespace ssdcheck::sim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Virtual time primitives for the discrete-time simulation.
+ *
+ * All latencies and timestamps in the library are expressed in
+ * SimTime ticks (nanoseconds of virtual time). Nothing in the library
+ * reads the wall clock; experiments are bit-for-bit reproducible.
+ */
+#ifndef SSDCHECK_SIM_SIM_TIME_H
+#define SSDCHECK_SIM_SIM_TIME_H
+
+#include <cstdint>
+#include <string>
+
+namespace ssdcheck::sim {
+
+/** Virtual time in nanoseconds. Signed so durations can be subtracted. */
+using SimTime = int64_t;
+
+/** A duration in virtual nanoseconds (alias for clarity at call sites). */
+using SimDuration = int64_t;
+
+/** The zero timestamp (simulation epoch). */
+inline constexpr SimTime kTimeZero = 0;
+
+/** Construct a duration from nanoseconds. */
+constexpr SimDuration nanoseconds(int64_t n) { return n; }
+
+/** Construct a duration from microseconds. */
+constexpr SimDuration microseconds(int64_t us) { return us * 1000; }
+
+/** Construct a duration from milliseconds. */
+constexpr SimDuration milliseconds(int64_t ms) { return ms * 1000000; }
+
+/** Construct a duration from seconds. */
+constexpr SimDuration seconds(int64_t s) { return s * 1000000000; }
+
+/** Convert a duration to (fractional) microseconds. */
+constexpr double toMicros(SimDuration d) { return static_cast<double>(d) / 1e3; }
+
+/** Convert a duration to (fractional) milliseconds. */
+constexpr double toMillis(SimDuration d) { return static_cast<double>(d) / 1e6; }
+
+/** Convert a duration to (fractional) seconds. */
+constexpr double toSeconds(SimDuration d) { return static_cast<double>(d) / 1e9; }
+
+/**
+ * Render a duration in a human-friendly unit (ns/us/ms/s), e.g. "248.3us".
+ * Used by table printers and example programs.
+ */
+std::string formatDuration(SimDuration d);
+
+} // namespace ssdcheck::sim
+
+#endif // SSDCHECK_SIM_SIM_TIME_H

@@ -1,0 +1,109 @@
+#include "ssd/garbage_collector.h"
+
+#include <cassert>
+
+#include "nand/nand_array.h"
+#include "ssd/page_mapper.h"
+
+namespace ssdcheck::ssd {
+
+GarbageCollector::GarbageCollector(PageMapper &mapper, nand::NandArray &nand,
+                                   uint32_t lowBlocks, uint32_t highBlocks,
+                                   uint32_t wearThreshold,
+                                   uint32_t readDisturbLimit)
+    : mapper_(mapper), nand_(nand), lowBlocks_(lowBlocks),
+      highBlocks_(highBlocks), wearThreshold_(wearThreshold),
+      readDisturbLimit_(readDisturbLimit)
+{
+    assert(lowBlocks >= 2);
+    assert(highBlocks > lowBlocks);
+}
+
+bool
+GarbageCollector::needed() const
+{
+    return mapper_.freeBlocks() < lowBlocks_;
+}
+
+GcResult
+GarbageCollector::collect(uint32_t extraBlocks)
+{
+    GcResult res;
+    const uint32_t target = highBlocks_ + extraBlocks;
+    while (mapper_.freeBlocks() < target) {
+        const nand::Pbn victim = mapper_.pickVictimGreedy();
+        if (victim == PageMapper::kNoVictim)
+            break; // nothing closed to reclaim (e.g. fresh device)
+        const uint64_t moved = mapper_.collectBlock(victim);
+        res.validMoved += moved;
+        res.blocksErased += 1;
+        res.duration +=
+            nand_.batchReadTime(moved) + nand_.batchProgramTime(moved);
+    }
+    // Erases of this invocation's victims proceed partially in
+    // parallel (the flash interface layer can overlap a few planes'
+    // erase commands).
+    if (res.blocksErased > 0) {
+        const uint64_t waves =
+            (res.blocksErased + kEraseParallelism - 1) / kEraseParallelism;
+        res.duration += static_cast<sim::SimDuration>(waves) *
+                        nand_.timing().eraseLatency;
+    }
+    if (wearThreshold_ > 0)
+        levelWear(res);
+    if (readDisturbLimit_ > 0)
+        refreshDisturbed(res);
+    if (res.ran())
+        ++invocations_;
+    return res;
+}
+
+void
+GarbageCollector::refreshDisturbed(GcResult &res)
+{
+    // Read-disturb refresh (paper §III-A reliability function): a
+    // block read too many times since its last erase accumulates
+    // disturb errors; relocate its valid data and erase it before
+    // the ECC budget runs out. One block per invocation keeps the
+    // added stall bounded.
+    const uint32_t ppb = nand_.geometry().pagesPerBlock;
+    for (nand::Pbn b = 0; b < nand_.totalBlocks(); ++b) {
+        if (nand_.blockWritePointer(b) < ppb)
+            continue; // open or free blocks are rewritten soon anyway
+        if (nand_.blockReadCount(b) <= readDisturbLimit_)
+            continue;
+        const uint64_t moved = mapper_.collectBlock(b);
+        res.refreshMoves += moved;
+        res.blocksErased += 1;
+        res.duration += nand_.batchReadTime(moved) +
+                        nand_.batchProgramTime(moved) +
+                        nand_.timing().eraseLatency;
+        break;
+    }
+}
+
+void
+GarbageCollector::levelWear(GcResult &res)
+{
+    // Static wear-leveling (paper §III-A: "threshold-based
+    // wear-leveling"): when the erase-count spread grows past the
+    // threshold, relocate the coldest closed block so its low-wear
+    // cells rejoin the hot allocation pool. Work per invocation is
+    // bounded to keep the stall predictable.
+    for (int moves = 0; moves < 2; ++moves) {
+        const auto [lo, hi] = mapper_.eraseCountRange();
+        if (hi - lo <= wearThreshold_)
+            return;
+        const nand::Pbn cold = mapper_.pickColdestClosedBlock();
+        if (cold == PageMapper::kNoVictim)
+            return;
+        const uint64_t moved = mapper_.collectBlock(cold);
+        res.wearMoves += moved;
+        res.blocksErased += 1;
+        res.duration += nand_.batchReadTime(moved) +
+                        nand_.batchProgramTime(moved) +
+                        nand_.timing().eraseLatency;
+    }
+}
+
+} // namespace ssdcheck::ssd

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Greedy garbage collection for one volume (paper §II-A).
+ *
+ * When the free-block pool falls below the low watermark, the
+ * collector repeatedly picks the closed block with the fewest valid
+ * pages, merges its valid pages into the GC-open block, and erases it,
+ * until the pool reaches the high watermark. The virtual-time cost of
+ * an invocation is the merge reads + merge programs (striped across
+ * the volume's planes) plus one erase per victim — this is the "GC
+ * overhead" the paper's HL requests observe.
+ */
+#ifndef SSDCHECK_SSD_GARBAGE_COLLECTOR_H
+#define SSDCHECK_SSD_GARBAGE_COLLECTOR_H
+
+#include <cstdint>
+
+#include "sim/sim_time.h"
+
+namespace ssdcheck::nand {
+class NandArray;
+}
+
+namespace ssdcheck::ssd {
+
+class PageMapper;
+
+/** Outcome of one GC invocation. */
+struct GcResult
+{
+    uint64_t blocksErased = 0;
+    uint64_t validMoved = 0;
+    uint64_t wearMoves = 0; ///< Pages moved by static wear-leveling.
+    uint64_t refreshMoves = 0; ///< Pages moved by read-disturb refresh.
+    sim::SimDuration duration = 0;
+
+    /** True when GC actually ran. */
+    bool ran() const { return blocksErased > 0; }
+};
+
+/** Greedy collector with low/high watermark hysteresis. */
+class GarbageCollector
+{
+  public:
+    /** Concurrent erase commands the FIL can keep in flight. */
+    static constexpr uint32_t kEraseParallelism = 4;
+
+    /**
+     * @param mapper the volume's FTL state.
+     * @param nand the volume's NAND array (for batch timing).
+     * @param lowBlocks trigger when freeBlocks() < lowBlocks.
+     * @param highBlocks reclaim until freeBlocks() >= highBlocks.
+     */
+    /**
+     * @param wearThreshold static wear-leveling kicks in when the
+     *        erase-count spread exceeds this (0 disables it; the
+     *        paper's prototype FTL uses threshold-based leveling).
+     */
+    /**
+     * @param readDisturbLimit refresh (relocate + erase) a block once
+     *        it has served this many reads since its last erase
+     *        (0 disables; paper §III-A lists read-disturbance among
+     *        the reliability functions the prototype FTL handles).
+     */
+    GarbageCollector(PageMapper &mapper, nand::NandArray &nand,
+                     uint32_t lowBlocks, uint32_t highBlocks,
+                     uint32_t wearThreshold = 0,
+                     uint32_t readDisturbLimit = 0);
+
+    /** True when the free pool is below the low watermark. */
+    bool needed() const;
+
+    /**
+     * Run one invocation (victims until the high watermark plus
+     * @p extraBlocks — firmware varies its reclaim target, which is
+     * what spreads the GC-interval distribution the paper's history
+     * model keys on).
+     * @return what was reclaimed and how long it took.
+     */
+    GcResult collect(uint32_t extraBlocks = 0);
+
+    /** Total invocations so far. */
+    uint64_t invocations() const { return invocations_; }
+
+  private:
+    /** Relocate cold blocks while the wear spread exceeds the
+     *  threshold (bounded work per invocation). */
+    void levelWear(GcResult &res);
+
+    /** Refresh blocks whose read-disturb exposure crossed the limit
+     *  (bounded work per invocation). */
+    void refreshDisturbed(GcResult &res);
+
+    PageMapper &mapper_;
+    nand::NandArray &nand_;
+    uint32_t lowBlocks_;
+    uint32_t highBlocks_;
+    uint32_t wearThreshold_;
+    uint32_t readDisturbLimit_;
+    uint64_t invocations_ = 0;
+};
+
+} // namespace ssdcheck::ssd
+
+#endif // SSDCHECK_SSD_GARBAGE_COLLECTOR_H

@@ -1,0 +1,267 @@
+#include "ssd/page_mapper.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace ssdcheck::ssd {
+
+PageMapper::PageMapper(nand::NandArray &nand, uint64_t userPages,
+                       bool wearAwareAllocation)
+    : nand_(nand), userPages_(userPages),
+      wearAwareAllocation_(wearAwareAllocation)
+{
+    assert(userPages > 0);
+    assert(userPages < nand.totalPages() &&
+           "need overprovisioning for GC to make progress");
+    lpnToPpn_.assign(userPages, nand::kInvalidPpn);
+    ppnToLpn_.assign(nand.totalPages(), kInvalidLpn);
+    blockValid_.assign(nand.totalBlocks(), 0);
+    blockFree_.assign(nand.totalBlocks(), 1);
+    freeList_.reserve(nand.totalBlocks());
+    // Highest block first so allocation proceeds from block 0 upward.
+    for (nand::Pbn b = nand.totalBlocks(); b-- > 0;)
+        freeList_.push_back(b);
+}
+
+nand::Ppn
+PageMapper::allocatePage(Stream stream)
+{
+    OpenBlock &ob = open_[static_cast<size_t>(stream)];
+    const uint32_t ppb = nand_.geometry().pagesPerBlock;
+    if (ob.block == kNoVictim || ob.nextPage >= ppb) {
+        assert(!freeList_.empty() && "free-block pool exhausted; "
+               "GC watermarks are misconfigured");
+        size_t pick = freeList_.size() - 1;
+        if (wearAwareAllocation_) {
+            // Dynamic wear leveling: take the least-worn free block
+            // rather than recycling the most recently freed (hottest)
+            // one.
+            for (size_t i = 0; i < freeList_.size(); ++i) {
+                if (nand_.blockEraseCount(freeList_[i]) <
+                    nand_.blockEraseCount(freeList_[pick]))
+                    pick = i;
+            }
+        }
+        ob.block = freeList_[pick];
+        freeList_[pick] = freeList_.back();
+        freeList_.pop_back();
+        blockFree_[ob.block] = 0;
+        ob.nextPage = 0;
+        assert(nand_.blockWritePointer(ob.block) == 0 &&
+               "allocated block was not erased");
+    }
+    const nand::Ppn ppn =
+        ob.block * static_cast<nand::Ppn>(ppb) + ob.nextPage;
+    ++ob.nextPage;
+    return ppn;
+}
+
+void
+PageMapper::invalidate(uint64_t lpn)
+{
+    const nand::Ppn old = lpnToPpn_[lpn];
+    if (old == nand::kInvalidPpn)
+        return;
+    const nand::Pbn blk = old / nand_.geometry().pagesPerBlock;
+    assert(blockValid_[blk] > 0);
+    --blockValid_[blk];
+    ppnToLpn_[old] = kInvalidLpn;
+    lpnToPpn_[lpn] = nand::kInvalidPpn;
+    --totalValid_;
+}
+
+void
+PageMapper::writePage(uint64_t lpn, uint64_t payload)
+{
+    assert(lpn < userPages_);
+    invalidate(lpn);
+    const nand::Ppn ppn = allocatePage(Stream::Host);
+    nand_.programPage(ppn, payload);
+    lpnToPpn_[lpn] = ppn;
+    ppnToLpn_[ppn] = lpn;
+    ++blockValid_[ppn / nand_.geometry().pagesPerBlock];
+    ++totalValid_;
+}
+
+nand::Ppn
+PageMapper::lookup(uint64_t lpn) const
+{
+    assert(lpn < userPages_);
+    return lpnToPpn_[lpn];
+}
+
+bool
+PageMapper::readPage(uint64_t lpn, uint64_t *payload) const
+{
+    const nand::Ppn ppn = lookup(lpn);
+    if (ppn == nand::kInvalidPpn)
+        return false;
+    nand_.readPage(ppn, payload);
+    return true;
+}
+
+void
+PageMapper::trimAll()
+{
+    lpnToPpn_.assign(userPages_, nand::kInvalidPpn);
+    ppnToLpn_.assign(nand_.totalPages(), kInvalidLpn);
+    freeList_.clear();
+    for (nand::Pbn b = nand_.totalBlocks(); b-- > 0;) {
+        if (nand_.blockWritePointer(b) != 0)
+            nand_.eraseBlock(b);
+        blockValid_[b] = 0;
+        blockFree_[b] = 1;
+    }
+    for (nand::Pbn b = nand_.totalBlocks(); b-- > 0;)
+        freeList_.push_back(b);
+    open_[0] = OpenBlock{};
+    open_[1] = OpenBlock{};
+    totalValid_ = 0;
+}
+
+uint32_t
+PageMapper::blockValidCount(nand::Pbn pbn) const
+{
+    assert(pbn < nand_.totalBlocks());
+    return blockValid_[pbn];
+}
+
+nand::Pbn
+PageMapper::pickVictimGreedy() const
+{
+    const uint32_t ppb = nand_.geometry().pagesPerBlock;
+    nand::Pbn best = kNoVictim;
+    uint32_t bestValid = ppb + 1;
+    for (nand::Pbn b = 0; b < nand_.totalBlocks(); ++b) {
+        if (blockFree_[b])
+            continue;
+        if (b == open_[0].block || b == open_[1].block)
+            continue;
+        if (nand_.blockWritePointer(b) < ppb)
+            continue; // only closed blocks are GC candidates
+        if (blockValid_[b] < bestValid) {
+            bestValid = blockValid_[b];
+            best = b;
+            if (bestValid == 0)
+                break; // cannot do better
+        }
+    }
+    return best;
+}
+
+uint64_t
+PageMapper::collectBlock(nand::Pbn victim)
+{
+    assert(victim != kNoVictim);
+    assert(!blockFree_[victim]);
+    const uint32_t ppb = nand_.geometry().pagesPerBlock;
+    uint64_t moved = 0;
+    for (uint32_t p = 0; p < ppb; ++p) {
+        const nand::Ppn ppn =
+            victim * static_cast<nand::Ppn>(ppb) + p;
+        const uint64_t lpn = ppnToLpn_[ppn];
+        if (lpn == kInvalidLpn)
+            continue;
+        // Merge step: read the valid page and re-program it from the
+        // GC-open block (paper §II-A "merge operation").
+        uint64_t payload = 0;
+        nand_.readPage(ppn, &payload);
+        const nand::Ppn dst = allocatePage(Stream::Gc);
+        nand_.programPage(dst, payload);
+        lpnToPpn_[lpn] = dst;
+        ppnToLpn_[dst] = lpn;
+        ppnToLpn_[ppn] = kInvalidLpn;
+        ++blockValid_[dst / ppb];
+        ++moved;
+    }
+    blockValid_[victim] = 0;
+    nand_.eraseBlock(victim);
+    blockFree_[victim] = 1;
+    freeList_.push_back(victim);
+    return moved;
+}
+
+uint64_t
+PageMapper::lpnOfPpn(nand::Ppn ppn) const
+{
+    assert(ppn < nand_.totalPages());
+    return ppnToLpn_[ppn];
+}
+
+nand::Pbn
+PageMapper::pickColdestClosedBlock() const
+{
+    const uint32_t ppb = nand_.geometry().pagesPerBlock;
+    nand::Pbn best = kNoVictim;
+    uint32_t bestErase = ~0u;
+    for (nand::Pbn b = 0; b < nand_.totalBlocks(); ++b) {
+        if (blockFree_[b])
+            continue;
+        if (b == open_[0].block || b == open_[1].block)
+            continue;
+        if (nand_.blockWritePointer(b) < ppb)
+            continue;
+        const uint32_t e = nand_.blockEraseCount(b);
+        if (e < bestErase) {
+            bestErase = e;
+            best = b;
+        }
+    }
+    return best;
+}
+
+std::pair<uint32_t, uint32_t>
+PageMapper::eraseCountRange() const
+{
+    uint32_t lo = ~0u, hi = 0;
+    for (nand::Pbn b = 0; b < nand_.totalBlocks(); ++b) {
+        const uint32_t e = nand_.blockEraseCount(b);
+        lo = std::min(lo, e);
+        hi = std::max(hi, e);
+    }
+    return {lo, hi};
+}
+
+std::string
+PageMapper::checkConsistency() const
+{
+    std::ostringstream err;
+    const uint32_t ppb = nand_.geometry().pagesPerBlock;
+    uint64_t validSeen = 0;
+    for (uint64_t lpn = 0; lpn < userPages_; ++lpn) {
+        const nand::Ppn ppn = lpnToPpn_[lpn];
+        if (ppn == nand::kInvalidPpn)
+            continue;
+        ++validSeen;
+        if (ppnToLpn_[ppn] != lpn) {
+            err << "inverse map mismatch at lpn " << lpn << "; ";
+            break;
+        }
+        if (!nand_.isProgrammed(ppn)) {
+            err << "mapped page not programmed at lpn " << lpn << "; ";
+            break;
+        }
+    }
+    if (validSeen != totalValid_)
+        err << "totalValid mismatch; ";
+
+    std::vector<uint32_t> counted(nand_.totalBlocks(), 0);
+    for (nand::Ppn p = 0; p < nand_.totalPages(); ++p) {
+        if (ppnToLpn_[p] != kInvalidLpn)
+            ++counted[p / ppb];
+    }
+    for (nand::Pbn b = 0; b < nand_.totalBlocks(); ++b) {
+        if (counted[b] != blockValid_[b]) {
+            err << "block valid-count mismatch at block " << b << "; ";
+            break;
+        }
+        if (blockFree_[b] && nand_.blockWritePointer(b) != 0) {
+            err << "free block " << b << " not erased; ";
+            break;
+        }
+    }
+    return err.str();
+}
+
+} // namespace ssdcheck::ssd

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Page-level flash translation layer for one volume (paper §II-A).
+ *
+ * Maintains the LPN→PPN map, its inverse (needed by GC merges), block
+ * validity accounting, the free-block pool, and the two open blocks
+ * (host writes, GC relocation). All NAND state transitions go through
+ * the NandArray so the chip-level invariants (erase-before-write,
+ * sequential in-block programming) are enforced at the source.
+ */
+#ifndef SSDCHECK_SSD_PAGE_MAPPER_H
+#define SSDCHECK_SSD_PAGE_MAPPER_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nand/nand_array.h"
+#include "nand/nand_config.h"
+
+namespace ssdcheck::ssd {
+
+/** Sentinel for an unmapped logical page. */
+inline constexpr uint64_t kInvalidLpn = ~0ULL;
+
+/** Page-level address mapping and block accounting for one volume. */
+class PageMapper
+{
+  public:
+    /** Allocation stream: host flushes vs GC relocation. */
+    enum class Stream : uint8_t { Host, Gc };
+
+    /**
+     * @param nand the volume's NAND array (owned by the caller).
+     * @param userPages logical pages exposed by this volume.
+     * @param wearAwareAllocation allocate the least-worn free block
+     *        instead of the most recently freed one (dynamic wear
+     *        leveling; pairs with the collector's static leveling).
+     */
+    PageMapper(nand::NandArray &nand, uint64_t userPages,
+               bool wearAwareAllocation = false);
+
+    /**
+     * Write (or overwrite) logical page @p lpn with @p payload:
+     * invalidates any previous mapping and programs a fresh page from
+     * the host-open block.
+     */
+    void writePage(uint64_t lpn, uint64_t payload);
+
+    /** Current physical page of @p lpn, or nand::kInvalidPpn. */
+    nand::Ppn lookup(uint64_t lpn) const;
+
+    /**
+     * Read the payload of logical page @p lpn from NAND.
+     * @return false when the page was never written (or trimmed).
+     */
+    bool readPage(uint64_t lpn, uint64_t *payload) const;
+
+    /** Drop every mapping and erase-free all blocks (TRIM whole volume). */
+    void trimAll();
+
+    /** Blocks currently in the free pool. */
+    size_t freeBlocks() const { return freeList_.size(); }
+
+    /** Total valid (mapped) pages. */
+    uint64_t totalValid() const { return totalValid_; }
+
+    /** Logical pages exposed. */
+    uint64_t userPages() const { return userPages_; }
+
+    /** Valid-page count of flat block @p pbn. */
+    uint32_t blockValidCount(nand::Pbn pbn) const;
+
+    /**
+     * Greedy victim selection: the closed (fully programmed) block
+     * with the fewest valid pages.
+     * @return the victim, or an invalid Pbn when no block is eligible.
+     */
+    nand::Pbn pickVictimGreedy() const;
+
+    /** Sentinel returned by pickVictimGreedy when nothing is eligible. */
+    static constexpr nand::Pbn kNoVictim = ~0ULL;
+
+    /**
+     * Relocate every valid page of @p victim to the GC-open block and
+     * erase it, returning it to the free pool.
+     * @return number of valid pages moved.
+     */
+    uint64_t collectBlock(nand::Pbn victim);
+
+    /** Inverse lookup: lpn stored in physical page @p ppn (or kInvalidLpn). */
+    uint64_t lpnOfPpn(nand::Ppn ppn) const;
+
+    /**
+     * The closed (fully programmed) block with the lowest erase count
+     * — the static-wear-leveling candidate.
+     * @return the block, or kNoVictim when none is eligible.
+     */
+    nand::Pbn pickColdestClosedBlock() const;
+
+    /** Min and max erase count over all blocks (wear spread). */
+    std::pair<uint32_t, uint32_t> eraseCountRange() const;
+
+    /**
+     * Consistency check used by tests: forward and inverse maps agree,
+     * per-block valid counts match, free-list blocks are erased.
+     * @return empty string when consistent, else a description.
+     */
+    std::string checkConsistency() const;
+
+  private:
+    struct OpenBlock
+    {
+        nand::Pbn block = kNoVictim;
+        uint32_t nextPage = 0;
+    };
+
+    /** Take the next free page of the given stream's open block. */
+    nand::Ppn allocatePage(Stream stream);
+
+    /** Invalidate the mapping currently held by @p lpn, if any. */
+    void invalidate(uint64_t lpn);
+
+    nand::NandArray &nand_;
+    uint64_t userPages_;
+    bool wearAwareAllocation_;
+    std::vector<nand::Ppn> lpnToPpn_;
+    std::vector<uint64_t> ppnToLpn_;
+    std::vector<uint32_t> blockValid_;
+    std::vector<uint8_t> blockFree_;
+    std::vector<nand::Pbn> freeList_;
+    OpenBlock open_[2]; ///< Indexed by Stream.
+    uint64_t totalValid_ = 0;
+};
+
+} // namespace ssdcheck::ssd
+
+#endif // SSDCHECK_SSD_PAGE_MAPPER_H

@@ -1,0 +1,170 @@
+#include "ssd/ssd_device.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ssdcheck::ssd {
+
+SsdDevice::SsdDevice(SsdConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed)
+{
+    const std::string err = cfg_.validate();
+    assert(err.empty() && "invalid SsdConfig");
+    (void)err;
+    for (uint32_t v = 0; v < cfg_.numVolumes(); ++v)
+        volumes_.push_back(
+            std::make_unique<Volume>(cfg_, v, rng_.fork(v + 1)));
+}
+
+uint64_t
+SsdDevice::capacitySectors() const
+{
+    return cfg_.capacitySectors();
+}
+
+blockdev::IoResult
+SsdDevice::submit(const blockdev::IoRequest &req, sim::SimTime now)
+{
+    return submitDetailed(req, now, nullptr);
+}
+
+blockdev::IoResult
+SsdDevice::submitDetailed(const blockdev::IoRequest &req, sim::SimTime now,
+                          IoDetail *detail, const uint64_t *writePayload,
+                          uint64_t *readPayload)
+{
+    assert(now >= lastSubmit_ && "submissions must be time-ordered");
+    lastSubmit_ = now;
+    assert(req.lba + req.sectors <= capacitySectors());
+
+    blockdev::IoResult res;
+    res.submitTime = now;
+
+    // Host interface occupancy serializes all traffic.
+    const sim::SimTime busStart = std::max(now, busGate_);
+    busGate_ = busStart + cfg_.busTime;
+    const sim::SimTime start = busGate_;
+
+    if (req.type == blockdev::IoType::Trim) {
+        res.completeTime = start + sim::microseconds(10);
+        return res;
+    }
+
+    if (cfg_.optimalMode) {
+        // Fig. 3 SSD_Optimal: immediate acknowledgement, functional
+        // store kept device-side for correctness.
+        const uint64_t firstPage = req.firstPage();
+        for (uint32_t p = 0; p < req.pages(); ++p) {
+            if (req.isWrite() && writePayload != nullptr)
+                optimalStore_[firstPage + p] = *writePayload + p;
+        }
+        if (req.isRead() && readPayload != nullptr) {
+            const auto it = optimalStore_.find(firstPage);
+            *readPayload = it == optimalStore_.end() ? ~0ULL : it->second;
+        }
+        res.completeTime = start + sim::microseconds(15);
+        return res;
+    }
+
+    // Serve each covered page; the request completes when the last
+    // page does. Pages may straddle a volume-stripe boundary, in
+    // which case each page routes independently.
+    sim::SimTime complete = start;
+    const uint64_t firstPage = req.firstPage();
+    for (uint32_t p = 0; p < req.pages(); ++p) {
+        const uint64_t lba =
+            (firstPage + p) * blockdev::kSectorsPerPage;
+        const uint32_t vol = cfg_.volumeOf(lba);
+        const uint64_t lpn = cfg_.localLpn(lba);
+        sim::SimTime done;
+        if (req.isWrite()) {
+            const uint64_t stamp =
+                writePayload != nullptr ? *writePayload + p : 0;
+            done = volumes_[vol]->serveWrite(start, lpn, stamp, detail);
+        } else {
+            uint64_t payload = 0;
+            done = volumes_[vol]->serveRead(start, lpn, &payload, detail);
+            if (p == 0 && readPayload != nullptr)
+                *readPayload = payload;
+        }
+        complete = std::max(complete, done);
+    }
+
+    // Device-level unmodeled noise: rare random stalls that the
+    // performance model cannot anticipate. Mostly write-linked
+    // (wear-leveling, mapping-table flushes); reads see a quarter of
+    // the rate.
+    const double hiccupP =
+        cfg_.hiccupProbability * (req.isRead() ? 0.25 : 1.0);
+    if (hiccupP > 0.0 && rng_.bernoulli(hiccupP)) {
+        complete += rng_.uniformInt(cfg_.hiccupMin, cfg_.hiccupMax);
+        if (detail != nullptr)
+            detail->hiccup = true;
+    }
+
+    res.completeTime = complete;
+    return res;
+}
+
+void
+SsdDevice::purge(sim::SimTime now)
+{
+    (void)now;
+    for (auto &v : volumes_)
+        v->reset();
+    optimalStore_.clear();
+    // Gates deliberately stay monotone: a purged device still cannot
+    // answer before the host interface frees up.
+}
+
+void
+SsdDevice::precondition()
+{
+    for (uint32_t v = 0; v < cfg_.numVolumes(); ++v)
+        volumes_[v]->prefill(static_cast<uint64_t>(v) << 48);
+}
+
+bool
+SsdDevice::peekPage(uint64_t pageIndex, uint64_t *payload) const
+{
+    const uint64_t lba = pageIndex * blockdev::kSectorsPerPage;
+    if (cfg_.optimalMode) {
+        const auto it = optimalStore_.find(pageIndex);
+        if (it == optimalStore_.end())
+            return false;
+        if (payload != nullptr)
+            *payload = it->second;
+        return true;
+    }
+    const uint32_t vol = cfg_.volumeOf(lba);
+    return volumes_[vol]->peek(cfg_.localLpn(lba), payload);
+}
+
+const VolumeCounters &
+SsdDevice::volumeCounters(uint32_t volume) const
+{
+    assert(volume < volumes_.size());
+    return volumes_[volume]->counters();
+}
+
+VolumeCounters
+SsdDevice::totalCounters() const
+{
+    VolumeCounters t;
+    for (const auto &v : volumes_) {
+        const VolumeCounters &c = v->counters();
+        t.writes += c.writes;
+        t.reads += c.reads;
+        t.flushes += c.flushes;
+        t.backpressureStalls += c.backpressureStalls;
+        t.gcInvocations += c.gcInvocations;
+        t.gcBlocksErased += c.gcBlocksErased;
+        t.gcPagesMoved += c.gcPagesMoved;
+        t.slcMigrations += c.slcMigrations;
+        t.bufferHits += c.bufferHits;
+        t.wearLevelMoves += c.wearLevelMoves;
+        t.readRefreshMoves += c.readRefreshMoves;
+    }
+    return t;
+}
+
+} // namespace ssdcheck::ssd

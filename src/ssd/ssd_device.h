@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The simulated black-box SSD.
+ *
+ * Routes requests to internal allocation volumes by the configured
+ * LBA bit indices, serializes them over the host interface, and adds
+ * device-level noise (latency jitter lives in the volumes; random
+ * unmodeled hiccups are injected here). Implements BlockDevice, which
+ * is the only surface src/core is allowed to touch.
+ *
+ * For experiments that need ground truth (Fig. 3 cause breakdown,
+ * accuracy-vs-truth tests) submitDetailed() also returns IoDetail
+ * annotations — the equivalent of the paper's FPGA prototype's
+ * measurement units. Production-path callers use plain submit().
+ */
+#ifndef SSDCHECK_SSD_SSD_DEVICE_H
+#define SSDCHECK_SSD_SSD_DEVICE_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "sim/rng.h"
+#include "ssd/ssd_config.h"
+#include "ssd/volume.h"
+
+namespace ssdcheck::ssd {
+
+/** Simulated SSD exposing the black-box block interface. */
+class SsdDevice : public blockdev::BlockDevice
+{
+  public:
+    /** @param cfg validated configuration (asserts on invalid). */
+    explicit SsdDevice(SsdConfig cfg);
+
+    // BlockDevice interface.
+    blockdev::IoResult submit(const blockdev::IoRequest &req,
+                              sim::SimTime now) override;
+    uint64_t capacitySectors() const override;
+    void purge(sim::SimTime now) override;
+    std::string name() const override { return cfg_.name; }
+
+    /**
+     * submit() plus introspection and data-path stamps.
+     * @param detail ground-truth annotations (optional).
+     * @param writePayload stamp stored to each written page, offset by
+     *        page position within the request (optional).
+     * @param readPayload receives the stamp of the first page read
+     *        (optional).
+     */
+    blockdev::IoResult submitDetailed(const blockdev::IoRequest &req,
+                                      sim::SimTime now, IoDetail *detail,
+                                      const uint64_t *writePayload = nullptr,
+                                      uint64_t *readPayload = nullptr);
+
+    /**
+     * SNIA-style preconditioning: instantly write every logical page
+     * once (no virtual time passes). Call after purge, before
+     * steady-state measurements.
+     */
+    void precondition();
+
+    /** Latest value of a 4KB page (buffer-aware), for integrity tests. */
+    bool peekPage(uint64_t pageIndex, uint64_t *payload) const;
+
+    const SsdConfig &config() const { return cfg_; }
+
+    /** Per-volume counters (introspection). */
+    const VolumeCounters &volumeCounters(uint32_t volume) const;
+
+    /** Counters summed over all volumes. */
+    VolumeCounters totalCounters() const;
+
+    /** Direct FTL access for consistency checks in tests. */
+    const Volume &volume(uint32_t i) const { return *volumes_[i]; }
+
+  private:
+    SsdConfig cfg_;
+    sim::Rng rng_;
+    std::vector<std::unique_ptr<Volume>> volumes_;
+    sim::SimTime busGate_ = 0;
+    sim::SimTime lastSubmit_ = 0;
+    /** Functional store used only in optimalMode. */
+    std::unordered_map<uint64_t, uint64_t> optimalStore_;
+};
+
+} // namespace ssdcheck::ssd
+
+#endif // SSDCHECK_SSD_SSD_DEVICE_H

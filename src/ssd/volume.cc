@@ -1,0 +1,241 @@
+#include "ssd/volume.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ssdcheck::ssd {
+
+Volume::Volume(const SsdConfig &cfg, uint32_t volumeIndex, sim::Rng rng)
+    : cfg_(cfg), volumeIndex_(volumeIndex), rng_(rng),
+      buffer_(cfg.bufferPages())
+{
+    nand_ = std::make_unique<nand::NandArray>(cfg.volumeGeometry(),
+                                              cfg.nandTiming);
+    mapper_ = std::make_unique<PageMapper>(*nand_, cfg.userPagesPerVolume(),
+                                           cfg.wearLevelThreshold > 0);
+    gc_ = std::make_unique<GarbageCollector>(*mapper_, *nand_,
+                                             cfg.gcLowBlocks,
+                                             cfg.gcHighBlocks,
+                                             cfg.wearLevelThreshold,
+                                             cfg.readDisturbLimit);
+    slcCycleCapacity_ = cfg.slcCapacityPages;
+}
+
+sim::SimDuration
+Volume::jitter(sim::SimDuration d)
+{
+    return static_cast<sim::SimDuration>(
+        static_cast<double>(d) * rng_.lognormalFactor(cfg_.jitterSigma));
+}
+
+sim::SimDuration
+Volume::flush(sim::SimTime at, IoDetail *detail)
+{
+    // The triggering request needs a free buffer: with double
+    // buffering that means the previous flush must have finished.
+    const sim::SimDuration stall =
+        std::max<sim::SimDuration>(0, nandBusyUntil_ - at);
+    const sim::SimTime flushStart = std::max(at, nandBusyUntil_);
+    if (nandBusyUntil_ <= at)
+        busyIncludesGc_ = false; // previous busy window fully drained
+
+    const auto entries = buffer_.drain();
+    for (const auto &e : entries)
+        mapper_->writePage(e.lpn, e.payload);
+
+    sim::SimDuration flushDur = 0;
+    if (cfg_.wbFlushCostEnabled) {
+        flushDur = nand_->batchProgramTime(entries.size(), cfg_.slcCache) +
+                   cfg_.flushOverheadTime;
+        flushDur = jitter(flushDur);
+    }
+    nandBusyUntil_ = flushStart + flushDur;
+    ++counters_.flushes;
+    if (detail != nullptr)
+        detail->flushTime += flushDur;
+
+    // Secondary feature: SLC->MLC migration at an externally invisible
+    // and slightly randomized point (paper §VI).
+    if (cfg_.slcCache) {
+        slcUsedPages_ += entries.size();
+        if (slcUsedPages_ >= slcCycleCapacity_) {
+            // Only a chunk of the cache migrates while blocking the
+            // array; the remainder drains lazily in background.
+            const uint64_t chunk =
+                std::min<uint64_t>(slcUsedPages_, cfg_.slcMigrateChunkPages);
+            sim::SimDuration mig = nand_->batchReadTime(chunk) +
+                                   nand_->batchProgramTime(chunk);
+            if (!cfg_.wbFlushCostEnabled)
+                mig = 0;
+            nandBusyUntil_ += mig;
+            ++counters_.slcMigrations;
+            slcUsedPages_ = 0;
+            const double v = cfg_.slcCapacityVariation;
+            slcCycleCapacity_ = std::max<uint64_t>(
+                cfg_.bufferPages(),
+                static_cast<uint64_t>(
+                    static_cast<double>(cfg_.slcCapacityPages) *
+                    rng_.uniformReal(1.0 - v, 1.0 + v)));
+            if (detail != nullptr && mig > 0)
+                detail->slcMigration = true;
+        }
+    }
+
+    // GC runs when the flush depleted the free pool (paper §II-A).
+    // The reclaim target varies a little per invocation, like adaptive
+    // firmware does; this is what gives GC intervals a distribution.
+    if (gc_->needed()) {
+        const GcResult res =
+            gc_->collect(static_cast<uint32_t>(rng_.nextBelow(4)));
+        if (res.ran()) {
+            sim::SimDuration gcDur =
+                cfg_.gcCostEnabled ? jitter(res.duration) : 0;
+            nandBusyUntil_ += gcDur;
+            ++counters_.gcInvocations;
+            counters_.gcBlocksErased += res.blocksErased;
+            counters_.gcPagesMoved += res.validMoved;
+            counters_.wearLevelMoves += res.wearMoves;
+            counters_.readRefreshMoves += res.refreshMoves;
+            if (cfg_.gcCostEnabled)
+                busyIncludesGc_ = true;
+            if (detail != nullptr) {
+                detail->gcRan = cfg_.gcCostEnabled;
+                detail->gcTime += gcDur;
+            }
+        }
+    }
+
+    return stall;
+}
+
+sim::SimTime
+Volume::serveWrite(sim::SimTime start, uint64_t lpn, uint64_t payload,
+                   IoDetail *detail)
+{
+    assert(lpn < cfg_.userPagesPerVolume());
+    ++counters_.writes;
+    if (detail != nullptr)
+        detail->volume = volumeIndex_;
+
+    const sim::SimTime admit = std::max(start, writeGate_);
+    sim::SimTime serviceStart = admit;
+
+    buffer_.add(lpn, payload);
+    if (buffer_.full()) {
+        // Note: flush() may clear busyIncludesGc_, so capture whether
+        // this request's stall overlapped a GC-laden window first.
+        const bool stalledOnGc = busyIncludesGc_ && nandBusyUntil_ > admit;
+        const sim::SimDuration stall = flush(admit, detail);
+        if (detail != nullptr) {
+            detail->triggeredFlush = true;
+            detail->waitTime += stall;
+            if (stall > 0 && stalledOnGc)
+                detail->gcRan = true; // the wait was GC's fault
+        }
+        if (cfg_.bufferType == BufferType::Fore) {
+            // Fore: acknowledge only after the flush (and any GC /
+            // migration it caused) completes.
+            serviceStart = nandBusyUntil_;
+        } else if (stall > 0) {
+            // Back: double buffering absorbs the flush, but a second
+            // flush arriving before the first finished must wait.
+            serviceStart = admit + stall;
+            ++counters_.backpressureStalls;
+            if (detail != nullptr)
+                detail->backpressured = true;
+        }
+    }
+
+    const sim::SimTime ack = serviceStart + jitter(cfg_.writeAckTime);
+    writeGate_ = std::max(admit + cfg_.writeCpuTime, serviceStart);
+    return ack;
+}
+
+sim::SimTime
+Volume::serveRead(sim::SimTime start, uint64_t lpn, uint64_t *payloadOut,
+                  IoDetail *detail)
+{
+    assert(lpn < cfg_.userPagesPerVolume());
+    ++counters_.reads;
+    if (detail != nullptr)
+        detail->volume = volumeIndex_;
+
+    sim::SimTime ready = start;
+
+    if (cfg_.readTriggerFlush && !buffer_.empty()) {
+        // Paper §III-B3: some devices flush the buffer on every read,
+        // no matter how few pages it holds.
+        const sim::SimDuration stall = flush(start, detail);
+        (void)stall;
+        ready = nandBusyUntil_;
+        if (detail != nullptr)
+            detail->readTriggeredFlush = true;
+    } else if (buffer_.lookup(lpn, payloadOut)) {
+        // Served straight from the buffer: no NAND involvement.
+        ++counters_.bufferHits;
+        if (detail != nullptr)
+            detail->bufferHit = true;
+        return start + jitter(cfg_.bufferReadTime);
+    }
+
+    // NAND access: wait for any flush/migration/GC, then the read
+    // pipeline gate.
+    const sim::SimTime busyReady = std::max(ready, nandBusyUntil_);
+    if (detail != nullptr && busyReady > ready) {
+        detail->blockedByBusy = true;
+        detail->waitTime += busyReady - ready;
+        if (busyIncludesGc_)
+            detail->gcRan = true; // blocked behind a GC-laden window
+    }
+    ready = std::max(busyReady, readGate_);
+
+    sim::SimDuration nandLat = cfg_.nandTiming.readLatency;
+    uint64_t payload = 0;
+    if (mapper_->readPage(lpn, &payload)) {
+        if (payloadOut != nullptr)
+            *payloadOut = payload;
+    } else {
+        // Unmapped (never written / trimmed): controller answers from
+        // metadata without touching NAND.
+        nandLat = 0;
+        if (payloadOut != nullptr)
+            *payloadOut = nand::kErasedPayload;
+    }
+
+    readGate_ = ready + cfg_.nandTiming.readLatency /
+                            std::max(1u, cfg_.readParallelism);
+    return ready + jitter(cfg_.readOverheadTime + nandLat);
+}
+
+void
+Volume::reset()
+{
+    buffer_.clear();
+    mapper_->trimAll();
+    writeGate_ = 0;
+    nandBusyUntil_ = 0;
+    readGate_ = 0;
+    slcUsedPages_ = 0;
+    slcCycleCapacity_ = cfg_.slcCapacityPages;
+}
+
+void
+Volume::prefill(uint64_t stampBase)
+{
+    for (uint64_t lpn = 0; lpn < cfg_.userPagesPerVolume(); ++lpn)
+        mapper_->writePage(lpn, stampBase + lpn);
+    // Preconditioning may leave the pool near the trigger; settle it
+    // now so the first measured request doesn't eat a giant GC.
+    if (gc_->needed())
+        gc_->collect();
+}
+
+bool
+Volume::peek(uint64_t lpn, uint64_t *payload) const
+{
+    if (buffer_.lookup(lpn, payload))
+        return true;
+    return mapper_->readPage(lpn, payload);
+}
+
+} // namespace ssdcheck::ssd

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * One internal allocation/GC volume of the simulated SSD.
+ *
+ * A volume bundles a write buffer, a NAND array, the page-level FTL
+ * and a garbage collector, and drives their interactions through
+ * virtual-time gates:
+ *
+ *  - writeGate_: FTL front-end serialization of writes;
+ *  - nandBusyUntil_: the array is occupied by a flush, SLC migration
+ *    or GC until this time — reads submitted earlier are blocked
+ *    (these become the paper's HL reads), and a flush triggered
+ *    earlier backpressures its write (HL write);
+ *  - readGate_: read-pipeline service rate (parallel chips).
+ *
+ * submit() calls must carry nondecreasing start times (the device
+ * enforces this via its bus gate).
+ */
+#ifndef SSDCHECK_SSD_VOLUME_H
+#define SSDCHECK_SSD_VOLUME_H
+
+#include <cstdint>
+#include <memory>
+
+#include "nand/nand_array.h"
+#include "sim/rng.h"
+#include "sim/sim_time.h"
+#include "ssd/garbage_collector.h"
+#include "ssd/page_mapper.h"
+#include "ssd/ssd_config.h"
+#include "ssd/write_buffer.h"
+
+namespace ssdcheck::ssd {
+
+/** Ground-truth cause annotations for one request (introspection). */
+struct IoDetail
+{
+    uint32_t volume = 0;
+    bool triggeredFlush = false;  ///< This write filled the buffer.
+    bool backpressured = false;   ///< Write waited for a prior flush/GC.
+    bool blockedByBusy = false;   ///< Read waited for flush/migration/GC.
+    bool readTriggeredFlush = false; ///< Read-trigger flush fired.
+    bool gcRan = false;           ///< A GC invocation ran on this request.
+    bool slcMigration = false;    ///< An SLC->MLC migration ran.
+    bool bufferHit = false;       ///< Read served from the write buffer.
+    bool hiccup = false;          ///< Unmodeled random stall injected.
+    sim::SimDuration flushTime = 0; ///< Flush busy time charged.
+    sim::SimDuration gcTime = 0;    ///< GC busy time charged.
+    sim::SimDuration waitTime = 0;  ///< Time spent waiting on busy NAND.
+
+    /** Paper Fig. 3c operation classes. */
+    enum class Cause : uint8_t { Others, WriteBuffer, GarbageCollection };
+
+    /** Dominant cause class of this request. */
+    Cause cause() const
+    {
+        if (gcRan)
+            return Cause::GarbageCollection;
+        if (triggeredFlush || backpressured || blockedByBusy ||
+            readTriggeredFlush)
+            return Cause::WriteBuffer;
+        return Cause::Others;
+    }
+};
+
+/** Cumulative per-volume counters (introspection / tests). */
+struct VolumeCounters
+{
+    uint64_t writes = 0;
+    uint64_t reads = 0;
+    uint64_t flushes = 0;
+    uint64_t backpressureStalls = 0;
+    uint64_t gcInvocations = 0;
+    uint64_t gcBlocksErased = 0;
+    uint64_t gcPagesMoved = 0;
+    uint64_t slcMigrations = 0;
+    uint64_t bufferHits = 0;
+    uint64_t wearLevelMoves = 0;
+    uint64_t readRefreshMoves = 0;
+};
+
+/** One allocation/GC volume with its own buffer, FTL, NAND and GC. */
+class Volume
+{
+  public:
+    /**
+     * @param cfg the owning device's configuration.
+     * @param volumeIndex which volume this is (for annotations).
+     * @param rng independent random stream for this volume's jitter.
+     */
+    Volume(const SsdConfig &cfg, uint32_t volumeIndex, sim::Rng rng);
+
+    Volume(const Volume &) = delete;
+    Volume &operator=(const Volume &) = delete;
+
+    /**
+     * Serve a page write submitted at @p start.
+     * @return completion time; @p detail (optional) gets annotations.
+     */
+    sim::SimTime serveWrite(sim::SimTime start, uint64_t lpn,
+                            uint64_t payload, IoDetail *detail);
+
+    /**
+     * Serve a page read submitted at @p start.
+     * @param payloadOut receives the page stamp when mapped (optional).
+     */
+    sim::SimTime serveRead(sim::SimTime start, uint64_t lpn,
+                           uint64_t *payloadOut, IoDetail *detail);
+
+    /** Drop buffer and mappings; reset all gates (device purge). */
+    void reset();
+
+    /**
+     * Instantly (zero virtual time) write every logical page once —
+     * the SNIA-style precondition step, without simulating hours of
+     * fill traffic. Stamps pages with @p stampBase + lpn.
+     */
+    void prefill(uint64_t stampBase);
+
+    /** FTL state, for integrity checks in tests. */
+    const PageMapper &mapper() const { return *mapper_; }
+
+    /** Read the latest value of logical page (buffer-aware). */
+    bool peek(uint64_t lpn, uint64_t *payload) const;
+
+    const VolumeCounters &counters() const { return counters_; }
+
+    /** Time the NAND array is busy until (flush/migration/GC). */
+    sim::SimTime nandBusyUntil() const { return nandBusyUntil_; }
+
+    /** Pages currently sitting in the write buffer. */
+    uint32_t bufferFill() const { return buffer_.fill(); }
+
+  private:
+    /**
+     * Drain the buffer into NAND starting no earlier than @p at.
+     * Updates nandBusyUntil_ and runs SLC migration / GC as needed.
+     * @return time the triggering request waited for a free buffer
+     *         (backpressure stall; 0 when none).
+     */
+    sim::SimDuration flush(sim::SimTime at, IoDetail *detail);
+
+    /** Apply lognormal jitter to a service-time component. */
+    sim::SimDuration jitter(sim::SimDuration d);
+
+    const SsdConfig &cfg_;
+    uint32_t volumeIndex_;
+    sim::Rng rng_;
+
+    std::unique_ptr<nand::NandArray> nand_;
+    std::unique_ptr<PageMapper> mapper_;
+    std::unique_ptr<GarbageCollector> gc_;
+    WriteBuffer buffer_;
+
+    sim::SimTime writeGate_ = 0;
+    sim::SimTime nandBusyUntil_ = 0;
+    sim::SimTime readGate_ = 0;
+    /** True while the current NAND busy window includes a GC run, so
+     *  requests stalled by it are attributed to GC (Fig. 3c/3d). */
+    bool busyIncludesGc_ = false;
+
+    // SLC-cache secondary feature state.
+    uint64_t slcUsedPages_ = 0;
+    uint64_t slcCycleCapacity_ = 0;
+
+    VolumeCounters counters_;
+};
+
+} // namespace ssdcheck::ssd
+
+#endif // SSDCHECK_SSD_VOLUME_H

@@ -1,0 +1,50 @@
+#include "ssd/write_buffer.h"
+
+#include <cassert>
+
+namespace ssdcheck::ssd {
+
+WriteBuffer::WriteBuffer(uint32_t capacityPages) : capacity_(capacityPages)
+{
+    assert(capacityPages > 0);
+    entries_.reserve(capacityPages);
+}
+
+bool
+WriteBuffer::add(uint64_t lpn, uint64_t payload)
+{
+    assert(!full() && "caller must flush before overfilling");
+    entries_.push_back(Entry{lpn, payload});
+    newest_[lpn] = entries_.size() - 1;
+    return full();
+}
+
+bool
+WriteBuffer::lookup(uint64_t lpn, uint64_t *payload) const
+{
+    const auto it = newest_.find(lpn);
+    if (it == newest_.end())
+        return false;
+    if (payload != nullptr)
+        *payload = entries_[it->second].payload;
+    return true;
+}
+
+std::vector<WriteBuffer::Entry>
+WriteBuffer::drain()
+{
+    std::vector<Entry> out = std::move(entries_);
+    entries_.clear();
+    entries_.reserve(capacity_);
+    newest_.clear();
+    return out;
+}
+
+void
+WriteBuffer::clear()
+{
+    entries_.clear();
+    newest_.clear();
+}
+
+} // namespace ssdcheck::ssd

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-volume write buffer (paper §II-A, §III-B3).
+ *
+ * Incoming writes land in the buffer and are acknowledged quickly;
+ * when the buffer fills (or a read arrives, for read-trigger devices)
+ * its contents are flushed to NAND. The buffer holds (lpn, payload)
+ * entries so reads can be served from it and so the flush carries the
+ * real data into the FTL — the property tests verify integrity across
+ * this path.
+ *
+ * Each write occupies one slot even when it overwrites an LBA already
+ * buffered (no coalescing): the paper measures buffer size by counting
+ * writes between flushes, which requires slot-per-write semantics.
+ */
+#ifndef SSDCHECK_SSD_WRITE_BUFFER_H
+#define SSDCHECK_SSD_WRITE_BUFFER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ssdcheck::ssd {
+
+/** FIFO of buffered page writes with last-writer-wins lookup. */
+class WriteBuffer
+{
+  public:
+    /** One buffered page write. */
+    struct Entry
+    {
+        uint64_t lpn;
+        uint64_t payload;
+    };
+
+    /** @param capacityPages number of page slots before a flush. */
+    explicit WriteBuffer(uint32_t capacityPages);
+
+    /** Append a page write. @return true when the buffer is now full. */
+    bool add(uint64_t lpn, uint64_t payload);
+
+    /** Pages currently buffered. */
+    uint32_t fill() const { return static_cast<uint32_t>(entries_.size()); }
+
+    /** True when no pages are buffered. */
+    bool empty() const { return entries_.empty(); }
+
+    /** True when fill() reached capacity. */
+    bool full() const { return fill() >= capacity_; }
+
+    /** Capacity in pages. */
+    uint32_t capacity() const { return capacity_; }
+
+    /**
+     * Latest buffered payload for @p lpn.
+     * @return true and set @p payload when present.
+     */
+    bool lookup(uint64_t lpn, uint64_t *payload) const;
+
+    /**
+     * Remove and return all entries in arrival order (a flush).
+     * The buffer is empty afterwards.
+     */
+    std::vector<Entry> drain();
+
+    /** Discard all contents (purge). */
+    void clear();
+
+  private:
+    uint32_t capacity_;
+    std::vector<Entry> entries_;
+    /** lpn -> index of the newest entry for that lpn. */
+    std::unordered_map<uint64_t, size_t> newest_;
+};
+
+} // namespace ssdcheck::ssd
+
+#endif // SSDCHECK_SSD_WRITE_BUFFER_H

@@ -1,0 +1,148 @@
+#include "stats/chi_squared.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "stats/histogram.h"
+
+namespace ssdcheck::stats {
+
+namespace {
+
+/// Series expansion of the regularized lower incomplete gamma P(a, x),
+/// converges quickly for x < a + 1.
+double
+gammaPSeries(double a, double x)
+{
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int n = 0; n < 500; ++n) {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if (std::fabs(del) < std::fabs(sum) * 1e-15)
+            break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Continued fraction for the regularized upper incomplete gamma
+/// Q(a, x), converges quickly for x >= a + 1 (modified Lentz).
+double
+gammaQContinuedFraction(double a, double x)
+{
+    const double tiny = std::numeric_limits<double>::min() / 1e-30;
+    double b = x + 1.0 - a;
+    double c = 1.0 / tiny;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i <= 500; ++i) {
+        const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::fabs(d) < tiny)
+            d = tiny;
+        c = b + an / c;
+        if (std::fabs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < 1e-15)
+            break;
+    }
+    return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+} // namespace
+
+double
+regularizedGammaQ(double a, double x)
+{
+    assert(a > 0.0);
+    assert(x >= 0.0);
+    if (x == 0.0)
+        return 1.0;
+    if (x < a + 1.0)
+        return 1.0 - gammaPSeries(a, x);
+    return gammaQContinuedFraction(a, x);
+}
+
+double
+chiSquaredSurvival(double statistic, int dof)
+{
+    if (dof <= 0)
+        return 1.0;
+    if (statistic <= 0.0)
+        return 1.0;
+    return regularizedGammaQ(static_cast<double>(dof) / 2.0,
+                             statistic / 2.0);
+}
+
+ChiSquaredResult
+chiSquaredTwoSample(const std::vector<uint64_t> &a,
+                    const std::vector<uint64_t> &b, double minExpected)
+{
+    ChiSquaredResult res;
+    assert(a.size() == b.size());
+
+    double na = 0.0, nb = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        na += static_cast<double>(a[i]);
+        nb += static_cast<double>(b[i]);
+    }
+    if (na < 2.0 || nb < 2.0)
+        return res; // not enough data
+
+    const double n = na + nb;
+    // Pool bins whose combined count yields expected cells below
+    // minExpected for either sample.
+    double pooledA = 0.0, pooledB = 0.0;
+    double stat = 0.0;
+    int cells = 0;
+
+    auto addCell = [&](double ca, double cb) {
+        const double col = ca + cb;
+        if (col <= 0.0)
+            return;
+        const double ea = col * na / n;
+        const double eb = col * nb / n;
+        stat += (ca - ea) * (ca - ea) / ea + (cb - eb) * (cb - eb) / eb;
+        ++cells;
+    };
+
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double ca = static_cast<double>(a[i]);
+        const double cb = static_cast<double>(b[i]);
+        const double col = ca + cb;
+        const double expA = col * na / n;
+        const double expB = col * nb / n;
+        if (expA < minExpected || expB < minExpected) {
+            pooledA += ca;
+            pooledB += cb;
+        } else {
+            addCell(ca, cb);
+        }
+    }
+    addCell(pooledA, pooledB);
+
+    if (cells < 2)
+        return res; // degenerate: everything pooled into one cell
+
+    res.statistic = stat;
+    res.dof = cells - 1;
+    res.pValue = chiSquaredSurvival(stat, res.dof);
+    res.valid = true;
+    return res;
+}
+
+ChiSquaredResult
+chiSquaredTwoSample(const Histogram &a, const Histogram &b,
+                    double minExpected)
+{
+    return chiSquaredTwoSample(a.counts(), b.counts(), minExpected);
+}
+
+} // namespace ssdcheck::stats

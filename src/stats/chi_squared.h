@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Pearson chi-squared two-sample homogeneity test.
+ *
+ * The GC-volume diagnosis (paper §III-B2, Fig. 5b) compares the GC
+ * interval distribution of the Fixed pattern against each Flip_x
+ * pattern: a near-zero p-value on bit x means writes flipping bit x
+ * land in different GC volumes. The p-value needs the regularized
+ * upper incomplete gamma function Q(k/2, x/2), implemented here with
+ * the standard series / continued-fraction split (no external deps).
+ */
+#ifndef SSDCHECK_STATS_CHI_SQUARED_H
+#define SSDCHECK_STATS_CHI_SQUARED_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ssdcheck::stats {
+
+class Histogram;
+
+/** Result of a chi-squared test. */
+struct ChiSquaredResult
+{
+    double statistic = 0.0;   ///< Pearson X^2 statistic.
+    int dof = 0;              ///< Degrees of freedom after pooling.
+    double pValue = 1.0;      ///< P(X^2_dof >= statistic).
+    bool valid = false;       ///< False when too little data to test.
+};
+
+/**
+ * Regularized upper incomplete gamma function Q(a, x) = Γ(a,x)/Γ(a).
+ * Exposed for testing. Requires a > 0, x >= 0.
+ */
+double regularizedGammaQ(double a, double x);
+
+/** Survival function of the chi-squared distribution with @p dof. */
+double chiSquaredSurvival(double statistic, int dof);
+
+/**
+ * Two-sample chi-squared homogeneity test over parallel count vectors.
+ *
+ * Bins whose combined expected count is below @p minExpected are
+ * pooled into a single overflow cell (standard practice to keep the
+ * chi-squared approximation valid).
+ */
+ChiSquaredResult chiSquaredTwoSample(const std::vector<uint64_t> &a,
+                                     const std::vector<uint64_t> &b,
+                                     double minExpected = 5.0);
+
+/** Convenience overload on Histograms (must have equal bin counts). */
+ChiSquaredResult chiSquaredTwoSample(const Histogram &a, const Histogram &b,
+                                     double minExpected = 5.0);
+
+} // namespace ssdcheck::stats
+
+#endif // SSDCHECK_STATS_CHI_SQUARED_H

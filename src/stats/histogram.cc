@@ -1,0 +1,46 @@
+#include "stats/histogram.h"
+
+#include <cassert>
+
+namespace ssdcheck::stats {
+
+Histogram::Histogram(int64_t lo, int64_t binWidth, size_t bins)
+    : lo_(lo), binWidth_(binWidth), counts_(bins, 0)
+{
+    assert(binWidth > 0);
+    assert(bins > 0);
+}
+
+size_t
+Histogram::binIndex(int64_t value) const
+{
+    if (value < lo_)
+        return 0;
+    const uint64_t off = static_cast<uint64_t>(value - lo_) /
+                         static_cast<uint64_t>(binWidth_);
+    if (off >= counts_.size())
+        return counts_.size() - 1;
+    return static_cast<size_t>(off);
+}
+
+void
+Histogram::add(int64_t value)
+{
+    ++counts_[binIndex(value)];
+    ++total_;
+}
+
+int64_t
+Histogram::binLow(size_t i) const
+{
+    return lo_ + static_cast<int64_t>(i) * binWidth_;
+}
+
+void
+Histogram::clear()
+{
+    counts_.assign(counts_.size(), 0);
+    total_ = 0;
+}
+
+} // namespace ssdcheck::stats

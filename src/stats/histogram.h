@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-bin integer histogram.
+ *
+ * Used for GC-interval distributions (Fig. 5) — both by the diagnosis
+ * chi-squared test and by the runtime GC model's interval history.
+ */
+#ifndef SSDCHECK_STATS_HISTOGRAM_H
+#define SSDCHECK_STATS_HISTOGRAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ssdcheck::stats {
+
+/**
+ * Histogram over int64 values with uniform bin width.
+ *
+ * Values below the range clamp into the first bin; values above clamp
+ * into the last bin, so total mass always equals the add() count.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo inclusive lower bound of the first bin
+     * @param binWidth width of each bin (> 0)
+     * @param bins number of bins (> 0)
+     */
+    Histogram(int64_t lo, int64_t binWidth, size_t bins);
+
+    /** Record one value. */
+    void add(int64_t value);
+
+    /** Count in bin @p i. */
+    uint64_t binCount(size_t i) const { return counts_[i]; }
+
+    /** Number of bins. */
+    size_t numBins() const { return counts_.size(); }
+
+    /** Total number of recorded values. */
+    uint64_t total() const { return total_; }
+
+    /** Inclusive lower edge of bin @p i. */
+    int64_t binLow(size_t i) const;
+
+    /** Bin index a value falls into (after clamping). */
+    size_t binIndex(int64_t value) const;
+
+    /** Raw counts vector (for chi-squared tests). */
+    const std::vector<uint64_t> &counts() const { return counts_; }
+
+    /** Reset all counts to zero. */
+    void clear();
+
+  private:
+    int64_t lo_;
+    int64_t binWidth_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace ssdcheck::stats
+
+#endif // SSDCHECK_STATS_HISTOGRAM_H

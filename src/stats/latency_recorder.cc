@@ -1,0 +1,133 @@
+#include "stats/latency_recorder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace ssdcheck::stats {
+
+void
+LatencyRecorder::add(sim::SimDuration latency)
+{
+    samples_.push_back(latency);
+    sortedValid_ = false;
+}
+
+double
+LatencyRecorder::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    const double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+    return sum / static_cast<double>(samples_.size());
+}
+
+sim::SimDuration
+LatencyRecorder::min() const
+{
+    if (samples_.empty())
+        return 0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+sim::SimDuration
+LatencyRecorder::max() const
+{
+    if (samples_.empty())
+        return 0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void
+LatencyRecorder::ensureSorted() const
+{
+    if (!sortedValid_) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        sortedValid_ = true;
+    }
+}
+
+sim::SimDuration
+LatencyRecorder::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0;
+    assert(p >= 0.0 && p <= 100.0);
+    ensureSorted();
+    // Nearest-rank: ceil(p/100 * N), 1-indexed.
+    const size_t n = sorted_.size();
+    size_t rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return sorted_[rank - 1];
+}
+
+double
+LatencyRecorder::fractionBelow(sim::SimDuration threshold) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    const auto it =
+        std::upper_bound(sorted_.begin(), sorted_.end(), threshold);
+    return static_cast<double>(it - sorted_.begin()) /
+           static_cast<double>(sorted_.size());
+}
+
+double
+LatencyRecorder::fractionAbove(sim::SimDuration threshold) const
+{
+    if (samples_.empty())
+        return 0.0;
+    return 1.0 - fractionBelow(threshold);
+}
+
+const std::vector<sim::SimDuration> &
+LatencyRecorder::sorted() const
+{
+    ensureSorted();
+    return sorted_;
+}
+
+std::vector<std::pair<double, sim::SimDuration>>
+LatencyRecorder::cdf(size_t points) const
+{
+    std::vector<std::pair<double, sim::SimDuration>> out;
+    if (samples_.empty() || points == 0)
+        return out;
+    ensureSorted();
+    out.reserve(points);
+    const size_t n = sorted_.size();
+    for (size_t i = 1; i <= points; ++i) {
+        const double q = static_cast<double>(i) / static_cast<double>(points);
+        size_t rank = static_cast<size_t>(
+            std::ceil(q * static_cast<double>(n)));
+        if (rank == 0)
+            rank = 1;
+        out.emplace_back(q, sorted_[rank - 1]);
+    }
+    return out;
+}
+
+void
+LatencyRecorder::merge(const LatencyRecorder &other)
+{
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sortedValid_ = false;
+}
+
+void
+LatencyRecorder::clear()
+{
+    samples_.clear();
+    sorted_.clear();
+    sortedValid_ = true;
+}
+
+} // namespace ssdcheck::stats

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Exact latency statistics: percentiles, CDF points, mean, tails.
+ *
+ * Experiments in the paper report 99.5th / 99.7th percentile tail
+ * latencies and CDFs (Figs. 1, 3, 13, 15; Table III). Sample counts in
+ * this reproduction are at most a few million, so we keep every sample
+ * and compute exact order statistics.
+ */
+#ifndef SSDCHECK_STATS_LATENCY_RECORDER_H
+#define SSDCHECK_STATS_LATENCY_RECORDER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace ssdcheck::stats {
+
+/** Collects latency samples and answers order-statistic queries. */
+class LatencyRecorder
+{
+  public:
+    /** Add one latency sample. */
+    void add(sim::SimDuration latency);
+
+    /** Number of samples recorded. */
+    size_t count() const { return samples_.size(); }
+
+    /** True if no samples were recorded. */
+    bool empty() const { return samples_.empty(); }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Smallest sample; 0 when empty. */
+    sim::SimDuration min() const;
+
+    /** Largest sample; 0 when empty. */
+    sim::SimDuration max() const;
+
+    /**
+     * Exact percentile by nearest-rank. @p p in [0, 100].
+     * percentile(50) is the median; percentile(99.5) the paper's tail.
+     */
+    sim::SimDuration percentile(double p) const;
+
+    /** Fraction of samples <= @p threshold (a CDF point). */
+    double fractionBelow(sim::SimDuration threshold) const;
+
+    /** Fraction of samples > @p threshold. */
+    double fractionAbove(sim::SimDuration threshold) const;
+
+    /** All samples, sorted ascending (for CDF dumps). */
+    const std::vector<sim::SimDuration> &sorted() const;
+
+    /**
+     * CDF sampled at @p points evenly spaced quantiles, as
+     * (quantile in [0,1], latency) pairs. Useful for plotting Fig. 1a.
+     */
+    std::vector<std::pair<double, sim::SimDuration>> cdf(size_t points) const;
+
+    /** Merge another recorder's samples into this one. */
+    void merge(const LatencyRecorder &other);
+
+    /** Discard all samples. */
+    void clear();
+
+  private:
+    void ensureSorted() const;
+
+    std::vector<sim::SimDuration> samples_;
+    mutable std::vector<sim::SimDuration> sorted_;
+    mutable bool sortedValid_ = true;
+};
+
+} // namespace ssdcheck::stats
+
+#endif // SSDCHECK_STATS_LATENCY_RECORDER_H

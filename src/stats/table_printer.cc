@@ -1,0 +1,83 @@
+#include "stats/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ssdcheck::stats {
+
+void
+TablePrinter::header(std::initializer_list<std::string> cols)
+{
+    header_.assign(cols);
+}
+
+void
+TablePrinter::row(std::initializer_list<std::string> cols)
+{
+    rows_.emplace_back(cols);
+}
+
+void
+TablePrinter::row(std::vector<std::string> cols)
+{
+    rows_.push_back(std::move(cols));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    // Compute column widths over header + rows.
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &r) {
+        if (r.size() > widths.size())
+            widths.resize(r.size(), 0);
+        for (size_t i = 0; i < r.size(); ++i)
+            widths[i] = std::max(widths[i], r[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); ++i) {
+            os << r[i];
+            if (i + 1 < r.size())
+                os << std::string(widths[i] - r[i].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+std::string
+TablePrinter::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+TablePrinter::pct(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "\n=== " << title << " ===\n";
+}
+
+} // namespace ssdcheck::stats

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small aligned-column table printer for the benchmark harnesses.
+ *
+ * Every bench binary reproduces a paper table or figure as rows of
+ * text; TablePrinter keeps that output consistent and readable.
+ */
+#ifndef SSDCHECK_STATS_TABLE_PRINTER_H
+#define SSDCHECK_STATS_TABLE_PRINTER_H
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ssdcheck::stats {
+
+/** Accumulates rows of strings and prints them with aligned columns. */
+class TablePrinter
+{
+  public:
+    /** Set the header row. */
+    void header(std::initializer_list<std::string> cols);
+
+    /** Append a data row (may have fewer columns than the header). */
+    void row(std::initializer_list<std::string> cols);
+
+    /** Append a pre-built data row. */
+    void row(std::vector<std::string> cols);
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows. */
+    size_t numRows() const { return rows_.size(); }
+
+    /** Format helper: fixed-decimal double. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Format helper: percentage with % suffix. */
+    static std::string pct(double fraction, int decimals = 2);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a "=== title ===" section banner. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace ssdcheck::stats
+
+#endif // SSDCHECK_STATS_TABLE_PRINTER_H

@@ -1,0 +1,70 @@
+#include "stats/timeline.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ssdcheck::stats {
+
+Timeline::Timeline(sim::SimDuration window) : window_(window)
+{
+    assert(window > 0);
+}
+
+void
+Timeline::add(sim::SimTime when, uint64_t bytes)
+{
+    assert(when >= 0);
+    const size_t idx = static_cast<size_t>(when / window_);
+    if (idx >= bytes_.size()) {
+        bytes_.resize(idx + 1, 0);
+        ios_.resize(idx + 1, 0);
+    }
+    bytes_[idx] += bytes;
+    ios_[idx] += 1;
+    totalBytes_ += bytes;
+    totalIos_ += 1;
+}
+
+double
+Timeline::mbps(size_t i) const
+{
+    const double secs = sim::toSeconds(window_);
+    return static_cast<double>(bytes_[i]) / 1e6 / secs;
+}
+
+double
+Timeline::iops(size_t i) const
+{
+    const double secs = sim::toSeconds(window_);
+    return static_cast<double>(ios_[i]) / secs;
+}
+
+double
+Timeline::meanMbps() const
+{
+    if (bytes_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (size_t i = 0; i < bytes_.size(); ++i)
+        sum += mbps(i);
+    return sum / static_cast<double>(bytes_.size());
+}
+
+double
+Timeline::mbpsCv() const
+{
+    if (bytes_.size() < 2)
+        return 0.0;
+    const double mean = meanMbps();
+    if (mean <= 0.0)
+        return 0.0;
+    double var = 0.0;
+    for (size_t i = 0; i < bytes_.size(); ++i) {
+        const double d = mbps(i) - mean;
+        var += d * d;
+    }
+    var /= static_cast<double>(bytes_.size() - 1);
+    return std::sqrt(var) / mean;
+}
+
+} // namespace ssdcheck::stats

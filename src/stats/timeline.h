@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Throughput-over-time accumulation.
+ *
+ * Figs. 1b, 3b and 15a plot throughput sampled over fixed windows of
+ * virtual time. Timeline buckets completed bytes (or IOs) into
+ * windows and reports MB/s or IOPS per window.
+ */
+#ifndef SSDCHECK_STATS_TIMELINE_H
+#define SSDCHECK_STATS_TIMELINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace ssdcheck::stats {
+
+/** Buckets completion events into fixed windows of virtual time. */
+class Timeline
+{
+  public:
+    /** @param window width of each bucket in virtual time. */
+    explicit Timeline(sim::SimDuration window);
+
+    /** Record @p bytes completed at time @p when. */
+    void add(sim::SimTime when, uint64_t bytes);
+
+    /** Number of windows touched so far. */
+    size_t numWindows() const { return bytes_.size(); }
+
+    /** Window width. */
+    sim::SimDuration window() const { return window_; }
+
+    /** Throughput of window @p i in MB/s (10^6 bytes per second). */
+    double mbps(size_t i) const;
+
+    /** IOPS of window @p i. */
+    double iops(size_t i) const;
+
+    /** Total bytes recorded. */
+    uint64_t totalBytes() const { return totalBytes_; }
+
+    /** Total IOs recorded. */
+    uint64_t totalIos() const { return totalIos_; }
+
+    /** Mean MB/s over [first, last) windows; whole timeline by default. */
+    double meanMbps() const;
+
+    /** Coefficient of variation of per-window MB/s (fluctuation metric). */
+    double mbpsCv() const;
+
+  private:
+    sim::SimDuration window_;
+    std::vector<uint64_t> bytes_;
+    std::vector<uint64_t> ios_;
+    uint64_t totalBytes_ = 0;
+    uint64_t totalIos_ = 0;
+};
+
+} // namespace ssdcheck::stats
+
+#endif // SSDCHECK_STATS_TIMELINE_H

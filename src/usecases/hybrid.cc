@@ -1,0 +1,119 @@
+#include "usecases/hybrid.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ssdcheck::usecases {
+
+HybridTier::HybridTier(ssd::SsdDevice &ssd, nvm::NvmDevice &nvm,
+                       core::SsdCheck *check, HybridMode mode,
+                       HybridConfig cfg)
+    : ssd_(ssd), nvm_(nvm), check_(check), mode_(mode), cfg_(cfg),
+      rng_(cfg.seed), nextDrain_(cfg.drainPeriod)
+{
+    assert(mode != HybridMode::HybridPas || check != nullptr);
+    assert(cfg_.bufferWeight >= 0.0 && cfg_.bufferWeight <= 1.0);
+    assert(cfg_.drainBatchPages > 0);
+}
+
+std::string
+HybridTier::name() const
+{
+    return mode_ == HybridMode::Baseline ? "baseline(nvm-first)"
+                                         : "hybrid-pas";
+}
+
+blockdev::IoResult
+HybridTier::ssdWrite(const blockdev::IoRequest &req, sim::SimTime now)
+{
+    core::Prediction pred;
+    if (check_ != nullptr) {
+        pred = check_->predict(req, now);
+        check_->onSubmit(req, now);
+    }
+    const auto res = ssd_.submit(req, now);
+    if (check_ != nullptr)
+        check_->onComplete(req, pred, now, res.completeTime);
+    return res;
+}
+
+void
+HybridTier::drainUpTo(sim::SimTime now)
+{
+    const auto threshold = static_cast<uint64_t>(
+        cfg_.drainThresholdFraction *
+        static_cast<double>(nvm_.config().capacityPages));
+    while (nextDrain_ <= now) {
+        if (nvm_.dirtyPages() <= threshold) {
+            nextDrain_ += cfg_.drainPeriod;
+            continue;
+        }
+        const auto pages = nvm_.takeDirty(cfg_.drainBatchPages);
+        sim::SimTime batchDone = nextDrain_;
+        for (const uint64_t page : pages) {
+            const auto res = ssdWrite(blockdev::makeWrite4k(page),
+                                      nextDrain_);
+            batchDone = std::max(batchDone, res.completeTime);
+        }
+        // The background thread is closed-loop: it waits for its
+        // batch to complete before sleeping again, so it can never
+        // build an unbounded backlog inside the SSD.
+        nextDrain_ = std::max(nextDrain_ + cfg_.drainPeriod, batchDone);
+    }
+}
+
+blockdev::IoResult
+HybridTier::submit(const blockdev::IoRequest &req, sim::SimTime now)
+{
+    drainUpTo(now);
+
+    if (req.isRead()) {
+        // Serve from the NVM when it holds the newest copy.
+        if (nvm_.holds(req.firstPage()))
+            return nvm_.submit(req, now);
+        // Keep the prediction model fed with the reads it does see.
+        core::Prediction pred;
+        if (check_ != nullptr) {
+            pred = check_->predict(req, now);
+            check_->onSubmit(req, now);
+        }
+        const auto res = ssd_.submit(req, now);
+        if (check_ != nullptr)
+            check_->onComplete(req, pred, now, res.completeTime);
+        return res;
+    }
+    if (req.type == blockdev::IoType::Trim)
+        return ssd_.submit(req, now);
+
+    // Write routing.
+    bool toNvm;
+    if (mode_ == HybridMode::Baseline) {
+        toNvm = !nvm_.full();
+    } else {
+        const core::Prediction pred = check_->predict(req, now);
+        if (pred.hl)
+            toNvm = !nvm_.full();
+        else
+            toNvm = !nvm_.full() && rng_.bernoulli(cfg_.bufferWeight);
+    }
+
+    if (toNvm)
+        return nvm_.submit(req, now);
+    if (nvm_.full())
+        ++backpressureWrites_;
+    ++ssdDirectWrites_;
+    // The SSD now holds the newest copy: stale dirty NVM copies must
+    // never be drained over it.
+    for (uint32_t p = 0; p < req.pages(); ++p)
+        nvm_.invalidate(req.firstPage() + p);
+    return ssdWrite(req, now);
+}
+
+void
+HybridTier::purge(sim::SimTime now)
+{
+    nvm_.purge(now);
+    ssd_.purge(now);
+}
+
+} // namespace ssdcheck::usecases

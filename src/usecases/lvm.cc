@@ -1,0 +1,85 @@
+#include "usecases/lvm.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ssdcheck::usecases {
+
+LogicalVolume::LogicalVolume(blockdev::BlockDevice &parent,
+                             uint64_t capacitySectors, RemapFn remap,
+                             std::string name)
+    : parent_(parent), capacity_(capacitySectors), remap_(std::move(remap)),
+      name_(std::move(name))
+{
+}
+
+blockdev::IoResult
+LogicalVolume::submit(const blockdev::IoRequest &req, sim::SimTime now)
+{
+    assert(req.lba + req.sectors <= capacity_);
+    blockdev::IoRequest phys = req;
+    phys.lba = remap_(req.lba);
+    return parent_.submit(phys, now);
+}
+
+void
+LogicalVolume::purge(sim::SimTime now)
+{
+    // A logical volume cannot TRIM just its share through this simple
+    // mapper; purging is a whole-device operation handled by the
+    // experiment setup.
+    (void)now;
+}
+
+std::vector<std::unique_ptr<LogicalVolume>>
+makeLinearVolumes(blockdev::BlockDevice &parent, uint32_t count)
+{
+    assert(count > 0);
+    const uint64_t slice = parent.capacitySectors() / count;
+    std::vector<std::unique_ptr<LogicalVolume>> out;
+    for (uint32_t i = 0; i < count; ++i) {
+        const uint64_t base = slice * i;
+        out.push_back(std::make_unique<LogicalVolume>(
+            parent, slice, [base](uint64_t lba) { return base + lba; },
+            "linear-lv" + std::to_string(i)));
+    }
+    return out;
+}
+
+uint64_t
+spliceVolumeBits(uint64_t logicalLba, uint32_t volumeId,
+                 const std::vector<uint32_t> &volumeBits)
+{
+    assert(std::is_sorted(volumeBits.begin(), volumeBits.end()));
+    uint64_t lba = logicalLba;
+    // Insert ascending so previously inserted (lower) bits shift the
+    // rest consistently.
+    for (size_t i = 0; i < volumeBits.size(); ++i) {
+        const uint32_t pos = volumeBits[i];
+        const uint64_t low = lba & ((1ULL << pos) - 1);
+        const uint64_t high = lba >> pos;
+        const uint64_t bit = (volumeId >> i) & 1u;
+        lba = (high << (pos + 1)) | (bit << pos) | low;
+    }
+    return lba;
+}
+
+std::vector<std::unique_ptr<LogicalVolume>>
+makeVolumeAwareVolumes(blockdev::BlockDevice &parent,
+                       const std::vector<uint32_t> &volumeBits)
+{
+    const uint32_t count = 1u << volumeBits.size();
+    const uint64_t slice = parent.capacitySectors() / count;
+    auto bits = volumeBits;
+    std::sort(bits.begin(), bits.end());
+    std::vector<std::unique_ptr<LogicalVolume>> out;
+    for (uint32_t v = 0; v < count; ++v) {
+        out.push_back(std::make_unique<LogicalVolume>(
+            parent, slice,
+            [bits, v](uint64_t lba) { return spliceVolumeBits(lba, v, bits); },
+            "va-lv" + std::to_string(v)));
+    }
+    return out;
+}
+
+} // namespace ssdcheck::usecases

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Logical volume managers (paper §IV-A, Fig. 9).
+ *
+ * A LogicalVolume is a remapping view onto a share of a parent block
+ * device (the role of a Linux device-mapper target). Two layouts:
+ *
+ *  - Linear-LVM: each logical volume is a contiguous LBA range — the
+ *    conventional scheme, oblivious to internal volumes, so tenants
+ *    contend inside every internal volume.
+ *  - VA-LVM: the logical-volume id is spliced into the LBA at the
+ *    diagnosed internal-volume bit positions, pinning each logical
+ *    volume to its own internal volume: no cross-tenant interference.
+ */
+#ifndef SSDCHECK_USECASES_LVM_H
+#define SSDCHECK_USECASES_LVM_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blockdev/block_device.h"
+
+namespace ssdcheck::usecases {
+
+/** A remapped view of a slice of a parent device. */
+class LogicalVolume : public blockdev::BlockDevice
+{
+  public:
+    using RemapFn = std::function<uint64_t(uint64_t)>;
+
+    /**
+     * @param parent the physical device (not owned).
+     * @param capacitySectors logical capacity exposed.
+     * @param remap logical sector -> physical sector (the device-
+     *        mapper "map" function).
+     */
+    LogicalVolume(blockdev::BlockDevice &parent, uint64_t capacitySectors,
+                  RemapFn remap, std::string name);
+
+    blockdev::IoResult submit(const blockdev::IoRequest &req,
+                              sim::SimTime now) override;
+    uint64_t capacitySectors() const override { return capacity_; }
+    void purge(sim::SimTime now) override;
+    std::string name() const override { return name_; }
+
+  private:
+    blockdev::BlockDevice &parent_;
+    uint64_t capacity_;
+    RemapFn remap_;
+    std::string name_;
+};
+
+/**
+ * Conventional linear split of @p parent into @p count contiguous
+ * logical volumes (Fig. 9a).
+ */
+std::vector<std::unique_ptr<LogicalVolume>>
+makeLinearVolumes(blockdev::BlockDevice &parent, uint32_t count);
+
+/**
+ * Volume-aware split of @p parent along the diagnosed internal-volume
+ * bit positions (Fig. 9b). Produces 2^bits logical volumes; logical
+ * volume v only ever addresses internal volume v.
+ * @param volumeBits sorted sector-LBA bit indices from SSDcheck.
+ */
+std::vector<std::unique_ptr<LogicalVolume>>
+makeVolumeAwareVolumes(blockdev::BlockDevice &parent,
+                       const std::vector<uint32_t> &volumeBits);
+
+/**
+ * The VA-LVM address transform (exposed for tests): splice the bits
+ * of @p volumeId into @p logicalLba at the @p volumeBits positions
+ * (ascending), shifting higher bits up.
+ */
+uint64_t spliceVolumeBits(uint64_t logicalLba, uint32_t volumeId,
+                          const std::vector<uint32_t> &volumeBits);
+
+} // namespace ssdcheck::usecases
+
+#endif // SSDCHECK_USECASES_LVM_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Prediction-aware schedulers (paper §IV-B, Fig. 10).
+ *
+ * SSD-only PAS: when the queue mixes reads and writes, ask SSDcheck
+ * whether the oldest read would be slow in its original position
+ * (i.e. after the writes queued ahead of it — in particular whether
+ * one of those writes will trigger a buffer flush). If so, dispatch
+ * the read first, hiding the flush behind it. Otherwise dispatch in
+ * arrival order.
+ *
+ * Ideal PAS: the same policy with a perfect oracle (ground truth from
+ * the simulated device) — the paper's "ideal" bars in Fig. 14 that
+ * bound the cost of misprediction.
+ */
+#ifndef SSDCHECK_USECASES_PAS_H
+#define SSDCHECK_USECASES_PAS_H
+
+#include <deque>
+
+#include "core/ssdcheck.h"
+#include "ssd/ssd_device.h"
+#include "usecases/scheduler.h"
+
+namespace ssdcheck::usecases {
+
+/** SSD-only PAS (paper §IV-B). */
+class PasScheduler : public Scheduler
+{
+  public:
+    /** @param check the SSDcheck instance driving this device. */
+    explicit PasScheduler(const core::SsdCheck &check);
+
+    void enqueue(const QueuedRequest &qr) override;
+    bool empty() const override { return q_.empty(); }
+    size_t depth() const override { return q_.size(); }
+    QueuedRequest dequeue(sim::SimTime now) override;
+    std::string name() const override { return "pas"; }
+
+  private:
+    /** Would the oldest read be HL if issued in original order? */
+    bool oldestReadWouldBeSlow(sim::SimTime now) const;
+
+    const core::SsdCheck &check_;
+    std::deque<QueuedRequest> q_;
+};
+
+/** PAS with a perfect (device ground truth) predictor. */
+class IdealPasScheduler : public Scheduler
+{
+  public:
+    explicit IdealPasScheduler(const ssd::SsdDevice &dev);
+
+    void enqueue(const QueuedRequest &qr) override;
+    bool empty() const override { return q_.empty(); }
+    size_t depth() const override { return q_.size(); }
+    QueuedRequest dequeue(sim::SimTime now) override;
+    std::string name() const override { return "ideal"; }
+
+  private:
+    bool oldestReadWouldBeSlow(sim::SimTime now) const;
+
+    const ssd::SsdDevice &dev_;
+    std::deque<QueuedRequest> q_;
+};
+
+} // namespace ssdcheck::usecases
+
+#endif // SSDCHECK_USECASES_PAS_H

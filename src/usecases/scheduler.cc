@@ -1,0 +1,101 @@
+#include "usecases/scheduler.h"
+
+#include <cassert>
+
+namespace ssdcheck::usecases {
+
+void
+NoopScheduler::enqueue(const QueuedRequest &qr)
+{
+    q_.push_back(qr);
+}
+
+QueuedRequest
+NoopScheduler::dequeue(sim::SimTime now)
+{
+    (void)now;
+    assert(!q_.empty());
+    QueuedRequest qr = q_.front();
+    q_.pop_front();
+    return qr;
+}
+
+DeadlineScheduler::DeadlineScheduler(sim::SimDuration readDeadline,
+                                     sim::SimDuration writeDeadline)
+    : readDeadline_(readDeadline), writeDeadline_(writeDeadline)
+{
+}
+
+void
+DeadlineScheduler::enqueue(const QueuedRequest &qr)
+{
+    if (qr.req.isRead())
+        reads_.push_back(qr);
+    else
+        writes_.push_back(qr);
+}
+
+QueuedRequest
+DeadlineScheduler::dequeue(sim::SimTime now)
+{
+    assert(!empty());
+    // Expired writes first (starvation avoidance), then reads, then
+    // writes.
+    if (!writes_.empty() &&
+        now - writes_.front().arrival > writeDeadline_) {
+        QueuedRequest qr = writes_.front();
+        writes_.pop_front();
+        return qr;
+    }
+    (void)readDeadline_; // reads are always favored in this variant
+    if (!reads_.empty()) {
+        QueuedRequest qr = reads_.front();
+        reads_.pop_front();
+        return qr;
+    }
+    QueuedRequest qr = writes_.front();
+    writes_.pop_front();
+    return qr;
+}
+
+CfqScheduler::CfqScheduler(uint32_t readQuantum, uint32_t writeQuantum)
+    : readQuantum_(readQuantum), writeQuantum_(writeQuantum),
+      creditsLeft_(readQuantum)
+{
+    assert(readQuantum > 0 && writeQuantum > 0);
+}
+
+void
+CfqScheduler::enqueue(const QueuedRequest &qr)
+{
+    if (qr.req.isRead())
+        reads_.push_back(qr);
+    else
+        writes_.push_back(qr);
+}
+
+QueuedRequest
+CfqScheduler::dequeue(sim::SimTime now)
+{
+    (void)now;
+    assert(!empty());
+    auto take = [](std::deque<QueuedRequest> &q) {
+        QueuedRequest qr = q.front();
+        q.pop_front();
+        return qr;
+    };
+    // Switch slices when the current class is idle or out of credits.
+    if (creditsLeft_ == 0 || (servingReads_ ? reads_.empty()
+                                            : writes_.empty())) {
+        servingReads_ = !servingReads_;
+        creditsLeft_ = servingReads_ ? readQuantum_ : writeQuantum_;
+        if (servingReads_ ? reads_.empty() : writes_.empty()) {
+            servingReads_ = !servingReads_;
+            creditsLeft_ = servingReads_ ? readQuantum_ : writeQuantum_;
+        }
+    }
+    --creditsLeft_;
+    return servingReads_ ? take(reads_) : take(writes_);
+}
+
+} // namespace ssdcheck::usecases

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * I/O schedulers (paper §IV-B / §V-D baselines).
+ *
+ * The queue discipline decides which pending request dispatches next
+ * when the device frees up. Baselines mirror the Linux schedulers the
+ * paper compares against: noop (FIFO), deadline (expiring reads jump
+ * writes) and a simplified cfq (read/write service with a read-favored
+ * quantum). The prediction-aware schedulers live in usecases/pas.h.
+ */
+#ifndef SSDCHECK_USECASES_SCHEDULER_H
+#define SSDCHECK_USECASES_SCHEDULER_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "blockdev/request.h"
+#include "sim/sim_time.h"
+
+namespace ssdcheck::usecases {
+
+/** One request waiting in a scheduler queue. */
+struct QueuedRequest
+{
+    blockdev::IoRequest req;
+    sim::SimTime arrival = 0;
+    uint64_t seq = 0; ///< Submission order (FIFO tie-break).
+    /**
+     * Ordering barrier (paper §IV-B: "when the strict order is
+     * necessary (e.g., barrier), PAS enforces the request order"):
+     * no request may be reordered across a barrier request.
+     */
+    bool barrier = false;
+};
+
+/** Queue discipline interface. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Add a request to the queue. */
+    virtual void enqueue(const QueuedRequest &qr) = 0;
+
+    /** True when nothing is pending. */
+    virtual bool empty() const = 0;
+
+    /** Pending request count. */
+    virtual size_t depth() const = 0;
+
+    /** Remove and return the request to dispatch at time @p now. */
+    virtual QueuedRequest dequeue(sim::SimTime now) = 0;
+
+    /** Scheduler name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** FIFO (the kernel's noop). */
+class NoopScheduler : public Scheduler
+{
+  public:
+    void enqueue(const QueuedRequest &qr) override;
+    bool empty() const override { return q_.empty(); }
+    size_t depth() const override { return q_.size(); }
+    QueuedRequest dequeue(sim::SimTime now) override;
+    std::string name() const override { return "noop"; }
+
+  private:
+    std::deque<QueuedRequest> q_;
+};
+
+/**
+ * Deadline-style: reads dispatch before writes, but a write whose
+ * wait exceeded its (longer) deadline goes first — starvation-free.
+ */
+class DeadlineScheduler : public Scheduler
+{
+  public:
+    DeadlineScheduler(sim::SimDuration readDeadline = sim::microseconds(500),
+                      sim::SimDuration writeDeadline = sim::milliseconds(5));
+
+    void enqueue(const QueuedRequest &qr) override;
+    bool empty() const override { return reads_.empty() && writes_.empty(); }
+    size_t depth() const override { return reads_.size() + writes_.size(); }
+    QueuedRequest dequeue(sim::SimTime now) override;
+    std::string name() const override { return "deadline"; }
+
+  private:
+    sim::SimDuration readDeadline_;
+    sim::SimDuration writeDeadline_;
+    std::deque<QueuedRequest> reads_;
+    std::deque<QueuedRequest> writes_;
+};
+
+/**
+ * Simplified cfq: alternates read and write service slices with a
+ * read-favored quantum (reads get readQuantum dispatches per
+ * writeQuantum write dispatches).
+ */
+class CfqScheduler : public Scheduler
+{
+  public:
+    CfqScheduler(uint32_t readQuantum = 4, uint32_t writeQuantum = 2);
+
+    void enqueue(const QueuedRequest &qr) override;
+    bool empty() const override { return reads_.empty() && writes_.empty(); }
+    size_t depth() const override { return reads_.size() + writes_.size(); }
+    QueuedRequest dequeue(sim::SimTime now) override;
+    std::string name() const override { return "cfq"; }
+
+  private:
+    uint32_t readQuantum_;
+    uint32_t writeQuantum_;
+    uint32_t creditsLeft_;
+    bool servingReads_ = true;
+    std::deque<QueuedRequest> reads_;
+    std::deque<QueuedRequest> writes_;
+};
+
+} // namespace ssdcheck::usecases
+
+#endif // SSDCHECK_USECASES_SCHEDULER_H

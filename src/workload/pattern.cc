@@ -1,0 +1,83 @@
+#include "workload/pattern.h"
+
+#include <cassert>
+
+#include "blockdev/request.h"
+
+namespace ssdcheck::workload {
+
+using blockdev::kSectorsPerPage;
+
+UniformPattern::UniformPattern(uint64_t spanPages) : spanPages_(spanPages)
+{
+    assert(spanPages > 0);
+}
+
+uint64_t
+UniformPattern::nextLba(sim::Rng &rng)
+{
+    return rng.nextBelow(spanPages_) * kSectorsPerPage;
+}
+
+BitFixedPattern::BitFixedPattern(uint64_t spanPages, uint32_t bit, bool value)
+    : spanPages_(spanPages), bit_(bit), value_(value)
+{
+    assert(spanPages > 0);
+    assert(bit >= 3 && "bits below page granularity cannot be pinned on "
+                       "page-aligned traffic");
+    assert((1ULL << bit) < spanPages * kSectorsPerPage &&
+           "pinned bit must lie inside the address range");
+}
+
+uint64_t
+BitFixedPattern::nextLba(sim::Rng &rng)
+{
+    // Rejection sampling keeps the distribution uniform over the
+    // addresses with the requested bit value.
+    for (;;) {
+        uint64_t lba = rng.nextBelow(spanPages_) * kSectorsPerPage;
+        if (value_)
+            lba |= (1ULL << bit_);
+        else
+            lba &= ~(1ULL << bit_);
+        if (lba < spanPages_ * kSectorsPerPage)
+            return lba;
+    }
+}
+
+SequentialPattern::SequentialPattern(uint64_t startPage, uint64_t spanPages)
+    : startPage_(startPage), spanPages_(spanPages)
+{
+    assert(spanPages > 0);
+}
+
+uint64_t
+SequentialPattern::nextLba(sim::Rng &rng)
+{
+    (void)rng;
+    const uint64_t page = startPage_ + (next_ % spanPages_);
+    ++next_;
+    return page * kSectorsPerPage;
+}
+
+FixedPattern::FixedPattern(uint64_t lba) : lba_(lba) {}
+
+uint64_t
+FixedPattern::nextLba(sim::Rng &rng)
+{
+    (void)rng;
+    return lba_;
+}
+
+FlipPattern::FlipPattern(uint64_t lba, uint32_t bit) : lba_(lba), bit_(bit) {}
+
+uint64_t
+FlipPattern::nextLba(sim::Rng &rng)
+{
+    (void)rng;
+    const uint64_t lba = flip_ ? (lba_ ^ (1ULL << bit_)) : lba_;
+    flip_ = !flip_;
+    return lba;
+}
+
+} // namespace ssdcheck::workload

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Address-pattern generators (the "modified fio" of the paper).
+ *
+ * The diagnosis snippets need precisely manipulated LBA streams:
+ * uniform random, uniform with one sector-address bit pinned to a
+ * value (allocation-volume test, Fig. 4), the same address repeated
+ * (GC Fixed test), and two addresses differing in exactly one bit
+ * (GC Flip_x test). All patterns emit page-aligned sector LBAs.
+ */
+#ifndef SSDCHECK_WORKLOAD_PATTERN_H
+#define SSDCHECK_WORKLOAD_PATTERN_H
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/rng.h"
+
+namespace ssdcheck::workload {
+
+/** Generator of sector LBAs for 4KB requests. */
+class AddressPattern
+{
+  public:
+    virtual ~AddressPattern() = default;
+
+    /** Produce the next sector LBA. */
+    virtual uint64_t nextLba(sim::Rng &rng) = 0;
+};
+
+/** Uniform random page over [0, spanPages). */
+class UniformPattern : public AddressPattern
+{
+  public:
+    explicit UniformPattern(uint64_t spanPages);
+    uint64_t nextLba(sim::Rng &rng) override;
+
+  private:
+    uint64_t spanPages_;
+};
+
+/**
+ * Uniform random page with sector-LBA bit @p bit forced to @p value —
+ * the paper's allocation-volume diagnosis pattern.
+ */
+class BitFixedPattern : public AddressPattern
+{
+  public:
+    BitFixedPattern(uint64_t spanPages, uint32_t bit, bool value);
+    uint64_t nextLba(sim::Rng &rng) override;
+
+  private:
+    uint64_t spanPages_;
+    uint32_t bit_;
+    bool value_;
+};
+
+/** Sequential pages from @p startPage, wrapping within the span. */
+class SequentialPattern : public AddressPattern
+{
+  public:
+    SequentialPattern(uint64_t startPage, uint64_t spanPages);
+    uint64_t nextLba(sim::Rng &rng) override;
+
+  private:
+    uint64_t startPage_;
+    uint64_t spanPages_;
+    uint64_t next_ = 0;
+};
+
+/** Always the same LBA (GC "Fixed" diagnosis). */
+class FixedPattern : public AddressPattern
+{
+  public:
+    explicit FixedPattern(uint64_t lba);
+    uint64_t nextLba(sim::Rng &rng) override;
+
+  private:
+    uint64_t lba_;
+};
+
+/**
+ * Alternates between @p lba and @p lba with sector bit @p bit flipped
+ * (GC "Flip_x" diagnosis).
+ */
+class FlipPattern : public AddressPattern
+{
+  public:
+    FlipPattern(uint64_t lba, uint32_t bit);
+    uint64_t nextLba(sim::Rng &rng) override;
+
+  private:
+    uint64_t lba_;
+    uint32_t bit_;
+    bool flip_ = false;
+};
+
+} // namespace ssdcheck::workload
+
+#endif // SSDCHECK_WORKLOAD_PATTERN_H

@@ -1,0 +1,140 @@
+#include "workload/trace.h"
+
+#include <cassert>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace ssdcheck::workload {
+
+void
+Trace::add(TraceRecord rec)
+{
+    assert(records_.empty() || rec.arrival >= records_.back().arrival);
+    records_.push_back(rec);
+}
+
+void
+Trace::add(const blockdev::IoRequest &req)
+{
+    TraceRecord rec;
+    rec.arrival = records_.empty() ? 0 : records_.back().arrival;
+    rec.req = req;
+    records_.push_back(rec);
+}
+
+TraceStats
+Trace::characterize() const
+{
+    TraceStats s;
+    s.requests = records_.size();
+    if (records_.empty())
+        return s;
+    uint64_t writes = 0;
+    uint64_t randoms = 0;
+    uint64_t prevEnd = ~0ULL;
+    for (const auto &r : records_) {
+        if (r.req.isWrite())
+            ++writes;
+        s.totalBytes += r.req.bytes();
+        // "Random" = not adjacent to the previous request's end
+        // (paper: ratio between sequential/adjacent and random).
+        if (r.req.lba != prevEnd)
+            ++randoms;
+        prevEnd = r.req.lba + r.req.sectors;
+    }
+    s.writeFraction =
+        static_cast<double>(writes) / static_cast<double>(s.requests);
+    s.randomFraction =
+        static_cast<double>(randoms) / static_cast<double>(s.requests);
+    return s;
+}
+
+void
+Trace::assignPoissonArrivals(double iops, sim::Rng &rng)
+{
+    assert(iops > 0.0);
+    sim::SimTime t = 0;
+    for (auto &r : records_) {
+        r.arrival = t;
+        // Exponential inter-arrival with mean 1/iops seconds.
+        double u = rng.uniform01();
+        if (u <= 0.0)
+            u = 1e-12;
+        const double gapSec = -std::log(u) / iops;
+        t += static_cast<sim::SimTime>(gapSec * 1e9);
+    }
+}
+
+void
+Trace::truncate(size_t n)
+{
+    if (records_.size() > n)
+        records_.resize(n);
+}
+
+namespace {
+
+char
+typeChar(blockdev::IoType t)
+{
+    switch (t) {
+      case blockdev::IoType::Read:
+        return 'r';
+      case blockdev::IoType::Write:
+        return 'w';
+      case blockdev::IoType::Trim:
+        return 't';
+    }
+    return '?';
+}
+
+} // namespace
+
+void
+Trace::saveText(std::ostream &os) const
+{
+    os << "# " << name_ << "\n";
+    for (const auto &r : records_) {
+        os << r.arrival << ' ' << typeChar(r.req.type) << ' ' << r.req.lba
+           << ' ' << r.req.sectors << "\n";
+    }
+}
+
+std::optional<Trace>
+Trace::loadText(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line) || line.size() < 2 || line[0] != '#')
+        return std::nullopt;
+    Trace t(line.substr(2));
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        TraceRecord rec;
+        char type = 0;
+        if (!(ls >> rec.arrival >> type >> rec.req.lba >> rec.req.sectors))
+            return std::nullopt;
+        switch (type) {
+          case 'r':
+            rec.req.type = blockdev::IoType::Read;
+            break;
+          case 'w':
+            rec.req.type = blockdev::IoType::Write;
+            break;
+          case 't':
+            rec.req.type = blockdev::IoType::Trim;
+            break;
+          default:
+            return std::nullopt;
+        }
+        if (!t.records_.empty() && rec.arrival < t.records_.back().arrival)
+            return std::nullopt; // arrivals must be monotone
+        t.records_.push_back(rec);
+    }
+    return t;
+}
+
+} // namespace ssdcheck::workload

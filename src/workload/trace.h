@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Block I/O traces: the replayable unit of every evaluation workload.
+ *
+ * A trace is an ordered list of records with optional arrival times.
+ * Closed-loop replay ignores arrivals; open-loop replay (the
+ * scheduler experiments) uses them. characterize() computes the three
+ * statistics Table II reports: request count, write fraction, and
+ * randomness (fraction of requests not sequentially adjacent to the
+ * previous request).
+ */
+#ifndef SSDCHECK_WORKLOAD_TRACE_H
+#define SSDCHECK_WORKLOAD_TRACE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "blockdev/request.h"
+#include "sim/rng.h"
+#include "sim/sim_time.h"
+
+namespace ssdcheck::workload {
+
+/** One trace entry. */
+struct TraceRecord
+{
+    sim::SimTime arrival = 0; ///< Arrival offset from trace start.
+    blockdev::IoRequest req;
+};
+
+/** Table II-style workload statistics. */
+struct TraceStats
+{
+    uint64_t requests = 0;
+    double writeFraction = 0.0;
+    double randomFraction = 0.0;
+    uint64_t totalBytes = 0;
+};
+
+/** An ordered, replayable block I/O workload. */
+class Trace
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::string name) : name_(std::move(name)) {}
+
+    /** Append a record (arrivals must be nondecreasing). */
+    void add(TraceRecord rec);
+
+    /** Append a request with arrival 0 (closed-loop use). */
+    void add(const blockdev::IoRequest &req);
+
+    const std::string &name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+    size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+    const TraceRecord &operator[](size_t i) const { return records_[i]; }
+    const std::vector<TraceRecord> &records() const { return records_; }
+
+    /** Compute Table II statistics. */
+    TraceStats characterize() const;
+
+    /**
+     * Assign Poisson arrivals at @p iops mean rate, preserving order.
+     * Used by the open-loop scheduler experiments.
+     */
+    void assignPoissonArrivals(double iops, sim::Rng &rng);
+
+    /** Truncate to the first @p n records. */
+    void truncate(size_t n);
+
+    /**
+     * Write the trace as text: a `# name` header line, then one
+     * `arrival_ns type lba sectors` line per record (type is r/w/t).
+     */
+    void saveText(std::ostream &os) const;
+
+    /**
+     * Parse a trace previously written by saveText().
+     * @return the trace, or std::nullopt on malformed input.
+     */
+    static std::optional<Trace> loadText(std::istream &is);
+
+  private:
+    std::string name_;
+    std::vector<TraceRecord> records_;
+};
+
+} // namespace ssdcheck::workload
+
+#endif // SSDCHECK_WORKLOAD_TRACE_H

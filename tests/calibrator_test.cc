@@ -1,0 +1,106 @@
+/** @file Unit tests for core/calibrator.h. */
+#include <gtest/gtest.h>
+
+#include "core/calibrator.h"
+
+namespace ssdcheck::core {
+namespace {
+
+using sim::microseconds;
+using sim::milliseconds;
+
+TEST(CalibratorTest, StartsAtConfiguredEstimates)
+{
+    CalibratorConfig cfg;
+    cfg.initialFlushOverhead = milliseconds(5);
+    Calibrator c(cfg);
+    EXPECT_EQ(c.flushOverhead(), milliseconds(5));
+    EXPECT_EQ(c.readService(), cfg.initialReadService);
+    EXPECT_TRUE(c.predictionEnabled());
+}
+
+TEST(CalibratorTest, SeedFlushOverheadOverridesInitial)
+{
+    Calibrator c;
+    c.seedFlushOverhead(milliseconds(7));
+    EXPECT_EQ(c.flushOverhead(), milliseconds(7));
+    c.seedFlushOverhead(0); // zero ignored
+    EXPECT_EQ(c.flushOverhead(), milliseconds(7));
+}
+
+TEST(CalibratorTest, EwmaConvergesTowardObservations)
+{
+    CalibratorConfig cfg;
+    cfg.ewmaAlpha = 0.2;
+    cfg.initialFlushOverhead = milliseconds(1);
+    Calibrator c(cfg);
+    for (int i = 0; i < 100; ++i)
+        c.observeFlushEvent(milliseconds(4));
+    EXPECT_NEAR(static_cast<double>(c.flushOverhead()),
+                static_cast<double>(milliseconds(4)), 1e5);
+}
+
+TEST(CalibratorTest, SeparateEstimatorsDoNotInterfere)
+{
+    Calibrator c;
+    const auto read0 = c.readService();
+    for (int i = 0; i < 50; ++i)
+        c.observeGcEvent(milliseconds(50));
+    EXPECT_EQ(c.readService(), read0);
+    EXPECT_GT(c.gcOverhead(), milliseconds(40));
+}
+
+TEST(CalibratorTest, NlObservationsUpdateServiceTimes)
+{
+    Calibrator c;
+    for (int i = 0; i < 200; ++i) {
+        c.observeNlRead(microseconds(120));
+        c.observeNlWrite(microseconds(45));
+    }
+    EXPECT_NEAR(static_cast<double>(c.readService()), 120000.0, 2000.0);
+    EXPECT_NEAR(static_cast<double>(c.writeService()), 45000.0, 2000.0);
+}
+
+TEST(CalibratorTest, GcResetSignaledOnLowAccuracy)
+{
+    CalibratorConfig cfg;
+    cfg.gcResetAccuracy = 0.25;
+    cfg.minHlEvents = 10;
+    Calibrator c(cfg);
+    // Too few HL events: no action.
+    EXPECT_FALSE(c.onAccuracySample(0.0, 5));
+    // Enough events, low accuracy: reset requested.
+    EXPECT_TRUE(c.onAccuracySample(0.1, 50));
+    // Healthy accuracy: no reset.
+    EXPECT_FALSE(c.onAccuracySample(0.8, 50));
+}
+
+TEST(CalibratorTest, DisablesAfterSustainedFailure)
+{
+    CalibratorConfig cfg;
+    cfg.disableAccuracy = 0.05;
+    cfg.disableAfter = 100;
+    cfg.minHlEvents = 1;
+    Calibrator c(cfg);
+    for (int i = 0; i < 102; ++i)
+        c.onAccuracySample(0.0, 10);
+    EXPECT_FALSE(c.predictionEnabled());
+}
+
+TEST(CalibratorTest, RecoveryResetsDisableStreak)
+{
+    CalibratorConfig cfg;
+    cfg.disableAccuracy = 0.05;
+    cfg.disableAfter = 100;
+    cfg.minHlEvents = 1;
+    Calibrator c(cfg);
+    for (int i = 0; i < 80; ++i)
+        c.onAccuracySample(0.0, 10);
+    c.onAccuracySample(0.9, 10); // one good sample resets the streak
+    for (int i = 0; i < 80; ++i)
+        c.onAccuracySample(0.0, 10);
+    EXPECT_TRUE(c.predictionEnabled());
+}
+
+} // namespace
+} // namespace ssdcheck::core

@@ -1,0 +1,145 @@
+/** @file Unit and statistical tests for stats/chi_squared.h. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.h"
+#include "stats/chi_squared.h"
+#include "stats/histogram.h"
+
+namespace ssdcheck::stats {
+namespace {
+
+TEST(GammaQTest, BoundaryValues)
+{
+    EXPECT_DOUBLE_EQ(regularizedGammaQ(1.0, 0.0), 1.0);
+    EXPECT_NEAR(regularizedGammaQ(0.5, 50.0), 0.0, 1e-12);
+}
+
+TEST(GammaQTest, MatchesExponentialSpecialCase)
+{
+    // Q(1, x) = exp(-x).
+    for (double x : {0.1, 0.5, 1.0, 2.0, 5.0})
+        EXPECT_NEAR(regularizedGammaQ(1.0, x), std::exp(-x), 1e-10);
+}
+
+TEST(GammaQTest, MonotoneDecreasingInX)
+{
+    double prev = 1.0;
+    for (double x = 0.0; x < 20.0; x += 0.5) {
+        const double q = regularizedGammaQ(2.5, x);
+        EXPECT_LE(q, prev + 1e-12);
+        prev = q;
+    }
+}
+
+TEST(ChiSquaredSurvivalTest, KnownCriticalValues)
+{
+    // Textbook 5% critical values of the chi-squared distribution.
+    EXPECT_NEAR(chiSquaredSurvival(3.841, 1), 0.05, 0.001);
+    EXPECT_NEAR(chiSquaredSurvival(5.991, 2), 0.05, 0.001);
+    EXPECT_NEAR(chiSquaredSurvival(11.070, 5), 0.05, 0.001);
+    EXPECT_NEAR(chiSquaredSurvival(18.307, 10), 0.05, 0.001);
+}
+
+TEST(ChiSquaredSurvivalTest, EdgeCases)
+{
+    EXPECT_DOUBLE_EQ(chiSquaredSurvival(0.0, 3), 1.0);
+    EXPECT_DOUBLE_EQ(chiSquaredSurvival(10.0, 0), 1.0);
+    EXPECT_LT(chiSquaredSurvival(100.0, 3), 1e-15);
+}
+
+TEST(TwoSampleTest, IdenticalCountsGivePValueOne)
+{
+    const std::vector<uint64_t> a = {50, 60, 70, 40};
+    const auto res = chiSquaredTwoSample(a, a);
+    ASSERT_TRUE(res.valid);
+    EXPECT_NEAR(res.statistic, 0.0, 1e-12);
+    EXPECT_NEAR(res.pValue, 1.0, 1e-12);
+}
+
+TEST(TwoSampleTest, DisjointDistributionsGiveTinyPValue)
+{
+    const std::vector<uint64_t> a = {100, 0, 0, 100};
+    const std::vector<uint64_t> b = {0, 100, 100, 0};
+    const auto res = chiSquaredTwoSample(a, b);
+    ASSERT_TRUE(res.valid);
+    EXPECT_LT(res.pValue, 1e-10);
+}
+
+TEST(TwoSampleTest, TooLittleDataIsInvalid)
+{
+    const std::vector<uint64_t> a = {1, 0};
+    const std::vector<uint64_t> b = {0, 1};
+    EXPECT_FALSE(chiSquaredTwoSample(a, b).valid);
+}
+
+TEST(TwoSampleTest, AllMassInOneBinIsDegenerate)
+{
+    const std::vector<uint64_t> a = {100, 0, 0};
+    const std::vector<uint64_t> b = {120, 0, 0};
+    // Everything pools into one cell: no test possible.
+    EXPECT_FALSE(chiSquaredTwoSample(a, b).valid);
+}
+
+TEST(TwoSampleTest, SparseBinsArePooled)
+{
+    // Bins 2..5 individually fail minExpected but pool together.
+    const std::vector<uint64_t> a = {100, 80, 1, 2, 1, 1};
+    const std::vector<uint64_t> b = {90, 85, 2, 1, 1, 2};
+    const auto res = chiSquaredTwoSample(a, b);
+    ASSERT_TRUE(res.valid);
+    EXPECT_EQ(res.dof, 2); // 3 cells after pooling
+    EXPECT_GT(res.pValue, 0.05);
+}
+
+TEST(TwoSampleTest, HistogramOverloadMatchesVectors)
+{
+    Histogram ha(0, 10, 4), hb(0, 10, 4);
+    for (int i = 0; i < 200; ++i) {
+        ha.add((i * 13) % 40);
+        hb.add((i * 7) % 40);
+    }
+    const auto r1 = chiSquaredTwoSample(ha, hb);
+    const auto r2 = chiSquaredTwoSample(ha.counts(), hb.counts());
+    EXPECT_DOUBLE_EQ(r1.statistic, r2.statistic);
+    EXPECT_DOUBLE_EQ(r1.pValue, r2.pValue);
+}
+
+TEST(TwoSampleTest, SameDistributionSamplesUsuallyNotSignificant)
+{
+    // Draw two samples from the same discrete distribution many
+    // times: p < 0.001 should be rare (it IS the false-positive rate
+    // the GC-volume scan relies on).
+    sim::Rng rng(123);
+    int falsePositives = 0;
+    const int trials = 60;
+    for (int t = 0; t < trials; ++t) {
+        Histogram a(0, 10, 10), b(0, 10, 10);
+        for (int i = 0; i < 300; ++i) {
+            a.add(static_cast<int64_t>(rng.nextBelow(100)));
+            b.add(static_cast<int64_t>(rng.nextBelow(100)));
+        }
+        const auto res = chiSquaredTwoSample(a, b);
+        ASSERT_TRUE(res.valid);
+        if (res.pValue < 0.001)
+            ++falsePositives;
+    }
+    EXPECT_LE(falsePositives, 1);
+}
+
+TEST(TwoSampleTest, ShiftedDistributionsDetected)
+{
+    sim::Rng rng(321);
+    Histogram a(0, 10, 12), b(0, 10, 12);
+    for (int i = 0; i < 400; ++i) {
+        a.add(static_cast<int64_t>(rng.nextBelow(60)));
+        b.add(static_cast<int64_t>(30 + rng.nextBelow(60)));
+    }
+    const auto res = chiSquaredTwoSample(a, b);
+    ASSERT_TRUE(res.valid);
+    EXPECT_LT(res.pValue, 1e-6);
+}
+
+} // namespace
+} // namespace ssdcheck::stats

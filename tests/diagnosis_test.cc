@@ -1,0 +1,175 @@
+/**
+ * @file Integration tests: the black-box diagnosis must recover each
+ * preset's Table-I ground truth without ever seeing it.
+ */
+#include <gtest/gtest.h>
+
+#include "core/diagnosis.h"
+#include "ssd/presets.h"
+#include "ssd/ssd_device.h"
+
+namespace ssdcheck::core {
+namespace {
+
+using ssd::allModels;
+using ssd::makePreset;
+using ssd::SsdDevice;
+using ssd::SsdModel;
+
+/** Full feature extraction on every Table-I preset. */
+class DiagnosisPresetTest : public ::testing::TestWithParam<SsdModel>
+{
+};
+
+TEST_P(DiagnosisPresetTest, RecoversTableIFeatures)
+{
+    const ssd::SsdConfig truth = makePreset(GetParam());
+    SsdDevice dev(truth);
+    DiagnosisRunner runner(dev, DiagnosisConfig{});
+    const FeatureSet fs = runner.extractFeatures();
+
+    EXPECT_EQ(fs.allocationVolumeBits, truth.volumeBits)
+        << "allocation volume bits";
+    EXPECT_EQ(fs.gcVolumeBits, truth.volumeBits) << "gc volume bits";
+    EXPECT_EQ(fs.bufferBytes, truth.bufferBytes) << "buffer size";
+
+    const BufferTypeFeature expectedType =
+        truth.bufferType == ssd::BufferType::Back ? BufferTypeFeature::Back
+                                                  : BufferTypeFeature::Fore;
+    EXPECT_EQ(fs.bufferType, expectedType);
+    EXPECT_TRUE(fs.flushAlgorithms.fullTrigger);
+    EXPECT_EQ(fs.flushAlgorithms.readTrigger, truth.readTriggerFlush);
+    EXPECT_GT(fs.observedFlushOverheadNs, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableI, DiagnosisPresetTest,
+                         ::testing::ValuesIn(allModels()),
+                         [](const auto &info) {
+                             return "SSD_" + ssd::toString(info.param);
+                         });
+
+TEST(DiagnosisScanTest, AllocScanFlatOnSingleVolumeDevice)
+{
+    SsdDevice dev(makePreset(SsdModel::A));
+    DiagnosisRunner runner(dev, DiagnosisConfig{});
+    const AllocVolumeScan scan = runner.scanAllocationVolumes();
+    EXPECT_TRUE(scan.volumeBits.empty());
+    ASSERT_FALSE(scan.perBitMbps.empty());
+    for (const auto &[bit, mbps] : scan.perBitMbps)
+        EXPECT_GT(mbps / scan.baselineMbps, 0.85) << "bit " << bit;
+}
+
+TEST(DiagnosisScanTest, AllocScanHalvesAtVolumeBit)
+{
+    SsdDevice dev(makePreset(SsdModel::D));
+    DiagnosisRunner runner(dev, DiagnosisConfig{});
+    const AllocVolumeScan scan = runner.scanAllocationVolumes();
+    ASSERT_EQ(scan.volumeBits, (std::vector<uint32_t>{17}));
+    for (const auto &[bit, mbps] : scan.perBitMbps) {
+        const double ratio = mbps / scan.baselineMbps;
+        if (bit == 17)
+            EXPECT_LT(ratio, 0.7);
+        else
+            EXPECT_GT(ratio, 0.8) << "bit " << bit;
+    }
+}
+
+TEST(DiagnosisScanTest, GcScanPValuesNearZeroOnlyOnVolumeBits)
+{
+    SsdDevice dev(makePreset(SsdModel::E));
+    DiagnosisRunner runner(dev, DiagnosisConfig{});
+    runner.precondition();
+    const GcVolumeScan scan = runner.scanGcVolumes();
+    EXPECT_EQ(scan.gcVolumeBits, (std::vector<uint32_t>{17, 18}));
+    for (const auto &[bit, p] : scan.perBitPValue) {
+        if (bit == 17 || bit == 18)
+            EXPECT_LT(p, 0.001) << "bit " << bit;
+        else
+            EXPECT_GT(p, 0.001) << "bit " << bit;
+    }
+}
+
+TEST(DiagnosisScanTest, FixedPatternYieldsRegularGcIntervals)
+{
+    SsdDevice dev(makePreset(SsdModel::A));
+    DiagnosisRunner runner(dev, DiagnosisConfig{});
+    runner.precondition();
+    const GcVolumeScan scan = runner.scanGcVolumes();
+    ASSERT_GE(scan.fixedIntervals.size(), 50u);
+    // Self-invalidation: every interval within a sane band.
+    for (const uint32_t iv : scan.fixedIntervals) {
+        EXPECT_GT(iv, 10u);
+        EXPECT_LT(iv, 5000u);
+    }
+}
+
+TEST(DiagnosisWbTest, BackgroundReadTestSeesPeriodicSpikes)
+{
+    SsdDevice dev(makePreset(SsdModel::A));
+    DiagnosisRunner runner(dev, DiagnosisConfig{});
+    runner.sequentialFill();
+    const WbAnalysis wb = runner.analyzeWriteBuffer({});
+    EXPECT_EQ(wb.bufferBytes, 248u * 1024);
+    EXPECT_EQ(wb.bufferType, BufferTypeFeature::Back);
+    EXPECT_TRUE(wb.flushAlgorithms.fullTrigger);
+    EXPECT_FALSE(wb.flushAlgorithms.readTrigger);
+    ASSERT_FALSE(wb.readLatencySeries.empty());
+    // Fig. 6: some reads spike above the threshold, most do not.
+    size_t spikes = 0;
+    for (const auto &[w, lat] : wb.readLatencySeries)
+        spikes += lat > sim::microseconds(250) ? 1 : 0;
+    EXPECT_GT(spikes, 10u);
+    EXPECT_LT(spikes, wb.readLatencySeries.size() / 4);
+}
+
+TEST(DiagnosisWbTest, ReadTriggerDeviceDiagnosedFore)
+{
+    SsdDevice dev(makePreset(SsdModel::F));
+    DiagnosisRunner runner(dev, DiagnosisConfig{});
+    runner.sequentialFill();
+    const WbAnalysis wb = runner.analyzeWriteBuffer({});
+    EXPECT_EQ(wb.bufferBytes, 128u * 1024);
+    EXPECT_EQ(wb.bufferType, BufferTypeFeature::Fore);
+    EXPECT_TRUE(wb.flushAlgorithms.readTrigger);
+}
+
+TEST(DiagnosisWbTest, OptimalDeviceYieldsNoBufferModel)
+{
+    // A device with no irregularity at all: Algorithm 1 must return
+    // "nothing found" rather than inventing a buffer.
+    SsdDevice dev(ssd::makePrototype(ssd::PrototypeVariant::Optimal));
+    DiagnosisConfig cfg;
+    cfg.precondition = false; // no GC to wait for
+    DiagnosisRunner runner(dev, cfg);
+    const WbAnalysis wb = runner.analyzeWriteBuffer({});
+    EXPECT_EQ(wb.bufferBytes, 0u);
+    EXPECT_EQ(wb.bufferType, BufferTypeFeature::Unknown);
+    EXPECT_FALSE(wb.flushAlgorithms.fullTrigger);
+    EXPECT_FALSE(wb.flushAlgorithms.readTrigger);
+}
+
+TEST(DiagnosisTest, NvmBackedSsdIsDiagnosable)
+{
+    // Paper §VI: the methodology is medium-agnostic. An NVM-backed
+    // device with the same buffered-write + GC structure yields a
+    // usable model through the identical black-box snippets.
+    SsdDevice dev(ssd::makeNvmBackedSsd());
+    DiagnosisRunner runner(dev, DiagnosisConfig{});
+    const FeatureSet fs = runner.extractFeatures();
+    EXPECT_TRUE(fs.bufferModelUsable());
+    EXPECT_EQ(fs.bufferBytes, 64u * 1024);
+    EXPECT_EQ(fs.bufferType, BufferTypeFeature::Back);
+    EXPECT_TRUE(fs.allocationVolumeBits.empty());
+}
+
+TEST(DiagnosisTest, TimeAdvancesMonotonically)
+{
+    SsdDevice dev(makePreset(SsdModel::A));
+    DiagnosisRunner runner(dev, DiagnosisConfig{}, sim::seconds(5));
+    EXPECT_EQ(runner.now(), sim::seconds(5));
+    runner.sequentialFill();
+    EXPECT_GT(runner.now(), sim::seconds(5));
+}
+
+} // namespace
+} // namespace ssdcheck::core

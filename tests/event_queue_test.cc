@@ -1,0 +1,108 @@
+/** @file Unit tests for sim/event_queue.h. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace ssdcheck::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmptyAtTimeZero)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.now(), kTimeZero);
+    EXPECT_FALSE(q.runOne());
+}
+
+TEST(EventQueueTest, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(300, [&](SimTime) { order.push_back(3); });
+    q.schedule(100, [&](SimTime) { order.push_back(1); });
+    q.schedule(200, [&](SimTime) { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 300);
+}
+
+TEST(EventQueueTest, TiesFireInSchedulingOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(42, [&order, i](SimTime) { order.push_back(i); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CallbackReceivesFireTime)
+{
+    EventQueue q;
+    SimTime seen = -1;
+    q.schedule(777, [&](SimTime t) { seen = t; });
+    q.runOne();
+    EXPECT_EQ(seen, 777);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue q;
+    SimTime fired = -1;
+    q.schedule(100, [&](SimTime) {
+        q.scheduleAfter(50, [&](SimTime t) { fired = t; });
+    });
+    q.runAll();
+    EXPECT_EQ(fired, 150);
+}
+
+TEST(EventQueueTest, EventsScheduledDuringRunAllAlsoFire)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10, [&](SimTime) {
+        ++count;
+        q.schedule(20, [&](SimTime) { ++count; });
+    });
+    q.runAll();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&](SimTime) { ++fired; });
+    q.schedule(20, [&](SimTime) { ++fired; });
+    q.schedule(30, [&](SimTime) { ++fired; });
+    q.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.now(), 20);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesNowWhenIdle)
+{
+    EventQueue q;
+    q.runUntil(500);
+    EXPECT_EQ(q.now(), 500);
+}
+
+TEST(EventQueueTest, ManyInterleavedEventsStaySorted)
+{
+    EventQueue q;
+    std::vector<SimTime> fires;
+    // Schedule in a scrambled but deterministic order.
+    for (int i = 0; i < 500; ++i)
+        q.schedule((i * 7919) % 1000, [&](SimTime t) { fires.push_back(t); });
+    q.runAll();
+    ASSERT_EQ(fires.size(), 500u);
+    for (size_t i = 1; i < fires.size(); ++i)
+        EXPECT_LE(fires[i - 1], fires[i]);
+}
+
+} // namespace
+} // namespace ssdcheck::sim

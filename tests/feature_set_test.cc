@@ -1,0 +1,76 @@
+/** @file Unit tests for core/feature_set.h. */
+#include <gtest/gtest.h>
+
+#include "core/feature_set.h"
+
+namespace ssdcheck::core {
+namespace {
+
+TEST(FeatureSetTest, DefaultIsUnusable)
+{
+    FeatureSet fs;
+    EXPECT_FALSE(fs.bufferModelUsable());
+    EXPECT_EQ(fs.numVolumes(), 1u);
+    EXPECT_EQ(fs.bufferPages(), 0u);
+}
+
+TEST(FeatureSetTest, DerivedCounts)
+{
+    FeatureSet fs;
+    fs.allocationVolumeBits = {17, 18};
+    fs.bufferBytes = 128 * 1024;
+    EXPECT_EQ(fs.numVolumes(), 4u);
+    EXPECT_EQ(fs.bufferPages(), 32u);
+    EXPECT_TRUE(fs.bufferModelUsable());
+}
+
+TEST(FeatureSetTest, SummaryContainsTableIFields)
+{
+    FeatureSet fs;
+    fs.allocationVolumeBits = {17};
+    fs.bufferBytes = 128 * 1024;
+    fs.bufferType = BufferTypeFeature::Back;
+    fs.flushAlgorithms.fullTrigger = true;
+    const std::string s = fs.summary();
+    EXPECT_NE(s.find("2 volume(s)"), std::string::npos);
+    EXPECT_NE(s.find("17"), std::string::npos);
+    EXPECT_NE(s.find("128KB"), std::string::npos);
+    EXPECT_NE(s.find("back"), std::string::npos);
+    EXPECT_NE(s.find("full"), std::string::npos);
+}
+
+TEST(FeatureSetTest, SummaryReadTrigger)
+{
+    FeatureSet fs;
+    fs.bufferBytes = 4096;
+    fs.bufferType = BufferTypeFeature::Fore;
+    fs.flushAlgorithms.fullTrigger = true;
+    fs.flushAlgorithms.readTrigger = true;
+    EXPECT_NE(fs.summary().find("full+read"), std::string::npos);
+    EXPECT_NE(fs.summary().find("fore"), std::string::npos);
+}
+
+TEST(FeatureSetTest, BufferTypeNames)
+{
+    EXPECT_EQ(toString(BufferTypeFeature::Unknown), "unknown");
+    EXPECT_EQ(toString(BufferTypeFeature::Back), "back");
+    EXPECT_EQ(toString(BufferTypeFeature::Fore), "fore");
+}
+
+TEST(VolumeIndexOfTest, MatchesBitExtraction)
+{
+    const std::vector<uint32_t> bits = {4, 7};
+    EXPECT_EQ(volumeIndexOf(bits, 0), 0u);
+    EXPECT_EQ(volumeIndexOf(bits, 1u << 4), 1u);
+    EXPECT_EQ(volumeIndexOf(bits, 1u << 7), 2u);
+    EXPECT_EQ(volumeIndexOf(bits, (1u << 4) | (1u << 7)), 3u);
+    EXPECT_EQ(volumeIndexOf(bits, (1u << 5)), 0u);
+}
+
+TEST(VolumeIndexOfTest, EmptyBitsAlwaysZero)
+{
+    EXPECT_EQ(volumeIndexOf({}, 0xfffffffULL), 0u);
+}
+
+} // namespace
+} // namespace ssdcheck::core

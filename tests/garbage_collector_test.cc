@@ -1,0 +1,133 @@
+/** @file Unit tests for ssd/garbage_collector.h. */
+#include <gtest/gtest.h>
+
+#include "nand/nand_array.h"
+#include "sim/rng.h"
+#include "ssd/garbage_collector.h"
+#include "ssd/page_mapper.h"
+
+namespace ssdcheck::ssd {
+namespace {
+
+nand::NandGeometry
+geo()
+{
+    nand::NandGeometry g;
+    g.channels = 1;
+    g.chipsPerChannel = 1;
+    g.planesPerDie = 4;
+    g.blocksPerPlane = 8;
+    g.pagesPerBlock = 8;
+    return g; // 32 blocks
+}
+
+class GcTest : public ::testing::Test
+{
+  protected:
+    GcTest()
+        : arr_(geo(), nand::NandTiming{}), m_(arr_, 160),
+          gc_(m_, arr_, 3, 6)
+    {
+    }
+
+    void churn(uint64_t writes, uint64_t span = 160)
+    {
+        sim::Rng rng(99);
+        for (uint64_t i = 0; i < writes; ++i) {
+            if (gc_.needed())
+                gc_.collect();
+            m_.writePage(rng.nextBelow(span), i);
+        }
+    }
+
+    nand::NandArray arr_;
+    PageMapper m_;
+    GarbageCollector gc_;
+};
+
+TEST_F(GcTest, NotNeededOnFreshDevice)
+{
+    EXPECT_FALSE(gc_.needed());
+    // Collect on a device with only free blocks reclaims nothing.
+    const GcResult res = gc_.collect();
+    EXPECT_FALSE(res.ran());
+    EXPECT_EQ(gc_.invocations(), 0u);
+}
+
+TEST_F(GcTest, NeededWhenPoolDepletes)
+{
+    // Fill enough blocks to drop below the low watermark.
+    uint64_t lpn = 0;
+    while (m_.freeBlocks() >= 3) {
+        m_.writePage(lpn % 160, lpn);
+        ++lpn;
+    }
+    EXPECT_TRUE(gc_.needed());
+}
+
+TEST_F(GcTest, CollectReachesHighWatermark)
+{
+    churn(2000);
+    while (!gc_.needed())
+        m_.writePage(0, 1);
+    const GcResult res = gc_.collect();
+    EXPECT_TRUE(res.ran());
+    EXPECT_GE(m_.freeBlocks(), 6u);
+    EXPECT_EQ(m_.checkConsistency(), "");
+}
+
+TEST_F(GcTest, ExtraBlocksRaiseTheTarget)
+{
+    churn(2000);
+    while (!gc_.needed())
+        m_.writePage(0, 1);
+    gc_.collect(2);
+    EXPECT_GE(m_.freeBlocks(), 8u);
+}
+
+TEST_F(GcTest, DurationAccountsMovesAndErases)
+{
+    churn(3000);
+    while (!gc_.needed())
+        m_.writePage(0, 1);
+    const GcResult res = gc_.collect();
+    ASSERT_TRUE(res.ran());
+    // Lower bound: at least one erase wave.
+    EXPECT_GE(res.duration, nand::NandTiming{}.eraseLatency);
+    // Upper bound: serial cost of everything it did.
+    const nand::NandTiming t;
+    const sim::SimDuration upper =
+        static_cast<sim::SimDuration>(res.validMoved) *
+            (t.readLatency + t.programLatency) +
+        static_cast<sim::SimDuration>(res.blocksErased) * t.eraseLatency;
+    EXPECT_LE(res.duration, upper + 1);
+}
+
+TEST_F(GcTest, InvocationsCount)
+{
+    churn(5000);
+    EXPECT_GT(gc_.invocations(), 2u);
+}
+
+TEST_F(GcTest, SelfInvalidationMakesEraseOnlyGc)
+{
+    // Steady-state hammering of one address: victims fully invalid.
+    churn(1000); // mixed warmup
+    uint64_t moved = 0, erased = 0;
+    for (int i = 0; i < 3000; ++i) {
+        if (gc_.needed()) {
+            const GcResult res = gc_.collect();
+            // Only count once in the late (converged) phase.
+            if (i > 1500) {
+                moved += res.validMoved;
+                erased += res.blocksErased;
+            }
+        }
+        m_.writePage(3, i);
+    }
+    ASSERT_GT(erased, 0u);
+    EXPECT_LT(static_cast<double>(moved) / static_cast<double>(erased), 1.0);
+}
+
+} // namespace
+} // namespace ssdcheck::ssd

@@ -1,0 +1,112 @@
+/** @file Unit tests for core/gc_model.h. */
+#include <gtest/gtest.h>
+
+#include "core/gc_model.h"
+
+namespace ssdcheck::core {
+namespace {
+
+TEST(GcModelTest, NoPredictionWithoutHistory)
+{
+    GcModel m;
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(m.gcExpectedOnNextFlush());
+        m.onFlush();
+    }
+}
+
+TEST(GcModelTest, IntervalCounterTracksFlushes)
+{
+    GcModel m;
+    m.onFlush();
+    m.onFlush();
+    EXPECT_EQ(m.intervalCounter(), 2u);
+    m.onGcObserved();
+    EXPECT_EQ(m.intervalCounter(), 0u);
+    ASSERT_EQ(m.history().size(), 1u);
+    EXPECT_EQ(m.history().front(), 2u);
+}
+
+TEST(GcModelTest, PredictsAtQuantileOfHistory)
+{
+    GcModelConfig cfg;
+    cfg.minHistory = 4;
+    cfg.quantile = 0.25;
+    GcModel m(cfg);
+    // History: intervals of exactly 10 flushes.
+    for (int e = 0; e < 6; ++e) {
+        for (int f = 0; f < 10; ++f)
+            m.onFlush();
+        m.onGcObserved();
+    }
+    // Counter at 8: next flush makes 9 < 10 -> not expected yet.
+    for (int f = 0; f < 8; ++f)
+        m.onFlush();
+    EXPECT_FALSE(m.gcExpectedOnNextFlush());
+    m.onFlush(); // counter 9: next flush reaches 10
+    EXPECT_TRUE(m.gcExpectedOnNextFlush());
+}
+
+TEST(GcModelTest, QuantileIsConservativeForSpreadHistory)
+{
+    GcModelConfig cfg;
+    cfg.minHistory = 4;
+    cfg.quantile = 0.25;
+    GcModel m(cfg);
+    // Intervals 8, 12, 16, 20: q25 = 8 -> predict from counter 7.
+    for (const uint32_t interval : {8u, 12u, 16u, 20u}) {
+        for (uint32_t f = 0; f < interval; ++f)
+            m.onFlush();
+        m.onGcObserved();
+    }
+    for (int f = 0; f < 7; ++f)
+        m.onFlush();
+    EXPECT_TRUE(m.gcExpectedOnNextFlush());
+}
+
+TEST(GcModelTest, HistoryWindowEvictsOldest)
+{
+    GcModelConfig cfg;
+    cfg.historyWindow = 3;
+    GcModel m(cfg);
+    for (uint32_t e = 1; e <= 5; ++e) {
+        for (uint32_t f = 0; f < e; ++f)
+            m.onFlush();
+        m.onGcObserved();
+    }
+    ASSERT_EQ(m.history().size(), 3u);
+    EXPECT_EQ(m.history().front(), 3u);
+    EXPECT_EQ(m.history().back(), 5u);
+}
+
+TEST(GcModelTest, ResetHistoryClearsEverything)
+{
+    GcModel m;
+    for (int e = 0; e < 10; ++e) {
+        m.onFlush();
+        m.onGcObserved();
+    }
+    m.onFlush();
+    m.resetHistory();
+    EXPECT_TRUE(m.history().empty());
+    EXPECT_EQ(m.intervalCounter(), 0u);
+    EXPECT_FALSE(m.gcExpectedOnNextFlush());
+}
+
+TEST(GcModelTest, MinHistoryGatesPrediction)
+{
+    GcModelConfig cfg;
+    cfg.minHistory = 6;
+    GcModel m(cfg);
+    for (int e = 0; e < 5; ++e) {
+        m.onFlush();
+        m.onGcObserved();
+    }
+    m.onFlush();
+    EXPECT_FALSE(m.gcExpectedOnNextFlush()); // only 5 < 6 samples
+    m.onGcObserved();
+    EXPECT_TRUE(m.gcExpectedOnNextFlush()); // 6 samples, threshold 1
+}
+
+} // namespace
+} // namespace ssdcheck::core

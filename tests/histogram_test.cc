@@ -1,0 +1,80 @@
+/** @file Unit tests for stats/histogram.h. */
+#include <gtest/gtest.h>
+
+#include "stats/histogram.h"
+
+namespace ssdcheck::stats {
+namespace {
+
+TEST(HistogramTest, BinIndexMapsValuesToBins)
+{
+    Histogram h(0, 10, 5);
+    EXPECT_EQ(h.binIndex(0), 0u);
+    EXPECT_EQ(h.binIndex(9), 0u);
+    EXPECT_EQ(h.binIndex(10), 1u);
+    EXPECT_EQ(h.binIndex(49), 4u);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampToEdges)
+{
+    Histogram h(100, 10, 4);
+    EXPECT_EQ(h.binIndex(-5), 0u);
+    EXPECT_EQ(h.binIndex(50), 0u);
+    EXPECT_EQ(h.binIndex(1000), 3u);
+}
+
+TEST(HistogramTest, TotalMassIsConserved)
+{
+    Histogram h(0, 5, 10);
+    for (int v = -10; v < 200; ++v)
+        h.add(v);
+    uint64_t sum = 0;
+    for (size_t i = 0; i < h.numBins(); ++i)
+        sum += h.binCount(i);
+    EXPECT_EQ(sum, h.total());
+    EXPECT_EQ(h.total(), 210u);
+}
+
+TEST(HistogramTest, BinLowEdges)
+{
+    Histogram h(100, 25, 4);
+    EXPECT_EQ(h.binLow(0), 100);
+    EXPECT_EQ(h.binLow(1), 125);
+    EXPECT_EQ(h.binLow(3), 175);
+}
+
+TEST(HistogramTest, CountsAccumulate)
+{
+    Histogram h(0, 10, 3);
+    h.add(5);
+    h.add(5);
+    h.add(25);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 0u);
+    EXPECT_EQ(h.binCount(2), 1u);
+}
+
+TEST(HistogramTest, ClearZeroesEverything)
+{
+    Histogram h(0, 10, 3);
+    h.add(5);
+    h.add(15);
+    h.clear();
+    EXPECT_EQ(h.total(), 0u);
+    for (size_t i = 0; i < h.numBins(); ++i)
+        EXPECT_EQ(h.binCount(i), 0u);
+}
+
+TEST(HistogramTest, NegativeRange)
+{
+    Histogram h(-50, 10, 10);
+    h.add(-45);
+    h.add(-1);
+    h.add(49);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+}
+
+} // namespace
+} // namespace ssdcheck::stats

@@ -1,0 +1,93 @@
+/** @file Unit tests for core/latency_monitor.h. */
+#include <gtest/gtest.h>
+
+#include "core/latency_monitor.h"
+
+namespace ssdcheck::core {
+namespace {
+
+using blockdev::IoRequest;
+using blockdev::IoType;
+using sim::microseconds;
+using sim::milliseconds;
+
+IoRequest
+rd()
+{
+    IoRequest r;
+    r.type = IoType::Read;
+    return r;
+}
+
+IoRequest
+wr()
+{
+    IoRequest r;
+    r.type = IoType::Write;
+    return r;
+}
+
+TEST(LatencyMonitorTest, ClassifiesAgainstPerTypeThresholds)
+{
+    LatencyThresholds th;
+    th.read = microseconds(250);
+    th.write = microseconds(400);
+    LatencyMonitor m(th);
+    EXPECT_FALSE(m.isHighLatency(rd(), microseconds(250)));
+    EXPECT_TRUE(m.isHighLatency(rd(), microseconds(251)));
+    EXPECT_FALSE(m.isHighLatency(wr(), microseconds(300)));
+    EXPECT_TRUE(m.isHighLatency(wr(), microseconds(401)));
+}
+
+TEST(LatencyMonitorTest, GcEventClassification)
+{
+    LatencyMonitor m;
+    EXPECT_FALSE(m.isGcEvent(milliseconds(2)));
+    EXPECT_TRUE(m.isGcEvent(milliseconds(4)));
+}
+
+TEST(LatencyMonitorTest, RollingAccuracyPerClass)
+{
+    LatencyMonitor m({}, 100);
+    // 3 HL events: 2 caught; 5 NL events: 4 correct.
+    m.record(true, true);
+    m.record(true, true);
+    m.record(false, true);
+    for (int i = 0; i < 4; ++i)
+        m.record(false, false);
+    m.record(true, false);
+    EXPECT_DOUBLE_EQ(m.rollingHlAccuracy(), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(m.rollingNlAccuracy(), 4.0 / 5.0);
+    EXPECT_EQ(m.rollingHlCount(), 3u);
+}
+
+TEST(LatencyMonitorTest, WindowEvictsOldOutcomes)
+{
+    LatencyMonitor m({}, 4);
+    // Fill the window with misses, then with hits.
+    for (int i = 0; i < 4; ++i)
+        m.record(false, true);
+    EXPECT_DOUBLE_EQ(m.rollingHlAccuracy(), 0.0);
+    for (int i = 0; i < 4; ++i)
+        m.record(true, true);
+    EXPECT_DOUBLE_EQ(m.rollingHlAccuracy(), 1.0);
+}
+
+TEST(LatencyMonitorTest, EmptyWindowReportsPerfect)
+{
+    LatencyMonitor m;
+    EXPECT_DOUBLE_EQ(m.rollingHlAccuracy(), 1.0);
+    EXPECT_DOUBLE_EQ(m.rollingNlAccuracy(), 1.0);
+    EXPECT_EQ(m.rollingHlCount(), 0u);
+}
+
+TEST(LatencyMonitorTest, PaperDefaultThresholds)
+{
+    LatencyMonitor m;
+    // Table III uses 250us for both classes.
+    EXPECT_EQ(m.thresholds().read, microseconds(250));
+    EXPECT_EQ(m.thresholds().write, microseconds(250));
+}
+
+} // namespace
+} // namespace ssdcheck::core

@@ -1,0 +1,130 @@
+/** @file Unit tests for stats/latency_recorder.h. */
+#include <gtest/gtest.h>
+
+#include "sim/sim_time.h"
+#include "stats/latency_recorder.h"
+
+namespace ssdcheck::stats {
+namespace {
+
+using sim::microseconds;
+
+TEST(LatencyRecorderTest, EmptyRecorderReturnsZeros)
+{
+    LatencyRecorder r;
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.count(), 0u);
+    EXPECT_EQ(r.mean(), 0.0);
+    EXPECT_EQ(r.min(), 0);
+    EXPECT_EQ(r.max(), 0);
+    EXPECT_EQ(r.percentile(99.5), 0);
+    EXPECT_EQ(r.fractionBelow(100), 0.0);
+}
+
+TEST(LatencyRecorderTest, BasicStatistics)
+{
+    LatencyRecorder r;
+    for (int v : {10, 20, 30, 40, 50})
+        r.add(v);
+    EXPECT_EQ(r.count(), 5u);
+    EXPECT_DOUBLE_EQ(r.mean(), 30.0);
+    EXPECT_EQ(r.min(), 10);
+    EXPECT_EQ(r.max(), 50);
+}
+
+TEST(LatencyRecorderTest, NearestRankPercentiles)
+{
+    LatencyRecorder r;
+    for (int i = 1; i <= 100; ++i)
+        r.add(i);
+    EXPECT_EQ(r.percentile(0), 1);
+    EXPECT_EQ(r.percentile(1), 1);
+    EXPECT_EQ(r.percentile(50), 50);
+    EXPECT_EQ(r.percentile(99), 99);
+    EXPECT_EQ(r.percentile(99.5), 100);
+    EXPECT_EQ(r.percentile(100), 100);
+}
+
+TEST(LatencyRecorderTest, PercentileInterleavedWithAdds)
+{
+    LatencyRecorder r;
+    r.add(5);
+    EXPECT_EQ(r.percentile(50), 5);
+    r.add(1); // invalidates the sorted cache
+    EXPECT_EQ(r.percentile(50), 1);
+    r.add(9);
+    EXPECT_EQ(r.percentile(50), 5);
+}
+
+TEST(LatencyRecorderTest, FractionBelowIsInclusive)
+{
+    LatencyRecorder r;
+    for (int v : {100, 200, 300, 400})
+        r.add(v);
+    EXPECT_DOUBLE_EQ(r.fractionBelow(100), 0.25);
+    EXPECT_DOUBLE_EQ(r.fractionBelow(250), 0.5);
+    EXPECT_DOUBLE_EQ(r.fractionBelow(400), 1.0);
+    EXPECT_DOUBLE_EQ(r.fractionAbove(250), 0.5);
+    EXPECT_DOUBLE_EQ(r.fractionAbove(400), 0.0);
+}
+
+TEST(LatencyRecorderTest, SortedIsAscending)
+{
+    LatencyRecorder r;
+    for (int v : {5, 3, 9, 1, 7})
+        r.add(v);
+    const auto &s = r.sorted();
+    ASSERT_EQ(s.size(), 5u);
+    for (size_t i = 1; i < s.size(); ++i)
+        EXPECT_LE(s[i - 1], s[i]);
+}
+
+TEST(LatencyRecorderTest, CdfSamplesQuantiles)
+{
+    LatencyRecorder r;
+    for (int i = 1; i <= 1000; ++i)
+        r.add(i);
+    const auto cdf = r.cdf(10);
+    ASSERT_EQ(cdf.size(), 10u);
+    EXPECT_DOUBLE_EQ(cdf.front().first, 0.1);
+    EXPECT_EQ(cdf.front().second, 100);
+    EXPECT_DOUBLE_EQ(cdf.back().first, 1.0);
+    EXPECT_EQ(cdf.back().second, 1000);
+}
+
+TEST(LatencyRecorderTest, MergeCombinesSamples)
+{
+    LatencyRecorder a, b;
+    a.add(1);
+    a.add(2);
+    b.add(3);
+    b.add(4);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.max(), 4);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+}
+
+TEST(LatencyRecorderTest, ClearResets)
+{
+    LatencyRecorder r;
+    r.add(microseconds(100));
+    r.clear();
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.percentile(50), 0);
+}
+
+TEST(LatencyRecorderTest, TailPercentileOfSkewedDistribution)
+{
+    // 990 fast + 10 slow samples: p99 must be fast, p99.5 slow.
+    LatencyRecorder r;
+    for (int i = 0; i < 990; ++i)
+        r.add(microseconds(100));
+    for (int i = 0; i < 10; ++i)
+        r.add(microseconds(5000));
+    EXPECT_EQ(r.percentile(99), microseconds(100));
+    EXPECT_EQ(r.percentile(99.5), microseconds(5000));
+}
+
+} // namespace
+} // namespace ssdcheck::stats

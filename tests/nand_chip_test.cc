@@ -1,0 +1,121 @@
+/** @file Unit tests for nand/nand_chip.h (NAND physical constraints). */
+#include <gtest/gtest.h>
+
+#include "nand/nand_chip.h"
+
+namespace ssdcheck::nand {
+namespace {
+
+NandGeometry
+smallGeo()
+{
+    NandGeometry g;
+    g.channels = 1;
+    g.chipsPerChannel = 1;
+    g.diesPerChip = 1;
+    g.planesPerDie = 2;
+    g.blocksPerPlane = 4;
+    g.pagesPerBlock = 8;
+    return g;
+}
+
+TEST(NandChipTest, ProgramThenReadReturnsPayload)
+{
+    NandChip chip(smallGeo(), NandTiming{});
+    chip.programPage(0, 0, 0, 0xdeadbeef);
+    uint64_t payload = 0;
+    chip.readPage(0, 0, 0, &payload);
+    EXPECT_EQ(payload, 0xdeadbeefULL);
+}
+
+TEST(NandChipTest, SequentialProgrammingAdvancesWritePointer)
+{
+    NandChip chip(smallGeo(), NandTiming{});
+    EXPECT_EQ(chip.writePointer(1, 2), 0u);
+    chip.programPage(1, 2, 0, 1);
+    chip.programPage(1, 2, 1, 2);
+    EXPECT_EQ(chip.writePointer(1, 2), 2u);
+    EXPECT_TRUE(chip.isProgrammed(1, 2, 0));
+    EXPECT_TRUE(chip.isProgrammed(1, 2, 1));
+    EXPECT_FALSE(chip.isProgrammed(1, 2, 2));
+}
+
+TEST(NandChipTest, EraseResetsBlock)
+{
+    NandChip chip(smallGeo(), NandTiming{});
+    chip.programPage(0, 1, 0, 7);
+    chip.programPage(0, 1, 1, 8);
+    EXPECT_EQ(chip.eraseCount(0, 1), 0u);
+    chip.eraseBlock(0, 1);
+    EXPECT_EQ(chip.writePointer(0, 1), 0u);
+    EXPECT_EQ(chip.eraseCount(0, 1), 1u);
+    EXPECT_FALSE(chip.isProgrammed(0, 1, 0));
+    // Erased pages read back the erased payload (once reprogrammed,
+    // page 0 is readable again).
+    chip.programPage(0, 1, 0, 99);
+    uint64_t payload = 0;
+    chip.readPage(0, 1, 0, &payload);
+    EXPECT_EQ(payload, 99u);
+}
+
+TEST(NandChipTest, EraseBeforeWriteEnablesReprogramming)
+{
+    NandChip chip(smallGeo(), NandTiming{});
+    const auto g = smallGeo();
+    // Fill the block completely, erase, fill again.
+    for (uint32_t cycle = 0; cycle < 3; ++cycle) {
+        for (uint32_t p = 0; p < g.pagesPerBlock; ++p)
+            chip.programPage(0, 0, p, cycle * 100 + p);
+        chip.eraseBlock(0, 0);
+    }
+    EXPECT_EQ(chip.eraseCount(0, 0), 3u);
+}
+
+TEST(NandChipTest, OperationsReturnConfiguredLatencies)
+{
+    NandTiming t;
+    t.readLatency = 11;
+    t.programLatency = 22;
+    t.eraseLatency = 33;
+    NandChip chip(smallGeo(), t);
+    EXPECT_EQ(chip.programPage(0, 0, 0, 1), 22);
+    EXPECT_EQ(chip.readPage(0, 0, 0), 11);
+    EXPECT_EQ(chip.eraseBlock(0, 0), 33);
+}
+
+TEST(NandChipTest, BlocksAreIndependent)
+{
+    NandChip chip(smallGeo(), NandTiming{});
+    chip.programPage(0, 0, 0, 1);
+    chip.programPage(1, 0, 0, 2);
+    chip.eraseBlock(0, 0);
+    // Plane 1 block 0 untouched by plane 0 erase.
+    EXPECT_TRUE(chip.isProgrammed(1, 0, 0));
+    uint64_t payload = 0;
+    chip.readPage(1, 0, 0, &payload);
+    EXPECT_EQ(payload, 2u);
+}
+
+#ifndef NDEBUG
+TEST(NandChipDeathTest, NonSequentialProgramAsserts)
+{
+    NandChip chip(smallGeo(), NandTiming{});
+    EXPECT_DEATH(chip.programPage(0, 0, 3, 1), "sequential");
+}
+
+TEST(NandChipDeathTest, DoubleProgramAsserts)
+{
+    NandChip chip(smallGeo(), NandTiming{});
+    chip.programPage(0, 0, 0, 1);
+    EXPECT_DEATH(chip.programPage(0, 0, 0, 2), "sequential");
+}
+
+TEST(NandChipDeathTest, ReadingUnprogrammedPageAsserts)
+{
+    NandChip chip(smallGeo(), NandTiming{});
+    EXPECT_DEATH(chip.readPage(0, 0, 0), "unprogrammed");
+}
+#endif
+
+} // namespace
+} // namespace ssdcheck::nand

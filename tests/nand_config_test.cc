@@ -1,0 +1,98 @@
+/** @file Unit tests for nand/nand_config.h. */
+#include <gtest/gtest.h>
+
+#include "nand/nand_config.h"
+
+namespace ssdcheck::nand {
+namespace {
+
+TEST(NandGeometryTest, DerivedCounts)
+{
+    NandGeometry g;
+    g.channels = 4;
+    g.chipsPerChannel = 4;
+    g.diesPerChip = 1;
+    g.planesPerDie = 2;
+    g.blocksPerPlane = 64;
+    g.pagesPerBlock = 64;
+    EXPECT_EQ(g.chips(), 16u);
+    EXPECT_EQ(g.planesPerChip(), 2u);
+    EXPECT_EQ(g.totalPlanes(), 32u);
+    EXPECT_EQ(g.totalBlocks(), 2048u);
+    EXPECT_EQ(g.totalPages(), 131072u);
+    EXPECT_TRUE(g.valid());
+}
+
+TEST(NandGeometryTest, ZeroDimensionInvalid)
+{
+    NandGeometry g;
+    g.blocksPerPlane = 0;
+    EXPECT_FALSE(g.valid());
+}
+
+TEST(PpnCodecTest, EncodeDecodeRoundTrip)
+{
+    NandGeometry g;
+    g.channels = 2;
+    g.chipsPerChannel = 2;
+    g.planesPerDie = 2;
+    g.blocksPerPlane = 8;
+    g.pagesPerBlock = 16;
+    for (uint32_t plane = 0; plane < g.totalPlanes(); plane += 3) {
+        for (uint32_t block = 0; block < g.blocksPerPlane; block += 2) {
+            for (uint32_t page = 0; page < g.pagesPerBlock; page += 5) {
+                const PhysicalPageAddress a{plane, block, page};
+                const Ppn ppn = encodePpn(g, a);
+                const PhysicalPageAddress d = decodePpn(g, ppn);
+                EXPECT_EQ(d.plane, plane);
+                EXPECT_EQ(d.block, block);
+                EXPECT_EQ(d.page, page);
+            }
+        }
+    }
+}
+
+TEST(PpnCodecTest, PpnsAreDenseAndUnique)
+{
+    NandGeometry g;
+    g.channels = 1;
+    g.chipsPerChannel = 1;
+    g.planesPerDie = 2;
+    g.blocksPerPlane = 3;
+    g.pagesPerBlock = 4;
+    std::vector<bool> seen(g.totalPages(), false);
+    for (uint32_t pl = 0; pl < g.totalPlanes(); ++pl) {
+        for (uint32_t b = 0; b < g.blocksPerPlane; ++b) {
+            for (uint32_t p = 0; p < g.pagesPerBlock; ++p) {
+                const Ppn ppn = encodePpn(g, {pl, b, p});
+                ASSERT_LT(ppn, g.totalPages());
+                EXPECT_FALSE(seen[ppn]);
+                seen[ppn] = true;
+            }
+        }
+    }
+}
+
+TEST(PpnCodecTest, BlockOfPpnConsistentWithDecode)
+{
+    NandGeometry g;
+    g.blocksPerPlane = 8;
+    g.pagesPerBlock = 16;
+    for (Ppn ppn = 0; ppn < g.totalPages(); ppn += 7) {
+        const Pbn blk = blockOfPpn(g, ppn);
+        const PhysicalPageAddress a = decodePpn(g, ppn);
+        EXPECT_EQ(blk, static_cast<Pbn>(a.plane) * g.blocksPerPlane + a.block);
+    }
+}
+
+TEST(NandTimingTest, PaperDefaults)
+{
+    const NandTiming t;
+    EXPECT_EQ(t.readLatency, sim::microseconds(60));
+    EXPECT_EQ(t.programLatency, sim::microseconds(1000));
+    EXPECT_EQ(t.eraseLatency, sim::microseconds(3500));
+    EXPECT_LT(t.slcProgramLatency, t.programLatency);
+}
+
+} // namespace
+} // namespace ssdcheck::nand

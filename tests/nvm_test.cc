@@ -1,0 +1,135 @@
+/** @file Unit tests for nvm/nvm_device.h. */
+#include <gtest/gtest.h>
+
+#include "blockdev/request.h"
+#include "nvm/nvm_device.h"
+
+namespace ssdcheck::nvm {
+namespace {
+
+using blockdev::makeRead4k;
+using blockdev::makeWrite4k;
+
+NvmConfig
+smallCfg()
+{
+    NvmConfig c;
+    c.capacityPages = 8;
+    c.jitterSigma = 0.0;
+    return c;
+}
+
+TEST(NvmDeviceTest, WritesAreMicrosecondScale)
+{
+    NvmDevice nvm(smallCfg());
+    const auto res = nvm.submit(makeWrite4k(1), 0);
+    EXPECT_LE(res.latency(), sim::microseconds(10));
+}
+
+TEST(NvmDeviceTest, DirtyTrackingAndHolds)
+{
+    NvmDevice nvm(smallCfg());
+    EXPECT_FALSE(nvm.holds(5));
+    nvm.submit(makeWrite4k(5), 0);
+    EXPECT_TRUE(nvm.holds(5));
+    EXPECT_EQ(nvm.dirtyPages(), 1u);
+    EXPECT_EQ(nvm.freePages(), 7u);
+}
+
+TEST(NvmDeviceTest, RewriteSamePageUsesOneSlot)
+{
+    NvmDevice nvm(smallCfg());
+    nvm.submit(makeWrite4k(5), 0);
+    nvm.submit(makeWrite4k(5), sim::microseconds(10));
+    EXPECT_EQ(nvm.dirtyPages(), 1u);
+    EXPECT_EQ(nvm.totalWritesAbsorbed(), 2u);
+}
+
+TEST(NvmDeviceTest, FullWhenCapacityReached)
+{
+    NvmDevice nvm(smallCfg());
+    for (uint64_t p = 0; p < 8; ++p)
+        nvm.submit(makeWrite4k(p), sim::microseconds(p));
+    EXPECT_TRUE(nvm.full());
+    EXPECT_EQ(nvm.freePages(), 0u);
+}
+
+TEST(NvmDeviceTest, TakeDirtyDrainsFifoOrder)
+{
+    NvmDevice nvm(smallCfg());
+    for (uint64_t p : {3, 1, 7})
+        nvm.submit(makeWrite4k(p), 0);
+    const auto first = nvm.takeDirty(2);
+    EXPECT_EQ(first, (std::vector<uint64_t>{3, 1}));
+    EXPECT_EQ(nvm.dirtyPages(), 1u);
+    EXPECT_FALSE(nvm.holds(3));
+    EXPECT_TRUE(nvm.holds(7));
+    const auto rest = nvm.takeDirty(10);
+    EXPECT_EQ(rest, (std::vector<uint64_t>{7}));
+    EXPECT_EQ(nvm.dirtyPages(), 0u);
+}
+
+TEST(NvmDeviceTest, SecondChanceKeepsRewrittenPagesResident)
+{
+    NvmDevice nvm(smallCfg());
+    nvm.submit(makeWrite4k(2), 0);
+    nvm.submit(makeWrite4k(2), 1000); // rewritten since enqueue
+    // First pass: the page earns a second chance, nothing drains.
+    EXPECT_TRUE(nvm.takeDirty(10).empty());
+    EXPECT_TRUE(nvm.holds(2));
+    // Untouched since: the next pass drains it.
+    EXPECT_EQ(nvm.takeDirty(10), (std::vector<uint64_t>{2}));
+    EXPECT_FALSE(nvm.holds(2));
+}
+
+TEST(NvmDeviceTest, InvalidateDropsDirtyCopy)
+{
+    NvmDevice nvm(smallCfg());
+    nvm.submit(makeWrite4k(3), 0);
+    nvm.invalidate(3);
+    EXPECT_FALSE(nvm.holds(3));
+    EXPECT_TRUE(nvm.takeDirty(10).empty()); // stale entry skipped
+    nvm.invalidate(99); // no-op on unheld page
+}
+
+TEST(NvmDeviceTest, ReadsAreFast)
+{
+    NvmDevice nvm(smallCfg());
+    nvm.submit(makeWrite4k(1), 0);
+    const auto res = nvm.submit(makeRead4k(1), sim::microseconds(10));
+    EXPECT_LE(res.latency(), sim::microseconds(5));
+}
+
+TEST(NvmDeviceTest, PurgeEmptiesPool)
+{
+    NvmDevice nvm(smallCfg());
+    nvm.submit(makeWrite4k(1), 0);
+    nvm.purge(sim::microseconds(5));
+    EXPECT_EQ(nvm.dirtyPages(), 0u);
+    EXPECT_FALSE(nvm.holds(1));
+    EXPECT_TRUE(nvm.takeDirty(10).empty());
+}
+
+TEST(NvmDeviceTest, PressureCounterMonotone)
+{
+    NvmDevice nvm(smallCfg());
+    for (int i = 0; i < 5; ++i)
+        nvm.submit(makeWrite4k(i), sim::microseconds(i));
+    EXPECT_EQ(nvm.totalWritesAbsorbed(), 5u);
+    nvm.takeDirty(5);
+    EXPECT_EQ(nvm.totalWritesAbsorbed(), 5u); // drains don't count
+}
+
+#ifndef NDEBUG
+TEST(NvmDeviceDeathTest, WriteToFullPoolAsserts)
+{
+    NvmDevice nvm(smallCfg());
+    for (uint64_t p = 0; p < 8; ++p)
+        nvm.submit(makeWrite4k(p), sim::microseconds(p));
+    EXPECT_DEATH(nvm.submit(makeWrite4k(99), sim::microseconds(99)),
+                 "backpressure");
+}
+#endif
+
+} // namespace
+} // namespace ssdcheck::nvm

@@ -1,0 +1,202 @@
+/** @file Unit and property tests for ssd/page_mapper.h (the FTL). */
+#include <gtest/gtest.h>
+
+#include "nand/nand_array.h"
+#include "sim/rng.h"
+#include "ssd/page_mapper.h"
+
+namespace ssdcheck::ssd {
+namespace {
+
+nand::NandGeometry
+smallGeo()
+{
+    nand::NandGeometry g;
+    g.channels = 1;
+    g.chipsPerChannel = 1;
+    g.planesPerDie = 4;
+    g.blocksPerPlane = 8;
+    g.pagesPerBlock = 8;
+    return g; // 256 physical pages, 32 blocks
+}
+
+class PageMapperTest : public ::testing::Test
+{
+  protected:
+    PageMapperTest() : arr_(smallGeo(), nand::NandTiming{}), m_(arr_, 160) {}
+
+    nand::NandArray arr_;
+    PageMapper m_;
+};
+
+TEST_F(PageMapperTest, FreshMapperHasNoMappings)
+{
+    EXPECT_EQ(m_.totalValid(), 0u);
+    EXPECT_EQ(m_.freeBlocks(), 32u);
+    EXPECT_EQ(m_.lookup(0), nand::kInvalidPpn);
+    uint64_t payload = 0;
+    EXPECT_FALSE(m_.readPage(0, &payload));
+    EXPECT_EQ(m_.checkConsistency(), "");
+}
+
+TEST_F(PageMapperTest, WriteThenReadRoundTrips)
+{
+    m_.writePage(5, 555);
+    uint64_t payload = 0;
+    ASSERT_TRUE(m_.readPage(5, &payload));
+    EXPECT_EQ(payload, 555u);
+    EXPECT_EQ(m_.totalValid(), 1u);
+}
+
+TEST_F(PageMapperTest, OverwriteInvalidatesOldPpn)
+{
+    m_.writePage(5, 1);
+    const nand::Ppn first = m_.lookup(5);
+    m_.writePage(5, 2);
+    const nand::Ppn second = m_.lookup(5);
+    EXPECT_NE(first, second);
+    EXPECT_EQ(m_.lpnOfPpn(first), kInvalidLpn);
+    EXPECT_EQ(m_.lpnOfPpn(second), 5u);
+    EXPECT_EQ(m_.totalValid(), 1u);
+    uint64_t payload = 0;
+    m_.readPage(5, &payload);
+    EXPECT_EQ(payload, 2u);
+}
+
+TEST_F(PageMapperTest, AllocationFillsBlocksSequentially)
+{
+    const uint32_t ppb = smallGeo().pagesPerBlock;
+    for (uint64_t lpn = 0; lpn < ppb; ++lpn)
+        m_.writePage(lpn, lpn);
+    // One block consumed from the free pool (host-open block full).
+    EXPECT_EQ(m_.freeBlocks(), 31u);
+    EXPECT_EQ(m_.blockValidCount(m_.lookup(0) / ppb), ppb);
+}
+
+TEST_F(PageMapperTest, GreedyVictimPicksLeastValid)
+{
+    const uint32_t ppb = smallGeo().pagesPerBlock;
+    // Fill two blocks: block A with lpns 0..7, block B with 8..15.
+    for (uint64_t lpn = 0; lpn < 2 * ppb; ++lpn)
+        m_.writePage(lpn, lpn);
+    const nand::Pbn blockA = m_.lookup(0) / ppb;
+    // Invalidate most of block A by overwriting its lpns.
+    for (uint64_t lpn = 0; lpn < 6; ++lpn)
+        m_.writePage(lpn, 100 + lpn);
+    const nand::Pbn victim = m_.pickVictimGreedy();
+    EXPECT_EQ(victim, blockA);
+    EXPECT_EQ(m_.blockValidCount(blockA), 2u);
+}
+
+TEST_F(PageMapperTest, VictimSelectionIgnoresOpenAndFreeBlocks)
+{
+    // Only a partially-written (open) block exists: no victim.
+    m_.writePage(0, 1);
+    EXPECT_EQ(m_.pickVictimGreedy(), PageMapper::kNoVictim);
+}
+
+TEST_F(PageMapperTest, CollectBlockRelocatesValidPages)
+{
+    const uint32_t ppb = smallGeo().pagesPerBlock;
+    for (uint64_t lpn = 0; lpn < 2 * ppb; ++lpn)
+        m_.writePage(lpn, 1000 + lpn);
+    for (uint64_t lpn = 0; lpn < 5; ++lpn)
+        m_.writePage(lpn, 2000 + lpn);
+    const nand::Pbn victim = m_.pickVictimGreedy();
+    const uint64_t victimValid = m_.blockValidCount(victim);
+    const size_t freeBefore = m_.freeBlocks();
+
+    const uint64_t moved = m_.collectBlock(victim);
+    EXPECT_EQ(moved, victimValid);
+    EXPECT_GE(m_.freeBlocks(), freeBefore); // net-nonnegative here
+    EXPECT_EQ(m_.blockValidCount(victim), 0u);
+    EXPECT_EQ(m_.checkConsistency(), "");
+
+    // Every lpn still readable with the right payload.
+    for (uint64_t lpn = 0; lpn < 2 * ppb; ++lpn) {
+        uint64_t payload = 0;
+        ASSERT_TRUE(m_.readPage(lpn, &payload));
+        EXPECT_EQ(payload, lpn < 5 ? 2000 + lpn : 1000 + lpn);
+    }
+}
+
+TEST_F(PageMapperTest, TrimAllResetsEverything)
+{
+    for (uint64_t lpn = 0; lpn < 50; ++lpn)
+        m_.writePage(lpn, lpn);
+    m_.trimAll();
+    EXPECT_EQ(m_.totalValid(), 0u);
+    EXPECT_EQ(m_.freeBlocks(), 32u);
+    EXPECT_EQ(m_.lookup(0), nand::kInvalidPpn);
+    EXPECT_EQ(m_.checkConsistency(), "");
+    // Usable again after trim.
+    m_.writePage(3, 33);
+    uint64_t payload = 0;
+    EXPECT_TRUE(m_.readPage(3, &payload));
+    EXPECT_EQ(payload, 33u);
+}
+
+/**
+ * Property test: after thousands of random overwrites interleaved
+ * with GC, the forward map, inverse map, block accounting and NAND
+ * state all stay mutually consistent, and every logical page reads
+ * back its newest payload.
+ */
+TEST(PageMapperPropertyTest, RandomOpsPreserveConsistencyAndData)
+{
+    nand::NandArray arr(smallGeo(), nand::NandTiming{});
+    const uint64_t userPages = 160;
+    PageMapper m(arr, userPages);
+    sim::Rng rng(2024);
+    std::vector<uint64_t> expected(userPages, ~0ULL);
+
+    uint64_t stamp = 1;
+    for (int op = 0; op < 8000; ++op) {
+        // GC when the pool runs low, exactly like the volume does.
+        while (m.freeBlocks() < 4) {
+            const nand::Pbn victim = m.pickVictimGreedy();
+            ASSERT_NE(victim, PageMapper::kNoVictim);
+            m.collectBlock(victim);
+        }
+        const uint64_t lpn = rng.nextBelow(userPages);
+        m.writePage(lpn, stamp);
+        expected[lpn] = stamp;
+        ++stamp;
+
+        if (op % 997 == 0) {
+            ASSERT_EQ(m.checkConsistency(), "") << "at op " << op;
+        }
+    }
+    ASSERT_EQ(m.checkConsistency(), "");
+    for (uint64_t lpn = 0; lpn < userPages; ++lpn) {
+        uint64_t payload = 0;
+        if (expected[lpn] == ~0ULL) {
+            EXPECT_FALSE(m.readPage(lpn, &payload));
+        } else {
+            ASSERT_TRUE(m.readPage(lpn, &payload));
+            EXPECT_EQ(payload, expected[lpn]) << "lpn " << lpn;
+        }
+    }
+}
+
+/** Write amplification sanity: uniform random overwrites move pages. */
+TEST(PageMapperPropertyTest, GcMovesFewerPagesWithSelfInvalidation)
+{
+    nand::NandArray arr(smallGeo(), nand::NandTiming{});
+    PageMapper m(arr, 160);
+    // Self-invalidation: hammer one lpn; victims should be empty.
+    uint64_t movedTotal = 0;
+    for (int op = 0; op < 4000; ++op) {
+        while (m.freeBlocks() < 4) {
+            const nand::Pbn victim = m.pickVictimGreedy();
+            ASSERT_NE(victim, PageMapper::kNoVictim);
+            movedTotal += m.collectBlock(victim);
+        }
+        m.writePage(7, op);
+    }
+    // Nearly all victim blocks were fully invalidated.
+    EXPECT_LT(movedTotal, 50u);
+}
+
+} // namespace
+} // namespace ssdcheck::ssd

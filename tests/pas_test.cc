@@ -1,0 +1,208 @@
+/** @file Unit tests for usecases/pas.h (prediction-aware scheduling). */
+#include <gtest/gtest.h>
+
+#include "core/ssdcheck.h"
+#include "ssd/ssd_device.h"
+#include "usecases/pas.h"
+
+namespace ssdcheck::usecases {
+namespace {
+
+using blockdev::makeRead4k;
+using blockdev::makeWrite4k;
+using sim::microseconds;
+using sim::milliseconds;
+
+core::FeatureSet
+smallFeatures()
+{
+    core::FeatureSet fs;
+    fs.bufferBytes = 4 * 4096;
+    fs.bufferType = core::BufferTypeFeature::Back;
+    fs.flushAlgorithms.fullTrigger = true;
+    fs.observedFlushOverheadNs = milliseconds(2);
+    return fs;
+}
+
+QueuedRequest
+qr(const blockdev::IoRequest &req, uint64_t seq)
+{
+    QueuedRequest q;
+    q.req = req;
+    q.arrival = static_cast<sim::SimTime>(seq);
+    q.seq = seq;
+    return q;
+}
+
+TEST(PasSchedulerTest, PureClassesStayFifo)
+{
+    core::SsdCheck check(smallFeatures());
+    PasScheduler s(check);
+    s.enqueue(qr(makeWrite4k(0), 0));
+    s.enqueue(qr(makeWrite4k(1), 1));
+    EXPECT_EQ(s.dequeue(0).seq, 0u);
+    EXPECT_EQ(s.dequeue(0).seq, 1u);
+}
+
+TEST(PasSchedulerTest, ReadJumpsFlushTriggeringWrites)
+{
+    // Fig. 10: queue W1 W2 R1, where W2 would fill the buffer.
+    core::SsdCheck check(smallFeatures());
+    // Model state: 2 of 4 pages already buffered.
+    check.onSubmit(makeWrite4k(50), 0);
+    check.onSubmit(makeWrite4k(51), 0);
+
+    PasScheduler s(check);
+    s.enqueue(qr(makeWrite4k(1), 0));
+    s.enqueue(qr(makeWrite4k(2), 1)); // this one would trigger the flush
+    s.enqueue(qr(makeRead4k(100), 2));
+    // The oldest read, issued in original order, lands after the
+    // flush: PAS pulls it ahead.
+    const QueuedRequest first = s.dequeue(microseconds(10));
+    EXPECT_TRUE(first.req.isRead());
+    // Remaining writes keep their order.
+    EXPECT_EQ(s.dequeue(microseconds(10)).seq, 0u);
+    EXPECT_EQ(s.dequeue(microseconds(10)).seq, 1u);
+}
+
+TEST(PasSchedulerTest, NoReorderWhenNoFlushAhead)
+{
+    core::SsdCheck check(smallFeatures());
+    PasScheduler s(check);
+    s.enqueue(qr(makeWrite4k(1), 0)); // buffer far from full
+    s.enqueue(qr(makeRead4k(100), 1));
+    EXPECT_EQ(s.dequeue(microseconds(10)).seq, 0u); // oldest first
+}
+
+TEST(PasSchedulerTest, FrontReadDispatchesDirectly)
+{
+    core::SsdCheck check(smallFeatures());
+    PasScheduler s(check);
+    s.enqueue(qr(makeRead4k(9), 0));
+    s.enqueue(qr(makeWrite4k(1), 1));
+    EXPECT_EQ(s.dequeue(0).seq, 0u);
+}
+
+TEST(PasSchedulerTest, BusyEbtAlsoPullsReadForward)
+{
+    core::SsdCheck check(smallFeatures());
+    // Force a modeled flush: fill the 4-page buffer.
+    for (int i = 0; i < 4; ++i)
+        check.onSubmit(makeWrite4k(i), 0);
+    PasScheduler s(check);
+    s.enqueue(qr(makeWrite4k(10), 0));
+    s.enqueue(qr(makeRead4k(100), 1));
+    // EBT is high: the read would be slow; PAS pulls it ahead.
+    EXPECT_TRUE(s.dequeue(microseconds(5)).req.isRead());
+}
+
+ssd::SsdConfig
+idealCfg()
+{
+    ssd::SsdConfig c;
+    c.userCapacityPages = 8192;
+    c.bufferBytes = 4 * 4096;
+    c.planesPerVolume = 4;
+    c.pagesPerBlock = 8;
+    c.jitterSigma = 0.0;
+    c.hiccupProbability = 0.0;
+    return c;
+}
+
+TEST(IdealPasSchedulerTest, UsesGroundTruthBufferFill)
+{
+    ssd::SsdDevice dev(idealCfg());
+    // Fill 2 of 4 buffer slots on the real device.
+    sim::SimTime t = 0;
+    t = dev.submit(makeWrite4k(50), t).completeTime;
+    t = dev.submit(makeWrite4k(51), t).completeTime;
+
+    IdealPasScheduler s(dev);
+    s.enqueue(qr(makeWrite4k(1), 0));
+    s.enqueue(qr(makeWrite4k(2), 1)); // would fill the device buffer
+    s.enqueue(qr(makeRead4k(100), 2));
+    EXPECT_TRUE(s.dequeue(t).req.isRead());
+}
+
+TEST(IdealPasSchedulerTest, UsesGroundTruthBusyNand)
+{
+    ssd::SsdDevice dev(idealCfg());
+    sim::SimTime t = 0;
+    for (int i = 0; i < 4; ++i)
+        t = dev.submit(makeWrite4k(i), t).completeTime; // flush running
+    IdealPasScheduler s(dev);
+    s.enqueue(qr(makeWrite4k(10), 0));
+    s.enqueue(qr(makeRead4k(100), 1));
+    EXPECT_TRUE(s.dequeue(t).req.isRead());
+    // Once the flush is over, order is preserved.
+    IdealPasScheduler s2(dev);
+    s2.enqueue(qr(makeWrite4k(11), 0));
+    s2.enqueue(qr(makeRead4k(101), 1));
+    const sim::SimTime idle = dev.volume(0).nandBusyUntil() + milliseconds(1);
+    EXPECT_TRUE(s2.dequeue(idle).req.isWrite());
+}
+
+TEST(PasSchedulerTest, BarrierBlocksReordering)
+{
+    // Same Fig.-10 situation as ReadJumpsFlushTriggeringWrites, but
+    // the second write is a barrier: order must be preserved
+    // (paper §IV-B: PAS enforces order when strictness is required).
+    core::SsdCheck check(smallFeatures());
+    check.onSubmit(makeWrite4k(50), 0);
+    check.onSubmit(makeWrite4k(51), 0);
+
+    PasScheduler s(check);
+    s.enqueue(qr(makeWrite4k(1), 0));
+    auto barrier = qr(makeWrite4k(2), 1);
+    barrier.barrier = true;
+    s.enqueue(barrier);
+    s.enqueue(qr(makeRead4k(100), 2));
+    EXPECT_EQ(s.dequeue(microseconds(10)).seq, 0u);
+    EXPECT_EQ(s.dequeue(microseconds(10)).seq, 1u);
+    EXPECT_EQ(s.dequeue(microseconds(10)).seq, 2u);
+}
+
+TEST(PasSchedulerTest, ReadBeforeBarrierStillJumps)
+{
+    core::SsdCheck check(smallFeatures());
+    check.onSubmit(makeWrite4k(50), 0);
+    check.onSubmit(makeWrite4k(51), 0);
+
+    PasScheduler s(check);
+    s.enqueue(qr(makeWrite4k(1), 0));
+    s.enqueue(qr(makeWrite4k(2), 1)); // would trigger the flush
+    s.enqueue(qr(makeRead4k(100), 2));
+    auto barrier = qr(makeWrite4k(3), 3);
+    barrier.barrier = true;
+    s.enqueue(barrier);
+    // The read sits before the barrier: reordering within the window
+    // is still allowed.
+    EXPECT_TRUE(s.dequeue(microseconds(10)).req.isRead());
+}
+
+TEST(IdealPasSchedulerTest, BarrierBlocksReordering)
+{
+    ssd::SsdDevice dev(idealCfg());
+    sim::SimTime t = 0;
+    t = dev.submit(makeWrite4k(50), t).completeTime;
+    t = dev.submit(makeWrite4k(51), t).completeTime;
+    IdealPasScheduler s(dev);
+    s.enqueue(qr(makeWrite4k(1), 0));
+    auto barrier = qr(makeWrite4k(2), 1);
+    barrier.barrier = true;
+    s.enqueue(barrier);
+    s.enqueue(qr(makeRead4k(100), 2));
+    EXPECT_EQ(s.dequeue(t).seq, 0u);
+    EXPECT_EQ(s.dequeue(t).seq, 1u);
+}
+
+TEST(PasSchedulerTest, SchedulerNames)
+{
+    core::SsdCheck check(smallFeatures());
+    EXPECT_EQ(PasScheduler(check).name(), "pas");
+    ssd::SsdDevice dev(idealCfg());
+    EXPECT_EQ(IdealPasScheduler(dev).name(), "ideal");
+}
+
+} // namespace
+} // namespace ssdcheck::usecases

@@ -1,0 +1,93 @@
+/** @file Unit tests for workload/pattern.h. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "blockdev/request.h"
+#include "workload/pattern.h"
+
+namespace ssdcheck::workload {
+namespace {
+
+using blockdev::kSectorsPerPage;
+
+TEST(UniformPatternTest, PageAlignedWithinSpan)
+{
+    UniformPattern p(100);
+    sim::Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t lba = p.nextLba(rng);
+        EXPECT_EQ(lba % kSectorsPerPage, 0u);
+        EXPECT_LT(lba, 100 * kSectorsPerPage);
+    }
+}
+
+TEST(UniformPatternTest, CoversSpan)
+{
+    UniformPattern p(16);
+    sim::Rng rng(2);
+    std::set<uint64_t> pages;
+    for (int i = 0; i < 2000; ++i)
+        pages.insert(p.nextLba(rng) / kSectorsPerPage);
+    EXPECT_EQ(pages.size(), 16u);
+}
+
+TEST(BitFixedPatternTest, PinnedBitAlwaysHoldsValue)
+{
+    sim::Rng rng(3);
+    for (const bool value : {false, true}) {
+        BitFixedPattern p(1 << 14, 10, value);
+        for (int i = 0; i < 500; ++i) {
+            const uint64_t lba = p.nextLba(rng);
+            EXPECT_EQ((lba >> 10) & 1, value ? 1u : 0u);
+            EXPECT_LT(lba, (1ULL << 14) * kSectorsPerPage);
+            EXPECT_EQ(lba % kSectorsPerPage, 0u);
+        }
+    }
+}
+
+TEST(BitFixedPatternTest, OtherBitsStillVary)
+{
+    BitFixedPattern p(1 << 14, 10, false);
+    sim::Rng rng(4);
+    std::set<uint64_t> lbas;
+    for (int i = 0; i < 200; ++i)
+        lbas.insert(p.nextLba(rng));
+    EXPECT_GT(lbas.size(), 100u);
+}
+
+TEST(SequentialPatternTest, AdvancesAndWraps)
+{
+    SequentialPattern p(2, 4); // pages 2,3,4,5 then wrap
+    sim::Rng rng(5);
+    EXPECT_EQ(p.nextLba(rng), 2 * kSectorsPerPage);
+    EXPECT_EQ(p.nextLba(rng), 3 * kSectorsPerPage);
+    EXPECT_EQ(p.nextLba(rng), 4 * kSectorsPerPage);
+    EXPECT_EQ(p.nextLba(rng), 5 * kSectorsPerPage);
+    EXPECT_EQ(p.nextLba(rng), 2 * kSectorsPerPage);
+}
+
+TEST(FixedPatternTest, AlwaysSameAddress)
+{
+    FixedPattern p(12345 * kSectorsPerPage);
+    sim::Rng rng(6);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(p.nextLba(rng), 12345 * kSectorsPerPage);
+}
+
+TEST(FlipPatternTest, AlternatesExactlyOneBit)
+{
+    const uint64_t base = 40;
+    FlipPattern p(base, 17);
+    sim::Rng rng(7);
+    const uint64_t a = p.nextLba(rng);
+    const uint64_t b = p.nextLba(rng);
+    const uint64_t c = p.nextLba(rng);
+    EXPECT_EQ(a, base);
+    EXPECT_EQ(b, base ^ (1ULL << 17));
+    EXPECT_EQ(c, base);
+    EXPECT_EQ(a ^ b, 1ULL << 17);
+}
+
+} // namespace
+} // namespace ssdcheck::workload

@@ -1,0 +1,120 @@
+/** @file Tests that the presets encode Table I / Fig. 3 ground truth. */
+#include <gtest/gtest.h>
+
+#include "ssd/presets.h"
+
+namespace ssdcheck::ssd {
+namespace {
+
+TEST(PresetsTest, AllModelsEnumerated)
+{
+    const auto models = allModels();
+    ASSERT_EQ(models.size(), 7u);
+    EXPECT_EQ(toString(models.front()), "A");
+    EXPECT_EQ(toString(models.back()), "G");
+}
+
+TEST(PresetsTest, EveryPresetValidates)
+{
+    for (const SsdModel m : allModels())
+        EXPECT_EQ(makePreset(m).validate(), "") << toString(m);
+}
+
+TEST(PresetsTest, TableIGroundTruth)
+{
+    struct Row
+    {
+        SsdModel model;
+        size_t volumeBits;
+        uint32_t bufferKb;
+        BufferType type;
+        bool readTrigger;
+    };
+    const Row rows[] = {
+        {SsdModel::A, 0, 248, BufferType::Back, false},
+        {SsdModel::B, 0, 248, BufferType::Back, false},
+        {SsdModel::C, 0, 256, BufferType::Back, false},
+        {SsdModel::D, 1, 128, BufferType::Back, false},
+        {SsdModel::E, 2, 128, BufferType::Back, false},
+        {SsdModel::F, 0, 128, BufferType::Fore, true},
+        {SsdModel::G, 0, 128, BufferType::Fore, true},
+    };
+    for (const Row &r : rows) {
+        const SsdConfig c = makePreset(r.model);
+        EXPECT_EQ(c.volumeBits.size(), r.volumeBits) << toString(r.model);
+        EXPECT_EQ(c.bufferBytes, r.bufferKb * 1024u) << toString(r.model);
+        EXPECT_EQ(c.bufferType, r.type) << toString(r.model);
+        EXPECT_EQ(c.readTriggerFlush, r.readTrigger) << toString(r.model);
+    }
+}
+
+TEST(PresetsTest, VolumeIndicesMatchPaper)
+{
+    EXPECT_EQ(makePreset(SsdModel::D).volumeBits,
+              (std::vector<uint32_t>{17}));
+    EXPECT_EQ(makePreset(SsdModel::E).volumeBits,
+              (std::vector<uint32_t>{17, 18}));
+}
+
+TEST(PresetsTest, OnlyDandEHaveSlcCache)
+{
+    for (const SsdModel m : allModels()) {
+        const bool expect = m == SsdModel::D || m == SsdModel::E;
+        EXPECT_EQ(makePreset(m).slcCache, expect) << toString(m);
+    }
+}
+
+TEST(PresetsTest, SeedSaltChangesSeedOnly)
+{
+    const SsdConfig a = makePreset(SsdModel::A, 0);
+    const SsdConfig b = makePreset(SsdModel::A, 1);
+    EXPECT_NE(a.seed, b.seed);
+    EXPECT_EQ(a.bufferBytes, b.bufferBytes);
+    EXPECT_EQ(a.volumeBits, b.volumeBits);
+}
+
+TEST(PresetsTest, PrototypeVariantsFlags)
+{
+    EXPECT_TRUE(makePrototype(PrototypeVariant::Optimal).optimalMode);
+    {
+        const auto c = makePrototype(PrototypeVariant::Others);
+        EXPECT_FALSE(c.wbFlushCostEnabled);
+        EXPECT_FALSE(c.gcCostEnabled);
+        EXPECT_FALSE(c.optimalMode);
+    }
+    {
+        const auto c = makePrototype(PrototypeVariant::WbOthers);
+        EXPECT_TRUE(c.wbFlushCostEnabled);
+        EXPECT_FALSE(c.gcCostEnabled);
+    }
+    {
+        const auto c = makePrototype(PrototypeVariant::GcOthers);
+        EXPECT_FALSE(c.wbFlushCostEnabled);
+        EXPECT_TRUE(c.gcCostEnabled);
+    }
+    {
+        const auto c = makePrototype(PrototypeVariant::All);
+        EXPECT_TRUE(c.wbFlushCostEnabled);
+        EXPECT_TRUE(c.gcCostEnabled);
+    }
+}
+
+TEST(PresetsTest, PrototypeHasPaperGeometry)
+{
+    // 4 channels x 4 chips x 2 planes = 32 planes (paper §III-A).
+    const auto c = makePrototype(PrototypeVariant::All);
+    EXPECT_EQ(c.planesPerVolume, 32u);
+    EXPECT_EQ(c.numVolumes(), 1u);
+    EXPECT_EQ(c.validate(), "");
+    EXPECT_EQ(c.hiccupProbability, 0.0); // clean instrumented device
+}
+
+TEST(PresetsTest, PrototypeVariantNames)
+{
+    EXPECT_EQ(toString(PrototypeVariant::Optimal), "SSD_Optimal");
+    EXPECT_EQ(toString(PrototypeVariant::All), "SSD_All");
+    EXPECT_EQ(allPrototypeVariants().size(), 5u);
+}
+
+} // namespace
+} // namespace ssdcheck::ssd

@@ -1,0 +1,73 @@
+/** @file Unit tests for blockdev/request.h. */
+#include <gtest/gtest.h>
+
+#include "blockdev/request.h"
+
+namespace ssdcheck::blockdev {
+namespace {
+
+TEST(RequestTest, Constants)
+{
+    EXPECT_EQ(kSectorSize, 512u);
+    EXPECT_EQ(kPageSize, 4096u);
+    EXPECT_EQ(kSectorsPerPage, 8u);
+}
+
+TEST(RequestTest, BytesAndPages)
+{
+    IoRequest r;
+    r.lba = 16;
+    r.sectors = 8;
+    EXPECT_EQ(r.bytes(), 4096u);
+    EXPECT_EQ(r.pages(), 1u);
+    EXPECT_EQ(r.firstPage(), 2u);
+
+    r.sectors = 9; // straddles into a second page
+    EXPECT_EQ(r.pages(), 2u);
+
+    r.sectors = 32;
+    EXPECT_EQ(r.bytes(), 16384u);
+    EXPECT_EQ(r.pages(), 4u);
+}
+
+TEST(RequestTest, TypePredicates)
+{
+    IoRequest r;
+    r.type = IoType::Read;
+    EXPECT_TRUE(r.isRead());
+    EXPECT_FALSE(r.isWrite());
+    r.type = IoType::Write;
+    EXPECT_TRUE(r.isWrite());
+    r.type = IoType::Trim;
+    EXPECT_FALSE(r.isRead());
+    EXPECT_FALSE(r.isWrite());
+}
+
+TEST(RequestTest, ToStringNames)
+{
+    EXPECT_EQ(toString(IoType::Read), "read");
+    EXPECT_EQ(toString(IoType::Write), "write");
+    EXPECT_EQ(toString(IoType::Trim), "trim");
+}
+
+TEST(RequestTest, Make4kHelpers)
+{
+    const IoRequest r = makeRead4k(10);
+    EXPECT_TRUE(r.isRead());
+    EXPECT_EQ(r.lba, 80u);
+    EXPECT_EQ(r.sectors, 8u);
+    const IoRequest w = makeWrite4k(3);
+    EXPECT_TRUE(w.isWrite());
+    EXPECT_EQ(w.firstPage(), 3u);
+}
+
+TEST(RequestTest, IoResultLatency)
+{
+    IoResult res;
+    res.submitTime = 100;
+    res.completeTime = 350;
+    EXPECT_EQ(res.latency(), 250);
+}
+
+} // namespace
+} // namespace ssdcheck::blockdev

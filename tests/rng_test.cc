@@ -1,0 +1,166 @@
+/** @file Unit and statistical tests for sim/rng.h. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace ssdcheck::sim {
+namespace {
+
+TEST(RngTest, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(RngTest, NextBelowCoversRange)
+{
+    Rng rng(11);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds)
+{
+    Rng rng(3);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = rng.uniformInt(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= (v == -3);
+        sawHi |= (v == 3);
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(RngTest, Uniform01InUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.uniform01();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability)
+{
+    Rng rng(9);
+    const int n = 50000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard)
+{
+    Rng rng(13);
+    const int n = 50000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.gaussian();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, LognormalFactorMedianNearOne)
+{
+    Rng rng(17);
+    const int n = 20001;
+    std::vector<double> vals;
+    vals.reserve(n);
+    for (int i = 0; i < n; ++i)
+        vals.push_back(rng.lognormalFactor(0.2));
+    std::sort(vals.begin(), vals.end());
+    EXPECT_NEAR(vals[n / 2], 1.0, 0.05);
+    for (double v : vals)
+        EXPECT_GT(v, 0.0);
+}
+
+TEST(RngTest, LognormalSigmaZeroIsIdentity)
+{
+    Rng rng(19);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(rng.lognormalFactor(0.0), 1.0);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent)
+{
+    Rng parent(23);
+    Rng c1 = parent.fork(1);
+    Rng c2 = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (c1.next() == c2.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ForkIsDeterministicGivenParentState)
+{
+    Rng p1(31), p2(31);
+    Rng c1 = p1.fork(5);
+    Rng c2 = p2.fork(5);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(c1.next(), c2.next());
+}
+
+/** Property sweep: nextBelow stays unbiased across bounds. */
+class RngBoundSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RngBoundSweep, MeanNearHalfBound)
+{
+    const uint64_t bound = GetParam();
+    Rng rng(bound * 977 + 1);
+    const int n = 30000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextBelow(bound));
+    const double expected = (static_cast<double>(bound) - 1.0) / 2.0;
+    EXPECT_NEAR(sum / n, expected, static_cast<double>(bound) * 0.02 + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(2, 3, 10, 100, 4096, 1000000));
+
+} // namespace
+} // namespace ssdcheck::sim

@@ -1,0 +1,187 @@
+/** @file Unit tests for usecases/runner.h (replay engines). */
+#include <gtest/gtest.h>
+
+#include "ssd/ssd_device.h"
+#include "usecases/runner.h"
+#include "usecases/scheduler.h"
+#include "workload/synthetic.h"
+
+namespace ssdcheck::usecases {
+namespace {
+
+using sim::microseconds;
+using sim::milliseconds;
+
+ssd::SsdConfig
+cfg()
+{
+    ssd::SsdConfig c;
+    c.userCapacityPages = 8192;
+    c.bufferBytes = 8 * 4096;
+    c.planesPerVolume = 4;
+    c.pagesPerBlock = 8;
+    c.jitterSigma = 0.0;
+    c.hiccupProbability = 0.0;
+    return c;
+}
+
+TEST(ClosedLoopRunnerTest, RunsWholeTrace)
+{
+    ssd::SsdDevice dev(cfg());
+    dev.precondition();
+    const auto trace = workload::buildRandomWriteTrace(2000, 8192, 1);
+    const StreamResult res = runClosedLoop(dev, trace, 4, 0, 0);
+    EXPECT_EQ(res.requests, 2000u);
+    EXPECT_EQ(res.latency.count(), 2000u);
+    EXPECT_EQ(res.bytes, 2000u * 4096);
+    EXPECT_GT(res.endTime, res.startTime);
+    EXPECT_GT(res.throughputMbps(), 0.0);
+}
+
+TEST(ClosedLoopRunnerTest, ThinktimeSlowsTheStream)
+{
+    ssd::SsdDevice dev1(cfg()), dev2(cfg());
+    const auto trace = workload::buildRandomWriteTrace(500, 8192, 1);
+    const auto fast = runClosedLoop(dev1, trace, 1, 0, 0);
+    const auto slow = runClosedLoop(dev2, trace, 1, microseconds(500), 0);
+    EXPECT_GT(slow.endTime - slow.startTime,
+              fast.endTime - fast.startTime);
+}
+
+TEST(ClosedLoopRunnerTest, HigherQueueDepthRaisesThroughput)
+{
+    ssd::SsdDevice dev1(cfg()), dev2(cfg());
+    dev1.precondition();
+    dev2.precondition();
+    workload::MixedTraceParams p;
+    p.requests = 3000;
+    p.writeFraction = 0.0; // reads exploit the parallel read pipeline
+    p.spanPages = 8192;
+    const auto trace = workload::buildMixedTrace(p, "r");
+    const auto qd1 = runClosedLoop(dev1, trace, 1, 0, 0);
+    const auto qd8 = runClosedLoop(dev2, trace, 8, 0, 0);
+    EXPECT_GT(qd8.throughputMbps(), qd1.throughputMbps() * 1.5);
+}
+
+TEST(ClosedLoopRunnerTest, SeparatesReadAndWriteLatencies)
+{
+    ssd::SsdDevice dev(cfg());
+    dev.precondition();
+    const auto trace = workload::buildRwMixedTrace(2000, 8192, 2);
+    const StreamResult res = runClosedLoop(dev, trace, 1, 0, 0);
+    EXPECT_GT(res.readLatency.count(), 0u);
+    EXPECT_GT(res.writeLatency.count(), 0u);
+    EXPECT_EQ(res.readLatency.count() + res.writeLatency.count(),
+              res.latency.count());
+}
+
+TEST(TenantRunnerTest, TenantsInterleaveOnOneDevice)
+{
+    ssd::SsdDevice dev(cfg());
+    dev.precondition();
+    const auto t1 = workload::buildRandomWriteTrace(1000, 4096, 3);
+    auto t2 = workload::buildMixedTrace(
+        []() {
+            workload::MixedTraceParams p;
+            p.requests = 1000;
+            p.writeFraction = 0.0;
+            p.spanPages = 4096;
+            p.seed = 4;
+            return p;
+        }(),
+        "reads");
+    std::vector<TenantSpec> tenants(2);
+    tenants[0].trace = &t1;
+    tenants[0].dev = &dev;
+    tenants[0].name = "writer";
+    tenants[1].trace = &t2;
+    tenants[1].dev = &dev;
+    tenants[1].name = "reader";
+    const auto results = runTenantsClosedLoop(tenants, 0);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].requests, 1000u);
+    EXPECT_EQ(results[1].requests, 1000u);
+    EXPECT_EQ(results[0].name, "writer");
+    // Both ran concurrently: spans overlap.
+    EXPECT_GT(results[0].endTime, 0);
+    EXPECT_GT(results[1].endTime, 0);
+}
+
+TEST(ScheduledRunnerTest, CompletesAllArrivalsAndMeasuresQueueing)
+{
+    ssd::SsdDevice dev(cfg());
+    dev.precondition();
+    auto trace = workload::buildRwMixedTrace(2000, 8192, 5);
+    sim::Rng rng(6);
+    trace.assignPoissonArrivals(5000.0, rng);
+    NoopScheduler sched;
+    const auto res = runScheduled(dev, sched, trace, 0, nullptr);
+    EXPECT_EQ(res.stream.requests, 2000u);
+    EXPECT_EQ(res.schedulerName, "noop");
+    EXPECT_GE(res.maxQueueDepth, 1u);
+    // Queueing latency can only exceed pure device latency.
+    EXPECT_GT(res.stream.latency.mean(), 0.0);
+}
+
+TEST(ScheduledRunnerTest, OverloadGrowsQueue)
+{
+    ssd::SsdDevice dev(cfg());
+    dev.precondition();
+    auto trace = workload::buildRandomWriteTrace(3000, 8192, 7);
+    sim::Rng rng(8);
+    trace.assignPoissonArrivals(1e6, rng); // far beyond service rate
+    NoopScheduler sched;
+    const auto res = runScheduled(dev, sched, trace, 0, nullptr);
+    EXPECT_GT(res.maxQueueDepth, 100u);
+}
+
+TEST(ScheduledRunnerTest, WiderDispatchRaisesReadThroughput)
+{
+    // Read-only arrivals above QD1 service capacity: a wider dispatch
+    // window exploits the device's parallel read pipeline.
+    auto run = [&](uint32_t width) {
+        ssd::SsdDevice dev(cfg());
+        dev.precondition();
+        workload::MixedTraceParams p;
+        p.requests = 4000;
+        p.writeFraction = 0.0;
+        p.spanPages = 8192;
+        p.seed = 12;
+        auto trace = workload::buildMixedTrace(p, "r");
+        sim::Rng rng(13);
+        trace.assignPoissonArrivals(30000.0, rng);
+        NoopScheduler sched;
+        const auto res =
+            runScheduled(dev, sched, trace, 0, nullptr, width);
+        return res.stream.endTime - res.stream.startTime;
+    };
+    EXPECT_LT(run(8), run(1));
+}
+
+TEST(ScheduledRunnerTest, WideDispatchCompletesEverything)
+{
+    ssd::SsdDevice dev(cfg());
+    dev.precondition();
+    auto trace = workload::buildRwMixedTrace(3000, 8192, 14);
+    sim::Rng rng(15);
+    trace.assignPoissonArrivals(8000.0, rng);
+    DeadlineScheduler sched;
+    const auto res = runScheduled(dev, sched, trace, 0, nullptr, 4);
+    EXPECT_EQ(res.stream.requests, 3000u);
+}
+
+TEST(ScheduledRunnerTest, IdlePeriodsAreSkipped)
+{
+    ssd::SsdDevice dev(cfg());
+    auto trace = workload::buildRandomWriteTrace(10, 1024, 9);
+    sim::Rng rng(10);
+    trace.assignPoissonArrivals(10.0, rng); // ~100ms gaps
+    NoopScheduler sched;
+    const auto res = runScheduled(dev, sched, trace, 0, nullptr);
+    EXPECT_EQ(res.stream.requests, 10u);
+    // Makespan is dominated by arrival gaps, not service.
+    EXPECT_GT(res.stream.endTime, milliseconds(100));
+}
+
+} // namespace
+} // namespace ssdcheck::usecases

@@ -1,0 +1,101 @@
+/** @file Unit tests for usecases/scheduler.h (baseline schedulers). */
+#include <gtest/gtest.h>
+
+#include "usecases/scheduler.h"
+
+namespace ssdcheck::usecases {
+namespace {
+
+using blockdev::IoType;
+using blockdev::makeRead4k;
+using blockdev::makeWrite4k;
+using sim::microseconds;
+using sim::milliseconds;
+
+QueuedRequest
+qr(const blockdev::IoRequest &req, sim::SimTime arrival, uint64_t seq)
+{
+    QueuedRequest q;
+    q.req = req;
+    q.arrival = arrival;
+    q.seq = seq;
+    return q;
+}
+
+TEST(NoopSchedulerTest, StrictFifo)
+{
+    NoopScheduler s;
+    s.enqueue(qr(makeWrite4k(1), 0, 0));
+    s.enqueue(qr(makeRead4k(2), 1, 1));
+    s.enqueue(qr(makeWrite4k(3), 2, 2));
+    EXPECT_EQ(s.depth(), 3u);
+    EXPECT_EQ(s.dequeue(10).seq, 0u);
+    EXPECT_EQ(s.dequeue(10).seq, 1u);
+    EXPECT_EQ(s.dequeue(10).seq, 2u);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(DeadlineSchedulerTest, ReadsJumpWrites)
+{
+    DeadlineScheduler s;
+    s.enqueue(qr(makeWrite4k(1), 0, 0));
+    s.enqueue(qr(makeRead4k(2), 1, 1));
+    EXPECT_EQ(s.dequeue(microseconds(10)).seq, 1u); // read first
+    EXPECT_EQ(s.dequeue(microseconds(10)).seq, 0u);
+}
+
+TEST(DeadlineSchedulerTest, ExpiredWriteBeatsReads)
+{
+    DeadlineScheduler s(microseconds(500), milliseconds(5));
+    s.enqueue(qr(makeWrite4k(1), 0, 0));
+    s.enqueue(qr(makeRead4k(2), milliseconds(6), 1));
+    // At t=6ms the write has waited past its 5ms deadline.
+    EXPECT_EQ(s.dequeue(milliseconds(6)).seq, 0u);
+}
+
+TEST(DeadlineSchedulerTest, DrainsWritesWhenNoReads)
+{
+    DeadlineScheduler s;
+    s.enqueue(qr(makeWrite4k(1), 0, 0));
+    s.enqueue(qr(makeWrite4k(2), 0, 1));
+    EXPECT_EQ(s.dequeue(0).seq, 0u);
+    EXPECT_EQ(s.dequeue(0).seq, 1u);
+}
+
+TEST(CfqSchedulerTest, ReadsGetLargerQuantum)
+{
+    CfqScheduler s(2, 1);
+    for (uint64_t i = 0; i < 4; ++i)
+        s.enqueue(qr(makeRead4k(i), 0, i));
+    for (uint64_t i = 0; i < 4; ++i)
+        s.enqueue(qr(makeWrite4k(i), 0, 10 + i));
+    std::vector<bool> isRead;
+    while (!s.empty())
+        isRead.push_back(s.dequeue(0).req.isRead());
+    // 2 reads : 1 write alternation until a class drains.
+    ASSERT_EQ(isRead.size(), 8u);
+    int reads = 0;
+    for (size_t i = 0; i < 3; ++i)
+        reads += isRead[i] ? 1 : 0;
+    EXPECT_EQ(reads, 2); // first slice: two reads, then a write
+}
+
+TEST(CfqSchedulerTest, FallsBackWhenClassEmpty)
+{
+    CfqScheduler s(2, 2);
+    s.enqueue(qr(makeWrite4k(1), 0, 0));
+    EXPECT_EQ(s.dequeue(0).seq, 0u);
+    EXPECT_TRUE(s.empty());
+    s.enqueue(qr(makeRead4k(1), 0, 1));
+    EXPECT_EQ(s.dequeue(0).seq, 1u);
+}
+
+TEST(SchedulerNamesTest, ReportNames)
+{
+    EXPECT_EQ(NoopScheduler().name(), "noop");
+    EXPECT_EQ(DeadlineScheduler().name(), "deadline");
+    EXPECT_EQ(CfqScheduler().name(), "cfq");
+}
+
+} // namespace
+} // namespace ssdcheck::usecases

@@ -1,0 +1,120 @@
+/** @file Unit tests for core/secondary_model.h (§VI future work). */
+#include <gtest/gtest.h>
+
+#include "core/secondary_model.h"
+
+namespace ssdcheck::core {
+namespace {
+
+using sim::milliseconds;
+
+TEST(SecondaryModelTest, FreshModelExpectsNothing)
+{
+    SecondaryModel m;
+    EXPECT_FALSE(m.eventExpectedOnNextFlush());
+    EXPECT_EQ(m.expectedOverhead(), 0);
+    EXPECT_EQ(m.eventsObserved(), 0u);
+    EXPECT_EQ(m.centroid(0), 0);
+    EXPECT_EQ(m.centroid(1), 0);
+}
+
+TEST(SecondaryModelTest, FirstEventSeedsClusterZero)
+{
+    SecondaryModel m;
+    EXPECT_EQ(m.onEventObserved(milliseconds(10)), 0);
+    EXPECT_NEAR(static_cast<double>(m.centroid(0)),
+                static_cast<double>(milliseconds(10)), 1e5);
+}
+
+TEST(SecondaryModelTest, DistinctMagnitudesOpenSecondCluster)
+{
+    SecondaryModel m;
+    m.onEventObserved(milliseconds(10));
+    // Within 2x: same cluster.
+    EXPECT_EQ(m.onEventObserved(milliseconds(15)), 0);
+    // Far away: second cluster.
+    EXPECT_EQ(m.onEventObserved(milliseconds(60)), 1);
+    EXPECT_GT(m.centroid(1), m.centroid(0));
+}
+
+TEST(SecondaryModelTest, ClassificationUsesNearestLogCentroid)
+{
+    SecondaryModel m;
+    m.onEventObserved(milliseconds(10)); // cluster 0 ~ 10ms
+    m.onEventObserved(milliseconds(80)); // cluster 1 ~ 80ms
+    EXPECT_EQ(m.onEventObserved(milliseconds(12)), 0);
+    EXPECT_EQ(m.onEventObserved(milliseconds(70)), 1);
+    // Geometric midpoint ~28ms: goes to the nearer side in log space.
+    const int c = m.onEventObserved(milliseconds(20));
+    EXPECT_EQ(c, 0);
+}
+
+TEST(SecondaryModelTest, PerClusterIntervalsArePredictedSeparately)
+{
+    GcModelConfig cfg;
+    cfg.minHistory = 4;
+    cfg.quantile = 0.25;
+    SecondaryModel m(cfg);
+    // Cluster 0 (10ms events) every 4 flushes; cluster 1 (80ms)
+    // every 12 flushes.
+    for (int cycle = 0; cycle < 12; ++cycle) {
+        for (int f = 0; f < 4; ++f)
+            m.onFlush();
+        m.onEventObserved(milliseconds(10));
+        if (cycle % 3 == 2)
+            m.onEventObserved(milliseconds(80));
+    }
+    // Right after both fired, neither expects an event immediately...
+    EXPECT_FALSE(m.eventExpectedOnNextFlush());
+    // ...but after 3 more flushes cluster 0's 4-flush period is due.
+    for (int f = 0; f < 3; ++f)
+        m.onFlush();
+    EXPECT_TRUE(m.eventExpectedOnNextFlush());
+    // The expected overhead is cluster 0's magnitude, not cluster 1's.
+    EXPECT_LT(m.expectedOverhead(), milliseconds(25));
+    EXPECT_GT(m.expectedOverhead(), milliseconds(5));
+}
+
+TEST(SecondaryModelTest, ExpectedOverheadSumsDueClusters)
+{
+    GcModelConfig cfg;
+    cfg.minHistory = 2;
+    cfg.quantile = 0.0;
+    SecondaryModel m(cfg);
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        m.onFlush();
+        m.onEventObserved(milliseconds(10));
+        m.onEventObserved(milliseconds(80));
+    }
+    m.onFlush();
+    ASSERT_TRUE(m.eventExpectedOnNextFlush());
+    // Both clusters due: overheads add.
+    EXPECT_GT(m.expectedOverhead(), milliseconds(60));
+}
+
+TEST(SecondaryModelTest, ResetClearsEverything)
+{
+    SecondaryModel m;
+    for (int i = 0; i < 10; ++i) {
+        m.onFlush();
+        m.onEventObserved(milliseconds(10));
+    }
+    m.resetHistory();
+    EXPECT_EQ(m.eventsObserved(), 0u);
+    EXPECT_EQ(m.centroid(0), 0);
+    EXPECT_FALSE(m.eventExpectedOnNextFlush());
+}
+
+TEST(SecondaryModelTest, CentroidTracksDriftingMagnitude)
+{
+    SecondaryModel m;
+    for (int i = 0; i < 100; ++i)
+        m.onEventObserved(milliseconds(10));
+    const auto before = m.centroid(0);
+    for (int i = 0; i < 100; ++i)
+        m.onEventObserved(milliseconds(14)); // < 2x: same cluster
+    EXPECT_GT(m.centroid(0), before);
+}
+
+} // namespace
+} // namespace ssdcheck::core

@@ -1,0 +1,58 @@
+/** @file Unit tests for sim/sim_time.h. */
+#include <gtest/gtest.h>
+
+#include "sim/sim_time.h"
+
+namespace ssdcheck::sim {
+namespace {
+
+TEST(SimTimeTest, UnitConstructorsCompose)
+{
+    EXPECT_EQ(nanoseconds(1), 1);
+    EXPECT_EQ(microseconds(1), 1000);
+    EXPECT_EQ(milliseconds(1), 1000000);
+    EXPECT_EQ(seconds(1), 1000000000);
+    EXPECT_EQ(microseconds(250), nanoseconds(250000));
+    EXPECT_EQ(milliseconds(3), microseconds(3000));
+    EXPECT_EQ(seconds(2), milliseconds(2000));
+}
+
+TEST(SimTimeTest, ConversionsRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(toMicros(microseconds(250)), 250.0);
+    EXPECT_DOUBLE_EQ(toMillis(milliseconds(7)), 7.0);
+    EXPECT_DOUBLE_EQ(toSeconds(seconds(3)), 3.0);
+    EXPECT_DOUBLE_EQ(toMicros(nanoseconds(1500)), 1.5);
+}
+
+TEST(SimTimeTest, ConversionsHandleFractions)
+{
+    EXPECT_DOUBLE_EQ(toMillis(microseconds(1500)), 1.5);
+    EXPECT_DOUBLE_EQ(toSeconds(milliseconds(250)), 0.25);
+}
+
+TEST(SimTimeTest, DurationsAreSignedAndSubtractable)
+{
+    const SimTime a = microseconds(100);
+    const SimTime b = microseconds(350);
+    EXPECT_EQ(b - a, microseconds(250));
+    EXPECT_LT(a - b, 0);
+}
+
+TEST(SimTimeTest, FormatPicksReadableUnits)
+{
+    EXPECT_EQ(formatDuration(nanoseconds(500)), "500ns");
+    EXPECT_EQ(formatDuration(microseconds(250)), "250.0us");
+    EXPECT_EQ(formatDuration(milliseconds(3)), "3.00ms");
+    EXPECT_EQ(formatDuration(seconds(2)), "2.000s");
+}
+
+TEST(SimTimeTest, FormatSubUnitValues)
+{
+    EXPECT_EQ(formatDuration(microseconds(1500)), "1.50ms");
+    EXPECT_EQ(formatDuration(nanoseconds(999)), "999ns");
+    EXPECT_EQ(formatDuration(0), "0ns");
+}
+
+} // namespace
+} // namespace ssdcheck::sim

@@ -1,0 +1,75 @@
+/** @file Tests that SNIA-synthetic traces match Table II. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/snia_synth.h"
+
+namespace ssdcheck::workload {
+namespace {
+
+TEST(SniaSynthTest, GroupsPartitionTheRealTraces)
+{
+    const auto wi = writeIntensiveWorkloads();
+    const auto ri = readIntensiveWorkloads();
+    EXPECT_EQ(wi.size(), 3u);
+    EXPECT_EQ(ri.size(), 3u);
+    for (const auto w : wi)
+        EXPECT_GT(paperStats(w).writeFraction, 0.5);
+    for (const auto w : ri)
+        EXPECT_LT(paperStats(w).writeFraction, 0.6);
+}
+
+TEST(SniaSynthTest, PaperStatsTableII)
+{
+    EXPECT_EQ(paperStats(SniaWorkload::TPCE).requests, 1300000u);
+    EXPECT_NEAR(paperStats(SniaWorkload::TPCE).writeFraction, 0.924, 1e-9);
+    EXPECT_NEAR(paperStats(SniaWorkload::Web).randomFraction, 0.148, 1e-9);
+    EXPECT_EQ(paperStats(SniaWorkload::Exch).requests, 7600000u);
+    EXPECT_NEAR(paperStats(SniaWorkload::Build).writeFraction, 0.539, 1e-9);
+}
+
+TEST(SniaSynthTest, ScaleShrinksRequestCount)
+{
+    const Trace t = buildSniaTrace(SniaWorkload::Build, 4096, 0.01);
+    EXPECT_EQ(t.size(), 6000u);
+}
+
+/** Parameterized: every workload's synthetic stats track Table II. */
+class SniaStatsSweep : public ::testing::TestWithParam<SniaWorkload>
+{
+};
+
+TEST_P(SniaStatsSweep, MatchesPublishedCharacteristics)
+{
+    const SniaWorkload w = GetParam();
+    const SniaPaperStats ps = paperStats(w);
+    const Trace t = buildSniaTrace(w, 64 * 1024, 0.02);
+    const TraceStats s = t.characterize();
+    EXPECT_NEAR(s.writeFraction, ps.writeFraction, 0.03) << toString(w);
+    EXPECT_NEAR(s.randomFraction, ps.randomFraction, 0.06) << toString(w);
+    EXPECT_EQ(s.requests,
+              static_cast<uint64_t>(
+                  std::llround(static_cast<double>(ps.requests) * 0.02)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SniaStatsSweep,
+                         ::testing::ValuesIn(allSniaWorkloads()),
+                         [](const auto &info) {
+                             std::string n = toString(info.param);
+                             for (auto &c : n)
+                                 if (c == ' ')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(SniaSynthTest, NamesMatchPaperAbbreviations)
+{
+    EXPECT_EQ(toString(SniaWorkload::TPCE), "TPCE");
+    EXPECT_EQ(toString(SniaWorkload::Exch), "Exch");
+    EXPECT_EQ(toString(SniaWorkload::Live), "Live");
+    EXPECT_EQ(toString(SniaWorkload::RwMixed), "RW Mixed");
+}
+
+} // namespace
+} // namespace ssdcheck::workload

@@ -1,0 +1,119 @@
+/** @file Unit tests for the core/ssdcheck.h facade. */
+#include <gtest/gtest.h>
+
+#include "core/ssdcheck.h"
+#include "ssd/presets.h"
+#include "ssd/ssd_device.h"
+
+namespace ssdcheck::core {
+namespace {
+
+using blockdev::makeRead4k;
+using blockdev::makeWrite4k;
+using sim::microseconds;
+using sim::milliseconds;
+
+FeatureSet
+usableFeatures()
+{
+    FeatureSet fs;
+    fs.bufferBytes = 16 * 4096;
+    fs.bufferType = BufferTypeFeature::Back;
+    fs.flushAlgorithms.fullTrigger = true;
+    fs.observedFlushOverheadNs = milliseconds(1);
+    return fs;
+}
+
+TEST(SsdCheckFacadeTest, UnusableFeaturesDisablePrediction)
+{
+    SsdCheck check(FeatureSet{});
+    EXPECT_FALSE(check.enabled());
+    EXPECT_EQ(check.engine(), nullptr);
+    // Predictions are harmless NL.
+    const Prediction p = check.predict(makeRead4k(1), 0);
+    EXPECT_FALSE(p.hl);
+    // Completions still classify correctly.
+    EXPECT_TRUE(check.onComplete(makeRead4k(1), p, 0, milliseconds(5)));
+    EXPECT_FALSE(
+        check.onComplete(makeRead4k(1), p, 0, microseconds(100)));
+}
+
+TEST(SsdCheckFacadeTest, UsableFeaturesEnablePrediction)
+{
+    SsdCheck check(usableFeatures());
+    EXPECT_TRUE(check.enabled());
+    ASSERT_NE(check.engine(), nullptr);
+    EXPECT_EQ(check.engine()->numVolumes(), 1u);
+}
+
+TEST(SsdCheckFacadeTest, GcThresholdAdaptsToObservedFlushOverhead)
+{
+    // Default gc threshold is 3ms; with a diagnosed 2.5ms flush
+    // overhead it must scale to 3x that so long flushes are not
+    // mistaken for GC.
+    FeatureSet fs = usableFeatures();
+    fs.observedFlushOverheadNs = sim::microseconds(2500);
+    SsdCheck check(fs);
+    EXPECT_EQ(check.monitor().thresholds().gc, 3 * sim::microseconds(2500));
+
+    // A small flush overhead keeps the configured default.
+    FeatureSet fs2 = usableFeatures();
+    fs2.observedFlushOverheadNs = sim::microseconds(400);
+    SsdCheck check2(fs2);
+    EXPECT_EQ(check2.monitor().thresholds().gc, milliseconds(3));
+}
+
+TEST(SsdCheckFacadeTest, SeededFlushOverheadReachesCalibrator)
+{
+    FeatureSet fs = usableFeatures();
+    fs.observedFlushOverheadNs = milliseconds(7);
+    SsdCheck check(fs);
+    EXPECT_EQ(check.calibrator().flushOverhead(), milliseconds(7));
+}
+
+TEST(SsdCheckFacadeTest, ClassifyActualUsesThresholds)
+{
+    SsdCheck check(usableFeatures());
+    EXPECT_FALSE(check.classifyActual(makeRead4k(0), microseconds(250)));
+    EXPECT_TRUE(check.classifyActual(makeRead4k(0), microseconds(251)));
+}
+
+TEST(SsdCheckFacadeTest, StaticDiagnoseRunsEndToEnd)
+{
+    ssd::SsdDevice dev(ssd::makePreset(ssd::SsdModel::A));
+    const FeatureSet fs = SsdCheck::diagnose(dev);
+    EXPECT_TRUE(fs.bufferModelUsable());
+    EXPECT_EQ(fs.bufferBytes, 248u * 1024);
+}
+
+TEST(SsdCheckFacadeTest, PredictIsSideEffectFree)
+{
+    SsdCheck check(usableFeatures());
+    for (int i = 0; i < 100; ++i)
+        check.predict(makeWrite4k(i), i);
+    // No submissions happened: the buffer counter is untouched.
+    EXPECT_EQ(check.engine()->wbModel(0).counter(), 0u);
+}
+
+TEST(SsdCheckFacadeTest, AutoDisableAfterSustainedFailure)
+{
+    RuntimeConfig rc;
+    rc.calibrator.disableAccuracy = 0.5;
+    rc.calibrator.disableAfter = 200;
+    rc.calibrator.minHlEvents = 10;
+    rc.accuracyWindow = 100;
+    SsdCheck check(usableFeatures(), rc);
+    // Stream of HL completions the model never predicted.
+    Prediction nl;
+    sim::SimTime t = 0;
+    for (int i = 0; i < 600 && check.enabled(); ++i) {
+        t += milliseconds(1);
+        check.onComplete(makeRead4k(5), nl, t, t + microseconds(800));
+    }
+    EXPECT_FALSE(check.enabled());
+    // Harmlessly off: everything predicted NL now.
+    EXPECT_FALSE(check.predict(makeRead4k(5), t).hl);
+}
+
+} // namespace
+} // namespace ssdcheck::core

@@ -1,0 +1,98 @@
+/** @file Unit tests for workload/synthetic.h. */
+#include <gtest/gtest.h>
+
+#include "workload/synthetic.h"
+
+namespace ssdcheck::workload {
+namespace {
+
+TEST(MixedTraceTest, HonorsRequestCountAndSpan)
+{
+    MixedTraceParams p;
+    p.requests = 5000;
+    p.spanPages = 1000;
+    const Trace t = buildMixedTrace(p, "t");
+    EXPECT_EQ(t.size(), 5000u);
+    for (const auto &r : t.records()) {
+        EXPECT_LT(r.req.lba + r.req.sectors,
+                  (p.spanPages + 1) * blockdev::kSectorsPerPage);
+    }
+}
+
+TEST(MixedTraceTest, WriteFractionTracksParameter)
+{
+    for (const double wf : {0.1, 0.5, 0.9}) {
+        MixedTraceParams p;
+        p.requests = 20000;
+        p.writeFraction = wf;
+        p.seed = 11;
+        const Trace t = buildMixedTrace(p, "t");
+        EXPECT_NEAR(t.characterize().writeFraction, wf, 0.02);
+    }
+}
+
+TEST(MixedTraceTest, RandomFractionTracksParameter)
+{
+    for (const double rf : {0.15, 0.5, 1.0}) {
+        MixedTraceParams p;
+        p.requests = 20000;
+        p.randomFraction = rf;
+        p.seed = 13;
+        const Trace t = buildMixedTrace(p, "t");
+        // Sequential continuations occasionally jump at the span edge,
+        // so measured randomness can sit slightly above the parameter.
+        EXPECT_NEAR(t.characterize().randomFraction, rf, 0.05);
+    }
+}
+
+TEST(MixedTraceTest, SizeMixProducesMultiPageRequests)
+{
+    MixedTraceParams p;
+    p.requests = 10000;
+    p.twoPageFraction = 0.2;
+    p.fourPageFraction = 0.1;
+    p.seed = 17;
+    const Trace t = buildMixedTrace(p, "t");
+    int two = 0, four = 0;
+    for (const auto &r : t.records()) {
+        if (r.req.pages() == 2)
+            ++two;
+        if (r.req.pages() == 4)
+            ++four;
+    }
+    EXPECT_NEAR(two / 10000.0, 0.2, 0.02);
+    EXPECT_NEAR(four / 10000.0, 0.1, 0.02);
+}
+
+TEST(MixedTraceTest, DeterministicForSameSeed)
+{
+    MixedTraceParams p;
+    p.requests = 100;
+    const Trace a = buildMixedTrace(p, "a");
+    const Trace b = buildMixedTrace(p, "b");
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].req.lba, b[i].req.lba);
+        EXPECT_EQ(a[i].req.type, b[i].req.type);
+    }
+}
+
+TEST(RandomWriteTraceTest, AllWrites)
+{
+    const Trace t = buildRandomWriteTrace(1000, 512, 3);
+    EXPECT_EQ(t.size(), 1000u);
+    for (const auto &r : t.records())
+        EXPECT_TRUE(r.req.isWrite());
+    EXPECT_GT(t.characterize().randomFraction, 0.95);
+}
+
+TEST(RwMixedTraceTest, HalfReadsHalfWrites)
+{
+    const Trace t = buildRwMixedTrace(20000, 512, 5);
+    const auto s = t.characterize();
+    EXPECT_NEAR(s.writeFraction, 0.5, 0.02);
+    EXPECT_GT(s.randomFraction, 0.95);
+}
+
+} // namespace
+} // namespace ssdcheck::workload

@@ -1,0 +1,66 @@
+/** @file Unit tests for stats/table_printer.h. */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/table_printer.h"
+
+namespace ssdcheck::stats {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns)
+{
+    TablePrinter t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Separator line present after header.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RowCount)
+{
+    TablePrinter t;
+    t.row({"x"});
+    t.row(std::vector<std::string>{"y", "z"});
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TablePrinterTest, NumFormatsDecimals)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+    EXPECT_EQ(TablePrinter::num(-1.5, 1), "-1.5");
+}
+
+TEST(TablePrinterTest, PctFormatsFractions)
+{
+    EXPECT_EQ(TablePrinter::pct(0.5, 1), "50.0%");
+    EXPECT_EQ(TablePrinter::pct(0.9996, 2), "99.96%");
+}
+
+TEST(TablePrinterTest, BannerContainsTitle)
+{
+    std::ostringstream os;
+    printBanner(os, "Table I");
+    EXPECT_NE(os.str().find("=== Table I ==="), std::string::npos);
+}
+
+TEST(TablePrinterTest, RaggedRowsDoNotCrash)
+{
+    TablePrinter t;
+    t.header({"a", "b", "c"});
+    t.row({"1"});
+    t.row({"1", "2", "3", "4"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_FALSE(os.str().empty());
+}
+
+} // namespace
+} // namespace ssdcheck::stats

@@ -1,0 +1,77 @@
+/** @file Unit tests for stats/timeline.h. */
+#include <gtest/gtest.h>
+
+#include "sim/sim_time.h"
+#include "stats/timeline.h"
+
+namespace ssdcheck::stats {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+TEST(TimelineTest, BucketsByWindow)
+{
+    Timeline t(milliseconds(100));
+    t.add(milliseconds(10), 1000);
+    t.add(milliseconds(90), 1000);
+    t.add(milliseconds(150), 500);
+    EXPECT_EQ(t.numWindows(), 2u);
+    EXPECT_EQ(t.totalBytes(), 2500u);
+    EXPECT_EQ(t.totalIos(), 3u);
+}
+
+TEST(TimelineTest, MbpsComputation)
+{
+    Timeline t(seconds(1));
+    t.add(milliseconds(500), 10 * 1000 * 1000); // 10 MB in a 1s window
+    EXPECT_DOUBLE_EQ(t.mbps(0), 10.0);
+    EXPECT_DOUBLE_EQ(t.iops(0), 1.0);
+}
+
+TEST(TimelineTest, SparseWindowsAreZero)
+{
+    Timeline t(milliseconds(10));
+    t.add(milliseconds(5), 100);
+    t.add(milliseconds(95), 100);
+    ASSERT_EQ(t.numWindows(), 10u);
+    EXPECT_GT(t.mbps(0), 0.0);
+    EXPECT_EQ(t.mbps(5), 0.0);
+    EXPECT_GT(t.mbps(9), 0.0);
+}
+
+TEST(TimelineTest, MeanMbpsAveragesWindows)
+{
+    Timeline t(seconds(1));
+    t.add(milliseconds(100), 2 * 1000 * 1000);
+    t.add(milliseconds(1100), 4 * 1000 * 1000);
+    EXPECT_DOUBLE_EQ(t.meanMbps(), 3.0);
+}
+
+TEST(TimelineTest, CvZeroForConstantThroughput)
+{
+    Timeline t(seconds(1));
+    for (int w = 0; w < 5; ++w)
+        t.add(seconds(w) + milliseconds(1), 1000000);
+    EXPECT_NEAR(t.mbpsCv(), 0.0, 1e-12);
+}
+
+TEST(TimelineTest, CvPositiveForFluctuatingThroughput)
+{
+    Timeline t(seconds(1));
+    t.add(milliseconds(1), 10000000);
+    t.add(seconds(1) + milliseconds(1), 1000000);
+    t.add(seconds(2) + milliseconds(1), 10000000);
+    EXPECT_GT(t.mbpsCv(), 0.5);
+}
+
+TEST(TimelineTest, EmptyTimelineSafe)
+{
+    Timeline t(seconds(1));
+    EXPECT_EQ(t.numWindows(), 0u);
+    EXPECT_DOUBLE_EQ(t.meanMbps(), 0.0);
+    EXPECT_DOUBLE_EQ(t.mbpsCv(), 0.0);
+}
+
+} // namespace
+} // namespace ssdcheck::stats

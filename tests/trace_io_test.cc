@@ -1,0 +1,100 @@
+/** @file Tests for trace text serialization. */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/snia_synth.h"
+#include "workload/trace.h"
+
+namespace ssdcheck::workload {
+namespace {
+
+using blockdev::IoRequest;
+using blockdev::IoType;
+
+TEST(TraceIoTest, RoundTripPreservesEverything)
+{
+    Trace t("demo trace");
+    for (int i = 0; i < 100; ++i) {
+        TraceRecord rec;
+        rec.arrival = i * 1000;
+        rec.req.type = i % 3 == 0   ? IoType::Read
+                       : i % 3 == 1 ? IoType::Write
+                                    : IoType::Trim;
+        rec.req.lba = static_cast<uint64_t>(i) * 8;
+        rec.req.sectors = (i % 4 + 1) * 8;
+        t.add(rec);
+    }
+    std::stringstream ss;
+    t.saveText(ss);
+    const auto back = Trace::loadText(ss);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->name(), "demo trace");
+    ASSERT_EQ(back->size(), t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ((*back)[i].arrival, t[i].arrival);
+        EXPECT_EQ((*back)[i].req.type, t[i].req.type);
+        EXPECT_EQ((*back)[i].req.lba, t[i].req.lba);
+        EXPECT_EQ((*back)[i].req.sectors, t[i].req.sectors);
+    }
+}
+
+TEST(TraceIoTest, RoundTripOfSyntheticTraceKeepsStats)
+{
+    const Trace t = buildSniaTrace(SniaWorkload::Build, 4096, 0.01);
+    std::stringstream ss;
+    t.saveText(ss);
+    const auto back = Trace::loadText(ss);
+    ASSERT_TRUE(back.has_value());
+    const auto a = t.characterize();
+    const auto b = back->characterize();
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_DOUBLE_EQ(a.writeFraction, b.writeFraction);
+    EXPECT_DOUBLE_EQ(a.randomFraction, b.randomFraction);
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips)
+{
+    Trace t("empty");
+    std::stringstream ss;
+    t.saveText(ss);
+    const auto back = Trace::loadText(ss);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->name(), "empty");
+    EXPECT_TRUE(back->empty());
+}
+
+TEST(TraceIoTest, MissingHeaderRejected)
+{
+    std::stringstream ss("0 w 8 8\n");
+    EXPECT_FALSE(Trace::loadText(ss).has_value());
+}
+
+TEST(TraceIoTest, BadTypeRejected)
+{
+    std::stringstream ss("# x\n0 q 8 8\n");
+    EXPECT_FALSE(Trace::loadText(ss).has_value());
+}
+
+TEST(TraceIoTest, MalformedLineRejected)
+{
+    std::stringstream ss("# x\n0 w eight 8\n");
+    EXPECT_FALSE(Trace::loadText(ss).has_value());
+}
+
+TEST(TraceIoTest, NonMonotoneArrivalsRejected)
+{
+    std::stringstream ss("# x\n100 w 8 8\n50 w 16 8\n");
+    EXPECT_FALSE(Trace::loadText(ss).has_value());
+}
+
+TEST(TraceIoTest, BlankLinesSkipped)
+{
+    std::stringstream ss("# x\n\n0 w 8 8\n\n10 r 16 8\n");
+    const auto back = Trace::loadText(ss);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->size(), 2u);
+}
+
+} // namespace
+} // namespace ssdcheck::workload

@@ -1,0 +1,264 @@
+/** @file Unit tests for ssd/volume.h (the per-volume timing engine). */
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "ssd/volume.h"
+
+namespace ssdcheck::ssd {
+namespace {
+
+using sim::microseconds;
+using sim::SimTime;
+
+/** Small, deterministic volume: 8-page buffer, 4 planes, no noise. */
+SsdConfig
+smallCfg()
+{
+    SsdConfig c;
+    c.userCapacityPages = 8192;
+    c.bufferBytes = 8 * 4096;
+    c.planesPerVolume = 4;
+    c.pagesPerBlock = 8;
+    c.opRatio = 0.3;
+    c.gcLowBlocks = 3;
+    c.gcHighBlocks = 6;
+    c.jitterSigma = 0.0;
+    c.hiccupProbability = 0.0;
+    return c;
+}
+
+TEST(VolumeTest, NormalWriteLatencyIsAckTime)
+{
+    const SsdConfig cfg = smallCfg();
+    Volume v(cfg, 0, sim::Rng(1));
+    IoDetail d;
+    const SimTime done = v.serveWrite(0, 100, 42, &d);
+    EXPECT_EQ(done, cfg.writeAckTime);
+    EXPECT_FALSE(d.triggeredFlush);
+    EXPECT_EQ(d.cause(), IoDetail::Cause::Others);
+}
+
+TEST(VolumeTest, WriteGateSerializesWrites)
+{
+    const SsdConfig cfg = smallCfg();
+    Volume v(cfg, 0, sim::Rng(1));
+    const SimTime a1 = v.serveWrite(0, 1, 0, nullptr);
+    const SimTime a2 = v.serveWrite(0, 2, 0, nullptr);
+    EXPECT_EQ(a2 - a1, cfg.writeCpuTime);
+}
+
+TEST(VolumeTest, BufferFillTriggersFlushAtCapacity)
+{
+    const SsdConfig cfg = smallCfg();
+    Volume v(cfg, 0, sim::Rng(1));
+    IoDetail d;
+    for (uint32_t i = 0; i < cfg.bufferPages() - 1; ++i) {
+        d = IoDetail{};
+        v.serveWrite(0, i, i, &d);
+        EXPECT_FALSE(d.triggeredFlush) << "write " << i;
+    }
+    d = IoDetail{};
+    v.serveWrite(0, 99, 99, &d);
+    EXPECT_TRUE(d.triggeredFlush);
+    EXPECT_GT(d.flushTime, 0);
+    EXPECT_GT(v.nandBusyUntil(), 0);
+    EXPECT_EQ(v.counters().flushes, 1u);
+    EXPECT_EQ(v.bufferFill(), 0u);
+}
+
+TEST(VolumeTest, BackTypeTriggerWriteAcksFast)
+{
+    const SsdConfig cfg = smallCfg(); // back by default
+    Volume v(cfg, 0, sim::Rng(1));
+    SimTime last = 0;
+    for (uint32_t i = 0; i < cfg.bufferPages(); ++i)
+        last = v.serveWrite(last, i, i, nullptr);
+    // The flush runs in background: the triggering ack stays small.
+    EXPECT_LT(last, microseconds(800));
+    EXPECT_GT(v.nandBusyUntil(), last);
+}
+
+TEST(VolumeTest, ForeTypeTriggerWriteWaitsForFlush)
+{
+    SsdConfig cfg = smallCfg();
+    cfg.bufferType = BufferType::Fore;
+    Volume v(cfg, 0, sim::Rng(1));
+    SimTime last = 0;
+    for (uint32_t i = 0; i < cfg.bufferPages(); ++i)
+        last = v.serveWrite(last, i, i, nullptr);
+    EXPECT_GE(last, v.nandBusyUntil());
+    EXPECT_GT(last, sim::milliseconds(1));
+}
+
+TEST(VolumeTest, ReadBlockedDuringFlush)
+{
+    const SsdConfig cfg = smallCfg();
+    Volume v(cfg, 0, sim::Rng(1));
+    v.prefill(0);
+    SimTime t = 0;
+    for (uint32_t i = 0; i < cfg.bufferPages(); ++i)
+        t = v.serveWrite(t, i, i, nullptr);
+    // Read an address not in the buffer: must wait out the flush.
+    IoDetail d;
+    const SimTime done = v.serveRead(t, 5000, nullptr, &d);
+    EXPECT_TRUE(d.blockedByBusy);
+    EXPECT_GE(done, v.nandBusyUntil());
+    EXPECT_EQ(d.cause(), IoDetail::Cause::WriteBuffer);
+}
+
+TEST(VolumeTest, ReadAfterFlushCompletesIsNormal)
+{
+    const SsdConfig cfg = smallCfg();
+    Volume v(cfg, 0, sim::Rng(1));
+    v.prefill(0);
+    SimTime t = 0;
+    for (uint32_t i = 0; i < cfg.bufferPages(); ++i)
+        t = v.serveWrite(t, i, i, nullptr);
+    const SimTime idle = v.nandBusyUntil() + microseconds(10);
+    IoDetail d;
+    const SimTime done = v.serveRead(idle, 5000, nullptr, &d);
+    EXPECT_FALSE(d.blockedByBusy);
+    EXPECT_EQ(done - idle,
+              cfg.readOverheadTime + cfg.nandTiming.readLatency);
+}
+
+TEST(VolumeTest, BufferHitReadIsFast)
+{
+    const SsdConfig cfg = smallCfg();
+    Volume v(cfg, 0, sim::Rng(1));
+    v.serveWrite(0, 77, 4242, nullptr);
+    IoDetail d;
+    uint64_t payload = 0;
+    const SimTime done = v.serveRead(microseconds(100), 77, &payload, &d);
+    EXPECT_TRUE(d.bufferHit);
+    EXPECT_EQ(payload, 4242u);
+    EXPECT_EQ(done - microseconds(100), cfg.bufferReadTime);
+}
+
+TEST(VolumeTest, BackpressureWhenFlushesOverlap)
+{
+    const SsdConfig cfg = smallCfg();
+    Volume v(cfg, 0, sim::Rng(1));
+    // Two buffer fills back-to-back: the second flush must wait for
+    // the first and backpressures its trigger write.
+    SimTime t = 0;
+    IoDetail last;
+    for (uint32_t i = 0; i < 2 * cfg.bufferPages(); ++i) {
+        last = IoDetail{};
+        t = v.serveWrite(t, i % 100, i, &last);
+    }
+    EXPECT_TRUE(last.triggeredFlush);
+    EXPECT_TRUE(last.backpressured);
+    EXPECT_GT(last.waitTime, 0);
+    EXPECT_EQ(v.counters().backpressureStalls, 1u);
+}
+
+TEST(VolumeTest, ReadTriggerFlushBlocksRead)
+{
+    SsdConfig cfg = smallCfg();
+    cfg.bufferType = BufferType::Fore;
+    cfg.readTriggerFlush = true;
+    Volume v(cfg, 0, sim::Rng(1));
+    v.prefill(0);
+    // A single buffered write, then a read: the read must flush.
+    SimTime t = v.serveWrite(0, 1, 1, nullptr);
+    IoDetail d;
+    const SimTime done = v.serveRead(t, 5000, nullptr, &d);
+    EXPECT_TRUE(d.readTriggeredFlush);
+    EXPECT_GT(done - t, sim::milliseconds(1));
+    EXPECT_EQ(v.bufferFill(), 0u);
+    // Next read with an empty buffer is normal.
+    IoDetail d2;
+    const SimTime t2 = done + microseconds(10);
+    v.serveRead(t2, 5001, nullptr, &d2);
+    EXPECT_FALSE(d2.readTriggeredFlush);
+}
+
+TEST(VolumeTest, GcEventuallyRunsAndBlocksLonger)
+{
+    SsdConfig cfg = smallCfg();
+    cfg.userCapacityPages = 2048; // small so GC engages quickly
+    Volume v(cfg, 0, sim::Rng(1));
+    v.prefill(0);
+    SimTime t = 0;
+    sim::Rng rng(7);
+    bool sawGc = false;
+    for (int i = 0; i < 20000 && !sawGc; ++i) {
+        IoDetail d;
+        t = v.serveWrite(t, rng.nextBelow(2048), i, &d);
+        if (d.gcRan) {
+            sawGc = true;
+            EXPECT_GT(d.gcTime, sim::milliseconds(1));
+            EXPECT_EQ(d.cause(), IoDetail::Cause::GarbageCollection);
+        }
+    }
+    EXPECT_TRUE(sawGc);
+    EXPECT_GT(v.counters().gcInvocations, 0u);
+    EXPECT_GT(v.counters().gcBlocksErased, 0u);
+}
+
+TEST(VolumeTest, PrefillMakesEveryPageReadable)
+{
+    const SsdConfig cfg = smallCfg();
+    Volume v(cfg, 0, sim::Rng(1));
+    v.prefill(1ULL << 32);
+    uint64_t payload = 0;
+    ASSERT_TRUE(v.peek(0, &payload));
+    EXPECT_EQ(payload, 1ULL << 32);
+    ASSERT_TRUE(v.peek(4321, &payload));
+    EXPECT_EQ(payload, (1ULL << 32) + 4321);
+}
+
+TEST(VolumeTest, PeekSeesBufferedData)
+{
+    const SsdConfig cfg = smallCfg();
+    Volume v(cfg, 0, sim::Rng(1));
+    v.serveWrite(0, 9, 900, nullptr);
+    uint64_t payload = 0;
+    ASSERT_TRUE(v.peek(9, &payload));
+    EXPECT_EQ(payload, 900u);
+}
+
+TEST(VolumeTest, ResetClearsState)
+{
+    const SsdConfig cfg = smallCfg();
+    Volume v(cfg, 0, sim::Rng(1));
+    v.prefill(0);
+    for (uint32_t i = 0; i < cfg.bufferPages(); ++i)
+        v.serveWrite(sim::microseconds(i), i, i, nullptr);
+    v.reset();
+    EXPECT_EQ(v.bufferFill(), 0u);
+    EXPECT_EQ(v.nandBusyUntil(), 0);
+    uint64_t payload = 0;
+    EXPECT_FALSE(v.peek(0, &payload));
+    EXPECT_EQ(v.mapper().totalValid(), 0u);
+}
+
+TEST(VolumeTest, SlcCacheMigrationEventuallyFires)
+{
+    SsdConfig cfg = smallCfg();
+    cfg.slcCache = true;
+    cfg.slcCapacityPages = 64;
+    cfg.slcMigrateChunkPages = 32;
+    cfg.slcCapacityVariation = 0.2;
+    Volume v(cfg, 0, sim::Rng(3));
+    SimTime t = 0;
+    for (int i = 0; i < 400; ++i)
+        t = v.serveWrite(t, i % 1000, i, nullptr);
+    EXPECT_GT(v.counters().slcMigrations, 0u);
+}
+
+TEST(VolumeTest, JitterPerturbsLatencies)
+{
+    SsdConfig cfg = smallCfg();
+    cfg.jitterSigma = 0.2;
+    Volume v(cfg, 0, sim::Rng(5));
+    const SimTime a = v.serveWrite(0, 1, 0, nullptr);
+    const SimTime b =
+        v.serveWrite(sim::milliseconds(1), 2, 0, nullptr) -
+        sim::milliseconds(1);
+    EXPECT_NE(a, b); // same nominal service time, different jitter
+}
+
+} // namespace
+} // namespace ssdcheck::ssd

@@ -1,0 +1,76 @@
+/** @file Unit tests for core/wb_model.h. */
+#include <gtest/gtest.h>
+
+#include "core/wb_model.h"
+
+namespace ssdcheck::core {
+namespace {
+
+TEST(WbModelTest, FlushAtCapacity)
+{
+    WriteBufferModel m(4, false);
+    EXPECT_FALSE(m.onWriteSubmitted());
+    EXPECT_FALSE(m.onWriteSubmitted());
+    EXPECT_FALSE(m.onWriteSubmitted());
+    EXPECT_TRUE(m.onWriteSubmitted()); // 4th write flushes
+    EXPECT_EQ(m.counter(), 0u);
+}
+
+TEST(WbModelTest, WouldFlushIsSideEffectFree)
+{
+    WriteBufferModel m(4, false);
+    m.onWriteSubmitted();
+    m.onWriteSubmitted();
+    m.onWriteSubmitted();
+    EXPECT_TRUE(m.wouldFlushOnWrite());
+    EXPECT_TRUE(m.wouldFlushOnWrite()); // still true: no state change
+    EXPECT_EQ(m.counter(), 3u);
+}
+
+TEST(WbModelTest, MultiPageWritesAdvanceFaster)
+{
+    WriteBufferModel m(8, false);
+    EXPECT_FALSE(m.wouldFlushOnWrite(4));
+    m.onWriteSubmitted(4);
+    EXPECT_TRUE(m.wouldFlushOnWrite(4));
+    EXPECT_TRUE(m.onWriteSubmitted(4));
+}
+
+TEST(WbModelTest, ReadsIgnoredWithoutReadTrigger)
+{
+    WriteBufferModel m(4, false);
+    m.onWriteSubmitted();
+    EXPECT_FALSE(m.wouldFlushOnRead());
+    EXPECT_FALSE(m.onReadSubmitted());
+    EXPECT_EQ(m.counter(), 1u);
+}
+
+TEST(WbModelTest, ReadTriggerFlushesNonEmptyBuffer)
+{
+    WriteBufferModel m(4, true);
+    EXPECT_FALSE(m.wouldFlushOnRead()); // empty: no flush
+    m.onWriteSubmitted();
+    EXPECT_TRUE(m.wouldFlushOnRead());
+    EXPECT_TRUE(m.onReadSubmitted());
+    EXPECT_EQ(m.counter(), 0u);
+    EXPECT_FALSE(m.onReadSubmitted()); // now empty again
+}
+
+TEST(WbModelTest, ResetCounterResynchronizes)
+{
+    WriteBufferModel m(4, false);
+    m.onWriteSubmitted();
+    m.onWriteSubmitted();
+    m.resetCounter();
+    EXPECT_EQ(m.counter(), 0u);
+    EXPECT_FALSE(m.wouldFlushOnWrite());
+}
+
+TEST(WbModelTest, SizeAccessor)
+{
+    WriteBufferModel m(62, false);
+    EXPECT_EQ(m.size(), 62u);
+}
+
+} // namespace
+} // namespace ssdcheck::core

@@ -1,0 +1,144 @@
+/** @file Tests for threshold-based static wear-leveling. */
+#include <gtest/gtest.h>
+
+#include "nand/nand_array.h"
+#include "sim/rng.h"
+#include "ssd/garbage_collector.h"
+#include "ssd/page_mapper.h"
+#include "ssd/presets.h"
+#include "ssd/ssd_device.h"
+
+namespace ssdcheck::ssd {
+namespace {
+
+nand::NandGeometry
+geo()
+{
+    nand::NandGeometry g;
+    g.channels = 1;
+    g.chipsPerChannel = 1;
+    g.planesPerDie = 4;
+    g.blocksPerPlane = 8;
+    g.pagesPerBlock = 8;
+    return g; // 32 blocks
+}
+
+/**
+ * Drive a skewed workload (cold data pinned, hot pages hammered) and
+ * return the final erase-count spread.
+ */
+uint32_t
+spreadAfterSkewedChurn(uint32_t wearThreshold)
+{
+    nand::NandArray arr(geo(), nand::NandTiming{});
+    PageMapper m(arr, 160, /*wearAwareAllocation=*/wearThreshold > 0);
+    GarbageCollector gc(m, arr, 3, 6, wearThreshold);
+    // Cold data: fill most of the logical space once.
+    for (uint64_t lpn = 0; lpn < 160; ++lpn)
+        m.writePage(lpn, lpn);
+    // Hot churn: hammer a tiny range so only a few physical blocks
+    // cycle while the cold blocks never get erased.
+    sim::Rng rng(5);
+    for (int i = 0; i < 30000; ++i) {
+        if (gc.needed())
+            gc.collect();
+        m.writePage(rng.nextBelow(8), i);
+    }
+    const auto [lo, hi] = m.eraseCountRange();
+    return hi - lo;
+}
+
+TEST(WearLevelingTest, SkewedChurnDivergesWithoutLeveling)
+{
+    EXPECT_GT(spreadAfterSkewedChurn(0), 300u);
+}
+
+TEST(WearLevelingTest, LevelingCutsTheSpreadSeveralFold)
+{
+    const uint32_t base = spreadAfterSkewedChurn(0);
+    const uint32_t leveled = spreadAfterSkewedChurn(8);
+    EXPECT_LT(leveled, base / 3);
+    EXPECT_LT(leveled, 160u);
+}
+
+TEST(WearLevelingTest, LevelingPreservesData)
+{
+    nand::NandArray arr(geo(), nand::NandTiming{});
+    PageMapper m(arr, 160, /*wearAwareAllocation=*/true);
+    GarbageCollector gc(m, arr, 3, 6, /*wearThreshold=*/8);
+    std::vector<uint64_t> expected(160);
+    for (uint64_t lpn = 0; lpn < 160; ++lpn) {
+        m.writePage(lpn, 1000 + lpn);
+        expected[lpn] = 1000 + lpn;
+    }
+    sim::Rng rng(7);
+    uint64_t stamp = 5000;
+    for (int i = 0; i < 20000; ++i) {
+        if (gc.needed())
+            gc.collect();
+        const uint64_t lpn = rng.nextBelow(8);
+        m.writePage(lpn, stamp);
+        expected[lpn] = stamp++;
+    }
+    ASSERT_EQ(m.checkConsistency(), "");
+    for (uint64_t lpn = 0; lpn < 160; ++lpn) {
+        uint64_t payload = 0;
+        ASSERT_TRUE(m.readPage(lpn, &payload));
+        EXPECT_EQ(payload, expected[lpn]) << "lpn " << lpn;
+    }
+}
+
+TEST(WearLevelingTest, WearMovesReportedInGcResult)
+{
+    nand::NandArray arr(geo(), nand::NandTiming{});
+    PageMapper m(arr, 160, /*wearAwareAllocation=*/true);
+    GarbageCollector gc(m, arr, 3, 6, /*wearThreshold=*/4);
+    for (uint64_t lpn = 0; lpn < 160; ++lpn)
+        m.writePage(lpn, lpn);
+    sim::Rng rng(9);
+    uint64_t wearMoves = 0;
+    for (int i = 0; i < 20000; ++i) {
+        if (gc.needed())
+            wearMoves += gc.collect().wearMoves;
+        m.writePage(rng.nextBelow(8), i);
+    }
+    EXPECT_GT(wearMoves, 0u);
+}
+
+TEST(WearLevelingTest, DeviceLevelCounterAggregates)
+{
+    SsdConfig cfg;
+    cfg.userCapacityPages = 4096;
+    cfg.bufferBytes = 8 * 4096;
+    cfg.planesPerVolume = 4;
+    cfg.pagesPerBlock = 8;
+    cfg.jitterSigma = 0.0;
+    cfg.hiccupProbability = 0.0;
+    cfg.wearLevelThreshold = 8;
+    SsdDevice dev(cfg);
+    dev.precondition();
+    sim::Rng rng(11);
+    sim::SimTime t = 0;
+    for (int i = 0; i < 40000; ++i) {
+        const auto res =
+            dev.submit(blockdev::makeWrite4k(rng.nextBelow(16)), t);
+        t = res.completeTime;
+    }
+    EXPECT_GT(dev.totalCounters().wearLevelMoves, 0u);
+}
+
+TEST(WearLevelingTest, ColdestBlockSelection)
+{
+    nand::NandArray arr(geo(), nand::NandTiming{});
+    PageMapper m(arr, 160);
+    // No closed blocks yet.
+    EXPECT_EQ(m.pickColdestClosedBlock(), PageMapper::kNoVictim);
+    for (uint64_t lpn = 0; lpn < 32; ++lpn)
+        m.writePage(lpn, lpn);
+    const nand::Pbn cold = m.pickColdestClosedBlock();
+    ASSERT_NE(cold, PageMapper::kNoVictim);
+    EXPECT_EQ(arr.blockEraseCount(cold), 0u);
+}
+
+} // namespace
+} // namespace ssdcheck::ssd

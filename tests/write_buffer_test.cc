@@ -1,0 +1,89 @@
+/** @file Unit tests for ssd/write_buffer.h. */
+#include <gtest/gtest.h>
+
+#include "ssd/write_buffer.h"
+
+namespace ssdcheck::ssd {
+namespace {
+
+TEST(WriteBufferTest, FillsToCapacity)
+{
+    WriteBuffer b(4);
+    EXPECT_TRUE(b.empty());
+    EXPECT_FALSE(b.add(1, 10));
+    EXPECT_FALSE(b.add(2, 20));
+    EXPECT_FALSE(b.add(3, 30));
+    EXPECT_TRUE(b.add(4, 40)); // reports full
+    EXPECT_TRUE(b.full());
+    EXPECT_EQ(b.fill(), 4u);
+}
+
+TEST(WriteBufferTest, SlotPerWriteEvenForSameLpn)
+{
+    // The paper sizes buffers by counting writes between flushes,
+    // which requires no coalescing.
+    WriteBuffer b(3);
+    b.add(7, 1);
+    b.add(7, 2);
+    EXPECT_EQ(b.fill(), 2u);
+}
+
+TEST(WriteBufferTest, LookupReturnsNewestPayload)
+{
+    WriteBuffer b(4);
+    b.add(7, 1);
+    b.add(9, 5);
+    b.add(7, 2);
+    uint64_t payload = 0;
+    EXPECT_TRUE(b.lookup(7, &payload));
+    EXPECT_EQ(payload, 2u);
+    EXPECT_TRUE(b.lookup(9, &payload));
+    EXPECT_EQ(payload, 5u);
+    EXPECT_FALSE(b.lookup(8, &payload));
+}
+
+TEST(WriteBufferTest, DrainReturnsArrivalOrderAndEmpties)
+{
+    WriteBuffer b(4);
+    b.add(3, 30);
+    b.add(1, 10);
+    b.add(2, 20);
+    const auto entries = b.drain();
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0].lpn, 3u);
+    EXPECT_EQ(entries[1].lpn, 1u);
+    EXPECT_EQ(entries[2].lpn, 2u);
+    EXPECT_TRUE(b.empty());
+    EXPECT_FALSE(b.lookup(3, nullptr));
+}
+
+TEST(WriteBufferTest, ReusableAfterDrain)
+{
+    WriteBuffer b(2);
+    b.add(1, 1);
+    b.add(2, 2);
+    b.drain();
+    EXPECT_FALSE(b.add(5, 5));
+    uint64_t payload = 0;
+    EXPECT_TRUE(b.lookup(5, &payload));
+    EXPECT_EQ(payload, 5u);
+}
+
+TEST(WriteBufferTest, ClearDiscards)
+{
+    WriteBuffer b(4);
+    b.add(1, 1);
+    b.clear();
+    EXPECT_TRUE(b.empty());
+    EXPECT_FALSE(b.lookup(1, nullptr));
+}
+
+TEST(WriteBufferTest, LookupWithNullPayloadPointer)
+{
+    WriteBuffer b(2);
+    b.add(1, 42);
+    EXPECT_TRUE(b.lookup(1, nullptr));
+}
+
+} // namespace
+} // namespace ssdcheck::ssd

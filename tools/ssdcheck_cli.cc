@@ -1,0 +1,248 @@
+/**
+ * @file
+ * ssdcheck — command-line front end to the framework (the paper's
+ * "software release" artifact).
+ *
+ *   ssdcheck fingerprint [--device A..G|nvm | --all]
+ *       Run the §III-B diagnosis snippets and print the device's
+ *       internal features (Table-I style).
+ *
+ *   ssdcheck accuracy --device X [--workload NAME] [--scale F]
+ *       Diagnose, build the runtime model, replay a workload in
+ *       predict-before-issue mode and report NL/HL accuracy.
+ *
+ *   ssdcheck synth --workload NAME --out FILE [--scale F] [--span P]
+ *       Generate a synthetic trace (Table-II equivalents) to a file.
+ *
+ *   ssdcheck replay --device X --trace FILE
+ *       Replay a saved trace and print the latency distribution.
+ *
+ * Devices are the simulated presets; on a real system the same code
+ * would sit behind an ioctl-capable block device.
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "core/accuracy.h"
+#include "core/ssdcheck.h"
+#include "ssd/presets.h"
+#include "ssd/ssd_device.h"
+#include "usecases/runner.h"
+#include "workload/snia_synth.h"
+
+using namespace ssdcheck;
+
+namespace {
+
+/** argv parsed into --key value pairs + positionals. */
+struct Args
+{
+    std::string command;
+    std::map<std::string, std::string> options;
+    bool has(const std::string &k) const { return options.count(k) > 0; }
+    std::string get(const std::string &k, const std::string &dflt) const
+    {
+        const auto it = options.find(k);
+        return it == options.end() ? dflt : it->second;
+    }
+};
+
+Args
+parse(int argc, char **argv)
+{
+    Args a;
+    if (argc >= 2)
+        a.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string key = argv[i];
+        if (key.rfind("--", 0) != 0)
+            continue;
+        key = key.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            a.options[key] = argv[++i];
+        } else {
+            a.options[key] = "";
+        }
+    }
+    return a;
+}
+
+/** Build a device by name ("A".."G" or "nvm"). */
+std::unique_ptr<ssd::SsdDevice>
+makeDevice(const std::string &name)
+{
+    if (name == "nvm")
+        return std::make_unique<ssd::SsdDevice>(ssd::makeNvmBackedSsd());
+    if (name.size() == 1 && name[0] >= 'A' && name[0] <= 'G') {
+        const auto model = static_cast<ssd::SsdModel>(name[0] - 'A');
+        return std::make_unique<ssd::SsdDevice>(ssd::makePreset(model));
+    }
+    return nullptr;
+}
+
+workload::SniaWorkload
+workloadByName(const std::string &name, bool *ok)
+{
+    *ok = true;
+    for (const auto w : workload::allSniaWorkloads()) {
+        if (toString(w) == name)
+            return w;
+    }
+    *ok = false;
+    return workload::SniaWorkload::RwMixed;
+}
+
+int
+cmdFingerprint(const Args &args)
+{
+    std::vector<std::string> names;
+    if (args.has("all")) {
+        for (const auto m : ssd::allModels())
+            names.push_back(ssd::toString(m));
+        names.push_back("nvm");
+    } else {
+        names.push_back(args.get("device", "A"));
+    }
+    for (const auto &n : names) {
+        auto dev = makeDevice(n);
+        if (!dev) {
+            std::fprintf(stderr, "unknown device '%s'\n", n.c_str());
+            return 2;
+        }
+        core::DiagnosisRunner runner(*dev, core::DiagnosisConfig{});
+        const core::FeatureSet fs = runner.extractFeatures();
+        std::printf("%-8s %s\n", dev->name().c_str(),
+                    fs.summary().c_str());
+    }
+    return 0;
+}
+
+int
+cmdAccuracy(const Args &args)
+{
+    auto dev = makeDevice(args.get("device", "A"));
+    if (!dev) {
+        std::fprintf(stderr, "unknown device\n");
+        return 2;
+    }
+    bool ok = true;
+    const auto w = workloadByName(args.get("workload", "RW Mixed"), &ok);
+    if (!ok) {
+        std::fprintf(stderr, "unknown workload\n");
+        return 2;
+    }
+    const double scale = std::stod(args.get("scale", "0.05"));
+
+    core::DiagnosisRunner runner(*dev, core::DiagnosisConfig{});
+    const core::FeatureSet fs = runner.extractFeatures();
+    std::printf("features: %s\n", fs.summary().c_str());
+    if (!fs.bufferModelUsable()) {
+        std::printf("no usable buffer model; prediction disabled\n");
+        return 0;
+    }
+    core::SsdCheck check(fs);
+    const auto trace =
+        workload::buildSniaTrace(w, dev->capacityPages(), scale);
+    const auto acc = core::evaluatePredictionAccuracy(*dev, check, trace,
+                                                      runner.now());
+    std::printf("workload: %s (%zu requests, HL fraction %.2f%%)\n",
+                trace.name().c_str(), trace.size(),
+                acc.hlFraction() * 100);
+    std::printf("NL accuracy: %.2f%%\nHL accuracy: %.2f%%\n",
+                acc.nlAccuracy() * 100, acc.hlAccuracy() * 100);
+    return 0;
+}
+
+int
+cmdSynth(const Args &args)
+{
+    bool ok = true;
+    const auto w = workloadByName(args.get("workload", "RW Mixed"), &ok);
+    if (!ok) {
+        std::fprintf(stderr, "unknown workload\n");
+        return 2;
+    }
+    const std::string out = args.get("out", "");
+    if (out.empty()) {
+        std::fprintf(stderr, "--out FILE required\n");
+        return 2;
+    }
+    const double scale = std::stod(args.get("scale", "0.05"));
+    const uint64_t span = std::stoull(args.get("span", "131072"));
+    const auto trace = workload::buildSniaTrace(w, span, scale);
+    std::ofstream os(out);
+    if (!os) {
+        std::fprintf(stderr, "cannot open %s\n", out.c_str());
+        return 2;
+    }
+    trace.saveText(os);
+    std::printf("wrote %zu records to %s\n", trace.size(), out.c_str());
+    return 0;
+}
+
+int
+cmdReplay(const Args &args)
+{
+    auto dev = makeDevice(args.get("device", "A"));
+    if (!dev) {
+        std::fprintf(stderr, "unknown device\n");
+        return 2;
+    }
+    const std::string path = args.get("trace", "");
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 2;
+    }
+    const auto trace = workload::Trace::loadText(is);
+    if (!trace) {
+        std::fprintf(stderr, "malformed trace file\n");
+        return 2;
+    }
+    core::DiagnosisRunner prep(*dev, core::DiagnosisConfig{});
+    prep.precondition();
+    const auto res =
+        usecases::runClosedLoop(*dev, *trace, 1, 0, prep.now());
+    std::printf("%s on %s: %llu requests, %.1f MB/s\n",
+                trace->name().c_str(), dev->name().c_str(),
+                static_cast<unsigned long long>(res.requests),
+                res.throughputMbps());
+    for (const double p : {50.0, 90.0, 99.0, 99.5, 99.9}) {
+        std::printf("  p%-5.1f %s\n", p,
+                    sim::formatDuration(res.latency.percentile(p)).c_str());
+    }
+    return 0;
+}
+
+int
+usage()
+{
+    std::printf(
+        "ssdcheck <command> [options]\n"
+        "  fingerprint [--device A..G|nvm | --all]\n"
+        "  accuracy   --device X [--workload NAME] [--scale F]\n"
+        "  synth      --workload NAME --out FILE [--scale F] [--span P]\n"
+        "  replay     --device X --trace FILE\n"
+        "workloads: TPCE Homes Web Exch Live Build 'RW Mixed'\n");
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = parse(argc, argv);
+    if (args.command == "fingerprint")
+        return cmdFingerprint(args);
+    if (args.command == "accuracy")
+        return cmdAccuracy(args);
+    if (args.command == "synth")
+        return cmdSynth(args);
+    if (args.command == "replay")
+        return cmdReplay(args);
+    return usage();
+}
