@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_secondary"
+  "../bench/bench_ablation_secondary.pdb"
+  "CMakeFiles/bench_ablation_secondary.dir/bench_ablation_secondary.cc.o"
+  "CMakeFiles/bench_ablation_secondary.dir/bench_ablation_secondary.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_secondary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_prototype"
+  "../bench/bench_fig03_prototype.pdb"
+  "CMakeFiles/bench_fig03_prototype.dir/bench_fig03_prototype.cc.o"
+  "CMakeFiles/bench_fig03_prototype.dir/bench_fig03_prototype.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

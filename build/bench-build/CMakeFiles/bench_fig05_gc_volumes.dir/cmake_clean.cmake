@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_gc_volumes"
+  "../bench/bench_fig05_gc_volumes.pdb"
+  "CMakeFiles/bench_fig05_gc_volumes.dir/bench_fig05_gc_volumes.cc.o"
+  "CMakeFiles/bench_fig05_gc_volumes.dir/bench_fig05_gc_volumes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_gc_volumes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_write_buffer"
+  "../bench/bench_fig06_write_buffer.pdb"
+  "CMakeFiles/bench_fig06_write_buffer.dir/bench_fig06_write_buffer.cc.o"
+  "CMakeFiles/bench_fig06_write_buffer.dir/bench_fig06_write_buffer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_write_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

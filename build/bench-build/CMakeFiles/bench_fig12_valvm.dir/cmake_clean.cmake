@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_valvm"
+  "../bench/bench_fig12_valvm.pdb"
+  "CMakeFiles/bench_fig12_valvm.dir/bench_fig12_valvm.cc.o"
+  "CMakeFiles/bench_fig12_valvm.dir/bench_fig12_valvm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_valvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

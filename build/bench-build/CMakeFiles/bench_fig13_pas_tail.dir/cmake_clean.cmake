@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_pas_tail"
+  "../bench/bench_fig13_pas_tail.pdb"
+  "CMakeFiles/bench_fig13_pas_tail.dir/bench_fig13_pas_tail.cc.o"
+  "CMakeFiles/bench_fig13_pas_tail.dir/bench_fig13_pas_tail.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_pas_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_hybrid"
+  "../bench/bench_fig15_hybrid.pdb"
+  "CMakeFiles/bench_fig15_hybrid.dir/bench_fig15_hybrid.cc.o"
+  "CMakeFiles/bench_fig15_hybrid.dir/bench_fig15_hybrid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

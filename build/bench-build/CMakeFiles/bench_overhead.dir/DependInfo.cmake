@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_overhead.cc" "bench-build/CMakeFiles/bench_overhead.dir/bench_overhead.cc.o" "gcc" "bench-build/CMakeFiles/bench_overhead.dir/bench_overhead.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssdcheck_usecases.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_latency_dist"
+  "../bench/bench_table3_latency_dist.pdb"
+  "CMakeFiles/bench_table3_latency_dist.dir/bench_table3_latency_dist.cc.o"
+  "CMakeFiles/bench_table3_latency_dist.dir/bench_table3_latency_dist.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_latency_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

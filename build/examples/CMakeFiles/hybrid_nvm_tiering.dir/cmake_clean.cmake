@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_nvm_tiering.dir/hybrid_nvm_tiering.cpp.o"
+  "CMakeFiles/hybrid_nvm_tiering.dir/hybrid_nvm_tiering.cpp.o.d"
+  "hybrid_nvm_tiering"
+  "hybrid_nvm_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_nvm_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictive_scheduling.dir/predictive_scheduling.cpp.o"
+  "CMakeFiles/predictive_scheduling.dir/predictive_scheduling.cpp.o.d"
+  "predictive_scheduling"
+  "predictive_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictive_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdcheck_blockdev.dir/blockdev/block_device.cc.o"
+  "CMakeFiles/ssdcheck_blockdev.dir/blockdev/block_device.cc.o.d"
+  "CMakeFiles/ssdcheck_blockdev.dir/blockdev/request.cc.o"
+  "CMakeFiles/ssdcheck_blockdev.dir/blockdev/request.cc.o.d"
+  "libssdcheck_blockdev.a"
+  "libssdcheck_blockdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdcheck_blockdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

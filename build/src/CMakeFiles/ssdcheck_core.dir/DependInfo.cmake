@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accuracy.cc" "src/CMakeFiles/ssdcheck_core.dir/core/accuracy.cc.o" "gcc" "src/CMakeFiles/ssdcheck_core.dir/core/accuracy.cc.o.d"
+  "/root/repo/src/core/calibrator.cc" "src/CMakeFiles/ssdcheck_core.dir/core/calibrator.cc.o" "gcc" "src/CMakeFiles/ssdcheck_core.dir/core/calibrator.cc.o.d"
+  "/root/repo/src/core/diagnosis.cc" "src/CMakeFiles/ssdcheck_core.dir/core/diagnosis.cc.o" "gcc" "src/CMakeFiles/ssdcheck_core.dir/core/diagnosis.cc.o.d"
+  "/root/repo/src/core/feature_set.cc" "src/CMakeFiles/ssdcheck_core.dir/core/feature_set.cc.o" "gcc" "src/CMakeFiles/ssdcheck_core.dir/core/feature_set.cc.o.d"
+  "/root/repo/src/core/gc_model.cc" "src/CMakeFiles/ssdcheck_core.dir/core/gc_model.cc.o" "gcc" "src/CMakeFiles/ssdcheck_core.dir/core/gc_model.cc.o.d"
+  "/root/repo/src/core/latency_monitor.cc" "src/CMakeFiles/ssdcheck_core.dir/core/latency_monitor.cc.o" "gcc" "src/CMakeFiles/ssdcheck_core.dir/core/latency_monitor.cc.o.d"
+  "/root/repo/src/core/prediction_engine.cc" "src/CMakeFiles/ssdcheck_core.dir/core/prediction_engine.cc.o" "gcc" "src/CMakeFiles/ssdcheck_core.dir/core/prediction_engine.cc.o.d"
+  "/root/repo/src/core/secondary_model.cc" "src/CMakeFiles/ssdcheck_core.dir/core/secondary_model.cc.o" "gcc" "src/CMakeFiles/ssdcheck_core.dir/core/secondary_model.cc.o.d"
+  "/root/repo/src/core/ssdcheck.cc" "src/CMakeFiles/ssdcheck_core.dir/core/ssdcheck.cc.o" "gcc" "src/CMakeFiles/ssdcheck_core.dir/core/ssdcheck.cc.o.d"
+  "/root/repo/src/core/wb_model.cc" "src/CMakeFiles/ssdcheck_core.dir/core/wb_model.cc.o" "gcc" "src/CMakeFiles/ssdcheck_core.dir/core/wb_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssdcheck_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

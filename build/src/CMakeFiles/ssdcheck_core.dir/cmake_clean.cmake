@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdcheck_core.dir/core/accuracy.cc.o"
+  "CMakeFiles/ssdcheck_core.dir/core/accuracy.cc.o.d"
+  "CMakeFiles/ssdcheck_core.dir/core/calibrator.cc.o"
+  "CMakeFiles/ssdcheck_core.dir/core/calibrator.cc.o.d"
+  "CMakeFiles/ssdcheck_core.dir/core/diagnosis.cc.o"
+  "CMakeFiles/ssdcheck_core.dir/core/diagnosis.cc.o.d"
+  "CMakeFiles/ssdcheck_core.dir/core/feature_set.cc.o"
+  "CMakeFiles/ssdcheck_core.dir/core/feature_set.cc.o.d"
+  "CMakeFiles/ssdcheck_core.dir/core/gc_model.cc.o"
+  "CMakeFiles/ssdcheck_core.dir/core/gc_model.cc.o.d"
+  "CMakeFiles/ssdcheck_core.dir/core/latency_monitor.cc.o"
+  "CMakeFiles/ssdcheck_core.dir/core/latency_monitor.cc.o.d"
+  "CMakeFiles/ssdcheck_core.dir/core/prediction_engine.cc.o"
+  "CMakeFiles/ssdcheck_core.dir/core/prediction_engine.cc.o.d"
+  "CMakeFiles/ssdcheck_core.dir/core/secondary_model.cc.o"
+  "CMakeFiles/ssdcheck_core.dir/core/secondary_model.cc.o.d"
+  "CMakeFiles/ssdcheck_core.dir/core/ssdcheck.cc.o"
+  "CMakeFiles/ssdcheck_core.dir/core/ssdcheck.cc.o.d"
+  "CMakeFiles/ssdcheck_core.dir/core/wb_model.cc.o"
+  "CMakeFiles/ssdcheck_core.dir/core/wb_model.cc.o.d"
+  "libssdcheck_core.a"
+  "libssdcheck_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdcheck_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

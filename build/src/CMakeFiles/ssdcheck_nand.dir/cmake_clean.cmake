@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdcheck_nand.dir/nand/nand_array.cc.o"
+  "CMakeFiles/ssdcheck_nand.dir/nand/nand_array.cc.o.d"
+  "CMakeFiles/ssdcheck_nand.dir/nand/nand_chip.cc.o"
+  "CMakeFiles/ssdcheck_nand.dir/nand/nand_chip.cc.o.d"
+  "CMakeFiles/ssdcheck_nand.dir/nand/nand_config.cc.o"
+  "CMakeFiles/ssdcheck_nand.dir/nand/nand_config.cc.o.d"
+  "libssdcheck_nand.a"
+  "libssdcheck_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdcheck_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

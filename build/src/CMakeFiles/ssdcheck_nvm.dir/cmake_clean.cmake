@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdcheck_nvm.dir/nvm/nvm_device.cc.o"
+  "CMakeFiles/ssdcheck_nvm.dir/nvm/nvm_device.cc.o.d"
+  "libssdcheck_nvm.a"
+  "libssdcheck_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdcheck_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

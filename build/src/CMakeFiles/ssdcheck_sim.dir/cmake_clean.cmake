@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdcheck_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/ssdcheck_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/ssdcheck_sim.dir/sim/rng.cc.o"
+  "CMakeFiles/ssdcheck_sim.dir/sim/rng.cc.o.d"
+  "CMakeFiles/ssdcheck_sim.dir/sim/sim_time.cc.o"
+  "CMakeFiles/ssdcheck_sim.dir/sim/sim_time.cc.o.d"
+  "libssdcheck_sim.a"
+  "libssdcheck_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdcheck_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

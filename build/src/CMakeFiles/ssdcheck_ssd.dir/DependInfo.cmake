@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/garbage_collector.cc" "src/CMakeFiles/ssdcheck_ssd.dir/ssd/garbage_collector.cc.o" "gcc" "src/CMakeFiles/ssdcheck_ssd.dir/ssd/garbage_collector.cc.o.d"
+  "/root/repo/src/ssd/page_mapper.cc" "src/CMakeFiles/ssdcheck_ssd.dir/ssd/page_mapper.cc.o" "gcc" "src/CMakeFiles/ssdcheck_ssd.dir/ssd/page_mapper.cc.o.d"
+  "/root/repo/src/ssd/presets.cc" "src/CMakeFiles/ssdcheck_ssd.dir/ssd/presets.cc.o" "gcc" "src/CMakeFiles/ssdcheck_ssd.dir/ssd/presets.cc.o.d"
+  "/root/repo/src/ssd/ssd_config.cc" "src/CMakeFiles/ssdcheck_ssd.dir/ssd/ssd_config.cc.o" "gcc" "src/CMakeFiles/ssdcheck_ssd.dir/ssd/ssd_config.cc.o.d"
+  "/root/repo/src/ssd/ssd_device.cc" "src/CMakeFiles/ssdcheck_ssd.dir/ssd/ssd_device.cc.o" "gcc" "src/CMakeFiles/ssdcheck_ssd.dir/ssd/ssd_device.cc.o.d"
+  "/root/repo/src/ssd/volume.cc" "src/CMakeFiles/ssdcheck_ssd.dir/ssd/volume.cc.o" "gcc" "src/CMakeFiles/ssdcheck_ssd.dir/ssd/volume.cc.o.d"
+  "/root/repo/src/ssd/write_buffer.cc" "src/CMakeFiles/ssdcheck_ssd.dir/ssd/write_buffer.cc.o" "gcc" "src/CMakeFiles/ssdcheck_ssd.dir/ssd/write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssdcheck_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdcheck_ssd.dir/ssd/garbage_collector.cc.o"
+  "CMakeFiles/ssdcheck_ssd.dir/ssd/garbage_collector.cc.o.d"
+  "CMakeFiles/ssdcheck_ssd.dir/ssd/page_mapper.cc.o"
+  "CMakeFiles/ssdcheck_ssd.dir/ssd/page_mapper.cc.o.d"
+  "CMakeFiles/ssdcheck_ssd.dir/ssd/presets.cc.o"
+  "CMakeFiles/ssdcheck_ssd.dir/ssd/presets.cc.o.d"
+  "CMakeFiles/ssdcheck_ssd.dir/ssd/ssd_config.cc.o"
+  "CMakeFiles/ssdcheck_ssd.dir/ssd/ssd_config.cc.o.d"
+  "CMakeFiles/ssdcheck_ssd.dir/ssd/ssd_device.cc.o"
+  "CMakeFiles/ssdcheck_ssd.dir/ssd/ssd_device.cc.o.d"
+  "CMakeFiles/ssdcheck_ssd.dir/ssd/volume.cc.o"
+  "CMakeFiles/ssdcheck_ssd.dir/ssd/volume.cc.o.d"
+  "CMakeFiles/ssdcheck_ssd.dir/ssd/write_buffer.cc.o"
+  "CMakeFiles/ssdcheck_ssd.dir/ssd/write_buffer.cc.o.d"
+  "libssdcheck_ssd.a"
+  "libssdcheck_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdcheck_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdcheck_stats.dir/stats/chi_squared.cc.o"
+  "CMakeFiles/ssdcheck_stats.dir/stats/chi_squared.cc.o.d"
+  "CMakeFiles/ssdcheck_stats.dir/stats/histogram.cc.o"
+  "CMakeFiles/ssdcheck_stats.dir/stats/histogram.cc.o.d"
+  "CMakeFiles/ssdcheck_stats.dir/stats/latency_recorder.cc.o"
+  "CMakeFiles/ssdcheck_stats.dir/stats/latency_recorder.cc.o.d"
+  "CMakeFiles/ssdcheck_stats.dir/stats/table_printer.cc.o"
+  "CMakeFiles/ssdcheck_stats.dir/stats/table_printer.cc.o.d"
+  "CMakeFiles/ssdcheck_stats.dir/stats/timeline.cc.o"
+  "CMakeFiles/ssdcheck_stats.dir/stats/timeline.cc.o.d"
+  "libssdcheck_stats.a"
+  "libssdcheck_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdcheck_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libssdcheck_stats.a"
+)

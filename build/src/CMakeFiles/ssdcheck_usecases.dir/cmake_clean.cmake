@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdcheck_usecases.dir/usecases/hybrid.cc.o"
+  "CMakeFiles/ssdcheck_usecases.dir/usecases/hybrid.cc.o.d"
+  "CMakeFiles/ssdcheck_usecases.dir/usecases/lvm.cc.o"
+  "CMakeFiles/ssdcheck_usecases.dir/usecases/lvm.cc.o.d"
+  "CMakeFiles/ssdcheck_usecases.dir/usecases/pas.cc.o"
+  "CMakeFiles/ssdcheck_usecases.dir/usecases/pas.cc.o.d"
+  "CMakeFiles/ssdcheck_usecases.dir/usecases/runner.cc.o"
+  "CMakeFiles/ssdcheck_usecases.dir/usecases/runner.cc.o.d"
+  "CMakeFiles/ssdcheck_usecases.dir/usecases/scheduler.cc.o"
+  "CMakeFiles/ssdcheck_usecases.dir/usecases/scheduler.cc.o.d"
+  "libssdcheck_usecases.a"
+  "libssdcheck_usecases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdcheck_usecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/pattern.cc" "src/CMakeFiles/ssdcheck_workload.dir/workload/pattern.cc.o" "gcc" "src/CMakeFiles/ssdcheck_workload.dir/workload/pattern.cc.o.d"
+  "/root/repo/src/workload/snia_synth.cc" "src/CMakeFiles/ssdcheck_workload.dir/workload/snia_synth.cc.o" "gcc" "src/CMakeFiles/ssdcheck_workload.dir/workload/snia_synth.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/ssdcheck_workload.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/ssdcheck_workload.dir/workload/synthetic.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/ssdcheck_workload.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/ssdcheck_workload.dir/workload/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssdcheck_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

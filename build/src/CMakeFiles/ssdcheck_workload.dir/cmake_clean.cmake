@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdcheck_workload.dir/workload/pattern.cc.o"
+  "CMakeFiles/ssdcheck_workload.dir/workload/pattern.cc.o.d"
+  "CMakeFiles/ssdcheck_workload.dir/workload/snia_synth.cc.o"
+  "CMakeFiles/ssdcheck_workload.dir/workload/snia_synth.cc.o.d"
+  "CMakeFiles/ssdcheck_workload.dir/workload/synthetic.cc.o"
+  "CMakeFiles/ssdcheck_workload.dir/workload/synthetic.cc.o.d"
+  "CMakeFiles/ssdcheck_workload.dir/workload/trace.cc.o"
+  "CMakeFiles/ssdcheck_workload.dir/workload/trace.cc.o.d"
+  "libssdcheck_workload.a"
+  "libssdcheck_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdcheck_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/calibrator_test.cc" "tests/CMakeFiles/core_tests.dir/calibrator_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/calibrator_test.cc.o.d"
+  "/root/repo/tests/feature_set_test.cc" "tests/CMakeFiles/core_tests.dir/feature_set_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/feature_set_test.cc.o.d"
+  "/root/repo/tests/gc_model_test.cc" "tests/CMakeFiles/core_tests.dir/gc_model_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/gc_model_test.cc.o.d"
+  "/root/repo/tests/latency_monitor_test.cc" "tests/CMakeFiles/core_tests.dir/latency_monitor_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/latency_monitor_test.cc.o.d"
+  "/root/repo/tests/prediction_engine_test.cc" "tests/CMakeFiles/core_tests.dir/prediction_engine_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/prediction_engine_test.cc.o.d"
+  "/root/repo/tests/secondary_model_test.cc" "tests/CMakeFiles/core_tests.dir/secondary_model_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/secondary_model_test.cc.o.d"
+  "/root/repo/tests/ssdcheck_facade_test.cc" "tests/CMakeFiles/core_tests.dir/ssdcheck_facade_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/ssdcheck_facade_test.cc.o.d"
+  "/root/repo/tests/wb_model_test.cc" "tests/CMakeFiles/core_tests.dir/wb_model_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/wb_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssdcheck_usecases.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/calibrator_test.cc.o"
+  "CMakeFiles/core_tests.dir/calibrator_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/feature_set_test.cc.o"
+  "CMakeFiles/core_tests.dir/feature_set_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/gc_model_test.cc.o"
+  "CMakeFiles/core_tests.dir/gc_model_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/latency_monitor_test.cc.o"
+  "CMakeFiles/core_tests.dir/latency_monitor_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/prediction_engine_test.cc.o"
+  "CMakeFiles/core_tests.dir/prediction_engine_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/secondary_model_test.cc.o"
+  "CMakeFiles/core_tests.dir/secondary_model_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/ssdcheck_facade_test.cc.o"
+  "CMakeFiles/core_tests.dir/ssdcheck_facade_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/wb_model_test.cc.o"
+  "CMakeFiles/core_tests.dir/wb_model_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nand_tests.dir/nand_array_test.cc.o"
+  "CMakeFiles/nand_tests.dir/nand_array_test.cc.o.d"
+  "CMakeFiles/nand_tests.dir/nand_chip_test.cc.o"
+  "CMakeFiles/nand_tests.dir/nand_chip_test.cc.o.d"
+  "CMakeFiles/nand_tests.dir/nand_config_test.cc.o"
+  "CMakeFiles/nand_tests.dir/nand_config_test.cc.o.d"
+  "nand_tests"
+  "nand_tests.pdb"
+  "nand_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nand_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/event_queue_test.cc" "tests/CMakeFiles/sim_tests.dir/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/event_queue_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/sim_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/sim_time_test.cc" "tests/CMakeFiles/sim_tests.dir/sim_time_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim_time_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssdcheck_usecases.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

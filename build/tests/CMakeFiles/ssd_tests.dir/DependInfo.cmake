@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/garbage_collector_test.cc" "tests/CMakeFiles/ssd_tests.dir/garbage_collector_test.cc.o" "gcc" "tests/CMakeFiles/ssd_tests.dir/garbage_collector_test.cc.o.d"
+  "/root/repo/tests/nvm_test.cc" "tests/CMakeFiles/ssd_tests.dir/nvm_test.cc.o" "gcc" "tests/CMakeFiles/ssd_tests.dir/nvm_test.cc.o.d"
+  "/root/repo/tests/page_mapper_test.cc" "tests/CMakeFiles/ssd_tests.dir/page_mapper_test.cc.o" "gcc" "tests/CMakeFiles/ssd_tests.dir/page_mapper_test.cc.o.d"
+  "/root/repo/tests/presets_test.cc" "tests/CMakeFiles/ssd_tests.dir/presets_test.cc.o" "gcc" "tests/CMakeFiles/ssd_tests.dir/presets_test.cc.o.d"
+  "/root/repo/tests/read_disturb_test.cc" "tests/CMakeFiles/ssd_tests.dir/read_disturb_test.cc.o" "gcc" "tests/CMakeFiles/ssd_tests.dir/read_disturb_test.cc.o.d"
+  "/root/repo/tests/request_test.cc" "tests/CMakeFiles/ssd_tests.dir/request_test.cc.o" "gcc" "tests/CMakeFiles/ssd_tests.dir/request_test.cc.o.d"
+  "/root/repo/tests/ssd_config_test.cc" "tests/CMakeFiles/ssd_tests.dir/ssd_config_test.cc.o" "gcc" "tests/CMakeFiles/ssd_tests.dir/ssd_config_test.cc.o.d"
+  "/root/repo/tests/ssd_device_test.cc" "tests/CMakeFiles/ssd_tests.dir/ssd_device_test.cc.o" "gcc" "tests/CMakeFiles/ssd_tests.dir/ssd_device_test.cc.o.d"
+  "/root/repo/tests/volume_test.cc" "tests/CMakeFiles/ssd_tests.dir/volume_test.cc.o" "gcc" "tests/CMakeFiles/ssd_tests.dir/volume_test.cc.o.d"
+  "/root/repo/tests/wear_leveling_test.cc" "tests/CMakeFiles/ssd_tests.dir/wear_leveling_test.cc.o" "gcc" "tests/CMakeFiles/ssd_tests.dir/wear_leveling_test.cc.o.d"
+  "/root/repo/tests/write_buffer_test.cc" "tests/CMakeFiles/ssd_tests.dir/write_buffer_test.cc.o" "gcc" "tests/CMakeFiles/ssd_tests.dir/write_buffer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssdcheck_usecases.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ssdcheck_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

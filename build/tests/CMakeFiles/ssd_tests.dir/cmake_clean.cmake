@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_tests.dir/garbage_collector_test.cc.o"
+  "CMakeFiles/ssd_tests.dir/garbage_collector_test.cc.o.d"
+  "CMakeFiles/ssd_tests.dir/nvm_test.cc.o"
+  "CMakeFiles/ssd_tests.dir/nvm_test.cc.o.d"
+  "CMakeFiles/ssd_tests.dir/page_mapper_test.cc.o"
+  "CMakeFiles/ssd_tests.dir/page_mapper_test.cc.o.d"
+  "CMakeFiles/ssd_tests.dir/presets_test.cc.o"
+  "CMakeFiles/ssd_tests.dir/presets_test.cc.o.d"
+  "CMakeFiles/ssd_tests.dir/read_disturb_test.cc.o"
+  "CMakeFiles/ssd_tests.dir/read_disturb_test.cc.o.d"
+  "CMakeFiles/ssd_tests.dir/request_test.cc.o"
+  "CMakeFiles/ssd_tests.dir/request_test.cc.o.d"
+  "CMakeFiles/ssd_tests.dir/ssd_config_test.cc.o"
+  "CMakeFiles/ssd_tests.dir/ssd_config_test.cc.o.d"
+  "CMakeFiles/ssd_tests.dir/ssd_device_test.cc.o"
+  "CMakeFiles/ssd_tests.dir/ssd_device_test.cc.o.d"
+  "CMakeFiles/ssd_tests.dir/volume_test.cc.o"
+  "CMakeFiles/ssd_tests.dir/volume_test.cc.o.d"
+  "CMakeFiles/ssd_tests.dir/wear_leveling_test.cc.o"
+  "CMakeFiles/ssd_tests.dir/wear_leveling_test.cc.o.d"
+  "CMakeFiles/ssd_tests.dir/write_buffer_test.cc.o"
+  "CMakeFiles/ssd_tests.dir/write_buffer_test.cc.o.d"
+  "ssd_tests"
+  "ssd_tests.pdb"
+  "ssd_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usecases_tests.dir/hybrid_test.cc.o"
+  "CMakeFiles/usecases_tests.dir/hybrid_test.cc.o.d"
+  "CMakeFiles/usecases_tests.dir/lvm_test.cc.o"
+  "CMakeFiles/usecases_tests.dir/lvm_test.cc.o.d"
+  "CMakeFiles/usecases_tests.dir/pas_test.cc.o"
+  "CMakeFiles/usecases_tests.dir/pas_test.cc.o.d"
+  "CMakeFiles/usecases_tests.dir/runner_test.cc.o"
+  "CMakeFiles/usecases_tests.dir/runner_test.cc.o.d"
+  "CMakeFiles/usecases_tests.dir/scheduler_test.cc.o"
+  "CMakeFiles/usecases_tests.dir/scheduler_test.cc.o.d"
+  "usecases_tests"
+  "usecases_tests.pdb"
+  "usecases_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usecases_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

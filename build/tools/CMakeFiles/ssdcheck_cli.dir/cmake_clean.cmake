@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdcheck_cli.dir/ssdcheck_cli.cc.o"
+  "CMakeFiles/ssdcheck_cli.dir/ssdcheck_cli.cc.o.d"
+  "ssdcheck"
+  "ssdcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdcheck_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
