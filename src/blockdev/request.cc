@@ -16,6 +16,22 @@ toString(IoType t)
     return "?";
 }
 
+std::string
+toString(IoStatus s)
+{
+    switch (s) {
+      case IoStatus::Ok:
+        return "ok";
+      case IoStatus::MediaError:
+        return "media-error";
+      case IoStatus::Timeout:
+        return "timeout";
+      case IoStatus::DeviceFault:
+        return "device-fault";
+    }
+    return "?";
+}
+
 IoRequest
 makeRead4k(uint64_t pageIndex)
 {

@@ -32,6 +32,30 @@ enum class IoType : uint8_t { Read, Write, Trim };
 /** Human-readable name of an IoType. */
 std::string toString(IoType t);
 
+/**
+ * Completion status of one request. Devices may fail: media errors
+ * (uncorrectable reads, program/erase failures), commands that never
+ * complete in useful time, and malformed requests rejected at the
+ * device boundary. Ok is the only status whose timestamps describe a
+ * successful data transfer.
+ */
+enum class IoStatus : uint8_t
+{
+    Ok,          ///< Completed successfully.
+    MediaError,  ///< Uncorrectable media error (retryable).
+    Timeout,     ///< Host gave up waiting (retryable).
+    DeviceFault, ///< Rejected/failed command (not retryable).
+};
+
+/** Human-readable name of an IoStatus. */
+std::string toString(IoStatus s);
+
+/** True when a failed request is worth re-submitting. */
+inline bool isRetryable(IoStatus s)
+{
+    return s == IoStatus::MediaError || s == IoStatus::Timeout;
+}
+
 /** One block I/O request as seen at the device interface. */
 struct IoRequest
 {
@@ -63,9 +87,20 @@ struct IoResult
 {
     sim::SimTime submitTime = 0;   ///< When the host submitted it.
     sim::SimTime completeTime = 0; ///< When the device completed it.
+    IoStatus status = IoStatus::Ok;
+    /**
+     * Host-visible submission count: 1 for a first-try success; a
+     * resilience layer that re-issued the request bumps it per retry.
+     * Latency observed on a multi-attempt request includes retry and
+     * backoff time and must not calibrate device service estimates.
+     */
+    uint32_t attempts = 1;
 
     /** End-to-end device latency. */
     sim::SimDuration latency() const { return completeTime - submitTime; }
+
+    /** True when the request completed successfully. */
+    bool ok() const { return status == IoStatus::Ok; }
 };
 
 /** Convenience constructors for page-sized (4KB) requests. */

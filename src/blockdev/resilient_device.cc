@@ -1,0 +1,89 @@
+#include "blockdev/resilient_device.h"
+
+#include <algorithm>
+
+namespace ssdcheck::blockdev {
+
+ResilientDevice::ResilientDevice(BlockDevice &inner, ResilienceConfig cfg)
+    : inner_(inner), cfg_(cfg)
+{
+}
+
+sim::SimDuration
+ResilientDevice::backoffFor(uint32_t retry) const
+{
+    sim::SimDuration d = cfg_.backoffBase;
+    for (uint32_t i = 1; i < retry; ++i) {
+        if (d >= cfg_.backoffCap / 2)
+            return cfg_.backoffCap;
+        d *= 2;
+    }
+    return std::min(d, cfg_.backoffCap);
+}
+
+IoResult
+ResilientDevice::submit(const IoRequest &req, sim::SimTime now)
+{
+    sim::SimTime attemptTime = now;
+    IoResult last;
+    for (uint32_t attempt = 0;; ++attempt) {
+        // A retry advances the device past the caller's clock; later
+        // requests submitted at earlier host times must still reach
+        // the device in nondecreasing order (its submit contract), so
+        // clamp to the high-water mark — a command cannot arrive in
+        // the device's past.
+        attemptTime = std::max(attemptTime, innerClock_);
+        innerClock_ = attemptTime;
+        IoResult res = inner_.submit(req, attemptTime);
+
+        // Timeout classification: the host stops waiting once the
+        // exchange exceeds the deadline, even though the simulated
+        // completion eventually arrives.
+        if (res.ok() && cfg_.timeoutAfter > 0 &&
+            res.latency() > cfg_.timeoutAfter)
+            res.status = IoStatus::Timeout;
+
+        switch (res.status) {
+          case IoStatus::Ok:
+            break;
+          case IoStatus::MediaError:
+            ++counters_.mediaErrors;
+            break;
+          case IoStatus::Timeout:
+            ++counters_.timeouts;
+            break;
+          case IoStatus::DeviceFault:
+            ++counters_.deviceFaults;
+            break;
+        }
+
+        last = res;
+        last.submitTime = now;
+        last.attempts = attempt + 1;
+
+        if (res.ok()) {
+            if (attempt > 0)
+                ++counters_.recovered;
+            return last;
+        }
+        if (!isRetryable(res.status) || attempt >= cfg_.maxRetries) {
+            if (isRetryable(res.status))
+                ++counters_.exhausted;
+            return last;
+        }
+
+        ++counters_.retries;
+        // Re-submit after the failed attempt settles plus backoff.
+        // Timeouts re-issue from the moment the host gave up, not the
+        // (later) simulated completion.
+        const sim::SimTime settled =
+            res.status == IoStatus::Timeout
+                ? std::min(res.completeTime,
+                           attemptTime + cfg_.timeoutAfter)
+                : res.completeTime;
+        attemptTime = std::max(attemptTime, settled) +
+                      backoffFor(attempt + 1);
+    }
+}
+
+} // namespace ssdcheck::blockdev

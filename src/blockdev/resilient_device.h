@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Host-side resilient I/O path: a BlockDevice decorator implementing
+ * bounded retries with capped exponential backoff and timeout
+ * classification — the layer the SSDcheck runtime sits on when the
+ * device underneath misbehaves.
+ *
+ * Policy:
+ *  - MediaError and Timeout completions are retryable; the request is
+ *    re-submitted after a backoff that doubles per attempt up to a
+ *    cap. DeviceFault (malformed/rejected command) is permanent and
+ *    returned immediately.
+ *  - A completion whose device latency exceeds timeoutAfter is
+ *    classified Timeout: the host gave up waiting and re-issues. The
+ *    classification threshold must sit far above any legitimate
+ *    internal event (GC takes tens of milliseconds; the default
+ *    threshold is 500ms).
+ *  - The returned IoResult spans the whole exchange: submitTime is
+ *    the original submission, completeTime the final attempt's
+ *    completion, attempts counts submissions. Callers feeding latency
+ *    models must treat attempts > 1 results as tainted (the latency
+ *    contains retry loops and backoff, not device service time) —
+ *    SsdCheck::onComplete does this automatically.
+ *
+ * Per-status error counters make the device's misbehavior observable
+ * to operators (surfaced by the CLI's fault report).
+ */
+#ifndef SSDCHECK_BLOCKDEV_RESILIENT_DEVICE_H
+#define SSDCHECK_BLOCKDEV_RESILIENT_DEVICE_H
+
+#include <cstdint>
+#include <string>
+
+#include "blockdev/block_device.h"
+
+namespace ssdcheck::blockdev {
+
+/** Retry/backoff/timeout policy of the resilient path. */
+struct ResilienceConfig
+{
+    /** Re-submissions after the first attempt (0 = fail fast). */
+    uint32_t maxRetries = 3;
+    /** Backoff before the first retry; doubles per further retry. */
+    sim::SimDuration backoffBase = sim::microseconds(200);
+    /** Upper bound on any single backoff wait. */
+    sim::SimDuration backoffCap = sim::milliseconds(20);
+    /** Completions slower than this classify as Timeout (0 = off). */
+    sim::SimDuration timeoutAfter = sim::milliseconds(500);
+};
+
+/** Per-status error accounting of one resilient device. */
+struct ResilienceCounters
+{
+    uint64_t mediaErrors = 0;   ///< MediaError completions seen.
+    uint64_t timeouts = 0;      ///< Timeout classifications.
+    uint64_t deviceFaults = 0;  ///< Permanent faults (not retried).
+    uint64_t retries = 0;       ///< Re-submissions performed.
+    uint64_t recovered = 0;     ///< Requests that succeeded on retry.
+    uint64_t exhausted = 0;     ///< Requests failed after max retries.
+
+    /** Total failed submissions observed (any status). */
+    uint64_t totalErrors() const
+    {
+        return mediaErrors + timeouts + deviceFaults;
+    }
+};
+
+/** Retry/backoff/timeout decorator over any BlockDevice. */
+class ResilientDevice : public BlockDevice
+{
+  public:
+    /** @param inner the possibly-faulty device (not owned). */
+    explicit ResilientDevice(BlockDevice &inner, ResilienceConfig cfg = {});
+
+    // BlockDevice interface.
+    IoResult submit(const IoRequest &req, sim::SimTime now) override;
+    uint64_t capacitySectors() const override
+    {
+        return inner_.capacitySectors();
+    }
+    void purge(sim::SimTime now) override { inner_.purge(now); }
+    std::string name() const override { return inner_.name(); }
+
+    const ResilienceCounters &counters() const { return counters_; }
+    const ResilienceConfig &config() const { return cfg_; }
+
+    /** Backoff before retry number @p retry (1-based), capped. */
+    sim::SimDuration backoffFor(uint32_t retry) const;
+
+  private:
+    BlockDevice &inner_;
+    ResilienceConfig cfg_;
+    ResilienceCounters counters_;
+    /** High-water mark of inner submissions: retries run ahead of the
+     *  caller's clock, and the inner device requires nondecreasing
+     *  submit times. */
+    sim::SimTime innerClock_ = 0;
+};
+
+} // namespace ssdcheck::blockdev
+
+#endif // SSDCHECK_BLOCKDEV_RESILIENT_DEVICE_H

@@ -14,8 +14,15 @@ evaluatePredictionAccuracy(blockdev::BlockDevice &dev, SsdCheck &check,
         const Prediction pred = check.predict(req, t);
         check.onSubmit(req, t);
         const blockdev::IoResult res = dev.submit(req, t);
-        const bool actualHl =
-            check.onComplete(req, pred, t, res.completeTime);
+        const bool actualHl = check.onComplete(
+            req, pred, t, res.completeTime, res.status, res.attempts);
+        if (!res.ok() || res.attempts > 1) {
+            // Error-path exchanges measure the resilience layer, not
+            // the prediction model; keep recall clean of them.
+            ++acc.faulted;
+            t = res.completeTime;
+            continue;
+        }
         if (actualHl) {
             ++acc.hlTotal;
             if (pred.hl)

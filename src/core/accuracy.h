@@ -28,6 +28,8 @@ struct AccuracyResult
     uint64_t nlCorrect = 0;
     uint64_t hlTotal = 0;
     uint64_t hlCorrect = 0;
+    /** Requests that failed or were retried (excluded from recall). */
+    uint64_t faulted = 0;
 
     /** NL recall (1.0 when no NL requests occurred). */
     double nlAccuracy() const

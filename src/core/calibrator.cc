@@ -56,6 +56,8 @@ Calibrator::onAccuracySample(double rollingHl, uint32_t rollingHlEvents)
     if (rollingHlEvents < cfg_.minHlEvents)
         return false;
     const bool resetGc = rollingHl < cfg_.gcResetAccuracy;
+    if (resetGc)
+        ++historyResets_;
 
     if (rollingHl < cfg_.disableAccuracy)
         ++lowAccuracyStreak_;

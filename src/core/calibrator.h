@@ -70,6 +70,16 @@ class Calibrator
     /** False once prediction has been harmlessly turned off. */
     bool predictionEnabled() const { return enabled_; }
 
+    /** Times onAccuracySample demanded a GC-history reset (drift
+     *  response observability). */
+    uint64_t historyResets() const { return historyResets_; }
+
+    /** Consecutive below-disableAccuracy samples so far. */
+    uint64_t lowAccuracyStreak() const { return lowAccuracyStreak_; }
+
+    /** Accuracy samples consumed so far. */
+    uint64_t observations() const { return observations_; }
+
     const CalibratorConfig &config() const { return cfg_; }
 
   private:
@@ -82,6 +92,7 @@ class Calibrator
     sim::SimDuration gcOverhead_;
     uint64_t observations_ = 0;
     uint64_t lowAccuracyStreak_ = 0;
+    uint64_t historyResets_ = 0;
     bool enabled_ = true;
 };
 

@@ -139,11 +139,19 @@ PredictionEngine::onSubmit(const blockdev::IoRequest &req, sim::SimTime now)
 bool
 PredictionEngine::onComplete(const blockdev::IoRequest &req,
                              const Prediction &pred, sim::SimTime submit,
-                             sim::SimTime complete)
+                             sim::SimTime complete,
+                             blockdev::IoStatus status, uint32_t attempts)
 {
     VolumeState &s = volumes_[volumeOf(req)];
     const sim::SimDuration latency = complete - submit;
     const bool actualHl = monitor_.isHighLatency(req, latency);
+
+    // Failed or host-retried exchanges carry retry-loop and backoff
+    // time, not device service time. Letting them into the EWMAs
+    // would poison every later EET; letting them into the accuracy
+    // window would charge the model for the device's errors.
+    if (status != blockdev::IoStatus::Ok || attempts > 1)
+        return actualHl;
 
     // Calibration: route the observation to the right estimator.
     if (monitor_.isGcEvent(latency)) {

@@ -72,10 +72,12 @@ SsdCheck::onSubmit(const blockdev::IoRequest &req, sim::SimTime now)
 
 bool
 SsdCheck::onComplete(const blockdev::IoRequest &req, const Prediction &pred,
-                     sim::SimTime submit, sim::SimTime complete)
+                     sim::SimTime submit, sim::SimTime complete,
+                     blockdev::IoStatus status, uint32_t attempts)
 {
     if (engine_ != nullptr)
-        return engine_->onComplete(req, pred, submit, complete);
+        return engine_->onComplete(req, pred, submit, complete, status,
+                                   attempts);
     return classifyActual(req, complete - submit);
 }
 

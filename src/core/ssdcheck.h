@@ -78,11 +78,23 @@ class SsdCheck
     void onSubmit(const blockdev::IoRequest &req, sim::SimTime now);
 
     /**
-     * Account a completion.
+     * Account a completion. Failed (@p status != Ok) or host-retried
+     * (@p attempts > 1) completions are classified but never pollute
+     * the calibrator's EWMAs or the rolling-accuracy window.
      * @return the actual NL/HL classification of the request.
      */
     bool onComplete(const blockdev::IoRequest &req, const Prediction &pred,
-                    sim::SimTime submit, sim::SimTime complete);
+                    sim::SimTime submit, sim::SimTime complete,
+                    blockdev::IoStatus status = blockdev::IoStatus::Ok,
+                    uint32_t attempts = 1);
+
+    /** onComplete from the completion record itself. */
+    bool onComplete(const blockdev::IoRequest &req, const Prediction &pred,
+                    const blockdev::IoResult &res)
+    {
+        return onComplete(req, pred, res.submitTime, res.completeTime,
+                          res.status, res.attempts);
+    }
 
     /** Classify a latency without updating any state. */
     bool classifyActual(const blockdev::IoRequest &req,

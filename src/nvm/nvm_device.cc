@@ -23,6 +23,26 @@ NvmDevice::submit(const blockdev::IoRequest &req, sim::SimTime now)
 {
     blockdev::IoResult res;
     res.submitTime = now;
+
+    // Boundary validation: zero-length commands and writes that would
+    // overrun the dirty pool (the caller ignored backpressure) are
+    // rejected without touching device state. Rewrites of already-
+    // dirty pages consume no new slot and stay admissible.
+    bool overrun = false;
+    if (req.isWrite()) {
+        uint64_t newPages = 0;
+        for (uint32_t p = 0; p < req.pages(); ++p) {
+            if (dirty_.find(req.firstPage() + p) == dirty_.end())
+                ++newPages;
+        }
+        overrun = newPages > freePages();
+    }
+    if (req.sectors == 0 || overrun) {
+        res.status = blockdev::IoStatus::DeviceFault;
+        res.completeTime = now + cfg_.busTime;
+        return res;
+    }
+
     const sim::SimTime start = std::max(now, busGate_);
     busGate_ = start + cfg_.busTime;
 

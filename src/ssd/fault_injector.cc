@@ -1,0 +1,164 @@
+#include "ssd/fault_injector.h"
+
+#include <algorithm>
+
+namespace ssdcheck::ssd {
+
+std::string
+toString(DriftKind k)
+{
+    switch (k) {
+      case DriftKind::None:
+        return "none";
+      case DriftKind::ShrinkBuffer:
+        return "shrink-buffer";
+      case DriftKind::GrowBuffer:
+        return "grow-buffer";
+      case DriftKind::ToggleReadTrigger:
+        return "toggle-read-trigger";
+    }
+    return "?";
+}
+
+FaultInjector::FaultInjector(FaultProfile profile, sim::Rng rng)
+    : profile_(std::move(profile)), rng_(rng)
+{
+}
+
+ReadFault
+FaultInjector::onRead()
+{
+    ReadFault f;
+    if (profile_.readUncProbability <= 0.0 ||
+        !rng_.bernoulli(profile_.readUncProbability))
+        return f;
+    if (profile_.readUncHardFraction > 0.0 &&
+        rng_.bernoulli(profile_.readUncHardFraction)) {
+        // Every retry level was exhausted without recovering the page.
+        f.retries = profile_.readRetryMax;
+        f.hard = true;
+        ++counters_.readUncHard;
+    } else {
+        // Recovered after a uniform number of retry levels (real
+        // controllers escalate read-voltage steps until one sticks).
+        f.retries = static_cast<uint32_t>(
+            rng_.uniformInt(1, std::max(1u, profile_.readRetryMax)));
+        ++counters_.readUncTransient;
+    }
+    return f;
+}
+
+bool
+FaultInjector::programFails()
+{
+    if (profile_.programFailProbability <= 0.0 ||
+        !rng_.bernoulli(profile_.programFailProbability))
+        return false;
+    ++counters_.programFailures;
+    return true;
+}
+
+bool
+FaultInjector::eraseFails()
+{
+    if (profile_.eraseFailProbability <= 0.0 ||
+        !rng_.bernoulli(profile_.eraseFailProbability))
+        return false;
+    ++counters_.eraseFailures;
+    return true;
+}
+
+sim::SimDuration
+FaultInjector::stallFor()
+{
+    if (profile_.stallProbability <= 0.0 ||
+        !rng_.bernoulli(profile_.stallProbability))
+        return 0;
+    ++counters_.stalls;
+    return rng_.uniformInt(profile_.stallMin, profile_.stallMax);
+}
+
+bool
+FaultInjector::driftDue(uint64_t requestsServed)
+{
+    if (driftFired_ || profile_.driftAfterRequests == 0 ||
+        requestsServed < profile_.driftAfterRequests)
+        return false;
+    driftFired_ = true;
+    ++counters_.driftEvents;
+    return true;
+}
+
+std::vector<FaultProfile>
+allFaultProfiles()
+{
+    std::vector<FaultProfile> out;
+
+    FaultProfile none;
+    none.name = "none";
+    out.push_back(none);
+
+    // Transient UNC reads dominate; a sliver stay hard errors.
+    FaultProfile flaky;
+    flaky.name = "flaky-reads";
+    flaky.readUncProbability = 0.02;
+    flaky.readUncHardFraction = 0.05;
+    out.push_back(flaky);
+
+    // End-of-life media: program/erase failures grow the bad-block
+    // list and overprovisioning erodes as the run progresses.
+    FaultProfile wearout;
+    wearout.name = "wearout";
+    wearout.programFailProbability = 0.02;
+    wearout.eraseFailProbability = 0.05;
+    out.push_back(wearout);
+
+    // Firmware housekeeping wedges: rare but very long stalls. The
+    // range straddles the host's 500ms timeout threshold so some
+    // stalls classify as timeouts and get re-issued.
+    FaultProfile stalls;
+    stalls.name = "stalls";
+    stalls.stallProbability = 0.002;
+    stalls.stallMax = sim::milliseconds(900);
+    out.push_back(stalls);
+
+    // Mid-run firmware drift: the write buffer halves, so every
+    // diagnosed flush-phase feature is wrong from that point on.
+    FaultProfile drift;
+    drift.name = "drift";
+    drift.driftAfterRequests = 20000;
+    drift.driftKind = DriftKind::ShrinkBuffer;
+    drift.driftBufferFactor = 0.5;
+    out.push_back(drift);
+
+    // Everything at once — the profile the resilience stack must
+    // survive without crashing or poisoning an estimate.
+    FaultProfile hostile;
+    hostile.name = "hostile";
+    hostile.readUncProbability = 0.01;
+    hostile.readUncHardFraction = 0.1;
+    hostile.programFailProbability = 0.01;
+    hostile.eraseFailProbability = 0.02;
+    hostile.stallProbability = 0.001;
+    hostile.stallMax = sim::milliseconds(900);
+    hostile.driftAfterRequests = 30000;
+    hostile.driftKind = DriftKind::ShrinkBuffer;
+    out.push_back(hostile);
+
+    return out;
+}
+
+bool
+faultProfileByName(const std::string &name, FaultProfile *out)
+{
+    for (auto &p : allFaultProfiles()) {
+        if (p.name == name) {
+            if (out != nullptr)
+                *out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace ssdcheck::ssd

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Configurable fault injection for the simulated SSD.
+ *
+ * Real black-box devices misbehave in ways the paper's runtime model
+ * must survive: transient uncorrectable reads whose in-device retry
+ * loops surface only as latency spikes, program/erase failures that
+ * retire blocks into a grown-bad-block list (shrinking effective
+ * overprovisioning, so GC pressure genuinely rises), commands that
+ * stall long enough for the host to give up, and firmware updates or
+ * adaptive controllers that change the flush algorithm mid-run,
+ * invalidating diagnosed features.
+ *
+ * FaultProfile declares the rates and shapes of these events;
+ * FaultInjector draws them from a dedicated random stream so enabling
+ * faults does not perturb the device's other noise sources. All
+ * decisions are deterministic per seed, which is what makes the fault
+ * test-suite reproducible.
+ */
+#ifndef SSDCHECK_SSD_FAULT_INJECTOR_H
+#define SSDCHECK_SSD_FAULT_INJECTOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/sim_time.h"
+
+namespace ssdcheck::ssd {
+
+/** What a firmware-drift event changes about the device. */
+enum class DriftKind : uint8_t
+{
+    None,              ///< No drift.
+    ShrinkBuffer,      ///< Write-buffer capacity drops (new firmware).
+    GrowBuffer,        ///< Write-buffer capacity grows.
+    ToggleReadTrigger, ///< Read-triggered flush turns on/off.
+};
+
+/** Human-readable name of a DriftKind. */
+std::string toString(DriftKind k);
+
+/** Fault rates and shapes of one misbehaving device. */
+struct FaultProfile
+{
+    std::string name = "none";
+
+    // -- (a) transient read UNC errors --------------------------------
+    /** Probability a read request hits an uncorrectable page. */
+    double readUncProbability = 0.0;
+    /** In-device read-retry attempts before giving up. */
+    uint32_t readRetryMax = 4;
+    /** Latency added per in-device retry (the host's "spike"). */
+    sim::SimDuration readRetryCost = sim::microseconds(350);
+    /** Of the UNC hits, fraction that stay uncorrectable after all
+     *  retries and complete as MediaError. */
+    double readUncHardFraction = 0.0;
+
+    // -- (b) program/erase failures -> grown bad blocks ---------------
+    /** Probability a buffer flush suffers a program failure. */
+    double programFailProbability = 0.0;
+    /** Probability each GC block erase fails. */
+    double eraseFailProbability = 0.0;
+    /** Latency of the in-device recovery (re-program elsewhere). */
+    sim::SimDuration programFailCost = sim::microseconds(900);
+
+    // -- (c) command stalls / timeouts --------------------------------
+    /** Probability a request stalls (firmware housekeeping wedge). */
+    double stallProbability = 0.0;
+    sim::SimDuration stallMin = sim::milliseconds(50);
+    sim::SimDuration stallMax = sim::milliseconds(400);
+
+    // -- (d) firmware drift -------------------------------------------
+    /** Request count at which the drift event fires (0 = never). */
+    uint64_t driftAfterRequests = 0;
+    DriftKind driftKind = DriftKind::None;
+    /** Buffer-capacity multiplier for Shrink/GrowBuffer drift. */
+    double driftBufferFactor = 0.5;
+
+    /** True when every rate is zero and no drift is scheduled. */
+    bool inert() const
+    {
+        return readUncProbability == 0.0 && programFailProbability == 0.0 &&
+               eraseFailProbability == 0.0 && stallProbability == 0.0 &&
+               driftAfterRequests == 0;
+    }
+};
+
+/** Outcome of the read-fault draw for one read request. */
+struct ReadFault
+{
+    uint32_t retries = 0; ///< In-device retry attempts taken.
+    bool hard = false;    ///< Still uncorrectable after retries.
+};
+
+/** Cumulative injection counters (ground truth for tests/reports). */
+struct FaultCounters
+{
+    uint64_t readUncTransient = 0; ///< Recovered by in-device retry.
+    uint64_t readUncHard = 0;      ///< Completed as MediaError.
+    uint64_t programFailures = 0;
+    uint64_t eraseFailures = 0;
+    uint64_t blocksRetired = 0; ///< Grown-bad-block list length.
+    uint64_t stalls = 0;
+    uint64_t driftEvents = 0;
+};
+
+/** Draws fault events for one device from a dedicated stream. */
+class FaultInjector
+{
+  public:
+    FaultInjector(FaultProfile profile, sim::Rng rng);
+
+    /** Draw the read-fault outcome for one read request. */
+    ReadFault onRead();
+
+    /** True when this flush suffers a program failure. */
+    bool programFails();
+
+    /** True when this block erase fails. */
+    bool eraseFails();
+
+    /** Stall duration for this request (0 = no stall). */
+    sim::SimDuration stallFor();
+
+    /**
+     * True exactly once, when the request count crosses the
+     * configured drift point. The device applies profile().driftKind.
+     */
+    bool driftDue(uint64_t requestsServed);
+
+    /** Record a block retirement (device applied a failure). */
+    void noteBlockRetired() { ++counters_.blocksRetired; }
+
+    const FaultProfile &profile() const { return profile_; }
+    const FaultCounters &counters() const { return counters_; }
+
+  private:
+    FaultProfile profile_;
+    sim::Rng rng_;
+    FaultCounters counters_;
+    bool driftFired_ = false;
+};
+
+/** Named fault-profile presets for the CLI / benches. */
+std::vector<FaultProfile> allFaultProfiles();
+
+/**
+ * Look up a preset by name ("none", "flaky-reads", "wearout",
+ * "stalls", "drift", "hostile").
+ * @return true and fill @p out when the name is known.
+ */
+bool faultProfileByName(const std::string &name, FaultProfile *out);
+
+} // namespace ssdcheck::ssd
+
+#endif // SSDCHECK_SSD_FAULT_INJECTOR_H

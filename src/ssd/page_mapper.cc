@@ -18,6 +18,7 @@ PageMapper::PageMapper(nand::NandArray &nand, uint64_t userPages,
     ppnToLpn_.assign(nand.totalPages(), kInvalidLpn);
     blockValid_.assign(nand.totalBlocks(), 0);
     blockFree_.assign(nand.totalBlocks(), 1);
+    blockRetired_.assign(nand.totalBlocks(), 0);
     freeList_.reserve(nand.totalBlocks());
     // Highest block first so allocation proceeds from block 0 upward.
     for (nand::Pbn b = nand.totalBlocks(); b-- > 0;)
@@ -101,6 +102,19 @@ PageMapper::readPage(uint64_t lpn, uint64_t *payload) const
     return true;
 }
 
+bool
+PageMapper::retireFreeBlock(size_t minFreeBlocks)
+{
+    if (freeList_.size() <= minFreeBlocks)
+        return false;
+    const nand::Pbn victim = freeList_.back();
+    freeList_.pop_back();
+    blockFree_[victim] = 0;
+    blockRetired_[victim] = 1;
+    ++retiredBlocks_;
+    return true;
+}
+
 void
 PageMapper::trimAll()
 {
@@ -108,13 +122,17 @@ PageMapper::trimAll()
     ppnToLpn_.assign(nand_.totalPages(), kInvalidLpn);
     freeList_.clear();
     for (nand::Pbn b = nand_.totalBlocks(); b-- > 0;) {
+        if (blockRetired_[b])
+            continue; // grown bad blocks never come back
         if (nand_.blockWritePointer(b) != 0)
             nand_.eraseBlock(b);
         blockValid_[b] = 0;
         blockFree_[b] = 1;
     }
-    for (nand::Pbn b = nand_.totalBlocks(); b-- > 0;)
-        freeList_.push_back(b);
+    for (nand::Pbn b = nand_.totalBlocks(); b-- > 0;) {
+        if (!blockRetired_[b])
+            freeList_.push_back(b);
+    }
     open_[0] = OpenBlock{};
     open_[1] = OpenBlock{};
     totalValid_ = 0;

@@ -63,6 +63,19 @@ class PageMapper
     /** Blocks currently in the free pool. */
     size_t freeBlocks() const { return freeList_.size(); }
 
+    /**
+     * Retire one free block into the grown-bad-block list (a program
+     * or erase failure made it unusable). The block never returns to
+     * the free pool, shrinking effective overprovisioning.
+     * @param minFreeBlocks refuse when the free pool would fall to
+     *        this size or below (the FTL must stay operable).
+     * @return true when a block was retired.
+     */
+    bool retireFreeBlock(size_t minFreeBlocks);
+
+    /** Length of the grown-bad-block list. */
+    uint64_t retiredBlocks() const { return retiredBlocks_; }
+
     /** Total valid (mapped) pages. */
     uint64_t totalValid() const { return totalValid_; }
 
@@ -129,9 +142,11 @@ class PageMapper
     std::vector<uint64_t> ppnToLpn_;
     std::vector<uint32_t> blockValid_;
     std::vector<uint8_t> blockFree_;
+    std::vector<uint8_t> blockRetired_; ///< Grown-bad-block list.
     std::vector<nand::Pbn> freeList_;
     OpenBlock open_[2]; ///< Indexed by Stream.
     uint64_t totalValid_ = 0;
+    uint64_t retiredBlocks_ = 0;
 };
 
 } // namespace ssdcheck::ssd

@@ -21,6 +21,7 @@
 #include "blockdev/request.h"
 #include "nand/nand_config.h"
 #include "sim/sim_time.h"
+#include "ssd/fault_injector.h"
 
 namespace ssdcheck::ssd {
 
@@ -150,6 +151,13 @@ struct SsdConfig
      * only the minimal interface cost and no internal operations.
      */
     bool optimalMode = false;
+
+    /**
+     * Fault injection: rates of media errors, bad-block growth,
+     * command stalls and firmware drift. Inert by default, so every
+     * existing experiment runs on a healthy device.
+     */
+    FaultProfile faults;
 
     /** Seed for all of this device's randomness. */
     uint64_t seed = 1;

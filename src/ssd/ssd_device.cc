@@ -5,14 +5,17 @@
 
 namespace ssdcheck::ssd {
 
-SsdDevice::SsdDevice(SsdConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed)
+SsdDevice::SsdDevice(SsdConfig cfg)
+    : cfg_(std::move(cfg)), rng_(cfg_.seed),
+      faults_(cfg_.faults, sim::Rng(cfg_.seed).fork(0xFA17))
 {
     const std::string err = cfg_.validate();
     assert(err.empty() && "invalid SsdConfig");
     (void)err;
     for (uint32_t v = 0; v < cfg_.numVolumes(); ++v)
-        volumes_.push_back(
-            std::make_unique<Volume>(cfg_, v, rng_.fork(v + 1)));
+        volumes_.push_back(std::make_unique<Volume>(
+            cfg_, v, rng_.fork(v + 1),
+            cfg_.faults.inert() ? nullptr : &faults_));
 }
 
 uint64_t
@@ -34,10 +37,24 @@ SsdDevice::submitDetailed(const blockdev::IoRequest &req, sim::SimTime now,
 {
     assert(now >= lastSubmit_ && "submissions must be time-ordered");
     lastSubmit_ = now;
-    assert(req.lba + req.sectors <= capacitySectors());
 
     blockdev::IoResult res;
     res.submitTime = now;
+
+    // Boundary validation: a zero-length or out-of-capacity command
+    // is rejected from the command decoder without touching the page
+    // map (a real device answers such commands with an error CQE).
+    if (req.sectors == 0 ||
+        req.lba + req.sectors > capacitySectors() ||
+        req.lba + req.sectors < req.lba /* address overflow */) {
+        res.status = blockdev::IoStatus::DeviceFault;
+        res.completeTime = now + sim::microseconds(5);
+        return res;
+    }
+
+    ++requestsServed_;
+    if (faults_.driftDue(requestsServed_))
+        applyDrift();
 
     // Host interface occupancy serializes all traffic.
     const sim::SimTime busStart = std::max(now, busGate_);
@@ -101,8 +118,63 @@ SsdDevice::submitDetailed(const blockdev::IoRequest &req, sim::SimTime now,
             detail->hiccup = true;
     }
 
+    // Injected read faults: in-device retry loops show up to the host
+    // only as latency spikes; reads that stay uncorrectable after
+    // every retry level complete as MediaError.
+    if (req.isRead()) {
+        const ReadFault rf = faults_.onRead();
+        if (rf.retries > 0) {
+            complete += static_cast<sim::SimDuration>(rf.retries) *
+                        cfg_.faults.readRetryCost;
+            if (detail != nullptr)
+                detail->readRetries = rf.retries;
+        }
+        if (rf.hard) {
+            res.status = blockdev::IoStatus::MediaError;
+            if (detail != nullptr)
+                detail->mediaError = true;
+        }
+    }
+
+    // Injected command stall: firmware wedged on housekeeping long
+    // enough that a host-side timeout policy would fire.
+    const sim::SimDuration stall = faults_.stallFor();
+    if (stall > 0) {
+        complete += stall;
+        if (detail != nullptr)
+            detail->stalled = true;
+    }
+
     res.completeTime = complete;
     return res;
+}
+
+void
+SsdDevice::applyDrift()
+{
+    switch (cfg_.faults.driftKind) {
+      case DriftKind::ShrinkBuffer:
+      case DriftKind::GrowBuffer: {
+        const uint32_t cur = volumes_[0]->bufferCapacity();
+        uint32_t next = std::max(
+            1u, static_cast<uint32_t>(static_cast<double>(cur) *
+                                      cfg_.faults.driftBufferFactor));
+        // Keep the drifted buffer inside the one-program-wave bound
+        // the configuration validator enforces.
+        next = std::min(next, cfg_.pagesPerBlock * cfg_.planesPerVolume);
+        cfg_.bufferBytes = next * blockdev::kPageSize;
+        for (auto &v : volumes_)
+            v->setBufferCapacity(next);
+        break;
+      }
+      case DriftKind::ToggleReadTrigger:
+        // Volumes read cfg_ by reference, so the new flush algorithm
+        // takes effect on the next read.
+        cfg_.readTriggerFlush = !cfg_.readTriggerFlush;
+        break;
+      case DriftKind::None:
+        break;
+    }
 }
 
 void
@@ -163,6 +235,7 @@ SsdDevice::totalCounters() const
         t.bufferHits += c.bufferHits;
         t.wearLevelMoves += c.wearLevelMoves;
         t.readRefreshMoves += c.readRefreshMoves;
+        t.retiredBlocks += c.retiredBlocks;
     }
     return t;
 }

@@ -23,6 +23,7 @@
 
 #include "blockdev/block_device.h"
 #include "sim/rng.h"
+#include "ssd/fault_injector.h"
 #include "ssd/ssd_config.h"
 #include "ssd/volume.h"
 
@@ -76,12 +77,26 @@ class SsdDevice : public blockdev::BlockDevice
     /** Direct FTL access for consistency checks in tests. */
     const Volume &volume(uint32_t i) const { return *volumes_[i]; }
 
+    /** Injection ground truth (tests, fault reports). */
+    const FaultCounters &faultCounters() const
+    {
+        return faults_.counters();
+    }
+
+    /** Requests served so far (drift clock, introspection). */
+    uint64_t requestsServed() const { return requestsServed_; }
+
   private:
+    /** Apply the configured firmware-drift event to the live device. */
+    void applyDrift();
+
     SsdConfig cfg_;
     sim::Rng rng_;
+    FaultInjector faults_;
     std::vector<std::unique_ptr<Volume>> volumes_;
     sim::SimTime busGate_ = 0;
     sim::SimTime lastSubmit_ = 0;
+    uint64_t requestsServed_ = 0;
     /** Functional store used only in optimalMode. */
     std::unordered_map<uint64_t, uint64_t> optimalStore_;
 };

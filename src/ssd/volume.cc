@@ -5,8 +5,9 @@
 
 namespace ssdcheck::ssd {
 
-Volume::Volume(const SsdConfig &cfg, uint32_t volumeIndex, sim::Rng rng)
-    : cfg_(cfg), volumeIndex_(volumeIndex), rng_(rng),
+Volume::Volume(const SsdConfig &cfg, uint32_t volumeIndex, sim::Rng rng,
+               FaultInjector *faults)
+    : cfg_(cfg), volumeIndex_(volumeIndex), rng_(rng), faults_(faults),
       buffer_(cfg.bufferPages())
 {
     nand_ = std::make_unique<nand::NandArray>(cfg.volumeGeometry(),
@@ -49,6 +50,21 @@ Volume::flush(sim::SimTime at, IoDetail *detail)
                    cfg_.flushOverheadTime;
         flushDur = jitter(flushDur);
     }
+
+    // Injected program failure: the controller re-programs the wave
+    // into a fresh block and retires the failing one into the
+    // grown-bad-block list (data is preserved; overprovisioning is
+    // not).
+    if (faults_ != nullptr && faults_->programFails()) {
+        flushDur += faults_->profile().programFailCost;
+        if (mapper_->retireFreeBlock(cfg_.gcHighBlocks + 2)) {
+            faults_->noteBlockRetired();
+            ++counters_.retiredBlocks;
+        }
+        if (detail != nullptr)
+            detail->programFailure = true;
+    }
+
     nandBusyUntil_ = flushStart + flushDur;
     ++counters_.flushes;
     if (detail != nullptr)
@@ -90,6 +106,19 @@ Volume::flush(sim::SimTime at, IoDetail *detail)
         if (res.ran()) {
             sim::SimDuration gcDur =
                 cfg_.gcCostEnabled ? jitter(res.duration) : 0;
+            // Injected erase failures: each reclaimed block may fail
+            // its erase and go to the grown-bad-block list instead of
+            // the free pool, eroding overprovisioning so later GC
+            // rounds fire more often.
+            if (faults_ != nullptr) {
+                for (uint64_t b = 0; b < res.blocksErased; ++b) {
+                    if (faults_->eraseFails() &&
+                        mapper_->retireFreeBlock(cfg_.gcHighBlocks + 2)) {
+                        faults_->noteBlockRetired();
+                        ++counters_.retiredBlocks;
+                    }
+                }
+            }
             nandBusyUntil_ += gcDur;
             ++counters_.gcInvocations;
             counters_.gcBlocksErased += res.blocksErased;

@@ -25,6 +25,7 @@
 #include "nand/nand_array.h"
 #include "sim/rng.h"
 #include "sim/sim_time.h"
+#include "ssd/fault_injector.h"
 #include "ssd/garbage_collector.h"
 #include "ssd/page_mapper.h"
 #include "ssd/ssd_config.h"
@@ -44,6 +45,10 @@ struct IoDetail
     bool slcMigration = false;    ///< An SLC->MLC migration ran.
     bool bufferHit = false;       ///< Read served from the write buffer.
     bool hiccup = false;          ///< Unmodeled random stall injected.
+    uint32_t readRetries = 0;     ///< In-device read-retry attempts.
+    bool mediaError = false;      ///< Completed as an uncorrectable read.
+    bool programFailure = false;  ///< A flush hit a program failure.
+    bool stalled = false;         ///< Injected command stall.
     sim::SimDuration flushTime = 0; ///< Flush busy time charged.
     sim::SimDuration gcTime = 0;    ///< GC busy time charged.
     sim::SimDuration waitTime = 0;  ///< Time spent waiting on busy NAND.
@@ -77,6 +82,7 @@ struct VolumeCounters
     uint64_t bufferHits = 0;
     uint64_t wearLevelMoves = 0;
     uint64_t readRefreshMoves = 0;
+    uint64_t retiredBlocks = 0; ///< Grown bad blocks in this volume.
 };
 
 /** One allocation/GC volume with its own buffer, FTL, NAND and GC. */
@@ -87,8 +93,10 @@ class Volume
      * @param cfg the owning device's configuration.
      * @param volumeIndex which volume this is (for annotations).
      * @param rng independent random stream for this volume's jitter.
+     * @param faults the device's fault injector; null = healthy device.
      */
-    Volume(const SsdConfig &cfg, uint32_t volumeIndex, sim::Rng rng);
+    Volume(const SsdConfig &cfg, uint32_t volumeIndex, sim::Rng rng,
+           FaultInjector *faults = nullptr);
 
     Volume(const Volume &) = delete;
     Volume &operator=(const Volume &) = delete;
@@ -131,6 +139,12 @@ class Volume
     /** Pages currently sitting in the write buffer. */
     uint32_t bufferFill() const { return buffer_.fill(); }
 
+    /** Current write-buffer capacity in pages (drift may change it). */
+    uint32_t bufferCapacity() const { return buffer_.capacity(); }
+
+    /** Apply a firmware-drift change of the buffer capacity. */
+    void setBufferCapacity(uint32_t pages) { buffer_.setCapacity(pages); }
+
   private:
     /**
      * Drain the buffer into NAND starting no earlier than @p at.
@@ -146,6 +160,7 @@ class Volume
     const SsdConfig &cfg_;
     uint32_t volumeIndex_;
     sim::Rng rng_;
+    FaultInjector *faults_;
 
     std::unique_ptr<nand::NandArray> nand_;
     std::unique_ptr<PageMapper> mapper_;

@@ -13,10 +13,18 @@ WriteBuffer::WriteBuffer(uint32_t capacityPages) : capacity_(capacityPages)
 bool
 WriteBuffer::add(uint64_t lpn, uint64_t payload)
 {
-    assert(!full() && "caller must flush before overfilling");
+    // May be entered on an already-full buffer right after a capacity
+    // shrink (firmware drift); the caller flushes as soon as this
+    // returns true, so fill only ever overshoots transiently.
     entries_.push_back(Entry{lpn, payload});
     newest_[lpn] = entries_.size() - 1;
     return full();
+}
+
+void
+WriteBuffer::setCapacity(uint32_t capacityPages)
+{
+    capacity_ = capacityPages > 0 ? capacityPages : 1;
 }
 
 bool

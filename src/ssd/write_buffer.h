@@ -53,6 +53,13 @@ class WriteBuffer
     uint32_t capacity() const { return capacity_; }
 
     /**
+     * Change the capacity mid-run (firmware drift). Never drops below
+     * one page; an already-overfull buffer simply flushes on the next
+     * write (full() reports true immediately).
+     */
+    void setCapacity(uint32_t capacityPages);
+
+    /**
      * Latest buffered payload for @p lpn.
      * @return true and set @p payload when present.
      */

@@ -19,8 +19,25 @@ namespace {
 
 void
 record(StreamResult &out, const blockdev::IoRequest &req,
-       sim::SimTime issue, sim::SimTime baseline, sim::SimTime complete)
+       sim::SimTime issue, sim::SimTime baseline,
+       const blockdev::IoResult &res)
 {
+    const sim::SimTime complete = res.completeTime;
+    switch (res.status) {
+      case blockdev::IoStatus::Ok:
+        break;
+      case blockdev::IoStatus::MediaError:
+        ++out.mediaErrors;
+        break;
+      case blockdev::IoStatus::Timeout:
+        ++out.timeouts;
+        break;
+      case blockdev::IoStatus::DeviceFault:
+        ++out.deviceFaults;
+        break;
+    }
+    if (res.attempts > 1)
+        ++out.retriedRequests;
     const sim::SimDuration lat = complete - baseline;
     out.latency.add(lat);
     if (req.isRead())
@@ -57,7 +74,7 @@ runClosedLoop(blockdev::BlockDevice &dev, const workload::Trace &trace,
             inflight.pop();
         }
         const auto res = dev.submit(rec.req, t);
-        record(out, rec.req, t, t, res.completeTime);
+        record(out, rec.req, t, t, res);
         inflight.push(res.completeTime + thinktime);
         lastComplete = std::max(lastComplete, res.completeTime);
     }
@@ -107,7 +124,7 @@ runTenantsClosedLoop(const std::vector<TenantSpec> &tenants,
         const auto &rec =
             (*tenants[best].trace)[s.next % tenants[best].trace->size()];
         const auto res = tenants[best].dev->submit(rec.req, s.ready);
-        record(out[best], rec.req, s.ready, s.ready, res.completeTime);
+        record(out[best], rec.req, s.ready, s.ready, res);
         out[best].endTime = std::max(out[best].endTime, res.completeTime);
         s.ready = res.completeTime + tenants[best].thinktime;
         ++s.next;
@@ -169,9 +186,10 @@ runScheduled(blockdev::BlockDevice &dev, Scheduler &sched,
         const auto res = dev.submit(qr.req, t);
         inflight.push(res.completeTime);
         if (check != nullptr)
-            check->onComplete(qr.req, pred, t, res.completeTime);
+            check->onComplete(qr.req, pred, t, res.completeTime,
+                              res.status, res.attempts);
         // Latency includes queueing: completion minus arrival.
-        record(out.stream, qr.req, t, qr.arrival, res.completeTime);
+        record(out.stream, qr.req, t, qr.arrival, res);
         out.stream.endTime = std::max(out.stream.endTime, res.completeTime);
         if (dispatchWidth == 1) {
             // Classic QD1 dispatch: next decision at completion.

@@ -96,10 +96,44 @@ TEST(CalibratorTest, RecoveryResetsDisableStreak)
     Calibrator c(cfg);
     for (int i = 0; i < 80; ++i)
         c.onAccuracySample(0.0, 10);
+    EXPECT_EQ(c.lowAccuracyStreak(), 80u);
     c.onAccuracySample(0.9, 10); // one good sample resets the streak
+    EXPECT_EQ(c.lowAccuracyStreak(), 0u);
     for (int i = 0; i < 80; ++i)
         c.onAccuracySample(0.0, 10);
     EXPECT_TRUE(c.predictionEnabled());
+}
+
+TEST(CalibratorTest, HealthCountersObservable)
+{
+    CalibratorConfig cfg;
+    cfg.gcResetAccuracy = 0.25;
+    cfg.minHlEvents = 1;
+    Calibrator c(cfg);
+    EXPECT_EQ(c.observations(), 0u);
+    EXPECT_EQ(c.historyResets(), 0u);
+    c.onAccuracySample(0.1, 10); // below gcResetAccuracy: reset
+    c.onAccuracySample(0.9, 10); // healthy
+    c.onAccuracySample(0.2, 10); // reset again
+    EXPECT_EQ(c.observations(), 3u);
+    EXPECT_EQ(c.historyResets(), 2u);
+}
+
+TEST(CalibratorTest, DisabledStateIsSticky)
+{
+    CalibratorConfig cfg;
+    cfg.disableAccuracy = 0.05;
+    cfg.disableAfter = 10;
+    cfg.minHlEvents = 1;
+    Calibrator c(cfg);
+    for (int i = 0; i < 12; ++i)
+        c.onAccuracySample(0.0, 10);
+    EXPECT_FALSE(c.predictionEnabled());
+    // Later healthy samples cannot re-enable: the paper's "harmlessly
+    // turned off" is a terminal state for the run.
+    for (int i = 0; i < 100; ++i)
+        c.onAccuracySample(1.0, 10);
+    EXPECT_FALSE(c.predictionEnabled());
 }
 
 } // namespace

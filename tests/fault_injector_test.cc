@@ -1,0 +1,263 @@
+/**
+ * @file Unit and device-level tests for ssd/fault_injector.h:
+ * deterministic draws, profile presets, and the injected behaviors
+ * (UNC latency spikes, MediaError completions, block retirement,
+ * stalls, firmware drift) as seen through SsdDevice.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "ssd/fault_injector.h"
+#include "ssd/presets.h"
+#include "ssd/ssd_device.h"
+#include "usecases/runner.h"
+#include "workload/synthetic.h"
+
+namespace ssdcheck::ssd {
+namespace {
+
+using blockdev::IoStatus;
+using blockdev::makeRead4k;
+using blockdev::makeWrite4k;
+using sim::microseconds;
+using sim::milliseconds;
+
+/** Small deterministic single-bus device (mirrors ssd_device_test). */
+SsdConfig
+faultTestCfg()
+{
+    SsdConfig c;
+    c.userCapacityPages = 16 * 1024;
+    c.volumeBits = {10};
+    c.bufferBytes = 8 * 4096;
+    c.planesPerVolume = 4;
+    c.pagesPerBlock = 8;
+    c.opRatio = 0.3;
+    c.gcLowBlocks = 3;
+    c.gcHighBlocks = 6;
+    c.jitterSigma = 0.0;
+    c.hiccupProbability = 0.0;
+    return c;
+}
+
+TEST(FaultInjectorTest, InertProfileDrawsNothing)
+{
+    FaultInjector fi(FaultProfile{}, sim::Rng(1));
+    for (int i = 0; i < 1000; ++i) {
+        const ReadFault rf = fi.onRead();
+        EXPECT_EQ(rf.retries, 0u);
+        EXPECT_FALSE(rf.hard);
+        EXPECT_FALSE(fi.programFails());
+        EXPECT_FALSE(fi.eraseFails());
+        EXPECT_EQ(fi.stallFor(), 0);
+        EXPECT_FALSE(fi.driftDue(i));
+    }
+    EXPECT_EQ(fi.counters().readUncTransient, 0u);
+    EXPECT_EQ(fi.counters().stalls, 0u);
+    EXPECT_TRUE(fi.profile().inert());
+}
+
+TEST(FaultInjectorTest, DrawsAreDeterministicPerSeed)
+{
+    FaultProfile p;
+    p.readUncProbability = 0.3;
+    p.readUncHardFraction = 0.2;
+    p.stallProbability = 0.1;
+    FaultInjector a(p, sim::Rng(7));
+    FaultInjector b(p, sim::Rng(7));
+    for (int i = 0; i < 500; ++i) {
+        const ReadFault ra = a.onRead();
+        const ReadFault rb = b.onRead();
+        EXPECT_EQ(ra.retries, rb.retries);
+        EXPECT_EQ(ra.hard, rb.hard);
+        EXPECT_EQ(a.stallFor(), b.stallFor());
+    }
+    EXPECT_EQ(a.counters().readUncTransient, b.counters().readUncTransient);
+    EXPECT_EQ(a.counters().readUncHard, b.counters().readUncHard);
+}
+
+TEST(FaultInjectorTest, CertainUncAlwaysRetriesWithinBounds)
+{
+    FaultProfile p;
+    p.readUncProbability = 1.0;
+    p.readRetryMax = 4;
+    FaultInjector fi(p, sim::Rng(3));
+    for (int i = 0; i < 200; ++i) {
+        const ReadFault rf = fi.onRead();
+        EXPECT_GE(rf.retries, 1u);
+        EXPECT_LE(rf.retries, 4u);
+        EXPECT_FALSE(rf.hard);
+    }
+    EXPECT_EQ(fi.counters().readUncTransient, 200u);
+    EXPECT_EQ(fi.counters().readUncHard, 0u);
+}
+
+TEST(FaultInjectorTest, HardFractionExhaustsAllRetries)
+{
+    FaultProfile p;
+    p.readUncProbability = 1.0;
+    p.readUncHardFraction = 1.0;
+    p.readRetryMax = 4;
+    FaultInjector fi(p, sim::Rng(3));
+    const ReadFault rf = fi.onRead();
+    EXPECT_TRUE(rf.hard);
+    EXPECT_EQ(rf.retries, 4u);
+    EXPECT_EQ(fi.counters().readUncHard, 1u);
+}
+
+TEST(FaultInjectorTest, StallsStayWithinConfiguredRange)
+{
+    FaultProfile p;
+    p.stallProbability = 1.0;
+    p.stallMin = milliseconds(50);
+    p.stallMax = milliseconds(400);
+    FaultInjector fi(p, sim::Rng(9));
+    for (int i = 0; i < 100; ++i) {
+        const sim::SimDuration d = fi.stallFor();
+        EXPECT_GE(d, milliseconds(50));
+        EXPECT_LE(d, milliseconds(400));
+    }
+    EXPECT_EQ(fi.counters().stalls, 100u);
+}
+
+TEST(FaultInjectorTest, DriftFiresExactlyOnce)
+{
+    FaultProfile p;
+    p.driftAfterRequests = 100;
+    p.driftKind = DriftKind::ShrinkBuffer;
+    FaultInjector fi(p, sim::Rng(1));
+    EXPECT_FALSE(fi.driftDue(99));
+    EXPECT_TRUE(fi.driftDue(100));
+    EXPECT_FALSE(fi.driftDue(101)); // one-shot
+    EXPECT_EQ(fi.counters().driftEvents, 1u);
+}
+
+TEST(FaultInjectorTest, PresetLookup)
+{
+    FaultProfile p;
+    EXPECT_TRUE(faultProfileByName("none", &p));
+    EXPECT_TRUE(p.inert());
+    EXPECT_TRUE(faultProfileByName("flaky-reads", &p));
+    EXPECT_GT(p.readUncProbability, 0.0);
+    EXPECT_TRUE(faultProfileByName("hostile", &p));
+    EXPECT_FALSE(p.inert());
+    EXPECT_FALSE(faultProfileByName("no-such-profile", &p));
+    EXPECT_FALSE(allFaultProfiles().empty());
+    // Every preset must pass config validation.
+    for (const auto &preset : allFaultProfiles()) {
+        SsdConfig cfg = faultTestCfg();
+        cfg.faults = preset;
+        EXPECT_NO_THROW(SsdDevice dev(cfg)) << preset.name;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Device-level injection behavior.
+// ---------------------------------------------------------------------
+
+TEST(FaultInjectorDeviceTest, UncReadsSurfaceAsLatencySpikes)
+{
+    SsdConfig clean = faultTestCfg();
+    SsdConfig faulty = faultTestCfg();
+    faulty.faults.name = "all-unc";
+    faulty.faults.readUncProbability = 1.0;
+    faulty.faults.readRetryCost = microseconds(350);
+
+    SsdDevice cdev(clean);
+    SsdDevice fdev(faulty);
+    cdev.precondition();
+    fdev.precondition();
+
+    const auto cres = cdev.submit(makeRead4k(42), 0);
+    const auto fres = fdev.submit(makeRead4k(42), 0);
+    EXPECT_EQ(cres.status, IoStatus::Ok);
+    EXPECT_EQ(fres.status, IoStatus::Ok); // transient: recovered in-device
+    // The in-device retry loop is visible only as added latency.
+    EXPECT_GE(fres.latency(), cres.latency() + microseconds(350));
+    EXPECT_GE(fdev.faultCounters().readUncTransient, 1u);
+}
+
+TEST(FaultInjectorDeviceTest, HardUncCompletesAsMediaError)
+{
+    SsdConfig cfg = faultTestCfg();
+    cfg.faults.name = "hard-unc";
+    cfg.faults.readUncProbability = 1.0;
+    cfg.faults.readUncHardFraction = 1.0;
+    SsdDevice dev(cfg);
+    dev.precondition();
+    const auto res = dev.submit(makeRead4k(7), 0);
+    EXPECT_EQ(res.status, IoStatus::MediaError);
+    EXPECT_FALSE(res.ok());
+    // Even a failed read pays the full retry loop before giving up.
+    EXPECT_GE(res.latency(),
+              static_cast<sim::SimDuration>(cfg.faults.readRetryMax) *
+                  cfg.faults.readRetryCost);
+    EXPECT_EQ(dev.faultCounters().readUncHard, 1u);
+}
+
+TEST(FaultInjectorDeviceTest, StallsDelayCompletion)
+{
+    SsdConfig cfg = faultTestCfg();
+    cfg.faults.name = "always-stall";
+    cfg.faults.stallProbability = 1.0;
+    cfg.faults.stallMin = milliseconds(50);
+    cfg.faults.stallMax = milliseconds(60);
+    SsdDevice dev(cfg);
+    dev.precondition();
+    const auto res = dev.submit(makeRead4k(1), 0);
+    EXPECT_EQ(res.status, IoStatus::Ok);
+    EXPECT_GE(res.latency(), milliseconds(50));
+    EXPECT_EQ(dev.faultCounters().stalls, 1u);
+}
+
+TEST(FaultInjectorDeviceTest, WearoutRetiresBlocks)
+{
+    SsdConfig cfg = faultTestCfg();
+    cfg.faults.name = "wearout";
+    cfg.faults.programFailProbability = 0.05;
+    cfg.faults.eraseFailProbability = 0.2;
+    SsdDevice dev(cfg);
+    dev.precondition();
+    const auto trace =
+        workload::buildRandomWriteTrace(40000, cfg.userCapacityPages, 5);
+    usecases::runClosedLoop(dev, trace, 1, 0, 0);
+    EXPECT_GT(dev.faultCounters().blocksRetired, 0u);
+    EXPECT_EQ(dev.totalCounters().retiredBlocks,
+              dev.faultCounters().blocksRetired);
+    // Data-path integrity survives retirement: pages remain readable.
+    uint64_t payload = 0;
+    EXPECT_TRUE(dev.peekPage(1, &payload));
+}
+
+TEST(FaultInjectorDeviceTest, BufferDriftMutatesDeviceConfig)
+{
+    SsdConfig cfg = faultTestCfg();
+    cfg.faults.name = "drift";
+    cfg.faults.driftAfterRequests = 64;
+    cfg.faults.driftKind = DriftKind::ShrinkBuffer;
+    cfg.faults.driftBufferFactor = 0.5;
+    SsdDevice dev(cfg);
+    dev.precondition();
+    const uint64_t before = dev.config().bufferBytes;
+    for (uint64_t i = 0; i < 128; ++i)
+        dev.submit(makeWrite4k(i), milliseconds(i));
+    EXPECT_EQ(dev.faultCounters().driftEvents, 1u);
+    EXPECT_EQ(dev.config().bufferBytes, before / 2);
+}
+
+TEST(FaultInjectorDeviceTest, ReadTriggerDriftFlipsFlag)
+{
+    SsdConfig cfg = faultTestCfg();
+    cfg.faults.name = "drift-rt";
+    cfg.faults.driftAfterRequests = 10;
+    cfg.faults.driftKind = DriftKind::ToggleReadTrigger;
+    SsdDevice dev(cfg);
+    dev.precondition();
+    const bool before = dev.config().readTriggerFlush;
+    for (uint64_t i = 0; i < 20; ++i)
+        dev.submit(makeWrite4k(i), milliseconds(i));
+    EXPECT_EQ(dev.config().readTriggerFlush, !before);
+}
+
+} // namespace
+} // namespace ssdcheck::ssd

@@ -120,16 +120,29 @@ TEST(NvmDeviceTest, PressureCounterMonotone)
     EXPECT_EQ(nvm.totalWritesAbsorbed(), 5u); // drains don't count
 }
 
-#ifndef NDEBUG
-TEST(NvmDeviceDeathTest, WriteToFullPoolAsserts)
+TEST(NvmDeviceValidationTest, WriteToFullPoolRejectedAsFault)
 {
     NvmDevice nvm(smallCfg());
     for (uint64_t p = 0; p < 8; ++p)
         nvm.submit(makeWrite4k(p), sim::microseconds(p));
-    EXPECT_DEATH(nvm.submit(makeWrite4k(99), sim::microseconds(99)),
-                 "backpressure");
+    // A caller that ignored backpressure gets a rejected command, not
+    // silent data loss.
+    const auto res = nvm.submit(makeWrite4k(99), sim::microseconds(99));
+    EXPECT_EQ(res.status, blockdev::IoStatus::DeviceFault);
+    EXPECT_FALSE(nvm.holds(99));
+    // Rewriting an already-dirty page needs no free slot and stays Ok.
+    EXPECT_TRUE(nvm.submit(makeWrite4k(3), sim::microseconds(100)).ok());
 }
-#endif
+
+TEST(NvmDeviceValidationTest, ZeroSectorRequestRejected)
+{
+    NvmDevice nvm(smallCfg());
+    blockdev::IoRequest req = makeRead4k(0);
+    req.sectors = 0;
+    const auto res = nvm.submit(req, 0);
+    EXPECT_EQ(res.status, blockdev::IoStatus::DeviceFault);
+    EXPECT_GT(res.completeTime, res.submitTime);
+}
 
 } // namespace
 } // namespace ssdcheck::nvm

@@ -1,0 +1,194 @@
+/**
+ * @file Unit tests for blockdev/resilient_device.h: retry policy,
+ * capped exponential backoff, timeout classification, and per-status
+ * counters, driven by a scripted fake device.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blockdev/resilient_device.h"
+
+namespace ssdcheck::blockdev {
+namespace {
+
+using sim::microseconds;
+using sim::milliseconds;
+
+/** One scripted attempt outcome. */
+struct Step
+{
+    IoStatus status = IoStatus::Ok;
+    sim::SimDuration latency = microseconds(100);
+};
+
+/** Replays a fixed script of completions, recording submit times. */
+class ScriptedDevice : public BlockDevice
+{
+  public:
+    explicit ScriptedDevice(std::vector<Step> script)
+        : script_(std::move(script))
+    {
+    }
+
+    IoResult submit(const IoRequest &req, sim::SimTime now) override
+    {
+        (void)req;
+        submits.push_back(now);
+        const Step s = next_ < script_.size() ? script_[next_++] : Step{};
+        IoResult res;
+        res.submitTime = now;
+        res.completeTime = now + s.latency;
+        res.status = s.status;
+        return res;
+    }
+
+    uint64_t capacitySectors() const override { return 1 << 20; }
+    void purge(sim::SimTime) override {}
+    std::string name() const override { return "scripted"; }
+
+    std::vector<sim::SimTime> submits;
+
+  private:
+    std::vector<Step> script_;
+    size_t next_ = 0;
+};
+
+TEST(IoStatusTest, NamesAndRetryability)
+{
+    EXPECT_EQ(toString(IoStatus::Ok), "ok");
+    EXPECT_EQ(toString(IoStatus::MediaError), "media-error");
+    EXPECT_EQ(toString(IoStatus::Timeout), "timeout");
+    EXPECT_EQ(toString(IoStatus::DeviceFault), "device-fault");
+    EXPECT_FALSE(isRetryable(IoStatus::Ok));
+    EXPECT_TRUE(isRetryable(IoStatus::MediaError));
+    EXPECT_TRUE(isRetryable(IoStatus::Timeout));
+    EXPECT_FALSE(isRetryable(IoStatus::DeviceFault));
+}
+
+TEST(ResilientDeviceTest, HealthyPassThrough)
+{
+    ScriptedDevice inner({{IoStatus::Ok, microseconds(80)}});
+    ResilientDevice dev(inner);
+    const IoResult res = dev.submit(makeRead4k(0), milliseconds(1));
+    EXPECT_TRUE(res.ok());
+    EXPECT_EQ(res.attempts, 1u);
+    EXPECT_EQ(res.submitTime, milliseconds(1));
+    EXPECT_EQ(res.latency(), microseconds(80));
+    EXPECT_EQ(dev.counters().totalErrors(), 0u);
+    EXPECT_EQ(dev.name(), "scripted");
+    EXPECT_EQ(dev.capacitySectors(), 1u << 20);
+}
+
+TEST(ResilientDeviceTest, MediaErrorRetriedThenRecovers)
+{
+    ScriptedDevice inner({{IoStatus::MediaError, microseconds(500)},
+                          {IoStatus::Ok, microseconds(100)}});
+    ResilientDevice dev(inner);
+    const IoResult res = dev.submit(makeRead4k(0), 0);
+    EXPECT_TRUE(res.ok());
+    EXPECT_EQ(res.attempts, 2u);
+    // submitTime spans the whole exchange from the original submission.
+    EXPECT_EQ(res.submitTime, 0);
+    ASSERT_EQ(inner.submits.size(), 2u);
+    // The retry waits out the failed attempt plus the first backoff.
+    EXPECT_EQ(inner.submits[1],
+              microseconds(500) + dev.config().backoffBase);
+    EXPECT_EQ(dev.counters().mediaErrors, 1u);
+    EXPECT_EQ(dev.counters().retries, 1u);
+    EXPECT_EQ(dev.counters().recovered, 1u);
+    EXPECT_EQ(dev.counters().exhausted, 0u);
+}
+
+TEST(ResilientDeviceTest, BackoffDoublesUpToCap)
+{
+    ScriptedDevice inner({});
+    ResilienceConfig cfg;
+    cfg.backoffBase = microseconds(200);
+    cfg.backoffCap = microseconds(1000);
+    ResilientDevice dev(inner, cfg);
+    EXPECT_EQ(dev.backoffFor(1), microseconds(200));
+    EXPECT_EQ(dev.backoffFor(2), microseconds(400));
+    EXPECT_EQ(dev.backoffFor(3), microseconds(800));
+    EXPECT_EQ(dev.backoffFor(4), microseconds(1000)); // capped
+    EXPECT_EQ(dev.backoffFor(10), microseconds(1000));
+}
+
+TEST(ResilientDeviceTest, ExhaustsAfterMaxRetries)
+{
+    ScriptedDevice inner({{IoStatus::MediaError, microseconds(100)},
+                          {IoStatus::MediaError, microseconds(100)},
+                          {IoStatus::MediaError, microseconds(100)},
+                          {IoStatus::MediaError, microseconds(100)},
+                          {IoStatus::MediaError, microseconds(100)}});
+    ResilienceConfig cfg;
+    cfg.maxRetries = 3;
+    ResilientDevice dev(inner, cfg);
+    const IoResult res = dev.submit(makeWrite4k(0), 0);
+    EXPECT_EQ(res.status, IoStatus::MediaError);
+    EXPECT_EQ(res.attempts, 4u); // 1 original + 3 retries
+    EXPECT_EQ(inner.submits.size(), 4u);
+    EXPECT_EQ(dev.counters().mediaErrors, 4u);
+    EXPECT_EQ(dev.counters().retries, 3u);
+    EXPECT_EQ(dev.counters().exhausted, 1u);
+    EXPECT_EQ(dev.counters().recovered, 0u);
+}
+
+TEST(ResilientDeviceTest, DeviceFaultIsPermanent)
+{
+    ScriptedDevice inner({{IoStatus::DeviceFault, microseconds(5)}});
+    ResilientDevice dev(inner);
+    const IoResult res = dev.submit(makeRead4k(0), 0);
+    EXPECT_EQ(res.status, IoStatus::DeviceFault);
+    EXPECT_EQ(res.attempts, 1u);
+    EXPECT_EQ(inner.submits.size(), 1u); // no retry issued
+    EXPECT_EQ(dev.counters().deviceFaults, 1u);
+    EXPECT_EQ(dev.counters().retries, 0u);
+}
+
+TEST(ResilientDeviceTest, SlowCompletionClassifiedTimeoutAndRetried)
+{
+    ResilienceConfig cfg;
+    cfg.timeoutAfter = milliseconds(500);
+    ScriptedDevice inner({{IoStatus::Ok, milliseconds(800)}, // too slow
+                          {IoStatus::Ok, microseconds(100)}});
+    ResilientDevice dev(inner, cfg);
+    const IoResult res = dev.submit(makeRead4k(0), 0);
+    EXPECT_TRUE(res.ok());
+    EXPECT_EQ(res.attempts, 2u);
+    EXPECT_EQ(dev.counters().timeouts, 1u);
+    EXPECT_EQ(dev.counters().recovered, 1u);
+    ASSERT_EQ(inner.submits.size(), 2u);
+    // The host gives up at the timeout threshold, not at the (later)
+    // actual completion: the retry goes out from there.
+    EXPECT_LE(inner.submits[1],
+              milliseconds(500) + dev.backoffFor(1));
+}
+
+TEST(ResilientDeviceTest, TimeoutClassificationCanBeDisabled)
+{
+    ResilienceConfig cfg;
+    cfg.timeoutAfter = 0;
+    ScriptedDevice inner({{IoStatus::Ok, milliseconds(900)}});
+    ResilientDevice dev(inner, cfg);
+    const IoResult res = dev.submit(makeRead4k(0), 0);
+    EXPECT_TRUE(res.ok());
+    EXPECT_EQ(res.attempts, 1u);
+    EXPECT_EQ(dev.counters().timeouts, 0u);
+}
+
+TEST(ResilientDeviceTest, ZeroMaxRetriesFailsFast)
+{
+    ResilienceConfig cfg;
+    cfg.maxRetries = 0;
+    ScriptedDevice inner({{IoStatus::MediaError, microseconds(100)},
+                          {IoStatus::Ok, microseconds(100)}});
+    ResilientDevice dev(inner, cfg);
+    const IoResult res = dev.submit(makeRead4k(0), 0);
+    EXPECT_EQ(res.status, IoStatus::MediaError);
+    EXPECT_EQ(res.attempts, 1u);
+    EXPECT_EQ(dev.counters().exhausted, 1u);
+}
+
+} // namespace
+} // namespace ssdcheck::blockdev

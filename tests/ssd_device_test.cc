@@ -260,5 +260,61 @@ INSTANTIATE_TEST_SUITE_P(AllPresets, PresetIntegrityTest,
                              return "SSD_" + toString(info.param);
                          });
 
+// ---------------------------------------------------------------------
+// Request validation at the device boundary.
+// ---------------------------------------------------------------------
+
+TEST(SsdDeviceValidationTest, ZeroSectorRequestRejected)
+{
+    SsdDevice dev(twoVolumeCfg());
+    IoRequest req = makeRead4k(0);
+    req.sectors = 0;
+    const auto res = dev.submit(req, microseconds(10));
+    EXPECT_EQ(res.status, blockdev::IoStatus::DeviceFault);
+    EXPECT_FALSE(res.ok());
+    // Rejected fast, with time still advancing (nonzero error latency).
+    EXPECT_GT(res.completeTime, res.submitTime);
+    EXPECT_EQ(dev.requestsServed(), 0u); // never reached the FTL
+}
+
+TEST(SsdDeviceValidationTest, OutOfCapacityRequestRejected)
+{
+    SsdDevice dev(twoVolumeCfg());
+    // First sector past the end: off-by-one probes must not slip in.
+    IoRequest req = makeWrite4k(0);
+    req.lba = dev.capacitySectors() - kSectorsPerPage + 1;
+    const auto res = dev.submit(req, 0);
+    EXPECT_EQ(res.status, blockdev::IoStatus::DeviceFault);
+
+    // The last fully in-range page is still fine.
+    IoRequest last = makeWrite4k(dev.capacityPages() - 1);
+    EXPECT_EQ(dev.submit(last, 0).status, blockdev::IoStatus::Ok);
+}
+
+TEST(SsdDeviceValidationTest, AddressOverflowRejected)
+{
+    SsdDevice dev(twoVolumeCfg());
+    IoRequest req = makeRead4k(0);
+    req.lba = ~0ULL - 2; // lba + sectors wraps around
+    const auto res = dev.submit(req, 0);
+    EXPECT_EQ(res.status, blockdev::IoStatus::DeviceFault);
+}
+
+TEST(SsdDeviceValidationTest, RejectionLeavesDeviceStateIntact)
+{
+    SsdDevice dev(twoVolumeCfg());
+    const uint64_t stamp = 0x5eed;
+    dev.submitDetailed(makeWrite4k(9), 0, nullptr, &stamp, nullptr);
+
+    IoRequest bad = makeWrite4k(0);
+    bad.lba = dev.capacitySectors(); // one page past the end
+    dev.submit(bad, microseconds(50));
+
+    uint64_t got = 0;
+    dev.submitDetailed(makeRead4k(9), microseconds(100), nullptr, nullptr,
+                       &got);
+    EXPECT_EQ(got, stamp);
+}
+
 } // namespace
 } // namespace ssdcheck::ssd

@@ -17,19 +17,30 @@
  *   ssdcheck replay --device X --trace FILE
  *       Replay a saved trace and print the latency distribution.
  *
+ *   ssdcheck faults
+ *       List the fault-injection profiles.
+ *
+ * Any device-taking command accepts --faults <profile> to run the
+ * device with injected faults behind the host-side resilient I/O
+ * path; error counters are reported after the run.
+ *
  * Devices are the simulated presets; on a real system the same code
  * would sit behind an ioctl-capable block device.
  */
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 
+#include "blockdev/resilient_device.h"
 #include "core/accuracy.h"
 #include "core/ssdcheck.h"
+#include "ssd/fault_injector.h"
 #include "ssd/presets.h"
 #include "ssd/ssd_device.h"
+#include "stats/table_printer.h"
 #include "usecases/runner.h"
 #include "workload/snia_synth.h"
 
@@ -70,17 +81,60 @@ parse(int argc, char **argv)
     return a;
 }
 
-/** Build a device by name ("A".."G" or "nvm"). */
+/** Build a device by name ("A".."G" or "nvm"), with optional faults. */
 std::unique_ptr<ssd::SsdDevice>
-makeDevice(const std::string &name)
+makeDevice(const std::string &name, const Args &args)
 {
-    if (name == "nvm")
-        return std::make_unique<ssd::SsdDevice>(ssd::makeNvmBackedSsd());
-    if (name.size() == 1 && name[0] >= 'A' && name[0] <= 'G') {
-        const auto model = static_cast<ssd::SsdModel>(name[0] - 'A');
-        return std::make_unique<ssd::SsdDevice>(ssd::makePreset(model));
+    ssd::FaultProfile faults;
+    const std::string profileName = args.get("faults", "none");
+    if (!ssd::faultProfileByName(profileName, &faults)) {
+        std::fprintf(stderr, "unknown fault profile '%s' (try: ",
+                     profileName.c_str());
+        for (const auto &p : ssd::allFaultProfiles())
+            std::fprintf(stderr, "%s ", p.name.c_str());
+        std::fprintf(stderr, ")\n");
+        return nullptr;
     }
-    return nullptr;
+    ssd::SsdConfig cfg;
+    if (name == "nvm") {
+        cfg = ssd::makeNvmBackedSsd();
+    } else if (name.size() == 1 && name[0] >= 'A' && name[0] <= 'G') {
+        cfg = ssd::makePreset(static_cast<ssd::SsdModel>(name[0] - 'A'));
+    } else {
+        std::fprintf(stderr, "unknown device '%s'\n", name.c_str());
+        return nullptr;
+    }
+    cfg.faults = faults;
+    return std::make_unique<ssd::SsdDevice>(cfg);
+}
+
+/** Print device-side injections and host-side error counters. */
+void
+printFaultReport(const ssd::SsdDevice &dev,
+                 const blockdev::ResilientDevice &rdev)
+{
+    if (dev.config().faults.inert())
+        return;
+    stats::printBanner(std::cout, "fault report (profile '" +
+                                      dev.config().faults.name + "')");
+    stats::TablePrinter t;
+    t.header({"counter", "value"});
+    const ssd::FaultCounters &fc = dev.faultCounters();
+    t.row({"injected: transient UNC reads", std::to_string(fc.readUncTransient)});
+    t.row({"injected: hard UNC reads", std::to_string(fc.readUncHard)});
+    t.row({"injected: program failures", std::to_string(fc.programFailures)});
+    t.row({"injected: erase failures", std::to_string(fc.eraseFailures)});
+    t.row({"injected: blocks retired", std::to_string(fc.blocksRetired)});
+    t.row({"injected: stalls", std::to_string(fc.stalls)});
+    t.row({"injected: drift events", std::to_string(fc.driftEvents)});
+    const blockdev::ResilienceCounters &rc = rdev.counters();
+    t.row({"host: media errors seen", std::to_string(rc.mediaErrors)});
+    t.row({"host: timeouts classified", std::to_string(rc.timeouts)});
+    t.row({"host: device faults", std::to_string(rc.deviceFaults)});
+    t.row({"host: retries issued", std::to_string(rc.retries)});
+    t.row({"host: recovered by retry", std::to_string(rc.recovered)});
+    t.row({"host: retries exhausted", std::to_string(rc.exhausted)});
+    t.print(std::cout);
 }
 
 workload::SniaWorkload
@@ -107,11 +161,9 @@ cmdFingerprint(const Args &args)
         names.push_back(args.get("device", "A"));
     }
     for (const auto &n : names) {
-        auto dev = makeDevice(n);
-        if (!dev) {
-            std::fprintf(stderr, "unknown device '%s'\n", n.c_str());
+        auto dev = makeDevice(n, args);
+        if (!dev)
             return 2;
-        }
         core::DiagnosisRunner runner(*dev, core::DiagnosisConfig{});
         const core::FeatureSet fs = runner.extractFeatures();
         std::printf("%-8s %s\n", dev->name().c_str(),
@@ -123,11 +175,9 @@ cmdFingerprint(const Args &args)
 int
 cmdAccuracy(const Args &args)
 {
-    auto dev = makeDevice(args.get("device", "A"));
-    if (!dev) {
-        std::fprintf(stderr, "unknown device\n");
+    auto dev = makeDevice(args.get("device", "A"), args);
+    if (!dev)
         return 2;
-    }
     bool ok = true;
     const auto w = workloadByName(args.get("workload", "RW Mixed"), &ok);
     if (!ok) {
@@ -136,7 +186,18 @@ cmdAccuracy(const Args &args)
     }
     const double scale = std::stod(args.get("scale", "0.05"));
 
-    core::DiagnosisRunner runner(*dev, core::DiagnosisConfig{});
+    // The host stack always talks to the device through the resilient
+    // path; on a healthy device it is a transparent pass-through.
+    blockdev::ResilientDevice rdev(*dev);
+
+    // Diagnosis is a one-time offline procedure: features come from a
+    // healthy twin (same model, no faults), so the whole fault budget
+    // lands on the measured run and the runtime machinery — retries,
+    // tainted-completion exclusion, drift response — is what's tested.
+    ssd::SsdConfig cleanCfg = dev->config();
+    cleanCfg.faults = ssd::FaultProfile{};
+    ssd::SsdDevice cleanDev(cleanCfg);
+    core::DiagnosisRunner runner(cleanDev, core::DiagnosisConfig{});
     const core::FeatureSet fs = runner.extractFeatures();
     std::printf("features: %s\n", fs.summary().c_str());
     if (!fs.bufferModelUsable()) {
@@ -144,15 +205,20 @@ cmdAccuracy(const Args &args)
         return 0;
     }
     core::SsdCheck check(fs);
+    dev->precondition();
     const auto trace =
         workload::buildSniaTrace(w, dev->capacityPages(), scale);
-    const auto acc = core::evaluatePredictionAccuracy(*dev, check, trace,
+    const auto acc = core::evaluatePredictionAccuracy(rdev, check, trace,
                                                       runner.now());
     std::printf("workload: %s (%zu requests, HL fraction %.2f%%)\n",
                 trace.name().c_str(), trace.size(),
                 acc.hlFraction() * 100);
     std::printf("NL accuracy: %.2f%%\nHL accuracy: %.2f%%\n",
                 acc.nlAccuracy() * 100, acc.hlAccuracy() * 100);
+    if (acc.faulted > 0)
+        std::printf("faulted requests excluded from recall: %llu\n",
+                    static_cast<unsigned long long>(acc.faulted));
+    printFaultReport(*dev, rdev);
     return 0;
 }
 
@@ -186,11 +252,9 @@ cmdSynth(const Args &args)
 int
 cmdReplay(const Args &args)
 {
-    auto dev = makeDevice(args.get("device", "A"));
-    if (!dev) {
-        std::fprintf(stderr, "unknown device\n");
+    auto dev = makeDevice(args.get("device", "A"), args);
+    if (!dev)
         return 2;
-    }
     const std::string path = args.get("trace", "");
     std::ifstream is(path);
     if (!is) {
@@ -202,10 +266,11 @@ cmdReplay(const Args &args)
         std::fprintf(stderr, "malformed trace file\n");
         return 2;
     }
-    core::DiagnosisRunner prep(*dev, core::DiagnosisConfig{});
+    blockdev::ResilientDevice rdev(*dev);
+    core::DiagnosisRunner prep(rdev, core::DiagnosisConfig{});
     prep.precondition();
     const auto res =
-        usecases::runClosedLoop(*dev, *trace, 1, 0, prep.now());
+        usecases::runClosedLoop(rdev, *trace, 1, 0, prep.now());
     std::printf("%s on %s: %llu requests, %.1f MB/s\n",
                 trace->name().c_str(), dev->name().c_str(),
                 static_cast<unsigned long long>(res.requests),
@@ -214,6 +279,34 @@ cmdReplay(const Args &args)
         std::printf("  p%-5.1f %s\n", p,
                     sim::formatDuration(res.latency.percentile(p)).c_str());
     }
+    if (res.ioErrors() > 0 || res.retriedRequests > 0)
+        std::printf("errors: %llu media, %llu timeout, %llu fault; "
+                    "%llu requests needed retries\n",
+                    static_cast<unsigned long long>(res.mediaErrors),
+                    static_cast<unsigned long long>(res.timeouts),
+                    static_cast<unsigned long long>(res.deviceFaults),
+                    static_cast<unsigned long long>(res.retriedRequests));
+    printFaultReport(*dev, rdev);
+    return 0;
+}
+
+int
+cmdFaults()
+{
+    stats::TablePrinter t;
+    t.header({"profile", "unc-read", "prog-fail", "erase-fail", "stall",
+              "drift"});
+    for (const auto &p : ssd::allFaultProfiles()) {
+        t.row({p.name, stats::TablePrinter::pct(p.readUncProbability),
+               stats::TablePrinter::pct(p.programFailProbability),
+               stats::TablePrinter::pct(p.eraseFailProbability),
+               stats::TablePrinter::pct(p.stallProbability),
+               p.driftAfterRequests == 0
+                   ? "-"
+                   : toString(p.driftKind) + " @" +
+                         std::to_string(p.driftAfterRequests)});
+    }
+    t.print(std::cout);
     return 0;
 }
 
@@ -222,11 +315,14 @@ usage()
 {
     std::printf(
         "ssdcheck <command> [options]\n"
-        "  fingerprint [--device A..G|nvm | --all]\n"
-        "  accuracy   --device X [--workload NAME] [--scale F]\n"
+        "  fingerprint [--device A..G|nvm | --all] [--faults PROFILE]\n"
+        "  accuracy   --device X [--workload NAME] [--scale F]"
+        " [--faults PROFILE]\n"
         "  synth      --workload NAME --out FILE [--scale F] [--span P]\n"
-        "  replay     --device X --trace FILE\n"
-        "workloads: TPCE Homes Web Exch Live Build 'RW Mixed'\n");
+        "  replay     --device X --trace FILE [--faults PROFILE]\n"
+        "  faults\n"
+        "workloads: TPCE Homes Web Exch Live Build 'RW Mixed'\n"
+        "fault profiles: none flaky-reads wearout stalls drift hostile\n");
     return 1;
 }
 
@@ -244,5 +340,7 @@ main(int argc, char **argv)
         return cmdSynth(args);
     if (args.command == "replay")
         return cmdReplay(args);
+    if (args.command == "faults")
+        return cmdFaults();
     return usage();
 }
