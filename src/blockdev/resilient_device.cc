@@ -24,6 +24,7 @@ ResilientDevice::backoffFor(uint32_t retry) const
 IoResult
 ResilientDevice::submit(const IoRequest &req, sim::SimTime now)
 {
+    ++counters_.submissions;
     sim::SimTime attemptTime = now;
     IoResult last;
     for (uint32_t attempt = 0;; ++attempt) {

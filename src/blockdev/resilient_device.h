@@ -57,6 +57,15 @@ struct ResilienceCounters
     uint64_t retries = 0;       ///< Re-submissions performed.
     uint64_t recovered = 0;     ///< Requests that succeeded on retry.
     uint64_t exhausted = 0;     ///< Requests failed after max retries.
+    uint64_t submissions = 0;   ///< Caller-visible requests served.
+
+    /** Fraction of caller requests that saw any error (0 when idle). */
+    double errorRate() const
+    {
+        return submissions == 0 ? 0.0
+                                : static_cast<double>(totalErrors()) /
+                                      static_cast<double>(submissions);
+    }
 
     /** Total failed submissions observed (any status). */
     uint64_t totalErrors() const

@@ -1,21 +1,28 @@
 #include "core/accuracy.h"
 
+#include "core/health_supervisor.h"
+
 namespace ssdcheck::core {
 
 AccuracyResult
 evaluatePredictionAccuracy(blockdev::BlockDevice &dev, SsdCheck &check,
                            const workload::Trace &trace,
-                           sim::SimTime startTime, sim::SimTime *endTime)
+                           sim::SimTime startTime, sim::SimTime *endTime,
+                           HealthSupervisor *supervisor)
 {
     AccuracyResult acc;
     sim::SimTime t = startTime;
     for (const auto &rec : trace.records()) {
+        if (supervisor != nullptr)
+            t = supervisor->pump(t);
         const blockdev::IoRequest &req = rec.req;
         const Prediction pred = check.predict(req, t);
         check.onSubmit(req, t);
         const blockdev::IoResult res = dev.submit(req, t);
         const bool actualHl = check.onComplete(
             req, pred, t, res.completeTime, res.status, res.attempts);
+        if (supervisor != nullptr)
+            supervisor->onCompletion(req, actualHl, res);
         if (!res.ok() || res.attempts > 1) {
             // Error-path exchanges measure the resilience layer, not
             // the prediction model; keep recall clean of them.

@@ -21,6 +21,8 @@
 
 namespace ssdcheck::core {
 
+class HealthSupervisor;
+
 /** Confusion counts of one accuracy evaluation. */
 struct AccuracyResult
 {
@@ -61,12 +63,16 @@ struct AccuracyResult
  * Replay @p trace on @p dev at QD1 starting at @p startTime, running
  * @p check in predict-before-issue mode.
  * @param endTime receives the virtual finish time (optional).
+ * @param supervisor optional health supervisor: pumped for probe I/O
+ *        between requests and fed every completion.
  */
 AccuracyResult evaluatePredictionAccuracy(blockdev::BlockDevice &dev,
                                           SsdCheck &check,
                                           const workload::Trace &trace,
                                           sim::SimTime startTime,
-                                          sim::SimTime *endTime = nullptr);
+                                          sim::SimTime *endTime = nullptr,
+                                          HealthSupervisor *supervisor =
+                                              nullptr);
 
 } // namespace ssdcheck::core
 

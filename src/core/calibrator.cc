@@ -49,6 +49,13 @@ Calibrator::observeGcEvent(sim::SimDuration lat)
     ewma(gcOverhead_, lat);
 }
 
+void
+Calibrator::onModelSwap()
+{
+    lowAccuracyStreak_ = 0;
+    enabled_ = true;
+}
+
 bool
 Calibrator::onAccuracySample(double rollingHl, uint32_t rollingHlEvents)
 {

@@ -70,6 +70,22 @@ class Calibrator
     /** False once prediction has been harmlessly turned off. */
     bool predictionEnabled() const { return enabled_; }
 
+    /** Engine resynchronized the buffer counter (drift signal). */
+    void noteBufferResync() { ++bufferResyncs_; }
+
+    /** Buffer-counter resynchronizations seen so far. */
+    uint64_t bufferResyncs() const { return bufferResyncs_; }
+
+    /**
+     * A fresh model was hot-swapped in: forgive the accumulated
+     * low-accuracy streak and re-arm prediction so the replacement
+     * gets a clean probation.
+     */
+    void onModelSwap();
+
+    /** Permanently turn prediction off (supervisor gave up). */
+    void forceDisable() { enabled_ = false; }
+
     /** Times onAccuracySample demanded a GC-history reset (drift
      *  response observability). */
     uint64_t historyResets() const { return historyResets_; }
@@ -93,6 +109,7 @@ class Calibrator
     uint64_t observations_ = 0;
     uint64_t lowAccuracyStreak_ = 0;
     uint64_t historyResets_ = 0;
+    uint64_t bufferResyncs_ = 0;
     bool enabled_ = true;
 };
 

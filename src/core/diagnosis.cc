@@ -31,6 +31,18 @@ medianOf(std::vector<T> v)
     return v[v.size() / 2];
 }
 
+/**
+ * A completion that failed or was re-issued by a resilience layer
+ * carries retry-loop and backoff latency, not the device's service
+ * behaviour: using it as a snippet measurement would let a flaky
+ * device poison the extracted features.
+ */
+bool
+cleanSample(const blockdev::IoResult &res)
+{
+    return res.ok() && res.attempts == 1;
+}
+
 } // namespace
 
 DiagnosisRunner::DiagnosisRunner(blockdev::BlockDevice &dev,
@@ -238,6 +250,8 @@ DiagnosisRunner::collectGcIntervals(uint64_t lbaA, int flipBit)
         req.sectors = kSectorsPerPage;
         const auto res = dev_.submit(req, t);
         t = res.completeTime;
+        if (!cleanSample(res))
+            continue; // tainted latency is neither a write nor a GC mark
         ++writesSinceGc;
         if (res.latency() > cfg_.gcLatencyThreshold) {
             if (seenFirst) {
@@ -323,12 +337,12 @@ DiagnosisRunner::randomVolume0Lba(const std::vector<uint32_t> &volumeBits,
     }
 }
 
-DiagnosisRunner::SizeEstimate
-DiagnosisRunner::estimatePeriod(
-    const std::vector<uint64_t> &eventWriteCounts,
-    const std::vector<sim::SimDuration> &eventLatencies, uint32_t minPages)
+FlushPeriodEstimate
+estimateFlushPeriod(const std::vector<uint64_t> &eventWriteCounts,
+                    const std::vector<sim::SimDuration> &eventLatencies,
+                    uint32_t minPages)
 {
-    SizeEstimate est;
+    FlushPeriodEstimate est;
     if (eventWriteCounts.size() < 5)
         return est;
     std::vector<uint64_t> diffs;
@@ -442,6 +456,13 @@ DiagnosisRunner::backgroundReadTest(
             const auto res = dev_.submit(req, tr);
             lastSubmit = tr;
             ++readsDone;
+            if (!cleanSample(res)) {
+                // A failed/retried probe read is no flush evidence
+                // either way; drop it without disturbing the spike
+                // detector's phase.
+                tr = res.completeTime + cfg_.readGap;
+                continue;
+            }
             const sim::SimDuration lat = res.latency();
             if (series != nullptr)
                 series->emplace_back(writesDone, lat);
@@ -459,7 +480,7 @@ DiagnosisRunner::backgroundReadTest(
         }
     }
     now_ = std::max(tw, tr) + kSettle;
-    return estimatePeriod(eventCounts, eventLats, cfg_.minBufferPages);
+    return estimateFlushPeriod(eventCounts, eventLats, cfg_.minBufferPages);
 }
 
 bool
@@ -488,9 +509,11 @@ DiagnosisRunner::readTriggerFlushTest(
         req.lba = randomVolume0Lba(volumeBits, true);
         req.sectors = kSectorsPerPage;
         const auto res = dev_.submit(req, t);
-        if (res.latency() > cfg_.hlLatencyThreshold)
-            ++hl[k];
-        ++total[k];
+        if (cleanSample(res)) {
+            if (res.latency() > cfg_.hlLatencyThreshold)
+                ++hl[k];
+            ++total[k];
+        }
         t = res.completeTime + sim::microseconds(150) +
             rng_.nextBelow(400) * 1000;
     }
@@ -519,14 +542,14 @@ DiagnosisRunner::writeOnlyTest(const std::vector<uint32_t> &volumeBits)
         req.lba = randomVolume0Lba(volumeBits, false);
         req.sectors = kSectorsPerPage;
         const auto res = dev_.submit(req, t);
-        if (res.latency() > cfg_.hlLatencyThreshold) {
+        if (cleanSample(res) && res.latency() > cfg_.hlLatencyThreshold) {
             eventCounts.push_back(i);
             eventLats.push_back(res.latency());
         }
         t = res.completeTime + sim::microseconds(300);
     }
     now_ = t + kSettle;
-    return estimatePeriod(eventCounts, eventLats, cfg_.minBufferPages);
+    return estimateFlushPeriod(eventCounts, eventLats, cfg_.minBufferPages);
 }
 
 WbAnalysis

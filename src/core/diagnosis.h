@@ -85,6 +85,30 @@ struct GcVolumeScan
     std::vector<uint32_t> gcVolumeBits;
 };
 
+/**
+ * Flush-period estimate recovered from a train of flush-boundary
+ * events positioned on a write counter (Algorithm 1's size analysis).
+ */
+struct FlushPeriodEstimate
+{
+    uint32_t pages = 0; ///< 0 when no consistent period was found.
+    sim::SimDuration meanSpikeLatency = 0;
+};
+
+/**
+ * Median-based period estimate from flush-event positions. Shared by
+ * the offline write-buffer snippets and the health supervisor's
+ * online re-diagnosis.
+ * @param eventWriteCounts write counter at each flush-boundary event
+ *        (strictly increasing).
+ * @param eventLatencies blocked-request latency of each event.
+ * @param minPages periods below this are treated as "not found".
+ */
+FlushPeriodEstimate estimateFlushPeriod(
+    const std::vector<uint64_t> &eventWriteCounts,
+    const std::vector<sim::SimDuration> &eventLatencies,
+    uint32_t minPages);
+
 /** Fig. 6 / Algorithm 1 artifact. */
 struct WbAnalysis
 {
@@ -150,11 +174,7 @@ class DiagnosisRunner
     std::vector<uint32_t> collectGcIntervals(uint64_t lbaA, int flipBit);
 
     // -- Algorithm 1 sub-tests --------------------------------------------
-    struct SizeEstimate
-    {
-        uint32_t pages = 0; ///< 0 when no consistent period was found.
-        sim::SimDuration meanSpikeLatency = 0;
-    };
+    using SizeEstimate = FlushPeriodEstimate;
 
     SizeEstimate backgroundReadTest(
         sim::SimDuration thinktime,
@@ -164,12 +184,6 @@ class DiagnosisRunner
     bool readTriggerFlushTest(const std::vector<uint32_t> &volumeBits);
 
     SizeEstimate writeOnlyTest(const std::vector<uint32_t> &volumeBits);
-
-    /** Median-based period estimate from event positions. */
-    static SizeEstimate estimatePeriod(
-        const std::vector<uint64_t> &eventWriteCounts,
-        const std::vector<sim::SimDuration> &eventLatencies,
-        uint32_t minPages);
 
     /** Random page-aligned LBA within volume-0 of @p volumeBits. */
     uint64_t randomVolume0Lba(const std::vector<uint32_t> &volumeBits,

@@ -1,0 +1,413 @@
+#include "core/health_supervisor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/diagnosis.h"
+#include "stats/chi_squared.h"
+
+namespace ssdcheck::core {
+
+using blockdev::IoRequest;
+using blockdev::IoResult;
+using blockdev::IoType;
+using blockdev::kSectorsPerPage;
+
+std::string
+toString(HealthState s)
+{
+    switch (s) {
+      case HealthState::Healthy:
+        return "healthy";
+      case HealthState::Suspect:
+        return "suspect";
+      case HealthState::Degraded:
+        return "degraded";
+      case HealthState::Rediagnosing:
+        return "rediagnosing";
+      case HealthState::Recovered:
+        return "recovered";
+      case HealthState::Disabled:
+        return "disabled";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Union of the diagnosed volume bits, sorted and deduplicated. */
+std::vector<uint32_t>
+unionVolumeBits(const FeatureSet &fs)
+{
+    std::vector<uint32_t> bits = fs.allocationVolumeBits;
+    bits.insert(bits.end(), fs.gcVolumeBits.begin(), fs.gcVolumeBits.end());
+    std::sort(bits.begin(), bits.end());
+    bits.erase(std::unique(bits.begin(), bits.end()), bits.end());
+    return bits;
+}
+
+/** Probe reader/writer regions split on this sector-LBA bit (mirrors
+ *  the diagnosis snippets' region partition). */
+constexpr uint32_t kRegionSectorBit = 13;
+
+} // namespace
+
+HealthSupervisor::HealthSupervisor(SsdCheck &check,
+                                   blockdev::BlockDevice &dev,
+                                   HealthSupervisorConfig cfg)
+    : check_(check), dev_(dev), cfg_(cfg), rng_(cfg.probeSeed),
+      baseline_(0, cfg.histBinWidth, cfg.histBins),
+      recent_(0, cfg.histBinWidth, cfg.histBins),
+      probeVolumeBits_(unionVolumeBits(check.features()))
+{
+}
+
+void
+HealthSupervisor::onCompletion(const IoRequest &req, bool actualHl,
+                               const IoResult &res)
+{
+    if (!started_) {
+        started_ = true;
+        firstSeen_ = res.submitTime;
+    }
+    if (state_ == HealthState::Disabled)
+        return;
+    // Tainted completions measure the error path, not the device;
+    // the detectors and the re-diagnosis must not see them (the same
+    // rule SsdCheck::onComplete applies to the calibrator).
+    if (!res.ok() || res.attempts > 1)
+        return;
+    ++completions_;
+
+    const sim::SimDuration lat = res.latency();
+    if (baselineCount_ < cfg_.baselineSamples) {
+        baseline_.add(lat);
+        ++baselineCount_;
+    } else {
+        recent_.add(lat);
+    }
+
+    if (state_ == HealthState::Rediagnosing &&
+        inProbeVolume(req.lba)) {
+        if (req.isWrite())
+            volumeWrites_ += req.pages();
+        observeFlushSignal(req, lat);
+        maybeResolveAttempt();
+    }
+    (void)actualHl; // classification arrives via the monitor's window
+
+    if (completions_ % cfg_.evalInterval == 0)
+        sweep();
+}
+
+bool
+HealthSupervisor::detectorsFire()
+{
+    bool fired = false;
+
+    // Detector 1: rolling HL accuracy collapse.
+    const LatencyMonitor &mon = check_.monitor();
+    if (mon.rollingHlCount() >= cfg_.minHlEvents &&
+        mon.rollingHlAccuracy() < cfg_.suspectHlAccuracy) {
+        ++counters_.accuracyCollapses;
+        fired = true;
+    }
+
+    // Detector 2: buffer-resync churn. A phase-correct model resyncs
+    // rarely; a wrong buffer size resyncs on every few flushes.
+    const uint64_t resyncs = check_.calibrator().bufferResyncs();
+    if (resyncs - lastResyncs_ >= cfg_.suspectResyncBurst) {
+        ++counters_.resyncChurnAlarms;
+        fired = true;
+    }
+    lastResyncs_ = resyncs;
+
+    // Detector 3: latency-histogram shift against the calibration-era
+    // baseline (e.g. a shrunk buffer quadruples the flush rate, which
+    // moves completion mass into the flush-latency bins long before
+    // accuracy statistics converge).
+    if (baselineCount_ >= cfg_.baselineSamples &&
+        recent_.total() >= cfg_.minShiftSamples) {
+        const auto shift = stats::chiSquaredTwoSample(baseline_, recent_);
+        if (shift.valid && shift.pValue < cfg_.shiftPValue) {
+            ++counters_.latencyShiftAlarms;
+            fired = true;
+        }
+        recent_.clear();
+    }
+    return fired;
+}
+
+void
+HealthSupervisor::sweep()
+{
+    ++counters_.sweeps;
+    switch (state_) {
+      case HealthState::Healthy:
+        if (detectorsFire())
+            enterSuspect();
+        break;
+      case HealthState::Suspect:
+        if (detectorsFire()) {
+            clearStreak_ = 0;
+            if (++confirmStreak_ >= cfg_.confirmSweeps)
+                enterDegraded();
+        } else {
+            confirmStreak_ = 0;
+            if (++clearStreak_ >= cfg_.clearSweeps) {
+                state_ = HealthState::Healthy;
+                ++counters_.falseAlarms;
+            }
+        }
+        break;
+      case HealthState::Degraded:
+      case HealthState::Rediagnosing:
+        // Quarantined: every prediction is a forced NL, so the
+        // accuracy window is meaningless here. pump() drives repair.
+        break;
+      case HealthState::Recovered: {
+        if (detectorsFire()) {
+            // Probation relapse — a second drift (or a bad swap).
+            ++counters_.relapses;
+            enterSuspect();
+            break;
+        }
+        const uint64_t onProbation = completions_ - completionsAtRecovery_;
+        const LatencyMonitor &mon = check_.monitor();
+        const bool accuracyOk =
+            mon.rollingHlCount() < cfg_.minHlEvents ||
+            mon.rollingHlAccuracy() >= cfg_.probationHlAccuracy;
+        if (onProbation >= cfg_.probationWindow && accuracyOk) {
+            state_ = HealthState::Healthy;
+            ++counters_.recoveries;
+        }
+        break;
+      }
+      case HealthState::Disabled:
+        break;
+    }
+}
+
+void
+HealthSupervisor::enterSuspect()
+{
+    state_ = HealthState::Suspect;
+    ++counters_.suspectEntries;
+    confirmStreak_ = 1;
+    clearStreak_ = 0;
+}
+
+void
+HealthSupervisor::enterDegraded()
+{
+    state_ = HealthState::Degraded;
+    ++counters_.degradedEntries;
+    // Quarantine: conservative NL fallback so the use cases stay
+    // correct (paper's harmless-disable behaviour) while we repair.
+    check_.setDegraded(true);
+}
+
+void
+HealthSupervisor::beginAttempt()
+{
+    ++counters_.rediagnoseAttempts;
+    volumeWrites_ = 0;
+    eventCounts_.clear();
+    eventLats_.clear();
+    inSpike_ = false;
+}
+
+void
+HealthSupervisor::attemptFailed()
+{
+    ++counters_.rediagnoseFailures;
+    if (counters_.rediagnoseFailures >= cfg_.maxRediagnoses) {
+        // The device no longer exposes a learnable buffer phase:
+        // permanent harmless-disable rather than probe forever.
+        state_ = HealthState::Disabled;
+        check_.forceDisable();
+        return;
+    }
+    beginAttempt();
+}
+
+void
+HealthSupervisor::observeFlushSignal(const IoRequest &req,
+                                     sim::SimDuration latency)
+{
+    // Flush boundaries surface as HL completions (flushes block both
+    // probe reads and the workload's own requests; GC rides on a
+    // flush, so GC-class events mark a boundary just as well). One
+    // event per contiguous blocked window, positioned on the volume
+    // write counter — exactly the event train the §III-B
+    // background_read_test feeds estimateFlushPeriod().
+    const bool hl = check_.monitor().isHighLatency(req, latency);
+    if (hl) {
+        if (!inSpike_) {
+            eventCounts_.push_back(volumeWrites_);
+            eventLats_.push_back(latency);
+            inSpike_ = true;
+        }
+    } else {
+        inSpike_ = false;
+    }
+}
+
+void
+HealthSupervisor::maybeResolveAttempt()
+{
+    if (eventCounts_.size() >= cfg_.probeFlushEvents) {
+        const FlushPeriodEstimate est = estimateFlushPeriod(
+            eventCounts_, eventLats_, cfg_.minBufferPages);
+        if (est.pages > 0) {
+            hotSwap(est.pages, est.meanSpikeLatency);
+            return;
+        }
+    }
+    if (volumeWrites_ > cfg_.maxProbeWritesPerAttempt)
+        attemptFailed();
+}
+
+void
+HealthSupervisor::hotSwap(uint32_t pages, sim::SimDuration meanSpike)
+{
+    FeatureSet fs = check_.features();
+    fs.bufferBytes = static_cast<uint64_t>(pages) * blockdev::kPageSize;
+    if (meanSpike > 0)
+        fs.observedFlushOverheadNs = meanSpike;
+    check_.hotSwapModel(std::move(fs));
+    ++counters_.hotSwaps;
+    swapPages_ = pages;
+    probeVolumeBits_ = unionVolumeBits(check_.features());
+
+    // Fresh probation: the detectors must judge the new model on its
+    // own evidence, so the baseline histogram rebuilds from scratch.
+    baseline_.clear();
+    recent_.clear();
+    baselineCount_ = 0;
+    lastResyncs_ = check_.calibrator().bufferResyncs();
+    inSpike_ = false;
+    completionsAtRecovery_ = completions_;
+    state_ = HealthState::Recovered;
+}
+
+bool
+HealthSupervisor::probeBudgetAllows(sim::SimTime now) const
+{
+    const sim::SimDuration elapsed = now - firstSeen_;
+    if (elapsed <= 0)
+        return false;
+    return static_cast<double>(counters_.probeBusyNs) <
+           cfg_.probeBudgetFraction * static_cast<double>(elapsed);
+}
+
+uint64_t
+HealthSupervisor::probeLba(bool upperHalf)
+{
+    const uint64_t pages = dev_.capacityPages();
+    for (;;) {
+        uint64_t lba = rng_.nextBelow(pages) * kSectorsPerPage;
+        for (uint32_t b : probeVolumeBits_)
+            lba &= ~(1ULL << b);
+        if (upperHalf)
+            lba |= (1ULL << kRegionSectorBit);
+        else
+            lba &= ~(1ULL << kRegionSectorBit);
+        if (lba + kSectorsPerPage <= dev_.capacitySectors())
+            return lba;
+    }
+}
+
+bool
+HealthSupervisor::inProbeVolume(uint64_t lba) const
+{
+    return volumeIndexOf(probeVolumeBits_, lba) == 0;
+}
+
+sim::SimTime
+HealthSupervisor::issueProbe(sim::SimTime now)
+{
+    IoRequest req;
+    // Alternate writes (keep the buffer filling even under read-heavy
+    // workloads) and reads (the flush-blocked spike samplers).
+    if (probeWriteNext_) {
+        req.type = IoType::Write;
+        req.lba = probeLba(false);
+    } else {
+        req.type = IoType::Read;
+        req.lba = probeLba(true);
+    }
+    probeWriteNext_ = !probeWriteNext_;
+    req.sectors = kSectorsPerPage;
+
+    const IoResult res = dev_.submit(req, now);
+    ++counters_.probesIssued;
+    if (req.isWrite())
+        ++counters_.probeWrites;
+    else
+        ++counters_.probeReads;
+    counters_.probeBusyNs += res.latency();
+
+    if (res.ok() && res.attempts == 1) {
+        if (req.isWrite())
+            volumeWrites_ += req.pages();
+        observeFlushSignal(req, res.latency());
+        maybeResolveAttempt();
+    }
+    return res.completeTime;
+}
+
+sim::SimTime
+HealthSupervisor::pump(sim::SimTime now)
+{
+    if (!started_) {
+        started_ = true;
+        firstSeen_ = now;
+    }
+    if (state_ == HealthState::Degraded) {
+        state_ = HealthState::Rediagnosing;
+        beginAttempt();
+    }
+    if (state_ != HealthState::Rediagnosing)
+        return now;
+    for (uint32_t i = 0; i < cfg_.probesPerPump; ++i) {
+        if (state_ != HealthState::Rediagnosing)
+            break; // the attempt resolved mid-pump
+        if (!probeBudgetAllows(now)) {
+            ++counters_.probesDeferred;
+            break;
+        }
+        now = issueProbe(now);
+    }
+    return now;
+}
+
+std::string
+HealthSupervisor::report() const
+{
+    std::ostringstream os;
+    os << "health state: " << toString(state_) << "\n";
+    os << "detector sweeps: " << counters_.sweeps
+       << " (accuracy collapses " << counters_.accuracyCollapses
+       << ", resync churn " << counters_.resyncChurnAlarms
+       << ", latency shifts " << counters_.latencyShiftAlarms << ")\n";
+    os << "suspect entries: " << counters_.suspectEntries
+       << " (false alarms " << counters_.falseAlarms << ", confirmed "
+       << counters_.degradedEntries << ", relapses "
+       << counters_.relapses << ")\n";
+    os << "re-diagnoses: " << counters_.rediagnoseAttempts
+       << " attempted, " << counters_.rediagnoseFailures << " failed, "
+       << counters_.hotSwaps << " hot-swaps";
+    if (swapPages_ > 0)
+        os << " (last swap: " << swapPages_ << "-page buffer)";
+    os << "\n";
+    os << "probe i/o: " << counters_.probesIssued << " issued ("
+       << counters_.probeWrites << "w/" << counters_.probeReads
+       << "r), " << sim::formatDuration(counters_.probeBusyNs)
+       << " device time, " << counters_.probesDeferred
+       << " deferred for budget\n";
+    os << "recoveries: " << counters_.recoveries << "\n";
+    return os.str();
+}
+
+} // namespace ssdcheck::core

@@ -189,6 +189,7 @@ PredictionEngine::onComplete(const blockdev::IoRequest &req,
             if (++s.unexpectedHlStreak >= 2) {
                 s.wb.resetCounter();
                 s.unexpectedHlStreak = 0;
+                calibrator_.noteBufferResync();
             }
         } else {
             s.unexpectedHlStreak = 0; // phase confirmed

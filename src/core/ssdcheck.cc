@@ -25,20 +25,48 @@ adaptThresholds(LatencyThresholds t, const FeatureSet &fs)
 } // namespace
 
 SsdCheck::SsdCheck(FeatureSet features, RuntimeConfig cfg)
-    : features_(std::move(features)), calibrator_(cfg.calibrator),
+    : features_(std::move(features)), cfg_(cfg), calibrator_(cfg.calibrator),
       monitor_(adaptThresholds(cfg.thresholds, features_),
                cfg.accuracyWindow)
 {
-    if (features_.bufferModelUsable()) {
-        calibrator_.seedFlushOverhead(features_.observedFlushOverheadNs);
-        PredictionEngine::Options opts;
-        opts.useVolumeModel = cfg.useVolumeModel;
-        opts.useGcModel = cfg.useGcModel;
-        opts.useCalibrator = cfg.useCalibrator;
-        opts.useSecondaryModel = cfg.useSecondaryModel;
-        engine_ = std::make_unique<PredictionEngine>(
-            features_, calibrator_, monitor_, cfg.gcModel, opts);
-    }
+    rebuildEngine();
+}
+
+void
+SsdCheck::rebuildEngine()
+{
+    engine_.reset();
+    if (!features_.bufferModelUsable())
+        return;
+    calibrator_.seedFlushOverhead(features_.observedFlushOverheadNs);
+    PredictionEngine::Options opts;
+    opts.useVolumeModel = cfg_.useVolumeModel;
+    opts.useGcModel = cfg_.useGcModel;
+    opts.useCalibrator = cfg_.useCalibrator;
+    opts.useSecondaryModel = cfg_.useSecondaryModel;
+    engine_ = std::make_unique<PredictionEngine>(features_, calibrator_,
+                                                 monitor_, cfg_.gcModel,
+                                                 opts);
+}
+
+void
+SsdCheck::hotSwapModel(FeatureSet features)
+{
+    features_ = std::move(features);
+    // The old window scored the old model; the replacement must be
+    // judged (and its probation measured) on its own completions.
+    monitor_ = LatencyMonitor(adaptThresholds(cfg_.thresholds, features_),
+                              cfg_.accuracyWindow);
+    calibrator_.onModelSwap();
+    rebuildEngine();
+    degraded_ = false;
+}
+
+void
+SsdCheck::forceDisable()
+{
+    calibrator_.forceDisable();
+    degraded_ = false;
 }
 
 FeatureSet
@@ -52,8 +80,9 @@ SsdCheck::diagnose(blockdev::BlockDevice &dev, DiagnosisConfig cfg,
 Prediction
 SsdCheck::predict(const blockdev::IoRequest &req, sim::SimTime now) const
 {
-    if (!enabled()) {
-        // Harmlessly disabled: everything reads as normal latency.
+    if (!enabled() || degraded_) {
+        // Harmlessly disabled (or quarantined by the health
+        // supervisor): everything reads as normal latency.
         Prediction p;
         p.eet = req.isWrite() ? calibrator_.writeService()
                               : calibrator_.readService();

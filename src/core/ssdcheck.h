@@ -103,6 +103,27 @@ class SsdCheck
     /** True while the model is usable and not auto-disabled. */
     bool enabled() const;
 
+    // -- health-supervisor hooks ------------------------------------------
+    /**
+     * Quarantine (or release) the model. While degraded predict()
+     * answers conservative NL for everything — the harmlessly-disabled
+     * behaviour — but the engine keeps observing completions so its
+     * state stays warm for a possible hot-swap.
+     */
+    void setDegraded(bool on) { degraded_ = on; }
+    bool degraded() const { return degraded_; }
+
+    /**
+     * Atomically replace the model with freshly re-diagnosed
+     * @p features: rebuilds the engine, re-adapts the monitor's
+     * thresholds, clears the rolling-accuracy window and re-arms the
+     * calibrator. Also clears degraded mode.
+     */
+    void hotSwapModel(FeatureSet features);
+
+    /** Permanently disable prediction (re-diagnosis exhausted). */
+    void forceDisable();
+
     const FeatureSet &features() const { return features_; }
     const LatencyMonitor &monitor() const { return monitor_; }
     const Calibrator &calibrator() const { return calibrator_; }
@@ -111,10 +132,14 @@ class SsdCheck
     const PredictionEngine *engine() const { return engine_.get(); }
 
   private:
+    void rebuildEngine();
+
     FeatureSet features_;
+    RuntimeConfig cfg_;
     Calibrator calibrator_;
     LatencyMonitor monitor_;
     std::unique_ptr<PredictionEngine> engine_;
+    bool degraded_ = false;
 };
 
 } // namespace ssdcheck::core

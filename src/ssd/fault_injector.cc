@@ -1,6 +1,7 @@
 #include "ssd/fault_injector.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace ssdcheck::ssd {
 
@@ -20,9 +21,43 @@ toString(DriftKind k)
     return "?";
 }
 
+std::string
+FaultProfile::validate() const
+{
+    auto probability = [](double p, const char *field) -> std::string {
+        if (p < 0.0 || p > 1.0)
+            return std::string(field) + " must be within [0, 1]";
+        return {};
+    };
+    for (const auto &[p, field] :
+         {std::pair{readUncProbability, "readUncProbability"},
+          {readUncHardFraction, "readUncHardFraction"},
+          {programFailProbability, "programFailProbability"},
+          {eraseFailProbability, "eraseFailProbability"},
+          {stallProbability, "stallProbability"}}) {
+        if (auto err = probability(p, field); !err.empty())
+            return "fault profile '" + name + "': " + err;
+    }
+    if (stallMin < 0)
+        return "fault profile '" + name + "': stallMin must be >= 0";
+    if (stallMax < stallMin)
+        return "fault profile '" + name + "': stallMax < stallMin";
+    if (driftAfterRequests > 0 && driftKind == DriftKind::None)
+        return "fault profile '" + name +
+               "': drift scheduled but driftKind is none";
+    if ((driftKind == DriftKind::ShrinkBuffer ||
+         driftKind == DriftKind::GrowBuffer) &&
+        driftBufferFactor <= 0.0)
+        return "fault profile '" + name +
+               "': driftBufferFactor must be > 0";
+    return {};
+}
+
 FaultInjector::FaultInjector(FaultProfile profile, sim::Rng rng)
     : profile_(std::move(profile)), rng_(rng)
 {
+    [[maybe_unused]] const std::string err = profile_.validate();
+    assert(err.empty() && "malformed FaultProfile (see validate())");
 }
 
 ReadFault

@@ -85,6 +85,15 @@ struct FaultProfile
                eraseFailProbability == 0.0 && stallProbability == 0.0 &&
                driftAfterRequests == 0;
     }
+
+    /**
+     * Empty string when the profile is well-formed, else a message
+     * naming the offending field. A malformed profile (negative or
+     * > 1 probability, inverted stall range, zero buffer-drift factor)
+     * would silently skew every drawn rate, so FaultInjector refuses
+     * to be built from one.
+     */
+    std::string validate() const;
 };
 
 /** Outcome of the read-fault draw for one read request. */

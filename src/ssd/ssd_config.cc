@@ -122,22 +122,8 @@ SsdConfig::validate() const
     const uint64_t physBlocks = physPagesPerVolume() / pagesPerBlock;
     if (physBlocks <= gcHighBlocks + 2)
         err << "too few blocks per volume for the GC watermarks; ";
-    for (const double p :
-         {faults.readUncProbability, faults.readUncHardFraction,
-          faults.programFailProbability, faults.eraseFailProbability,
-          faults.stallProbability}) {
-        if (p < 0.0 || p > 1.0)
-            err << "fault probabilities must be within [0, 1]; ";
-    }
-    if (faults.stallMax < faults.stallMin)
-        err << "stallMax must be >= stallMin; ";
-    if (faults.driftAfterRequests > 0 &&
-        faults.driftKind == DriftKind::None)
-        err << "drift scheduled without a drift kind; ";
-    if ((faults.driftKind == DriftKind::ShrinkBuffer ||
-         faults.driftKind == DriftKind::GrowBuffer) &&
-        faults.driftBufferFactor <= 0.0)
-        err << "driftBufferFactor must be positive; ";
+    if (const std::string faultErr = faults.validate(); !faultErr.empty())
+        err << faultErr << "; ";
     return err.str();
 }
 

@@ -135,9 +135,11 @@ runTenantsClosedLoop(const std::vector<TenantSpec> &tenants,
 ScheduledRunResult
 runScheduled(blockdev::BlockDevice &dev, Scheduler &sched,
              const workload::Trace &trace, sim::SimTime start,
-             core::SsdCheck *check, uint32_t dispatchWidth)
+             core::SsdCheck *check, uint32_t dispatchWidth,
+             core::HealthSupervisor *supervisor)
 {
     assert(dispatchWidth > 0);
+    assert(supervisor == nullptr || check != nullptr);
     ScheduledRunResult out;
     out.schedulerName = sched.name();
     out.stream.name = trace.name();
@@ -177,6 +179,8 @@ runScheduled(blockdev::BlockDevice &dev, Scheduler &sched,
             continue; // new arrivals may have landed meanwhile
         }
 
+        if (supervisor != nullptr)
+            t = supervisor->pump(t);
         const QueuedRequest qr = sched.dequeue(t);
         core::Prediction pred;
         if (check != nullptr) {
@@ -185,9 +189,13 @@ runScheduled(blockdev::BlockDevice &dev, Scheduler &sched,
         }
         const auto res = dev.submit(qr.req, t);
         inflight.push(res.completeTime);
-        if (check != nullptr)
-            check->onComplete(qr.req, pred, t, res.completeTime,
-                              res.status, res.attempts);
+        if (check != nullptr) {
+            const bool actualHl =
+                check->onComplete(qr.req, pred, t, res.completeTime,
+                                  res.status, res.attempts);
+            if (supervisor != nullptr)
+                supervisor->onCompletion(qr.req, actualHl, res);
+        }
         // Latency includes queueing: completion minus arrival.
         record(out.stream, qr.req, t, qr.arrival, res);
         out.stream.endTime = std::max(out.stream.endTime, res.completeTime);

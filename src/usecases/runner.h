@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "blockdev/block_device.h"
+#include "core/health_supervisor.h"
 #include "core/ssdcheck.h"
 #include "stats/latency_recorder.h"
 #include "stats/timeline.h"
@@ -101,12 +102,16 @@ struct ScheduledRunResult
  * @param check optional SSDcheck kept in sync with the issued stream.
  * @param dispatchWidth requests kept in flight at the device (the
  *        dispatcher's queue depth; 1 reproduces the paper setup).
+ * @param supervisor optional health supervisor (requires @p check):
+ *        pumped for probe I/O before each dispatch and fed every
+ *        completion.
  */
 ScheduledRunResult runScheduled(blockdev::BlockDevice &dev, Scheduler &sched,
                                 const workload::Trace &trace,
                                 sim::SimTime start,
                                 core::SsdCheck *check = nullptr,
-                                uint32_t dispatchWidth = 1);
+                                uint32_t dispatchWidth = 1,
+                                core::HealthSupervisor *supervisor = nullptr);
 
 } // namespace ssdcheck::usecases
 

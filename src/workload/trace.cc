@@ -103,20 +103,30 @@ Trace::saveText(std::ostream &os) const
 }
 
 std::optional<Trace>
-Trace::loadText(std::istream &is)
+Trace::loadText(std::istream &is, size_t *errorLine)
 {
-    std::string line;
-    if (!std::getline(is, line) || line.size() < 2 || line[0] != '#')
+    size_t lineNo = 0;
+    auto fail = [&]() -> std::optional<Trace> {
+        if (errorLine != nullptr)
+            *errorLine = lineNo;
         return std::nullopt;
+    };
+    std::string line;
+    if (!std::getline(is, line))
+        return fail(); // empty stream: lineNo stays 0
+    lineNo = 1;
+    if (line.size() < 2 || line[0] != '#')
+        return fail();
     Trace t(line.substr(2));
     while (std::getline(is, line)) {
+        ++lineNo;
         if (line.empty())
             continue;
         std::istringstream ls(line);
         TraceRecord rec;
         char type = 0;
         if (!(ls >> rec.arrival >> type >> rec.req.lba >> rec.req.sectors))
-            return std::nullopt;
+            return fail();
         switch (type) {
           case 'r':
             rec.req.type = blockdev::IoType::Read;
@@ -128,10 +138,10 @@ Trace::loadText(std::istream &is)
             rec.req.type = blockdev::IoType::Trim;
             break;
           default:
-            return std::nullopt;
+            return fail();
         }
         if (!t.records_.empty() && rec.arrival < t.records_.back().arrival)
-            return std::nullopt; // arrivals must be monotone
+            return fail(); // arrivals must be monotone
         t.records_.push_back(rec);
     }
     return t;

@@ -81,9 +81,13 @@ class Trace
 
     /**
      * Parse a trace previously written by saveText().
+     * @param errorLine when non-null and parsing fails, receives the
+     *        1-based line number of the offending line (0 when the
+     *        stream was empty).
      * @return the trace, or std::nullopt on malformed input.
      */
-    static std::optional<Trace> loadText(std::istream &is);
+    static std::optional<Trace> loadText(std::istream &is,
+                                         size_t *errorLine = nullptr);
 
   private:
     std::string name_;

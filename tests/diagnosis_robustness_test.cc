@@ -4,6 +4,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "blockdev/resilient_device.h"
 #include "core/diagnosis.h"
 #include "ssd/presets.h"
 #include "ssd/ssd_device.h"
@@ -93,6 +94,48 @@ TEST(DiagnosisRobustnessTest, PreconditionFalseSkipsDeviceReset)
     // The write survived (no purge) — though later scan writes may
     // have overwritten it, the page must still be mapped.
     EXPECT_TRUE(dev.peekPage(7, &got));
+}
+
+TEST(DiagnosisRobustnessTest, TaintedCompletionsDoNotSkewBufferSize)
+{
+    // Frequent hard UNC reads land MediaError completions (riding the
+    // full retry-exhaustion latency) on exactly the read stream the
+    // write-buffer snippets measure. Failed completions must be
+    // dropped from the spike series, or every error would read as a
+    // flush boundary. (Transient in-device retries are excluded here
+    // on purpose: those complete Ok and are invisible to a black-box
+    // host, so no host-side filter can exist for them.)
+    ssd::SsdConfig cfg = ssd::makePreset(ssd::SsdModel::B);
+    cfg.faults.name = "flaky";
+    cfg.faults.readUncProbability = 0.05;
+    cfg.faults.readUncHardFraction = 1.0;
+    ssd::SsdDevice dev(cfg);
+
+    DiagnosisRunner runner(dev, DiagnosisConfig{});
+    runner.sequentialFill();
+    const WbAnalysis wb = runner.analyzeWriteBuffer({});
+    EXPECT_EQ(wb.bufferBytes, 248u * 1024);
+    EXPECT_GT(dev.faultCounters().readUncHard, 0u);
+}
+
+TEST(DiagnosisRobustnessTest, HostRetriedCompletionsAlsoExcluded)
+{
+    // Through the resilient path the same faults surface as Ok
+    // completions with attempts > 1 and retry-loop latency; those are
+    // just as tainted and must not skew the extracted size either.
+    ssd::SsdConfig cfg = ssd::makePreset(ssd::SsdModel::B);
+    cfg.faults.name = "flaky";
+    cfg.faults.readUncProbability = 0.05;
+    cfg.faults.readUncHardFraction = 1.0;
+    ssd::SsdDevice dev(cfg);
+    blockdev::ResilientDevice rdev(dev);
+
+    DiagnosisRunner runner(rdev, DiagnosisConfig{});
+    runner.sequentialFill();
+    const WbAnalysis wb = runner.analyzeWriteBuffer({});
+    EXPECT_EQ(wb.bufferBytes, 248u * 1024);
+    EXPECT_GT(rdev.counters().retries, 0u);
+    EXPECT_GT(rdev.counters().submissions, 0u);
 }
 
 } // namespace

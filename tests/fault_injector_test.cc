@@ -245,6 +245,54 @@ TEST(FaultInjectorDeviceTest, BufferDriftMutatesDeviceConfig)
     EXPECT_EQ(dev.config().bufferBytes, before / 2);
 }
 
+TEST(FaultInjectorTest, AllPresetProfilesValidate)
+{
+    for (const auto &p : allFaultProfiles())
+        EXPECT_EQ(p.validate(), "") << p.name;
+    EXPECT_EQ(FaultProfile{}.validate(), "");
+}
+
+TEST(FaultInjectorTest, ValidateRejectsMalformedProfiles)
+{
+    FaultProfile p;
+    p.name = "broken";
+
+    p.readUncProbability = -0.1;
+    EXPECT_NE(p.validate().find("readUncProbability"), std::string::npos);
+    p.readUncProbability = 1.5;
+    EXPECT_NE(p.validate().find("readUncProbability"), std::string::npos);
+    p.readUncProbability = 0.5;
+    EXPECT_EQ(p.validate(), "");
+
+    p.stallProbability = 2.0;
+    EXPECT_NE(p.validate().find("stallProbability"), std::string::npos);
+    p.stallProbability = 0.0;
+
+    p.stallMin = milliseconds(100);
+    p.stallMax = milliseconds(50);
+    EXPECT_NE(p.validate().find("stallMax"), std::string::npos);
+    p.stallMax = milliseconds(100);
+    EXPECT_EQ(p.validate(), "");
+
+    p.stallMin = -1;
+    EXPECT_NE(p.validate().find("stallMin"), std::string::npos);
+    p.stallMin = 0;
+
+    p.driftAfterRequests = 100;
+    p.driftKind = DriftKind::None;
+    EXPECT_NE(p.validate().find("driftKind"), std::string::npos);
+    p.driftKind = DriftKind::ShrinkBuffer;
+    p.driftBufferFactor = 0.0;
+    EXPECT_NE(p.validate().find("driftBufferFactor"), std::string::npos);
+    p.driftBufferFactor = 0.5;
+    EXPECT_EQ(p.validate(), "");
+
+    // The message names the profile so operators know which config
+    // (CLI flag, test fixture) to fix.
+    p.eraseFailProbability = -1.0;
+    EXPECT_NE(p.validate().find("broken"), std::string::npos);
+}
+
 TEST(FaultInjectorDeviceTest, ReadTriggerDriftFlipsFlag)
 {
     SsdConfig cfg = faultTestCfg();

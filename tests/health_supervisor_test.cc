@@ -1,0 +1,352 @@
+/**
+ * @file Deterministic tests for every edge of the health-supervisor
+ * state machine:
+ *
+ *   Healthy -> Suspect            (detector fires)
+ *   Suspect -> Healthy            (false alarm clears)
+ *   Suspect -> Degraded           (confirm streak)
+ *   Degraded -> Rediagnosing      (first pump)
+ *   Rediagnosing -> Recovered     (flush period recovered, hot-swap)
+ *   Rediagnosing -> Disabled      (attempts exhausted, terminal)
+ *   Recovered -> Suspect          (probation relapse)
+ *   Recovered -> Healthy          (probation passes)
+ *
+ * Detector inputs are driven by fabricated completions (latency
+ * decides the NL/HL class), so each edge is reached deterministically
+ * without a real device; the probe path is exercised separately
+ * against a simulated SSD.
+ */
+#include <gtest/gtest.h>
+
+#include "core/health_supervisor.h"
+#include "core/ssdcheck.h"
+#include "ssd/ssd_device.h"
+
+namespace ssdcheck::core {
+namespace {
+
+using blockdev::IoRequest;
+using blockdev::IoResult;
+using blockdev::IoStatus;
+using blockdev::makeWrite4k;
+using sim::microseconds;
+using sim::milliseconds;
+
+/** Minimal usable feature set (mirrors ssdcheck_facade_test). */
+FeatureSet
+usableFeatures()
+{
+    FeatureSet fs;
+    fs.bufferBytes = 16 * 4096;
+    fs.bufferType = BufferTypeFeature::Back;
+    fs.flushAlgorithms.fullTrigger = true;
+    fs.observedFlushOverheadNs = milliseconds(1);
+    return fs;
+}
+
+/** Small accuracy window so detector state turns over quickly. */
+RuntimeConfig
+fastRuntime()
+{
+    RuntimeConfig rt;
+    rt.accuracyWindow = 50;
+    return rt;
+}
+
+/**
+ * Supervisor tuned for unit tests: only the accuracy detector armed
+ * (shift test and resync churn are exercised by the e2e test), zero
+ * probe budget so re-diagnosis runs purely on passive observations.
+ */
+HealthSupervisorConfig
+passiveCfg()
+{
+    HealthSupervisorConfig cfg;
+    cfg.evalInterval = 50;
+    cfg.minHlEvents = 20;
+    cfg.suspectResyncBurst = 1000000; // resync detector off
+    cfg.shiftPValue = 0.0;            // shift detector off
+    cfg.confirmSweeps = 2;
+    cfg.clearSweeps = 3;
+    cfg.probeBudgetFraction = 0.0; // probes never issue
+    cfg.probeFlushEvents = 24;
+    cfg.probationWindow = 200;
+    return cfg;
+}
+
+/** A small fast simulated SSD for the probe tests. */
+ssd::SsdConfig
+probeDeviceCfg()
+{
+    ssd::SsdConfig c;
+    c.userCapacityPages = 16 * 1024;
+    c.bufferBytes = 8 * 4096;
+    c.planesPerVolume = 4;
+    c.pagesPerBlock = 8;
+    c.opRatio = 0.3;
+    c.gcLowBlocks = 3;
+    c.gcHighBlocks = 6;
+    c.jitterSigma = 0.0;
+    c.hiccupProbability = 0.0;
+    return c;
+}
+
+/** Test harness: facade + device + supervisor + a virtual clock. */
+struct Rig
+{
+    ssd::SsdDevice dev{probeDeviceCfg()};
+    SsdCheck check{usableFeatures(), fastRuntime()};
+    HealthSupervisor sup;
+    sim::SimTime t = microseconds(1);
+
+    explicit Rig(HealthSupervisorConfig cfg = passiveCfg())
+        : sup(check, dev, cfg)
+    {
+    }
+
+    /**
+     * Feed @p n fabricated completions of latency @p lat with an NL
+     * prediction each (so an HL latency scores as a miss).
+     */
+    void feed(int n, sim::SimDuration lat)
+    {
+        for (int i = 0; i < n; ++i) {
+            const IoRequest req = makeWrite4k(1);
+            const Prediction pred; // NL
+            const bool hl =
+                check.onComplete(req, pred, t, t + lat, IoStatus::Ok, 1);
+            IoResult res;
+            res.submitTime = t;
+            res.completeTime = t + lat;
+            sup.onCompletion(req, hl, res);
+            t += lat + microseconds(50);
+        }
+    }
+
+    /** Drive the supervisor from Healthy to a confirmed Degraded. */
+    void collapse()
+    {
+        feed(150, milliseconds(1));
+        ASSERT_EQ(sup.state(), HealthState::Degraded);
+    }
+};
+
+constexpr sim::SimDuration kNl = microseconds(100);
+constexpr sim::SimDuration kHl = milliseconds(1);
+
+TEST(HealthSupervisorTest, StartsHealthyAndStaysSoOnGoodModel)
+{
+    Rig rig;
+    rig.feed(500, kNl);
+    EXPECT_EQ(rig.sup.state(), HealthState::Healthy);
+    EXPECT_EQ(rig.sup.counters().suspectEntries, 0u);
+    EXPECT_GT(rig.sup.counters().sweeps, 0u);
+}
+
+TEST(HealthSupervisorTest, AccuracyCollapseEntersSuspect)
+{
+    Rig rig;
+    // One sweep interval of mispredicted HLs: accuracy 0 < 0.40.
+    rig.feed(60, kHl);
+    EXPECT_EQ(rig.sup.state(), HealthState::Suspect);
+    EXPECT_EQ(rig.sup.counters().suspectEntries, 1u);
+    EXPECT_GE(rig.sup.counters().accuracyCollapses, 1u);
+    // Suspect alone never quarantines the model.
+    EXPECT_FALSE(rig.check.degraded());
+}
+
+TEST(HealthSupervisorTest, FalseAlarmClearsBackToHealthy)
+{
+    Rig rig;
+    rig.feed(60, kHl);
+    ASSERT_EQ(rig.sup.state(), HealthState::Suspect);
+    // The workload returns to normal: the HL misses age out of the
+    // (50-deep) window and three clean sweeps clear the alarm.
+    rig.feed(300, kNl);
+    EXPECT_EQ(rig.sup.state(), HealthState::Healthy);
+    EXPECT_EQ(rig.sup.counters().falseAlarms, 1u);
+    EXPECT_EQ(rig.sup.counters().degradedEntries, 0u);
+}
+
+TEST(HealthSupervisorTest, ConfirmedCollapseDegradesAndQuarantines)
+{
+    Rig rig;
+    rig.collapse();
+    EXPECT_EQ(rig.sup.counters().degradedEntries, 1u);
+    // Quarantine: the facade now answers conservative NL everywhere.
+    EXPECT_TRUE(rig.check.degraded());
+    const Prediction p = rig.check.predict(makeWrite4k(5), rig.t);
+    EXPECT_FALSE(p.hl);
+}
+
+TEST(HealthSupervisorTest, DegradedPredictionsMatchDisabledBaseline)
+{
+    // Degraded mode must be *harmless*: indistinguishable from the
+    // paper's disabled model (never a false HL flag).
+    SsdCheck degraded(usableFeatures(), fastRuntime());
+    degraded.setDegraded(true);
+    SsdCheck disabled(usableFeatures(), fastRuntime());
+    disabled.forceDisable();
+    for (uint64_t page : {0ULL, 7ULL, 123ULL}) {
+        for (const auto &req :
+             {blockdev::makeRead4k(page), makeWrite4k(page)}) {
+            const Prediction pd = degraded.predict(req, microseconds(10));
+            const Prediction px = disabled.predict(req, microseconds(10));
+            EXPECT_FALSE(pd.hl);
+            EXPECT_EQ(pd.eet, px.eet);
+        }
+    }
+}
+
+TEST(HealthSupervisorTest, FirstPumpStartsRediagnosis)
+{
+    Rig rig;
+    rig.collapse();
+    rig.t = rig.sup.pump(rig.t);
+    EXPECT_EQ(rig.sup.state(), HealthState::Rediagnosing);
+    EXPECT_EQ(rig.sup.counters().rediagnoseAttempts, 1u);
+    // Zero budget: the probe slots were declined, not issued.
+    EXPECT_EQ(rig.sup.counters().probesIssued, 0u);
+    EXPECT_GE(rig.sup.counters().probesDeferred, 1u);
+}
+
+TEST(HealthSupervisorTest, PassiveFlushEventsHotSwapTheModel)
+{
+    Rig rig;
+    rig.collapse();
+    rig.t = rig.sup.pump(rig.t);
+    ASSERT_EQ(rig.sup.state(), HealthState::Rediagnosing);
+
+    // The live workload exposes the device's true period: every 8th
+    // write blocks on a flush. The supervisor needs probeFlushEvents
+    // boundaries to resolve, all collected without any probe I/O.
+    for (int burst = 0; burst < 30 &&
+                        rig.sup.state() == HealthState::Rediagnosing;
+         ++burst) {
+        rig.feed(7, kNl);
+        rig.feed(1, kHl);
+    }
+    EXPECT_EQ(rig.sup.state(), HealthState::Recovered);
+    EXPECT_EQ(rig.sup.counters().hotSwaps, 1u);
+    EXPECT_EQ(rig.sup.lastSwapPages(), 8u);
+    EXPECT_EQ(rig.check.features().bufferBytes, 8u * 4096);
+    EXPECT_FALSE(rig.check.degraded());
+    EXPECT_TRUE(rig.check.enabled());
+}
+
+TEST(HealthSupervisorTest, ProbationRelapseReturnsToSuspect)
+{
+    Rig rig;
+    rig.collapse();
+    rig.t = rig.sup.pump(rig.t);
+    for (int burst = 0; burst < 30 &&
+                        rig.sup.state() == HealthState::Rediagnosing;
+         ++burst) {
+        rig.feed(7, kNl);
+        rig.feed(1, kHl);
+    }
+    ASSERT_EQ(rig.sup.state(), HealthState::Recovered);
+
+    // The swapped model also mispredicts: relapse, not recovery.
+    for (int i = 0; i < 20 && rig.sup.state() == HealthState::Recovered;
+         ++i)
+        rig.feed(10, kHl);
+    EXPECT_EQ(rig.sup.state(), HealthState::Suspect);
+    EXPECT_EQ(rig.sup.counters().relapses, 1u);
+    EXPECT_EQ(rig.sup.counters().recoveries, 0u);
+}
+
+TEST(HealthSupervisorTest, ProbationPassReturnsToHealthy)
+{
+    Rig rig;
+    rig.collapse();
+    rig.t = rig.sup.pump(rig.t);
+    for (int burst = 0; burst < 30 &&
+                        rig.sup.state() == HealthState::Rediagnosing;
+         ++burst) {
+        rig.feed(7, kNl);
+        rig.feed(1, kHl);
+    }
+    ASSERT_EQ(rig.sup.state(), HealthState::Recovered);
+
+    // probationWindow clean completions with no detector firing.
+    rig.feed(300, kNl);
+    EXPECT_EQ(rig.sup.state(), HealthState::Healthy);
+    EXPECT_EQ(rig.sup.counters().recoveries, 1u);
+    EXPECT_EQ(rig.sup.counters().relapses, 0u);
+}
+
+TEST(HealthSupervisorTest, ExhaustedAttemptsDisableTerminally)
+{
+    HealthSupervisorConfig cfg = passiveCfg();
+    cfg.probeFlushEvents = 1000;        // never enough events
+    cfg.maxProbeWritesPerAttempt = 100; // attempts fail quickly
+    cfg.maxRediagnoses = 2;
+    Rig rig(cfg);
+    rig.collapse();
+    rig.t = rig.sup.pump(rig.t);
+    ASSERT_EQ(rig.sup.state(), HealthState::Rediagnosing);
+
+    // Flush-free writes burn through both attempts.
+    while (rig.sup.state() == HealthState::Rediagnosing)
+        rig.feed(10, kNl);
+
+    EXPECT_EQ(rig.sup.state(), HealthState::Disabled);
+    EXPECT_EQ(rig.sup.counters().rediagnoseFailures, 2u);
+    EXPECT_EQ(rig.sup.counters().hotSwaps, 0u);
+    // Terminal: prediction is off for good and harmless.
+    EXPECT_FALSE(rig.check.enabled());
+    EXPECT_FALSE(rig.check.predict(makeWrite4k(1), rig.t).hl);
+
+    // Further completions and pumps are inert.
+    const auto before = rig.sup.counters().sweeps;
+    rig.feed(200, kHl);
+    rig.t = rig.sup.pump(rig.t);
+    EXPECT_EQ(rig.sup.state(), HealthState::Disabled);
+    EXPECT_EQ(rig.sup.counters().sweeps, before);
+}
+
+TEST(HealthSupervisorTest, ActiveProbingRecoversAgainstRealDevice)
+{
+    // Against the real simulated SSD (8-page buffer) with a 16-page
+    // stale model: probe I/O alone must rebuild the buffer feature.
+    HealthSupervisorConfig cfg = passiveCfg();
+    cfg.probeBudgetFraction = 0.10;
+    Rig rig(cfg);
+    rig.dev.precondition();
+    rig.collapse();
+
+    int pumps = 0;
+    while (rig.sup.state() != HealthState::Recovered && pumps < 200000) {
+        rig.t = rig.sup.pump(rig.t);
+        rig.t += microseconds(500);
+        ++pumps;
+    }
+    ASSERT_EQ(rig.sup.state(), HealthState::Recovered);
+    EXPECT_GT(rig.sup.counters().probesIssued, 0u);
+    EXPECT_GT(rig.sup.counters().probeWrites, 0u);
+    EXPECT_EQ(rig.sup.counters().hotSwaps, 1u);
+    // The probed estimate matches the device's true 8-page buffer.
+    EXPECT_EQ(rig.sup.lastSwapPages(), 8u);
+
+    // Probe I/O stayed within its device-time budget (one probe of
+    // slack: the check is evaluated before each submission).
+    const auto &c = rig.sup.counters();
+    const sim::SimDuration elapsed = rig.t - microseconds(1);
+    EXPECT_LE(static_cast<double>(c.probeBusyNs),
+              cfg.probeBudgetFraction * static_cast<double>(elapsed) +
+                  static_cast<double>(milliseconds(50)));
+}
+
+TEST(HealthSupervisorTest, ReportNamesTheStateAndCounters)
+{
+    Rig rig;
+    rig.collapse();
+    const std::string rep = rig.sup.report();
+    EXPECT_NE(rep.find("degraded"), std::string::npos);
+    EXPECT_NE(rep.find("re-diagnoses"), std::string::npos);
+    EXPECT_NE(rep.find("probe i/o"), std::string::npos);
+}
+
+} // namespace
+} // namespace ssdcheck::core

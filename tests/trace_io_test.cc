@@ -96,5 +96,36 @@ TEST(TraceIoTest, BlankLinesSkipped)
     EXPECT_EQ(back->size(), 2u);
 }
 
+TEST(TraceIoTest, ParseErrorsReportTheOffendingLine)
+{
+    size_t line = 999;
+    std::stringstream empty("");
+    EXPECT_FALSE(Trace::loadText(empty, &line).has_value());
+    EXPECT_EQ(line, 0u); // nothing to point at
+
+    std::stringstream noHeader("0 w 8 8\n");
+    EXPECT_FALSE(Trace::loadText(noHeader, &line).has_value());
+    EXPECT_EQ(line, 1u);
+
+    std::stringstream badType("# x\n0 w 8 8\n1 q 8 8\n");
+    EXPECT_FALSE(Trace::loadText(badType, &line).has_value());
+    EXPECT_EQ(line, 3u);
+
+    std::stringstream garbage("# x\n0 w 8 8\n1 w 16 8\nnot a record\n");
+    EXPECT_FALSE(Trace::loadText(garbage, &line).has_value());
+    EXPECT_EQ(line, 4u);
+
+    // Blank lines still count toward the reported line number.
+    std::stringstream withBlanks("# x\n\n\n100 w 8 8\n50 w 16 8\n");
+    EXPECT_FALSE(Trace::loadText(withBlanks, &line).has_value());
+    EXPECT_EQ(line, 5u); // the non-monotone arrival
+
+    // A successful parse leaves the caller's value untouched.
+    line = 999;
+    std::stringstream good("# x\n0 w 8 8\n");
+    EXPECT_TRUE(Trace::loadText(good, &line).has_value());
+    EXPECT_EQ(line, 999u);
+}
+
 } // namespace
 } // namespace ssdcheck::workload

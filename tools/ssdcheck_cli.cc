@@ -9,7 +9,11 @@
  *
  *   ssdcheck accuracy --device X [--workload NAME] [--scale F]
  *       Diagnose, build the runtime model, replay a workload in
- *       predict-before-issue mode and report NL/HL accuracy.
+ *       predict-before-issue mode and report NL/HL accuracy. With
+ *       --supervisor the health supervisor watches the model, repairs
+ *       drift online and prints its report; --min-recovered-accuracy F
+ *       makes the command exit 3 when the run ends below F rolling HL
+ *       accuracy or with the model disabled (CI soak-test hook).
  *
  *   ssdcheck synth --workload NAME --out FILE [--scale F] [--span P]
  *       Generate a synthetic trace (Table-II equivalents) to a file.
@@ -36,6 +40,7 @@
 
 #include "blockdev/resilient_device.h"
 #include "core/accuracy.h"
+#include "core/health_supervisor.h"
 #include "core/ssdcheck.h"
 #include "ssd/fault_injector.h"
 #include "ssd/presets.h"
@@ -205,11 +210,14 @@ cmdAccuracy(const Args &args)
         return 0;
     }
     core::SsdCheck check(fs);
+    std::unique_ptr<core::HealthSupervisor> sup;
+    if (args.has("supervisor"))
+        sup = std::make_unique<core::HealthSupervisor>(check, rdev);
     dev->precondition();
     const auto trace =
         workload::buildSniaTrace(w, dev->capacityPages(), scale);
-    const auto acc = core::evaluatePredictionAccuracy(rdev, check, trace,
-                                                      runner.now());
+    const auto acc = core::evaluatePredictionAccuracy(
+        rdev, check, trace, runner.now(), nullptr, sup.get());
     std::printf("workload: %s (%zu requests, HL fraction %.2f%%)\n",
                 trace.name().c_str(), trace.size(),
                 acc.hlFraction() * 100);
@@ -219,6 +227,31 @@ cmdAccuracy(const Args &args)
         std::printf("faulted requests excluded from recall: %llu\n",
                     static_cast<unsigned long long>(acc.faulted));
     printFaultReport(*dev, rdev);
+
+    const double rollingHl = check.monitor().rollingHlAccuracy();
+    if (sup) {
+        stats::printBanner(std::cout, "model health");
+        std::printf("%s", sup->report().c_str());
+        std::printf("rolling HL accuracy at end of run: %.2f%%\n",
+                    rollingHl * 100);
+    }
+    if (args.has("min-recovered-accuracy")) {
+        const double floor =
+            std::stod(args.get("min-recovered-accuracy", "0"));
+        const bool disabled =
+            (sup && sup->state() == core::HealthState::Disabled) ||
+            !check.enabled();
+        if (disabled || rollingHl < floor) {
+            std::fprintf(stderr,
+                         "FAIL: run ended %s with rolling HL accuracy "
+                         "%.2f%% (floor %.2f%%)\n",
+                         disabled ? "disabled" : "enabled",
+                         rollingHl * 100, floor * 100);
+            return 3;
+        }
+        std::printf("rolling HL accuracy %.2f%% meets floor %.2f%%\n",
+                    rollingHl * 100, floor * 100);
+    }
     return 0;
 }
 
@@ -261,9 +294,15 @@ cmdReplay(const Args &args)
         std::fprintf(stderr, "cannot open %s\n", path.c_str());
         return 2;
     }
-    const auto trace = workload::Trace::loadText(is);
+    size_t errorLine = 0;
+    const auto trace = workload::Trace::loadText(is, &errorLine);
     if (!trace) {
-        std::fprintf(stderr, "malformed trace file\n");
+        if (errorLine == 0)
+            std::fprintf(stderr, "malformed trace file %s: empty\n",
+                         path.c_str());
+        else
+            std::fprintf(stderr, "malformed trace file %s: line %zu\n",
+                         path.c_str(), errorLine);
         return 2;
     }
     blockdev::ResilientDevice rdev(*dev);
@@ -318,6 +357,7 @@ usage()
         "  fingerprint [--device A..G|nvm | --all] [--faults PROFILE]\n"
         "  accuracy   --device X [--workload NAME] [--scale F]"
         " [--faults PROFILE]\n"
+        "             [--supervisor] [--min-recovered-accuracy F]\n"
         "  synth      --workload NAME --out FILE [--scale F] [--span P]\n"
         "  replay     --device X --trace FILE [--faults PROFILE]\n"
         "  faults\n"
