@@ -11,11 +11,15 @@
 #define SSDCHECK_BENCH_BENCH_COMMON_H
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "core/diagnosis.h"
 #include "core/ssdcheck.h"
+#include "perf/grid.h"
+#include "perf/thread_pool.h"
 #include "ssd/presets.h"
 #include "ssd/ssd_device.h"
 #include "stats/table_printer.h"
@@ -49,6 +53,42 @@ diagnosePreset(ssd::SsdModel model, uint64_t seedSalt = 0)
     out.features = runner.extractFeatures();
     out.now = runner.now();
     return out;
+}
+
+/**
+ * Parse `--jobs N` from a bench binary's argv (default: all cores).
+ * Results are job-count independent — shards are fully isolated — so
+ * the flag only changes wall-clock time.
+ */
+inline unsigned
+parseJobs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0)
+            return static_cast<unsigned>(
+                std::strtoul(argv[i + 1], nullptr, 10));
+    }
+    return perf::ThreadPool::defaultJobs();
+}
+
+/**
+ * Print the batch timing summary and write BENCH_grid.json next to
+ * the binary's working directory (the CI perf-smoke artifact).
+ */
+inline void
+reportBatch(const std::string &name, const perf::BatchTiming &timing,
+            const std::string &jsonPath = "BENCH_grid.json")
+{
+    std::printf("\n%s: %zu shards, jobs=%u, wall %.2fs, "
+                "%.0f simulated IOs/s, aggregate speedup %.2fx\n",
+                name.c_str(), timing.tasks.size(), timing.jobs,
+                timing.wallSeconds, timing.iosPerSec(),
+                timing.aggregateSpeedup());
+    if (!perf::writeBenchGridJson(jsonPath, name, timing))
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     jsonPath.c_str());
+    else
+        std::printf("wrote %s\n", jsonPath.c_str());
 }
 
 } // namespace ssdcheck::bench

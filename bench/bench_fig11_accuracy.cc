@@ -6,6 +6,12 @@
  * Paper per-SSD averages: HL = 80.0 / 79.8 / 72.3 / 61.1 / 48.4 /
  * 72.7 / 73.7 % and NL = 99.0 / 99.0 / 99.0 / 99.7 / 99.7 / 99.5 /
  * 99.1 % for SSD A-G.
+ *
+ * The seven devices are fully independent, so the grid shards one
+ * device per thread (`--jobs N`, default all cores); each shard
+ * carries its SSDcheck calibration across the workloads exactly like
+ * the original serial loop, so the table is bit-identical at any job
+ * count.
  */
 #include "bench_common.h"
 
@@ -15,13 +21,17 @@
 using namespace ssdcheck;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Fig. 11", "NL/HL prediction accuracy per workload "
                              "per device (traces at 3% scale)");
 
     const double paperHl[] = {80.0, 79.8, 72.3, 61.1, 48.4, 72.7, 73.7};
     const double paperNl[] = {99.0, 99.0, 99.0, 99.7, 99.7, 99.5, 99.1};
+
+    const unsigned jobs = bench::parseJobs(argc, argv);
+    const perf::GridResult grid =
+        perf::runGrid(perf::GridSpec::fig11(0.03), jobs);
 
     stats::TablePrinter t;
     std::vector<std::string> header{"SSD"};
@@ -33,22 +43,16 @@ main()
     header.push_back("paper NL");
     t.row(header); // header via row to keep the wide table aligned
 
+    const size_t perDevice = workload::allSniaWorkloads().size();
     int idx = 0;
     for (const auto m : ssd::allModels()) {
-        auto d = bench::diagnosePreset(m);
-        core::SsdCheck check(d.features);
-        sim::SimTime now = d.now;
-        std::vector<std::string> row{d.dev->name()};
+        std::vector<std::string> row{"SSD " + ssd::toString(m)};
         double hlSum = 0, nlSum = 0;
         int n = 0;
-        for (const auto w : workload::allSniaWorkloads()) {
-            const auto trace = workload::buildSniaTrace(
-                w, d.dev->capacityPages(), 0.03,
-                1000 + static_cast<uint64_t>(w));
-            sim::SimTime end = now;
-            const auto acc = core::evaluatePredictionAccuracy(
-                *d.dev, check, trace, now, &end);
-            now = end + sim::milliseconds(100);
+        for (size_t wi = 0; wi < perDevice; ++wi) {
+            const perf::GridCell &cell =
+                grid.cells[static_cast<size_t>(idx) * perDevice + wi];
+            const auto &acc = cell.accuracy;
             row.push_back(
                 stats::TablePrinter::num(acc.hlAccuracy() * 100, 0) + "/" +
                 stats::TablePrinter::num(acc.nlAccuracy() * 100, 0));
@@ -56,6 +60,7 @@ main()
             nlSum += acc.nlAccuracy() * 100;
             ++n;
         }
+        (void)m;
         row.push_back(stats::TablePrinter::num(hlSum / n, 1));
         row.push_back(stats::TablePrinter::num(paperHl[idx], 1));
         row.push_back(stats::TablePrinter::num(nlSum / n, 1));
@@ -68,5 +73,6 @@ main()
                  "per device carries its calibration across workloads.\n"
               << "paper shape: A/B highest among back-type devices, D/E "
                  "dragged down by secondary (SLC-cache) features.\n";
+    bench::reportBatch("fig11_accuracy_grid", grid.timing);
     return 0;
 }

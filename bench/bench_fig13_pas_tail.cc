@@ -5,6 +5,9 @@
  *
  * Paper: noop longest tail; cfq/deadline shorter; PAS shortest thanks
  * to flush-aware reordering.
+ *
+ * The four scheduler runs each own a private device replica, so they
+ * run in parallel (`--jobs N`) and print in fixed order afterwards.
  */
 #include "bench_common.h"
 
@@ -39,7 +42,7 @@ runWith(const std::string &which, const workload::Trace &paced)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Fig. 13", "Read tail latency of Build on SSD G by "
                              "scheduler");
@@ -49,15 +52,26 @@ main()
     sim::Rng rng(6);
     trace.assignPoissonArrivals(5000.0, rng);
 
+    const std::vector<std::string> scheds{"noop", "cfq", "deadline",
+                                          "pas"};
+    std::vector<usecases::ScheduledRunResult> results(scheds.size());
+    std::vector<std::pair<std::string, std::function<uint64_t()>>> tasks;
+    for (size_t i = 0; i < scheds.size(); ++i)
+        tasks.emplace_back(scheds[i], [&, i]() {
+            results[i] = runWith(scheds[i], trace);
+            return static_cast<uint64_t>(trace.size());
+        });
+    const auto timing =
+        perf::runTimedBatch(tasks, bench::parseJobs(argc, argv));
+
     stats::TablePrinter t;
     t.header({"scheduler", "p90", "p95", "p99", "p99.5", "p99.9",
               "read mean"});
     std::vector<std::pair<std::string, sim::SimDuration>> tails;
-    for (const std::string s : {"noop", "cfq", "deadline", "pas"}) {
-        const auto res = runWith(s, trace);
-        const auto &lat = res.stream.readLatency;
-        tails.emplace_back(s, lat.percentile(99));
-        t.row({s, sim::formatDuration(lat.percentile(90)),
+    for (size_t i = 0; i < scheds.size(); ++i) {
+        const auto &lat = results[i].stream.readLatency;
+        tails.emplace_back(scheds[i], lat.percentile(99));
+        t.row({scheds[i], sim::formatDuration(lat.percentile(90)),
                sim::formatDuration(lat.percentile(95)),
                sim::formatDuration(lat.percentile(99)),
                sim::formatDuration(lat.percentile(99.5)),
@@ -72,5 +86,6 @@ main()
         std::cout << "  " << name << "=" << sim::formatDuration(tail);
     std::cout << "\npaper: noop longest tail; cfq and deadline in "
                  "between; PAS shortest (flush-aware reordering).\n";
+    bench::reportBatch("fig13_pas_tail", timing);
     return 0;
 }

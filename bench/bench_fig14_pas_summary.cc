@@ -6,6 +6,10 @@
  * Paper: PAS cuts tail latency by 71%/67% (F/G avg) and raises
  * throughput by 32%/27% vs noop; ideal PAS bounds the misprediction
  * cost (PAS within ~8-36% latency and ~5% throughput of ideal).
+ *
+ * All 18 (model, workload, scheduler) runs are independent — each
+ * builds its own device — so they shard across the pool (`--jobs N`)
+ * and the table is assembled in fixed order afterwards.
  */
 #include "bench_common.h"
 
@@ -24,6 +28,7 @@ struct RunStats
 {
     sim::SimDuration tail;
     double mbps;
+    uint64_t requests = 0;
 };
 
 RunStats
@@ -57,13 +62,14 @@ runOne(ssd::SsdModel model, workload::SniaWorkload w,
         }
     }
     return RunStats{res.stream.readLatency.percentile(tailPct),
-                    res.stream.throughputMbps()};
+                    res.stream.throughputMbps(),
+                    static_cast<uint64_t>(trace.size())};
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Fig. 14", "PAS vs noop vs ideal: read tail latency "
                              "and throughput (normalized to noop)");
@@ -71,16 +77,45 @@ main()
     // Measurement percentiles follow the paper's per-pair points.
     const double tailPct = 97.6;
 
+    // Enumerate the full (model, workload, scheduler) grid up front so
+    // every run is one independent task; print from the merged array.
+    struct Cell
+    {
+        ssd::SsdModel model;
+        workload::SniaWorkload workload;
+        std::string which;
+    };
+    std::vector<Cell> cells;
+    for (const auto m : {ssd::SsdModel::F, ssd::SsdModel::G})
+        for (const auto w : workload::readIntensiveWorkloads())
+            for (const std::string which : {"noop", "pas", "ideal"})
+                cells.push_back(Cell{m, w, which});
+
+    std::vector<RunStats> runs(cells.size());
+    std::vector<std::pair<std::string, std::function<uint64_t()>>> tasks;
+    for (size_t i = 0; i < cells.size(); ++i)
+        tasks.emplace_back(
+            toString(cells[i].workload) + "-" +
+                ssd::toString(cells[i].model) + "/" + cells[i].which,
+            [&, i]() {
+                runs[i] = runOne(cells[i].model, cells[i].workload,
+                                  cells[i].which, tailPct);
+                return runs[i].requests;
+            });
+    const auto timing =
+        perf::runTimedBatch(tasks, bench::parseJobs(argc, argv));
+
     stats::TablePrinter t;
     t.header({"workload-SSD", "tail noop", "tail pas", "tail ideal",
               "pas/noop", "tput pas/noop", "tput ideal/noop"});
     double tailSumF = 0, tailSumG = 0, tputSumF = 0, tputSumG = 0;
     int nF = 0, nG = 0;
+    size_t idx = 0;
     for (const auto m : {ssd::SsdModel::F, ssd::SsdModel::G}) {
         for (const auto w : workload::readIntensiveWorkloads()) {
-            const RunStats noop = runOne(m, w, "noop", tailPct);
-            const RunStats pas = runOne(m, w, "pas", tailPct);
-            const RunStats ideal = runOne(m, w, "ideal", tailPct);
+            const RunStats noop = runs[idx++];
+            const RunStats pas = runs[idx++];
+            const RunStats ideal = runs[idx++];
             const double tailRatio = static_cast<double>(pas.tail) /
                                      static_cast<double>(noop.tail);
             const double tputRatio = pas.mbps / noop.mbps;
@@ -112,5 +147,6 @@ main()
               << stats::TablePrinter::num(tputSumF / nF, 2) << "x, SSD G "
               << stats::TablePrinter::num(tputSumG / nG, 2)
               << "x   (paper: 1.32x and 1.27x)\n";
+    bench::reportBatch("fig14_pas_summary", timing);
     return 0;
 }

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Hot-path microbenchmark: write-buffer add/lookup/drain cost vs
+ * buffer capacity.
+ *
+ * The buffer's newest_ map is reserved at construction with a low
+ * load factor, so adds and lookups should stay flat as the capacity
+ * grows — rehash storms in the middle of a fill would show up here as
+ * super-linear ns/add.
+ */
+#include "bench_common.h"
+
+#include <chrono>
+
+#include "sim/rng.h"
+#include "ssd/write_buffer.h"
+
+using namespace ssdcheck;
+
+namespace {
+
+struct CapResult
+{
+    uint32_t capacity = 0;
+    double nsPerAdd = 0;
+    double nsPerHit = 0;
+    double nsPerMiss = 0;
+    uint64_t ops = 0;
+};
+
+CapResult
+runCap(uint32_t capacity)
+{
+    const uint64_t span = static_cast<uint64_t>(capacity) * 4;
+    const uint64_t rounds = 2000000 / capacity + 1;
+    sim::Rng rng(7);
+
+    CapResult r;
+    r.capacity = capacity;
+
+    std::chrono::nanoseconds addTime{0}, hitTime{0}, missTime{0};
+    uint64_t adds = 0, hits = 0, misses = 0;
+    uint64_t sink = 0;
+    for (uint64_t round = 0; round < rounds; ++round) {
+        ssd::WriteBuffer wb(capacity);
+        // Fill to capacity (the add path, including duplicate lpns).
+        const auto a0 = std::chrono::steady_clock::now();
+        for (uint32_t i = 0; i < capacity; ++i)
+            wb.add(rng.nextBelow(span), i);
+        addTime += std::chrono::steady_clock::now() - a0;
+        adds += capacity;
+
+        // Lookups that mostly hit (lpns just written)...
+        uint64_t payload = 0;
+        const auto h0 = std::chrono::steady_clock::now();
+        for (uint32_t i = 0; i < capacity; ++i) {
+            if (wb.lookup(rng.nextBelow(span), &payload))
+                sink += payload;
+        }
+        hitTime += std::chrono::steady_clock::now() - h0;
+        hits += capacity;
+
+        // ...and lookups guaranteed to miss (lpns beyond the span).
+        const auto m0 = std::chrono::steady_clock::now();
+        for (uint32_t i = 0; i < capacity; ++i) {
+            if (wb.lookup(span + rng.nextBelow(span), &payload))
+                sink += payload;
+        }
+        missTime += std::chrono::steady_clock::now() - m0;
+        misses += capacity;
+
+        sink += wb.drain().size();
+    }
+    if (sink == ~0ULL) // defeat dead-code elimination of the loops
+        std::fputs("", stderr);
+
+    r.ops = adds + hits + misses;
+    r.nsPerAdd = static_cast<double>(addTime.count()) / adds;
+    r.nsPerHit = static_cast<double>(hitTime.count()) / hits;
+    r.nsPerMiss = static_cast<double>(missTime.count()) / misses;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("hotpath/buffer", "Write-buffer add/lookup cost vs "
+                                    "capacity (flat = no rehash churn)");
+
+    const std::vector<uint32_t> caps{64, 256, 1024, 4096};
+    std::vector<CapResult> results(caps.size());
+    std::vector<std::pair<std::string, std::function<uint64_t()>>> tasks;
+    for (size_t i = 0; i < caps.size(); ++i)
+        tasks.emplace_back("cap" + std::to_string(caps[i]), [&, i]() {
+            results[i] = runCap(caps[i]);
+            return results[i].ops;
+        });
+    const auto timing =
+        perf::runTimedBatch(tasks, bench::parseJobs(argc, argv));
+
+    stats::TablePrinter t;
+    t.header({"capacity", "ops", "ns/add", "ns/hit", "ns/miss"});
+    for (const auto &r : results)
+        t.row({std::to_string(r.capacity), std::to_string(r.ops),
+               stats::TablePrinter::num(r.nsPerAdd, 1),
+               stats::TablePrinter::num(r.nsPerHit, 1),
+               stats::TablePrinter::num(r.nsPerMiss, 1)});
+    t.print(std::cout);
+    std::cout << "\nper-op cost should stay flat across capacities: the "
+                 "newest_ map is pre-reserved at construction.\n";
+    bench::reportBatch("hotpath_buffer", timing);
+    return 0;
+}

@@ -2,6 +2,9 @@
  * @file
  * Table II — Characteristics of the (synthetic equivalents of the)
  * real workloads: request count, write fraction, randomness.
+ *
+ * Trace generation is per-workload independent, so the builds shard
+ * across the pool (`--jobs N`) and rows print in fixed order.
  */
 #include "bench_common.h"
 
@@ -10,23 +13,39 @@
 using namespace ssdcheck;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Table II", "Workload characteristics: paper values "
                               "vs generated traces (at 5% scale)");
 
-    stats::TablePrinter t;
-    t.header({"trace", "#req (paper)", "writes (paper)", "random (paper)",
-              "#req (gen)", "writes (gen)", "random (gen)"});
+    std::vector<workload::SniaWorkload> rows;
     for (const auto w : workload::allSniaWorkloads()) {
         if (w == workload::SniaWorkload::RwMixed)
             continue; // synthetic extreme, not in Table II
-        const auto ps = workload::paperStats(w);
-        const auto trace = workload::buildSniaTrace(w, 64 * 1024, 0.05);
-        const auto s = trace.characterize();
-        t.row({toString(w), std::to_string(ps.requests / 100000) + "." +
-                                std::to_string(ps.requests / 10000 % 10) +
-                                "M",
+        rows.push_back(w);
+    }
+
+    std::vector<workload::TraceStats> gen(rows.size());
+    std::vector<std::pair<std::string, std::function<uint64_t()>>> tasks;
+    for (size_t i = 0; i < rows.size(); ++i)
+        tasks.emplace_back(toString(rows[i]), [&, i]() {
+            const auto trace =
+                workload::buildSniaTrace(rows[i], 64 * 1024, 0.05);
+            gen[i] = trace.characterize();
+            return static_cast<uint64_t>(trace.size());
+        });
+    const auto timing =
+        perf::runTimedBatch(tasks, bench::parseJobs(argc, argv));
+
+    stats::TablePrinter t;
+    t.header({"trace", "#req (paper)", "writes (paper)", "random (paper)",
+              "#req (gen)", "writes (gen)", "random (gen)"});
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const auto ps = workload::paperStats(rows[i]);
+        const auto &s = gen[i];
+        t.row({toString(rows[i]),
+               std::to_string(ps.requests / 100000) + "." +
+                   std::to_string(ps.requests / 10000 % 10) + "M",
                stats::TablePrinter::pct(ps.writeFraction, 1),
                stats::TablePrinter::pct(ps.randomFraction, 1),
                std::to_string(s.requests),
@@ -37,5 +56,6 @@ main()
     std::cout << "\nGenerated traces reproduce Table II's write ratio "
                  "and randomness; counts are scaled by 0.05 for fast "
                  "sweeps (pass scale=1.0 for full-size traces).\n";
+    bench::reportBatch("table2_workloads", timing);
     return 0;
 }

@@ -1,0 +1,95 @@
+#include "perf/thread_pool.h"
+
+#include <utility>
+
+namespace ssdcheck::perf {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    taskReady_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+        ++unfinished_;
+    }
+    taskReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    allDone_.wait(lock, [this] { return unfinished_ == 0; });
+    if (firstError_ != nullptr) {
+        std::exception_ptr err = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            taskReady_.wait(lock,
+                            [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (firstError_ == nullptr)
+                firstError_ = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--unfinished_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(ThreadPool &pool, size_t n,
+            const std::function<void(size_t)> &fn)
+{
+    for (size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace ssdcheck::perf

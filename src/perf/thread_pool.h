@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A fixed-size thread pool for sharding independent simulations.
+ *
+ * Deliberately work-stealing-free: one shared FIFO queue behind one
+ * mutex. Grid shards are coarse (an entire device diagnosis plus
+ * workload replay each, hundreds of milliseconds to minutes), so queue
+ * contention is irrelevant and the simple design keeps scheduling
+ * deterministic in everything except completion order — which the
+ * grid layer never depends on, because each task writes only to its
+ * own result slot.
+ *
+ * Determinism contract: tasks must not share mutable state. Every
+ * simulation shard owns its device and RNG (seeded from the grid
+ * coordinates), so results are identical at any job count.
+ */
+#ifndef SSDCHECK_PERF_THREAD_POOL_H
+#define SSDCHECK_PERF_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ssdcheck::perf {
+
+/** Fixed pool of worker threads draining one shared task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 is clamped to 1. Pass
+     *        defaultJobs() to match the machine.
+     */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains remaining tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task. Thread-safe. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished. Rethrows the
+     * first exception any task threw (subsequent ones are dropped).
+     */
+    void wait();
+
+    /** Worker count. */
+    unsigned threads() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Hardware concurrency, clamped to at least 1. */
+    static unsigned defaultJobs();
+
+  private:
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable taskReady_;
+    std::condition_variable allDone_;
+    std::deque<std::function<void()>> queue_;
+    std::exception_ptr firstError_;
+    size_t unfinished_ = 0; ///< Queued + currently running tasks.
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Run @p fn(0 .. n-1) across the pool and wait for completion.
+ * Indices are claimed in order; results must go to per-index storage.
+ */
+void parallelFor(ThreadPool &pool, size_t n,
+                 const std::function<void(size_t)> &fn);
+
+} // namespace ssdcheck::perf
+
+#endif // SSDCHECK_PERF_THREAD_POOL_H

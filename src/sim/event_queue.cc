@@ -1,6 +1,8 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
+#include <functional>
 #include <utility>
 
 namespace ssdcheck::sim {
@@ -9,7 +11,8 @@ void
 EventQueue::schedule(SimTime when, Callback cb)
 {
     assert(when >= now_ && "cannot schedule events in the past");
-    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+    heap_.push_back(Entry{when, nextSeq_++, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
 }
 
 void
@@ -23,10 +26,9 @@ EventQueue::runOne()
 {
     if (heap_.empty())
         return false;
-    // priority_queue::top() returns const&; move out via const_cast is
-    // avoided by copying the (small) entry and popping first.
-    Entry e = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
     now_ = e.when;
     e.cb(now_);
     return true;
@@ -35,7 +37,7 @@ EventQueue::runOne()
 void
 EventQueue::runUntil(SimTime limit)
 {
-    while (!heap_.empty() && heap_.top().when <= limit)
+    while (!heap_.empty() && heap_.front().when <= limit)
         runOne();
     if (now_ < limit)
         now_ = limit;

@@ -12,11 +12,10 @@
 #define SSDCHECK_SIM_EVENT_QUEUE_H
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/sim_time.h"
+#include "sim/small_callback.h"
 
 namespace ssdcheck::sim {
 
@@ -25,11 +24,17 @@ namespace ssdcheck::sim {
  *
  * Events scheduled for the same timestamp fire in scheduling order
  * (FIFO tie-break), which keeps runners deterministic.
+ *
+ * Callbacks are SmallCallbacks: captures up to their inline capacity
+ * never touch the heap, and the binary heap is kept in a plain vector
+ * so entries move in and out instead of being copied (std::function in
+ * a std::priority_queue forced one allocation plus one copy per
+ * event).
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void(SimTime)>;
+    using Callback = SmallCallback;
 
     /** Schedule @p cb to fire at absolute virtual time @p when. */
     void schedule(SimTime when, Callback cb);
@@ -72,7 +77,7 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::vector<Entry> heap_; ///< Min-heap via std::push_heap/pop_heap.
     SimTime now_ = kTimeZero;
     uint64_t nextSeq_ = 0;
 };

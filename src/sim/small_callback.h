@@ -1,0 +1,128 @@
+/**
+ * @file
+ * A move-only callable of signature void(SimTime) with small-buffer
+ * storage.
+ *
+ * The event queue schedules millions of short-lived callbacks per
+ * experiment; std::function heap-allocates for captures beyond a few
+ * words and must stay copyable, which forced the queue to copy
+ * callbacks out of its heap. SmallCallback stores any callable up to
+ * kInlineBytes inline (no allocation at all on the common path) and
+ * transparently boxes larger ones on the heap, so the queue can move
+ * entries in and out for free.
+ */
+#ifndef SSDCHECK_SIM_SMALL_CALLBACK_H
+#define SSDCHECK_SIM_SMALL_CALLBACK_H
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/sim_time.h"
+
+namespace ssdcheck::sim {
+
+/** Move-only void(SimTime) callable with inline storage. */
+class SmallCallback
+{
+  public:
+    /** Captures up to this many bytes are stored without allocating. */
+    static constexpr size_t kInlineBytes = 56;
+
+    SmallCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                  std::is_invocable_v<std::decay_t<F> &, SimTime>>>
+    SmallCallback(F &&f) // NOLINT: implicit like std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(storage_)) Fn(std::forward<F>(f));
+            vt_ = &inlineVTable<Fn>;
+        } else {
+            // Oversized capture: box it; the inline storage holds only
+            // the pointer.
+            *reinterpret_cast<Fn **>(storage_) =
+                new Fn(std::forward<F>(f));
+            vt_ = &boxedVTable<Fn>;
+        }
+    }
+
+    SmallCallback(SmallCallback &&o) noexcept : vt_(o.vt_)
+    {
+        if (vt_ != nullptr) {
+            vt_->relocate(o.storage_, storage_);
+            o.vt_ = nullptr;
+        }
+    }
+
+    SmallCallback &operator=(SmallCallback &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            vt_ = o.vt_;
+            if (vt_ != nullptr) {
+                vt_->relocate(o.storage_, storage_);
+                o.vt_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    SmallCallback(const SmallCallback &) = delete;
+    SmallCallback &operator=(const SmallCallback &) = delete;
+
+    ~SmallCallback() { reset(); }
+
+    /** True when holding a callable. */
+    explicit operator bool() const { return vt_ != nullptr; }
+
+    void operator()(SimTime t) { vt_->invoke(storage_, t); }
+
+  private:
+    struct VTable
+    {
+        void (*invoke)(void *, SimTime);
+        /** Move the payload from @p src to @p dst and destroy src. */
+        void (*relocate)(void *src, void *dst);
+        void (*destroy)(void *);
+    };
+
+    void reset()
+    {
+        if (vt_ != nullptr) {
+            vt_->destroy(storage_);
+            vt_ = nullptr;
+        }
+    }
+
+    template <typename Fn> static constexpr VTable inlineVTable = {
+        [](void *s, SimTime t) { (*std::launder(reinterpret_cast<Fn *>(s)))(t); },
+        [](void *src, void *dst) {
+            Fn *f = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*f));
+            f->~Fn();
+        },
+        [](void *s) { std::launder(reinterpret_cast<Fn *>(s))->~Fn(); },
+    };
+
+    template <typename Fn> static constexpr VTable boxedVTable = {
+        [](void *s, SimTime t) { (**reinterpret_cast<Fn **>(s))(t); },
+        [](void *src, void *dst) {
+            *reinterpret_cast<Fn **>(dst) = *reinterpret_cast<Fn **>(src);
+        },
+        [](void *s) { delete *reinterpret_cast<Fn **>(s); },
+    };
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+    const VTable *vt_ = nullptr;
+};
+
+} // namespace ssdcheck::sim
+
+#endif // SSDCHECK_SIM_SMALL_CALLBACK_H

@@ -19,6 +19,9 @@ PageMapper::PageMapper(nand::NandArray &nand, uint64_t userPages,
     blockValid_.assign(nand.totalBlocks(), 0);
     blockFree_.assign(nand.totalBlocks(), 1);
     blockRetired_.assign(nand.totalBlocks(), 0);
+    candidate_.assign(nand.totalBlocks(), 0);
+    buckets_.assign(nand.geometry().pagesPerBlock + 1, {});
+    minBucket_ = nand.geometry().pagesPerBlock + 1;
     freeList_.reserve(nand.totalBlocks());
     // Highest block first so allocation proceeds from block 0 upward.
     for (nand::Pbn b = nand.totalBlocks(); b-- > 0;)
@@ -33,11 +36,13 @@ PageMapper::allocatePage(Stream stream)
     if (ob.block == kNoVictim || ob.nextPage >= ppb) {
         assert(!freeList_.empty() && "free-block pool exhausted; "
                "GC watermarks are misconfigured");
+        const nand::Pbn closed = ob.block;
         size_t pick = freeList_.size() - 1;
         if (wearAwareAllocation_) {
             // Dynamic wear leveling: take the least-worn free block
             // rather than recycling the most recently freed (hottest)
-            // one.
+            // one. O(free pool), which is bounded by overprovisioning
+            // and only paid when wear leveling is enabled.
             for (size_t i = 0; i < freeList_.size(); ++i) {
                 if (nand_.blockEraseCount(freeList_[i]) <
                     nand_.blockEraseCount(freeList_[pick]))
@@ -51,6 +56,10 @@ PageMapper::allocatePage(Stream stream)
         ob.nextPage = 0;
         assert(nand_.blockWritePointer(ob.block) == 0 &&
                "allocated block was not erased");
+        // The previous open block is closed from this point on (it may
+        // have been reclaimed already, e.g. by a read-disturb refresh;
+        // closeBlock re-checks its state).
+        closeBlock(closed);
     }
     const nand::Ppn ppn =
         ob.block * static_cast<nand::Ppn>(ppb) + ob.nextPage;
@@ -67,6 +76,8 @@ PageMapper::invalidate(uint64_t lpn)
     const nand::Pbn blk = old / nand_.geometry().pagesPerBlock;
     assert(blockValid_[blk] > 0);
     --blockValid_[blk];
+    if (candidate_[blk])
+        pushBucket(blk, blockValid_[blk]);
     ppnToLpn_[old] = kInvalidLpn;
     lpnToPpn_[lpn] = nand::kInvalidPpn;
     --totalValid_;
@@ -136,6 +147,10 @@ PageMapper::trimAll()
     open_[0] = OpenBlock{};
     open_[1] = OpenBlock{};
     totalValid_ = 0;
+    candidate_.assign(nand_.totalBlocks(), 0);
+    for (auto &bkt : buckets_)
+        bkt.clear();
+    minBucket_ = nand_.geometry().pagesPerBlock + 1;
 }
 
 uint32_t
@@ -145,27 +160,64 @@ PageMapper::blockValidCount(nand::Pbn pbn) const
     return blockValid_[pbn];
 }
 
+void
+PageMapper::pushBucket(nand::Pbn b, uint32_t valid) const
+{
+    auto &bkt = buckets_[valid];
+    bkt.push_back(b);
+    std::push_heap(bkt.begin(), bkt.end(), std::greater<>());
+    if (valid < minBucket_)
+        minBucket_ = valid;
+}
+
+void
+PageMapper::closeBlock(nand::Pbn b)
+{
+    if (b == kNoVictim)
+        return;
+    // Between filling up and being replaced as the open block, the
+    // block may have been reclaimed (read-disturb refresh), retired,
+    // or even reallocated to the other stream — only a still-closed
+    // live block becomes a candidate.
+    if (blockFree_[b] || blockRetired_[b] || candidate_[b])
+        return;
+    if (b == open_[0].block || b == open_[1].block)
+        return;
+    if (nand_.blockWritePointer(b) != nand_.geometry().pagesPerBlock)
+        return;
+    candidate_[b] = 1;
+    pushBucket(b, blockValid_[b]);
+}
+
+bool
+PageMapper::isGcCandidate(nand::Pbn pbn) const
+{
+    assert(pbn < nand_.totalBlocks());
+    return candidate_[pbn] != 0;
+}
+
 nand::Pbn
 PageMapper::pickVictimGreedy() const
 {
     const uint32_t ppb = nand_.geometry().pagesPerBlock;
-    nand::Pbn best = kNoVictim;
-    uint32_t bestValid = ppb + 1;
-    for (nand::Pbn b = 0; b < nand_.totalBlocks(); ++b) {
-        if (blockFree_[b])
-            continue;
-        if (b == open_[0].block || b == open_[1].block)
-            continue;
-        if (nand_.blockWritePointer(b) < ppb)
-            continue; // only closed blocks are GC candidates
-        if (blockValid_[b] < bestValid) {
-            bestValid = blockValid_[b];
-            best = b;
-            if (bestValid == 0)
-                break; // cannot do better
+    // Pop-min over the valid-count buckets, pruning stale entries as
+    // they surface. Each stale entry is discarded exactly once, so the
+    // amortized cost per call is O(1); the winner stays in its bucket
+    // (its entry goes stale when the block is collected).
+    for (uint32_t v = minBucket_; v <= ppb; ++v) {
+        auto &bkt = buckets_[v];
+        while (!bkt.empty()) {
+            const nand::Pbn b = bkt.front();
+            if (candidate_[b] && blockValid_[b] == v) {
+                minBucket_ = v;
+                return b;
+            }
+            std::pop_heap(bkt.begin(), bkt.end(), std::greater<>());
+            bkt.pop_back();
         }
     }
-    return best;
+    minBucket_ = ppb + 1;
+    return kNoVictim;
 }
 
 uint64_t
@@ -196,6 +248,7 @@ PageMapper::collectBlock(nand::Pbn victim)
     blockValid_[victim] = 0;
     nand_.eraseBlock(victim);
     blockFree_[victim] = 1;
+    candidate_[victim] = 0; // its bucket entries are stale now
     freeList_.push_back(victim);
     return moved;
 }
@@ -277,6 +330,32 @@ PageMapper::checkConsistency() const
         if (blockFree_[b] && nand_.blockWritePointer(b) != 0) {
             err << "free block " << b << " not erased; ";
             break;
+        }
+    }
+
+    // Victim-bucket invariants: the candidate set is exactly the
+    // closed, live, non-open blocks, and every candidate has a fresh
+    // entry in the bucket matching its current valid count.
+    for (nand::Pbn b = 0; b < nand_.totalBlocks(); ++b) {
+        const bool eligible =
+            !blockFree_[b] && !blockRetired_[b] &&
+            b != open_[0].block && b != open_[1].block &&
+            nand_.blockWritePointer(b) == ppb;
+        if (eligible != (candidate_[b] != 0)) {
+            err << "candidate flag mismatch at block " << b << "; ";
+            break;
+        }
+        if (candidate_[b]) {
+            const auto &bkt = buckets_[blockValid_[b]];
+            if (std::find(bkt.begin(), bkt.end(), b) == bkt.end()) {
+                err << "candidate " << b << " missing from bucket "
+                    << blockValid_[b] << "; ";
+                break;
+            }
+            if (blockValid_[b] < minBucket_) {
+                err << "minBucket hint above candidate " << b << "; ";
+                break;
+            }
         }
     }
     return err.str();

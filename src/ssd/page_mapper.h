@@ -7,6 +7,17 @@
  * (host writes, GC relocation). All NAND state transitions go through
  * the NandArray so the chip-level invariants (erase-before-write,
  * sequential in-block programming) are enforced at the source.
+ *
+ * GC victim selection is incremental: closed blocks are bucketed by
+ * valid-page count (one lazy min-heap of block numbers per count),
+ * maintained on block close / page invalidate / collect, so
+ * pickVictimGreedy() is an amortized O(1) pop-min instead of a scan
+ * over every physical block. Candidacy is decided once, at block-close
+ * time (when the FTL moves its open-block pointer past a fully
+ * programmed block) — open and partially-written blocks are never in
+ * the buckets at all. The selection result is bit-identical to the
+ * previous full scan: lowest block number among the blocks with the
+ * fewest valid pages.
  */
 #ifndef SSDCHECK_SSD_PAGE_MAPPER_H
 #define SSDCHECK_SSD_PAGE_MAPPER_H
@@ -87,10 +98,18 @@ class PageMapper
 
     /**
      * Greedy victim selection: the closed (fully programmed) block
-     * with the fewest valid pages.
+     * with the fewest valid pages, lowest block number first on ties.
+     * Amortized O(1) via the valid-count buckets.
      * @return the victim, or an invalid Pbn when no block is eligible.
      */
     nand::Pbn pickVictimGreedy() const;
+
+    /**
+     * True when @p pbn is a GC candidate: closed (fully programmed),
+     * not free, not retired, and not one of the two open blocks.
+     * Exactly the blocks pickVictimGreedy() chooses among.
+     */
+    bool isGcCandidate(nand::Pbn pbn) const;
 
     /** Sentinel returned by pickVictimGreedy when nothing is eligible. */
     static constexpr nand::Pbn kNoVictim = ~0ULL;
@@ -135,6 +154,15 @@ class PageMapper
     /** Invalidate the mapping currently held by @p lpn, if any. */
     void invalidate(uint64_t lpn);
 
+    /**
+     * A stream's open-block pointer moved past @p b: if it is still a
+     * closed, live block, it becomes a GC candidate now.
+     */
+    void closeBlock(nand::Pbn b);
+
+    /** Record candidate @p b under valid count @p valid. */
+    void pushBucket(nand::Pbn b, uint32_t valid) const;
+
     nand::NandArray &nand_;
     uint64_t userPages_;
     bool wearAwareAllocation_;
@@ -147,6 +175,20 @@ class PageMapper
     OpenBlock open_[2]; ///< Indexed by Stream.
     uint64_t totalValid_ = 0;
     uint64_t retiredBlocks_ = 0;
+
+    /** Membership in the victim buckets (closed, live blocks only). */
+    std::vector<uint8_t> candidate_;
+    /**
+     * buckets_[v] holds the candidates with v valid pages as a min-heap
+     * of block numbers. Entries are lazy: a block is (re)pushed on
+     * every valid-count change and on close, and stale entries (count
+     * moved on, or no longer a candidate) are pruned when they surface
+     * at the top during pickVictimGreedy(). Pruning does not change
+     * logical state, hence mutable.
+     */
+    mutable std::vector<std::vector<nand::Pbn>> buckets_;
+    /** No fresh bucket entry exists below this valid count. */
+    mutable uint32_t minBucket_ = 0;
 };
 
 } // namespace ssdcheck::ssd

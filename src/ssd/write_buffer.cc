@@ -8,6 +8,11 @@ WriteBuffer::WriteBuffer(uint32_t capacityPages) : capacity_(capacityPages)
 {
     assert(capacityPages > 0);
     entries_.reserve(capacityPages);
+    // One slot per buffered write; reserving up front keeps add() and
+    // lookup() rehash-free for the whole life of the buffer (drain()
+    // clears but never shrinks the table).
+    newest_.max_load_factor(0.5f);
+    newest_.reserve(capacityPages + 1);
 }
 
 bool

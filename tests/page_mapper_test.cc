@@ -179,6 +179,92 @@ TEST(PageMapperPropertyTest, RandomOpsPreserveConsistencyAndData)
     }
 }
 
+TEST_F(PageMapperTest, FullBlockStaysOpenUntilPointerMovesOn)
+{
+    const uint32_t ppb = smallGeo().pagesPerBlock;
+    // Fill the host-open block exactly: it is fully programmed but the
+    // open-block pointer has not moved past it yet, so it is neither a
+    // candidate nor a victim.
+    for (uint64_t lpn = 0; lpn < ppb; ++lpn)
+        m_.writePage(lpn, lpn);
+    const nand::Pbn full = m_.lookup(0) / ppb;
+    EXPECT_EQ(m_.blockValidCount(full), ppb);
+    EXPECT_FALSE(m_.isGcCandidate(full));
+    EXPECT_EQ(m_.pickVictimGreedy(), PageMapper::kNoVictim);
+    EXPECT_EQ(m_.checkConsistency(), "");
+
+    // The next write replaces the open block; now (and only now) the
+    // previous block closes and becomes the victim.
+    m_.writePage(ppb, ppb);
+    EXPECT_TRUE(m_.isGcCandidate(full));
+    EXPECT_EQ(m_.pickVictimGreedy(), full);
+    EXPECT_EQ(m_.checkConsistency(), "");
+}
+
+TEST_F(PageMapperTest, PartiallyWrittenBlocksAreNeverCandidates)
+{
+    const uint32_t ppb = smallGeo().pagesPerBlock;
+    // Write 1.5 blocks: the first closes, the second stays open.
+    for (uint64_t lpn = 0; lpn < ppb + ppb / 2; ++lpn)
+        m_.writePage(lpn, lpn);
+    const nand::Pbn closed = m_.lookup(0) / ppb;
+    const nand::Pbn open = m_.lookup(ppb) / ppb;
+    EXPECT_TRUE(m_.isGcCandidate(closed));
+    EXPECT_FALSE(m_.isGcCandidate(open));
+    EXPECT_EQ(m_.pickVictimGreedy(), closed);
+}
+
+/**
+ * Cross-check the incremental bucket structure against a straight
+ * reference scan over isGcCandidate()/blockValidCount() through
+ * thousands of random overwrites, GCs and a trim: both must name the
+ * same victim (fewest valid pages, lowest block number on ties).
+ */
+TEST(PageMapperPropertyTest, VictimMatchesReferenceScan)
+{
+    nand::NandArray arr(smallGeo(), nand::NandTiming{});
+    const uint64_t userPages = 160;
+    const uint64_t totalBlocks = smallGeo().totalBlocks();
+    PageMapper m(arr, userPages);
+    sim::Rng rng(777);
+
+    auto referenceVictim = [&]() {
+        nand::Pbn best = PageMapper::kNoVictim;
+        uint32_t bestValid = ~0U;
+        for (nand::Pbn b = 0; b < totalBlocks; ++b) {
+            if (!m.isGcCandidate(b))
+                continue;
+            if (m.blockValidCount(b) < bestValid) {
+                bestValid = m.blockValidCount(b);
+                best = b;
+            }
+        }
+        return best;
+    };
+
+    for (int op = 0; op < 6000; ++op) {
+        while (m.freeBlocks() < 4) {
+            const nand::Pbn victim = m.pickVictimGreedy();
+            ASSERT_EQ(victim, referenceVictim()) << "at op " << op;
+            ASSERT_NE(victim, PageMapper::kNoVictim);
+            m.collectBlock(victim);
+        }
+        m.writePage(rng.nextBelow(userPages), op);
+        if (op % 61 == 0) {
+            ASSERT_EQ(m.pickVictimGreedy(), referenceVictim())
+                << "at op " << op;
+        }
+        if (op == 3000) {
+            m.trimAll();
+            ASSERT_EQ(m.pickVictimGreedy(), PageMapper::kNoVictim);
+        }
+        if (op % 997 == 0) {
+            ASSERT_EQ(m.checkConsistency(), "") << "at op " << op;
+        }
+    }
+    ASSERT_EQ(m.checkConsistency(), "");
+}
+
 /** Write amplification sanity: uniform random overwrites move pages. */
 TEST(PageMapperPropertyTest, GcMovesFewerPagesWithSelfInvalidation)
 {

@@ -24,6 +24,14 @@
  *   ssdcheck faults
  *       List the fault-injection profiles.
  *
+ *   ssdcheck bench [--jobs N] [--scale F] [--seeds K] [--out FILE]
+ *                  [--baseline FILE] [--max-regress F]
+ *       Run the Fig. 11 experiment grid sharded over N worker threads
+ *       (default: all cores), write the BENCH_grid.json wall-clock
+ *       report and, when --baseline is given, exit 4 if aggregate
+ *       simulated-IOs/sec dropped more than --max-regress (default
+ *       0.30) below the baseline file's value — the CI perf gate.
+ *
  * Any device-taking command accepts --faults <profile> to run the
  * device with injected faults behind the host-side resilient I/O
  * path; error counters are reported after the run.
@@ -42,6 +50,8 @@
 #include "core/accuracy.h"
 #include "core/health_supervisor.h"
 #include "core/ssdcheck.h"
+#include "perf/grid.h"
+#include "perf/thread_pool.h"
 #include "ssd/fault_injector.h"
 #include "ssd/presets.h"
 #include "ssd/ssd_device.h"
@@ -330,6 +340,76 @@ cmdReplay(const Args &args)
 }
 
 int
+cmdBench(const Args &args)
+{
+    const unsigned jobs = static_cast<unsigned>(
+        std::stoul(args.get("jobs",
+                            std::to_string(perf::ThreadPool::defaultJobs()))));
+    const double scale = std::stod(args.get("scale", "0.03"));
+    const uint64_t seedCount = std::stoull(args.get("seeds", "1"));
+    if (seedCount == 0 || scale <= 0) {
+        std::fprintf(stderr, "--seeds and --scale must be positive\n");
+        return 2;
+    }
+
+    perf::GridSpec spec = perf::GridSpec::fig11(scale);
+    spec.seeds.clear();
+    for (uint64_t s = 0; s < seedCount; ++s)
+        spec.seeds.push_back(s);
+
+    std::printf("grid: %zu models x %zu workloads x %llu seeds, "
+                "jobs=%u, scale=%.3f\n",
+                spec.models.size(), spec.workloads.size(),
+                static_cast<unsigned long long>(seedCount), jobs, scale);
+    const perf::GridResult grid = perf::runGrid(spec, jobs);
+
+    stats::TablePrinter t;
+    t.header({"shard", "requests", "wall", "IOs/s"});
+    for (const auto &task : grid.timing.tasks)
+        t.row({task.label, std::to_string(task.simulatedIos),
+               stats::TablePrinter::num(task.wallSeconds, 2) + "s",
+               stats::TablePrinter::num(task.iosPerSec(), 0)});
+    t.print(std::cout);
+    std::printf("\nwall %.2fs (serial estimate %.2fs), aggregate "
+                "speedup %.2fx, %.0f simulated IOs/s\n",
+                grid.timing.wallSeconds, grid.timing.taskWallSum(),
+                grid.timing.aggregateSpeedup(),
+                grid.timing.iosPerSec());
+
+    const std::string out = args.get("out", "BENCH_grid.json");
+    if (!perf::writeBenchGridJson(out, "cli_bench_grid", grid.timing)) {
+        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        return 2;
+    }
+    std::printf("wrote %s\n", out.c_str());
+
+    if (args.has("baseline")) {
+        const std::string basePath = args.get("baseline", "");
+        const auto baseline = perf::readBaselineIosPerSec(basePath);
+        if (!baseline) {
+            std::fprintf(stderr, "cannot read baseline %s\n",
+                         basePath.c_str());
+            return 2;
+        }
+        const double maxRegress =
+            std::stod(args.get("max-regress", "0.30"));
+        const double floor = *baseline * (1.0 - maxRegress);
+        const double measured = grid.timing.iosPerSec();
+        if (measured < floor) {
+            std::fprintf(stderr,
+                         "FAIL: %.0f IOs/s is below the regression floor "
+                         "%.0f (baseline %.0f, max regress %.0f%%)\n",
+                         measured, floor, *baseline, maxRegress * 100);
+            return 4;
+        }
+        std::printf("perf gate OK: %.0f IOs/s vs floor %.0f "
+                    "(baseline %.0f, max regress %.0f%%)\n",
+                    measured, floor, *baseline, maxRegress * 100);
+    }
+    return 0;
+}
+
+int
 cmdFaults()
 {
     stats::TablePrinter t;
@@ -361,6 +441,8 @@ usage()
         "  synth      --workload NAME --out FILE [--scale F] [--span P]\n"
         "  replay     --device X --trace FILE [--faults PROFILE]\n"
         "  faults\n"
+        "  bench      [--jobs N] [--scale F] [--seeds K] [--out FILE]\n"
+        "             [--baseline FILE] [--max-regress F]\n"
         "workloads: TPCE Homes Web Exch Live Build 'RW Mixed'\n"
         "fault profiles: none flaky-reads wearout stalls drift hostile\n");
     return 1;
@@ -380,6 +462,8 @@ main(int argc, char **argv)
         return cmdSynth(args);
     if (args.command == "replay")
         return cmdReplay(args);
+    if (args.command == "bench")
+        return cmdBench(args);
     if (args.command == "faults")
         return cmdFaults();
     return usage();
