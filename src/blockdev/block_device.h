@@ -13,8 +13,7 @@
  * (the request is "in flight"); devices internally account for
  * resources so overlapping in-flight requests queue correctly.
  */
-#ifndef SSDCHECK_BLOCKDEV_BLOCK_DEVICE_H
-#define SSDCHECK_BLOCKDEV_BLOCK_DEVICE_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -58,4 +57,3 @@ class BlockDevice
 
 } // namespace ssdcheck::blockdev
 
-#endif // SSDCHECK_BLOCKDEV_BLOCK_DEVICE_H

@@ -7,8 +7,7 @@
  * by specific bit positions of its sector LBA. Payload sizes are in
  * sectors; the FTL operates on 4KB pages (8 sectors).
  */
-#ifndef SSDCHECK_BLOCKDEV_REQUEST_H
-#define SSDCHECK_BLOCKDEV_REQUEST_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -109,4 +108,3 @@ IoRequest makeWrite4k(uint64_t pageIndex);
 
 } // namespace ssdcheck::blockdev
 
-#endif // SSDCHECK_BLOCKDEV_REQUEST_H

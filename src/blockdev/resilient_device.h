@@ -25,8 +25,7 @@
  * Per-status error counters make the device's misbehavior observable
  * to operators (surfaced by the CLI's fault report).
  */
-#ifndef SSDCHECK_BLOCKDEV_RESILIENT_DEVICE_H
-#define SSDCHECK_BLOCKDEV_RESILIENT_DEVICE_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -108,4 +107,3 @@ class ResilientDevice : public BlockDevice
 
 } // namespace ssdcheck::blockdev
 
-#endif // SSDCHECK_BLOCKDEV_RESILIENT_DEVICE_H

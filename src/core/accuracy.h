@@ -9,8 +9,7 @@
  * matter differently (§II-C): missing an HL request loses a scheduling
  * opportunity; flagging an NL request delays latency-critical work.
  */
-#ifndef SSDCHECK_CORE_ACCURACY_H
-#define SSDCHECK_CORE_ACCURACY_H
+#pragma once
 
 #include <cstdint>
 
@@ -76,4 +75,3 @@ AccuracyResult evaluatePredictionAccuracy(blockdev::BlockDevice &dev,
 
 } // namespace ssdcheck::core
 
-#endif // SSDCHECK_CORE_ACCURACY_H

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Clang thread-safety annotation macros plus an annotated mutex.
+ *
+ * The grid layer (src/perf) is the only place in the tree where two
+ * threads may touch the same object, and its determinism contract
+ * ("shards share no mutable state") is exactly the kind of invariant
+ * that silently rots. These macros make the surviving shared state —
+ * the ThreadPool queue — *compiler*-checked on Clang builds
+ * (-Wthread-safety -Werror=thread-safety); on GCC they expand to
+ * nothing, so the portable build is unaffected.
+ *
+ * libstdc++'s std::mutex carries no capability attributes, so
+ * GUARDED_BY(std::mutex) would flag every correctly-locked access.
+ * Mutex/MutexLock below wrap std::mutex with the attributes Clang
+ * needs; use them (not raw std::mutex) for any new shared state.
+ *
+ * Everything *outside* src/perf is thread-confined by design: one
+ * simulation — device, facade, supervisor — is owned by exactly one
+ * shard task and must never be annotated "thread-safe" instead of
+ * being kept confined. See DESIGN.md "Static analysis & determinism
+ * invariants".
+ */
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SSDCHECK_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SSDCHECK_THREAD_ANNOTATION(x) // no-op off Clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex", "role", ...). */
+#define SSDCHECK_CAPABILITY(x) SSDCHECK_THREAD_ANNOTATION(capability(x))
+
+/** Marks a RAII type that acquires a capability for its lifetime. */
+#define SSDCHECK_SCOPED_CAPABILITY SSDCHECK_THREAD_ANNOTATION(scoped_lockable)
+
+/** Field/variable may only be accessed while holding @p x. */
+#define SSDCHECK_GUARDED_BY(x) SSDCHECK_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee may only be accessed while holding @p x. */
+#define SSDCHECK_PT_GUARDED_BY(x) SSDCHECK_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function must be called with the listed capabilities held. */
+#define SSDCHECK_REQUIRES(...) \
+    SSDCHECK_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function must be called with the listed capabilities NOT held. */
+#define SSDCHECK_EXCLUDES(...) \
+    SSDCHECK_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Function acquires the listed capabilities and returns holding them. */
+#define SSDCHECK_ACQUIRE(...) \
+    SSDCHECK_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed capabilities. */
+#define SSDCHECK_RELEASE(...) \
+    SSDCHECK_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function tries to acquire; first arg is the success return value. */
+#define SSDCHECK_TRY_ACQUIRE(...) \
+    SSDCHECK_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Returns a reference to the given capability (lock accessors). */
+#define SSDCHECK_RETURN_CAPABILITY(x) \
+    SSDCHECK_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: body is exempt from analysis. Use with a comment. */
+#define SSDCHECK_NO_THREAD_SAFETY_ANALYSIS \
+    SSDCHECK_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ssdcheck::core {
+
+/**
+ * std::mutex with thread-safety capability attributes. Condition
+ * variables pair with it via std::condition_variable_any (it is a
+ * BasicLockable); write the wait as an explicit while-loop in the
+ * locked region rather than a predicate lambda, so the analysis sees
+ * the guarded reads under the capability.
+ */
+class SSDCHECK_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() SSDCHECK_ACQUIRE() { mu_.lock(); }
+    void unlock() SSDCHECK_RELEASE() { mu_.unlock(); }
+    bool try_lock() SSDCHECK_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  private:
+    std::mutex mu_;
+};
+
+/** RAII lock for Mutex, visible to the thread-safety analysis. */
+class SSDCHECK_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) SSDCHECK_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+    ~MutexLock() SSDCHECK_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+} // namespace ssdcheck::core

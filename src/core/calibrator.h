@@ -9,8 +9,7 @@
  * collapses, and disables prediction entirely for devices outside the
  * model's coverage ("harmlessly turned off").
  */
-#ifndef SSDCHECK_CORE_CALIBRATOR_H
-#define SSDCHECK_CORE_CALIBRATOR_H
+#pragma once
 
 #include <cstdint>
 
@@ -115,4 +114,3 @@ class Calibrator
 
 } // namespace ssdcheck::core
 
-#endif // SSDCHECK_CORE_CALIBRATOR_H

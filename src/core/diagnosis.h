@@ -15,11 +15,11 @@
  * Everything here sees only blockdev::BlockDevice — no simulator
  * internals — so the same logic would drive a real device.
  */
-#ifndef SSDCHECK_CORE_DIAGNOSIS_H
-#define SSDCHECK_CORE_DIAGNOSIS_H
+#pragma once
 
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "blockdev/block_device.h"
@@ -199,4 +199,3 @@ class DiagnosisRunner
 
 } // namespace ssdcheck::core
 
-#endif // SSDCHECK_CORE_DIAGNOSIS_H

@@ -6,8 +6,7 @@
  * configured from a FeatureSet, never from the simulator's ground
  * truth.
  */
-#ifndef SSDCHECK_CORE_FEATURE_SET_H
-#define SSDCHECK_CORE_FEATURE_SET_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -77,4 +76,3 @@ uint32_t volumeIndexOf(const std::vector<uint32_t> &bits, uint64_t lba);
 
 } // namespace ssdcheck::core
 
-#endif // SSDCHECK_CORE_FEATURE_SET_H

@@ -9,8 +9,7 @@
  * hence the interval distribution) drifts slowly, so recent history
  * predicts the near future.
  */
-#ifndef SSDCHECK_CORE_GC_MODEL_H
-#define SSDCHECK_CORE_GC_MODEL_H
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -62,4 +61,3 @@ class GcModel
 
 } // namespace ssdcheck::core
 
-#endif // SSDCHECK_CORE_GC_MODEL_H

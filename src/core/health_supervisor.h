@@ -33,9 +33,16 @@
  * facade; a probation window must then hold before the device counts
  * as recovered. Repeated failed re-diagnoses end in Disabled — the
  * supervisor never flaps a hopeless model back in.
+ *
+ * Threading: a supervisor, the facade it repairs and the device it
+ * probes form ONE thread-confined simulation — the grid layer gives
+ * every shard its own replica of all three, so no field here is
+ * mutex-guarded and none may be annotated "thread-safe" instead of
+ * staying confined (see core/annotations.h and DESIGN.md "Static
+ * analysis & determinism invariants"). Cross-thread state lives only
+ * in perf::ThreadPool, where it is Clang-thread-safety-annotated.
  */
-#ifndef SSDCHECK_CORE_HEALTH_SUPERVISOR_H
-#define SSDCHECK_CORE_HEALTH_SUPERVISOR_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -239,4 +246,3 @@ class HealthSupervisor
 
 } // namespace ssdcheck::core
 
-#endif // SSDCHECK_CORE_HEALTH_SUPERVISOR_H

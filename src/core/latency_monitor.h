@@ -4,8 +4,7 @@
  * into NL/HL against per-type latency thresholds and keeps the rolling
  * prediction-accuracy window the calibrator consults.
  */
-#ifndef SSDCHECK_CORE_LATENCY_MONITOR_H
-#define SSDCHECK_CORE_LATENCY_MONITOR_H
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -73,4 +72,3 @@ class LatencyMonitor
 
 } // namespace ssdcheck::core
 
-#endif // SSDCHECK_CORE_LATENCY_MONITOR_H

@@ -14,8 +14,7 @@
  * for requests actually issued; onComplete() feeds the calibrator and
  * the GC observer.
  */
-#ifndef SSDCHECK_CORE_PREDICTION_ENGINE_H
-#define SSDCHECK_CORE_PREDICTION_ENGINE_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -135,4 +134,3 @@ class PredictionEngine
 
 } // namespace ssdcheck::core
 
-#endif // SSDCHECK_CORE_PREDICTION_ENGINE_H

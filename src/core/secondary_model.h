@@ -11,8 +11,7 @@
  * independent flush-interval history per cluster, exactly mirroring
  * the paper's history-based GC model.
  */
-#ifndef SSDCHECK_CORE_SECONDARY_MODEL_H
-#define SSDCHECK_CORE_SECONDARY_MODEL_H
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -74,4 +73,3 @@ class SecondaryModel
 
 } // namespace ssdcheck::core
 
-#endif // SSDCHECK_CORE_SECONDARY_MODEL_H

@@ -15,9 +15,18 @@
  * When the diagnosis could not build a usable model (bufferBytes == 0)
  * or the calibrator turned prediction off, predict() returns NL for
  * everything — the paper's "harmlessly disabled" behaviour.
+ *
+ * Threading: an SsdCheck is thread-confined — exactly one shard task
+ * (or the single CLI thread) owns it, its device and its supervisor.
+ * In particular the hot-swap path (setDegraded / hotSwapModel /
+ * forceDisable) mutates engine_, features_ and the calibrator with no
+ * lock: it is "atomic" in the transactional sense (the model is
+ * coherent before and after), not the concurrency sense. Do not call
+ * it from another thread; shared cross-thread state belongs behind
+ * the annotated core::Mutex (core/annotations.h), checked by
+ * -Werror=thread-safety on Clang.
  */
-#ifndef SSDCHECK_CORE_SSDCHECK_H
-#define SSDCHECK_CORE_SSDCHECK_H
+#pragma once
 
 #include <memory>
 #include <optional>
@@ -144,4 +153,3 @@ class SsdCheck
 
 } // namespace ssdcheck::core
 
-#endif // SSDCHECK_CORE_SSDCHECK_H

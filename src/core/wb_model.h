@@ -9,8 +9,7 @@
  * flush?" query (used by predictions) and the state transition applied
  * when the request is actually submitted.
  */
-#ifndef SSDCHECK_CORE_WB_MODEL_H
-#define SSDCHECK_CORE_WB_MODEL_H
+#pragma once
 
 #include <cstdint>
 
@@ -64,4 +63,3 @@ class WriteBufferModel
 
 } // namespace ssdcheck::core
 
-#endif // SSDCHECK_CORE_WB_MODEL_H

@@ -9,8 +9,7 @@
  * ceil(k / totalPlanes) * tProg (paper §III-A: buffered writes are
  * distributed to all chips in channels in parallel).
  */
-#ifndef SSDCHECK_NAND_NAND_ARRAY_H
-#define SSDCHECK_NAND_NAND_ARRAY_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -82,4 +81,3 @@ class NandArray
 
 } // namespace ssdcheck::nand
 
-#endif // SSDCHECK_NAND_NAND_ARRAY_H

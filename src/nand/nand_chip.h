@@ -13,8 +13,7 @@
  * property tests) can verify data survives buffer flushes and GC
  * merges end to end.
  */
-#ifndef SSDCHECK_NAND_NAND_CHIP_H
-#define SSDCHECK_NAND_NAND_CHIP_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -96,4 +95,3 @@ class NandChip
 
 } // namespace ssdcheck::nand
 
-#endif // SSDCHECK_NAND_NAND_CHIP_H

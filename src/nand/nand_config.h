@@ -7,8 +7,7 @@
  * defaults (4 channels x 4 chips x 2 planes = 32 planes) but every
  * dimension is configurable per SSD preset.
  */
-#ifndef SSDCHECK_NAND_NAND_CONFIG_H
-#define SSDCHECK_NAND_NAND_CONFIG_H
+#pragma once
 
 #include <cstdint>
 
@@ -80,4 +79,3 @@ Pbn blockOfPpn(const NandGeometry &geo, Ppn ppn);
 
 } // namespace ssdcheck::nand
 
-#endif // SSDCHECK_NAND_NAND_CONFIG_H

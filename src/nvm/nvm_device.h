@@ -6,11 +6,11 @@
  * the SSD. When the pool is full the NVM exerts backpressure — the
  * tiering policy (not this device) decides what to do about it.
  */
-#ifndef SSDCHECK_NVM_NVM_DEVICE_H
-#define SSDCHECK_NVM_NVM_DEVICE_H
+#pragma once
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -92,4 +92,3 @@ class NvmDevice : public blockdev::BlockDevice
 
 } // namespace ssdcheck::nvm
 
-#endif // SSDCHECK_NVM_NVM_DEVICE_H

@@ -79,6 +79,7 @@ runTimedBatch(
     const auto batchStart = std::chrono::steady_clock::now();
     {
         ThreadPool pool(out.jobs);
+        out.workerThreads = pool.threads();
         parallelFor(pool, tasks.size(), [&](size_t i) {
             const auto t0 = std::chrono::steady_clock::now();
             const uint64_t ios = tasks[i].second();
@@ -170,6 +171,7 @@ writeBenchGridJson(const std::string &path, const std::string &name,
     body << "{\n";
     body << "  \"name\": \"" << name << "\",\n";
     body << "  \"jobs\": " << timing.jobs << ",\n";
+    body << "  \"worker_threads\": " << timing.workerThreads << ",\n";
     body << "  \"wall_seconds\": " << timing.wallSeconds << ",\n";
     body << "  \"task_wall_sum_seconds\": " << timing.taskWallSum()
          << ",\n";

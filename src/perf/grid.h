@@ -17,8 +17,7 @@
  * guessed: writeBenchGridJson() emits the BENCH_grid.json consumed by
  * the CI perf-smoke gate.
  */
-#ifndef SSDCHECK_PERF_GRID_H
-#define SSDCHECK_PERF_GRID_H
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -80,7 +79,11 @@ struct BatchTiming
 {
     std::vector<TaskTiming> tasks; ///< In submission (grid) order.
     double wallSeconds = 0;        ///< Whole-batch wall clock.
-    unsigned jobs = 1;
+    unsigned jobs = 1;             ///< Requested job count.
+    /** Workers the pool actually ran (defaultJobs() can differ from
+     *  the request when hardware_concurrency() is unknown); reported
+     *  in BENCH_grid.json so speedups are reproducible. */
+    unsigned workerThreads = 1;
 
     uint64_t simulatedIos() const;
     double iosPerSec() const;
@@ -131,4 +134,3 @@ std::optional<double> readBaselineIosPerSec(const std::string &path);
 
 } // namespace ssdcheck::perf
 
-#endif // SSDCHECK_PERF_GRID_H

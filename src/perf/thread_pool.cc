@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        core::MutexLock lock(mu_);
         stop_ = true;
     }
     taskReady_.notify_all();
@@ -27,6 +27,8 @@ ThreadPool::~ThreadPool()
 unsigned
 ThreadPool::defaultJobs()
 {
+    // hardware_concurrency() is allowed to return 0 ("unknown");
+    // a zero-thread pool would deadlock submit/wait, so clamp.
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : hw;
 }
@@ -35,7 +37,7 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        core::MutexLock lock(mu_);
         queue_.push_back(std::move(task));
         ++unfinished_;
     }
@@ -45,8 +47,9 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mu_);
-    allDone_.wait(lock, [this] { return unfinished_ == 0; });
+    core::MutexLock lock(mu_);
+    while (unfinished_ != 0)
+        allDone_.wait(mu_);
     if (firstError_ != nullptr) {
         std::exception_ptr err = firstError_;
         firstError_ = nullptr;
@@ -60,9 +63,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            taskReady_.wait(lock,
-                            [this] { return stop_ || !queue_.empty(); });
+            core::MutexLock lock(mu_);
+            while (!stop_ && queue_.empty())
+                taskReady_.wait(mu_);
             if (queue_.empty())
                 return; // stop_ and drained
             task = std::move(queue_.front());
@@ -71,12 +74,12 @@ ThreadPool::workerLoop()
         try {
             task();
         } catch (...) {
-            std::lock_guard<std::mutex> lock(mu_);
+            core::MutexLock lock(mu_);
             if (firstError_ == nullptr)
                 firstError_ = std::current_exception();
         }
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            core::MutexLock lock(mu_);
             if (--unfinished_ == 0)
                 allDone_.notify_all();
         }

@@ -8,8 +8,7 @@
  * streams, open-loop schedulers, and the Hybrid-PAS background drain
  * thread.
  */
-#ifndef SSDCHECK_SIM_EVENT_QUEUE_H
-#define SSDCHECK_SIM_EVENT_QUEUE_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -84,4 +83,3 @@ class EventQueue
 
 } // namespace ssdcheck::sim
 
-#endif // SSDCHECK_SIM_EVENT_QUEUE_H

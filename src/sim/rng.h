@@ -8,8 +8,7 @@
  * are cheap to fork per component and the numeric output is identical
  * across standard library implementations.
  */
-#ifndef SSDCHECK_SIM_RNG_H
-#define SSDCHECK_SIM_RNG_H
+#pragma once
 
 #include <cstdint>
 
@@ -64,4 +63,3 @@ class Rng
 
 } // namespace ssdcheck::sim
 
-#endif // SSDCHECK_SIM_RNG_H

@@ -6,8 +6,7 @@
  * SimTime ticks (nanoseconds of virtual time). Nothing in the library
  * reads the wall clock; experiments are bit-for-bit reproducible.
  */
-#ifndef SSDCHECK_SIM_SIM_TIME_H
-#define SSDCHECK_SIM_SIM_TIME_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -52,4 +51,3 @@ std::string formatDuration(SimDuration d);
 
 } // namespace ssdcheck::sim
 
-#endif // SSDCHECK_SIM_SIM_TIME_H

@@ -11,8 +11,7 @@
  * transparently boxes larger ones on the heap, so the queue can move
  * entries in and out for free.
  */
-#ifndef SSDCHECK_SIM_SMALL_CALLBACK_H
-#define SSDCHECK_SIM_SMALL_CALLBACK_H
+#pragma once
 
 #include <cstddef>
 #include <new>
@@ -125,4 +124,3 @@ class SmallCallback
 
 } // namespace ssdcheck::sim
 
-#endif // SSDCHECK_SIM_SMALL_CALLBACK_H

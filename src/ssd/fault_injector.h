@@ -17,8 +17,7 @@
  * decisions are deterministic per seed, which is what makes the fault
  * test-suite reproducible.
  */
-#ifndef SSDCHECK_SSD_FAULT_INJECTOR_H
-#define SSDCHECK_SSD_FAULT_INJECTOR_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -164,4 +163,3 @@ bool faultProfileByName(const std::string &name, FaultProfile *out);
 
 } // namespace ssdcheck::ssd
 
-#endif // SSDCHECK_SSD_FAULT_INJECTOR_H

@@ -10,8 +10,7 @@
  * the volume's planes) plus one erase per victim — this is the "GC
  * overhead" the paper's HL requests observe.
  */
-#ifndef SSDCHECK_SSD_GARBAGE_COLLECTOR_H
-#define SSDCHECK_SSD_GARBAGE_COLLECTOR_H
+#pragma once
 
 #include <cstdint>
 
@@ -102,4 +101,3 @@ class GarbageCollector
 
 } // namespace ssdcheck::ssd
 
-#endif // SSDCHECK_SSD_GARBAGE_COLLECTOR_H

@@ -19,8 +19,7 @@
  * previous full scan: lowest block number among the blocks with the
  * fewest valid pages.
  */
-#ifndef SSDCHECK_SSD_PAGE_MAPPER_H
-#define SSDCHECK_SSD_PAGE_MAPPER_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -193,4 +192,3 @@ class PageMapper
 
 } // namespace ssdcheck::ssd
 
-#endif // SSDCHECK_SSD_PAGE_MAPPER_H

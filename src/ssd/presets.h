@@ -19,8 +19,7 @@
  * inter-SSD irregularity of Fig. 1. SSD D and E carry the SLC-cache
  * secondary feature that lowers HL prediction accuracy in Fig. 11.
  */
-#ifndef SSDCHECK_SSD_PRESETS_H
-#define SSDCHECK_SSD_PRESETS_H
+#pragma once
 
 #include <string>
 #include <vector>
@@ -74,4 +73,3 @@ SsdConfig makeNvmBackedSsd(uint64_t seedSalt = 0);
 
 } // namespace ssdcheck::ssd
 
-#endif // SSDCHECK_SSD_PRESETS_H

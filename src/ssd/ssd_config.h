@@ -11,8 +11,7 @@
  * The ground truth in this struct is what the diagnosis code in
  * src/core must recover purely from the block interface.
  */
-#ifndef SSDCHECK_SSD_SSD_CONFIG_H
-#define SSDCHECK_SSD_SSD_CONFIG_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -210,4 +209,3 @@ struct SsdConfig
 
 } // namespace ssdcheck::ssd
 
-#endif // SSDCHECK_SSD_SSD_CONFIG_H

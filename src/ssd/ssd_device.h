@@ -13,11 +13,11 @@
  * annotations — the equivalent of the paper's FPGA prototype's
  * measurement units. Production-path callers use plain submit().
  */
-#ifndef SSDCHECK_SSD_SSD_DEVICE_H
-#define SSDCHECK_SSD_SSD_DEVICE_H
+#pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -103,4 +103,3 @@ class SsdDevice : public blockdev::BlockDevice
 
 } // namespace ssdcheck::ssd
 
-#endif // SSDCHECK_SSD_SSD_DEVICE_H

@@ -16,8 +16,7 @@
  * submit() calls must carry nondecreasing start times (the device
  * enforces this via its bus gate).
  */
-#ifndef SSDCHECK_SSD_VOLUME_H
-#define SSDCHECK_SSD_VOLUME_H
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -183,4 +182,3 @@ class Volume
 
 } // namespace ssdcheck::ssd
 
-#endif // SSDCHECK_SSD_VOLUME_H

@@ -13,8 +13,7 @@
  * buffered (no coalescing): the paper measures buffer size by counting
  * writes between flushes, which requires slot-per-write semantics.
  */
-#ifndef SSDCHECK_SSD_WRITE_BUFFER_H
-#define SSDCHECK_SSD_WRITE_BUFFER_H
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -83,4 +82,3 @@ class WriteBuffer
 
 } // namespace ssdcheck::ssd
 
-#endif // SSDCHECK_SSD_WRITE_BUFFER_H

@@ -3,12 +3,27 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <math.h> // lgamma_r (not exposed through <cmath>)
 
 #include "stats/histogram.h"
 
 namespace ssdcheck::stats {
 
 namespace {
+
+/// std::lgamma writes the process-global `signgam` (POSIX), which is
+/// a data race when grid shards run diagnoses concurrently (found by
+/// the TSan CI job). Use the reentrant form where the libc has one.
+double
+logGamma(double x)
+{
+#if defined(__GLIBC__) || defined(__APPLE__)
+    int sign = 0;
+    return ::lgamma_r(x, &sign);
+#else
+    return std::lgamma(x);
+#endif
+}
 
 /// Series expansion of the regularized lower incomplete gamma P(a, x),
 /// converges quickly for x < a + 1.
@@ -25,7 +40,7 @@ gammaPSeries(double a, double x)
         if (std::fabs(del) < std::fabs(sum) * 1e-15)
             break;
     }
-    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+    return sum * std::exp(-x + a * std::log(x) - logGamma(a));
 }
 
 /// Continued fraction for the regularized upper incomplete gamma
@@ -53,7 +68,7 @@ gammaQContinuedFraction(double a, double x)
         if (std::fabs(del - 1.0) < 1e-15)
             break;
     }
-    return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+    return std::exp(-x + a * std::log(x) - logGamma(a)) * h;
 }
 
 } // namespace

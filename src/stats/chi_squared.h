@@ -9,8 +9,7 @@
  * upper incomplete gamma function Q(k/2, x/2), implemented here with
  * the standard series / continued-fraction split (no external deps).
  */
-#ifndef SSDCHECK_STATS_CHI_SQUARED_H
-#define SSDCHECK_STATS_CHI_SQUARED_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -54,4 +53,3 @@ ChiSquaredResult chiSquaredTwoSample(const Histogram &a, const Histogram &b,
 
 } // namespace ssdcheck::stats
 
-#endif // SSDCHECK_STATS_CHI_SQUARED_H

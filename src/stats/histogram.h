@@ -5,8 +5,7 @@
  * Used for GC-interval distributions (Fig. 5) — both by the diagnosis
  * chi-squared test and by the runtime GC model's interval history.
  */
-#ifndef SSDCHECK_STATS_HISTOGRAM_H
-#define SSDCHECK_STATS_HISTOGRAM_H
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -63,4 +62,3 @@ class Histogram
 
 } // namespace ssdcheck::stats
 
-#endif // SSDCHECK_STATS_HISTOGRAM_H

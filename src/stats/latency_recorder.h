@@ -7,10 +7,10 @@
  * this reproduction are at most a few million, so we keep every sample
  * and compute exact order statistics.
  */
-#ifndef SSDCHECK_STATS_LATENCY_RECORDER_H
-#define SSDCHECK_STATS_LATENCY_RECORDER_H
+#pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "sim/sim_time.h"
@@ -76,4 +76,3 @@ class LatencyRecorder
 
 } // namespace ssdcheck::stats
 
-#endif // SSDCHECK_STATS_LATENCY_RECORDER_H

@@ -5,8 +5,7 @@
  * Every bench binary reproduces a paper table or figure as rows of
  * text; TablePrinter keeps that output consistent and readable.
  */
-#ifndef SSDCHECK_STATS_TABLE_PRINTER_H
-#define SSDCHECK_STATS_TABLE_PRINTER_H
+#pragma once
 
 #include <initializer_list>
 #include <ostream>
@@ -50,4 +49,3 @@ void printBanner(std::ostream &os, const std::string &title);
 
 } // namespace ssdcheck::stats
 
-#endif // SSDCHECK_STATS_TABLE_PRINTER_H

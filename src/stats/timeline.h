@@ -6,8 +6,7 @@
  * virtual time. Timeline buckets completed bytes (or IOs) into
  * windows and reports MB/s or IOPS per window.
  */
-#ifndef SSDCHECK_STATS_TIMELINE_H
-#define SSDCHECK_STATS_TIMELINE_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -60,4 +59,3 @@ class Timeline
 
 } // namespace ssdcheck::stats
 
-#endif // SSDCHECK_STATS_TIMELINE_H

@@ -18,10 +18,10 @@
  * it unchanged; the background drain is folded into virtual time
  * before each foreground submission.
  */
-#ifndef SSDCHECK_USECASES_HYBRID_H
-#define SSDCHECK_USECASES_HYBRID_H
+#pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "blockdev/block_device.h"
 #include "core/ssdcheck.h"
@@ -107,4 +107,3 @@ class HybridTier : public blockdev::BlockDevice
 
 } // namespace ssdcheck::usecases
 
-#endif // SSDCHECK_USECASES_HYBRID_H

@@ -12,8 +12,7 @@
  *    diagnosed internal-volume bit positions, pinning each logical
  *    volume to its own internal volume: no cross-tenant interference.
  */
-#ifndef SSDCHECK_USECASES_LVM_H
-#define SSDCHECK_USECASES_LVM_H
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -80,4 +79,3 @@ uint64_t spliceVolumeBits(uint64_t logicalLba, uint32_t volumeId,
 
 } // namespace ssdcheck::usecases
 
-#endif // SSDCHECK_USECASES_LVM_H

@@ -13,10 +13,10 @@
  * the simulated device) — the paper's "ideal" bars in Fig. 14 that
  * bound the cost of misprediction.
  */
-#ifndef SSDCHECK_USECASES_PAS_H
-#define SSDCHECK_USECASES_PAS_H
+#pragma once
 
 #include <deque>
+#include <string>
 
 #include "core/ssdcheck.h"
 #include "ssd/ssd_device.h"
@@ -66,4 +66,3 @@ class IdealPasScheduler : public Scheduler
 
 } // namespace ssdcheck::usecases
 
-#endif // SSDCHECK_USECASES_PAS_H

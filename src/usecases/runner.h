@@ -13,8 +13,7 @@
  *    SsdCheck instance is supplied it is kept in sync (onSubmit /
  *    onComplete) so prediction-aware schedulers stay calibrated.
  */
-#ifndef SSDCHECK_USECASES_RUNNER_H
-#define SSDCHECK_USECASES_RUNNER_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -115,4 +114,3 @@ ScheduledRunResult runScheduled(blockdev::BlockDevice &dev, Scheduler &sched,
 
 } // namespace ssdcheck::usecases
 
-#endif // SSDCHECK_USECASES_RUNNER_H

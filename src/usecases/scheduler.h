@@ -8,8 +8,7 @@
  * writes) and a simplified cfq (read/write service with a read-favored
  * quantum). The prediction-aware schedulers live in usecases/pas.h.
  */
-#ifndef SSDCHECK_USECASES_SCHEDULER_H
-#define SSDCHECK_USECASES_SCHEDULER_H
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -120,4 +119,3 @@ class CfqScheduler : public Scheduler
 
 } // namespace ssdcheck::usecases
 
-#endif // SSDCHECK_USECASES_SCHEDULER_H

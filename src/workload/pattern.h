@@ -8,8 +8,7 @@
  * (GC Fixed test), and two addresses differing in exactly one bit
  * (GC Flip_x test). All patterns emit page-aligned sector LBAs.
  */
-#ifndef SSDCHECK_WORKLOAD_PATTERN_H
-#define SSDCHECK_WORKLOAD_PATTERN_H
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -97,4 +96,3 @@ class FlipPattern : public AddressPattern
 
 } // namespace ssdcheck::workload
 
-#endif // SSDCHECK_WORKLOAD_PATTERN_H

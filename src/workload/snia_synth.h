@@ -17,8 +17,7 @@
  *   LiveMapsBackEnd     3.6M    22.2%   50.5%
  *   BuildServer (Build) 0.6M    53.9%   85.6%
  */
-#ifndef SSDCHECK_WORKLOAD_SNIA_SYNTH_H
-#define SSDCHECK_WORKLOAD_SNIA_SYNTH_H
+#pragma once
 
 #include <string>
 #include <vector>
@@ -64,4 +63,3 @@ Trace buildSniaTrace(SniaWorkload w, uint64_t spanPages,
 
 } // namespace ssdcheck::workload
 
-#endif // SSDCHECK_WORKLOAD_SNIA_SYNTH_H

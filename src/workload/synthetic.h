@@ -8,10 +8,10 @@
  * motivation (Fig. 1) and Hybrid-PAS (Fig. 15a) benchmarks use the
  * specialized builders.
  */
-#ifndef SSDCHECK_WORKLOAD_SYNTHETIC_H
-#define SSDCHECK_WORKLOAD_SYNTHETIC_H
+#pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "sim/rng.h"
 #include "workload/trace.h"
@@ -57,4 +57,3 @@ Trace buildHotColdWriteTrace(uint64_t requests, uint64_t hotPages,
 
 } // namespace ssdcheck::workload
 
-#endif // SSDCHECK_WORKLOAD_SYNTHETIC_H

@@ -9,8 +9,7 @@
  * randomness (fraction of requests not sequentially adjacent to the
  * previous request).
  */
-#ifndef SSDCHECK_WORKLOAD_TRACE_H
-#define SSDCHECK_WORKLOAD_TRACE_H
+#pragma once
 
 #include <cstdint>
 #include <iosfwd>
@@ -96,4 +95,3 @@ class Trace
 
 } // namespace ssdcheck::workload
 
-#endif // SSDCHECK_WORKLOAD_TRACE_H

@@ -1,0 +1,19 @@
+// Negative fixture: deterministic code; the forbidden tokens below
+// appear only in comments and string literals, which the lexer blanks:
+// std::chrono::steady_clock, rand(), for (auto &x : someUnorderedMap).
+#include "ssd/good.h"
+
+namespace fixture {
+
+const char *kMessage = "steady_clock and std::function are fine in strings";
+
+uint64_t
+sumPages(const Good &g)
+{
+    uint64_t total = 0;
+    for (const auto p : g.pages) // ordered container: fine anywhere.
+        total += p;
+    return total;
+}
+
+} // namespace fixture

@@ -1,0 +1,14 @@
+// Negative fixture: a header obeying every rule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Good
+{
+    std::vector<uint64_t> pages;
+};
+
+} // namespace fixture

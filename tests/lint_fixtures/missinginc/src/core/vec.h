@@ -1,0 +1,14 @@
+// Positive fixture for R4's include-what-you-name half: names
+// std::vector but relies on a transitive include to provide it.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct Vec
+{
+    std::vector<uint64_t> values; // would only compile transitively.
+};
+
+} // namespace fixture

@@ -1,0 +1,14 @@
+// Positive fixture for R4: include guards instead of #pragma once.
+#ifndef FIXTURE_GUARDED_H
+#define FIXTURE_GUARDED_H
+
+namespace fixture {
+
+struct Guarded
+{
+    int value = 0;
+};
+
+} // namespace fixture
+
+#endif // FIXTURE_GUARDED_H

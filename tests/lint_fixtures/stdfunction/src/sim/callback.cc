@@ -1,0 +1,11 @@
+// Positive fixture for R3: std::function on the simulator hot path.
+#include <functional>
+
+namespace fixture {
+
+struct Event
+{
+    std::function<void()> fire;
+};
+
+} // namespace fixture

@@ -1,0 +1,10 @@
+// Negative fixture for R3: std::function is allowed outside
+// src/sim and src/ssd (here, a use-case layer callback).
+#include <cstdint>
+#include <functional>
+
+namespace fixture {
+
+using RemapFn = std::function<uint64_t(uint64_t)>;
+
+} // namespace fixture

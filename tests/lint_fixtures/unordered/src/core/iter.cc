@@ -1,0 +1,19 @@
+// Positive fixture for R2: iterating an unordered container in a
+// deterministic dir, both range-for and explicit iterators.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+uint64_t
+sumValues(const std::unordered_map<uint64_t, uint64_t> &counts)
+{
+    uint64_t total = 0;
+    for (const auto &kv : counts)
+        total += kv.second;
+    for (auto it = counts.begin(); it != counts.end(); ++it)
+        total += it->second;
+    return total;
+}
+
+} // namespace fixture

@@ -1,0 +1,18 @@
+// Negative fixture for R2: the iteration carries a reasoned
+// suppression, and point lookups never need one.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+uint64_t
+maxValue(const std::unordered_map<uint64_t, uint64_t> &counts)
+{
+    uint64_t best = 0;
+    for (const auto &kv : counts) // lint:allow(unordered-iter): max is order-independent
+        best = kv.second > best ? kv.second : best;
+    const auto it = counts.find(7); // lookups are always fine.
+    return it == counts.end() ? best : it->second;
+}
+
+} // namespace fixture

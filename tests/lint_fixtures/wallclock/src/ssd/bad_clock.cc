@@ -1,0 +1,21 @@
+// Positive fixture for R1: wall-clock reads inside src/ssd.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+
+namespace fixture {
+
+uint64_t
+now()
+{
+    const auto t = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(t.time_since_epoch().count());
+}
+
+int
+noise()
+{
+    return rand();
+}
+
+} // namespace fixture

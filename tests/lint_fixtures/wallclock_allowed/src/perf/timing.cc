@@ -1,0 +1,14 @@
+// Negative fixture for R1: src/perf is the allowlisted wall-clock
+// timing layer, so steady_clock is legal here.
+#include <chrono>
+
+namespace fixture {
+
+double
+seconds()
+{
+    const auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+} // namespace fixture

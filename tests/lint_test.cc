@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for ssdcheck_lint itself, against the fixture tree under
+ * tests/lint_fixtures/. Each fixture case is a miniature repo root
+ * (src/<dir>/file), so the rules see the same relative paths they
+ * scope on in the real tree. The engine is exercised in-process for
+ * exact rule IDs/lines, and through the installed binary for exit
+ * codes and output format.
+ *
+ * Build wiring provides:
+ *   SSDCHECK_LINT_FIXTURES  absolute path of tests/lint_fixtures
+ *   SSDCHECK_LINT_BIN       absolute path of the ssdcheck_lint binary
+ */
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.h"
+
+namespace lint = ssdcheck::lint;
+
+namespace {
+
+std::string
+fixtureRoot(const std::string &caseName)
+{
+    return std::string(SSDCHECK_LINT_FIXTURES) + "/" + caseName;
+}
+
+lint::LintResult
+runCase(const std::string &caseName)
+{
+    return lint::runLint(fixtureRoot(caseName), {"src"});
+}
+
+std::vector<std::string>
+ruleIds(const lint::LintResult &r)
+{
+    std::vector<std::string> ids;
+    ids.reserve(r.findings.size());
+    for (const auto &f : r.findings)
+        ids.push_back(f.rule);
+    return ids;
+}
+
+/** Run the real binary; returns its exit code, captures stdout. */
+int
+runBinary(const std::string &args, std::string *out)
+{
+    const std::string cmd =
+        std::string(SSDCHECK_LINT_BIN) + " " + args + " 2>/dev/null";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr) << cmd;
+    if (pipe == nullptr)
+        return -1;
+    char buf[512];
+    std::ostringstream os;
+    while (fgets(buf, sizeof buf, pipe) != nullptr)
+        os << buf;
+    if (out != nullptr)
+        *out = os.str();
+    const int status = pclose(pipe);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+} // namespace
+
+TEST(LintRules, CleanFixtureHasNoFindings)
+{
+    const lint::LintResult r = runCase("clean");
+    EXPECT_EQ(r.filesScanned, 2u);
+    EXPECT_TRUE(r.findings.empty())
+        << (r.findings.empty() ? "" : r.findings[0].format());
+}
+
+TEST(LintRules, WallClockFlaggedInDeterministicDirs)
+{
+    const lint::LintResult r = runCase("wallclock");
+    ASSERT_EQ(r.findings.size(), 2u);
+    EXPECT_EQ(r.findings[0].rule, "wall-clock");
+    EXPECT_EQ(r.findings[0].file, "src/ssd/bad_clock.cc");
+    EXPECT_EQ(r.findings[0].line, 11u); // steady_clock
+    EXPECT_EQ(r.findings[1].rule, "wall-clock");
+    EXPECT_EQ(r.findings[1].line, 18u); // rand()
+}
+
+TEST(LintRules, WallClockAllowedInPerfLayer)
+{
+    const lint::LintResult r = runCase("wallclock_allowed");
+    EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintRules, UnorderedIterationFlaggedBothForms)
+{
+    const lint::LintResult r = runCase("unordered");
+    ASSERT_EQ(r.findings.size(), 2u);
+    for (const auto &f : r.findings) {
+        EXPECT_EQ(f.rule, "unordered-iter");
+        EXPECT_EQ(f.file, "src/core/iter.cc");
+    }
+    EXPECT_EQ(r.findings[0].line, 12u); // range-for
+    EXPECT_EQ(r.findings[1].line, 14u); // counts.begin()
+}
+
+TEST(LintRules, ReasonedSuppressionAbsorbsFinding)
+{
+    const lint::LintResult r = runCase("unordered_suppressed");
+    EXPECT_TRUE(r.findings.empty())
+        << (r.findings.empty() ? "" : r.findings[0].format());
+}
+
+TEST(LintRules, ReasonlessSuppressionAbsorbsNothingAndIsReported)
+{
+    const lint::LintResult r = runCase("unordered_noreason");
+    const std::vector<std::string> ids = ruleIds(r);
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0], "suppression");
+    EXPECT_EQ(ids[1], "unordered-iter");
+    EXPECT_EQ(r.findings[0].line, r.findings[1].line);
+}
+
+TEST(LintRules, StdFunctionFlaggedOnHotPathOnly)
+{
+    const lint::LintResult bad = runCase("stdfunction");
+    ASSERT_EQ(bad.findings.size(), 1u);
+    EXPECT_EQ(bad.findings[0].rule, "std-function");
+    EXPECT_EQ(bad.findings[0].file, "src/sim/callback.cc");
+
+    const lint::LintResult ok = runCase("stdfunction_outside");
+    EXPECT_TRUE(ok.findings.empty());
+}
+
+TEST(LintRules, IncludeGuardHeaderNeedsPragmaOnce)
+{
+    const lint::LintResult r = runCase("pragma");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "header-hygiene");
+    EXPECT_EQ(r.findings[0].file, "src/core/guarded.h");
+}
+
+TEST(LintRules, HeaderMustIncludeWhatItNames)
+{
+    const lint::LintResult r = runCase("missinginc");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "header-hygiene");
+    EXPECT_NE(r.findings[0].message.find("<vector>"), std::string::npos);
+}
+
+TEST(LintBinary, ExitCodesAndOutputFormat)
+{
+    std::string out;
+    EXPECT_EQ(runBinary("--root " + fixtureRoot("clean") + " src", &out), 0);
+    EXPECT_TRUE(out.empty()) << out;
+
+    EXPECT_EQ(runBinary("--root " + fixtureRoot("wallclock") + " src", &out),
+              1);
+    // Canonical file:line: rule-id: message form.
+    EXPECT_NE(out.find("src/ssd/bad_clock.cc:11: wall-clock:"),
+              std::string::npos)
+        << out;
+
+    EXPECT_EQ(runBinary("--root " + fixtureRoot("clean") + " nonexistent",
+                        nullptr),
+              2);
+}
+
+TEST(LintBinary, RealTreeIsCleanRightNow)
+{
+    // The acceptance gate, as a test: zero unsuppressed findings in
+    // the live src/ and tools/ trees. SSDCHECK_LINT_FIXTURES is
+    // <repo>/tests/lint_fixtures, so the repo root is two up.
+    const std::string fixtures(SSDCHECK_LINT_FIXTURES);
+    const std::string repoRoot =
+        fixtures.substr(0, fixtures.rfind("/tests/"));
+    std::string out;
+    EXPECT_EQ(runBinary("--root " + repoRoot + " src tools", &out), 0)
+        << out;
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * ssdcheck_lint: repo-specific determinism & hygiene rules.
+ *
+ * The simulator's contract is that results are a pure function of
+ * (config, seed, trace): bit-identical at any --jobs value, on any
+ * machine. The type system cannot express that, and the golden tests
+ * only catch a violation after it has shipped a wrong number. This
+ * little token-level linter closes the gap at review time with four
+ * rules (see DESIGN.md "Static analysis & determinism invariants"):
+ *
+ *   wall-clock      (R1) no wall-clock or ambient-entropy sources in
+ *                        deterministic dirs (src/sim, src/ssd,
+ *                        src/nand, src/core) — virtual time and the
+ *                        seeded sim::Rng only. src/perf is the
+ *                        allowlisted timing layer.
+ *   unordered-iter  (R2) no iteration over std::unordered_{map,set}
+ *                        in deterministic dirs: iteration order is
+ *                        implementation-defined and leaks straight
+ *                        into results.
+ *   std-function    (R3) no std::function in src/sim or src/ssd; the
+ *                        hot path uses sim::SmallCallback (PR 3) and
+ *                        must not regress to heap-allocating erasure.
+ *   header-hygiene  (R4) every scanned header starts with
+ *                        #pragma once and directly includes the std
+ *                        headers for the std names it uses.
+ *
+ * Suppressions: append `// lint:allow(<rule-id>): <reason>` to the
+ * offending line. The reason is mandatory — a reasonless allow is
+ * itself reported (rule id "suppression").
+ *
+ * Deliberately token-level, not a clang plugin: it must build and run
+ * in seconds on any toolchain the repo supports (incl. GCC-only
+ * boxes), and the rules only need lexical context. Comments, string
+ * and char literals are blanked before matching.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ssdcheck::lint {
+
+/** One reported violation. */
+struct Finding
+{
+    std::string file; ///< Forward-slash path relative to the scan root.
+    uint32_t line = 0;
+    std::string rule;
+    std::string message;
+
+    /** The canonical "file:line: rule-id: message" form. */
+    std::string format() const;
+};
+
+/** A `lint:allow(<rule>)` marker found on a line. */
+struct Allow
+{
+    std::string rule;
+    bool hasReason = false;
+};
+
+/** A loaded file, pre-lexed for the rules. */
+struct SourceFile
+{
+    std::string path;    ///< As opened (absolute or cwd-relative).
+    std::string relPath; ///< Forward-slash path relative to the root.
+    std::vector<std::string> raw;  ///< Original lines.
+    /** Lines with comments, string and char literals blanked to
+     *  spaces (columns preserved). Rules match against these. */
+    std::vector<std::string> code;
+    std::multimap<uint32_t, Allow> allows; ///< line -> markers.
+
+    bool isHeader() const;
+    /** True when relPath lives under @p dir ("src/sim", ...). */
+    bool underDir(const std::string &dir) const;
+};
+
+/** code lines joined with '\n' plus offset->line lookup, for rules
+ *  whose patterns span physical lines (declarations, for-headers). */
+struct JoinedCode
+{
+    std::string text;
+    std::vector<size_t> lineStart; ///< Offset of each line's start.
+
+    uint32_t lineAt(size_t offset) const;
+    static JoinedCode from(const SourceFile &f);
+};
+
+/** A lint rule: stateless check over one pre-lexed file. */
+class Rule
+{
+  public:
+    virtual ~Rule() = default;
+    virtual std::string id() const = 0;
+    virtual void check(const SourceFile &f,
+                       std::vector<Finding> &out) const = 0;
+};
+
+/** The repo rule set, R1..R4. */
+std::vector<std::unique_ptr<Rule>> makeDefaultRules();
+
+// -- engine ---------------------------------------------------------------
+
+/** Load + pre-lex one file. @p relPath scopes the rules. */
+SourceFile loadSourceFile(const std::string &path,
+                          const std::string &relPath, std::string *err);
+
+/**
+ * Recursively collect .h/.cc files under @p root for each entry of
+ * @p paths (root-relative files or directories), sorted for
+ * deterministic output.
+ */
+std::vector<std::string> collectFiles(const std::string &root,
+                                      const std::vector<std::string> &paths,
+                                      std::string *err);
+
+struct LintResult
+{
+    std::vector<Finding> findings; ///< Sorted by (file, line, rule).
+    size_t filesScanned = 0;
+    bool ioError = false;
+    std::string errorText;
+};
+
+/**
+ * Lint @p paths under @p root with the default rules, honouring
+ * reasoned `lint:allow` suppressions and reporting reasonless ones.
+ */
+LintResult runLint(const std::string &root,
+                   const std::vector<std::string> &paths);
+
+} // namespace ssdcheck::lint

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * ssdcheck_lint CLI.
+ *
+ *   ssdcheck_lint [--root DIR] [path...]
+ *
+ * Paths are files or directories relative to the root (default root:
+ * the current directory; default paths: `src` and `tools`). Findings
+ * print to stdout as `file:line: rule-id: message`.
+ *
+ * Exit codes: 0 clean, 1 findings, 2 usage or I/O error — so both CI
+ * and the `lint` CMake target fail the build on any violation.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--root DIR] [path...]\n"
+                 "  Lints .h/.cc files under each path (default: src "
+                 "tools) against\n"
+                 "  the ssdcheck determinism & hygiene rules. See "
+                 "DESIGN.md.\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root") {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            root = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty())
+        paths = {"src", "tools"};
+
+    const ssdcheck::lint::LintResult result =
+        ssdcheck::lint::runLint(root, paths);
+    if (result.ioError) {
+        std::fprintf(stderr, "ssdcheck_lint: error: %s\n",
+                     result.errorText.c_str());
+        return 2;
+    }
+    for (const auto &f : result.findings)
+        std::printf("%s\n", f.format().c_str());
+    std::fprintf(stderr, "ssdcheck_lint: %zu finding(s) in %zu file(s)\n",
+                 result.findings.size(), result.filesScanned);
+    return result.findings.empty() ? 0 : 1;
+}
