@@ -21,12 +21,30 @@ ResilientDevice::backoffFor(uint32_t retry) const
     return std::min(d, cfg_.backoffCap);
 }
 
+namespace {
+
+/** Per-attempt record kept only while tracing (stack scratch). */
+struct AttemptRec
+{
+    sim::SimTime start;
+    sim::SimDuration dur;
+    uint8_t status;
+};
+
+/** Attempts traced per exchange; later ones are dropped. */
+constexpr uint32_t kTraceAttempts = 8;
+
+} // namespace
+
 IoResult
 ResilientDevice::submit(const IoRequest &req, sim::SimTime now)
 {
     ++counters_.submissions;
     sim::SimTime attemptTime = now;
     IoResult last;
+    bool sawError = false;
+    AttemptRec recs[kTraceAttempts];
+    uint32_t numRecs = 0;
     for (uint32_t attempt = 0;; ++attempt) {
         // A retry advances the device past the caller's clock; later
         // requests submitted at earlier host times must still reach
@@ -49,41 +67,91 @@ ResilientDevice::submit(const IoRequest &req, sim::SimTime now)
             break;
           case IoStatus::MediaError:
             ++counters_.mediaErrors;
+            sawError = true;
             break;
           case IoStatus::Timeout:
             ++counters_.timeouts;
+            sawError = true;
             break;
           case IoStatus::DeviceFault:
             ++counters_.deviceFaults;
+            sawError = true;
             break;
         }
 
-        last = res;
-        last.submitTime = now;
-        last.attempts = attempt + 1;
-
-        if (res.ok()) {
-            if (attempt > 0)
-                ++counters_.recovered;
-            return last;
-        }
-        if (!isRetryable(res.status) || attempt >= cfg_.maxRetries) {
-            if (isRetryable(res.status))
-                ++counters_.exhausted;
-            return last;
-        }
-
-        ++counters_.retries;
-        // Re-submit after the failed attempt settles plus backoff.
-        // Timeouts re-issue from the moment the host gave up, not the
-        // (later) simulated completion.
+        // The attempt is settled once the host sees its outcome: for
+        // timeouts that is the give-up deadline, not the (later)
+        // simulated completion.
         const sim::SimTime settled =
             res.status == IoStatus::Timeout
                 ? std::min(res.completeTime,
                            attemptTime + cfg_.timeoutAfter)
                 : res.completeTime;
+
+        if (trace_ != nullptr && numRecs < kTraceAttempts)
+            recs[numRecs++] =
+                AttemptRec{attemptTime, settled - attemptTime,
+                           static_cast<uint8_t>(res.status)};
+
+        last = res;
+        last.submitTime = now;
+        last.attempts = attempt + 1;
+
+        if (res.ok() || !isRetryable(res.status) ||
+            attempt >= cfg_.maxRetries) {
+            if (res.ok() && attempt > 0)
+                ++counters_.recovered;
+            if (!res.ok() && isRetryable(res.status))
+                ++counters_.exhausted;
+            if (sawError)
+                ++counters_.erroredRequests;
+            // Trace only abnormal exchanges: the healthy single-attempt
+            // path is already covered by the host/device spans.
+            if (trace_ != nullptr && (sawError || attempt > 0)) {
+                const obs::TraceTrack track{obs::kHostPid,
+                                            obs::kHostResilientTid};
+                for (uint32_t i = 0; i < numRecs; ++i)
+                    trace_->complete(
+                        "res", "res.attempt", track, recs[i].start,
+                        recs[i].dur,
+                        {{"attempt", static_cast<int64_t>(i + 1)},
+                         {"status",
+                          static_cast<int64_t>(recs[i].status)}});
+                if (attempt > 0)
+                    trace_->instant(
+                        "res", res.ok() ? "res.recovered" : "res.exhausted",
+                        track, settled,
+                        {{"attempts", static_cast<int64_t>(attempt + 1)}});
+            }
+            return last;
+        }
+
+        ++counters_.retries;
+        // Re-submit after the failed attempt settles plus backoff.
         attemptTime = std::max(attemptTime, settled) +
                       backoffFor(attempt + 1);
+    }
+}
+
+void
+ResilientDevice::attachObservability(const obs::Sink &sink)
+{
+    trace_ = sink.trace;
+    if (sink.metrics != nullptr) {
+        obs::Registry &reg = *sink.metrics;
+        const obs::Labels labels = {{"device", inner_.name()}};
+        reg.exportCounter("res_submissions", labels,
+                          &counters_.submissions);
+        reg.exportCounter("res_media_errors", labels,
+                          &counters_.mediaErrors);
+        reg.exportCounter("res_timeouts", labels, &counters_.timeouts);
+        reg.exportCounter("res_device_faults", labels,
+                          &counters_.deviceFaults);
+        reg.exportCounter("res_retries", labels, &counters_.retries);
+        reg.exportCounter("res_recovered", labels, &counters_.recovered);
+        reg.exportCounter("res_exhausted", labels, &counters_.exhausted);
+        reg.exportCounter("res_errored_requests", labels,
+                          &counters_.erroredRequests);
     }
 }
 

@@ -31,6 +31,7 @@
 #include <string>
 
 #include "blockdev/block_device.h"
+#include "obs/sink.h"
 
 namespace ssdcheck::blockdev {
 
@@ -57,16 +58,23 @@ struct ResilienceCounters
     uint64_t recovered = 0;     ///< Requests that succeeded on retry.
     uint64_t exhausted = 0;     ///< Requests failed after max retries.
     uint64_t submissions = 0;   ///< Caller-visible requests served.
+    /** Caller requests whose exchange saw at least one error. */
+    uint64_t erroredRequests = 0;
 
-    /** Fraction of caller requests that saw any error (0 when idle). */
+    /**
+     * Fraction of caller requests that saw any error (0 when idle).
+     * Counted per request, not per attempt: a single request retried
+     * three times is one errored request, so the rate stays in [0, 1]
+     * (the old per-attempt numerator could exceed it).
+     */
     double errorRate() const
     {
         return submissions == 0 ? 0.0
-                                : static_cast<double>(totalErrors()) /
+                                : static_cast<double>(erroredRequests) /
                                       static_cast<double>(submissions);
     }
 
-    /** Total failed submissions observed (any status). */
+    /** Total failed attempts observed (any status, per-attempt). */
     uint64_t totalErrors() const
     {
         return mediaErrors + timeouts + deviceFaults;
@@ -95,6 +103,15 @@ class ResilientDevice : public BlockDevice
     /** Backoff before retry number @p retry (1-based), capped. */
     sim::SimDuration backoffFor(uint32_t retry) const;
 
+    /**
+     * Attach observability targets (cold path, before the run):
+     * exports the resilience counters onto the registry under a
+     * {device=<name>} label and emits attempt/retry trace spans on the
+     * host resilient track — only for abnormal exchanges (any error or
+     * more than one attempt), so the healthy hot path stays silent.
+     */
+    void attachObservability(const obs::Sink &sink);
+
   private:
     BlockDevice &inner_;
     ResilienceConfig cfg_;
@@ -103,6 +120,9 @@ class ResilientDevice : public BlockDevice
      *  caller's clock, and the inner device requires nondecreasing
      *  submit times. */
     sim::SimTime innerClock_ = 0;
+
+    // Observability (null until attachObservability()).
+    obs::TraceRecorder *trace_ = nullptr;
 };
 
 } // namespace ssdcheck::blockdev

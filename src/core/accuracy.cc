@@ -4,13 +4,29 @@
 
 namespace ssdcheck::core {
 
+namespace {
+
+/** Host-latency histogram bounds (ns): 50µs .. 100ms decades. */
+const std::vector<int64_t> kHostLatencyBounds = {
+    50'000,     100'000,    250'000,    500'000,    1'000'000,
+    2'500'000,  5'000'000,  10'000'000, 25'000'000, 100'000'000};
+
+} // namespace
+
 AccuracyResult
 evaluatePredictionAccuracy(blockdev::BlockDevice &dev, SsdCheck &check,
                            const workload::Trace &trace,
                            sim::SimTime startTime, sim::SimTime *endTime,
-                           HealthSupervisor *supervisor)
+                           HealthSupervisor *supervisor,
+                           const obs::Sink *sink)
 {
     AccuracyResult acc;
+    obs::TraceRecorder *spans = sink != nullptr ? sink->trace : nullptr;
+    obs::Registry *metrics = sink != nullptr ? sink->metrics : nullptr;
+    obs::Histogram hostLatency;
+    if (metrics != nullptr)
+        hostLatency =
+            metrics->histogram("host_latency_ns", kHostLatencyBounds);
     sim::SimTime t = startTime;
     for (const auto &rec : trace.records()) {
         if (supervisor != nullptr)
@@ -23,6 +39,19 @@ evaluatePredictionAccuracy(blockdev::BlockDevice &dev, SsdCheck &check,
             req, pred, t, res.completeTime, res.status, res.attempts);
         if (supervisor != nullptr)
             supervisor->onCompletion(req, actualHl, res);
+        if (spans != nullptr)
+            spans->complete(
+                "host", "host.request",
+                obs::TraceTrack{obs::kHostPid, obs::kHostWorkloadTid}, t,
+                res.completeTime - t,
+                {{"lba", static_cast<int64_t>(req.lba)},
+                 {"write", req.isWrite() ? 1 : 0},
+                 {"pred_hl", pred.hl ? 1 : 0},
+                 {"actual_hl", actualHl ? 1 : 0}});
+        if (metrics != nullptr) {
+            hostLatency.observe(res.completeTime - t);
+            metrics->tick(res.completeTime);
+        }
         if (!res.ok() || res.attempts > 1) {
             // Error-path exchanges measure the resilience layer, not
             // the prediction model; keep recall clean of them.

@@ -64,6 +64,10 @@ struct AccuracyResult
  * @param endTime receives the virtual finish time (optional).
  * @param supervisor optional health supervisor: pumped for probe I/O
  *        between requests and fed every completion.
+ * @param sink optional observability targets: host.request spans and
+ *        a host-latency histogram per request, plus registry timeline
+ *        ticks on completion times. Attaching a sink never changes
+ *        the replay's results.
  */
 AccuracyResult evaluatePredictionAccuracy(blockdev::BlockDevice &dev,
                                           SsdCheck &check,
@@ -71,7 +75,8 @@ AccuracyResult evaluatePredictionAccuracy(blockdev::BlockDevice &dev,
                                           sim::SimTime startTime,
                                           sim::SimTime *endTime = nullptr,
                                           HealthSupervisor *supervisor =
-                                              nullptr);
+                                              nullptr,
+                                          const obs::Sink *sink = nullptr);
 
 } // namespace ssdcheck::core
 

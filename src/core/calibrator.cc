@@ -76,4 +76,19 @@ Calibrator::onAccuracySample(double rollingHl, uint32_t rollingHlEvents)
     return resetGc;
 }
 
+void
+Calibrator::exportMetrics(obs::Registry &reg,
+                          const obs::Labels &labels) const
+{
+    reg.exportGauge("cal_read_service_ns", labels, &readService_);
+    reg.exportGauge("cal_write_service_ns", labels, &writeService_);
+    reg.exportGauge("cal_flush_overhead_ns", labels, &flushOverhead_);
+    reg.exportGauge("cal_gc_overhead_ns", labels, &gcOverhead_);
+    reg.exportCounter("cal_observations", labels, &observations_);
+    reg.exportCounter("cal_buffer_resyncs", labels, &bufferResyncs_);
+    reg.exportCounter("cal_history_resets", labels, &historyResets_);
+    reg.exportCounter("cal_low_accuracy_streak", labels,
+                      &lowAccuracyStreak_);
+}
+
 } // namespace ssdcheck::core

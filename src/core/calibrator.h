@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "obs/registry.h"
 #include "sim/sim_time.h"
 
 namespace ssdcheck::core {
@@ -96,6 +97,11 @@ class Calibrator
     uint64_t observations() const { return observations_; }
 
     const CalibratorConfig &config() const { return cfg_; }
+
+    /** Export the EWMA estimates and health counters as registry
+     *  views (cold path; this calibrator must outlive the registry
+     *  snapshot). */
+    void exportMetrics(obs::Registry &reg, const obs::Labels &labels) const;
 
   private:
     void ewma(sim::SimDuration &est, sim::SimDuration sample);

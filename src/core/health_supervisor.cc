@@ -98,6 +98,7 @@ HealthSupervisor::onCompletion(const IoRequest &req, bool actualHl,
 
     if (completions_ % cfg_.evalInterval == 0)
         sweep();
+    traceState(res.completeTime);
 }
 
 bool
@@ -368,8 +369,10 @@ HealthSupervisor::pump(sim::SimTime now)
         state_ = HealthState::Rediagnosing;
         beginAttempt();
     }
-    if (state_ != HealthState::Rediagnosing)
+    if (state_ != HealthState::Rediagnosing) {
+        traceState(now);
         return now;
+    }
     for (uint32_t i = 0; i < cfg_.probesPerPump; ++i) {
         if (state_ != HealthState::Rediagnosing)
             break; // the attempt resolved mid-pump
@@ -379,7 +382,46 @@ HealthSupervisor::pump(sim::SimTime now)
         }
         now = issueProbe(now);
     }
+    traceState(now);
     return now;
+}
+
+void
+HealthSupervisor::attachObservability(const obs::Sink &sink)
+{
+    trace_ = sink.trace;
+    if (sink.metrics == nullptr)
+        return;
+    obs::Registry &reg = *sink.metrics;
+    const obs::Labels labels = {{"device", dev_.name()}};
+    reg.exportGauge("sup_state", labels,
+                    reinterpret_cast<const uint8_t *>(&state_));
+    reg.exportCounter("sup_sweeps", labels, &counters_.sweeps);
+    reg.exportCounter("sup_accuracy_collapses", labels,
+                      &counters_.accuracyCollapses);
+    reg.exportCounter("sup_resync_churn_alarms", labels,
+                      &counters_.resyncChurnAlarms);
+    reg.exportCounter("sup_latency_shift_alarms", labels,
+                      &counters_.latencyShiftAlarms);
+    reg.exportCounter("sup_suspect_entries", labels,
+                      &counters_.suspectEntries);
+    reg.exportCounter("sup_false_alarms", labels, &counters_.falseAlarms);
+    reg.exportCounter("sup_degraded_entries", labels,
+                      &counters_.degradedEntries);
+    reg.exportCounter("sup_rediagnose_attempts", labels,
+                      &counters_.rediagnoseAttempts);
+    reg.exportCounter("sup_rediagnose_failures", labels,
+                      &counters_.rediagnoseFailures);
+    reg.exportCounter("sup_hot_swaps", labels, &counters_.hotSwaps);
+    reg.exportCounter("sup_relapses", labels, &counters_.relapses);
+    reg.exportCounter("sup_recoveries", labels, &counters_.recoveries);
+    reg.exportCounter("sup_probes_issued", labels,
+                      &counters_.probesIssued);
+    reg.exportCounter("sup_probe_writes", labels, &counters_.probeWrites);
+    reg.exportCounter("sup_probe_reads", labels, &counters_.probeReads);
+    reg.exportGauge("sup_probe_busy_ns", labels, &counters_.probeBusyNs);
+    reg.exportCounter("sup_probes_deferred", labels,
+                      &counters_.probesDeferred);
 }
 
 std::string

@@ -194,6 +194,14 @@ class HealthSupervisor
     /** Multi-line operator report (CLI health section). */
     std::string report() const;
 
+    /**
+     * Attach observability targets (cold path, before the run):
+     * exports the health counters and the state-machine value onto the
+     * registry and emits a sup.state instant on the host supervisor
+     * track at every state transition.
+     */
+    void attachObservability(const obs::Sink &sink);
+
   private:
     void sweep();
     bool detectorsFire();
@@ -242,6 +250,26 @@ class HealthSupervisor
     // Time accounting for the probe budget.
     bool started_ = false;
     sim::SimTime firstSeen_ = 0;
+
+    // Observability (null until attachObservability()). Transitions
+    // are traced lazily: the timed entry points compare against the
+    // last traced state, so the state machine itself needs no
+    // timestamps threaded through.
+    obs::TraceRecorder *trace_ = nullptr;
+    HealthState lastTracedState_ = HealthState::Healthy;
+
+    /** Emit a sup.state instant when the state changed since the last
+     *  traced one (called from the timed entry points). */
+    void traceState(sim::SimTime now)
+    {
+        if (trace_ == nullptr || state_ == lastTracedState_)
+            return;
+        lastTracedState_ = state_;
+        trace_->instant(
+            "sup", "sup.state",
+            obs::TraceTrack{obs::kHostPid, obs::kHostSupervisorTid}, now,
+            {{"state", static_cast<int64_t>(state_)}});
+    }
 };
 
 } // namespace ssdcheck::core

@@ -60,6 +60,10 @@ SsdCheck::hotSwapModel(FeatureSet features)
     calibrator_.onModelSwap();
     rebuildEngine();
     degraded_ = false;
+    // The replacement model may classify GC at a different threshold;
+    // keep the audit's drift bound in sync.
+    if (audit_ != nullptr)
+        audit_->setGcThreshold(monitor_.thresholds().gc);
 }
 
 void
@@ -104,10 +108,68 @@ SsdCheck::onComplete(const blockdev::IoRequest &req, const Prediction &pred,
                      sim::SimTime submit, sim::SimTime complete,
                      blockdev::IoStatus status, uint32_t attempts)
 {
+    bool actualHl;
     if (engine_ != nullptr)
-        return engine_->onComplete(req, pred, submit, complete, status,
-                                   attempts);
-    return classifyActual(req, complete - submit);
+        actualHl = engine_->onComplete(req, pred, submit, complete, status,
+                                       attempts);
+    else
+        actualHl = classifyActual(req, complete - submit);
+    if (trace_ != nullptr || audit_ != nullptr)
+        observeCompletion(req, pred, submit, complete, status, attempts,
+                          actualHl);
+    return actualHl;
+}
+
+void
+SsdCheck::attachObservability(const obs::Sink &sink)
+{
+    trace_ = sink.trace;
+    audit_ = sink.audit;
+    if (audit_ != nullptr)
+        audit_->setGcThreshold(monitor_.thresholds().gc);
+    if (sink.metrics != nullptr)
+        calibrator_.exportMetrics(*sink.metrics, {});
+}
+
+void
+SsdCheck::observeCompletion(const blockdev::IoRequest &req,
+                            const Prediction &pred, sim::SimTime submit,
+                            sim::SimTime complete,
+                            blockdev::IoStatus status, uint32_t attempts,
+                            bool actualHl)
+{
+    const sim::SimDuration actual = complete - submit;
+    if (trace_ != nullptr)
+        trace_->complete(
+            "model", "model.predict",
+            obs::TraceTrack{obs::kHostPid, obs::kHostModelTid}, submit,
+            actual,
+            {{"pred_hl", pred.hl ? 1 : 0},
+             {"actual_hl", actualHl ? 1 : 0},
+             {"eet_ns", pred.eet}});
+    if (audit_ != nullptr) {
+        obs::AuditRecord r;
+        r.submit = submit;
+        r.actualNs = actual;
+        r.predictedEetNs = pred.eet;
+        r.type = static_cast<uint8_t>(req.type);
+        r.status = static_cast<uint8_t>(status);
+        r.attempts = attempts;
+        r.predictedHl = pred.hl;
+        r.actualHl = actualHl;
+        r.flushExpected = pred.flushExpected;
+        r.gcExpected = pred.gcExpected;
+        if (engine_ != nullptr) {
+            const uint32_t v = engine_->volumeOf(req);
+            r.volume = v;
+            r.bufferCounter = engine_->wbModel(v).counter();
+            r.bufferSize = engine_->wbModel(v).size();
+            r.gcIntervalCounter = engine_->gcModel(v).intervalCounter();
+        }
+        r.flushEstimateNs = calibrator_.flushOverhead();
+        r.gcEstimateNs = calibrator_.gcOverhead();
+        audit_->add(r);
+    }
 }
 
 bool

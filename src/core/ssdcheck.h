@@ -37,6 +37,7 @@
 #include "core/feature_set.h"
 #include "core/latency_monitor.h"
 #include "core/prediction_engine.h"
+#include "obs/sink.h"
 
 namespace ssdcheck::core {
 
@@ -140,8 +141,23 @@ class SsdCheck
     /** Engine introspection (tests); null when the model is unusable. */
     const PredictionEngine *engine() const { return engine_.get(); }
 
+    /**
+     * Attach observability targets (cold path, before the run):
+     * exports calibrator estimates onto the registry, emits a
+     * model.predict span per completion on the host model track, and
+     * feeds the audit log one record per completion (predicted class
+     * vs actual latency vs the model state the engine saw).
+     */
+    void attachObservability(const obs::Sink &sink);
+
   private:
     void rebuildEngine();
+
+    /** Feed the trace/audit pillars one completed request. */
+    void observeCompletion(const blockdev::IoRequest &req,
+                           const Prediction &pred, sim::SimTime submit,
+                           sim::SimTime complete, blockdev::IoStatus status,
+                           uint32_t attempts, bool actualHl);
 
     FeatureSet features_;
     RuntimeConfig cfg_;
@@ -149,6 +165,10 @@ class SsdCheck
     LatencyMonitor monitor_;
     std::unique_ptr<PredictionEngine> engine_;
     bool degraded_ = false;
+
+    // Observability (null until attachObservability()).
+    obs::TraceRecorder *trace_ = nullptr;
+    obs::AuditLog *audit_ = nullptr;
 };
 
 } // namespace ssdcheck::core

@@ -1,0 +1,253 @@
+#include "obs/audit_log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+namespace ssdcheck::obs {
+
+std::string
+toString(AuditCause c)
+{
+    switch (c) {
+      case AuditCause::None:
+        return "none";
+      case AuditCause::FaultTaint:
+        return "fault-taint";
+      case AuditCause::GcDrift:
+        return "gc-drift";
+      case AuditCause::UnmodeledFlush:
+        return "unmodeled-flush";
+      case AuditCause::Unknown:
+        return "unknown";
+    }
+    return "?";
+}
+
+AuditCause
+classifyAudit(const AuditRecord &r, sim::SimDuration gcThresholdNs)
+{
+    if (!r.isHlMiss())
+        return AuditCause::None;
+    // Order matters: taint trumps magnitude (a retried exchange can
+    // reach any latency), and GC magnitude trumps flush magnitude
+    // (a GC always rides on a flush).
+    if (r.status != 0 || r.attempts > 1)
+        return AuditCause::FaultTaint;
+    if (gcThresholdNs > 0 && r.actualNs > gcThresholdNs)
+        return AuditCause::GcDrift;
+    // Flush-magnitude band: at least half the calibrated flush
+    // overhead (the mean blocked-request wait is about half the flush
+    // window) but below the GC threshold.
+    if (r.flushEstimateNs > 0 && r.actualNs >= r.flushEstimateNs / 2)
+        return AuditCause::UnmodeledFlush;
+    return AuditCause::Unknown;
+}
+
+AuditLog::AuditLog(sim::SimDuration gcThresholdNs)
+    : gcThresholdNs_(gcThresholdNs)
+{
+    // A log is only constructed when observability was requested, so
+    // pre-faulting a first chunk is free in the disabled path and
+    // skips the early realloc-copy ladder in the hot one.
+    records_.reserve(4096);
+}
+
+AuditReport
+AuditLog::analyze() const
+{
+    AuditReport rep;
+    rep.total = records_.size();
+    for (const AuditRecord &r : records_) {
+        if (r.actualHl)
+            ++rep.hlEvents;
+        switch (classifyAudit(r, gcThresholdNs_)) {
+          case AuditCause::None:
+            break;
+          case AuditCause::FaultTaint:
+            ++rep.hlMisses;
+            ++rep.faultTaint;
+            break;
+          case AuditCause::GcDrift:
+            ++rep.hlMisses;
+            ++rep.gcDrift;
+            break;
+          case AuditCause::UnmodeledFlush:
+            ++rep.hlMisses;
+            ++rep.unmodeledFlush;
+            break;
+          case AuditCause::Unknown:
+            ++rep.hlMisses;
+            ++rep.unknown;
+            break;
+        }
+    }
+    return rep;
+}
+
+std::string
+AuditReport::format() const
+{
+    char buf[512];
+    const auto pct = [&](uint64_t n) {
+        return hlMisses == 0 ? 0.0
+                             : 100.0 * static_cast<double>(n) /
+                                   static_cast<double>(hlMisses);
+    };
+    std::string out;
+    std::snprintf(buf, sizeof buf,
+                  "requests audited:   %llu\n"
+                  "HL events:          %llu\n"
+                  "HL misses:          %llu\n",
+                  static_cast<unsigned long long>(total),
+                  static_cast<unsigned long long>(hlEvents),
+                  static_cast<unsigned long long>(hlMisses));
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "  unmodeled-flush:  %llu (%.1f%%)\n"
+                  "  gc-drift:         %llu (%.1f%%)\n"
+                  "  fault-taint:      %llu (%.1f%%)\n"
+                  "  unknown:          %llu (%.1f%%)\n",
+                  static_cast<unsigned long long>(unmodeledFlush),
+                  pct(unmodeledFlush),
+                  static_cast<unsigned long long>(gcDrift), pct(gcDrift),
+                  static_cast<unsigned long long>(faultTaint),
+                  pct(faultTaint),
+                  static_cast<unsigned long long>(unknown), pct(unknown));
+    out += buf;
+    return out;
+}
+
+namespace {
+
+/** Fields serialized per record, in line order. */
+struct FieldSpec
+{
+    const char *key;
+    int64_t (*get)(const AuditRecord &);
+    void (*set)(AuditRecord &, int64_t);
+};
+
+constexpr FieldSpec kFields[] = {
+    {"submit_ns", [](const AuditRecord &r) { return r.submit; },
+     [](AuditRecord &r, int64_t v) { r.submit = v; }},
+    {"actual_ns", [](const AuditRecord &r) { return r.actualNs; },
+     [](AuditRecord &r, int64_t v) { r.actualNs = v; }},
+    {"eet_ns", [](const AuditRecord &r) { return r.predictedEetNs; },
+     [](AuditRecord &r, int64_t v) { r.predictedEetNs = v; }},
+    {"type",
+     [](const AuditRecord &r) { return static_cast<int64_t>(r.type); },
+     [](AuditRecord &r, int64_t v) { r.type = static_cast<uint8_t>(v); }},
+    {"status",
+     [](const AuditRecord &r) { return static_cast<int64_t>(r.status); },
+     [](AuditRecord &r, int64_t v) { r.status = static_cast<uint8_t>(v); }},
+    {"attempts",
+     [](const AuditRecord &r) { return static_cast<int64_t>(r.attempts); },
+     [](AuditRecord &r, int64_t v) {
+         r.attempts = static_cast<uint32_t>(v);
+     }},
+    {"pred_hl",
+     [](const AuditRecord &r) { return static_cast<int64_t>(r.predictedHl); },
+     [](AuditRecord &r, int64_t v) { r.predictedHl = v != 0; }},
+    {"actual_hl",
+     [](const AuditRecord &r) { return static_cast<int64_t>(r.actualHl); },
+     [](AuditRecord &r, int64_t v) { r.actualHl = v != 0; }},
+    {"flush_expected",
+     [](const AuditRecord &r) {
+         return static_cast<int64_t>(r.flushExpected);
+     },
+     [](AuditRecord &r, int64_t v) { r.flushExpected = v != 0; }},
+    {"gc_expected",
+     [](const AuditRecord &r) { return static_cast<int64_t>(r.gcExpected); },
+     [](AuditRecord &r, int64_t v) { r.gcExpected = v != 0; }},
+    {"volume",
+     [](const AuditRecord &r) { return static_cast<int64_t>(r.volume); },
+     [](AuditRecord &r, int64_t v) { r.volume = static_cast<uint32_t>(v); }},
+    {"buffer_counter",
+     [](const AuditRecord &r) {
+         return static_cast<int64_t>(r.bufferCounter);
+     },
+     [](AuditRecord &r, int64_t v) {
+         r.bufferCounter = static_cast<uint32_t>(v);
+     }},
+    {"buffer_size",
+     [](const AuditRecord &r) { return static_cast<int64_t>(r.bufferSize); },
+     [](AuditRecord &r, int64_t v) {
+         r.bufferSize = static_cast<uint32_t>(v);
+     }},
+    {"gc_interval_counter",
+     [](const AuditRecord &r) {
+         return static_cast<int64_t>(r.gcIntervalCounter);
+     },
+     [](AuditRecord &r, int64_t v) {
+         r.gcIntervalCounter = static_cast<uint32_t>(v);
+     }},
+    {"flush_estimate_ns",
+     [](const AuditRecord &r) { return r.flushEstimateNs; },
+     [](AuditRecord &r, int64_t v) { r.flushEstimateNs = v; }},
+    {"gc_estimate_ns", [](const AuditRecord &r) { return r.gcEstimateNs; },
+     [](AuditRecord &r, int64_t v) { r.gcEstimateNs = v; }},
+};
+
+/** Parse `"key":<int>` out of one JSONL line. */
+bool
+findInt(const std::string &line, const char *key, int64_t *out)
+{
+    const std::string needle = std::string("\"") + key + "\":";
+    const size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    const char *p = line.c_str() + pos + needle.size();
+    char *end = nullptr;
+    const long long v = std::strtoll(p, &end, 10);
+    if (end == p)
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+void
+AuditLog::writeJsonl(std::ostream &os) const
+{
+    for (const AuditRecord &r : records_) {
+        os << '{';
+        bool first = true;
+        for (const FieldSpec &f : kFields) {
+            if (!first)
+                os << ',';
+            first = false;
+            os << '"' << f.key << "\":" << f.get(r);
+        }
+        os << ",\"cause\":\""
+           << toString(classifyAudit(r, gcThresholdNs_)) << "\"}\n";
+    }
+}
+
+bool
+AuditLog::readJsonl(std::istream &is, AuditLog *out, size_t *errorLine)
+{
+    std::string line;
+    size_t lineNo = 0;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        AuditRecord r;
+        for (const FieldSpec &f : kFields) {
+            int64_t v = 0;
+            if (!findInt(line, f.key, &v)) {
+                if (errorLine != nullptr)
+                    *errorLine = lineNo;
+                return false;
+            }
+            f.set(r, v);
+        }
+        out->add(r);
+    }
+    return true;
+}
+
+} // namespace ssdcheck::obs

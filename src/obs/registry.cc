@@ -1,0 +1,296 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace ssdcheck::obs {
+
+void
+Histogram::observe(int64_t v)
+{
+    if (d_ == nullptr)
+        return;
+    size_t i = 0;
+    while (i < d_->bounds.size() && v > d_->bounds[i])
+        ++i;
+    ++d_->counts[i];
+    ++d_->count;
+    d_->sum += v;
+}
+
+/** One registered metric: owned storage or a view into a component. */
+struct Registry::Metric
+{
+    enum class Kind : uint8_t
+    {
+        OwnedCounter,
+        OwnedGauge,
+        OwnedHistogram,
+        ViewU64,
+        ViewI64,
+        ViewU8,
+    };
+
+    std::string name;
+    Labels labels;
+    Kind kind;
+    // Owned storage (one of, by kind).
+    uint64_t counter = 0;
+    int64_t gauge = 0;
+    HistogramData hist;
+    // View sources (non-owned, by kind).
+    const uint64_t *srcU64 = nullptr;
+    const int64_t *srcI64 = nullptr;
+    const uint8_t *srcU8 = nullptr;
+
+    const char *typeName() const
+    {
+        switch (kind) {
+          case Kind::OwnedCounter:
+          case Kind::ViewU64:
+            return "counter";
+          case Kind::OwnedHistogram:
+            return "histogram";
+          case Kind::OwnedGauge:
+          case Kind::ViewI64:
+          case Kind::ViewU8:
+            return "gauge";
+        }
+        return "gauge";
+    }
+};
+
+Registry::~Registry()
+{
+    for (Metric *m : metrics_)
+        delete m;
+}
+
+Registry::Metric *
+Registry::find(const std::string &name, const Labels &labels) const
+{
+    for (Metric *m : metrics_) {
+        if (m->name == name && m->labels == labels)
+            return m;
+    }
+    return nullptr;
+}
+
+Registry::Metric &
+Registry::add(Metric m)
+{
+    metrics_.push_back(new Metric(std::move(m)));
+    return *metrics_.back();
+}
+
+Counter
+Registry::counter(const std::string &name, Labels labels)
+{
+    if (Metric *m = find(name, labels))
+        return Counter(&m->counter);
+    Metric m;
+    m.name = name;
+    m.labels = std::move(labels);
+    m.kind = Metric::Kind::OwnedCounter;
+    return Counter(&add(std::move(m)).counter);
+}
+
+Gauge
+Registry::gauge(const std::string &name, Labels labels)
+{
+    if (Metric *m = find(name, labels))
+        return Gauge(&m->gauge);
+    Metric m;
+    m.name = name;
+    m.labels = std::move(labels);
+    m.kind = Metric::Kind::OwnedGauge;
+    return Gauge(&add(std::move(m)).gauge);
+}
+
+Histogram
+Registry::histogram(const std::string &name, std::vector<int64_t> bounds,
+                    Labels labels)
+{
+    if (Metric *m = find(name, labels))
+        return Histogram(&m->hist);
+    Metric m;
+    m.name = name;
+    m.labels = std::move(labels);
+    m.kind = Metric::Kind::OwnedHistogram;
+    m.hist.bounds = std::move(bounds);
+    m.hist.counts.assign(m.hist.bounds.size() + 1, 0);
+    return Histogram(&add(std::move(m)).hist);
+}
+
+void
+Registry::exportCounter(const std::string &name, Labels labels,
+                        const uint64_t *src)
+{
+    Metric m;
+    m.name = name;
+    m.labels = std::move(labels);
+    m.kind = Metric::Kind::ViewU64;
+    m.srcU64 = src;
+    add(std::move(m));
+}
+
+void
+Registry::exportGauge(const std::string &name, Labels labels,
+                      const int64_t *src)
+{
+    Metric m;
+    m.name = name;
+    m.labels = std::move(labels);
+    m.kind = Metric::Kind::ViewI64;
+    m.srcI64 = src;
+    add(std::move(m));
+}
+
+void
+Registry::exportGauge(const std::string &name, Labels labels,
+                      const uint8_t *src)
+{
+    Metric m;
+    m.name = name;
+    m.labels = std::move(labels);
+    m.kind = Metric::Kind::ViewU8;
+    m.srcU8 = src;
+    add(std::move(m));
+}
+
+int64_t
+Registry::read(const Metric &m)
+{
+    switch (m.kind) {
+      case Metric::Kind::OwnedCounter:
+        return static_cast<int64_t>(m.counter);
+      case Metric::Kind::OwnedGauge:
+        return m.gauge;
+      case Metric::Kind::OwnedHistogram:
+        return static_cast<int64_t>(m.hist.count);
+      case Metric::Kind::ViewU64:
+        return static_cast<int64_t>(*m.srcU64);
+      case Metric::Kind::ViewI64:
+        return *m.srcI64;
+      case Metric::Kind::ViewU8:
+        return static_cast<int64_t>(*m.srcU8);
+    }
+    return 0;
+}
+
+std::optional<int64_t>
+Registry::value(const std::string &name, const Labels &labels) const
+{
+    const Metric *m = find(name, labels);
+    if (m == nullptr)
+        return std::nullopt;
+    return read(*m);
+}
+
+size_t
+Registry::size() const
+{
+    return metrics_.size();
+}
+
+void
+Registry::enableTimeline(sim::SimDuration interval)
+{
+    timelineInterval_ = interval;
+    timelineNext_ = interval;
+}
+
+void
+Registry::sample(sim::SimTime now)
+{
+    TimelineSample s;
+    s.time = now;
+    s.values.reserve(metrics_.size());
+    for (const Metric *m : metrics_)
+        s.values.push_back(read(*m));
+    timeline_.push_back(std::move(s));
+    // Skip windows with no traffic rather than emitting one sample per
+    // elapsed interval (virtual time can jump far per completion).
+    timelineNext_ = now + timelineInterval_;
+}
+
+size_t
+Registry::timelineSamples() const
+{
+    return timeline_.size();
+}
+
+namespace {
+
+void
+writeLabels(std::ostream &os, const Labels &labels)
+{
+    os << '{';
+    for (size_t i = 0; i < labels.size(); ++i) {
+        if (i > 0)
+            os << ',';
+        os << '"' << labels[i].first << "\":\"" << labels[i].second << '"';
+    }
+    os << '}';
+}
+
+} // namespace
+
+void
+Registry::writeJson(std::ostream &os, sim::SimTime now) const
+{
+    os << "{\"time_ns\":" << now << ",\"metrics\":[";
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+        const Metric &m = *metrics_[i];
+        os << (i > 0 ? ",\n" : "\n");
+        os << "{\"name\":\"" << m.name << "\",\"labels\":";
+        writeLabels(os, m.labels);
+        os << ",\"type\":\"" << m.typeName() << "\"";
+        if (m.kind == Metric::Kind::OwnedHistogram) {
+            os << ",\"count\":" << m.hist.count << ",\"sum\":" << m.hist.sum
+               << ",\"buckets\":[";
+            for (size_t b = 0; b < m.hist.counts.size(); ++b) {
+                if (b > 0)
+                    os << ',';
+                os << "{\"le\":";
+                if (b < m.hist.bounds.size())
+                    os << m.hist.bounds[b];
+                else
+                    os << "\"+inf\"";
+                os << ",\"count\":" << m.hist.counts[b] << '}';
+            }
+            os << ']';
+        } else {
+            os << ",\"value\":" << read(m);
+        }
+        os << '}';
+    }
+    os << "\n]";
+    if (timelineInterval_ > 0) {
+        os << ",\"timeline_interval_ns\":" << timelineInterval_
+           << ",\"timeline\":[";
+        for (size_t i = 0; i < timeline_.size(); ++i) {
+            os << (i > 0 ? ",\n" : "\n");
+            os << "{\"time_ns\":" << timeline_[i].time << ",\"values\":[";
+            for (size_t v = 0; v < timeline_[i].values.size(); ++v) {
+                if (v > 0)
+                    os << ',';
+                os << timeline_[i].values[v];
+            }
+            os << "]}";
+        }
+        os << "\n]";
+    }
+    os << "}\n";
+}
+
+std::string
+Registry::toJson(sim::SimTime now) const
+{
+    std::ostringstream os;
+    writeJson(os, now);
+    return os.str();
+}
+
+} // namespace ssdcheck::obs

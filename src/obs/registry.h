@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Typed metrics registry (the observability tentpole's second
+ * pillar) — the single source of truth for counters previously
+ * scattered across ad-hoc structs (VolumeCounters, FaultCounters,
+ * ResilienceCounters, HealthCounters).
+ *
+ * Two ways onto the registry:
+ *  - Owned metrics: counter()/gauge()/histogram() return light handles
+ *    over registry-owned storage (get-or-create by name+labels, so
+ *    callers need no registration phase). Hot-path updates are one
+ *    pointer-indirect add.
+ *  - Exported views: exportCounter()/exportGauge() register a pointer
+ *    into an existing component-owned struct; the registry reads it at
+ *    snapshot time. This is how the legacy counter structs surface
+ *    without double counting — the component keeps its struct, the
+ *    registry becomes the reporting surface.
+ *
+ * Determinism: metrics snapshot in registration order (attach order is
+ * deterministic), values are integers, and the JSON writer uses no
+ * float formatting — the same run produces a byte-identical snapshot.
+ * Sim-time-only: the optional timeline samples on sim::SimTime ticks
+ * fed by the replay loop, never on the wall clock.
+ */
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace ssdcheck::obs {
+
+/** Metric labels, e.g. {{"device","A"},{"volume","0"}}. */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/** Handle to a registry-owned monotonic counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+    void inc(uint64_t n = 1)
+    {
+        if (v_ != nullptr)
+            *v_ += n;
+    }
+    uint64_t value() const { return v_ == nullptr ? 0 : *v_; }
+
+  private:
+    friend class Registry;
+    explicit Counter(uint64_t *v) : v_(v) {}
+    uint64_t *v_ = nullptr;
+};
+
+/** Handle to a registry-owned point-in-time gauge. */
+class Gauge
+{
+  public:
+    Gauge() = default;
+    void set(int64_t v)
+    {
+        if (v_ != nullptr)
+            *v_ = v;
+    }
+    void add(int64_t v)
+    {
+        if (v_ != nullptr)
+            *v_ += v;
+    }
+    int64_t value() const { return v_ == nullptr ? 0 : *v_; }
+
+  private:
+    friend class Registry;
+    explicit Gauge(int64_t *v) : v_(v) {}
+    int64_t *v_ = nullptr;
+};
+
+/** Registry-owned histogram state (fixed upper-bound buckets). */
+struct HistogramData
+{
+    std::vector<int64_t> bounds;  ///< Inclusive upper bounds, ascending.
+    std::vector<uint64_t> counts; ///< bounds.size() + 1 (+inf) buckets.
+    uint64_t count = 0;
+    int64_t sum = 0;
+};
+
+/** Handle to a registry-owned histogram. */
+class Histogram
+{
+  public:
+    Histogram() = default;
+    void observe(int64_t v);
+    uint64_t count() const { return d_ == nullptr ? 0 : d_->count; }
+    int64_t sum() const { return d_ == nullptr ? 0 : d_->sum; }
+
+  private:
+    friend class Registry;
+    explicit Histogram(HistogramData *d) : d_(d) {}
+    HistogramData *d_ = nullptr;
+};
+
+/** The registry: owned metrics + exported views + timeline. */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+    ~Registry();
+
+    // -- owned metrics (get-or-create by name+labels) ---------------------
+    Counter counter(const std::string &name, Labels labels = {});
+    Gauge gauge(const std::string &name, Labels labels = {});
+    /** @param bounds ascending inclusive upper bounds in the metric's
+     *        unit; a final +inf bucket is implicit. */
+    Histogram histogram(const std::string &name,
+                        std::vector<int64_t> bounds, Labels labels = {});
+
+    // -- exported views (component-owned storage) -------------------------
+    /** Surface an existing uint64 counter field. @p src must outlive
+     *  the registry (or be removed via dropExports). */
+    void exportCounter(const std::string &name, Labels labels,
+                       const uint64_t *src);
+    /** Surface an existing int64 field (gauges, SimDurations). */
+    void exportGauge(const std::string &name, Labels labels,
+                     const int64_t *src);
+    /** Surface an existing uint8 field (small state enums). */
+    void exportGauge(const std::string &name, Labels labels,
+                     const uint8_t *src);
+
+    /** Current value of a metric; nullopt when absent. Histograms
+     *  report their observation count. */
+    std::optional<int64_t> value(const std::string &name,
+                                 const Labels &labels = {}) const;
+
+    /** Registered metrics (tests/introspection). */
+    size_t size() const;
+
+    // -- timeline ---------------------------------------------------------
+    /** Start sampling every metric's value each @p interval of fed
+     *  sim time (see tick()). */
+    void enableTimeline(sim::SimDuration interval);
+
+    /** Feed the current sim time; appends a timeline sample when the
+     *  interval elapsed. Near-zero when the timeline is disabled. */
+    void tick(sim::SimTime now)
+    {
+        if (timelineInterval_ > 0 && now >= timelineNext_)
+            sample(now);
+    }
+
+    /** Timeline samples taken so far. */
+    size_t timelineSamples() const;
+
+    // -- export -----------------------------------------------------------
+    /**
+     * JSON snapshot: every metric (name, labels, type, value; full
+     * bucket detail for histograms) plus the timeline when enabled.
+     */
+    void writeJson(std::ostream &os, sim::SimTime now) const;
+
+    /** writeJson into a string (tests, golden snapshots). */
+    std::string toJson(sim::SimTime now) const;
+
+  private:
+    struct Metric;
+    struct TimelineSample
+    {
+        sim::SimTime time;
+        std::vector<int64_t> values; ///< One per metric, in order.
+    };
+
+    Metric *find(const std::string &name, const Labels &labels) const;
+    Metric &add(Metric m);
+    void sample(sim::SimTime now);
+    static int64_t read(const Metric &m);
+
+    std::vector<Metric *> metrics_; ///< Owned; stable addresses.
+    std::vector<TimelineSample> timeline_;
+    sim::SimDuration timelineInterval_ = 0;
+    sim::SimTime timelineNext_ = 0;
+};
+
+} // namespace ssdcheck::obs

@@ -1,0 +1,167 @@
+#include "obs/trace_recorder.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace ssdcheck::obs {
+
+namespace {
+
+/** JSON-escape a (metadata) string value. */
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Nanoseconds rendered as microseconds with fixed 3-decimal precision
+ * (the trace-event "ts"/"dur" unit). Fixed-point text, not doubles:
+ * the output must be byte-stable across libc float formatting.
+ */
+void
+writeMicros(std::ostream &os, int64_t ns)
+{
+    char buf[32];
+    const char *sign = ns < 0 ? "-" : "";
+    const int64_t mag = ns < 0 ? -ns : ns;
+    std::snprintf(buf, sizeof buf, "%s%lld.%03lld", sign,
+                  static_cast<long long>(mag / 1000),
+                  static_cast<long long>(mag % 1000));
+    os << buf;
+}
+
+void
+writeArgs(std::ostream &os, const TraceArg *args, uint8_t numArgs)
+{
+    os << ",\"args\":{";
+    for (uint8_t i = 0; i < numArgs; ++i) {
+        if (i > 0)
+            os << ',';
+        os << '"' << args[i].key << "\":" << args[i].value;
+    }
+    os << '}';
+}
+
+} // namespace
+
+TraceRecorder::TraceRecorder() = default;
+
+void
+TraceRecorder::growEvents()
+{
+    chunks_.push_back(std::make_unique<Event[]>(kChunkEvents));
+}
+
+void
+TraceRecorder::growArgs()
+{
+    // Pad out the current chunk's tail so one event's args never
+    // straddle a chunk boundary (serialization reads one span).
+    argCount_ = argChunks_.size() << kArgShift;
+    argChunks_.push_back(std::make_unique<TraceArg[]>(kChunkArgs));
+}
+
+void
+TraceRecorder::setProcessName(uint32_t pid, const std::string &name)
+{
+    processNames_.emplace_back(pid, name);
+}
+
+void
+TraceRecorder::setThreadName(TraceTrack track, const std::string &name)
+{
+    threadNames_.emplace_back(track, name);
+}
+
+void
+TraceRecorder::clear()
+{
+    chunks_.clear();
+    count_ = 0;
+    argChunks_.clear();
+    argCount_ = 0;
+    processNames_.clear();
+    threadNames_.clear();
+}
+
+void
+TraceRecorder::writeChromeJson(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    const auto sep = [&]() {
+        if (!first)
+            os << ",";
+        os << "\n";
+        first = false;
+    };
+    for (const auto &[pid, name] : processNames_) {
+        sep();
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":0,\"args\":{\"name\":\"" << escapeJson(name)
+           << "\"}}";
+    }
+    for (const auto &[track, name] : threadNames_) {
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << track.pid
+           << ",\"tid\":" << track.tid << ",\"args\":{\"name\":\""
+           << escapeJson(name) << "\"}}";
+    }
+    for (size_t i = 0; i < count_; ++i) {
+        const Event &e = at(i);
+        sep();
+        os << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.cat
+           << "\",\"ph\":\"" << e.phase << "\",\"ts\":";
+        writeMicros(os, e.ts);
+        if (e.phase == 'X') {
+            os << ",\"dur\":";
+            writeMicros(os, e.dur);
+        }
+        os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+        if (e.phase == 'i')
+            os << ",\"s\":\"t\"";
+        if (e.numArgs > 0 || e.phase == 'C')
+            writeArgs(os, argsAt(e.argPos), e.numArgs);
+        os << '}';
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string
+TraceRecorder::toChromeJson() const
+{
+    std::ostringstream os;
+    writeChromeJson(os);
+    return os.str();
+}
+
+} // namespace ssdcheck::obs

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Deterministic sim-time trace recorder (the observability tentpole's
+ * first pillar).
+ *
+ * Records causally-ordered spans and instants of one simulation run —
+ * host submit, resilient attempt/retry, device dispatch, write-buffer
+ * enqueue/flush, GC trigger/victim/migrate, NAND ops, predictions —
+ * and exports them as Chrome trace-event JSON ("traceEvents"), so a
+ * run can be opened directly in chrome://tracing or Perfetto.
+ *
+ * Design constraints (see DESIGN.md "Observability"):
+ *  - Sim-time only: every timestamp is a sim::SimTime; the recorder
+ *    never reads the wall clock (lint R1 applies to src/obs).
+ *  - Allocation-light hot path: an event is one POD append into a
+ *    chunked arena (no realloc copies, one malloc per 8K events);
+ *    names/categories/arg keys must be string literals (the recorder
+ *    stores the pointers, it never copies).
+ *  - Near-zero when disabled: components hold a TraceRecorder pointer
+ *    that is null by default; every hook is guarded by one null check
+ *    and no event storage exists until a recorder is attached.
+ *  - Deterministic output: events serialize in record order with
+ *    fixed-precision timestamps, so the same run produces a
+ *    byte-identical trace at any --jobs value.
+ */
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace ssdcheck::obs {
+
+/** One event argument: a string-literal key and an integer value. */
+struct TraceArg
+{
+    const char *key;
+    int64_t value;
+};
+
+/** Where an event renders: Chrome's process (pid) / thread (tid). */
+struct TraceTrack
+{
+    uint32_t pid = 0;
+    uint32_t tid = 0;
+};
+
+// Track layout convention used across the repo (see DESIGN.md):
+// pid 0 = the host stack, pid 1 = the device. Device tids are volume
+// indices plus one interface track.
+inline constexpr uint32_t kHostPid = 0;
+inline constexpr uint32_t kDevicePid = 1;
+inline constexpr uint32_t kHostWorkloadTid = 0;   ///< Replay engines.
+inline constexpr uint32_t kHostResilientTid = 1;  ///< Retry/backoff path.
+inline constexpr uint32_t kHostModelTid = 2;      ///< SSDcheck predictions.
+inline constexpr uint32_t kHostSupervisorTid = 3; ///< Health supervisor.
+inline constexpr uint32_t kDeviceInterfaceTid = 0xFFFF; ///< Bus/dispatch.
+
+/** Records one run's events; export with writeChromeJson(). */
+class TraceRecorder
+{
+  public:
+    TraceRecorder();
+
+    /**
+     * A span [start, start+dur] (Chrome "X" complete event).
+     * @param cat,name,args keys must be string literals (stored by
+     *        pointer). At most kMaxArgs args are kept.
+     */
+    void complete(const char *cat, const char *name, TraceTrack track,
+                  sim::SimTime start, sim::SimDuration dur,
+                  std::initializer_list<TraceArg> args = {})
+    {
+        push('X', cat, name, track, start, dur, args);
+    }
+
+    /** A point event (Chrome "i" instant, thread scope). */
+    void instant(const char *cat, const char *name, TraceTrack track,
+                 sim::SimTime ts, std::initializer_list<TraceArg> args = {})
+    {
+        push('i', cat, name, track, ts, 0, args);
+    }
+
+    /** A sampled value (Chrome "C" counter event). */
+    void counter(const char *name, TraceTrack track, sim::SimTime ts,
+                 const char *key, int64_t value)
+    {
+        push('C', "counter", name, track, ts, 0, {{key, value}});
+    }
+
+    /** Display name of a pid (Chrome "process_name" metadata). */
+    void setProcessName(uint32_t pid, const std::string &name);
+
+    /** Display name of a (pid, tid) track ("thread_name" metadata). */
+    void setThreadName(TraceTrack track, const std::string &name);
+
+    /** Events recorded so far (metadata names not counted). */
+    size_t events() const { return count_; }
+
+    void clear();
+
+    /** Serialize as Chrome trace-event JSON (object format). */
+    void writeChromeJson(std::ostream &os) const;
+
+    /** writeChromeJson into a string (tests, determinism checks). */
+    std::string toChromeJson() const;
+
+    /** Maximum args kept per event; extras are dropped. */
+    static constexpr size_t kMaxArgs = 4;
+
+  private:
+    // One cache-line-friendly POD (48 bytes); args live in a chunked
+    // pool so an event only pays for the args it actually has.
+    // pid/tid are stored narrow: every track id used in the repo fits
+    // 16 bits (kDeviceInterfaceTid = 0xFFFF is the ceiling).
+    struct Event
+    {
+        const char *cat;
+        const char *name;
+        int64_t ts;
+        int64_t dur;      ///< Only meaningful for phase 'X'.
+        uint32_t argPos;  ///< First arg in the arg arena.
+        uint16_t pid;
+        uint16_t tid;
+        char phase;       ///< 'X', 'i' or 'C'.
+        uint8_t numArgs;
+    };
+
+    // Both arenas use fixed-size chunks (power of two: index is a
+    // shift + mask) deliberately below glibc's mmap threshold, so
+    // repeated record/clear cycles recycle already-faulted heap pages
+    // instead of mapping fresh ones — the dominant cost of a naive
+    // growing vector at these event rates. An event's args are kept
+    // contiguous within one chunk (the tail is padded when fewer than
+    // kMaxArgs slots remain), so serialization reads one span.
+    static constexpr size_t kEventShift = 10; ///< 1024 ev = 48 KB.
+    static constexpr size_t kChunkEvents = size_t{1} << kEventShift;
+    static constexpr size_t kArgShift = 12;   ///< 4096 args = 64 KB.
+    static constexpr size_t kChunkArgs = size_t{1} << kArgShift;
+
+    void push(char phase, const char *cat, const char *name,
+              TraceTrack track, sim::SimTime ts, sim::SimDuration dur,
+              std::initializer_list<TraceArg> args)
+    {
+        if (count_ == chunks_.size() << kEventShift) [[unlikely]]
+            growEvents();
+        Event &e =
+            chunks_[count_ >> kEventShift][count_ & (kChunkEvents - 1)];
+        ++count_;
+        e.cat = cat;
+        e.name = name;
+        e.ts = ts;
+        e.dur = dur;
+        e.pid = static_cast<uint16_t>(track.pid);
+        e.tid = static_cast<uint16_t>(track.tid);
+        e.phase = phase;
+        const size_t n = args.size() < kMaxArgs ? args.size() : kMaxArgs;
+        if (argCount_ + n > argChunks_.size() << kArgShift) [[unlikely]]
+            growArgs();
+        e.argPos = static_cast<uint32_t>(argCount_);
+        e.numArgs = static_cast<uint8_t>(n);
+        TraceArg *slot =
+            &argChunks_[argCount_ >> kArgShift][argCount_ &
+                                               (kChunkArgs - 1)];
+        argCount_ += n;
+        size_t i = 0;
+        for (const TraceArg &a : args) {
+            if (i >= n)
+                break;
+            slot[i++] = a;
+        }
+    }
+
+    void growEvents();
+    void growArgs();
+    const Event &at(size_t i) const
+    {
+        return chunks_[i >> kEventShift][i & (kChunkEvents - 1)];
+    }
+    const TraceArg *argsAt(uint32_t pos) const
+    {
+        return &argChunks_[pos >> kArgShift][pos & (kChunkArgs - 1)];
+    }
+
+    std::vector<std::unique_ptr<Event[]>> chunks_;
+    size_t count_ = 0;
+    std::vector<std::unique_ptr<TraceArg[]>> argChunks_;
+    size_t argCount_ = 0;
+    std::vector<std::pair<uint32_t, std::string>> processNames_;
+    std::vector<std::pair<TraceTrack, std::string>> threadNames_;
+};
+
+} // namespace ssdcheck::obs

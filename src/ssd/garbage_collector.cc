@@ -26,7 +26,8 @@ GarbageCollector::needed() const
 }
 
 GcResult
-GarbageCollector::collect(uint32_t extraBlocks)
+GarbageCollector::collect(uint32_t extraBlocks,
+                          std::vector<GcVictim> *victims)
 {
     GcResult res;
     const uint32_t target = highBlocks_ + extraBlocks;
@@ -35,10 +36,13 @@ GarbageCollector::collect(uint32_t extraBlocks)
         if (victim == PageMapper::kNoVictim)
             break; // nothing closed to reclaim (e.g. fresh device)
         const uint64_t moved = mapper_.collectBlock(victim);
+        const sim::SimDuration cost =
+            nand_.batchReadTime(moved) + nand_.batchProgramTime(moved);
+        if (victims != nullptr)
+            victims->push_back(GcVictim{victim, moved, res.duration, cost});
         res.validMoved += moved;
         res.blocksErased += 1;
-        res.duration +=
-            nand_.batchReadTime(moved) + nand_.batchProgramTime(moved);
+        res.duration += cost;
     }
     // Erases of this invocation's victims proceed partially in
     // parallel (the flash interface layer can overlap a few planes'

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/sim_time.h"
 
@@ -23,6 +24,18 @@ class NandArray;
 namespace ssdcheck::ssd {
 
 class PageMapper;
+
+/** One reclaimed block of a GC invocation (trace forensics). */
+struct GcVictim
+{
+    uint64_t pbn = 0;          ///< Physical block reclaimed.
+    uint64_t validMoved = 0;   ///< Valid pages merged out of it.
+    /** Migration time charged before this victim started (relative to
+     *  the invocation's start, pre-jitter). */
+    sim::SimDuration offset = 0;
+    /** Merge read+program time of this victim (pre-jitter). */
+    sim::SimDuration cost = 0;
+};
 
 /** Outcome of one GC invocation. */
 struct GcResult
@@ -75,8 +88,11 @@ class GarbageCollector
      * what spreads the GC-interval distribution the paper's history
      * model keys on).
      * @return what was reclaimed and how long it took.
+     * @param victims when non-null, receives one record per greedy
+     *        victim (wear-level / refresh moves not included).
      */
-    GcResult collect(uint32_t extraBlocks = 0);
+    GcResult collect(uint32_t extraBlocks = 0,
+                     std::vector<GcVictim> *victims = nullptr);
 
     /** Total invocations so far. */
     uint64_t invocations() const { return invocations_; }

@@ -49,12 +49,24 @@ SsdDevice::submitDetailed(const blockdev::IoRequest &req, sim::SimTime now,
         req.lba + req.sectors < req.lba /* address overflow */) {
         res.status = blockdev::IoStatus::DeviceFault;
         res.completeTime = now + sim::microseconds(5);
+        if (trace_ != nullptr)
+            trace_->instant("dev", "dev.reject", kBusTrack, now,
+                            {{"lba", static_cast<int64_t>(req.lba)},
+                             {"sectors",
+                              static_cast<int64_t>(req.sectors)}});
         return res;
     }
 
     ++requestsServed_;
-    if (faults_.driftDue(requestsServed_))
+    if (faults_.driftDue(requestsServed_)) {
         applyDrift();
+        if (trace_ != nullptr)
+            trace_->instant(
+                "dev", "dev.drift", kBusTrack, now,
+                {{"kind", static_cast<int64_t>(cfg_.faults.driftKind)},
+                 {"request",
+                  static_cast<int64_t>(requestsServed_)}});
+    }
 
     // Host interface occupancy serializes all traffic.
     const sim::SimTime busStart = std::max(now, busGate_);
@@ -63,6 +75,12 @@ SsdDevice::submitDetailed(const blockdev::IoRequest &req, sim::SimTime now,
 
     if (req.type == blockdev::IoType::Trim) {
         res.completeTime = start + sim::microseconds(10);
+        if (trace_ != nullptr)
+            trace_->complete("dev", "dev.trim", kBusTrack, now,
+                             res.completeTime - now,
+                             {{"lba", static_cast<int64_t>(req.lba)},
+                              {"sectors",
+                               static_cast<int64_t>(req.sectors)}});
         return res;
     }
 
@@ -113,7 +131,12 @@ SsdDevice::submitDetailed(const blockdev::IoRequest &req, sim::SimTime now,
     const double hiccupP =
         cfg_.hiccupProbability * (req.isRead() ? 0.25 : 1.0);
     if (hiccupP > 0.0 && rng_.bernoulli(hiccupP)) {
-        complete += rng_.uniformInt(cfg_.hiccupMin, cfg_.hiccupMax);
+        const sim::SimDuration hic =
+            rng_.uniformInt(cfg_.hiccupMin, cfg_.hiccupMax);
+        if (trace_ != nullptr)
+            trace_->instant("dev", "dev.hiccup", kBusTrack, complete,
+                            {{"dur_ns", hic}});
+        complete += hic;
         if (detail != nullptr)
             detail->hiccup = true;
     }
@@ -140,13 +163,48 @@ SsdDevice::submitDetailed(const blockdev::IoRequest &req, sim::SimTime now,
     // enough that a host-side timeout policy would fire.
     const sim::SimDuration stall = faults_.stallFor();
     if (stall > 0) {
+        if (trace_ != nullptr)
+            trace_->instant("dev", "dev.stall", kBusTrack, complete,
+                            {{"dur_ns", stall}});
         complete += stall;
         if (detail != nullptr)
             detail->stalled = true;
     }
 
     res.completeTime = complete;
+    if (trace_ != nullptr)
+        trace_->complete(
+            "dev", "dev.request", kBusTrack, now, complete - now,
+            {{"lba", static_cast<int64_t>(req.lba)},
+             {"pages", static_cast<int64_t>(req.pages())},
+             {"write", req.isWrite() ? 1 : 0},
+             {"status", static_cast<int64_t>(res.status)}});
     return res;
+}
+
+void
+SsdDevice::attachObservability(const obs::Sink &sink)
+{
+    trace_ = sink.trace;
+    if (sink.metrics != nullptr) {
+        obs::Registry &reg = *sink.metrics;
+        const obs::Labels labels = {{"device", cfg_.name}};
+        reg.exportCounter("dev_requests_served", labels, &requestsServed_);
+        const FaultCounters &fc = faults_.counters();
+        reg.exportCounter("fault_read_unc_transient", labels,
+                          &fc.readUncTransient);
+        reg.exportCounter("fault_read_unc_hard", labels, &fc.readUncHard);
+        reg.exportCounter("fault_program_failures", labels,
+                          &fc.programFailures);
+        reg.exportCounter("fault_erase_failures", labels,
+                          &fc.eraseFailures);
+        reg.exportCounter("fault_blocks_retired", labels,
+                          &fc.blocksRetired);
+        reg.exportCounter("fault_stalls", labels, &fc.stalls);
+        reg.exportCounter("fault_drift_events", labels, &fc.driftEvents);
+    }
+    for (auto &v : volumes_)
+        v->attachObservability(sink, cfg_.name);
 }
 
 void

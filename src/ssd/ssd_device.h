@@ -86,6 +86,14 @@ class SsdDevice : public blockdev::BlockDevice
     /** Requests served so far (drift clock, introspection). */
     uint64_t requestsServed() const { return requestsServed_; }
 
+    /**
+     * Attach observability targets (cold path, before the run): the
+     * device emits dispatch/hiccup/stall/drift events on the interface
+     * track, exports fault counters onto the registry under a
+     * {device=<name>} label, and cascades to every volume.
+     */
+    void attachObservability(const obs::Sink &sink);
+
   private:
     /** Apply the configured firmware-drift event to the live device. */
     void applyDrift();
@@ -99,6 +107,11 @@ class SsdDevice : public blockdev::BlockDevice
     uint64_t requestsServed_ = 0;
     /** Functional store used only in optimalMode. */
     std::unordered_map<uint64_t, uint64_t> optimalStore_;
+
+    // Observability (null until attachObservability()).
+    obs::TraceRecorder *trace_ = nullptr;
+    static constexpr obs::TraceTrack kBusTrack{obs::kDevicePid,
+                                               obs::kDeviceInterfaceTid};
 };
 
 } // namespace ssdcheck::ssd

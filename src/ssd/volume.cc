@@ -30,7 +30,7 @@ Volume::jitter(sim::SimDuration d)
 }
 
 sim::SimDuration
-Volume::flush(sim::SimTime at, IoDetail *detail)
+Volume::flush(sim::SimTime at, IoDetail *detail, FlushReason reason)
 {
     // The triggering request needs a free buffer: with double
     // buffering that means the previous flush must have finished.
@@ -69,6 +69,13 @@ Volume::flush(sim::SimTime at, IoDetail *detail)
     ++counters_.flushes;
     if (detail != nullptr)
         detail->flushTime += flushDur;
+    if (trace_ != nullptr) {
+        trace_->complete(
+            "wb", "wb.flush", track_, flushStart, flushDur,
+            {{"pages", static_cast<int64_t>(entries.size())},
+             {"read_trigger", reason == FlushReason::ReadTrigger ? 1 : 0},
+             {"stall_ns", stall}});
+    }
 
     // Secondary feature: SLC->MLC migration at an externally invisible
     // and slightly randomized point (paper §VI).
@@ -83,6 +90,10 @@ Volume::flush(sim::SimTime at, IoDetail *detail)
                                    nand_->batchProgramTime(chunk);
             if (!cfg_.wbFlushCostEnabled)
                 mig = 0;
+            if (trace_ != nullptr && mig > 0)
+                trace_->complete("slc", "slc.migrate", track_,
+                                 nandBusyUntil_, mig,
+                                 {{"pages", static_cast<int64_t>(chunk)}});
             nandBusyUntil_ += mig;
             ++counters_.slcMigrations;
             slcUsedPages_ = 0;
@@ -101,11 +112,14 @@ Volume::flush(sim::SimTime at, IoDetail *detail)
     // The reclaim target varies a little per invocation, like adaptive
     // firmware does; this is what gives GC intervals a distribution.
     if (gc_->needed()) {
+        victimScratch_.clear();
         const GcResult res =
-            gc_->collect(static_cast<uint32_t>(rng_.nextBelow(4)));
+            gc_->collect(static_cast<uint32_t>(rng_.nextBelow(4)),
+                         trace_ != nullptr ? &victimScratch_ : nullptr);
         if (res.ran()) {
             sim::SimDuration gcDur =
                 cfg_.gcCostEnabled ? jitter(res.duration) : 0;
+            const sim::SimTime gcStart = nandBusyUntil_;
             // Injected erase failures: each reclaimed block may fail
             // its erase and go to the grown-bad-block list instead of
             // the free pool, eroding overprovisioning so later GC
@@ -131,6 +145,39 @@ Volume::flush(sim::SimTime at, IoDetail *detail)
                 detail->gcRan = cfg_.gcCostEnabled;
                 detail->gcTime += gcDur;
             }
+            if (trace_ != nullptr) {
+                trace_->instant(
+                    "gc", "gc.trigger", track_, gcStart,
+                    {{"free_blocks",
+                      static_cast<int64_t>(mapper_->freeBlocks())}});
+                trace_->complete(
+                    "gc", "gc.run", track_, gcStart, gcDur,
+                    {{"blocks_erased",
+                      static_cast<int64_t>(res.blocksErased)},
+                     {"pages_moved", static_cast<int64_t>(res.validMoved)},
+                     {"wear_moves", static_cast<int64_t>(res.wearMoves)},
+                     {"refresh_moves",
+                      static_cast<int64_t>(res.refreshMoves)}});
+                // Per-victim migrate spans, scaled into the jittered
+                // window proportionally to their pre-jitter share.
+                for (const GcVictim &v : victimScratch_) {
+                    const sim::SimTime vs =
+                        res.duration > 0
+                            ? gcStart + gcDur * v.offset / res.duration
+                            : gcStart;
+                    const sim::SimDuration vd =
+                        res.duration > 0 ? gcDur * v.cost / res.duration
+                                         : 0;
+                    trace_->complete(
+                        "gc", "gc.migrate", track_, vs, vd,
+                        {{"pbn", static_cast<int64_t>(v.pbn)},
+                         {"pages", static_cast<int64_t>(v.validMoved)}});
+                }
+                trace_->instant(
+                    "gc", "gc.erase", track_, gcStart + gcDur,
+                    {{"blocks",
+                      static_cast<int64_t>(res.blocksErased)}});
+            }
         }
     }
 
@@ -150,11 +197,16 @@ Volume::serveWrite(sim::SimTime start, uint64_t lpn, uint64_t payload,
     sim::SimTime serviceStart = admit;
 
     buffer_.add(lpn, payload);
+    if (trace_ != nullptr)
+        trace_->instant("wb", "wb.enqueue", track_, admit,
+                        {{"lpn", static_cast<int64_t>(lpn)},
+                         {"fill", static_cast<int64_t>(buffer_.fill())}});
     if (buffer_.full()) {
         // Note: flush() may clear busyIncludesGc_, so capture whether
         // this request's stall overlapped a GC-laden window first.
         const bool stalledOnGc = busyIncludesGc_ && nandBusyUntil_ > admit;
-        const sim::SimDuration stall = flush(admit, detail);
+        const sim::SimDuration stall =
+            flush(admit, detail, FlushReason::Full);
         if (detail != nullptr) {
             detail->triggeredFlush = true;
             detail->waitTime += stall;
@@ -194,7 +246,8 @@ Volume::serveRead(sim::SimTime start, uint64_t lpn, uint64_t *payloadOut,
     if (cfg_.readTriggerFlush && !buffer_.empty()) {
         // Paper §III-B3: some devices flush the buffer on every read,
         // no matter how few pages it holds.
-        const sim::SimDuration stall = flush(start, detail);
+        const sim::SimDuration stall =
+            flush(start, detail, FlushReason::ReadTrigger);
         (void)stall;
         ready = nandBusyUntil_;
         if (detail != nullptr)
@@ -204,6 +257,9 @@ Volume::serveRead(sim::SimTime start, uint64_t lpn, uint64_t *payloadOut,
         ++counters_.bufferHits;
         if (detail != nullptr)
             detail->bufferHit = true;
+        if (trace_ != nullptr)
+            trace_->instant("wb", "wb.hit", track_, start,
+                            {{"lpn", static_cast<int64_t>(lpn)}});
         return start + jitter(cfg_.bufferReadTime);
     }
 
@@ -233,7 +289,13 @@ Volume::serveRead(sim::SimTime start, uint64_t lpn, uint64_t *payloadOut,
 
     readGate_ = ready + cfg_.nandTiming.readLatency /
                             std::max(1u, cfg_.readParallelism);
-    return ready + jitter(cfg_.readOverheadTime + nandLat);
+    const sim::SimDuration service = jitter(cfg_.readOverheadTime + nandLat);
+    if (trace_ != nullptr)
+        trace_->complete("nand", "nand.read", track_, ready, service,
+                         {{"lpn", static_cast<int64_t>(lpn)},
+                          {"wait_ns", std::max<sim::SimDuration>(
+                                          0, ready - start)}});
+    return ready + service;
 }
 
 void
@@ -257,6 +319,38 @@ Volume::prefill(uint64_t stampBase)
     // now so the first measured request doesn't eat a giant GC.
     if (gc_->needed())
         gc_->collect();
+}
+
+void
+Volume::attachObservability(const obs::Sink &sink, const std::string &device)
+{
+    trace_ = sink.trace;
+    track_ = obs::TraceTrack{obs::kDevicePid, volumeIndex_};
+    if (sink.metrics != nullptr) {
+        obs::Registry &reg = *sink.metrics;
+        const obs::Labels labels = {
+            {"device", device}, {"volume", std::to_string(volumeIndex_)}};
+        reg.exportCounter("vol_writes", labels, &counters_.writes);
+        reg.exportCounter("vol_reads", labels, &counters_.reads);
+        reg.exportCounter("vol_flushes", labels, &counters_.flushes);
+        reg.exportCounter("vol_backpressure_stalls", labels,
+                          &counters_.backpressureStalls);
+        reg.exportCounter("vol_gc_invocations", labels,
+                          &counters_.gcInvocations);
+        reg.exportCounter("vol_gc_blocks_erased", labels,
+                          &counters_.gcBlocksErased);
+        reg.exportCounter("vol_gc_pages_moved", labels,
+                          &counters_.gcPagesMoved);
+        reg.exportCounter("vol_slc_migrations", labels,
+                          &counters_.slcMigrations);
+        reg.exportCounter("vol_buffer_hits", labels, &counters_.bufferHits);
+        reg.exportCounter("vol_wear_level_moves", labels,
+                          &counters_.wearLevelMoves);
+        reg.exportCounter("vol_read_refresh_moves", labels,
+                          &counters_.readRefreshMoves);
+        reg.exportCounter("vol_retired_blocks", labels,
+                          &counters_.retiredBlocks);
+    }
 }
 
 bool

@@ -20,8 +20,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "nand/nand_array.h"
+#include "obs/sink.h"
 #include "sim/rng.h"
 #include "sim/sim_time.h"
 #include "ssd/fault_injector.h"
@@ -144,14 +147,28 @@ class Volume
     /** Apply a firmware-drift change of the buffer capacity. */
     void setBufferCapacity(uint32_t pages) { buffer_.setCapacity(pages); }
 
+    /**
+     * Attach observability targets (cold path, before the run): the
+     * volume emits wb/gc/slc/nand trace events on the device track for
+     * this volume index and exports its counters onto the registry
+     * under {device=@p device, volume=<index>} labels.
+     */
+    void attachObservability(const obs::Sink &sink,
+                             const std::string &device);
+
   private:
+    /** Why flush() fired (trace annotation, paper §III-B3). */
+    enum class FlushReason : uint8_t { Full, ReadTrigger };
+
+
     /**
      * Drain the buffer into NAND starting no earlier than @p at.
      * Updates nandBusyUntil_ and runs SLC migration / GC as needed.
      * @return time the triggering request waited for a free buffer
      *         (backpressure stall; 0 when none).
      */
-    sim::SimDuration flush(sim::SimTime at, IoDetail *detail);
+    sim::SimDuration flush(sim::SimTime at, IoDetail *detail,
+                           FlushReason reason);
 
     /** Apply lognormal jitter to a service-time component. */
     sim::SimDuration jitter(sim::SimDuration d);
@@ -178,6 +195,11 @@ class Volume
     uint64_t slcCycleCapacity_ = 0;
 
     VolumeCounters counters_;
+
+    // Observability (null/unused until attachObservability()).
+    obs::TraceRecorder *trace_ = nullptr;
+    obs::TraceTrack track_{obs::kDevicePid, 0};
+    std::vector<GcVictim> victimScratch_; ///< Reused across GC runs.
 };
 
 } // namespace ssdcheck::ssd

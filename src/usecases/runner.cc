@@ -23,21 +23,6 @@ record(StreamResult &out, const blockdev::IoRequest &req,
        const blockdev::IoResult &res)
 {
     const sim::SimTime complete = res.completeTime;
-    switch (res.status) {
-      case blockdev::IoStatus::Ok:
-        break;
-      case blockdev::IoStatus::MediaError:
-        ++out.mediaErrors;
-        break;
-      case blockdev::IoStatus::Timeout:
-        ++out.timeouts;
-        break;
-      case blockdev::IoStatus::DeviceFault:
-        ++out.deviceFaults;
-        break;
-    }
-    if (res.attempts > 1)
-        ++out.retriedRequests;
     const sim::SimDuration lat = complete - baseline;
     out.latency.add(lat);
     if (req.isRead())

@@ -41,17 +41,9 @@ struct StreamResult
     sim::SimTime endTime = 0;
     uint64_t requests = 0;
     uint64_t bytes = 0;
-    // Error accounting (nonzero only on faulty devices).
-    uint64_t mediaErrors = 0;
-    uint64_t timeouts = 0;
-    uint64_t deviceFaults = 0;
-    uint64_t retriedRequests = 0; ///< Requests needing > 1 attempt.
-
-    /** Failed completions of any status. */
-    uint64_t ioErrors() const
-    {
-        return mediaErrors + timeouts + deviceFaults;
-    }
+    // Error accounting lives on the resilient path / registry
+    // (ResilienceCounters, obs::Registry) — the replay engines no
+    // longer keep a second tally.
 
     /** Mean throughput over the stream's lifetime in MB/s. */
     double throughputMbps() const;

@@ -1,0 +1,20 @@
+// Fixture: console I/O inside a library dir. Two findings expected —
+// the std::cout stream use and the printf call. The snprintf below is
+// legal (formats into a buffer, no I/O).
+#include <cstdio>
+#include <iostream>
+
+void
+debugDump(int fill)
+{
+    std::cout << "fill=" << fill << "\n";
+}
+
+void
+debugPrint(int fill)
+{
+    std::printf("fill=%d\n", fill);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "fill=%d", fill);
+    (void)buf;
+}

@@ -1,0 +1,9 @@
+// Fixture: the same console I/O outside the library dirs — src/stats
+// is a reporting layer, so R5 does not apply and nothing is flagged.
+#include <iostream>
+
+void
+printReport(int fill)
+{
+    std::cout << "fill=" << fill << "\n";
+}

@@ -134,6 +134,25 @@ TEST(LintRules, StdFunctionFlaggedOnHotPathOnly)
     EXPECT_TRUE(ok.findings.empty());
 }
 
+TEST(LintRules, ConsoleIoFlaggedInLibraryDirs)
+{
+    const lint::LintResult r = runCase("consoleio");
+    ASSERT_EQ(r.findings.size(), 2u);
+    for (const auto &f : r.findings) {
+        EXPECT_EQ(f.rule, "console-io");
+        EXPECT_EQ(f.file, "src/ssd/chatty.cc");
+    }
+    EXPECT_EQ(r.findings[0].line, 10u); // std::cout
+    EXPECT_EQ(r.findings[1].line, 16u); // std::printf(; snprintf legal
+}
+
+TEST(LintRules, ConsoleIoAllowedInReportingLayer)
+{
+    const lint::LintResult r = runCase("consoleio_allowed");
+    EXPECT_TRUE(r.findings.empty())
+        << (r.findings.empty() ? "" : r.findings[0].format());
+}
+
 TEST(LintRules, IncludeGuardHeaderNeedsPragmaOnce)
 {
     const lint::LintResult r = runCase("pragma");

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests of the misprediction audit log: cause-classification
+ * precedence, report bucketing, and the JSONL round trip the
+ * tools/audit binary consumes.
+ */
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/audit_log.h"
+#include "sim/sim_time.h"
+
+namespace ssdcheck::obs {
+namespace {
+
+constexpr sim::SimDuration kGcThreshold = sim::milliseconds(3);
+
+AuditRecord
+hlMiss(sim::SimDuration actualNs)
+{
+    AuditRecord r;
+    r.actualNs = actualNs;
+    r.actualHl = true;
+    r.predictedHl = false;
+    r.flushEstimateNs = sim::microseconds(400);
+    return r;
+}
+
+TEST(ClassifyAudit, NonMissesAreNone)
+{
+    AuditRecord hit = hlMiss(sim::milliseconds(5));
+    hit.predictedHl = true; // correctly called: not a miss
+    EXPECT_EQ(classifyAudit(hit, kGcThreshold), AuditCause::None);
+
+    AuditRecord nl;
+    nl.actualHl = false;
+    nl.status = 1; // even a faulted NL request is not an HL miss
+    EXPECT_EQ(classifyAudit(nl, kGcThreshold), AuditCause::None);
+}
+
+TEST(ClassifyAudit, FaultTaintTrumpsMagnitude)
+{
+    AuditRecord r = hlMiss(sim::milliseconds(10)); // GC-magnitude...
+    r.status = 2;
+    EXPECT_EQ(classifyAudit(r, kGcThreshold), AuditCause::FaultTaint);
+    r.status = 0;
+    r.attempts = 3; // ...or host-retried: still taint first.
+    EXPECT_EQ(classifyAudit(r, kGcThreshold), AuditCause::FaultTaint);
+}
+
+TEST(ClassifyAudit, GcMagnitudeTrumpsFlushMagnitude)
+{
+    const AuditRecord r = hlMiss(kGcThreshold + 1);
+    EXPECT_EQ(classifyAudit(r, kGcThreshold), AuditCause::GcDrift);
+    // At exactly the threshold it is not GC-magnitude.
+    EXPECT_EQ(classifyAudit(hlMiss(kGcThreshold), kGcThreshold),
+              AuditCause::UnmodeledFlush);
+    // Threshold 0 = unknown threshold: never classify as GC.
+    EXPECT_EQ(classifyAudit(r, 0), AuditCause::UnmodeledFlush);
+}
+
+TEST(ClassifyAudit, FlushBandIsHalfTheCalibratedEstimate)
+{
+    AuditRecord r = hlMiss(sim::microseconds(200)); // exactly half
+    EXPECT_EQ(classifyAudit(r, kGcThreshold), AuditCause::UnmodeledFlush);
+    r.actualNs = sim::microseconds(199);
+    EXPECT_EQ(classifyAudit(r, kGcThreshold), AuditCause::Unknown);
+    r.flushEstimateNs = 0; // uncalibrated: cannot claim flush
+    r.actualNs = sim::microseconds(300);
+    EXPECT_EQ(classifyAudit(r, kGcThreshold), AuditCause::Unknown);
+}
+
+TEST(AuditLog, AnalyzeBucketsByCause)
+{
+    AuditLog log(kGcThreshold);
+    log.add(hlMiss(sim::milliseconds(5)));  // gc-drift
+    log.add(hlMiss(sim::microseconds(300))); // unmodeled-flush
+    AuditRecord taint = hlMiss(sim::milliseconds(5));
+    taint.attempts = 2;
+    log.add(taint);
+    AuditRecord hit = hlMiss(sim::milliseconds(5));
+    hit.predictedHl = true; // HL event, correctly predicted
+    log.add(hit);
+    AuditRecord nl;
+    log.add(nl);
+
+    const AuditReport rep = log.analyze();
+    EXPECT_EQ(rep.total, 5u);
+    EXPECT_EQ(rep.hlEvents, 4u);
+    EXPECT_EQ(rep.hlMisses, 3u);
+    EXPECT_EQ(rep.gcDrift, 1u);
+    EXPECT_EQ(rep.unmodeledFlush, 1u);
+    EXPECT_EQ(rep.faultTaint, 1u);
+    EXPECT_EQ(rep.unknown, 0u);
+    EXPECT_EQ(log.causeOf(0), AuditCause::GcDrift);
+
+    const std::string text = rep.format();
+    EXPECT_NE(text.find("HL misses:          3"), std::string::npos) << text;
+    EXPECT_NE(text.find("gc-drift:         1 (33.3%)"), std::string::npos)
+        << text;
+}
+
+TEST(AuditLog, JsonlRoundTripPreservesEveryField)
+{
+    AuditLog log(kGcThreshold);
+    AuditRecord r;
+    r.submit = sim::seconds(2);
+    r.actualNs = sim::milliseconds(4);
+    r.predictedEetNs = sim::microseconds(120);
+    r.type = 2;
+    r.status = 0;
+    r.attempts = 1;
+    r.predictedHl = false;
+    r.actualHl = true;
+    r.flushExpected = true;
+    r.gcExpected = false;
+    r.volume = 3;
+    r.bufferCounter = 17;
+    r.bufferSize = 62;
+    r.gcIntervalCounter = 40;
+    r.flushEstimateNs = sim::microseconds(400);
+    r.gcEstimateNs = sim::milliseconds(6);
+    log.add(r);
+
+    std::ostringstream os;
+    log.writeJsonl(os);
+    const std::string line = os.str();
+    EXPECT_NE(line.find("\"actual_ns\":4000000"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"cause\":\"gc-drift\""), std::string::npos) << line;
+
+    std::istringstream is(line);
+    AuditLog back(kGcThreshold);
+    ASSERT_TRUE(AuditLog::readJsonl(is, &back));
+    ASSERT_EQ(back.size(), 1u);
+    const AuditRecord &b = back.records()[0];
+    EXPECT_EQ(b.submit, r.submit);
+    EXPECT_EQ(b.actualNs, r.actualNs);
+    EXPECT_EQ(b.predictedEetNs, r.predictedEetNs);
+    EXPECT_EQ(b.type, r.type);
+    EXPECT_EQ(b.status, r.status);
+    EXPECT_EQ(b.attempts, r.attempts);
+    EXPECT_EQ(b.predictedHl, r.predictedHl);
+    EXPECT_EQ(b.actualHl, r.actualHl);
+    EXPECT_EQ(b.flushExpected, r.flushExpected);
+    EXPECT_EQ(b.gcExpected, r.gcExpected);
+    EXPECT_EQ(b.volume, r.volume);
+    EXPECT_EQ(b.bufferCounter, r.bufferCounter);
+    EXPECT_EQ(b.bufferSize, r.bufferSize);
+    EXPECT_EQ(b.gcIntervalCounter, r.gcIntervalCounter);
+    EXPECT_EQ(b.flushEstimateNs, r.flushEstimateNs);
+    EXPECT_EQ(b.gcEstimateNs, r.gcEstimateNs);
+    // The re-read log classifies identically.
+    EXPECT_EQ(back.causeOf(0), log.causeOf(0));
+}
+
+TEST(AuditLog, ReadJsonlRejectsMalformedLineWithLineNumber)
+{
+    std::istringstream is("\n{\"submit_ns\":1,\"oops\":2}\n");
+    AuditLog log;
+    size_t errorLine = 0;
+    EXPECT_FALSE(AuditLog::readJsonl(is, &log, &errorLine));
+    EXPECT_EQ(errorLine, 2u); // blank lines are skipped but counted
+    EXPECT_EQ(log.size(), 0u);
+}
+
+} // namespace
+} // namespace ssdcheck::obs

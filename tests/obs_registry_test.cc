@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests of the metrics registry: owned metrics get-or-create,
+ * exported views over component-owned storage, histogram bucketing,
+ * the sim-time timeline, and a golden JSON snapshot guarding the
+ * byte-stable export format.
+ */
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/registry.h"
+#include "sim/sim_time.h"
+
+namespace ssdcheck::obs {
+namespace {
+
+TEST(Registry, CounterGetOrCreateSharesStorage)
+{
+    Registry reg;
+    Counter a = reg.counter("reqs", {{"device", "A"}});
+    Counter b = reg.counter("reqs", {{"device", "A"}});
+    Counter other = reg.counter("reqs", {{"device", "B"}});
+    a.inc();
+    b.inc(2);
+    other.inc(10);
+    EXPECT_EQ(a.value(), 3u);
+    EXPECT_EQ(reg.value("reqs", {{"device", "A"}}), 3);
+    EXPECT_EQ(reg.value("reqs", {{"device", "B"}}), 10);
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_FALSE(reg.value("reqs", {{"device", "C"}}).has_value());
+    EXPECT_FALSE(reg.value("nope").has_value());
+}
+
+TEST(Registry, GaugeSetAndAdd)
+{
+    Registry reg;
+    Gauge g = reg.gauge("depth");
+    g.set(5);
+    g.add(-2);
+    EXPECT_EQ(g.value(), 3);
+    EXPECT_EQ(reg.value("depth"), 3);
+}
+
+TEST(Registry, DefaultHandlesAreInertNotCrashes)
+{
+    Counter c;
+    Gauge g;
+    Histogram h;
+    c.inc();
+    g.set(7);
+    h.observe(1);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Registry, ExportedViewsReadLiveComponentState)
+{
+    Registry reg;
+    uint64_t served = 0;
+    int64_t busyNs = 0;
+    uint8_t state = 2;
+    reg.exportCounter("served", {{"device", "A"}}, &served);
+    reg.exportGauge("busy_ns", {}, &busyNs);
+    reg.exportGauge("state", {}, &state);
+    served = 41;
+    busyNs = -7;
+    EXPECT_EQ(reg.value("served", {{"device", "A"}}), 41);
+    EXPECT_EQ(reg.value("busy_ns"), -7);
+    EXPECT_EQ(reg.value("state"), 2);
+    state = 3; // views track the component, no re-export needed
+    EXPECT_EQ(reg.value("state"), 3);
+}
+
+TEST(Registry, HistogramBucketsInclusiveUpperBound)
+{
+    Registry reg;
+    Histogram h = reg.histogram("lat", {10, 20});
+    h.observe(5);
+    h.observe(10); // inclusive: lands in the le=10 bucket
+    h.observe(15);
+    h.observe(25); // +inf bucket
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 55);
+    // value() reports the observation count for histograms.
+    EXPECT_EQ(reg.value("lat"), 4);
+    const std::string json = reg.toJson(0);
+    EXPECT_NE(json.find("\"buckets\":[{\"le\":10,\"count\":2},"
+                        "{\"le\":20,\"count\":1},"
+                        "{\"le\":\"+inf\",\"count\":1}]"),
+              std::string::npos)
+        << json;
+}
+
+TEST(Registry, TimelineSamplesOnFedSimTime)
+{
+    Registry reg;
+    Counter c = reg.counter("reqs");
+    reg.enableTimeline(sim::milliseconds(1));
+    reg.tick(0); // before the first interval: no sample
+    EXPECT_EQ(reg.timelineSamples(), 0u);
+    c.inc();
+    reg.tick(sim::milliseconds(1)); // first interval boundary
+    c.inc(4);
+    reg.tick(sim::milliseconds(1) + 10); // same window: no sample
+    reg.tick(sim::milliseconds(5)); // idle gap: one sample, not four
+    EXPECT_EQ(reg.timelineSamples(), 2u);
+    const std::string json = reg.toJson(sim::milliseconds(5));
+    EXPECT_NE(json.find("\"timeline_interval_ns\":1000000"),
+              std::string::npos);
+    EXPECT_NE(json.find("{\"time_ns\":1000000,\"values\":[1]}"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("{\"time_ns\":5000000,\"values\":[5]}"),
+              std::string::npos)
+        << json;
+}
+
+TEST(Registry, GoldenSnapshotJson)
+{
+    // Full-snapshot golden: guards name/label/type/value layout and
+    // the no-float guarantee. Update deliberately when the format
+    // changes — downstream tooling parses this.
+    Registry reg;
+    Counter c = reg.counter("reqs", {{"device", "A"}, {"volume", "0"}});
+    c.inc(12);
+    uint64_t served = 99;
+    reg.exportCounter("served", {{"device", "A"}}, &served);
+    Gauge g = reg.gauge("depth");
+    g.set(-3);
+    Histogram h = reg.histogram("lat", {100});
+    h.observe(50);
+    h.observe(500);
+    const std::string expected =
+        "{\"time_ns\":42,\"metrics\":[\n"
+        "{\"name\":\"reqs\",\"labels\":{\"device\":\"A\","
+        "\"volume\":\"0\"},\"type\":\"counter\",\"value\":12},\n"
+        "{\"name\":\"served\",\"labels\":{\"device\":\"A\"},"
+        "\"type\":\"counter\",\"value\":99},\n"
+        "{\"name\":\"depth\",\"labels\":{},\"type\":\"gauge\","
+        "\"value\":-3},\n"
+        "{\"name\":\"lat\",\"labels\":{},\"type\":\"histogram\","
+        "\"count\":2,\"sum\":550,\"buckets\":["
+        "{\"le\":100,\"count\":1},{\"le\":\"+inf\",\"count\":1}]}\n"
+        "]}\n";
+    EXPECT_EQ(reg.toJson(42), expected);
+}
+
+} // namespace
+} // namespace ssdcheck::obs

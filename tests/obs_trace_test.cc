@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests of the TraceRecorder: event capture, Chrome trace-event
+ * JSON shape, arg capping, and byte-identical serialization (the
+ * recorder's determinism contract).
+ */
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace_recorder.h"
+#include "sim/sim_time.h"
+
+namespace ssdcheck::obs {
+namespace {
+
+TEST(TraceRecorder, RecordsCompleteInstantAndCounterEvents)
+{
+    TraceRecorder tr;
+    EXPECT_EQ(tr.events(), 0u);
+    tr.complete("dev", "dev.request", {kDevicePid, kDeviceInterfaceTid},
+                sim::microseconds(1) + 500, sim::microseconds(2),
+                {{"lba", 42}, {"write", 1}});
+    tr.instant("wb", "wb.enqueue", {kDevicePid, 0}, sim::microseconds(3),
+               {{"fill", 7}});
+    tr.counter("queue", {kHostPid, kHostWorkloadTid}, sim::microseconds(4),
+               "depth", 3);
+    EXPECT_EQ(tr.events(), 3u);
+
+    const std::string json = tr.toChromeJson();
+    // Object-format envelope.
+    EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+    // Complete event: fixed-point microsecond ts/dur, track, args.
+    EXPECT_NE(json.find("{\"name\":\"dev.request\",\"cat\":\"dev\","
+                        "\"ph\":\"X\",\"ts\":1.500,\"dur\":2.000,"
+                        "\"pid\":1,\"tid\":65535,"
+                        "\"args\":{\"lba\":42,\"write\":1}}"),
+              std::string::npos)
+        << json;
+    // Instant event carries thread scope.
+    EXPECT_NE(json.find("\"ph\":\"i\",\"ts\":3.000,\"pid\":1,\"tid\":0,"
+                        "\"s\":\"t\",\"args\":{\"fill\":7}"),
+              std::string::npos)
+        << json;
+    // Counter event.
+    EXPECT_NE(json.find("{\"name\":\"queue\",\"cat\":\"counter\","
+                        "\"ph\":\"C\""),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"args\":{\"depth\":3}"), std::string::npos);
+}
+
+TEST(TraceRecorder, MetadataNamesSerializeFirst)
+{
+    TraceRecorder tr;
+    tr.complete("a", "span", {0, 0}, 0, 1);
+    tr.setProcessName(kHostPid, "host");
+    tr.setThreadName({kHostPid, kHostModelTid}, "ssdcheck-model");
+    const std::string json = tr.toChromeJson();
+    const size_t procPos = json.find(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"host\"}}");
+    const size_t threadPos = json.find(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":2,"
+        "\"args\":{\"name\":\"ssdcheck-model\"}}");
+    const size_t spanPos = json.find("\"name\":\"span\"");
+    ASSERT_NE(procPos, std::string::npos) << json;
+    ASSERT_NE(threadPos, std::string::npos) << json;
+    ASSERT_NE(spanPos, std::string::npos);
+    // Metadata renders before every data event regardless of the
+    // order calls were made in.
+    EXPECT_LT(procPos, spanPos);
+    EXPECT_LT(threadPos, spanPos);
+    // Metadata is not counted as an event.
+    EXPECT_EQ(tr.events(), 1u);
+}
+
+TEST(TraceRecorder, ArgsCappedAtKMaxArgs)
+{
+    TraceRecorder tr;
+    tr.complete("c", "busy", {0, 0}, 0, 1,
+                {{"a", 1}, {"b", 2}, {"c", 3}, {"d", 4}, {"e", 5}});
+    const std::string json = tr.toChromeJson();
+    EXPECT_NE(json.find("\"d\":4"), std::string::npos);
+    EXPECT_EQ(json.find("\"e\":5"), std::string::npos) << json;
+}
+
+TEST(TraceRecorder, NegativeTimestampsStayFixedPoint)
+{
+    // Negative sim offsets never happen in real runs, but the writer
+    // must not fall back to float formatting for them either.
+    TraceRecorder tr;
+    tr.instant("t", "early", {0, 0}, -1500);
+    EXPECT_NE(tr.toChromeJson().find("\"ts\":-1.500"), std::string::npos);
+}
+
+TEST(TraceRecorder, SerializationIsByteStable)
+{
+    const auto record = [](TraceRecorder &tr) {
+        tr.setProcessName(kDevicePid, "ssd A");
+        tr.setThreadName({kDevicePid, 0}, "volume 0");
+        for (int i = 0; i < 100; ++i) {
+            tr.complete("nand", "nand.read", {kDevicePid, 0},
+                        sim::microseconds(i), sim::microseconds(1) + i,
+                        {{"lpn", i}, {"wait_ns", 10 * i}});
+            if (i % 7 == 0)
+                tr.instant("gc", "gc.trigger", {kDevicePid, 0},
+                           sim::microseconds(i), {{"free_blocks", i}});
+        }
+    };
+    TraceRecorder a;
+    TraceRecorder b;
+    record(a);
+    record(b);
+    EXPECT_EQ(a.toChromeJson(), b.toChromeJson());
+    // Serializing the same recorder twice is also stable.
+    EXPECT_EQ(a.toChromeJson(), a.toChromeJson());
+}
+
+TEST(TraceRecorder, ClearDropsEventsAndMetadata)
+{
+    TraceRecorder tr;
+    tr.setProcessName(0, "host");
+    tr.instant("x", "y", {0, 0}, 0);
+    tr.clear();
+    EXPECT_EQ(tr.events(), 0u);
+    EXPECT_EQ(tr.toChromeJson().find("host"), std::string::npos);
+}
+
+} // namespace
+} // namespace ssdcheck::obs

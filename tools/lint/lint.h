@@ -6,7 +6,7 @@
  * (config, seed, trace): bit-identical at any --jobs value, on any
  * machine. The type system cannot express that, and the golden tests
  * only catch a violation after it has shipped a wrong number. This
- * little token-level linter closes the gap at review time with four
+ * little token-level linter closes the gap at review time with five
  * rules (see DESIGN.md "Static analysis & determinism invariants"):
  *
  *   wall-clock      (R1) no wall-clock or ambient-entropy sources in
@@ -24,6 +24,11 @@
  *   header-hygiene  (R4) every scanned header starts with
  *                        #pragma once and directly includes the std
  *                        headers for the std names it uses.
+ *   console-io      (R5) no console I/O (std::cout/cerr/clog, printf
+ *                        family) in the library dirs (src/sim,
+ *                        src/ssd, src/nand, src/core, src/blockdev,
+ *                        src/obs) — reporting belongs to tools/ and
+ *                        src/stats; libraries return data.
  *
  * Suppressions: append `// lint:allow(<rule-id>): <reason>` to the
  * offending line. The reason is mandatory — a reasonless allow is
@@ -100,7 +105,7 @@ class Rule
                        std::vector<Finding> &out) const = 0;
 };
 
-/** The repo rule set, R1..R4. */
+/** The repo rule set, R1..R5. */
 std::vector<std::unique_ptr<Rule>> makeDefaultRules();
 
 // -- engine ---------------------------------------------------------------

@@ -1,6 +1,6 @@
 /**
  * @file
- * The four ssdcheck_lint rules. Each is a token-level check over the
+ * The five ssdcheck_lint rules. Each is a token-level check over the
  * pre-lexed (comment/literal-blanked) source; see lint.h for the
  * rationale and DESIGN.md for the rule table.
  */
@@ -52,7 +52,7 @@ underAny(const SourceFile &f, std::initializer_list<const char *> dirs)
 
 /** Dirs whose results must be a pure function of (config, seed). */
 constexpr std::initializer_list<const char *> kDeterministicDirs = {
-    "src/sim", "src/ssd", "src/nand", "src/core"};
+    "src/sim", "src/ssd", "src/nand", "src/core", "src/obs"};
 
 // -- R1: wall-clock -------------------------------------------------------
 
@@ -416,6 +416,61 @@ class HeaderHygieneRule : public Rule
     }
 };
 
+// -- R5: console-io -------------------------------------------------------
+
+class ConsoleIoRule : public Rule
+{
+  public:
+    std::string id() const override { return "console-io"; }
+
+    void check(const SourceFile &f, std::vector<Finding> &out) const override
+    {
+        // The library layers must stay silent: reporting belongs to
+        // tools/ and src/stats (and the obs registry/trace exports).
+        // A stray printf in the device model is both a layering leak
+        // and an unmeasured hot-path cost.
+        if (!underAny(f, {"src/sim", "src/ssd", "src/nand", "src/core",
+                          "src/blockdev", "src/obs"}))
+            return;
+        // Stream objects banned anywhere they are named.
+        static const std::array<const char *, 3> banned = {
+            "cout", "cerr", "clog"};
+        // stdio banned only as a call (`puts` et al. are common words;
+        // snprintf-into-buffer stays legal — it does not do I/O).
+        static const std::array<const char *, 5> bannedCalls = {
+            "printf", "fprintf", "puts", "fputs", "putchar"};
+        for (size_t li = 0; li < f.code.size(); ++li) {
+            const std::string &line = f.code[li];
+            const uint32_t lineNo = static_cast<uint32_t>(li + 1);
+            for (const char *word : banned)
+                findWord(line, word, false, lineNo, f, out);
+            for (const char *word : bannedCalls)
+                findWord(line, word, true, lineNo, f, out);
+        }
+    }
+
+  private:
+    void findWord(const std::string &line, const std::string &word,
+                  bool callOnly, uint32_t lineNo, const SourceFile &f,
+                  std::vector<Finding> &out) const
+    {
+        size_t pos = 0;
+        while ((pos = line.find(word, pos)) != std::string::npos) {
+            const size_t after = pos + word.size();
+            if (wholeWord(line, pos, word.size()) &&
+                (!callOnly || (skipSpaces(line, after) < line.size() &&
+                               line[skipSpaces(line, after)] == '('))) {
+                out.push_back(Finding{
+                    f.relPath, lineNo, id(),
+                    "`" + word +
+                        "` in a library dir — console I/O belongs to "
+                        "tools/ or src/stats; return data instead"});
+            }
+            pos = after;
+        }
+    }
+};
+
 } // namespace
 
 std::vector<std::unique_ptr<Rule>>
@@ -426,6 +481,7 @@ makeDefaultRules()
     rules.push_back(std::make_unique<UnorderedIterRule>());
     rules.push_back(std::make_unique<StdFunctionRule>());
     rules.push_back(std::make_unique<HeaderHygieneRule>());
+    rules.push_back(std::make_unique<ConsoleIoRule>());
     return rules;
 }
 

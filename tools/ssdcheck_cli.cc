@@ -21,6 +21,14 @@
  *   ssdcheck replay --device X --trace FILE
  *       Replay a saved trace and print the latency distribution.
  *
+ *   ssdcheck trace --device X [--workload NAME] [--scale F]
+ *                  [--out FILE] [--metrics-out FILE] [--audit-out FILE]
+ *                  [--timeline-ms N] [--supervisor] [--faults PROFILE]
+ *       Run the accuracy replay with full observability attached:
+ *       write a Chrome trace-event JSON (open in chrome://tracing or
+ *       Perfetto), a metrics-registry snapshot and a misprediction
+ *       audit JSONL, then print the audit report.
+ *
  *   ssdcheck faults
  *       List the fault-injection profiles.
  *
@@ -50,6 +58,7 @@
 #include "core/accuracy.h"
 #include "core/health_supervisor.h"
 #include "core/ssdcheck.h"
+#include "obs/sink.h"
 #include "perf/grid.h"
 #include "perf/thread_pool.h"
 #include "ssd/fault_injector.h"
@@ -149,7 +158,54 @@ printFaultReport(const ssd::SsdDevice &dev,
     t.row({"host: retries issued", std::to_string(rc.retries)});
     t.row({"host: recovered by retry", std::to_string(rc.recovered)});
     t.row({"host: retries exhausted", std::to_string(rc.exhausted)});
+    t.row({"host: errored requests", std::to_string(rc.erroredRequests)});
     t.print(std::cout);
+}
+
+/** Attach one sink to the whole stack (device, resilient path, model,
+ *  optional supervisor) and name the trace tracks. */
+void
+attachStack(const obs::Sink &sink, ssd::SsdDevice &dev,
+            blockdev::ResilientDevice &rdev, core::SsdCheck &check,
+            core::HealthSupervisor *sup)
+{
+    dev.attachObservability(sink);
+    rdev.attachObservability(sink);
+    check.attachObservability(sink);
+    if (sup != nullptr)
+        sup->attachObservability(sink);
+    if (sink.trace != nullptr) {
+        obs::TraceRecorder &tr = *sink.trace;
+        tr.setProcessName(obs::kHostPid, "host");
+        tr.setProcessName(obs::kDevicePid, "ssd " + dev.name());
+        tr.setThreadName({obs::kHostPid, obs::kHostWorkloadTid},
+                         "workload");
+        tr.setThreadName({obs::kHostPid, obs::kHostResilientTid},
+                         "resilient-io");
+        tr.setThreadName({obs::kHostPid, obs::kHostModelTid},
+                         "ssdcheck-model");
+        tr.setThreadName({obs::kHostPid, obs::kHostSupervisorTid},
+                         "supervisor");
+        tr.setThreadName({obs::kDevicePid, obs::kDeviceInterfaceTid},
+                         "interface");
+        for (uint32_t v = 0; v < dev.config().numVolumes(); ++v)
+            tr.setThreadName({obs::kDevicePid, v},
+                             "volume " + std::to_string(v));
+    }
+}
+
+/** Write @p body via @p writer to @p path; false + stderr on failure. */
+template <typename Writer>
+bool
+writeFile(const std::string &path, Writer &&writer)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return false;
+    }
+    writer(os);
+    return true;
 }
 
 workload::SniaWorkload
@@ -223,11 +279,35 @@ cmdAccuracy(const Args &args)
     std::unique_ptr<core::HealthSupervisor> sup;
     if (args.has("supervisor"))
         sup = std::make_unique<core::HealthSupervisor>(check, rdev);
+
+    // Optional metrics snapshot of the run (registry views over every
+    // layer's counters; attaching never changes the results).
+    obs::Registry registry;
+    obs::Sink sink;
+    const bool wantMetrics = args.has("metrics-out");
+    if (wantMetrics) {
+        sink.metrics = &registry;
+        if (args.has("timeline-ms"))
+            registry.enableTimeline(sim::milliseconds(
+                std::stoll(args.get("timeline-ms", "100"))));
+        attachStack(sink, *dev, rdev, check, sup.get());
+    }
+
     dev->precondition();
     const auto trace =
         workload::buildSniaTrace(w, dev->capacityPages(), scale);
+    sim::SimTime end = 0;
     const auto acc = core::evaluatePredictionAccuracy(
-        rdev, check, trace, runner.now(), nullptr, sup.get());
+        rdev, check, trace, runner.now(), &end, sup.get(),
+        wantMetrics ? &sink : nullptr);
+    if (wantMetrics) {
+        const std::string path = args.get("metrics-out", "metrics.json");
+        if (!writeFile(path,
+                       [&](std::ostream &os) { registry.writeJson(os, end); }))
+            return 2;
+        std::printf("wrote %zu metrics to %s\n", registry.size(),
+                    path.c_str());
+    }
     std::printf("workload: %s (%zu requests, HL fraction %.2f%%)\n",
                 trace.name().c_str(), trace.size(),
                 acc.hlFraction() * 100);
@@ -328,13 +408,99 @@ cmdReplay(const Args &args)
         std::printf("  p%-5.1f %s\n", p,
                     sim::formatDuration(res.latency.percentile(p)).c_str());
     }
-    if (res.ioErrors() > 0 || res.retriedRequests > 0)
+    // Error accounting comes from the resilient path's counters (the
+    // single tally; replay engines no longer duplicate it).
+    const blockdev::ResilienceCounters &rc = rdev.counters();
+    if (rc.erroredRequests > 0 || rc.retries > 0)
         std::printf("errors: %llu media, %llu timeout, %llu fault; "
-                    "%llu requests needed retries\n",
-                    static_cast<unsigned long long>(res.mediaErrors),
-                    static_cast<unsigned long long>(res.timeouts),
-                    static_cast<unsigned long long>(res.deviceFaults),
-                    static_cast<unsigned long long>(res.retriedRequests));
+                    "%llu of %llu requests errored (%.2f%%)\n",
+                    static_cast<unsigned long long>(rc.mediaErrors),
+                    static_cast<unsigned long long>(rc.timeouts),
+                    static_cast<unsigned long long>(rc.deviceFaults),
+                    static_cast<unsigned long long>(rc.erroredRequests),
+                    static_cast<unsigned long long>(rc.submissions),
+                    rc.errorRate() * 100);
+    printFaultReport(*dev, rdev);
+    return 0;
+}
+
+int
+cmdTrace(const Args &args)
+{
+    auto dev = makeDevice(args.get("device", "A"), args);
+    if (!dev)
+        return 2;
+    bool ok = true;
+    const auto w = workloadByName(args.get("workload", "RW Mixed"), &ok);
+    if (!ok) {
+        std::fprintf(stderr, "unknown workload\n");
+        return 2;
+    }
+    const double scale = std::stod(args.get("scale", "0.05"));
+
+    blockdev::ResilientDevice rdev(*dev);
+    ssd::SsdConfig cleanCfg = dev->config();
+    cleanCfg.faults = ssd::FaultProfile{};
+    ssd::SsdDevice cleanDev(cleanCfg);
+    core::DiagnosisRunner runner(cleanDev, core::DiagnosisConfig{});
+    const core::FeatureSet fs = runner.extractFeatures();
+    if (!fs.bufferModelUsable()) {
+        std::fprintf(stderr,
+                     "no usable buffer model; nothing to trace\n");
+        return 2;
+    }
+    core::SsdCheck check(fs);
+    std::unique_ptr<core::HealthSupervisor> sup;
+    if (args.has("supervisor"))
+        sup = std::make_unique<core::HealthSupervisor>(check, rdev);
+
+    obs::TraceRecorder recorder;
+    obs::Registry registry;
+    obs::AuditLog audit;
+    const obs::Sink sink{&recorder, &registry, &audit};
+    if (args.has("timeline-ms"))
+        registry.enableTimeline(
+            sim::milliseconds(std::stoll(args.get("timeline-ms", "100"))));
+    attachStack(sink, *dev, rdev, check, sup.get());
+
+    dev->precondition();
+    const auto trace =
+        workload::buildSniaTrace(w, dev->capacityPages(), scale);
+    sim::SimTime end = 0;
+    const auto acc = core::evaluatePredictionAccuracy(
+        rdev, check, trace, runner.now(), &end, sup.get(), &sink);
+    std::printf("workload: %s (%zu requests, HL fraction %.2f%%)\n"
+                "NL accuracy: %.2f%%\nHL accuracy: %.2f%%\n",
+                trace.name().c_str(), trace.size(),
+                acc.hlFraction() * 100, acc.nlAccuracy() * 100,
+                acc.hlAccuracy() * 100);
+
+    const std::string tracePath = args.get("out", "trace.json");
+    if (!writeFile(tracePath,
+                   [&](std::ostream &os) { recorder.writeChromeJson(os); }))
+        return 2;
+    std::printf("wrote %zu trace events to %s "
+                "(open in chrome://tracing or ui.perfetto.dev)\n",
+                recorder.events(), tracePath.c_str());
+    if (args.has("metrics-out")) {
+        const std::string path = args.get("metrics-out", "metrics.json");
+        if (!writeFile(path,
+                       [&](std::ostream &os) { registry.writeJson(os, end); }))
+            return 2;
+        std::printf("wrote %zu metrics to %s\n", registry.size(),
+                    path.c_str());
+    }
+    if (args.has("audit-out")) {
+        const std::string path = args.get("audit-out", "audit.jsonl");
+        if (!writeFile(path,
+                       [&](std::ostream &os) { audit.writeJsonl(os); }))
+            return 2;
+        std::printf("wrote %zu audit records to %s\n", audit.size(),
+                    path.c_str());
+    }
+
+    stats::printBanner(std::cout, "misprediction audit");
+    std::printf("%s", audit.analyze().format().c_str());
     printFaultReport(*dev, rdev);
     return 0;
 }
@@ -438,6 +604,12 @@ usage()
         "  accuracy   --device X [--workload NAME] [--scale F]"
         " [--faults PROFILE]\n"
         "             [--supervisor] [--min-recovered-accuracy F]\n"
+        "             [--metrics-out FILE] [--timeline-ms N]\n"
+        "  trace      --device X [--workload NAME] [--scale F]"
+        " [--faults PROFILE]\n"
+        "             [--out FILE] [--metrics-out FILE]"
+        " [--audit-out FILE]\n"
+        "             [--timeline-ms N] [--supervisor]\n"
         "  synth      --workload NAME --out FILE [--scale F] [--span P]\n"
         "  replay     --device X --trace FILE [--faults PROFILE]\n"
         "  faults\n"
@@ -462,6 +634,8 @@ main(int argc, char **argv)
         return cmdSynth(args);
     if (args.command == "replay")
         return cmdReplay(args);
+    if (args.command == "trace")
+        return cmdTrace(args);
     if (args.command == "bench")
         return cmdBench(args);
     if (args.command == "faults")
