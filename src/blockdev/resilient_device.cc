@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "recovery/state_io.h"
+
 namespace ssdcheck::blockdev {
 
 ResilientDevice::ResilientDevice(BlockDevice &inner, ResilienceConfig cfg)
@@ -153,6 +155,35 @@ ResilientDevice::attachObservability(const obs::Sink &sink)
         reg.exportCounter("res_errored_requests", labels,
                           &counters_.erroredRequests);
     }
+}
+
+void
+ResilientDevice::saveState(recovery::StateWriter &w) const
+{
+    w.u64(counters_.mediaErrors);
+    w.u64(counters_.timeouts);
+    w.u64(counters_.deviceFaults);
+    w.u64(counters_.retries);
+    w.u64(counters_.recovered);
+    w.u64(counters_.exhausted);
+    w.u64(counters_.submissions);
+    w.u64(counters_.erroredRequests);
+    w.i64(innerClock_);
+}
+
+bool
+ResilientDevice::loadState(recovery::StateReader &r)
+{
+    counters_.mediaErrors = r.u64();
+    counters_.timeouts = r.u64();
+    counters_.deviceFaults = r.u64();
+    counters_.retries = r.u64();
+    counters_.recovered = r.u64();
+    counters_.exhausted = r.u64();
+    counters_.submissions = r.u64();
+    counters_.erroredRequests = r.u64();
+    innerClock_ = r.i64();
+    return r.ok();
 }
 
 } // namespace ssdcheck::blockdev

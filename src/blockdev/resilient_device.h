@@ -33,6 +33,11 @@
 #include "blockdev/block_device.h"
 #include "obs/sink.h"
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::blockdev {
 
 /** Retry/backoff/timeout policy of the resilient path. */
@@ -111,6 +116,12 @@ class ResilientDevice : public BlockDevice
      * more than one attempt), so the healthy hot path stays silent.
      */
     void attachObservability(const obs::Sink &sink);
+
+    /** Serialize counters and the inner-clock high-water mark. */
+    void saveState(recovery::StateWriter &w) const;
+
+    /** Restore state saved by saveState(). @return reader still ok. */
+    bool loadState(recovery::StateReader &r);
 
   private:
     BlockDevice &inner_;

@@ -1,5 +1,7 @@
 #include "core/calibrator.h"
 
+#include "recovery/state_io.h"
+
 namespace ssdcheck::core {
 
 Calibrator::Calibrator(CalibratorConfig cfg)
@@ -89,6 +91,35 @@ Calibrator::exportMetrics(obs::Registry &reg,
     reg.exportCounter("cal_history_resets", labels, &historyResets_);
     reg.exportCounter("cal_low_accuracy_streak", labels,
                       &lowAccuracyStreak_);
+}
+
+void
+Calibrator::saveState(recovery::StateWriter &w) const
+{
+    w.i64(readService_);
+    w.i64(writeService_);
+    w.i64(flushOverhead_);
+    w.i64(gcOverhead_);
+    w.u64(observations_);
+    w.u64(lowAccuracyStreak_);
+    w.u64(historyResets_);
+    w.u64(bufferResyncs_);
+    w.boolean(enabled_);
+}
+
+bool
+Calibrator::loadState(recovery::StateReader &r)
+{
+    readService_ = r.i64();
+    writeService_ = r.i64();
+    flushOverhead_ = r.i64();
+    gcOverhead_ = r.i64();
+    observations_ = r.u64();
+    lowAccuracyStreak_ = r.u64();
+    historyResets_ = r.u64();
+    bufferResyncs_ = r.u64();
+    enabled_ = r.boolean();
+    return r.ok();
 }
 
 } // namespace ssdcheck::core

@@ -16,6 +16,11 @@
 #include "obs/registry.h"
 #include "sim/sim_time.h"
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::core {
 
 /** Calibrator tunables. */
@@ -102,6 +107,12 @@ class Calibrator
      *  views (cold path; this calibrator must outlive the registry
      *  snapshot). */
     void exportMetrics(obs::Registry &reg, const obs::Labels &labels) const;
+
+    /** Serialize EWMA estimates and health counters. */
+    void saveState(recovery::StateWriter &w) const;
+
+    /** Restore state saved by saveState(). @return reader still ok. */
+    bool loadState(recovery::StateReader &r);
 
   private:
     void ewma(sim::SimDuration &est, sim::SimDuration sample);

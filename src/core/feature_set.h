@@ -12,6 +12,11 @@
 #include <string>
 #include <vector>
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::core {
 
 /** Write-buffer acknowledgement style, as diagnosed (§III-B3). */
@@ -73,6 +78,16 @@ struct FeatureSet
  * (concatenation of the addressed bit values, LSB first).
  */
 uint32_t volumeIndexOf(const std::vector<uint32_t> &bits, uint64_t lba);
+
+/**
+ * Serialize a FeatureSet. Features must travel in snapshots: after a
+ * supervisor hot-swap they are no longer derivable from the original
+ * diagnosis, so a resumed run restores them rather than re-diagnosing.
+ */
+void saveState(const FeatureSet &fs, recovery::StateWriter &w);
+
+/** Restore a FeatureSet saved by saveState(). @return reader still ok. */
+bool loadState(FeatureSet &fs, recovery::StateReader &r);
 
 } // namespace ssdcheck::core
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "recovery/state_io.h"
+
 namespace ssdcheck::core {
 
 GcModel::GcModel(GcModelConfig cfg) : cfg_(cfg) {}
@@ -43,6 +45,30 @@ GcModel::resetHistory()
 {
     history_.clear();
     intervalCounter_ = 0;
+}
+
+void
+GcModel::saveState(recovery::StateWriter &w) const
+{
+    w.u32(intervalCounter_);
+    w.u32(static_cast<uint32_t>(history_.size()));
+    for (uint32_t h : history_)
+        w.u32(h);
+}
+
+bool
+GcModel::loadState(recovery::StateReader &r)
+{
+    intervalCounter_ = r.u32();
+    const uint64_t n = r.checkCount(r.u32(), 4);
+    if (r.ok() && n > cfg_.historyWindow) {
+        r.fail("GC history longer than the configured window");
+        return false;
+    }
+    history_.clear();
+    for (uint64_t i = 0; i < n; ++i)
+        history_.push_back(r.u32());
+    return r.ok();
 }
 
 } // namespace ssdcheck::core

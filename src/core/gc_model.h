@@ -14,6 +14,11 @@
 #include <cstdint>
 #include <deque>
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::core {
 
 /** Tunables of the GC interval model. */
@@ -49,6 +54,12 @@ class GcModel
 
     uint32_t intervalCounter() const { return intervalCounter_; }
     const std::deque<uint32_t> &history() const { return history_; }
+
+    /** Serialize the interval counter and history window. */
+    void saveState(recovery::StateWriter &w) const;
+
+    /** Restore state saved by saveState(). @return reader still ok. */
+    bool loadState(recovery::StateReader &r);
 
   private:
     /** Current quantile estimate (0 when history too short). */

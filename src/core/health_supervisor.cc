@@ -6,6 +6,8 @@
 #include "core/diagnosis.h"
 #include "stats/chi_squared.h"
 
+#include "recovery/state_io.h"
+
 namespace ssdcheck::core {
 
 using blockdev::IoRequest;
@@ -450,6 +452,117 @@ HealthSupervisor::report() const
        << " deferred for budget\n";
     os << "recoveries: " << counters_.recoveries << "\n";
     return os.str();
+}
+
+void
+HealthSupervisor::saveState(recovery::StateWriter &w) const
+{
+    rng_.saveState(w);
+    w.u8(static_cast<uint8_t>(state_));
+    w.u64(counters_.sweeps);
+    w.u64(counters_.accuracyCollapses);
+    w.u64(counters_.resyncChurnAlarms);
+    w.u64(counters_.latencyShiftAlarms);
+    w.u64(counters_.suspectEntries);
+    w.u64(counters_.falseAlarms);
+    w.u64(counters_.degradedEntries);
+    w.u64(counters_.rediagnoseAttempts);
+    w.u64(counters_.rediagnoseFailures);
+    w.u64(counters_.hotSwaps);
+    w.u64(counters_.relapses);
+    w.u64(counters_.recoveries);
+    w.u64(counters_.probesIssued);
+    w.u64(counters_.probeWrites);
+    w.u64(counters_.probeReads);
+    w.i64(counters_.probeBusyNs);
+    w.u64(counters_.probesDeferred);
+    baseline_.saveState(w);
+    recent_.saveState(w);
+    w.u64(baselineCount_);
+    w.u64(lastResyncs_);
+    w.u64(completions_);
+    w.u32(confirmStreak_);
+    w.u32(clearStreak_);
+    w.u32(static_cast<uint32_t>(probeVolumeBits_.size()));
+    for (uint32_t b : probeVolumeBits_)
+        w.u32(b);
+    w.u64(volumeWrites_);
+    w.u32(static_cast<uint32_t>(eventCounts_.size()));
+    for (uint64_t e : eventCounts_)
+        w.u64(e);
+    w.u32(static_cast<uint32_t>(eventLats_.size()));
+    for (sim::SimDuration d : eventLats_)
+        w.i64(d);
+    w.boolean(inSpike_);
+    w.boolean(probeWriteNext_);
+    w.u32(swapPages_);
+    w.u64(completionsAtRecovery_);
+    w.boolean(started_);
+    w.i64(firstSeen_);
+}
+
+bool
+HealthSupervisor::loadState(recovery::StateReader &r)
+{
+    if (!rng_.loadState(r))
+        return false;
+    const uint8_t state = r.u8();
+    if (r.ok() && state > static_cast<uint8_t>(HealthState::Disabled)) {
+        r.fail("supervisor state value out of range");
+        return false;
+    }
+    state_ = static_cast<HealthState>(state);
+    counters_.sweeps = r.u64();
+    counters_.accuracyCollapses = r.u64();
+    counters_.resyncChurnAlarms = r.u64();
+    counters_.latencyShiftAlarms = r.u64();
+    counters_.suspectEntries = r.u64();
+    counters_.falseAlarms = r.u64();
+    counters_.degradedEntries = r.u64();
+    counters_.rediagnoseAttempts = r.u64();
+    counters_.rediagnoseFailures = r.u64();
+    counters_.hotSwaps = r.u64();
+    counters_.relapses = r.u64();
+    counters_.recoveries = r.u64();
+    counters_.probesIssued = r.u64();
+    counters_.probeWrites = r.u64();
+    counters_.probeReads = r.u64();
+    counters_.probeBusyNs = r.i64();
+    counters_.probesDeferred = r.u64();
+    if (!baseline_.loadState(r) || !recent_.loadState(r))
+        return false;
+    baselineCount_ = r.u64();
+    lastResyncs_ = r.u64();
+    completions_ = r.u64();
+    confirmStreak_ = r.u32();
+    clearStreak_ = r.u32();
+    const uint64_t nBits = r.checkCount(r.u32(), 4);
+    if (r.ok() && nBits > 64) {
+        r.fail("supervisor probe-volume bit list too long");
+        return false;
+    }
+    probeVolumeBits_.clear();
+    for (uint64_t i = 0; i < nBits; ++i)
+        probeVolumeBits_.push_back(r.u32());
+    volumeWrites_ = r.u64();
+    const uint64_t nCounts = r.checkCount(r.u32(), 8);
+    eventCounts_.clear();
+    for (uint64_t i = 0; i < nCounts; ++i)
+        eventCounts_.push_back(r.u64());
+    const uint64_t nLats = r.checkCount(r.u32(), 8);
+    eventLats_.clear();
+    for (uint64_t i = 0; i < nLats; ++i)
+        eventLats_.push_back(r.i64());
+    inSpike_ = r.boolean();
+    probeWriteNext_ = r.boolean();
+    swapPages_ = r.u32();
+    completionsAtRecovery_ = r.u64();
+    started_ = r.boolean();
+    firstSeen_ = r.i64();
+    // Do not replay a state-transition trace instant for the restored
+    // state: the uninterrupted run traced it when it happened.
+    lastTracedState_ = state_;
+    return r.ok();
 }
 
 } // namespace ssdcheck::core

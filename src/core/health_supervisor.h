@@ -54,6 +54,11 @@
 #include "sim/sim_time.h"
 #include "stats/histogram.h"
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::core {
 
 /** Per-device model-health state. */
@@ -201,6 +206,15 @@ class HealthSupervisor
      * track at every state transition.
      */
     void attachObservability(const obs::Sink &sink);
+
+    /**
+     * Serialize the complete supervisor state: state machine, probe
+     * stream, detector histograms and re-diagnosis progress.
+     */
+    void saveState(recovery::StateWriter &w) const;
+
+    /** Restore state saved by saveState() (same configuration). */
+    bool loadState(recovery::StateReader &r);
 
   private:
     void sweep();

@@ -1,5 +1,7 @@
 #include "core/latency_monitor.h"
 
+#include "recovery/state_io.h"
+
 namespace ssdcheck::core {
 
 LatencyMonitor::LatencyMonitor(LatencyThresholds thresholds, uint32_t window)
@@ -58,6 +60,42 @@ LatencyMonitor::rollingNlAccuracy() const
     if (nlTotal_ == 0)
         return 1.0;
     return static_cast<double>(nlCorrect_) / static_cast<double>(nlTotal_);
+}
+
+void
+LatencyMonitor::saveState(recovery::StateWriter &w) const
+{
+    w.u32(static_cast<uint32_t>(outcomes_.size()));
+    for (const Outcome &o : outcomes_) {
+        w.boolean(o.predictedHl);
+        w.boolean(o.actualHl);
+    }
+    w.u32(hlTotal_);
+    w.u32(hlCorrect_);
+    w.u32(nlTotal_);
+    w.u32(nlCorrect_);
+}
+
+bool
+LatencyMonitor::loadState(recovery::StateReader &r)
+{
+    const uint64_t n = r.checkCount(r.u32(), 2);
+    if (r.ok() && n > window_) {
+        r.fail("accuracy window longer than configured");
+        return false;
+    }
+    outcomes_.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+        Outcome o{};
+        o.predictedHl = r.boolean();
+        o.actualHl = r.boolean();
+        outcomes_.push_back(o);
+    }
+    hlTotal_ = r.u32();
+    hlCorrect_ = r.u32();
+    nlTotal_ = r.u32();
+    nlCorrect_ = r.u32();
+    return r.ok();
 }
 
 } // namespace ssdcheck::core

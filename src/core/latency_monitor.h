@@ -12,6 +12,11 @@
 #include "blockdev/request.h"
 #include "sim/sim_time.h"
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::core {
 
 /** NL/HL classification thresholds (paper Table III: 250us). */
@@ -53,6 +58,12 @@ class LatencyMonitor
     uint32_t rollingHlCount() const { return hlTotal_; }
 
     const LatencyThresholds &thresholds() const { return thresholds_; }
+
+    /** Serialize the rolling window and its tallies. */
+    void saveState(recovery::StateWriter &w) const;
+
+    /** Restore state saved by saveState(). @return reader still ok. */
+    bool loadState(recovery::StateReader &r);
 
   private:
     struct Outcome

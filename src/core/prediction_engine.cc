@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "recovery/state_io.h"
+
 namespace ssdcheck::core {
 
 namespace {
@@ -238,6 +240,39 @@ PredictionEngine::secondaryModel(uint32_t volume) const
 {
     assert(volume < volumes_.size());
     return volumes_[volume].sec;
+}
+
+void
+PredictionEngine::saveState(recovery::StateWriter &w) const
+{
+    w.u32(static_cast<uint32_t>(volumes_.size()));
+    for (const VolumeState &s : volumes_) {
+        s.wb.saveState(w);
+        s.gc.saveState(w);
+        s.sec.saveState(w);
+        w.i64(s.ebt);
+        w.u32(s.unexpectedHlStreak);
+        w.boolean(s.gcCharged);
+    }
+}
+
+bool
+PredictionEngine::loadState(recovery::StateReader &r)
+{
+    const uint32_t n = r.u32();
+    if (r.ok() && n != volumes_.size()) {
+        r.fail("engine volume count does not match restored features");
+        return false;
+    }
+    for (VolumeState &s : volumes_) {
+        if (!s.wb.loadState(r) || !s.gc.loadState(r) ||
+            !s.sec.loadState(r))
+            return false;
+        s.ebt = r.i64();
+        s.unexpectedHlStreak = r.u32();
+        s.gcCharged = r.boolean();
+    }
+    return r.ok();
 }
 
 } // namespace ssdcheck::core

@@ -28,6 +28,11 @@
 #include "core/wb_model.h"
 #include "sim/sim_time.h"
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::core {
 
 /** One latency prediction (returned to the host, Fig. 8 step 4). */
@@ -108,6 +113,12 @@ class PredictionEngine
 
     /** Secondary-feature model of a volume (tests/introspection). */
     const SecondaryModel &secondaryModel(uint32_t volume) const;
+
+    /** Serialize per-volume model state (EBT, counters, histories). */
+    void saveState(recovery::StateWriter &w) const;
+
+    /** Restore state saved by saveState() (same features/options). */
+    bool loadState(recovery::StateReader &r);
 
   private:
     struct VolumeState

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "recovery/state_io.h"
+
 namespace ssdcheck::core {
 
 SecondaryModel::SecondaryModel(GcModelConfig cfg)
@@ -92,6 +94,33 @@ SecondaryModel::clusterModel(int cluster) const
 {
     assert(cluster >= 0 && cluster < kClusters);
     return models_[cluster];
+}
+
+void
+SecondaryModel::saveState(recovery::StateWriter &w) const
+{
+    for (const GcModel &m : models_)
+        m.saveState(w);
+    for (double c : logCentroid_)
+        w.f64(c);
+    w.u64(events_);
+}
+
+bool
+SecondaryModel::loadState(recovery::StateReader &r)
+{
+    for (GcModel &m : models_)
+        if (!m.loadState(r))
+            return false;
+    for (double &c : logCentroid_) {
+        c = r.f64();
+        if (r.ok() && !std::isfinite(c)) {
+            r.fail("secondary-model centroid is not finite");
+            return false;
+        }
+    }
+    events_ = r.u64();
+    return r.ok();
 }
 
 } // namespace ssdcheck::core

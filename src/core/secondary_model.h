@@ -19,6 +19,11 @@
 #include "core/gc_model.h"
 #include "sim/sim_time.h"
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::core {
 
 /** Two-cluster event classifier + per-cluster interval models. */
@@ -61,6 +66,12 @@ class SecondaryModel
 
     /** Events observed so far. */
     uint64_t eventsObserved() const { return events_; }
+
+    /** Serialize per-cluster models, centroids and the event count. */
+    void saveState(recovery::StateWriter &w) const;
+
+    /** Restore state saved by saveState(). @return reader still ok. */
+    bool loadState(recovery::StateReader &r);
 
   private:
     /** Cluster whose log-centroid is nearest to @p latency. */

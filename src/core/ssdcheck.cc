@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "recovery/state_io.h"
+
 namespace ssdcheck::core {
 
 namespace {
@@ -183,6 +185,47 @@ bool
 SsdCheck::enabled() const
 {
     return engine_ != nullptr && calibrator_.predictionEnabled();
+}
+
+void
+SsdCheck::saveState(recovery::StateWriter &w) const
+{
+    core::saveState(features_, w);
+    calibrator_.saveState(w);
+    monitor_.saveState(w);
+    w.boolean(engine_ != nullptr);
+    if (engine_ != nullptr)
+        engine_->saveState(w);
+    w.boolean(degraded_);
+}
+
+bool
+SsdCheck::loadState(recovery::StateReader &r)
+{
+    FeatureSet fs;
+    if (!core::loadState(fs, r))
+        return false;
+    // Rebuild exactly as hotSwapModel() does, then overwrite the
+    // rebuilt components with the snapshot's state in place (the
+    // engine references calibrator_ and monitor_ by address, so both
+    // must be restored after the rebuild, not swapped out).
+    features_ = std::move(fs);
+    monitor_ = LatencyMonitor(adaptThresholds(cfg_.thresholds, features_),
+                              cfg_.accuracyWindow);
+    rebuildEngine();
+    if (audit_ != nullptr)
+        audit_->setGcThreshold(monitor_.thresholds().gc);
+    if (!calibrator_.loadState(r) || !monitor_.loadState(r))
+        return false;
+    const bool hasEngine = r.boolean();
+    if (r.ok() && hasEngine != (engine_ != nullptr)) {
+        r.fail("snapshot engine presence contradicts restored features");
+        return false;
+    }
+    if (engine_ != nullptr && !engine_->loadState(r))
+        return false;
+    degraded_ = r.boolean();
+    return r.ok();
 }
 
 } // namespace ssdcheck::core

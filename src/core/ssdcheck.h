@@ -39,6 +39,11 @@
 #include "core/prediction_engine.h"
 #include "obs/sink.h"
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::core {
 
 /** Runtime-framework configuration. */
@@ -149,6 +154,21 @@ class SsdCheck
      * vs actual latency vs the model state the engine saw).
      */
     void attachObservability(const obs::Sink &sink);
+
+    /**
+     * Serialize the whole runtime model: features (which may have been
+     * hot-swapped and are no longer derivable from diagnosis),
+     * calibrator, rolling-accuracy window, engine state and the
+     * degraded flag.
+     */
+    void saveState(recovery::StateWriter &w) const;
+
+    /**
+     * Restore state saved by saveState(): rebuilds the engine from the
+     * restored features (hot-swap path), then overwrites calibrator,
+     * monitor and engine state in place.
+     */
+    bool loadState(recovery::StateReader &r);
 
   private:
     void rebuildEngine();

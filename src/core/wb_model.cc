@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "recovery/state_io.h"
+
 namespace ssdcheck::core {
 
 WriteBufferModel::WriteBufferModel(uint32_t bufferPages, bool readTrigger)
@@ -31,6 +33,27 @@ WriteBufferModel::onReadSubmitted()
         return true;
     }
     return false;
+}
+
+void
+WriteBufferModel::saveState(recovery::StateWriter &w) const
+{
+    w.u32(size_);
+    w.boolean(readTrigger_);
+    w.u32(counter_);
+}
+
+bool
+WriteBufferModel::loadState(recovery::StateReader &r)
+{
+    const uint32_t size = r.u32();
+    const bool readTrigger = r.boolean();
+    if (r.ok() && (size != size_ || readTrigger != readTrigger_)) {
+        r.fail("buffer model shape does not match restored features");
+        return false;
+    }
+    counter_ = r.u32();
+    return r.ok();
 }
 
 } // namespace ssdcheck::core

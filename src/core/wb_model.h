@@ -13,6 +13,11 @@
 
 #include <cstdint>
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::core {
 
 /** Buffer counter + flush detector for one volume. */
@@ -54,6 +59,12 @@ class WriteBufferModel
 
     uint32_t counter() const { return counter_; }
     uint32_t size() const { return size_; }
+
+    /** Serialize the counter (size/trigger verified on load). */
+    void saveState(recovery::StateWriter &w) const;
+
+    /** Restore state saved by saveState() (same diagnosed shape). */
+    bool loadState(recovery::StateReader &r);
 
   private:
     uint32_t size_;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "recovery/state_io.h"
+
 namespace ssdcheck::nand {
 
 NandArray::NandArray(const NandGeometry &geo, const NandTiming &timing)
@@ -107,6 +109,28 @@ NandArray::batchReadTime(uint64_t pages) const
     const uint64_t waves =
         (pages + geo_.totalPlanes() - 1) / geo_.totalPlanes();
     return static_cast<sim::SimDuration>(waves) * timing_.readLatency;
+}
+
+void
+NandArray::saveState(recovery::StateWriter &w) const
+{
+    w.u64(chips_.size());
+    for (const NandChip &c : chips_)
+        c.saveState(w);
+}
+
+bool
+NandArray::loadState(recovery::StateReader &r)
+{
+    const uint64_t n = r.u64();
+    if (r.ok() && n != chips_.size()) {
+        r.fail("NAND chip count does not match this geometry");
+        return false;
+    }
+    for (NandChip &c : chips_)
+        if (!c.loadState(r))
+            return false;
+    return r.ok();
 }
 
 } // namespace ssdcheck::nand

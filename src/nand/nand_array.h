@@ -17,6 +17,11 @@
 #include "nand/nand_chip.h"
 #include "nand/nand_config.h"
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::nand {
 
 /** Array of NAND chips addressed by flat physical page number. */
@@ -63,6 +68,12 @@ class NandArray
 
     /** Total blocks in the array. */
     uint64_t totalBlocks() const { return geo_.totalBlocks(); }
+
+    /** Serialize every chip's block state and page payloads. */
+    void saveState(recovery::StateWriter &w) const;
+
+    /** Restore state saved by saveState() (geometry must match). */
+    bool loadState(recovery::StateReader &r);
 
   private:
     struct ChipCoord

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "recovery/state_io.h"
+
 namespace ssdcheck::nand {
 
 NandChip::NandChip(const NandGeometry &geo, const NandTiming &timing)
@@ -88,6 +90,47 @@ bool
 NandChip::isProgrammed(uint32_t plane, uint32_t block, uint32_t page) const
 {
     return page < blocks_[blockIndex(plane, block)].writePtr;
+}
+
+void
+NandChip::saveState(recovery::StateWriter &w) const
+{
+    w.u64(blocks_.size());
+    for (const BlockState &b : blocks_) {
+        w.u32(b.writePtr);
+        w.u32(b.eraseCount);
+        w.u32(b.readCount);
+    }
+    w.u64(payloads_.size());
+    for (uint64_t p : payloads_)
+        w.u64(p);
+}
+
+bool
+NandChip::loadState(recovery::StateReader &r)
+{
+    const uint64_t nBlocks = r.u64();
+    if (r.ok() && nBlocks != blocks_.size()) {
+        r.fail("NAND chip block count does not match this geometry");
+        return false;
+    }
+    for (auto &b : blocks_) {
+        b.writePtr = r.u32();
+        b.eraseCount = r.u32();
+        b.readCount = r.u32();
+        if (r.ok() && b.writePtr > geo_.pagesPerBlock) {
+            r.fail("NAND block write pointer past end of block");
+            return false;
+        }
+    }
+    const uint64_t nPages = r.u64();
+    if (r.ok() && nPages != payloads_.size()) {
+        r.fail("NAND chip page count does not match this geometry");
+        return false;
+    }
+    for (auto &p : payloads_)
+        p = r.u64();
+    return r.ok();
 }
 
 } // namespace ssdcheck::nand

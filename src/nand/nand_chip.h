@@ -20,6 +20,11 @@
 
 #include "nand/nand_config.h"
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::nand {
 
 /** Sentinel payload of a never-programmed (erased) page. */
@@ -75,6 +80,12 @@ class NandChip
 
     const NandGeometry &geometry() const { return geo_; }
     const NandTiming &timing() const { return timing_; }
+
+    /** Serialize per-block state and page payloads. */
+    void saveState(recovery::StateWriter &w) const;
+
+    /** Restore state saved by saveState() (geometry must match). */
+    bool loadState(recovery::StateReader &r);
 
   private:
     struct BlockState

@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "recovery/state_io.h"
+
 namespace ssdcheck::obs {
 
 void
@@ -291,6 +293,117 @@ Registry::toJson(sim::SimTime now) const
     std::ostringstream os;
     writeJson(os, now);
     return os.str();
+}
+
+void
+Registry::saveState(recovery::StateWriter &w) const
+{
+    uint32_t owned = 0;
+    for (const Metric *m : metrics_) {
+        if (m->kind == Metric::Kind::OwnedCounter ||
+            m->kind == Metric::Kind::OwnedGauge ||
+            m->kind == Metric::Kind::OwnedHistogram)
+            ++owned;
+    }
+    w.u32(owned);
+    for (const Metric *m : metrics_) {
+        switch (m->kind) {
+          case Metric::Kind::OwnedCounter:
+            w.str(m->name);
+            w.u8(static_cast<uint8_t>(m->kind));
+            w.u64(m->counter);
+            break;
+          case Metric::Kind::OwnedGauge:
+            w.str(m->name);
+            w.u8(static_cast<uint8_t>(m->kind));
+            w.i64(m->gauge);
+            break;
+          case Metric::Kind::OwnedHistogram:
+            w.str(m->name);
+            w.u8(static_cast<uint8_t>(m->kind));
+            w.u32(static_cast<uint32_t>(m->hist.counts.size()));
+            for (uint64_t c : m->hist.counts)
+                w.u64(c);
+            w.u64(m->hist.count);
+            w.i64(m->hist.sum);
+            break;
+          case Metric::Kind::ViewU64:
+          case Metric::Kind::ViewI64:
+          case Metric::Kind::ViewU8:
+            break;
+        }
+    }
+    w.u32(static_cast<uint32_t>(timeline_.size()));
+    for (const TimelineSample &s : timeline_) {
+        w.i64(s.time);
+        w.u32(static_cast<uint32_t>(s.values.size()));
+        for (int64_t v : s.values)
+            w.i64(v);
+    }
+    w.i64(timelineNext_);
+}
+
+bool
+Registry::loadState(recovery::StateReader &r)
+{
+    std::vector<Metric *> owned;
+    for (Metric *m : metrics_) {
+        if (m->kind == Metric::Kind::OwnedCounter ||
+            m->kind == Metric::Kind::OwnedGauge ||
+            m->kind == Metric::Kind::OwnedHistogram)
+            owned.push_back(m);
+    }
+    const uint32_t n = r.u32();
+    if (r.ok() && n != owned.size()) {
+        r.fail("registry owned-metric count does not match this run");
+        return false;
+    }
+    for (Metric *m : owned) {
+        const std::string name = r.str();
+        const uint8_t kind = r.u8();
+        if (!r.ok())
+            return false;
+        if (name != m->name || kind != static_cast<uint8_t>(m->kind)) {
+            r.fail("registry metric order/shape does not match this run");
+            return false;
+        }
+        switch (m->kind) {
+          case Metric::Kind::OwnedCounter:
+            m->counter = r.u64();
+            break;
+          case Metric::Kind::OwnedGauge:
+            m->gauge = r.i64();
+            break;
+          case Metric::Kind::OwnedHistogram: {
+            const uint32_t nBuckets = r.u32();
+            if (r.ok() && nBuckets != m->hist.counts.size()) {
+                r.fail("registry histogram bucket count mismatch");
+                return false;
+            }
+            for (uint64_t &c : m->hist.counts)
+                c = r.u64();
+            m->hist.count = r.u64();
+            m->hist.sum = r.i64();
+            break;
+          }
+          case Metric::Kind::ViewU64:
+          case Metric::Kind::ViewI64:
+          case Metric::Kind::ViewU8:
+            break;
+        }
+    }
+    const uint64_t nSamples = r.checkCount(r.u32(), 12);
+    timeline_.clear();
+    for (uint64_t i = 0; i < nSamples && r.ok(); ++i) {
+        TimelineSample s;
+        s.time = r.i64();
+        const uint64_t nValues = r.checkCount(r.u32(), 8);
+        for (uint64_t v = 0; v < nValues; ++v)
+            s.values.push_back(r.i64());
+        timeline_.push_back(std::move(s));
+    }
+    timelineNext_ = r.i64();
+    return r.ok();
 }
 
 } // namespace ssdcheck::obs

@@ -33,6 +33,11 @@
 
 #include "sim/sim_time.h"
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::obs {
 
 /** Metric labels, e.g. {{"device","A"},{"volume","0"}}. */
@@ -165,6 +170,19 @@ class Registry
 
     /** writeJson into a string (tests, golden snapshots). */
     std::string toJson(sim::SimTime now) const;
+
+    /**
+     * Serialize owned-metric values and the timeline. Exported views
+     * are skipped: their storage lives in component structs that
+     * serialize themselves; after a component-level restore the views
+     * read the restored values with no further work.
+     */
+    void saveState(recovery::StateWriter &w) const;
+
+    /** Restore state saved by saveState(). Every owned metric must
+     *  already be registered, in the same order, with the same name
+     *  and shape. @return reader still ok. */
+    bool loadState(recovery::StateReader &r);
 
   private:
     struct Metric;

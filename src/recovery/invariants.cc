@@ -1,0 +1,144 @@
+#include "recovery/invariants.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "ssd/page_mapper.h"
+#include "ssd/volume.h"
+
+namespace ssdcheck::recovery {
+
+namespace {
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, format);
+    std::vsnprintf(buf, sizeof buf, format, ap);
+    va_end(ap);
+    return buf;
+}
+
+/**
+ * Reference victim scan: the closed block with the fewest valid pages,
+ * lowest block number on ties — the greedy policy restated as an O(n)
+ * scan, independent of the mapper's lazy bucket structure.
+ */
+uint64_t
+referenceVictim(const ssd::PageMapper &m)
+{
+    uint64_t best = ssd::PageMapper::kNoVictim;
+    uint32_t bestValid = 0;
+    for (uint64_t pbn = 0; pbn < m.totalBlocks(); ++pbn) {
+        if (!m.isGcCandidate(pbn))
+            continue;
+        const uint32_t valid = m.blockValidCount(pbn);
+        if (best == ssd::PageMapper::kNoVictim || valid < bestValid) {
+            best = pbn;
+            bestValid = valid;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+std::vector<std::string>
+checkInvariants(const CheckpointableRun &run)
+{
+    std::vector<std::string> violations;
+    const ssd::SsdDevice &dev = run.device();
+
+    // -- per-volume FTL coherence ----------------------------------------
+    for (uint32_t v = 0; v < dev.config().numVolumes(); ++v) {
+        const ssd::Volume &vol = dev.volume(v);
+        const ssd::PageMapper &mapper = vol.mapper();
+        const std::string err = mapper.checkConsistency();
+        if (!err.empty())
+            violations.push_back(
+                fmt("volume %u: mapper inconsistent: %s", v, err.c_str()));
+        if (vol.bufferFill() > vol.bufferCapacity())
+            violations.push_back(
+                fmt("volume %u: write buffer holds %u pages over its "
+                    "capacity of %u",
+                    v, vol.bufferFill(), vol.bufferCapacity()));
+        const uint64_t picked = mapper.pickVictimGreedy();
+        const uint64_t reference = referenceVictim(mapper);
+        // The greedy policy is fully determined by (valid count, block
+        // number), so the lazy buckets must agree with a fresh scan.
+        if (picked != reference &&
+            (picked == ssd::PageMapper::kNoVictim ||
+             reference == ssd::PageMapper::kNoVictim ||
+             mapper.blockValidCount(picked) !=
+                 mapper.blockValidCount(reference)))
+            violations.push_back(
+                fmt("volume %u: greedy victim %" PRIu64
+                    " disagrees with reference scan %" PRIu64,
+                    v, picked, reference));
+    }
+
+    // -- counter conservation across layers ------------------------------
+    const core::AccuracyResult &acc = run.accuracy();
+    const uint64_t completed = acc.nlTotal + acc.hlTotal + acc.faulted;
+    if (completed != run.cursor())
+        violations.push_back(
+            fmt("accuracy counters account for %" PRIu64
+                " requests but the workload cursor is at %" PRIu64,
+                completed, run.cursor()));
+    if (acc.nlCorrect > acc.nlTotal || acc.hlCorrect > acc.hlTotal)
+        violations.push_back("accuracy correct counts exceed totals");
+
+    const blockdev::ResilienceCounters &rc = run.resilient().counters();
+    const core::HealthSupervisor *sup = run.supervisorPtr();
+    const uint64_t probes = sup != nullptr ? sup->counters().probesIssued : 0;
+    // QD1 barrier: nothing is in flight, so host submissions are
+    // exactly the completed workload requests plus supervisor probes.
+    if (rc.submissions != run.cursor() + probes)
+        violations.push_back(
+            fmt("resilient path saw %" PRIu64 " submissions but cursor "
+                "%" PRIu64 " + %" PRIu64 " probes were issued",
+                rc.submissions, run.cursor(), probes));
+    // Every host attempt (first submission or retry) reaches the
+    // device exactly once.
+    if (dev.requestsServed() != rc.submissions + rc.retries)
+        violations.push_back(
+            fmt("device served %" PRIu64 " requests but the resilient "
+                "path issued %" PRIu64 " (%" PRIu64 " + %" PRIu64
+                " retries)",
+                dev.requestsServed(), rc.submissions + rc.retries,
+                rc.submissions, rc.retries));
+    if (rc.recovered + rc.exhausted > rc.retries + rc.submissions)
+        violations.push_back("resilience outcome counters exceed attempts");
+
+    // -- time sanity ------------------------------------------------------
+    if (run.now() < 0)
+        violations.push_back(fmt("virtual time is negative (%" PRId64 ")",
+                                 run.now()));
+
+    // -- supervisor state-machine sanity ----------------------------------
+    if (sup != nullptr) {
+        const core::HealthCounters &hc = sup->counters();
+        if (hc.falseAlarms > hc.suspectEntries ||
+            hc.degradedEntries > hc.suspectEntries)
+            violations.push_back(
+                "supervisor resolved more Suspect entries than occurred");
+        if (hc.hotSwaps > hc.rediagnoseAttempts ||
+            hc.rediagnoseFailures > hc.rediagnoseAttempts)
+            violations.push_back(
+                "supervisor resolved more re-diagnoses than attempted");
+        if (hc.probeWrites + hc.probeReads != hc.probesIssued)
+            violations.push_back(
+                fmt("supervisor probe split %" PRIu64 "+%" PRIu64
+                    " does not sum to %" PRIu64 " issued",
+                    hc.probeWrites, hc.probeReads, hc.probesIssued));
+        if (hc.recoveries > hc.hotSwaps)
+            violations.push_back(
+                "supervisor recovered more models than were swapped in");
+    }
+    return violations;
+}
+
+} // namespace ssdcheck::recovery

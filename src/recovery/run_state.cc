@@ -1,0 +1,299 @@
+#include "recovery/run_state.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/diagnosis.h"
+#include "ssd/presets.h"
+
+namespace ssdcheck::recovery {
+
+namespace {
+
+/** Host-latency histogram bounds — must match core/accuracy.cc so the
+ *  run command's metrics snapshots stay comparable with `accuracy`. */
+const std::vector<int64_t> kHostLatencyBounds = {
+    50'000,     100'000,    250'000,    500'000,    1'000'000,
+    2'500'000,  5'000'000,  10'000'000, 25'000'000, 100'000'000};
+
+} // namespace
+
+std::string
+RunParams::canonical() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "device=%s;faults=%s;workload=%s;scale=%.6f;"
+                  "supervisor=%d;timeline_ms=%" PRId64,
+                  device.c_str(), faults.c_str(), workload.c_str(), scale,
+                  supervisor ? 1 : 0, timelineMs);
+    return buf;
+}
+
+uint64_t
+RunParams::configHash() const
+{
+    return fnv1a(canonical());
+}
+
+std::unique_ptr<CheckpointableRun>
+CheckpointableRun::create(const RunParams &params, bool forResume,
+                          std::string *err)
+{
+    auto fail = [&](const std::string &why) {
+        if (err != nullptr)
+            *err = why;
+        return nullptr;
+    };
+
+    ssd::FaultProfile faults;
+    if (!ssd::faultProfileByName(params.faults, &faults))
+        return fail("unknown fault profile '" + params.faults + "'");
+
+    ssd::SsdConfig cfg;
+    if (params.device == "nvm") {
+        cfg = ssd::makeNvmBackedSsd();
+    } else if (params.device.size() == 1 && params.device[0] >= 'A' &&
+               params.device[0] <= 'G') {
+        cfg = ssd::makePreset(
+            static_cast<ssd::SsdModel>(params.device[0] - 'A'));
+    } else {
+        return fail("unknown device '" + params.device + "'");
+    }
+    cfg.faults = faults;
+
+    bool workloadKnown = false;
+    workload::SniaWorkload w = workload::SniaWorkload::RwMixed;
+    for (const auto candidate : workload::allSniaWorkloads()) {
+        if (toString(candidate) == params.workload) {
+            w = candidate;
+            workloadKnown = true;
+            break;
+        }
+    }
+    if (!workloadKnown)
+        return fail("unknown workload '" + params.workload + "'");
+    if (params.scale <= 0)
+        return fail("scale must be positive");
+
+    std::unique_ptr<CheckpointableRun> run(new CheckpointableRun());
+    run->params_ = params;
+    run->dev_ = std::make_unique<ssd::SsdDevice>(cfg);
+    run->rdev_ =
+        std::make_unique<blockdev::ResilientDevice>(*run->dev_);
+
+    if (forResume) {
+        // Diagnosis and preconditioning only produce state that
+        // restore() is about to overwrite; skip both and let the
+        // Model section's features rebuild the engine.
+        run->check_ = std::make_unique<core::SsdCheck>(core::FeatureSet{});
+    } else {
+        // Features come from a healthy twin (same model, no faults):
+        // the fault budget lands entirely on the measured run.
+        ssd::SsdConfig cleanCfg = cfg;
+        cleanCfg.faults = ssd::FaultProfile{};
+        ssd::SsdDevice cleanDev(cleanCfg);
+        core::DiagnosisRunner runner(cleanDev, core::DiagnosisConfig{});
+        const core::FeatureSet fs = runner.extractFeatures();
+        if (!fs.bufferModelUsable())
+            return fail("no usable buffer model for device '" +
+                        params.device + "'; nothing to run");
+        run->check_ = std::make_unique<core::SsdCheck>(fs);
+        run->t_ = runner.now();
+    }
+    if (params.supervisor)
+        run->sup_ = std::make_unique<core::HealthSupervisor>(
+            *run->check_, *run->rdev_);
+
+    // Metrics are always attached: the registry is part of the
+    // checkpointed state and of the final-state comparison. The
+    // attach order must be identical on the fresh and resume paths so
+    // the registry's registration order (its restore key) matches.
+    obs::Sink sink;
+    sink.metrics = &run->registry_;
+    if (params.timelineMs > 0)
+        run->registry_.enableTimeline(sim::milliseconds(params.timelineMs));
+    run->dev_->attachObservability(sink);
+    run->rdev_->attachObservability(sink);
+    run->check_->attachObservability(sink);
+    if (run->sup_)
+        run->sup_->attachObservability(sink);
+    run->hostLatency_ =
+        run->registry_.histogram("host_latency_ns", kHostLatencyBounds);
+
+    if (!forResume)
+        run->dev_->precondition();
+    run->trace_ = workload::buildSniaTrace(
+        w, run->dev_->capacityPages(), params.scale);
+    return run;
+}
+
+void
+CheckpointableRun::step()
+{
+    // One iteration of core::evaluatePredictionAccuracy's QD1 loop —
+    // the two must stay behaviorally identical (the resume property
+    // test compares a stepped run against the uninterrupted one).
+    const blockdev::IoRequest &req = trace_.records()[cursor_].req;
+    if (sup_)
+        t_ = sup_->pump(t_);
+    const core::Prediction pred = check_->predict(req, t_);
+    check_->onSubmit(req, t_);
+    const blockdev::IoResult res = rdev_->submit(req, t_);
+    const bool actualHl = check_->onComplete(req, pred, t_,
+                                             res.completeTime, res.status,
+                                             res.attempts);
+    if (sup_)
+        sup_->onCompletion(req, actualHl, res);
+    hostLatency_.observe(res.completeTime - t_);
+    registry_.tick(res.completeTime);
+    if (!res.ok() || res.attempts > 1) {
+        ++acc_.faulted;
+    } else if (actualHl) {
+        ++acc_.hlTotal;
+        if (pred.hl)
+            ++acc_.hlCorrect;
+    } else {
+        ++acc_.nlTotal;
+        if (!pred.hl)
+            ++acc_.nlCorrect;
+    }
+    t_ = res.completeTime;
+    ++cursor_;
+}
+
+Snapshot
+CheckpointableRun::checkpoint() const
+{
+    Snapshot snap;
+    snap.begin(params_.configHash(), cursor_, t_);
+    {
+        StateWriter w;
+        dev_->saveState(w);
+        snap.addSection(SectionId::Device, w.take());
+    }
+    {
+        StateWriter w;
+        check_->saveState(w);
+        snap.addSection(SectionId::Model, w.take());
+    }
+    if (sup_) {
+        StateWriter w;
+        sup_->saveState(w);
+        snap.addSection(SectionId::Supervisor, w.take());
+    }
+    {
+        StateWriter w;
+        rdev_->saveState(w);
+        snap.addSection(SectionId::Resilient, w.take());
+    }
+    {
+        StateWriter w;
+        w.u64(acc_.nlTotal);
+        w.u64(acc_.nlCorrect);
+        w.u64(acc_.hlTotal);
+        w.u64(acc_.hlCorrect);
+        w.u64(acc_.faulted);
+        snap.addSection(SectionId::Accuracy, w.take());
+    }
+    {
+        StateWriter w;
+        registry_.saveState(w);
+        snap.addSection(SectionId::Registry, w.take());
+    }
+    {
+        StateWriter w;
+        w.str(params_.canonical());
+        snap.addSection(SectionId::RunParams, w.take());
+    }
+    return snap;
+}
+
+LoadError
+CheckpointableRun::restore(const Snapshot &snap, std::string *detail,
+                           bool forceConfig)
+{
+    auto explain = [&](const std::string &why) {
+        if (detail != nullptr)
+            *detail = why;
+    };
+    if (!forceConfig && snap.configHash() != params_.configHash()) {
+        explain("snapshot was taken under a different run configuration "
+                "(this run: " +
+                params_.canonical() + ")");
+        return LoadError::ConfigMismatch;
+    }
+    if (snap.requestIndex() > trace_.size()) {
+        explain("snapshot resume point is beyond the end of the trace");
+        return LoadError::Malformed;
+    }
+
+    // Load one section through a component's loadState. Every decode
+    // failure surfaces as Malformed with the section named — CRCs
+    // passed, so the payload is intact but semantically unusable.
+    auto load = [&](SectionId id, const char *name,
+                    auto &&fn) -> LoadError {
+        const std::vector<uint8_t> *payload = snap.section(id);
+        if (payload == nullptr) {
+            explain(std::string("required section '") + name +
+                    "' is missing");
+            return LoadError::MissingSection;
+        }
+        StateReader r(*payload);
+        fn(r);
+        if (!r.ok()) {
+            explain(std::string("section '") + name +
+                    "': " + r.error());
+            return LoadError::Malformed;
+        }
+        if (!r.atEnd()) {
+            explain(std::string("section '") + name +
+                    "' has trailing bytes");
+            return LoadError::Malformed;
+        }
+        return LoadError::Ok;
+    };
+
+    LoadError e;
+    e = load(SectionId::Device, "device",
+             [&](StateReader &r) { dev_->loadState(r); });
+    if (e != LoadError::Ok)
+        return e;
+    e = load(SectionId::Model, "model",
+             [&](StateReader &r) { check_->loadState(r); });
+    if (e != LoadError::Ok)
+        return e;
+    if (sup_) {
+        e = load(SectionId::Supervisor, "supervisor",
+                 [&](StateReader &r) { sup_->loadState(r); });
+        if (e != LoadError::Ok)
+            return e;
+    } else if (snap.section(SectionId::Supervisor) != nullptr) {
+        explain("snapshot has a supervisor section but this run has "
+                "no supervisor");
+        return LoadError::Malformed;
+    }
+    e = load(SectionId::Resilient, "resilient",
+             [&](StateReader &r) { rdev_->loadState(r); });
+    if (e != LoadError::Ok)
+        return e;
+    e = load(SectionId::Accuracy, "accuracy", [&](StateReader &r) {
+        acc_.nlTotal = r.u64();
+        acc_.nlCorrect = r.u64();
+        acc_.hlTotal = r.u64();
+        acc_.hlCorrect = r.u64();
+        acc_.faulted = r.u64();
+    });
+    if (e != LoadError::Ok)
+        return e;
+    e = load(SectionId::Registry, "registry",
+             [&](StateReader &r) { registry_.loadState(r); });
+    if (e != LoadError::Ok)
+        return e;
+
+    cursor_ = snap.requestIndex();
+    t_ = snap.simTimeNs();
+    return LoadError::Ok;
+}
+
+} // namespace ssdcheck::recovery

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Checkpointable accuracy run: the whole host stack of `ssdcheck
+ * accuracy` (device, resilient path, model, optional supervisor,
+ * metrics registry, workload cursor) behind one object that can
+ * serialize its complete deterministic state into a Snapshot at any
+ * request boundary and restore it bit-exactly in a fresh process.
+ *
+ * The run advances one request per step() — the same QD1
+ * predict-before-issue loop as core::evaluatePredictionAccuracy —
+ * so every step boundary is a quiescent point: no request is in
+ * flight, no event is pending, and the full simulation state is the
+ * member state of the components, all of which implement
+ * saveState()/loadState() (see DESIGN.md "Crash consistency & state
+ * serialization").
+ *
+ * Determinism contract: create(params) + N steps + checkpoint()
+ * produces the same bytes whether the N steps ran in one process or
+ * were split across any number of kill/restore cycles. The chaos soak
+ * harness (tools/soak) and the resume property test build on exactly
+ * this contract.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "blockdev/resilient_device.h"
+#include "core/accuracy.h"
+#include "core/health_supervisor.h"
+#include "core/ssdcheck.h"
+#include "obs/registry.h"
+#include "obs/sink.h"
+#include "recovery/snapshot.h"
+#include "ssd/ssd_device.h"
+#include "workload/snia_synth.h"
+#include "workload/trace.h"
+
+namespace ssdcheck::recovery {
+
+/**
+ * Everything that shapes a run's deterministic evolution. Two runs
+ * (or one run and a snapshot) are compatible exactly when their
+ * configHash() matches — resuming a snapshot under different params
+ * would silently diverge, so the loader refuses it.
+ */
+struct RunParams
+{
+    std::string device = "A";      ///< Preset name ("A".."G" or "nvm").
+    std::string faults = "none";   ///< Fault-profile name.
+    std::string workload = "RW Mixed";
+    double scale = 0.05;           ///< Trace shrink factor.
+    bool supervisor = false;       ///< Health supervisor attached.
+    int64_t timelineMs = 0;        ///< Metrics timeline interval (0=off).
+
+    /** Canonical text form (hashed; also stored for diagnostics). */
+    std::string canonical() const;
+
+    /** FNV-1a over canonical() — the snapshot compatibility key. */
+    uint64_t configHash() const;
+};
+
+/** The checkpointable accuracy-run driver. */
+class CheckpointableRun
+{
+  public:
+    /**
+     * Build the full host stack for @p params.
+     * @param forResume skip the one-time offline work (clean-twin
+     *        diagnosis, preconditioning): every bit of state it
+     *        produces is about to be overwritten by restore(). The
+     *        model is built around placeholder features that
+     *        restore() replaces.
+     * @param err receives a description when construction fails
+     *        (unknown device/workload/fault profile, unusable model).
+     * @return the run, or nullptr (with @p err set).
+     */
+    static std::unique_ptr<CheckpointableRun>
+    create(const RunParams &params, bool forResume, std::string *err);
+
+    /** True when the whole trace has been replayed. */
+    bool done() const { return cursor_ >= trace_.size(); }
+
+    /** Replay one request (precondition: !done()). */
+    void step();
+
+    /** Requests replayed so far (the resume point of a snapshot). */
+    uint64_t cursor() const { return cursor_; }
+
+    /** Current virtual time. */
+    sim::SimTime now() const { return t_; }
+
+    /** Accuracy confusion counts so far. */
+    const core::AccuracyResult &accuracy() const { return acc_; }
+
+    /**
+     * Serialize the complete run state at the current request
+     * boundary into a snapshot (header identity = configHash,
+     * cursor, virtual time).
+     */
+    Snapshot checkpoint() const;
+
+    /**
+     * Restore a parsed snapshot in place. Refuses snapshots whose
+     * config hash differs (LoadError::ConfigMismatch) and malformed
+     * section payloads (LoadError::Malformed, @p detail says which
+     * section and why). On failure the run must be discarded: state
+     * may be partially overwritten.
+     * @param forceConfig skip the config-hash comparison (--force):
+     *        section-level validation still applies, so structurally
+     *        incompatible state fails as Malformed instead.
+     */
+    LoadError restore(const Snapshot &snap, std::string *detail,
+                      bool forceConfig = false);
+
+    // -- component access (reports, invariant checks) ---------------------
+    ssd::SsdDevice &device() { return *dev_; }
+    const ssd::SsdDevice &device() const { return *dev_; }
+    blockdev::ResilientDevice &resilient() { return *rdev_; }
+    const blockdev::ResilientDevice &resilient() const { return *rdev_; }
+    core::SsdCheck &check() { return *check_; }
+    const core::SsdCheck &check() const { return *check_; }
+    core::HealthSupervisor *supervisorPtr() { return sup_.get(); }
+    const core::HealthSupervisor *supervisorPtr() const
+    {
+        return sup_.get();
+    }
+    obs::Registry &registry() { return registry_; }
+    const workload::Trace &trace() const { return trace_; }
+    const RunParams &params() const { return params_; }
+
+    /** Metrics-registry JSON snapshot at the current virtual time. */
+    std::string metricsJson() const { return registry_.toJson(t_); }
+
+  private:
+    CheckpointableRun() = default;
+
+    RunParams params_;
+    std::unique_ptr<ssd::SsdDevice> dev_;
+    std::unique_ptr<blockdev::ResilientDevice> rdev_;
+    std::unique_ptr<core::SsdCheck> check_;
+    std::unique_ptr<core::HealthSupervisor> sup_;
+    obs::Registry registry_;
+    obs::Histogram hostLatency_;
+    workload::Trace trace_;
+    core::AccuracyResult acc_;
+    sim::SimTime t_ = 0;
+    uint64_t cursor_ = 0;
+};
+
+} // namespace ssdcheck::recovery

@@ -1,0 +1,239 @@
+#include "recovery/snapshot.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace ssdcheck::recovery {
+
+std::string
+toString(LoadError e)
+{
+    switch (e) {
+    case LoadError::Ok:
+        return "ok";
+    case LoadError::IoError:
+        return "io-error";
+    case LoadError::TooShort:
+        return "too-short";
+    case LoadError::BadMagic:
+        return "bad-magic";
+    case LoadError::BadVersion:
+        return "bad-version";
+    case LoadError::BadHeaderCrc:
+        return "bad-header-crc";
+    case LoadError::Truncated:
+        return "truncated";
+    case LoadError::BadSectionCrc:
+        return "bad-section-crc";
+    case LoadError::DuplicateSection:
+        return "duplicate-section";
+    case LoadError::MissingSection:
+        return "missing-section";
+    case LoadError::ConfigMismatch:
+        return "config-mismatch";
+    case LoadError::Malformed:
+        return "malformed";
+    }
+    return "unknown";
+}
+
+void
+Snapshot::begin(uint64_t configHash, uint64_t requestIndex, int64_t simTimeNs)
+{
+    configHash_ = configHash;
+    requestIndex_ = requestIndex;
+    simTimeNs_ = simTimeNs;
+    sections_.clear();
+}
+
+void
+Snapshot::addSection(SectionId id, std::vector<uint8_t> payload)
+{
+    sections_[static_cast<uint32_t>(id)] = std::move(payload);
+}
+
+std::vector<uint8_t>
+Snapshot::serialize() const
+{
+    StateWriter w;
+    w.raw(kMagic, sizeof(kMagic));
+    w.u32(kFormatVersion);
+    w.u64(configHash_);
+    w.u64(requestIndex_);
+    w.i64(simTimeNs_);
+    w.u32(crc32(w.bytes().data(), w.size()));
+    for (const auto &[id, payload] : sections_) {
+        w.u32(id);
+        w.u64(payload.size());
+        w.u32(crc32(payload));
+        w.raw(payload.data(), payload.size());
+    }
+    return w.take();
+}
+
+LoadError
+Snapshot::parse(const std::vector<uint8_t> &bytes, std::string *detail)
+{
+    sections_.clear();
+    configHash_ = requestIndex_ = 0;
+    simTimeNs_ = 0;
+
+    auto failWith = [&](LoadError e, const std::string &why) {
+        if (detail)
+            *detail = why;
+        sections_.clear();
+        return e;
+    };
+
+    if (bytes.size() < kHeaderSize)
+        return failWith(LoadError::TooShort,
+                        "file is " + std::to_string(bytes.size()) +
+                            " bytes; a snapshot header is " +
+                            std::to_string(kHeaderSize));
+    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+        return failWith(LoadError::BadMagic,
+                        "missing SSDCKPT1 magic — not a snapshot file");
+
+    StateReader r(bytes.data(), kHeaderSize);
+    uint8_t magic[8];
+    r.raw(magic, sizeof(magic));
+    const uint32_t version = r.u32();
+    const uint64_t configHash = r.u64();
+    const uint64_t requestIndex = r.u64();
+    const int64_t simTimeNs = r.i64();
+    const uint32_t headerCrc = r.u32();
+    if (crc32(bytes.data(), kHeaderSize - 4) != headerCrc)
+        return failWith(LoadError::BadHeaderCrc,
+                        "header CRC mismatch — snapshot header corrupted");
+    if (version != kFormatVersion)
+        return failWith(LoadError::BadVersion,
+                        "snapshot format v" + std::to_string(version) +
+                            "; this build reads v" +
+                            std::to_string(kFormatVersion));
+
+    size_t pos = kHeaderSize;
+    while (pos < bytes.size()) {
+        if (bytes.size() - pos < 16)
+            return failWith(LoadError::Truncated,
+                            "truncated section header at offset " +
+                                std::to_string(pos));
+        StateReader sh(bytes.data() + pos, 16);
+        const uint32_t id = sh.u32();
+        const uint64_t size = sh.u64();
+        const uint32_t crc = sh.u32();
+        pos += 16;
+        if (size > bytes.size() - pos)
+            return failWith(LoadError::Truncated,
+                            "section " + std::to_string(id) + " claims " +
+                                std::to_string(size) + " bytes but only " +
+                                std::to_string(bytes.size() - pos) +
+                                " remain");
+        if (sections_.count(id))
+            return failWith(LoadError::DuplicateSection,
+                            "section " + std::to_string(id) +
+                                " appears twice");
+        std::vector<uint8_t> payload(bytes.begin() +
+                                         static_cast<ptrdiff_t>(pos),
+                                     bytes.begin() +
+                                         static_cast<ptrdiff_t>(pos + size));
+        if (crc32(payload) != crc)
+            return failWith(LoadError::BadSectionCrc,
+                            "section " + std::to_string(id) +
+                                " payload CRC mismatch");
+        sections_[id] = std::move(payload);
+        pos += size;
+    }
+
+    configHash_ = configHash;
+    requestIndex_ = requestIndex;
+    simTimeNs_ = simTimeNs;
+    return LoadError::Ok;
+}
+
+const std::vector<uint8_t> *
+Snapshot::section(SectionId id) const
+{
+    auto it = sections_.find(static_cast<uint32_t>(id));
+    return it == sections_.end() ? nullptr : &it->second;
+}
+
+std::string
+writeFileAtomic(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return "open " + tmp + ": " + std::strerror(errno);
+    size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const std::string err = std::strerror(errno);
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return "write " + tmp + ": " + err;
+        }
+        off += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        const std::string err = std::strerror(errno);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return "fsync " + tmp + ": " + err;
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const std::string err = std::strerror(errno);
+        ::unlink(tmp.c_str());
+        return "rename " + tmp + " -> " + path + ": " + err;
+    }
+    // fsync the directory so the rename itself is durable.
+    std::string dir = ".";
+    if (const auto slash = path.find_last_of('/'); slash != std::string::npos)
+        dir = path.substr(0, slash == 0 ? 1 : slash);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+    return std::string();
+}
+
+LoadError
+readFile(const std::string &path, std::vector<uint8_t> *out,
+         std::string *detail)
+{
+    out->clear();
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        if (detail)
+            *detail = "open " + path + ": " + std::strerror(errno);
+        return LoadError::IoError;
+    }
+    uint8_t buf[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (detail)
+                *detail = "read " + path + ": " + std::strerror(errno);
+            ::close(fd);
+            out->clear();
+            return LoadError::IoError;
+        }
+        if (n == 0)
+            break;
+        out->insert(out->end(), buf, buf + n);
+    }
+    ::close(fd);
+    return LoadError::Ok;
+}
+
+} // namespace ssdcheck::recovery

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "recovery/state_io.h"
+
 namespace ssdcheck::sim {
 
 namespace {
@@ -26,7 +28,7 @@ rotl(uint64_t x, int k)
 
 } // namespace
 
-Rng::Rng(uint64_t seed)
+Rng::Rng(uint64_t seed) : seed_(seed)
 {
     uint64_t sm = seed;
     for (auto &s : s_)
@@ -36,6 +38,7 @@ Rng::Rng(uint64_t seed)
 uint64_t
 Rng::next()
 {
+    ++draws_;
     const uint64_t result = rotl(s_[1] * 5, 7) * 9;
     const uint64_t t = s_[1] << 17;
     s_[2] ^= s_[0];
@@ -112,6 +115,43 @@ Rng
 Rng::fork(uint64_t salt)
 {
     return Rng(next() ^ (salt * 0x9e3779b97f4a7c15ULL));
+}
+
+void
+Rng::restore(uint64_t seed, uint64_t draws, const uint64_t state[4])
+{
+    seed_ = seed;
+    draws_ = draws;
+    for (size_t i = 0; i < 4; ++i)
+        s_[i] = state[i];
+}
+
+Rng
+Rng::replayTo(uint64_t seed, uint64_t draws)
+{
+    Rng r(seed);
+    for (uint64_t i = 0; i < draws; ++i)
+        r.next();
+    return r;
+}
+
+void
+Rng::saveState(recovery::StateWriter &w) const
+{
+    w.u64(seed_);
+    w.u64(draws_);
+    for (uint64_t s : s_)
+        w.u64(s);
+}
+
+bool
+Rng::loadState(recovery::StateReader &r)
+{
+    seed_ = r.u64();
+    draws_ = r.u64();
+    for (auto &s : s_)
+        s = r.u64();
+    return r.ok();
 }
 
 } // namespace ssdcheck::sim

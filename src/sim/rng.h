@@ -10,7 +10,13 @@
  */
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
 
 namespace ssdcheck::sim {
 
@@ -29,6 +35,29 @@ class Rng
 
     /** Next raw 64-bit value. */
     uint64_t next();
+
+    /** The seed this stream was constructed (or restored) from. */
+    uint64_t seed() const { return seed_; }
+
+    /** Raw next() calls made since construction/restore from seed(). */
+    uint64_t draws() const { return draws_; }
+
+    /** Raw xoshiro256** state word @p i (i in [0,4)), for snapshots. */
+    uint64_t stateWord(size_t i) const { return s_[i]; }
+
+    /**
+     * Restore a stream captured by (seed(), draws(), stateWord(0..3)).
+     * O(1): trusts the supplied state words rather than replaying
+     * draws. replayTo() is the O(draws) cross-check used by tests.
+     */
+    void restore(uint64_t seed, uint64_t draws, const uint64_t state[4]);
+
+    /**
+     * Reconstruct a stream purely from (seed, draws) by reseeding and
+     * drawing @p draws raw values. Proves the (seed, draw-count) pair
+     * is a complete description of a stream's position.
+     */
+    static Rng replayTo(uint64_t seed, uint64_t draws);
 
     /** Uniform integer in [0, bound). bound must be > 0. */
     uint64_t nextBelow(uint64_t bound);
@@ -57,8 +86,16 @@ class Rng
     /** Fork an independent child stream (hash of state + salt). */
     Rng fork(uint64_t salt);
 
+    /** Serialize (seed, draws, raw state) for snapshots. */
+    void saveState(recovery::StateWriter &w) const;
+
+    /** Restore a stream saved by saveState(). @return reader still ok. */
+    bool loadState(recovery::StateReader &r);
+
   private:
     uint64_t s_[4];
+    uint64_t seed_ = 0;
+    uint64_t draws_ = 0;
 };
 
 } // namespace ssdcheck::sim

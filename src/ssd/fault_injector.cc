@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "recovery/state_io.h"
+
 namespace ssdcheck::ssd {
 
 std::string
@@ -181,6 +183,36 @@ allFaultProfiles()
     out.push_back(hostile);
 
     return out;
+}
+
+void
+FaultInjector::saveState(recovery::StateWriter &w) const
+{
+    rng_.saveState(w);
+    w.u64(counters_.readUncTransient);
+    w.u64(counters_.readUncHard);
+    w.u64(counters_.programFailures);
+    w.u64(counters_.eraseFailures);
+    w.u64(counters_.blocksRetired);
+    w.u64(counters_.stalls);
+    w.u64(counters_.driftEvents);
+    w.boolean(driftFired_);
+}
+
+bool
+FaultInjector::loadState(recovery::StateReader &r)
+{
+    if (!rng_.loadState(r))
+        return false;
+    counters_.readUncTransient = r.u64();
+    counters_.readUncHard = r.u64();
+    counters_.programFailures = r.u64();
+    counters_.eraseFailures = r.u64();
+    counters_.blocksRetired = r.u64();
+    counters_.stalls = r.u64();
+    counters_.driftEvents = r.u64();
+    driftFired_ = r.boolean();
+    return r.ok();
 }
 
 bool

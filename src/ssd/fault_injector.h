@@ -26,6 +26,11 @@
 #include "sim/rng.h"
 #include "sim/sim_time.h"
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::ssd {
 
 /** What a firmware-drift event changes about the device. */
@@ -143,6 +148,23 @@ class FaultInjector
 
     const FaultProfile &profile() const { return profile_; }
     const FaultCounters &counters() const { return counters_; }
+
+    /** Random stream position, for snapshot introspection/tests. */
+    const sim::Rng &rng() const { return rng_; }
+
+    /** True once the drift event fired. */
+    bool driftFired() const { return driftFired_; }
+
+    /**
+     * Serialize the dynamic state (stream position, counters, drift
+     * flag). The profile is configuration and is not serialized: a
+     * restored injector must be constructed from the same profile,
+     * which the snapshot's config hash enforces.
+     */
+    void saveState(recovery::StateWriter &w) const;
+
+    /** Restore state saved by saveState(). @return reader still ok. */
+    bool loadState(recovery::StateReader &r);
 
   private:
     FaultProfile profile_;

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "nand/nand_array.h"
+#include "recovery/state_io.h"
 #include "ssd/page_mapper.h"
 
 namespace ssdcheck::ssd {
@@ -108,6 +109,19 @@ GarbageCollector::levelWear(GcResult &res)
                         nand_.batchProgramTime(moved) +
                         nand_.timing().eraseLatency;
     }
+}
+
+void
+GarbageCollector::saveState(recovery::StateWriter &w) const
+{
+    w.u64(invocations_);
+}
+
+bool
+GarbageCollector::loadState(recovery::StateReader &r)
+{
+    invocations_ = r.u64();
+    return r.ok();
 }
 
 } // namespace ssdcheck::ssd

@@ -21,6 +21,11 @@ namespace ssdcheck::nand {
 class NandArray;
 }
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::ssd {
 
 class PageMapper;
@@ -96,6 +101,12 @@ class GarbageCollector
 
     /** Total invocations so far. */
     uint64_t invocations() const { return invocations_; }
+
+    /** Serialize the invocation counter (all other state is derived). */
+    void saveState(recovery::StateWriter &w) const;
+
+    /** Restore state saved by saveState(). @return reader still ok. */
+    bool loadState(recovery::StateReader &r);
 
   private:
     /** Relocate cold blocks while the wear spread exceeds the

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "recovery/state_io.h"
+
 namespace ssdcheck::ssd {
 
 PageMapper::PageMapper(nand::NandArray &nand, uint64_t userPages,
@@ -359,6 +361,145 @@ PageMapper::checkConsistency() const
         }
     }
     return err.str();
+}
+
+void
+PageMapper::saveState(recovery::StateWriter &w) const
+{
+    w.u64(userPages_);
+    w.u64(lpnToPpn_.size());
+    for (nand::Ppn p : lpnToPpn_)
+        w.u64(p);
+    w.u64(ppnToLpn_.size());
+    for (uint64_t l : ppnToLpn_)
+        w.u64(l);
+    w.u64(blockValid_.size());
+    for (uint32_t v : blockValid_)
+        w.u32(v);
+    for (uint8_t f : blockFree_)
+        w.u8(f);
+    for (uint8_t x : blockRetired_)
+        w.u8(x);
+    for (uint8_t c : candidate_)
+        w.u8(c);
+    w.u64(freeList_.size());
+    for (nand::Pbn b : freeList_)
+        w.u64(b);
+    for (const OpenBlock &ob : open_) {
+        w.u64(ob.block);
+        w.u32(ob.nextPage);
+    }
+    w.u64(totalValid_);
+    w.u64(retiredBlocks_);
+}
+
+bool
+PageMapper::loadState(recovery::StateReader &r)
+{
+    const uint64_t totalPages = nand_.totalPages();
+    const uint64_t totalBlocks = nand_.totalBlocks();
+    const uint32_t ppb = nand_.geometry().pagesPerBlock;
+
+    if (r.u64() != userPages_) {
+        r.fail("mapper userPages does not match this configuration");
+        return false;
+    }
+    if (r.u64() != lpnToPpn_.size()) {
+        r.fail("mapper LPN table size mismatch");
+        return false;
+    }
+    for (auto &p : lpnToPpn_) {
+        p = r.u64();
+        if (r.ok() && p != nand::kInvalidPpn && p >= totalPages) {
+            r.fail("mapper LPN entry points past end of NAND");
+            return false;
+        }
+    }
+    if (r.u64() != ppnToLpn_.size()) {
+        r.fail("mapper PPN table size mismatch");
+        return false;
+    }
+    for (auto &l : ppnToLpn_) {
+        l = r.u64();
+        if (r.ok() && l != kInvalidLpn && l >= userPages_) {
+            r.fail("mapper PPN entry points past end of volume");
+            return false;
+        }
+    }
+    if (r.u64() != blockValid_.size()) {
+        r.fail("mapper block table size mismatch");
+        return false;
+    }
+    for (auto &v : blockValid_) {
+        v = r.u32();
+        if (r.ok() && v > ppb) {
+            r.fail("mapper block valid count above pages-per-block");
+            return false;
+        }
+    }
+    for (auto &f : blockFree_)
+        f = r.u8();
+    for (auto &x : blockRetired_)
+        x = r.u8();
+    for (auto &c : candidate_)
+        c = r.u8();
+    if (r.ok()) {
+        for (size_t b = 0; b < blockFree_.size(); ++b) {
+            if (blockFree_[b] > 1 || blockRetired_[b] > 1 ||
+                candidate_[b] > 1) {
+                r.fail("mapper block flag is neither 0 nor 1");
+                return false;
+            }
+        }
+    }
+    const uint64_t nFree = r.checkCount(r.u64(), 8);
+    if (r.ok() && nFree > totalBlocks) {
+        r.fail("mapper free list longer than the block count");
+        return false;
+    }
+    freeList_.clear();
+    for (uint64_t i = 0; i < nFree; ++i) {
+        const nand::Pbn b = r.u64();
+        if (r.ok() && b >= totalBlocks) {
+            r.fail("mapper free-list entry past end of NAND");
+            return false;
+        }
+        freeList_.push_back(b);
+    }
+    for (auto &ob : open_) {
+        ob.block = r.u64();
+        ob.nextPage = r.u32();
+        if (r.ok() &&
+            ((ob.block != kNoVictim && ob.block >= totalBlocks) ||
+             ob.nextPage > ppb)) {
+            r.fail("mapper open-block pointer out of range");
+            return false;
+        }
+    }
+    totalValid_ = r.u64();
+    retiredBlocks_ = r.u64();
+    if (!r.ok())
+        return false;
+
+    // Rebuild the lazy victim buckets fresh from the candidate set.
+    // pickVictimGreedy() prunes stale entries before choosing, so the
+    // fresh buckets select the same victims as the aged ones.
+    for (auto &bkt : buckets_)
+        bkt.clear();
+    minBucket_ = ppb + 1;
+    for (nand::Pbn b = 0; b < totalBlocks; ++b)
+        if (candidate_[b])
+            pushBucket(b, blockValid_[b]);
+
+    // Full structural validation against the (already restored) NAND
+    // state; a payload that passed CRC but mutated semantics must
+    // surface here, not as undefined behavior later.
+    const std::string err = checkConsistency();
+    if (!err.empty()) {
+        r.fail("mapper state inconsistent after load: " + err);
+        return false;
+    }
+    return true;
 }
 
 } // namespace ssdcheck::ssd

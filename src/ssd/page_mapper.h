@@ -29,6 +29,11 @@
 #include "nand/nand_array.h"
 #include "nand/nand_config.h"
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::ssd {
 
 /** Sentinel for an unmapped logical page. */
@@ -95,6 +100,9 @@ class PageMapper
     /** Valid-page count of flat block @p pbn. */
     uint32_t blockValidCount(nand::Pbn pbn) const;
 
+    /** Physical blocks managed (introspection/invariants). */
+    uint64_t totalBlocks() const { return blockValid_.size(); }
+
     /**
      * Greedy victim selection: the closed (fully programmed) block
      * with the fewest valid pages, lowest block number first on ties.
@@ -139,6 +147,21 @@ class PageMapper
      * @return empty string when consistent, else a description.
      */
     std::string checkConsistency() const;
+
+    /**
+     * Serialize the logical FTL state. The lazy victim buckets are
+     * derived state and are not serialized: loadState() rebuilds them
+     * fresh from the candidate set, which yields the same
+     * pickVictimGreedy() results as any lazily-aged bucket contents.
+     */
+    void saveState(recovery::StateWriter &w) const;
+
+    /**
+     * Restore state saved by saveState(). The NAND array must already
+     * be restored (checkConsistency() runs against it). Validates all
+     * indices and the full map consistency before returning true.
+     */
+    bool loadState(recovery::StateReader &r);
 
   private:
     struct OpenBlock

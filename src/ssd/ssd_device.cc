@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "recovery/state_io.h"
+
 namespace ssdcheck::ssd {
 
 SsdDevice::SsdDevice(SsdConfig cfg)
@@ -296,6 +298,64 @@ SsdDevice::totalCounters() const
         t.retiredBlocks += c.retiredBlocks;
     }
     return t;
+}
+
+void
+SsdDevice::saveState(recovery::StateWriter &w) const
+{
+    // Drift-mutable config fields: the rest of cfg_ is covered by the
+    // snapshot's config hash, but these two change mid-run.
+    w.u64(cfg_.bufferBytes);
+    w.boolean(cfg_.readTriggerFlush);
+    rng_.saveState(w);
+    faults_.saveState(w);
+    w.u32(static_cast<uint32_t>(volumes_.size()));
+    for (const auto &v : volumes_)
+        v->saveState(w);
+    w.i64(busGate_);
+    w.i64(lastSubmit_);
+    w.u64(requestsServed_);
+    // Serialize the optimal-mode store in key order so the snapshot
+    // bytes are deterministic regardless of hash-table layout.
+    std::vector<std::pair<uint64_t, uint64_t>> sorted(
+        optimalStore_.begin(), // lint:allow(unordered-iter): copied out
+        optimalStore_.end()); // lint:allow(unordered-iter): and sorted below
+    std::sort(sorted.begin(), sorted.end());
+    w.u64(sorted.size());
+    for (const auto &[k, v] : sorted) {
+        w.u64(k);
+        w.u64(v);
+    }
+}
+
+bool
+SsdDevice::loadState(recovery::StateReader &r)
+{
+    const uint64_t bufferBytes = r.u64();
+    const bool readTrigger = r.boolean();
+    if (!rng_.loadState(r) || !faults_.loadState(r))
+        return false;
+    const uint32_t nVolumes = r.u32();
+    if (r.ok() && nVolumes != volumes_.size()) {
+        r.fail("device volume count does not match this configuration");
+        return false;
+    }
+    for (auto &v : volumes_)
+        if (!v->loadState(r))
+            return false;
+    cfg_.bufferBytes = bufferBytes;
+    cfg_.readTriggerFlush = readTrigger;
+    busGate_ = r.i64();
+    lastSubmit_ = r.i64();
+    requestsServed_ = r.u64();
+    const uint64_t nStore = r.checkCount(r.u64(), 16);
+    optimalStore_.clear();
+    for (uint64_t i = 0; i < nStore; ++i) {
+        const uint64_t k = r.u64();
+        const uint64_t v = r.u64();
+        optimalStore_[k] = v;
+    }
+    return r.ok();
 }
 
 } // namespace ssdcheck::ssd

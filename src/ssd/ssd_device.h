@@ -27,6 +27,11 @@
 #include "ssd/ssd_config.h"
 #include "ssd/volume.h"
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::ssd {
 
 /** Simulated SSD exposing the black-box block interface. */
@@ -93,6 +98,17 @@ class SsdDevice : public blockdev::BlockDevice
      * {device=<name>} label, and cascades to every volume.
      */
     void attachObservability(const obs::Sink &sink);
+
+    /**
+     * Serialize the complete dynamic device state: the drift-mutable
+     * config fields (buffer capacity, read-trigger flag), device and
+     * fault random streams, every volume, the interface gates, the
+     * request counter and the optimal-mode functional store.
+     */
+    void saveState(recovery::StateWriter &w) const;
+
+    /** Restore state saved by saveState() (same configuration). */
+    bool loadState(recovery::StateReader &r);
 
   private:
     /** Apply the configured firmware-drift event to the live device. */

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "recovery/state_io.h"
+
 namespace ssdcheck::ssd {
 
 Volume::Volume(const SsdConfig &cfg, uint32_t volumeIndex, sim::Rng rng,
@@ -359,6 +361,62 @@ Volume::peek(uint64_t lpn, uint64_t *payload) const
     if (buffer_.lookup(lpn, payload))
         return true;
     return mapper_->readPage(lpn, payload);
+}
+
+void
+Volume::saveState(recovery::StateWriter &w) const
+{
+    rng_.saveState(w);
+    nand_->saveState(w);
+    mapper_->saveState(w);
+    buffer_.saveState(w);
+    gc_->saveState(w);
+    w.i64(writeGate_);
+    w.i64(nandBusyUntil_);
+    w.i64(readGate_);
+    w.boolean(busyIncludesGc_);
+    w.u64(slcUsedPages_);
+    w.u64(slcCycleCapacity_);
+    w.u64(counters_.writes);
+    w.u64(counters_.reads);
+    w.u64(counters_.flushes);
+    w.u64(counters_.backpressureStalls);
+    w.u64(counters_.gcInvocations);
+    w.u64(counters_.gcBlocksErased);
+    w.u64(counters_.gcPagesMoved);
+    w.u64(counters_.slcMigrations);
+    w.u64(counters_.bufferHits);
+    w.u64(counters_.wearLevelMoves);
+    w.u64(counters_.readRefreshMoves);
+    w.u64(counters_.retiredBlocks);
+}
+
+bool
+Volume::loadState(recovery::StateReader &r)
+{
+    if (!rng_.loadState(r) || !nand_->loadState(r) ||
+        !mapper_->loadState(r) || !buffer_.loadState(r) ||
+        !gc_->loadState(r))
+        return false;
+    writeGate_ = r.i64();
+    nandBusyUntil_ = r.i64();
+    readGate_ = r.i64();
+    busyIncludesGc_ = r.boolean();
+    slcUsedPages_ = r.u64();
+    slcCycleCapacity_ = r.u64();
+    counters_.writes = r.u64();
+    counters_.reads = r.u64();
+    counters_.flushes = r.u64();
+    counters_.backpressureStalls = r.u64();
+    counters_.gcInvocations = r.u64();
+    counters_.gcBlocksErased = r.u64();
+    counters_.gcPagesMoved = r.u64();
+    counters_.slcMigrations = r.u64();
+    counters_.bufferHits = r.u64();
+    counters_.wearLevelMoves = r.u64();
+    counters_.readRefreshMoves = r.u64();
+    counters_.retiredBlocks = r.u64();
+    return r.ok();
 }
 
 } // namespace ssdcheck::ssd

@@ -33,6 +33,11 @@
 #include "ssd/ssd_config.h"
 #include "ssd/write_buffer.h"
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::ssd {
 
 /** Ground-truth cause annotations for one request (introspection). */
@@ -155,6 +160,16 @@ class Volume
      */
     void attachObservability(const obs::Sink &sink,
                              const std::string &device);
+
+    /**
+     * Serialize the volume's dynamic state: random stream, NAND
+     * content, FTL maps, write buffer, GC progress, virtual-time
+     * gates, SLC-cache cursor and counters.
+     */
+    void saveState(recovery::StateWriter &w) const;
+
+    /** Restore state saved by saveState() (same configuration). */
+    bool loadState(recovery::StateReader &r);
 
   private:
     /** Why flush() fired (trace annotation, paper §III-B3). */

@@ -1,6 +1,9 @@
 #include "ssd/write_buffer.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "recovery/state_io.h"
 
 namespace ssdcheck::ssd {
 
@@ -58,6 +61,41 @@ WriteBuffer::clear()
 {
     entries_.clear();
     newest_.clear();
+}
+
+void
+WriteBuffer::saveState(recovery::StateWriter &w) const
+{
+    w.u32(capacity_);
+    w.u64(entries_.size());
+    for (const Entry &e : entries_) {
+        w.u64(e.lpn);
+        w.u64(e.payload);
+    }
+}
+
+bool
+WriteBuffer::loadState(recovery::StateReader &r)
+{
+    const uint32_t capacity = r.u32();
+    if (r.ok() && capacity == 0) {
+        r.fail("write buffer capacity of zero");
+        return false;
+    }
+    const uint64_t n = r.checkCount(r.u64(), 16);
+    if (!r.ok())
+        return false;
+    capacity_ = capacity;
+    entries_.clear();
+    newest_.clear();
+    entries_.reserve(std::max<uint64_t>(capacity_, n));
+    for (uint64_t i = 0; i < n; ++i) {
+        const uint64_t lpn = r.u64();
+        const uint64_t payload = r.u64();
+        entries_.push_back(Entry{lpn, payload});
+        newest_[lpn] = entries_.size() - 1;
+    }
+    return r.ok();
 }
 
 } // namespace ssdcheck::ssd

@@ -20,6 +20,11 @@
 #include <unordered_map>
 #include <vector>
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::ssd {
 
 /** FIFO of buffered page writes with last-writer-wins lookup. */
@@ -72,6 +77,12 @@ class WriteBuffer
 
     /** Discard all contents (purge). */
     void clear();
+
+    /** Serialize capacity (drift-mutable) and buffered entries. */
+    void saveState(recovery::StateWriter &w) const;
+
+    /** Restore state saved by saveState(); rebuilds the lookup index. */
+    bool loadState(recovery::StateReader &r);
 
   private:
     uint32_t capacity_;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "recovery/state_io.h"
+
 namespace ssdcheck::stats {
 
 Histogram::Histogram(int64_t lo, int64_t binWidth, size_t bins)
@@ -41,6 +43,29 @@ Histogram::clear()
 {
     counts_.assign(counts_.size(), 0);
     total_ = 0;
+}
+
+void
+Histogram::saveState(recovery::StateWriter &w) const
+{
+    w.u64(counts_.size());
+    for (uint64_t c : counts_)
+        w.u64(c);
+    w.u64(total_);
+}
+
+bool
+Histogram::loadState(recovery::StateReader &r)
+{
+    const uint64_t n = r.u64();
+    if (r.ok() && n != counts_.size()) {
+        r.fail("histogram bin count does not match this shape");
+        return false;
+    }
+    for (auto &c : counts_)
+        c = r.u64();
+    total_ = r.u64();
+    return r.ok();
 }
 
 } // namespace ssdcheck::stats

@@ -11,6 +11,11 @@
 #include <cstdint>
 #include <vector>
 
+namespace ssdcheck::recovery {
+class StateWriter;
+class StateReader;
+} // namespace ssdcheck::recovery
+
 namespace ssdcheck::stats {
 
 /**
@@ -52,6 +57,12 @@ class Histogram
 
     /** Reset all counts to zero. */
     void clear();
+
+    /** Serialize bin counts (shape comes from the constructor). */
+    void saveState(recovery::StateWriter &w) const;
+
+    /** Restore state saved by saveState() (same shape). */
+    bool loadState(recovery::StateReader &r);
 
   private:
     int64_t lo_;

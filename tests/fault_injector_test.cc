@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/rng.h"
+#include "recovery/state_io.h"
 #include "ssd/fault_injector.h"
 #include "ssd/presets.h"
 #include "ssd/ssd_device.h"
@@ -305,6 +306,81 @@ TEST(FaultInjectorDeviceTest, ReadTriggerDriftFlipsFlag)
     for (uint64_t i = 0; i < 20; ++i)
         dev.submit(makeWrite4k(i), milliseconds(i));
     EXPECT_EQ(dev.config().readTriggerFlush, !before);
+}
+
+
+// -- snapshot/restore replay equivalence (recovery subsystem) ---------
+
+TEST(FaultInjectorSnapshotTest, RestoreResumesIdenticalDrawStream)
+{
+    FaultProfile prof;
+    prof.name = "snap";
+    prof.readUncProbability = 0.1;
+    prof.readUncHardFraction = 0.2;
+    prof.programFailProbability = 0.05;
+    prof.eraseFailProbability = 0.05;
+    prof.stallProbability = 0.02;
+    prof.driftAfterRequests = 500;
+    prof.driftKind = DriftKind::ShrinkBuffer;
+
+    FaultInjector a(prof, sim::Rng(77));
+    // Advance through a mixed draw pattern, including the drift point.
+    for (uint64_t i = 0; i < 300; ++i) {
+        a.onRead();
+        a.programFails();
+        a.eraseFails();
+        a.stallFor();
+        if (a.driftDue(i * 2))
+            a.noteBlockRetired();
+    }
+
+    recovery::StateWriter w;
+    a.saveState(w);
+
+    // Restore into a fresh injector built from the SAME profile (the
+    // profile is config, enforced by the snapshot's config hash) but a
+    // different stream position.
+    FaultInjector b(prof, sim::Rng(1));
+    b.onRead();
+    recovery::StateReader r(w.bytes().data(), w.bytes().size());
+    ASSERT_TRUE(b.loadState(r));
+    EXPECT_TRUE(r.atEnd());
+
+    EXPECT_EQ(b.driftFired(), a.driftFired());
+    EXPECT_EQ(b.counters().readUncTransient, a.counters().readUncTransient);
+    EXPECT_EQ(b.counters().readUncHard, a.counters().readUncHard);
+    EXPECT_EQ(b.counters().programFailures, a.counters().programFailures);
+    EXPECT_EQ(b.counters().eraseFailures, a.counters().eraseFailures);
+    EXPECT_EQ(b.counters().blocksRetired, a.counters().blocksRetired);
+    EXPECT_EQ(b.counters().stalls, a.counters().stalls);
+    EXPECT_EQ(b.rng().draws(), a.rng().draws());
+
+    // The continued streams must be draw-for-draw identical.
+    for (uint64_t i = 0; i < 500; ++i) {
+        const ReadFault fa = a.onRead();
+        const ReadFault fb = b.onRead();
+        EXPECT_EQ(fa.retries, fb.retries);
+        EXPECT_EQ(fa.hard, fb.hard);
+        EXPECT_EQ(a.programFails(), b.programFails());
+        EXPECT_EQ(a.eraseFails(), b.eraseFails());
+        EXPECT_EQ(a.stallFor(), b.stallFor());
+    }
+    EXPECT_EQ(b.counters().stalls, a.counters().stalls);
+}
+
+TEST(FaultInjectorSnapshotTest, LoadStateFailsOnTruncatedBytes)
+{
+    FaultProfile prof;
+    prof.name = "snap";
+    prof.readUncProbability = 0.1;
+    FaultInjector a(prof, sim::Rng(3));
+    for (int i = 0; i < 10; ++i)
+        a.onRead();
+    recovery::StateWriter w;
+    a.saveState(w);
+    FaultInjector b(prof, sim::Rng(3));
+    recovery::StateReader r(w.bytes().data(), w.size() / 2);
+    EXPECT_FALSE(b.loadState(r));
 }
 
 } // namespace

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Golden snapshot fixture: a small committed container holding
+ * deterministically-built component states. Any change to the
+ * container layout or to a component's byte encoding makes the
+ * freshly-built bytes diverge from the committed file and fails the
+ * build — the signal to bump recovery::kFormatVersion (old snapshots
+ * must be refused, not silently misread).
+ *
+ * Regenerate after an intentional format change:
+ *   SSDCHECK_REGEN_GOLDEN=1 ./build/tests/recovery_tests \
+ *       --gtest_filter='RecoveryGoldenTest.*'
+ * and commit the updated fixture alongside the version bump.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib> // lint:allow(wall-clock): getenv gates fixture regen, not simulation
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/calibrator.h"
+#include "core/gc_model.h"
+#include "core/latency_monitor.h"
+#include "recovery/snapshot.h"
+#include "recovery/state_io.h"
+#include "sim/rng.h"
+#include "sim/sim_time.h"
+#include "stats/histogram.h"
+
+#ifndef SSDCHECK_GOLDEN_FIXTURE
+#error "SSDCHECK_GOLDEN_FIXTURE must point at the committed fixture"
+#endif
+
+namespace ssdcheck::recovery {
+namespace {
+
+/**
+ * Build the reference container. Every input is a fixed constant so
+ * the bytes depend only on the serialization format itself.
+ */
+Snapshot
+buildGolden()
+{
+    Snapshot snap;
+    snap.begin(fnv1a("golden-fixture-v1"), 123, 456789);
+
+    {
+        sim::Rng rng(0x601dULL);
+        for (int i = 0; i < 100; ++i)
+            rng.next();
+        StateWriter w;
+        rng.saveState(w);
+        snap.addSection(SectionId::Device, w.take());
+    }
+    {
+        stats::Histogram h(0, 1000, 32);
+        for (int i = 0; i < 500; ++i)
+            h.add((i * 127) % 32000);
+        StateWriter w;
+        h.saveState(w);
+        snap.addSection(SectionId::Model, w.take());
+    }
+    {
+        core::LatencyMonitor mon;
+        for (int i = 0; i < 200; ++i)
+            mon.record(/*predictedHl=*/i % 3 == 0,
+                       /*actualHl=*/i % 3 == 0 || i % 17 == 0);
+        StateWriter w;
+        mon.saveState(w);
+        snap.addSection(SectionId::Supervisor, w.take());
+    }
+    {
+        core::Calibrator cal;
+        for (int i = 0; i < 50; ++i) {
+            cal.observeNlRead(sim::microseconds(80 + i));
+            cal.observeNlWrite(sim::microseconds(20 + i));
+        }
+        cal.observeFlushEvent(sim::milliseconds(2));
+        cal.observeGcEvent(sim::milliseconds(9));
+        StateWriter w;
+        cal.saveState(w);
+        snap.addSection(SectionId::Resilient, w.take());
+    }
+    {
+        core::GcModel gc;
+        for (int round = 0; round < 12; ++round) {
+            for (int f = 0; f < 7 + round % 3; ++f)
+                gc.onFlush();
+            gc.onGcObserved();
+        }
+        StateWriter w;
+        gc.saveState(w);
+        snap.addSection(SectionId::Accuracy, w.take());
+    }
+    return snap;
+}
+
+std::vector<uint8_t>
+readFixture(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>());
+}
+
+TEST(RecoveryGoldenTest, CommittedFixtureMatchesFreshlyBuiltBytes)
+{
+    const std::vector<uint8_t> fresh = buildGolden().serialize();
+
+    if (std::getenv("SSDCHECK_REGEN_GOLDEN") != nullptr) {
+        const std::string err =
+            writeFileAtomic(SSDCHECK_GOLDEN_FIXTURE, fresh);
+        ASSERT_EQ(err, "");
+        GTEST_SKIP() << "regenerated " << SSDCHECK_GOLDEN_FIXTURE;
+    }
+
+    const std::vector<uint8_t> committed =
+        readFixture(SSDCHECK_GOLDEN_FIXTURE);
+    ASSERT_FALSE(committed.empty())
+        << "missing fixture " << SSDCHECK_GOLDEN_FIXTURE
+        << " — run with SSDCHECK_REGEN_GOLDEN=1 to create it";
+
+    EXPECT_EQ(fresh, committed)
+        << "snapshot byte format drifted from the committed golden "
+           "fixture. If the change is intentional, bump "
+           "recovery::kFormatVersion (old snapshots must be refused, "
+           "not reinterpreted) and regenerate the fixture with "
+           "SSDCHECK_REGEN_GOLDEN=1.";
+}
+
+TEST(RecoveryGoldenTest, CommittedFixtureParsesAndRoundTrips)
+{
+    const std::vector<uint8_t> committed =
+        readFixture(SSDCHECK_GOLDEN_FIXTURE);
+    ASSERT_FALSE(committed.empty());
+
+    Snapshot snap;
+    std::string detail;
+    ASSERT_EQ(snap.parse(committed, &detail), LoadError::Ok) << detail;
+    EXPECT_EQ(snap.configHash(), fnv1a("golden-fixture-v1"));
+    EXPECT_EQ(snap.requestIndex(), 123u);
+    EXPECT_EQ(snap.simTimeNs(), 456789);
+    EXPECT_EQ(snap.sectionCount(), 5u);
+
+    // Components built today must still be able to load state written
+    // by the committed (possibly older) build of the same version.
+    {
+        const auto *p = snap.section(SectionId::Device);
+        ASSERT_NE(p, nullptr);
+        sim::Rng rng(1);
+        StateReader r(*p);
+        ASSERT_TRUE(rng.loadState(r));
+        EXPECT_TRUE(r.atEnd());
+        EXPECT_EQ(rng.draws(), 100u);
+        sim::Rng expect(0x601dULL);
+        for (int i = 0; i < 100; ++i)
+            expect.next();
+        EXPECT_EQ(rng.next(), expect.next());
+    }
+    {
+        const auto *p = snap.section(SectionId::Model);
+        ASSERT_NE(p, nullptr);
+        stats::Histogram h(0, 1000, 32);
+        StateReader r(*p);
+        ASSERT_TRUE(h.loadState(r));
+        EXPECT_TRUE(r.atEnd());
+        EXPECT_EQ(h.total(), 500u);
+    }
+    {
+        const auto *p = snap.section(SectionId::Accuracy);
+        ASSERT_NE(p, nullptr);
+        core::GcModel gc;
+        StateReader r(*p);
+        ASSERT_TRUE(gc.loadState(r));
+        EXPECT_TRUE(r.atEnd());
+        EXPECT_EQ(gc.history().size(), 12u);
+    }
+}
+
+} // namespace
+} // namespace ssdcheck::recovery

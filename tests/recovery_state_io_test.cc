@@ -1,0 +1,140 @@
+/**
+ * @file
+ * StateWriter/StateReader primitives: little-endian layout, CRC/FNV
+ * reference values, the sticky-failure contract and the checkCount()
+ * allocation-bomb guard.
+ */
+#include <gtest/gtest.h>
+
+#include "recovery/state_io.h"
+
+namespace ssdcheck::recovery {
+namespace {
+
+TEST(StateIoTest, WriterProducesLittleEndianBytes)
+{
+    StateWriter w;
+    w.u8(0xab);
+    w.u32(0x01020304);
+    w.u64(0x1122334455667788ULL);
+    const std::vector<uint8_t> expect = {0xab, 0x04, 0x03, 0x02, 0x01,
+                                         0x88, 0x77, 0x66, 0x55, 0x44,
+                                         0x33, 0x22, 0x11};
+    EXPECT_EQ(w.bytes(), expect);
+}
+
+TEST(StateIoTest, RoundTripAllTypes)
+{
+    StateWriter w;
+    w.u8(7);
+    w.u32(123456789);
+    w.u64(0xdeadbeefcafef00dULL);
+    w.i64(-42);
+    w.f64(3.25);
+    w.boolean(true);
+    w.boolean(false);
+    w.str("hello snapshot");
+    w.str("");
+
+    StateReader r(w.bytes().data(), w.bytes().size());
+    EXPECT_EQ(r.u8(), 7);
+    EXPECT_EQ(r.u32(), 123456789u);
+    EXPECT_EQ(r.u64(), 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(r.i64(), -42);
+    EXPECT_EQ(r.f64(), 3.25);
+    EXPECT_TRUE(r.boolean());
+    EXPECT_FALSE(r.boolean());
+    EXPECT_EQ(r.str(), "hello snapshot");
+    EXPECT_EQ(r.str(), "");
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(StateIoTest, ShortBufferTripsStickyFailure)
+{
+    StateWriter w;
+    w.u32(1);
+    StateReader r(w.bytes().data(), w.bytes().size());
+    EXPECT_EQ(r.u32(), 1u);
+    EXPECT_EQ(r.u64(), 0u); // past end: zero value, sticky failure
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.error().empty());
+    // Every subsequent read keeps returning zero values.
+    EXPECT_EQ(r.u8(), 0);
+    EXPECT_EQ(r.str(), "");
+    EXPECT_FALSE(r.boolean());
+}
+
+TEST(StateIoTest, NonCanonicalBooleanFails)
+{
+    const uint8_t byte = 2;
+    StateReader r(&byte, 1);
+    EXPECT_FALSE(r.boolean());
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(StateIoTest, CheckCountRejectsAllocationBombs)
+{
+    StateWriter w;
+    w.u32(0xffffffff); // claims 4 billion elements
+    StateReader r(w.bytes().data(), w.bytes().size());
+    const uint64_t n = r.checkCount(r.u32(), 8);
+    EXPECT_EQ(n, 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(StateIoTest, CheckCountAcceptsPlausibleCounts)
+{
+    StateWriter w;
+    w.u32(3);
+    w.u64(1);
+    w.u64(2);
+    w.u64(3);
+    StateReader r(w.bytes().data(), w.bytes().size());
+    const uint64_t n = r.checkCount(r.u32(), 8);
+    ASSERT_EQ(n, 3u);
+    EXPECT_TRUE(r.ok());
+    for (uint64_t i = 1; i <= n; ++i)
+        EXPECT_EQ(r.u64(), i);
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(StateIoTest, ExplicitFailIsSticky)
+{
+    StateWriter w;
+    w.u32(5);
+    StateReader r(w.bytes().data(), w.bytes().size());
+    r.fail("semantic validation failed");
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.error(), "semantic validation failed");
+    EXPECT_EQ(r.u32(), 0u); // bytes remain but the reader stays failed
+}
+
+TEST(StateIoTest, Crc32MatchesIeeeReferenceVectors)
+{
+    const std::string check = "123456789";
+    EXPECT_EQ(crc32(reinterpret_cast<const uint8_t *>(check.data()),
+                    check.size()),
+              0xcbf43926u); // the classic CRC-32 check value
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(StateIoTest, Fnv1aMatchesReferenceVectors)
+{
+    EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_NE(fnv1a("config-a"), fnv1a("config-b"));
+}
+
+TEST(StateIoTest, StrRejectsLengthPastEnd)
+{
+    StateWriter w;
+    w.u32(1000); // length prefix far beyond the buffer
+    w.u8('x');
+    StateReader r(w.bytes().data(), w.bytes().size());
+    EXPECT_EQ(r.str(), "");
+    EXPECT_FALSE(r.ok());
+}
+
+} // namespace
+} // namespace ssdcheck::recovery

@@ -5,6 +5,7 @@
 #include <set>
 #include <vector>
 
+#include "recovery/state_io.h"
 #include "sim/rng.h"
 
 namespace ssdcheck::sim {
@@ -161,6 +162,78 @@ TEST_P(RngBoundSweep, MeanNearHalfBound)
 
 INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
                          ::testing::Values(2, 3, 10, 100, 4096, 1000000));
+
+// -- snapshot/replay equivalence (recovery subsystem contract) ----------
+
+TEST(RngSnapshotTest, DrawsCounterCountsRawDraws)
+{
+    Rng rng(99);
+    EXPECT_EQ(rng.draws(), 0u);
+    EXPECT_EQ(rng.seed(), 99u);
+    rng.next();
+    rng.next();
+    EXPECT_EQ(rng.draws(), 2u);
+    rng.uniform01(); // one raw draw
+    EXPECT_EQ(rng.draws(), 3u);
+}
+
+TEST(RngSnapshotTest, SaveLoadResumesBitIdenticalStream)
+{
+    Rng a(0xfeedULL);
+    for (int i = 0; i < 1000; ++i)
+        a.next();
+    recovery::StateWriter w;
+    a.saveState(w);
+    Rng b(1); // any state; loadState overwrites completely
+    recovery::StateReader r(w.bytes().data(), w.bytes().size());
+    ASSERT_TRUE(b.loadState(r));
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(b.seed(), a.seed());
+    EXPECT_EQ(b.draws(), a.draws());
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngSnapshotTest, ReplayToMatchesRestoredState)
+{
+    // The O(1) restore and the O(draws) replay land on the same
+    // stream position: (seed, draws) fully describes a stream.
+    Rng a(0xabcdULL);
+    for (int i = 0; i < 137; ++i)
+        a.next();
+    Rng replayed = Rng::replayTo(a.seed(), a.draws());
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(replayed.stateWord(i), a.stateWord(i));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(replayed.next(), a.next());
+}
+
+TEST(RngSnapshotTest, RestoreFromWordsIsExact)
+{
+    Rng a(7);
+    for (int i = 0; i < 42; ++i)
+        a.next();
+    const uint64_t words[4] = {a.stateWord(0), a.stateWord(1),
+                               a.stateWord(2), a.stateWord(3)};
+    Rng b(1234);
+    b.restore(a.seed(), a.draws(), words);
+    EXPECT_EQ(b.draws(), 42u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngSnapshotTest, LoadStateFailsOnTruncation)
+{
+    Rng a(5);
+    a.next();
+    recovery::StateWriter w;
+    a.saveState(w);
+    for (size_t cut = 0; cut < w.size(); ++cut) {
+        Rng b(6);
+        recovery::StateReader r(w.bytes().data(), cut);
+        EXPECT_FALSE(b.loadState(r)) << "cut at " << cut;
+    }
+}
 
 } // namespace
 } // namespace ssdcheck::sim

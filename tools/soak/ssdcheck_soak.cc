@@ -1,0 +1,399 @@
+/**
+ * @file
+ * ssdcheck_soak — kill-and-resume chaos campaign over the
+ * checkpoint/restore subsystem (see DESIGN.md "Crash consistency &
+ * state serialization").
+ *
+ * The harness proves one property end to end: a run that is
+ * SIGKILLed at arbitrary request counts — including in the middle of
+ * writing a checkpoint — and resumed from its last checkpoint file
+ * reaches the *bit-identical* final state of an uninterrupted run.
+ *
+ *   1. Golden run: the full workload replayed in-process with no
+ *      interruptions; its final snapshot bytes are the reference.
+ *   2. Chaos cycles: a child `ssdcheck run` process checkpoints every
+ *      N requests and SIGKILLs itself at a seeded-random request
+ *      count (every --torn-every'th cycle it dies halfway through
+ *      writing the checkpoint temp file instead, exercising the
+ *      atomic-rename protocol). After each death the harness parses
+ *      the surviving checkpoint, restores it in-process and asserts
+ *      the cross-layer invariant registry (FTL/NAND agreement, victim
+ *      selection, buffer bounds, counter conservation, monotonic
+ *      progress).
+ *   3. Final cycle: an uninterrupted child resumes from the last
+ *      checkpoint, finishes the workload and writes its final state,
+ *      which must equal the golden bytes exactly.
+ *
+ * Exit 0 only when every cycle verified and the final comparison is
+ * byte-for-byte identical. All randomness is seeded (--seed); the
+ * campaign itself is reproducible.
+ */
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "recovery/invariants.h"
+#include "recovery/run_state.h"
+#include "recovery/snapshot.h"
+
+using namespace ssdcheck;
+
+namespace {
+
+struct Args
+{
+    std::map<std::string, std::string> options;
+    bool has(const std::string &k) const { return options.count(k) > 0; }
+    std::string get(const std::string &k, const std::string &dflt) const
+    {
+        const auto it = options.find(k);
+        return it == options.end() ? dflt : it->second;
+    }
+};
+
+Args
+parse(int argc, char **argv)
+{
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+        std::string key = argv[i];
+        if (key.rfind("--", 0) != 0)
+            continue;
+        key = key.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0)
+            a.options[key] = argv[++i];
+        else
+            a.options[key] = "";
+    }
+    return a;
+}
+
+/** Directory of this executable (to find the sibling ssdcheck CLI). */
+std::string
+selfDir()
+{
+    char buf[4096];
+    const ssize_t n = readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n <= 0)
+        return ".";
+    buf[n] = '\0';
+    std::string path(buf);
+    const size_t slash = path.rfind('/');
+    return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return std::ifstream(path).good();
+}
+
+/** Spawn `ssdcheck run` with @p args; return the raw waitpid status. */
+int
+spawnRun(const std::string &cli, const std::vector<std::string> &args)
+{
+    std::vector<std::string> full = {cli, "run"};
+    full.insert(full.end(), args.begin(), args.end());
+    const pid_t pid = fork();
+    if (pid < 0) {
+        std::perror("fork");
+        return -1;
+    }
+    if (pid == 0) {
+        // Child: silence the per-run report; keep stderr for errors.
+        if (FILE *sink = std::fopen("/dev/null", "w")) {
+            dup2(fileno(sink), STDOUT_FILENO);
+            std::fclose(sink);
+        }
+        std::vector<char *> argv;
+        argv.reserve(full.size() + 1);
+        for (std::string &s : full)
+            argv.push_back(s.data());
+        argv.push_back(nullptr);
+        execv(cli.c_str(), argv.data());
+        std::perror("execv");
+        _exit(127);
+    }
+    int status = 0;
+    if (waitpid(pid, &status, 0) < 0) {
+        std::perror("waitpid");
+        return -1;
+    }
+    return status;
+}
+
+/** Load + parse + restore + invariant-check one checkpoint file.
+ *  @return the checkpoint's cursor, or UINT64_MAX on failure. */
+uint64_t
+verifyCheckpoint(const recovery::RunParams &params,
+                 const std::string &path)
+{
+    std::vector<uint8_t> bytes;
+    std::string detail;
+    recovery::LoadError e = recovery::readFile(path, &bytes, &detail);
+    if (e != recovery::LoadError::Ok) {
+        std::fprintf(stderr, "FAIL: cannot read %s: %s\n", path.c_str(),
+                     detail.c_str());
+        return UINT64_MAX;
+    }
+    recovery::Snapshot snap;
+    e = snap.parse(bytes, &detail);
+    if (e != recovery::LoadError::Ok) {
+        std::fprintf(stderr,
+                     "FAIL: checkpoint %s did not survive the kill "
+                     "[%s]: %s\n",
+                     path.c_str(), recovery::toString(e).c_str(),
+                     detail.c_str());
+        return UINT64_MAX;
+    }
+    std::string err;
+    auto run = recovery::CheckpointableRun::create(params, true, &err);
+    if (!run) {
+        std::fprintf(stderr, "FAIL: cannot build resume stack: %s\n",
+                     err.c_str());
+        return UINT64_MAX;
+    }
+    e = run->restore(snap, &detail);
+    if (e != recovery::LoadError::Ok) {
+        std::fprintf(stderr, "FAIL: restore of %s failed [%s]: %s\n",
+                     path.c_str(), recovery::toString(e).c_str(),
+                     detail.c_str());
+        return UINT64_MAX;
+    }
+    const auto violations = recovery::checkInvariants(*run);
+    for (const std::string &v : violations)
+        std::fprintf(stderr, "FAIL: invariant violated at request %llu: "
+                             "%s\n",
+                     static_cast<unsigned long long>(run->cursor()),
+                     v.c_str());
+    if (!violations.empty())
+        return UINT64_MAX;
+    return run->cursor();
+}
+
+std::vector<uint8_t>
+readAll(const std::string &path)
+{
+    std::vector<uint8_t> bytes;
+    recovery::readFile(path, &bytes);
+    return bytes;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = parse(argc, argv);
+    if (args.has("help")) {
+        std::printf(
+            "ssdcheck_soak [--cli PATH] [--cycles N] [--device X]\n"
+            "              [--workload NAME] [--scale F] [--faults P]\n"
+            "              [--supervisor] [--checkpoint-every N]\n"
+            "              [--torn-every K] [--seed S] [--dir D]\n");
+        return 1;
+    }
+
+    recovery::RunParams params;
+    params.device = args.get("device", "A");
+    params.faults = args.get("faults", "hostile");
+    params.workload = args.get("workload", "RW Mixed");
+    params.scale = std::stod(args.get("scale", "0.02"));
+    params.supervisor = args.has("supervisor");
+    params.timelineMs = std::stoll(args.get("timeline-ms", "0"));
+
+    const std::string cli = args.get("cli", selfDir() + "/ssdcheck");
+    const uint64_t cycles = std::stoull(args.get("cycles", "50"));
+    const uint64_t ckptEvery =
+        std::stoull(args.get("checkpoint-every", "64"));
+    const uint64_t tornEvery = std::stoull(args.get("torn-every", "5"));
+    const uint64_t seed = std::stoull(args.get("seed", "1"));
+    const std::string dir = args.get("dir", "soak-work");
+    if (!fileExists(cli)) {
+        std::fprintf(stderr, "cannot find ssdcheck CLI at %s "
+                             "(pass --cli)\n",
+                     cli.c_str());
+        return 2;
+    }
+    if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        std::perror(dir.c_str());
+        return 2;
+    }
+    const std::string ckpt = dir + "/chaos.ckpt";
+    const std::string finalOut = dir + "/final.ckpt";
+    std::remove(ckpt.c_str());
+    std::remove((ckpt + ".tmp").c_str());
+    std::remove(finalOut.c_str());
+
+    // -- golden run: uninterrupted, in-process ---------------------------
+    std::printf("golden run: %s\n", params.canonical().c_str());
+    std::string err;
+    auto golden = recovery::CheckpointableRun::create(params, false, &err);
+    if (!golden) {
+        std::fprintf(stderr, "cannot build golden run: %s\n", err.c_str());
+        return 2;
+    }
+    while (!golden->done())
+        golden->step();
+    const std::vector<uint8_t> goldenBytes =
+        golden->checkpoint().serialize();
+    const uint64_t traceSize = golden->trace().size();
+    {
+        const auto violations = recovery::checkInvariants(*golden);
+        for (const std::string &v : violations)
+            std::fprintf(stderr, "FAIL: golden-run invariant: %s\n",
+                         v.c_str());
+        if (!violations.empty())
+            return 1;
+    }
+    std::printf("golden: %llu requests, final state %zu bytes\n",
+                static_cast<unsigned long long>(traceSize),
+                goldenBytes.size());
+
+    const std::vector<std::string> base = {
+        "--device",   params.device,
+        "--faults",   params.faults,
+        "--workload", params.workload,
+        "--scale",    args.get("scale", "0.02"),
+    };
+    auto withCommon = [&](std::vector<std::string> extra) {
+        std::vector<std::string> full = base;
+        if (params.supervisor)
+            full.push_back("--supervisor");
+        if (params.timelineMs > 0) {
+            full.push_back("--timeline-ms");
+            full.push_back(std::to_string(params.timelineMs));
+        }
+        full.insert(full.end(), extra.begin(), extra.end());
+        return full;
+    };
+
+    // -- chaos cycles ----------------------------------------------------
+    std::mt19937_64 rng(seed);
+    uint64_t lastCursor = 0;
+    uint64_t kills = 0;
+    uint64_t tornWrites = 0;
+    uint64_t completions = 0;
+    // Kill within a window past the last checkpoint so progress per
+    // cycle is ~traceSize/cycles and the campaign lands close to its
+    // cycle budget before any child reaches the end of the trace.
+    const uint64_t killSpan =
+        std::max<uint64_t>(2 * traceSize / std::max<uint64_t>(cycles, 1),
+                           2);
+    for (uint64_t cycle = 0; cycle < cycles; ++cycle) {
+        const bool haveCkpt = fileExists(ckpt);
+        const uint64_t killAt = lastCursor + 1 + rng() % killSpan;
+        const bool torn =
+            tornEvery > 0 && cycle % tornEvery == tornEvery - 1;
+
+        std::vector<std::string> extra = {
+            "--checkpoint-every", std::to_string(ckptEvery),
+            "--checkpoint-out",   ckpt,
+            "--final-state-out",  finalOut,
+            "--kill-after-requests", std::to_string(killAt),
+        };
+        if (torn)
+            extra.push_back("--kill-in-checkpoint");
+        if (haveCkpt) {
+            extra.push_back("--resume");
+            extra.push_back(ckpt);
+        }
+        const int status = spawnRun(cli, withCommon(extra));
+        if (status < 0)
+            return 2;
+        const bool childCompleted =
+            WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        if (childCompleted) {
+            ++completions;
+            std::printf("cycle %llu: completed (kill point %llu past "
+                        "end)\n",
+                        static_cast<unsigned long long>(cycle),
+                        static_cast<unsigned long long>(killAt));
+        } else if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) {
+            ++kills;
+            tornWrites += torn ? 1 : 0;
+        } else {
+            std::fprintf(stderr,
+                         "FAIL: cycle %llu child died unexpectedly "
+                         "(status 0x%x)\n",
+                         static_cast<unsigned long long>(cycle), status);
+            return 1;
+        }
+
+        if (!fileExists(ckpt)) {
+            // Killed before the first checkpoint; nothing to verify.
+            continue;
+        }
+        const uint64_t cursor = verifyCheckpoint(params, ckpt);
+        if (cursor == UINT64_MAX)
+            return 1;
+        if (cursor < lastCursor) {
+            std::fprintf(stderr,
+                         "FAIL: checkpoint cursor went backwards "
+                         "(%llu -> %llu)\n",
+                         static_cast<unsigned long long>(lastCursor),
+                         static_cast<unsigned long long>(cursor));
+            return 1;
+        }
+        lastCursor = cursor;
+        if (!childCompleted)
+            std::printf("cycle %llu: %s at request %llu, checkpoint at "
+                        "%llu verified\n",
+                        static_cast<unsigned long long>(cycle),
+                        torn ? "torn-write kill" : "kill",
+                        static_cast<unsigned long long>(killAt),
+                        static_cast<unsigned long long>(cursor));
+        if (childCompleted && cursor >= traceSize)
+            break;
+    }
+
+    // -- final uninterrupted cycle + bit-identical comparison ------------
+    if (!fileExists(finalOut)) {
+        std::vector<std::string> extra = {
+            "--checkpoint-every", std::to_string(ckptEvery),
+            "--checkpoint-out",   ckpt,
+            "--final-state-out",  finalOut,
+            "--check-invariants",
+        };
+        if (fileExists(ckpt)) {
+            extra.push_back("--resume");
+            extra.push_back(ckpt);
+        }
+        const int status = spawnRun(cli, withCommon(extra));
+        if (!(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
+            std::fprintf(stderr,
+                         "FAIL: final cycle did not complete "
+                         "(status 0x%x)\n",
+                         status);
+            return 1;
+        }
+        ++completions;
+    }
+    const std::vector<uint8_t> finalBytes = readAll(finalOut);
+    if (finalBytes != goldenBytes) {
+        std::fprintf(stderr,
+                     "FAIL: resumed final state (%zu bytes) differs "
+                     "from the uninterrupted golden run (%zu bytes)\n",
+                     finalBytes.size(), goldenBytes.size());
+        return 1;
+    }
+    std::printf("PASS: %llu kills (%llu mid-checkpoint-write), %llu "
+                "completions; resumed final state is bit-identical to "
+                "the golden run (%zu bytes)\n",
+                static_cast<unsigned long long>(kills),
+                static_cast<unsigned long long>(tornWrites),
+                static_cast<unsigned long long>(completions),
+                goldenBytes.size());
+    return 0;
+}

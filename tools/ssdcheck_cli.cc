@@ -29,6 +29,16 @@
  *       Perfetto), a metrics-registry snapshot and a misprediction
  *       audit JSONL, then print the audit report.
  *
+ *   ssdcheck run --device X [--workload NAME] [--scale F] ...
+ *       The accuracy replay as a checkpointable run: with
+ *       --checkpoint-every N --checkpoint-out F a complete snapshot of
+ *       the deterministic simulation state is atomically written every
+ *       N requests; --resume F continues a run bit-exactly from such a
+ *       snapshot (exit 5 on a corrupt snapshot, 6 on a config
+ *       mismatch). --kill-after-requests / --kill-in-checkpoint are
+ *       the chaos hooks the soak harness (tools/soak) drives; see
+ *       DESIGN.md "Crash consistency & state serialization".
+ *
  *   ssdcheck faults
  *       List the fault-injection profiles.
  *
@@ -47,6 +57,7 @@
  * Devices are the simulated presets; on a real system the same code
  * would sit behind an ioctl-capable block device.
  */
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -61,6 +72,9 @@
 #include "obs/sink.h"
 #include "perf/grid.h"
 #include "perf/thread_pool.h"
+#include "recovery/invariants.h"
+#include "recovery/run_state.h"
+#include "recovery/snapshot.h"
 #include "ssd/fault_injector.h"
 #include "ssd/presets.h"
 #include "ssd/ssd_device.h"
@@ -575,6 +589,207 @@ cmdBench(const Args &args)
     return 0;
 }
 
+/** True when @p path names a readable file. */
+bool
+fileExists(const std::string &path)
+{
+    return std::ifstream(path).good();
+}
+
+/**
+ * Chaos hook: start writing a checkpoint the non-atomic way — dump
+ * half the bytes into the temp file — then die by SIGKILL, leaving a
+ * torn temp next to the intact previous checkpoint. The soak harness
+ * uses this to prove the atomic-rename protocol: a resume must load
+ * the previous checkpoint, never the torn temp.
+ */
+[[noreturn]] void
+dieInCheckpointWrite(const std::string &path,
+                     const std::vector<uint8_t> &bytes)
+{
+    std::ofstream os(path + ".tmp", std::ios::binary | std::ios::trunc);
+    os.write(reinterpret_cast<const char *>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size() / 2));
+    os.flush();
+    std::raise(SIGKILL);
+    std::abort(); // unreachable; SIGKILL cannot be handled
+}
+
+int
+cmdRun(const Args &args)
+{
+    recovery::RunParams params;
+    params.device = args.get("device", "A");
+    params.faults = args.get("faults", "none");
+    params.workload = args.get("workload", "RW Mixed");
+    params.scale = std::stod(args.get("scale", "0.05"));
+    params.supervisor = args.has("supervisor");
+    params.timelineMs = std::stoll(args.get("timeline-ms", "0"));
+
+    const std::string resumePath = args.get("resume", "");
+    const std::string ckptOut = args.get("checkpoint-out", "");
+    const uint64_t ckptEvery =
+        std::stoull(args.get("checkpoint-every", "0"));
+    const std::string finalOut = args.get("final-state-out", "");
+    const bool force = args.has("force");
+    const uint64_t killAfter =
+        std::stoull(args.get("kill-after-requests", "0"));
+    const bool killInCkpt = args.has("kill-in-checkpoint");
+
+    if ((ckptEvery > 0) != !ckptOut.empty()) {
+        std::fprintf(stderr, "--checkpoint-every and --checkpoint-out "
+                             "must be given together\n");
+        return 2;
+    }
+    if (!ckptOut.empty() && ckptOut != resumePath &&
+        fileExists(ckptOut) && !force) {
+        std::fprintf(stderr,
+                     "refusing to overwrite existing checkpoint %s; "
+                     "pass --force to allow it\n",
+                     ckptOut.c_str());
+        return 2;
+    }
+
+    recovery::Snapshot snap;
+    const bool resuming = !resumePath.empty();
+    if (resuming) {
+        std::vector<uint8_t> bytes;
+        std::string detail;
+        recovery::LoadError e =
+            recovery::readFile(resumePath, &bytes, &detail);
+        if (e != recovery::LoadError::Ok) {
+            std::fprintf(stderr, "cannot read snapshot %s: %s\n",
+                         resumePath.c_str(), detail.c_str());
+            return 2;
+        }
+        e = snap.parse(bytes, &detail);
+        if (e != recovery::LoadError::Ok) {
+            std::fprintf(stderr,
+                         "corrupt snapshot %s [%s]: %s\n"
+                         "the file cannot be resumed; re-run without "
+                         "--resume to start over\n",
+                         resumePath.c_str(),
+                         recovery::toString(e).c_str(), detail.c_str());
+            return 5;
+        }
+        if (snap.configHash() != params.configHash() && !force) {
+            std::string taken = "<unrecorded>";
+            if (const auto *p =
+                    snap.section(recovery::SectionId::RunParams)) {
+                recovery::StateReader r(*p);
+                taken = r.str();
+            }
+            std::fprintf(stderr,
+                         "config mismatch: snapshot %s was taken with\n"
+                         "  %s\nbut this run is configured as\n  %s\n"
+                         "re-run with matching flags, or pass --force "
+                         "to resume anyway\n",
+                         resumePath.c_str(), taken.c_str(),
+                         params.canonical().c_str());
+            return 6;
+        }
+    }
+
+    std::string err;
+    auto run = recovery::CheckpointableRun::create(params, resuming, &err);
+    if (!run) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 2;
+    }
+    if (resuming) {
+        std::string detail;
+        const recovery::LoadError e = run->restore(snap, &detail, force);
+        if (e == recovery::LoadError::ConfigMismatch) {
+            std::fprintf(stderr, "config mismatch: %s\n", detail.c_str());
+            return 6;
+        }
+        if (e != recovery::LoadError::Ok) {
+            std::fprintf(stderr, "unusable snapshot %s [%s]: %s\n",
+                         resumePath.c_str(),
+                         recovery::toString(e).c_str(), detail.c_str());
+            return 5;
+        }
+        std::printf("resumed %s at request %llu of %zu (t=%s)\n",
+                    resumePath.c_str(),
+                    static_cast<unsigned long long>(run->cursor()),
+                    run->trace().size(),
+                    sim::formatDuration(run->now()).c_str());
+    }
+
+    uint64_t nextCkpt =
+        ckptEvery > 0 ? (run->cursor() / ckptEvery + 1) * ckptEvery : 0;
+    while (!run->done()) {
+        run->step();
+        if (ckptEvery > 0 && run->cursor() >= nextCkpt) {
+            const std::vector<uint8_t> bytes =
+                run->checkpoint().serialize();
+            if (killInCkpt && killAfter > 0 && run->cursor() >= killAfter)
+                dieInCheckpointWrite(ckptOut, bytes);
+            const std::string werr =
+                recovery::writeFileAtomic(ckptOut, bytes);
+            if (!werr.empty()) {
+                std::fprintf(stderr, "checkpoint failed: %s\n",
+                             werr.c_str());
+                return 2;
+            }
+            nextCkpt += ckptEvery;
+        }
+        if (killAfter > 0 && !killInCkpt && run->cursor() >= killAfter)
+            std::raise(SIGKILL);
+    }
+
+    if (!ckptOut.empty()) {
+        const std::string werr =
+            recovery::writeFileAtomic(ckptOut,
+                                      run->checkpoint().serialize());
+        if (!werr.empty()) {
+            std::fprintf(stderr, "checkpoint failed: %s\n", werr.c_str());
+            return 2;
+        }
+    }
+    if (!finalOut.empty()) {
+        const std::string werr = recovery::writeFileAtomic(
+            finalOut, run->checkpoint().serialize());
+        if (!werr.empty()) {
+            std::fprintf(stderr, "final state write failed: %s\n",
+                         werr.c_str());
+            return 2;
+        }
+    }
+    if (args.has("metrics-out")) {
+        const std::string path = args.get("metrics-out", "metrics.json");
+        if (!writeFile(path, [&](std::ostream &os) {
+                os << run->metricsJson();
+            }))
+            return 2;
+    }
+
+    const core::AccuracyResult &acc = run->accuracy();
+    std::printf("workload: %s (%zu requests, HL fraction %.2f%%)\n",
+                run->trace().name().c_str(), run->trace().size(),
+                acc.hlFraction() * 100);
+    std::printf("NL accuracy: %.2f%%\nHL accuracy: %.2f%%\n",
+                acc.nlAccuracy() * 100, acc.hlAccuracy() * 100);
+    if (acc.faulted > 0)
+        std::printf("faulted requests excluded from recall: %llu\n",
+                    static_cast<unsigned long long>(acc.faulted));
+    if (run->supervisorPtr() != nullptr) {
+        stats::printBanner(std::cout, "model health");
+        std::printf("%s", run->supervisorPtr()->report().c_str());
+    }
+    printFaultReport(run->device(), run->resilient());
+
+    if (args.has("check-invariants")) {
+        const auto violations = recovery::checkInvariants(*run);
+        for (const std::string &v : violations)
+            std::fprintf(stderr, "INVARIANT VIOLATED: %s\n", v.c_str());
+        if (!violations.empty())
+            return 7;
+        std::printf("cross-layer invariants: OK\n");
+    }
+    return 0;
+}
+
 int
 cmdFaults()
 {
@@ -612,6 +827,18 @@ usage()
         "             [--timeline-ms N] [--supervisor]\n"
         "  synth      --workload NAME --out FILE [--scale F] [--span P]\n"
         "  replay     --device X --trace FILE [--faults PROFILE]\n"
+        "  run        --device X [--workload NAME] [--scale F]"
+        " [--faults PROFILE]\n"
+        "             [--supervisor] [--timeline-ms N]"
+        " [--metrics-out FILE]\n"
+        "             [--checkpoint-every N --checkpoint-out FILE]"
+        " [--resume FILE]\n"
+        "             [--force] [--final-state-out FILE]"
+        " [--check-invariants]\n"
+        "             [--kill-after-requests N] [--kill-in-checkpoint]\n"
+        "             exit codes: 5 = corrupt snapshot, 6 = config"
+        " mismatch,\n"
+        "                         7 = invariant violation\n"
         "  faults\n"
         "  bench      [--jobs N] [--scale F] [--seeds K] [--out FILE]\n"
         "             [--baseline FILE] [--max-regress F]\n"
@@ -636,6 +863,8 @@ main(int argc, char **argv)
         return cmdReplay(args);
     if (args.command == "trace")
         return cmdTrace(args);
+    if (args.command == "run")
+        return cmdRun(args);
     if (args.command == "bench")
         return cmdBench(args);
     if (args.command == "faults")
