@@ -34,7 +34,8 @@ class BlockDevice
      * @pre now is >= the timestamp of every earlier submit().
      * @return completion record (completeTime >= now).
      */
-    virtual IoResult submit(const IoRequest &req, sim::SimTime now) = 0;
+    [[nodiscard]] virtual IoResult submit(const IoRequest &req,
+                                          sim::SimTime now) = 0;
 
     /** Device capacity in sectors. */
     virtual uint64_t capacitySectors() const = 0;

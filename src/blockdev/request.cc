@@ -28,6 +28,10 @@ toString(IoStatus s)
         return "timeout";
       case IoStatus::DeviceFault:
         return "device-fault";
+      case IoStatus::Rejected:
+        return "rejected";
+      case IoStatus::Expired:
+        return "expired";
     }
     return "?";
 }

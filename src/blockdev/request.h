@@ -44,6 +44,20 @@ enum class IoStatus : uint8_t
     MediaError,  ///< Uncorrectable media error (retryable).
     Timeout,     ///< Host gave up waiting (retryable).
     DeviceFault, ///< Rejected/failed command (not retryable).
+    /**
+     * Shed by a host-side policy layer (breaker open, overload,
+     * degraded mode) before reaching the device. Completes instantly
+     * at the host; never produced by a device itself. Not retryable
+     * through the same path — the caller must back off or reroute.
+     */
+    Rejected,
+    /**
+     * Deadline budget exhausted: the exchange (attempts + backoff)
+     * would exceed the request's total-time cap, so the host stopped
+     * it at the budget boundary. Not retryable — the budget is the
+     * retry policy.
+     */
+    Expired,
 };
 
 /** Human-readable name of an IoStatus. */

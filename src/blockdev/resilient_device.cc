@@ -41,6 +41,13 @@ constexpr uint32_t kTraceAttempts = 8;
 IoResult
 ResilientDevice::submit(const IoRequest &req, sim::SimTime now)
 {
+    return submitBounded(req, now, /*deadline=*/0);
+}
+
+IoResult
+ResilientDevice::submitBounded(const IoRequest &req, sim::SimTime now,
+                               sim::SimTime deadline)
+{
     ++counters_.submissions;
     sim::SimTime attemptTime = now;
     IoResult last;
@@ -54,7 +61,38 @@ ResilientDevice::submit(const IoRequest &req, sim::SimTime now)
         // clamp to the high-water mark — a command cannot arrive in
         // the device's past.
         attemptTime = std::max(attemptTime, innerClock_);
+
+        // Budget already spent before this attempt could start: give
+        // up without touching the device again. On the first attempt
+        // the deadline sat in the past (or the inner clock ran ahead
+        // of it), so the device never sees the request at all.
+        if (deadline > 0 && attemptTime >= deadline) {
+            ++counters_.expired;
+            if (sawError)
+                ++counters_.erroredRequests;
+            last.submitTime = now;
+            last.completeTime = std::max(now, deadline);
+            last.status = IoStatus::Expired;
+            last.attempts = attempt;
+            if (trace_ != nullptr && attempt > 0) {
+                const obs::TraceTrack track{obs::kHostPid,
+                                            obs::kHostResilientTid};
+                for (uint32_t i = 0; i < numRecs; ++i)
+                    trace_->complete(
+                        "res", "res.attempt", track, recs[i].start,
+                        recs[i].dur,
+                        {{"attempt", static_cast<int64_t>(i + 1)},
+                         {"status",
+                          static_cast<int64_t>(recs[i].status)}});
+                trace_->instant(
+                    "res", "res.expired", track, last.completeTime,
+                    {{"attempts", static_cast<int64_t>(attempt)}});
+            }
+            return last;
+        }
+
         innerClock_ = attemptTime;
+        ++counters_.attemptsIssued;
         IoResult res = inner_.submit(req, attemptTime);
 
         // Timeout classification: the host stops waiting once the
@@ -63,6 +101,25 @@ ResilientDevice::submit(const IoRequest &req, sim::SimTime now)
         if (res.ok() && cfg_.timeoutAfter > 0 &&
             res.latency() > cfg_.timeoutAfter)
             res.status = IoStatus::Timeout;
+
+        // The attempt is settled once the host sees its outcome: for
+        // timeouts that is the give-up deadline, not the (later)
+        // simulated completion.
+        sim::SimTime settled =
+            res.status == IoStatus::Timeout
+                ? std::min(res.completeTime,
+                           attemptTime + cfg_.timeoutAfter)
+                : res.completeTime;
+
+        // Deadline budget dominates every other policy: an attempt
+        // whose outcome would land past the budget is abandoned at the
+        // boundary regardless of how the device eventually answered.
+        if (deadline > 0 && settled > deadline) {
+            res.status = IoStatus::Expired;
+            settled = deadline;
+            res.completeTime = deadline;
+            ++counters_.expired;
+        }
 
         switch (res.status) {
           case IoStatus::Ok:
@@ -79,16 +136,16 @@ ResilientDevice::submit(const IoRequest &req, sim::SimTime now)
             ++counters_.deviceFaults;
             sawError = true;
             break;
+          case IoStatus::Expired:
+            sawError = true;
+            break;
+          case IoStatus::Rejected:
+            // Policy sheds happen above this layer; a device must not
+            // produce them. Treat defensively as a permanent error.
+            ++counters_.deviceFaults;
+            sawError = true;
+            break;
         }
-
-        // The attempt is settled once the host sees its outcome: for
-        // timeouts that is the give-up deadline, not the (later)
-        // simulated completion.
-        const sim::SimTime settled =
-            res.status == IoStatus::Timeout
-                ? std::min(res.completeTime,
-                           attemptTime + cfg_.timeoutAfter)
-                : res.completeTime;
 
         if (trace_ != nullptr && numRecs < kTraceAttempts)
             recs[numRecs++] =
@@ -107,6 +164,11 @@ ResilientDevice::submit(const IoRequest &req, sim::SimTime now)
                 ++counters_.exhausted;
             if (sawError)
                 ++counters_.erroredRequests;
+            // A failed exchange is over for the caller once the last
+            // attempt settles; the clamped settled time keeps Expired
+            // results inside the budget.
+            if (!res.ok())
+                last.completeTime = settled;
             // Trace only abnormal exchanges: the healthy single-attempt
             // path is already covered by the host/device spans.
             if (trace_ != nullptr && (sawError || attempt > 0)) {
@@ -154,6 +216,9 @@ ResilientDevice::attachObservability(const obs::Sink &sink)
         reg.exportCounter("res_exhausted", labels, &counters_.exhausted);
         reg.exportCounter("res_errored_requests", labels,
                           &counters_.erroredRequests);
+        reg.exportCounter("res_expired", labels, &counters_.expired);
+        reg.exportCounter("res_attempts_issued", labels,
+                          &counters_.attemptsIssued);
     }
 }
 
@@ -168,6 +233,8 @@ ResilientDevice::saveState(recovery::StateWriter &w) const
     w.u64(counters_.exhausted);
     w.u64(counters_.submissions);
     w.u64(counters_.erroredRequests);
+    w.u64(counters_.expired);
+    w.u64(counters_.attemptsIssued);
     w.i64(innerClock_);
 }
 
@@ -182,6 +249,8 @@ ResilientDevice::loadState(recovery::StateReader &r)
     counters_.exhausted = r.u64();
     counters_.submissions = r.u64();
     counters_.erroredRequests = r.u64();
+    counters_.expired = r.u64();
+    counters_.attemptsIssued = r.u64();
     innerClock_ = r.i64();
     return r.ok();
 }

@@ -65,6 +65,15 @@ struct ResilienceCounters
     uint64_t submissions = 0;   ///< Caller-visible requests served.
     /** Caller requests whose exchange saw at least one error. */
     uint64_t erroredRequests = 0;
+    /** Exchanges cut short by a deadline budget (submitBounded). */
+    uint64_t expired = 0;
+    /**
+     * Inner-device submissions actually issued (attempts, including
+     * retries). Unlike submissions this counts what the device saw:
+     * a deadline can expire before the first attempt, so submissions
+     * and attemptsIssued move independently.
+     */
+    uint64_t attemptsIssued = 0;
 
     /**
      * Fraction of caller requests that saw any error (0 when idle).
@@ -94,7 +103,22 @@ class ResilientDevice : public BlockDevice
     explicit ResilientDevice(BlockDevice &inner, ResilienceConfig cfg = {});
 
     // BlockDevice interface.
-    IoResult submit(const IoRequest &req, sim::SimTime now) override;
+    [[nodiscard]] IoResult submit(const IoRequest &req,
+                                  sim::SimTime now) override;
+
+    /**
+     * Submit with an absolute deadline budget: the whole exchange —
+     * attempts, timeout waits, backoff — is capped at @p deadline
+     * (0 = unbounded, identical to submit()). The exchange never
+     * consumes sim time past the budget: an attempt whose settled
+     * time would cross it, or a retry that would start at/after it,
+     * returns IoStatus::Expired with completeTime clamped to the
+     * budget boundary. A deadline already in the past returns Expired
+     * with attempts = 0 and no device submission.
+     */
+    [[nodiscard]] IoResult submitBounded(const IoRequest &req,
+                                         sim::SimTime now,
+                                         sim::SimTime deadline);
     uint64_t capacitySectors() const override
     {
         return inner_.capacitySectors();

@@ -93,25 +93,64 @@ checkInvariants(const CheckpointableRun &run)
 
     const blockdev::ResilienceCounters &rc = run.resilient().counters();
     const core::HealthSupervisor *sup = run.supervisorPtr();
+    const resilience::PolicyDevice *pol = run.policyPtr();
     const uint64_t probes = sup != nullptr ? sup->counters().probesIssued : 0;
     // QD1 barrier: nothing is in flight, so host submissions are
     // exactly the completed workload requests plus supervisor probes.
-    if (rc.submissions != run.cursor() + probes)
+    // With a policy layer those arrive at the policy; the resilient
+    // path below it sees only what was forwarded, plus hedges.
+    const uint64_t hostSubmissions =
+        pol != nullptr ? pol->counters().submissions : rc.submissions;
+    if (hostSubmissions != run.cursor() + probes)
         violations.push_back(
-            fmt("resilient path saw %" PRIu64 " submissions but cursor "
+            fmt("host path saw %" PRIu64 " submissions but cursor "
                 "%" PRIu64 " + %" PRIu64 " probes were issued",
-                rc.submissions, run.cursor(), probes));
-    // Every host attempt (first submission or retry) reaches the
-    // device exactly once.
-    if (dev.requestsServed() != rc.submissions + rc.retries)
+                hostSubmissions, run.cursor(), probes));
+    // Every attempt the retry loop issued reaches the device exactly
+    // once (a deadline can expire before the first attempt, so
+    // submissions + retries is only an upper bound).
+    if (dev.requestsServed() != rc.attemptsIssued)
         violations.push_back(
             fmt("device served %" PRIu64 " requests but the resilient "
-                "path issued %" PRIu64 " (%" PRIu64 " + %" PRIu64
-                " retries)",
-                dev.requestsServed(), rc.submissions + rc.retries,
-                rc.submissions, rc.retries));
+                "path issued %" PRIu64 " attempts",
+                dev.requestsServed(), rc.attemptsIssued));
+    if (rc.attemptsIssued > rc.submissions + rc.retries)
+        violations.push_back("resilient attempts exceed submissions + "
+                             "retries");
     if (rc.recovered + rc.exhausted > rc.retries + rc.submissions)
         violations.push_back("resilience outcome counters exceed attempts");
+
+    // -- policy-layer conservation ---------------------------------------
+    if (pol != nullptr) {
+        const resilience::PolicyCounters &pc = pol->counters();
+        if (pc.forwarded + pc.shedTotal() != pc.submissions)
+            violations.push_back(
+                fmt("policy forwarded %" PRIu64 " + shed %" PRIu64
+                    " does not sum to %" PRIu64 " submissions",
+                    pc.forwarded, pc.shedTotal(), pc.submissions));
+        if (rc.submissions != pc.forwarded + pc.hedgesIssued)
+            violations.push_back(
+                fmt("resilient path saw %" PRIu64 " submissions but the "
+                    "policy forwarded %" PRIu64 " + %" PRIu64 " hedges",
+                    rc.submissions, pc.forwarded, pc.hedgesIssued));
+        // Every hedge pair resolves to exactly one winner and one
+        // cancelled loser.
+        if (pc.hedgeCancelled != pc.hedgesIssued ||
+            pc.hedgeWins > pc.hedgesIssued)
+            violations.push_back("policy hedge accounting does not pair "
+                                 "up with issued hedges");
+        if (pc.breakerCloses > pc.breakerOpens + pc.breakerReopens)
+            violations.push_back(
+                "policy breaker closed more often than it opened");
+        // The deadline budget dominates: no exchange may consume more
+        // sim time than its cap.
+        if (pol->config().deadlineBudget > 0 &&
+            pol->maxExchange() > pol->config().deadlineBudget)
+            violations.push_back(
+                fmt("policy observed a %" PRId64 "ns exchange over the "
+                    "%" PRId64 "ns deadline budget",
+                    pol->maxExchange(), pol->config().deadlineBudget));
+    }
 
     // -- time sanity ------------------------------------------------------
     if (run.now() < 0)

@@ -21,12 +21,12 @@ const std::vector<int64_t> kHostLatencyBounds = {
 std::string
 RunParams::canonical() const
 {
-    char buf[256];
+    char buf[320];
     std::snprintf(buf, sizeof buf,
                   "device=%s;faults=%s;workload=%s;scale=%.6f;"
-                  "supervisor=%d;timeline_ms=%" PRId64,
+                  "supervisor=%d;timeline_ms=%" PRId64 ";resilience=%s",
                   device.c_str(), faults.c_str(), workload.c_str(), scale,
-                  supervisor ? 1 : 0, timelineMs);
+                  supervisor ? 1 : 0, timelineMs, resilience.c_str());
     return buf;
 }
 
@@ -76,11 +76,19 @@ CheckpointableRun::create(const RunParams &params, bool forResume,
     if (params.scale <= 0)
         return fail("scale must be positive");
 
+    resilience::ResiliencePolicy policy;
+    if (!resilience::resiliencePolicyByName(params.resilience, &policy))
+        return fail("unknown resilience policy '" + params.resilience +
+                    "'");
+
     std::unique_ptr<CheckpointableRun> run(new CheckpointableRun());
     run->params_ = params;
     run->dev_ = std::make_unique<ssd::SsdDevice>(cfg);
     run->rdev_ =
         std::make_unique<blockdev::ResilientDevice>(*run->dev_);
+    if (policy.enabled)
+        run->pdev_ = std::make_unique<resilience::PolicyDevice>(
+            *run->rdev_, policy);
 
     if (forResume) {
         // Diagnosis and preconditioning only produce state that
@@ -101,9 +109,15 @@ CheckpointableRun::create(const RunParams &params, bool forResume,
         run->check_ = std::make_unique<core::SsdCheck>(fs);
         run->t_ = runner.now();
     }
-    if (params.supervisor)
+    if (params.supervisor) {
+        // With a policy stacked, probes flow through it: supervisor
+        // probe I/O is exactly the breaker's HalfOpen trial stream.
+        blockdev::BlockDevice &probePath =
+            run->pdev_ ? static_cast<blockdev::BlockDevice &>(*run->pdev_)
+                       : *run->rdev_;
         run->sup_ = std::make_unique<core::HealthSupervisor>(
-            *run->check_, *run->rdev_);
+            *run->check_, probePath);
+    }
 
     // Metrics are always attached: the registry is part of the
     // checkpointed state and of the final-state comparison. The
@@ -115,6 +129,8 @@ CheckpointableRun::create(const RunParams &params, bool forResume,
         run->registry_.enableTimeline(sim::milliseconds(params.timelineMs));
     run->dev_->attachObservability(sink);
     run->rdev_->attachObservability(sink);
+    if (run->pdev_)
+        run->pdev_->attachObservability(sink);
     run->check_->attachObservability(sink);
     if (run->sup_)
         run->sup_->attachObservability(sink);
@@ -139,7 +155,11 @@ CheckpointableRun::step()
         t_ = sup_->pump(t_);
     const core::Prediction pred = check_->predict(req, t_);
     check_->onSubmit(req, t_);
-    const blockdev::IoResult res = rdev_->submit(req, t_);
+    if (pdev_ && sup_)
+        pdev_->observeHealth(sup_->state());
+    const blockdev::IoResult res =
+        pdev_ ? pdev_->submitHinted(req, t_, pred.eet)
+              : rdev_->submit(req, t_);
     const bool actualHl = check_->onComplete(req, pred, t_,
                                              res.completeTime, res.status,
                                              res.attempts);
@@ -186,6 +206,11 @@ CheckpointableRun::checkpoint() const
         StateWriter w;
         rdev_->saveState(w);
         snap.addSection(SectionId::Resilient, w.take());
+    }
+    if (pdev_) {
+        StateWriter w;
+        pdev_->saveState(w);
+        snap.addSection(SectionId::Resilience, w.take());
     }
     {
         StateWriter w;
@@ -277,6 +302,16 @@ CheckpointableRun::restore(const Snapshot &snap, std::string *detail,
              [&](StateReader &r) { rdev_->loadState(r); });
     if (e != LoadError::Ok)
         return e;
+    if (pdev_) {
+        e = load(SectionId::Resilience, "resilience",
+                 [&](StateReader &r) { pdev_->loadState(r); });
+        if (e != LoadError::Ok)
+            return e;
+    } else if (snap.section(SectionId::Resilience) != nullptr) {
+        explain("snapshot has a resilience section but this run has "
+                "no policy layer");
+        return LoadError::Malformed;
+    }
     e = load(SectionId::Accuracy, "accuracy", [&](StateReader &r) {
         acc_.nlTotal = r.u64();
         acc_.nlCorrect = r.u64();

@@ -33,6 +33,7 @@
 #include "obs/registry.h"
 #include "obs/sink.h"
 #include "recovery/snapshot.h"
+#include "resilience/policy.h"
 #include "ssd/ssd_device.h"
 #include "workload/snia_synth.h"
 #include "workload/trace.h"
@@ -53,6 +54,7 @@ struct RunParams
     double scale = 0.05;           ///< Trace shrink factor.
     bool supervisor = false;       ///< Health supervisor attached.
     int64_t timelineMs = 0;        ///< Metrics timeline interval (0=off).
+    std::string resilience = "off"; ///< Policy preset ("off" = none).
 
     /** Canonical text form (hashed; also stored for diagnostics). */
     std::string canonical() const;
@@ -111,14 +113,21 @@ class CheckpointableRun
      *        section-level validation still applies, so structurally
      *        incompatible state fails as Malformed instead.
      */
-    LoadError restore(const Snapshot &snap, std::string *detail,
-                      bool forceConfig = false);
+    [[nodiscard]] LoadError restore(const Snapshot &snap,
+                                    std::string *detail,
+                                    bool forceConfig = false);
 
     // -- component access (reports, invariant checks) ---------------------
     ssd::SsdDevice &device() { return *dev_; }
     const ssd::SsdDevice &device() const { return *dev_; }
     blockdev::ResilientDevice &resilient() { return *rdev_; }
     const blockdev::ResilientDevice &resilient() const { return *rdev_; }
+    /** Policy layer, or nullptr when params.resilience == "off". */
+    resilience::PolicyDevice *policyPtr() { return pdev_.get(); }
+    const resilience::PolicyDevice *policyPtr() const
+    {
+        return pdev_.get();
+    }
     core::SsdCheck &check() { return *check_; }
     const core::SsdCheck &check() const { return *check_; }
     core::HealthSupervisor *supervisorPtr() { return sup_.get(); }
@@ -139,6 +148,7 @@ class CheckpointableRun
     RunParams params_;
     std::unique_ptr<ssd::SsdDevice> dev_;
     std::unique_ptr<blockdev::ResilientDevice> rdev_;
+    std::unique_ptr<resilience::PolicyDevice> pdev_;
     std::unique_ptr<core::SsdCheck> check_;
     std::unique_ptr<core::HealthSupervisor> sup_;
     obs::Registry registry_;

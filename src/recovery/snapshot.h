@@ -35,8 +35,11 @@
 
 namespace ssdcheck::recovery {
 
-/** Current snapshot format version. Bump on any layout change. */
-inline constexpr uint32_t kFormatVersion = 1;
+/** Current snapshot format version. Bump on any layout change.
+ *  v2: ResilientDevice gained expired/attemptsIssued counters,
+ *  FaultInjector gained burst-regime state, and the Resilience/Chaos
+ *  sections were added. */
+inline constexpr uint32_t kFormatVersion = 2;
 
 /** Snapshot file magic ("SSDCKPT1"). */
 inline constexpr uint8_t kMagic[8] = {'S', 'S', 'D', 'C', 'K', 'P', 'T', '1'};
@@ -54,6 +57,8 @@ enum class SectionId : uint32_t
     Accuracy = 5,   ///< Accuracy counters + workload cursor + clock.
     Registry = 6,   ///< obs::Registry owned counters and timeline.
     RunParams = 7,  ///< Canonical run parameters (for --resume).
+    Resilience = 8, ///< PolicyDevice: breaker/hedge/admission state.
+    Chaos = 9,      ///< Chaos campaign shard cursor + digest.
 };
 
 /** Why a snapshot failed to load. */
@@ -94,8 +99,8 @@ class Snapshot
      * typed error and, when @p detail is non-null, a human-readable
      * explanation; *this is left empty.
      */
-    LoadError parse(const std::vector<uint8_t> &bytes,
-                    std::string *detail = nullptr);
+    [[nodiscard]] LoadError parse(const std::vector<uint8_t> &bytes,
+                                  std::string *detail = nullptr);
 
     /** Section payload, or nullptr when absent. */
     const std::vector<uint8_t> *section(SectionId id) const;
@@ -125,7 +130,8 @@ std::string writeFileAtomic(const std::string &path,
 /**
  * Read a whole file. @return LoadError::Ok/IoError; fills @p out.
  */
-LoadError readFile(const std::string &path, std::vector<uint8_t> *out,
-                   std::string *detail = nullptr);
+[[nodiscard]] LoadError readFile(const std::string &path,
+                                 std::vector<uint8_t> *out,
+                                 std::string *detail = nullptr);
 
 } // namespace ssdcheck::recovery

@@ -52,6 +52,37 @@ FaultProfile::validate() const
         driftBufferFactor <= 0.0)
         return "fault profile '" + name +
                "': driftBufferFactor must be > 0";
+    auto regimeError = [&](const FaultRegime &rg,
+                           const char *where) -> std::string {
+        if (!rg.active())
+            return {};
+        if (rg.enterBurst < 0.0 || rg.enterBurst > 1.0 ||
+            rg.exitBurst <= 0.0 || rg.exitBurst > 1.0)
+            return "fault profile '" + name + "': " + where +
+                   " transition probabilities must be in (0, 1]";
+        if (rg.uncFactor < 0.0 || rg.stallFactor < 0.0)
+            return "fault profile '" + name + "': " + where +
+                   " factors must be >= 0";
+        return {};
+    };
+    if (auto err = regimeError(regime, "regime"); !err.empty())
+        return err;
+    for (const FaultPhase &ph : phases) {
+        if (ph.toRequest <= ph.fromRequest)
+            return "fault profile '" + name +
+                   "': phase window must have toRequest > fromRequest";
+        if (auto err = regimeError(ph.regime, "phase regime");
+            !err.empty())
+            return err;
+    }
+    for (const UncCluster &c : uncClusters) {
+        if (c.pages == 0)
+            return "fault profile '" + name +
+                   "': uncCluster must cover at least one page";
+        if (c.probability < 0.0 || c.probability > 1.0)
+            return "fault profile '" + name +
+                   "': uncCluster probability must be within [0, 1]";
+    }
     return {};
 }
 
@@ -62,13 +93,61 @@ FaultInjector::FaultInjector(FaultProfile profile, sim::Rng rng)
     assert(err.empty() && "malformed FaultProfile (see validate())");
 }
 
+const FaultRegime *
+FaultInjector::regimeFor(uint64_t requestIndex) const
+{
+    for (const FaultPhase &ph : profile_.phases)
+        if (requestIndex >= ph.fromRequest && requestIndex < ph.toRequest)
+            return ph.regime.active() ? &ph.regime : nullptr;
+    return profile_.regime.active() ? &profile_.regime : nullptr;
+}
+
+void
+FaultInjector::beginRequest(uint64_t requestIndex)
+{
+    curUncFactor_ = 1.0;
+    curStallFactor_ = 1.0;
+    if (profile_.phases.empty() && !profile_.regime.active())
+        return;
+    const FaultRegime *rg = regimeFor(requestIndex);
+    if (rg == nullptr) {
+        // No regime governs this window; any burst in progress ends.
+        burst_ = false;
+        return;
+    }
+    // One transition probe per request: geometric dwell times in both
+    // states (two-state Markov chain, Gilbert-Elliott style).
+    const double pTransition = burst_ ? rg->exitBurst : rg->enterBurst;
+    if (pTransition > 0.0 && rng_.bernoulli(pTransition)) {
+        burst_ = !burst_;
+        if (burst_)
+            ++counters_.burstEntries;
+    }
+    if (burst_) {
+        ++counters_.burstRequests;
+        curUncFactor_ = rg->uncFactor;
+        curStallFactor_ = rg->stallFactor;
+    }
+}
+
 ReadFault
-FaultInjector::onRead()
+FaultInjector::onRead(uint64_t firstPage)
 {
     ReadFault f;
-    if (profile_.readUncProbability <= 0.0 ||
-        !rng_.bernoulli(profile_.readUncProbability))
+    double p = profile_.readUncProbability * curUncFactor_;
+    bool clusterHit = false;
+    for (const UncCluster &c : profile_.uncClusters) {
+        if (firstPage >= c.firstPage && firstPage < c.firstPage + c.pages &&
+            c.probability > p) {
+            p = c.probability;
+            clusterHit = true;
+        }
+    }
+    p = std::min(p, 1.0);
+    if (p <= 0.0 || !rng_.bernoulli(p))
         return f;
+    if (clusterHit)
+        ++counters_.clusterUncReads;
     if (profile_.readUncHardFraction > 0.0 &&
         rng_.bernoulli(profile_.readUncHardFraction)) {
         // Every retry level was exhausted without recovering the page.
@@ -108,8 +187,9 @@ FaultInjector::eraseFails()
 sim::SimDuration
 FaultInjector::stallFor()
 {
-    if (profile_.stallProbability <= 0.0 ||
-        !rng_.bernoulli(profile_.stallProbability))
+    const double p =
+        std::min(profile_.stallProbability * curStallFactor_, 1.0);
+    if (p <= 0.0 || !rng_.bernoulli(p))
         return 0;
     ++counters_.stalls;
     return rng_.uniformInt(profile_.stallMin, profile_.stallMax);
@@ -168,6 +248,22 @@ allFaultProfiles()
     drift.driftBufferFactor = 0.5;
     out.push_back(drift);
 
+    // Correlated misbehavior: a mostly-calm device that periodically
+    // enters a burst where UNC reads and stalls spike two orders of
+    // magnitude — the shape i.i.d. rates cannot express and the
+    // circuit breaker exists to catch.
+    FaultProfile storms;
+    storms.name = "storms";
+    storms.readUncProbability = 0.0005;
+    storms.readUncHardFraction = 0.05;
+    storms.stallProbability = 0.00002;
+    storms.stallMax = sim::milliseconds(900);
+    storms.regime.enterBurst = 0.002;
+    storms.regime.exitBurst = 0.01;
+    storms.regime.uncFactor = 80.0;
+    storms.regime.stallFactor = 200.0;
+    out.push_back(storms);
+
     // Everything at once — the profile the resilience stack must
     // survive without crashing or poisoning an estimate.
     FaultProfile hostile;
@@ -196,7 +292,11 @@ FaultInjector::saveState(recovery::StateWriter &w) const
     w.u64(counters_.blocksRetired);
     w.u64(counters_.stalls);
     w.u64(counters_.driftEvents);
+    w.u64(counters_.burstEntries);
+    w.u64(counters_.burstRequests);
+    w.u64(counters_.clusterUncReads);
     w.boolean(driftFired_);
+    w.boolean(burst_);
 }
 
 bool
@@ -211,7 +311,11 @@ FaultInjector::loadState(recovery::StateReader &r)
     counters_.blocksRetired = r.u64();
     counters_.stalls = r.u64();
     counters_.driftEvents = r.u64();
+    counters_.burstEntries = r.u64();
+    counters_.burstRequests = r.u64();
+    counters_.clusterUncReads = r.u64();
     driftFired_ = r.boolean();
+    burst_ = r.boolean();
     return r.ok();
 }
 

@@ -45,6 +45,55 @@ enum class DriftKind : uint8_t
 /** Human-readable name of a DriftKind. */
 std::string toString(DriftKind k);
 
+/**
+ * Two-state Markov burst/calm regime. The i.i.d. rates in FaultProfile
+ * cannot express correlated misbehavior — a controller that wedges for
+ * a few hundred requests, recovers, then wedges again. The regime
+ * multiplies the base UNC/stall rates while in the burst state; the
+ * per-request transition draws make dwell times geometrically
+ * distributed, the classic burst-error channel (Gilbert-Elliott).
+ */
+struct FaultRegime
+{
+    /** Per-request probability of entering a burst (0 = regime off). */
+    double enterBurst = 0.0;
+    /** Per-request probability of leaving a burst once inside. */
+    double exitBurst = 0.0;
+    /** Multiplier on readUncProbability while bursting. */
+    double uncFactor = 1.0;
+    /** Multiplier on stallProbability while bursting. */
+    double stallFactor = 1.0;
+
+    /** True when the regime participates in draws. */
+    bool active() const { return enterBurst > 0.0; }
+};
+
+/**
+ * Targeted-LBA UNC cluster: a contiguous page range whose reads fail
+ * at their own (usually much higher) rate — a scratched region of
+ * media. Expresses spatial correlation the global rate cannot.
+ */
+struct UncCluster
+{
+    uint64_t firstPage = 0;
+    uint64_t pages = 0;
+    /** UNC probability for reads inside the range (overrides the
+     *  global rate when higher). */
+    double probability = 0.0;
+};
+
+/**
+ * Scheduled regime override active for a request-index window
+ * [fromRequest, toRequest), 1-based over the device's served-request
+ * counter. Lets a scenario compose phases: calm, storm, calm.
+ */
+struct FaultPhase
+{
+    uint64_t fromRequest = 0;
+    uint64_t toRequest = 0;
+    FaultRegime regime;
+};
+
 /** Fault rates and shapes of one misbehaving device. */
 struct FaultProfile
 {
@@ -82,12 +131,22 @@ struct FaultProfile
     /** Buffer-capacity multiplier for Shrink/GrowBuffer drift. */
     double driftBufferFactor = 0.5;
 
+    // -- (e) correlated faults ----------------------------------------
+    /** Base Markov burst/calm regime (off by default). */
+    FaultRegime regime;
+    /** Scheduled regime overrides by request-index window; the first
+     *  matching phase wins over the base regime. */
+    std::vector<FaultPhase> phases;
+    /** Page ranges with their own elevated UNC rate. */
+    std::vector<UncCluster> uncClusters;
+
     /** True when every rate is zero and no drift is scheduled. */
     bool inert() const
     {
         return readUncProbability == 0.0 && programFailProbability == 0.0 &&
                eraseFailProbability == 0.0 && stallProbability == 0.0 &&
-               driftAfterRequests == 0;
+               driftAfterRequests == 0 && !regime.active() &&
+               phases.empty() && uncClusters.empty();
     }
 
     /**
@@ -117,6 +176,9 @@ struct FaultCounters
     uint64_t blocksRetired = 0; ///< Grown-bad-block list length.
     uint64_t stalls = 0;
     uint64_t driftEvents = 0;
+    uint64_t burstEntries = 0;  ///< Calm-to-burst transitions.
+    uint64_t burstRequests = 0; ///< Requests served while bursting.
+    uint64_t clusterUncReads = 0; ///< UNC hits owed to a cluster rate.
 };
 
 /** Draws fault events for one device from a dedicated stream. */
@@ -125,8 +187,20 @@ class FaultInjector
   public:
     FaultInjector(FaultProfile profile, sim::Rng rng);
 
-    /** Draw the read-fault outcome for one read request. */
-    ReadFault onRead();
+    /**
+     * Advance the Markov regime for the request about to be served
+     * (@p requestIndex is the device's 1-based served count). Draws
+     * exactly one transition probe per request while a regime is
+     * active and nothing otherwise, so profiles without regimes keep
+     * their historical random-stream layout bit-for-bit.
+     */
+    void beginRequest(uint64_t requestIndex);
+
+    /**
+     * Draw the read-fault outcome for one read request starting at
+     * @p firstPage (cluster targeting; regime factor applies).
+     */
+    ReadFault onRead(uint64_t firstPage = 0);
 
     /** True when this flush suffers a program failure. */
     bool programFails();
@@ -155,6 +229,9 @@ class FaultInjector
     /** True once the drift event fired. */
     bool driftFired() const { return driftFired_; }
 
+    /** True while the Markov regime is in its burst state. */
+    bool bursting() const { return burst_; }
+
     /**
      * Serialize the dynamic state (stream position, counters, drift
      * flag). The profile is configuration and is not serialized: a
@@ -167,10 +244,19 @@ class FaultInjector
     bool loadState(recovery::StateReader &r);
 
   private:
+    /** Regime governing the request being served (phase override or
+     *  the profile's base regime; nullptr = regimes off). */
+    const FaultRegime *regimeFor(uint64_t requestIndex) const;
+
     FaultProfile profile_;
     sim::Rng rng_;
     FaultCounters counters_;
     bool driftFired_ = false;
+    bool burst_ = false;
+    /** Rate multipliers for the request being served (reset by
+     *  beginRequest; 1.0 while calm or with regimes off). */
+    double curUncFactor_ = 1.0;
+    double curStallFactor_ = 1.0;
 };
 
 /** Named fault-profile presets for the CLI / benches. */
@@ -178,7 +264,7 @@ std::vector<FaultProfile> allFaultProfiles();
 
 /**
  * Look up a preset by name ("none", "flaky-reads", "wearout",
- * "stalls", "drift", "hostile").
+ * "stalls", "drift", "storms", "hostile").
  * @return true and fill @p out when the name is known.
  */
 bool faultProfileByName(const std::string &name, FaultProfile *out);

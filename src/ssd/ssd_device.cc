@@ -60,6 +60,7 @@ SsdDevice::submitDetailed(const blockdev::IoRequest &req, sim::SimTime now,
     }
 
     ++requestsServed_;
+    faults_.beginRequest(requestsServed_);
     if (faults_.driftDue(requestsServed_)) {
         applyDrift();
         if (trace_ != nullptr)
@@ -147,7 +148,7 @@ SsdDevice::submitDetailed(const blockdev::IoRequest &req, sim::SimTime now,
     // only as latency spikes; reads that stay uncorrectable after
     // every retry level complete as MediaError.
     if (req.isRead()) {
-        const ReadFault rf = faults_.onRead();
+        const ReadFault rf = faults_.onRead(req.firstPage());
         if (rf.retries > 0) {
             complete += static_cast<sim::SimDuration>(rf.retries) *
                         cfg_.faults.readRetryCost;

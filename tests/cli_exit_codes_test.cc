@@ -1,0 +1,147 @@
+/**
+ * @file Consolidated CLI exit-code contract, asserted through the
+ * installed `ssdcheck` binary: every failure class maps to one stable
+ * code (tools/exit_codes.h), `help` exits 0 and prints the
+ * consolidated table verbatim, and bad invocations are distinguishable
+ * from crashed runs by code alone.
+ *
+ * Build wiring provides:
+ *   SSDCHECK_CLI_BIN  absolute path of the ssdcheck CLI binary
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "exit_codes.h"
+
+namespace {
+
+namespace cli = ssdcheck::cli;
+
+/** Run the real binary; returns its exit code, captures stdout+stderr. */
+int
+runCli(const std::string &args, std::string *out)
+{
+    const std::string cmd =
+        std::string(SSDCHECK_CLI_BIN) + " " + args + " 2>&1";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr) << cmd;
+    if (pipe == nullptr)
+        return -1;
+    char buf[512];
+    std::ostringstream os;
+    while (fgets(buf, sizeof buf, pipe) != nullptr)
+        os << buf;
+    if (out != nullptr)
+        *out = os.str();
+    const int status = pclose(pipe);
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(CliExitCodes, EnumValuesAreTheDocumentedContract)
+{
+    // The numeric values are API: scripts and CI match on them, so a
+    // renumbering is a breaking change this test makes loud.
+    EXPECT_EQ(cli::kOk, 0);
+    EXPECT_EQ(cli::kUsage, 1);
+    EXPECT_EQ(cli::kBadArgs, 2);
+    EXPECT_EQ(cli::kRecoveryFloor, 3);
+    EXPECT_EQ(cli::kPerfGate, 4);
+    EXPECT_EQ(cli::kCorruptSnapshot, 5);
+    EXPECT_EQ(cli::kConfigMismatch, 6);
+    EXPECT_EQ(cli::kInvariantViolation, 7);
+    EXPECT_EQ(cli::kSloViolation, 8);
+}
+
+TEST(CliExitCodes, HelpExitsZeroAndPrintsTheExitCodeTable)
+{
+    for (const char *spelling : {"help", "--help", "-h"}) {
+        std::string out;
+        EXPECT_EQ(runCli(spelling, &out), cli::kOk) << spelling;
+        // The consolidated table is printed verbatim from the shared
+        // header, so CLI and docs can never drift apart.
+        EXPECT_NE(out.find(cli::kExitCodeTable), std::string::npos)
+            << spelling << " output:\n"
+            << out;
+        EXPECT_NE(out.find("chaos"), std::string::npos) << spelling;
+    }
+}
+
+TEST(CliExitCodes, UnknownCommandExitsUsage)
+{
+    std::string out;
+    EXPECT_EQ(runCli("frobnicate", &out), cli::kUsage);
+    EXPECT_NE(out.find("usage"), std::string::npos);
+}
+
+TEST(CliExitCodes, BadArgumentsExitBadArgs)
+{
+    std::string out;
+    // Unknown device preset.
+    EXPECT_EQ(runCli("run --device NOPE --scale 0.002", &out),
+              cli::kBadArgs)
+        << out;
+    // Unreadable chaos scenario file.
+    EXPECT_EQ(runCli("chaos --scenario /nonexistent.chaos", &out),
+              cli::kBadArgs)
+        << out;
+}
+
+TEST(CliExitCodes, MalformedChaosScenarioExitsBadArgs)
+{
+    const std::string path =
+        testing::TempDir() + "/cli_exit_codes_bad.chaos";
+    {
+        std::ofstream f(path);
+        f << "seeds 1\nno-such-key 1\n";
+    }
+    std::string out;
+    EXPECT_EQ(runCli("chaos --scenario " + path, &out), cli::kBadArgs)
+        << out;
+    EXPECT_NE(out.find("no-such-key"), std::string::npos) << out;
+    std::remove(path.c_str());
+}
+
+TEST(CliExitCodes, ChaosSloViolationExitsSloViolation)
+{
+    // An impossible liveness floor forces the SLO-violation path.
+    const std::string path =
+        testing::TempDir() + "/cli_exit_codes_slo.chaos";
+    {
+        std::ofstream f(path);
+        f << "name impossible\nscale 0.002\nseeds 1\npacing closed\n"
+          << "assert-min-completed 18446744073709551615\n";
+    }
+    std::string out;
+    EXPECT_EQ(runCli("chaos --scenario " + path + " --jobs 2", &out),
+              cli::kSloViolation)
+        << out;
+    EXPECT_NE(out.find("liveness"), std::string::npos) << out;
+    std::remove(path.c_str());
+}
+
+TEST(CliExitCodes, ChaosCampaignPassesAndVerifies)
+{
+    const std::string path =
+        testing::TempDir() + "/cli_exit_codes_ok.chaos";
+    {
+        std::ofstream f(path);
+        f << "name tiny\nscale 0.002\nseeds 1 2\npacing closed\n"
+          << "faults storms\nassert-min-completed 100\n";
+    }
+    std::string out;
+    // --verify reruns the campaign at --jobs 1 and requires a
+    // bit-identical digest: the determinism gate, end to end.
+    EXPECT_EQ(runCli("chaos --scenario " + path + " --jobs 4 --verify",
+                     &out),
+              cli::kOk)
+        << out;
+    EXPECT_NE(out.find("campaign digest:"), std::string::npos) << out;
+    std::remove(path.c_str());
+}
+
+} // namespace

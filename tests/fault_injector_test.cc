@@ -309,6 +309,168 @@ TEST(FaultInjectorDeviceTest, ReadTriggerDriftFlipsFlag)
 }
 
 
+// -- correlated faults: regimes, phases, clusters ---------------------
+
+TEST(FaultInjectorRegimeTest, BeginRequestIsDrawNeutralWithoutRegimes)
+{
+    // Profiles without regimes must keep their historical random
+    // stream layout bit-for-bit: beginRequest draws nothing.
+    FaultProfile p;
+    p.readUncProbability = 0.3;
+    p.stallProbability = 0.1;
+    FaultInjector withBegin(p, sim::Rng(7));
+    FaultInjector without(p, sim::Rng(7));
+    for (uint64_t i = 1; i <= 300; ++i) {
+        withBegin.beginRequest(i);
+        const ReadFault ra = withBegin.onRead();
+        const ReadFault rb = without.onRead();
+        EXPECT_EQ(ra.retries, rb.retries);
+        EXPECT_EQ(ra.hard, rb.hard);
+        EXPECT_EQ(withBegin.stallFor(), without.stallFor());
+    }
+    EXPECT_EQ(withBegin.rng().draws(), without.rng().draws());
+    EXPECT_EQ(withBegin.counters().burstEntries, 0u);
+    EXPECT_EQ(withBegin.counters().burstRequests, 0u);
+}
+
+TEST(FaultInjectorRegimeTest, BurstMultipliesRatesWhileActive)
+{
+    // A certain, permanent burst that multiplies a 0.5 base rate into
+    // a certainty: every read inside the burst is UNC.
+    FaultProfile p;
+    p.readUncProbability = 0.5;
+    p.regime.enterBurst = 1.0;
+    p.regime.exitBurst = 1e-12; // Effectively never leaves.
+    p.regime.uncFactor = 2.0;
+    ASSERT_EQ(p.validate(), "");
+    FaultInjector fi(p, sim::Rng(5));
+    EXPECT_FALSE(fi.bursting());
+    for (uint64_t i = 1; i <= 50; ++i) {
+        fi.beginRequest(i);
+        EXPECT_TRUE(fi.bursting());
+        const ReadFault rf = fi.onRead();
+        EXPECT_GE(rf.retries, 1u) << "request " << i;
+    }
+    EXPECT_EQ(fi.counters().burstEntries, 1u);
+    EXPECT_EQ(fi.counters().burstRequests, 50u);
+    EXPECT_EQ(fi.counters().readUncTransient, 50u);
+}
+
+TEST(FaultInjectorRegimeTest, StallFactorMultipliesStallRateInBurst)
+{
+    FaultProfile p;
+    p.stallProbability = 0.5;
+    p.stallMin = milliseconds(1);
+    p.stallMax = milliseconds(2);
+    p.regime.enterBurst = 1.0;
+    p.regime.exitBurst = 1e-12;
+    p.regime.stallFactor = 2.0; // 0.5 * 2 = certain stall.
+    FaultInjector fi(p, sim::Rng(11));
+    for (uint64_t i = 1; i <= 20; ++i) {
+        fi.beginRequest(i);
+        EXPECT_GT(fi.stallFor(), 0) << "request " << i;
+    }
+    EXPECT_EQ(fi.counters().stalls, 20u);
+}
+
+TEST(FaultInjectorRegimeTest, PhaseWindowsScheduleStorms)
+{
+    // Calm [1,10), storm [10,20), calm again from 20: the phase's
+    // certain-burst regime governs only its window, and leaving the
+    // window ends any burst in progress.
+    FaultProfile p;
+    p.readUncProbability = 0.5;
+    FaultPhase storm;
+    storm.fromRequest = 10;
+    storm.toRequest = 20;
+    storm.regime.enterBurst = 1.0;
+    storm.regime.exitBurst = 1e-12;
+    storm.regime.uncFactor = 2.0;
+    p.phases.push_back(storm);
+    ASSERT_EQ(p.validate(), "");
+    FaultInjector fi(p, sim::Rng(13));
+    for (uint64_t i = 1; i <= 30; ++i) {
+        fi.beginRequest(i);
+        const bool inStorm = i >= 10 && i < 20;
+        EXPECT_EQ(fi.bursting(), inStorm) << "request " << i;
+        const ReadFault rf = fi.onRead();
+        if (inStorm) {
+            EXPECT_GE(rf.retries, 1u) << "request " << i;
+        }
+    }
+    EXPECT_EQ(fi.counters().burstRequests, 10u);
+}
+
+TEST(FaultInjectorClusterTest, ClusterTargetsItsPageRangeOnly)
+{
+    // No global UNC rate; a scratched region [100, 110) fails every
+    // read that lands inside it.
+    FaultProfile p;
+    UncCluster c;
+    c.firstPage = 100;
+    c.pages = 10;
+    c.probability = 1.0;
+    p.uncClusters.push_back(c);
+    ASSERT_EQ(p.validate(), "");
+    EXPECT_FALSE(p.inert());
+    FaultInjector fi(p, sim::Rng(17));
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(fi.onRead(5).retries, 0u);      // Outside.
+        EXPECT_GE(fi.onRead(105).retries, 1u);    // Inside.
+        EXPECT_EQ(fi.onRead(110).retries, 0u);    // One past the end.
+    }
+    EXPECT_EQ(fi.counters().clusterUncReads, 50u);
+    EXPECT_EQ(fi.counters().readUncTransient, 50u);
+}
+
+TEST(FaultInjectorRegimeTest, ValidateRejectsMalformedCorrelatedFaults)
+{
+    FaultProfile p;
+    p.name = "broken";
+    p.regime.enterBurst = 0.5;
+    p.regime.exitBurst = 0.0; // Active regime must be able to exit.
+    EXPECT_NE(p.validate().find("transition"), std::string::npos);
+    p.regime.exitBurst = 0.1;
+    p.regime.uncFactor = -1.0;
+    EXPECT_NE(p.validate().find("factors"), std::string::npos);
+    p.regime.uncFactor = 1.0;
+    EXPECT_EQ(p.validate(), "");
+
+    FaultPhase ph;
+    ph.fromRequest = 10;
+    ph.toRequest = 10; // Empty window.
+    p.phases.push_back(ph);
+    EXPECT_NE(p.validate().find("phase window"), std::string::npos);
+    p.phases.clear();
+
+    UncCluster c;
+    c.pages = 0;
+    p.uncClusters.push_back(c);
+    EXPECT_NE(p.validate().find("uncCluster"), std::string::npos);
+    p.uncClusters[0].pages = 4;
+    p.uncClusters[0].probability = 2.0;
+    EXPECT_NE(p.validate().find("probability"), std::string::npos);
+    p.uncClusters[0].probability = 0.5;
+    EXPECT_EQ(p.validate(), "");
+}
+
+TEST(FaultInjectorRegimeTest, StormsPresetValidatesAndBursts)
+{
+    FaultProfile p;
+    ASSERT_TRUE(faultProfileByName("storms", &p));
+    EXPECT_TRUE(p.regime.active());
+    EXPECT_FALSE(p.inert());
+    // Long enough runs must actually enter bursts.
+    FaultInjector fi(p, sim::Rng(21));
+    for (uint64_t i = 1; i <= 20000; ++i) {
+        fi.beginRequest(i);
+        fi.onRead(i % 4096);
+    }
+    EXPECT_GT(fi.counters().burstEntries, 0u);
+    EXPECT_GT(fi.counters().burstRequests,
+              fi.counters().burstEntries); // Bursts dwell.
+}
+
 // -- snapshot/restore replay equivalence (recovery subsystem) ---------
 
 TEST(FaultInjectorSnapshotTest, RestoreResumesIdenticalDrawStream)
@@ -366,6 +528,50 @@ TEST(FaultInjectorSnapshotTest, RestoreResumesIdenticalDrawStream)
         EXPECT_EQ(a.stallFor(), b.stallFor());
     }
     EXPECT_EQ(b.counters().stalls, a.counters().stalls);
+}
+
+TEST(FaultInjectorSnapshotTest, RestorePreservesBurstStateMidStorm)
+{
+    FaultProfile prof;
+    prof.name = "snap-burst";
+    prof.readUncProbability = 0.05;
+    prof.regime.enterBurst = 0.05;
+    prof.regime.exitBurst = 0.02;
+    prof.regime.uncFactor = 10.0;
+
+    FaultInjector a(prof, sim::Rng(31));
+    uint64_t idx = 1;
+    // Advance until a burst is in progress, so the snapshot captures
+    // the mid-storm Markov state, not just the calm default.
+    while (!a.bursting()) {
+        ASSERT_LT(idx, 10000u) << "seed never entered a burst";
+        a.beginRequest(idx);
+        a.onRead(idx % 1024);
+        ++idx;
+    }
+
+    recovery::StateWriter w;
+    a.saveState(w);
+    FaultInjector b(prof, sim::Rng(1));
+    recovery::StateReader r(w.bytes().data(), w.bytes().size());
+    ASSERT_TRUE(b.loadState(r));
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_TRUE(b.bursting());
+    EXPECT_EQ(b.counters().burstEntries, a.counters().burstEntries);
+    EXPECT_EQ(b.counters().burstRequests, a.counters().burstRequests);
+
+    // The continued regime evolution is transition-for-transition
+    // identical, including burst exits and re-entries.
+    for (uint64_t i = 0; i < 2000; ++i, ++idx) {
+        a.beginRequest(idx);
+        b.beginRequest(idx);
+        EXPECT_EQ(a.bursting(), b.bursting()) << "request " << idx;
+        const ReadFault fa = a.onRead(idx % 1024);
+        const ReadFault fb = b.onRead(idx % 1024);
+        EXPECT_EQ(fa.retries, fb.retries);
+        EXPECT_EQ(fa.hard, fb.hard);
+    }
+    EXPECT_EQ(b.counters().burstEntries, a.counters().burstEntries);
 }
 
 TEST(FaultInjectorSnapshotTest, LoadStateFailsOnTruncatedBytes)

@@ -1,0 +1,20 @@
+#pragma once
+
+struct IoResult
+{
+    int status = 0;
+};
+
+enum class LoadError
+{
+    Ok,
+    IoError,
+};
+
+class Dev
+{
+  public:
+    IoResult submit(int req);
+    [[nodiscard]] IoResult submitBounded(int req, long deadline);
+    LoadError restore(const char *path);
+};

@@ -1,0 +1,29 @@
+#pragma once
+
+struct IoResult
+{
+    int status = 0;
+};
+
+enum class LoadError
+{
+    Ok,
+    IoError,
+};
+
+class Dev
+{
+  public:
+    [[nodiscard]] IoResult submit(int req);
+    [[nodiscard]] virtual IoResult submitBounded(int req, long deadline);
+    [[nodiscard]] LoadError restore(const char *path);
+    void describe(IoResult res, LoadError e);
+};
+
+inline int
+use(Dev &d)
+{
+    IoResult res = d.submit(1);
+    const LoadError e = d.restore("x");
+    return res.status + static_cast<int>(e);
+}

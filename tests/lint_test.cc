@@ -169,6 +169,31 @@ TEST(LintRules, HeaderMustIncludeWhatItNames)
     EXPECT_NE(r.findings[0].message.find("<vector>"), std::string::npos);
 }
 
+TEST(LintRules, NodiscardRequiredOnStatusReturningHeaderApis)
+{
+    const lint::LintResult r = runCase("nodiscard");
+    ASSERT_EQ(r.findings.size(), 2u);
+    bool sawSubmit = false;
+    bool sawRestore = false;
+    for (const auto &f : r.findings) {
+        EXPECT_EQ(f.rule, "nodiscard");
+        EXPECT_EQ(f.file, "src/blockdev/dev.h");
+        sawSubmit |= f.message.find("`submit` returns IoResult") !=
+                     std::string::npos;
+        sawRestore |= f.message.find("`restore` returns LoadError") !=
+                      std::string::npos;
+    }
+    EXPECT_TRUE(sawSubmit) << r.findings[0].format();
+    EXPECT_TRUE(sawRestore) << r.findings[1].format();
+}
+
+TEST(LintRules, NodiscardAnnotatedAndExpressionUsesPass)
+{
+    const lint::LintResult r = runCase("nodiscard_clean");
+    EXPECT_TRUE(r.findings.empty())
+        << (r.findings.empty() ? "" : r.findings[0].format());
+}
+
 TEST(LintBinary, ExitCodesAndOutputFormat)
 {
     std::string out;

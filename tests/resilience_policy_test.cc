@@ -1,0 +1,470 @@
+/**
+ * @file Unit tests for resilience/policy.h: circuit-breaker lifecycle,
+ * admission control, hedged reads with token budgets, the
+ * graceful-degradation ladder, the supervisor health floor, and
+ * snapshot roundtrips — driven by a scripted fake device so every
+ * transition is provoked on purpose.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blockdev/resilient_device.h"
+#include "recovery/state_io.h"
+#include "resilience/policy.h"
+
+namespace ssdcheck::resilience {
+namespace {
+
+using blockdev::IoRequest;
+using blockdev::IoResult;
+using blockdev::IoStatus;
+using blockdev::makeRead4k;
+using blockdev::makeWrite4k;
+using blockdev::ResilienceConfig;
+using blockdev::ResilientDevice;
+using sim::microseconds;
+using sim::milliseconds;
+
+/** One scripted attempt outcome. */
+struct Step
+{
+    IoStatus status = IoStatus::Ok;
+    sim::SimDuration latency = microseconds(100);
+};
+
+/** Replays a fixed script of completions (repeats the last step). */
+class ScriptedDevice : public blockdev::BlockDevice
+{
+  public:
+    explicit ScriptedDevice(std::vector<Step> script)
+        : script_(std::move(script))
+    {
+    }
+
+    IoResult submit(const IoRequest &req, sim::SimTime now) override
+    {
+        (void)req;
+        const Step s = next_ < script_.size()
+                           ? script_[next_++]
+                           : (script_.empty() ? Step{} : script_.back());
+        IoResult res;
+        res.submitTime = now;
+        res.completeTime = now + s.latency;
+        res.status = s.status;
+        return res;
+    }
+
+    uint64_t capacitySectors() const override { return 1 << 20; }
+    void purge(sim::SimTime) override {}
+    std::string name() const override { return "scripted"; }
+
+  private:
+    std::vector<Step> script_;
+    size_t next_ = 0;
+};
+
+/** Policy with every subsystem quiet unless a test arms it. */
+ResiliencePolicy
+quietPolicy()
+{
+    ResiliencePolicy cfg;
+    cfg.name = "test";
+    cfg.enabled = true;
+    cfg.deadlineBudget = 0;
+    cfg.hedgeReads = false;
+    cfg.breakerWindow = 8;
+    cfg.breakerErrorThreshold = 0.5;
+    cfg.breakerMinSamples = 4;
+    cfg.breakerCooldown = milliseconds(10);
+    cfg.breakerHalfOpenSuccesses = 2;
+    cfg.maxBacklog = 0;
+    cfg.sloLatencyTarget = milliseconds(1000);
+    cfg.sloErrorBudget = 1.0;
+    cfg.sloWindow = 8;
+    cfg.ladderEvalEvery = 1000;
+    cfg.failFastCooldown = milliseconds(100);
+    return cfg;
+}
+
+TEST(ResiliencePolicyTest, PresetsValidateAndLookupWorks)
+{
+    ResiliencePolicy p;
+    EXPECT_TRUE(resiliencePolicyByName("off", &p));
+    EXPECT_FALSE(p.enabled);
+    EXPECT_TRUE(resiliencePolicyByName("guarded", &p));
+    EXPECT_TRUE(p.enabled);
+    EXPECT_TRUE(resiliencePolicyByName("strict", &p));
+    EXPECT_LT(p.deadlineBudget, milliseconds(1000));
+    EXPECT_FALSE(resiliencePolicyByName("no-such-policy", &p));
+    for (const auto &preset : allResiliencePolicies())
+        EXPECT_EQ(preset.validate(), "") << preset.name;
+}
+
+TEST(ResiliencePolicyTest, ValidateRejectsMalformedConfigs)
+{
+    ResiliencePolicy p = quietPolicy();
+    p.breakerWindow = PolicyDevice::kRingCapacity + 1;
+    EXPECT_NE(p.validate().find("breakerWindow"), std::string::npos);
+    p = quietPolicy();
+    p.breakerErrorThreshold = 0.0;
+    EXPECT_NE(p.validate().find("breakerErrorThreshold"),
+              std::string::npos);
+    p = quietPolicy();
+    p.hedgeBudgetFraction = 1.5;
+    EXPECT_NE(p.validate().find("hedgeBudgetFraction"), std::string::npos);
+    p = quietPolicy();
+    p.sloWindow = 0;
+    EXPECT_NE(p.validate().find("sloWindow"), std::string::npos);
+    // Disabled policies are never validated: they are pass-throughs.
+    p.enabled = false;
+    EXPECT_EQ(p.validate(), "");
+}
+
+TEST(PolicyDeviceTest, DisabledPolicyIsPureEnabledPassThrough)
+{
+    ScriptedDevice inner({{IoStatus::Ok, microseconds(80)}});
+    ResilientDevice rdev(inner);
+    PolicyDevice dev(rdev, ResiliencePolicy{}); // enabled = false
+    const IoResult res = dev.submit(makeRead4k(0), milliseconds(1));
+    EXPECT_TRUE(res.ok());
+    EXPECT_EQ(res.latency(), microseconds(80));
+    // A disabled policy takes no decisions and counts nothing.
+    EXPECT_EQ(dev.counters().submissions, 0u);
+    EXPECT_EQ(dev.counters().forwarded, 0u);
+    EXPECT_EQ(dev.breakerState(), BreakerState::Closed);
+    EXPECT_EQ(dev.name(), "scripted");
+    EXPECT_EQ(dev.capacitySectors(), 1u << 20);
+}
+
+TEST(PolicyDeviceTest, BreakerOpensShedsAndRecloses)
+{
+    // DeviceFault is permanent (never retried below), so each scripted
+    // fault is exactly one failed caller exchange.
+    ScriptedDevice inner({{IoStatus::DeviceFault, microseconds(100)},
+                          {IoStatus::DeviceFault, microseconds(100)},
+                          {IoStatus::DeviceFault, microseconds(100)},
+                          {IoStatus::DeviceFault, microseconds(100)},
+                          {IoStatus::Ok, microseconds(100)}});
+    ResilientDevice rdev(inner);
+    PolicyDevice dev(rdev, quietPolicy());
+
+    // Four straight failures fill breakerMinSamples at 100% error rate.
+    for (int i = 1; i <= 4; ++i) {
+        const IoResult res = dev.submit(makeRead4k(0), milliseconds(i));
+        EXPECT_EQ(res.status, IoStatus::DeviceFault);
+    }
+    EXPECT_EQ(dev.breakerState(), BreakerState::Open);
+    EXPECT_EQ(dev.counters().breakerOpens, 1u);
+
+    // Open sheds instantly: host-side completion, device untouched.
+    const IoResult shed = dev.submit(makeRead4k(0), milliseconds(5));
+    EXPECT_EQ(shed.status, IoStatus::Rejected);
+    EXPECT_EQ(shed.attempts, 0u);
+    EXPECT_EQ(shed.completeTime, milliseconds(5));
+    EXPECT_EQ(dev.counters().shedBreaker, 1u);
+
+    // After the cooldown the next submissions are HalfOpen trials;
+    // two successes re-close the breaker.
+    const IoResult t1 = dev.submit(makeRead4k(0), milliseconds(20));
+    EXPECT_TRUE(t1.ok());
+    EXPECT_EQ(dev.breakerState(), BreakerState::HalfOpen);
+    const IoResult t2 = dev.submit(makeRead4k(0), milliseconds(21));
+    EXPECT_TRUE(t2.ok());
+    EXPECT_EQ(dev.breakerState(), BreakerState::Closed);
+    EXPECT_EQ(dev.counters().breakerCloses, 1u);
+    EXPECT_EQ(dev.counters().breakerTrials, 2u);
+}
+
+TEST(PolicyDeviceTest, HalfOpenFailureReopensWithDoubledCooldown)
+{
+    ScriptedDevice inner({{IoStatus::DeviceFault, microseconds(100)},
+                          {IoStatus::DeviceFault, microseconds(100)},
+                          {IoStatus::DeviceFault, microseconds(100)},
+                          {IoStatus::DeviceFault, microseconds(100)},
+                          {IoStatus::DeviceFault, microseconds(100)},
+                          {IoStatus::Ok, microseconds(100)}});
+    ResilientDevice rdev(inner);
+    PolicyDevice dev(rdev, quietPolicy());
+
+    for (int i = 1; i <= 4; ++i)
+        (void)dev.submit(makeRead4k(0), milliseconds(i));
+    ASSERT_EQ(dev.breakerState(), BreakerState::Open);
+
+    // The HalfOpen trial fails: back to Open with a doubled dwell.
+    const IoResult trial = dev.submit(makeRead4k(0), milliseconds(20));
+    EXPECT_EQ(trial.status, IoStatus::DeviceFault);
+    EXPECT_EQ(dev.breakerState(), BreakerState::Open);
+    EXPECT_EQ(dev.counters().breakerReopens, 1u);
+
+    // One base cooldown after the reopen is now too early...
+    const IoResult early = dev.submit(makeRead4k(0), milliseconds(31));
+    EXPECT_EQ(early.status, IoStatus::Rejected);
+    EXPECT_EQ(dev.breakerState(), BreakerState::Open);
+    // ...but two base cooldowns later the trial stream resumes.
+    const IoResult late = dev.submit(makeRead4k(0), milliseconds(41));
+    EXPECT_TRUE(late.ok());
+    EXPECT_EQ(dev.breakerState(), BreakerState::HalfOpen);
+}
+
+TEST(PolicyDeviceTest, AdmissionControlShedsOnBacklog)
+{
+    ScriptedDevice inner({{IoStatus::Ok, milliseconds(50)},
+                          {IoStatus::Ok, microseconds(100)}});
+    ResilientDevice rdev(inner);
+    ResiliencePolicy cfg = quietPolicy();
+    cfg.maxBacklog = milliseconds(5);
+    PolicyDevice dev(rdev, cfg);
+
+    // The first request runs the completion horizon 50ms ahead.
+    EXPECT_TRUE(dev.submit(makeRead4k(0), 0).ok());
+    // An arrival 1ms later sees a 49ms backlog > the 5ms bound.
+    const IoResult shed = dev.submit(makeRead4k(0), milliseconds(1));
+    EXPECT_EQ(shed.status, IoStatus::Rejected);
+    EXPECT_EQ(dev.counters().shedOverload, 1u);
+    // Once arrivals catch up with the horizon, service resumes.
+    EXPECT_TRUE(dev.submit(makeRead4k(0), milliseconds(60)).ok());
+    EXPECT_EQ(dev.counters().forwarded, 2u);
+}
+
+TEST(PolicyDeviceTest, HedgedReadWinsCancelsLoserAndAccounts)
+{
+    // Primary is slow, backup fast: the hedge must win.
+    ScriptedDevice inner({{IoStatus::Ok, milliseconds(10)},
+                          {IoStatus::Ok, microseconds(100)},
+                          // Second exchange: fast primary, slow backup.
+                          {IoStatus::Ok, microseconds(50)},
+                          {IoStatus::Ok, milliseconds(20)}});
+    ResilientDevice rdev(inner);
+    ResiliencePolicy cfg = quietPolicy();
+    cfg.hedgeReads = true;
+    cfg.hedgeDelay = microseconds(500);
+    cfg.hedgeBudgetFraction = 1.0;
+    PolicyDevice dev(rdev, cfg);
+
+    const IoResult won =
+        dev.submitHinted(makeRead4k(0), 0, milliseconds(5));
+    EXPECT_TRUE(won.ok());
+    // The backup launched at +500us and finished in 100us, well before
+    // the 10ms primary; the merged result keeps the original submit.
+    EXPECT_EQ(won.submitTime, 0);
+    EXPECT_EQ(won.completeTime, microseconds(600));
+    EXPECT_EQ(dev.counters().hedgesIssued, 1u);
+    EXPECT_EQ(dev.counters().hedgeWins, 1u);
+    EXPECT_EQ(dev.counters().hedgeCancelled, 1u);
+
+    const IoResult lost =
+        dev.submitHinted(makeRead4k(0), milliseconds(100), milliseconds(5));
+    EXPECT_TRUE(lost.ok());
+    // The primary won this time: the backup is cancelled, not counted.
+    EXPECT_EQ(lost.completeTime, milliseconds(100) + microseconds(50));
+    EXPECT_EQ(dev.counters().hedgesIssued, 2u);
+    EXPECT_EQ(dev.counters().hedgeWins, 1u);
+    EXPECT_EQ(dev.counters().hedgeCancelled, 2u);
+}
+
+TEST(PolicyDeviceTest, HedgeTokenBudgetBoundsAmplification)
+{
+    ScriptedDevice inner({{IoStatus::Ok, microseconds(100)}});
+    ResilientDevice rdev(inner);
+    ResiliencePolicy cfg = quietPolicy();
+    cfg.hedgeReads = true;
+    cfg.hedgeDelay = microseconds(500);
+    cfg.hedgeBudgetFraction = 0.0; // Tokens never accrue.
+    PolicyDevice dev(rdev, cfg);
+
+    const IoResult res =
+        dev.submitHinted(makeRead4k(0), 0, milliseconds(5));
+    EXPECT_TRUE(res.ok());
+    EXPECT_EQ(dev.counters().hedgesIssued, 0u);
+    EXPECT_EQ(dev.counters().hedgeTokenDenied, 1u);
+}
+
+TEST(PolicyDeviceTest, WritesAreNeverHedged)
+{
+    ScriptedDevice inner({{IoStatus::Ok, microseconds(100)}});
+    ResilientDevice rdev(inner);
+    ResiliencePolicy cfg = quietPolicy();
+    cfg.hedgeReads = true;
+    cfg.hedgeDelay = microseconds(500);
+    cfg.hedgeBudgetFraction = 1.0;
+    PolicyDevice dev(rdev, cfg);
+    EXPECT_TRUE(dev.submitHinted(makeWrite4k(0), 0, milliseconds(5)).ok());
+    EXPECT_EQ(dev.counters().hedgesIssued, 0u);
+    EXPECT_EQ(dev.counters().hedgeTokenDenied, 0u);
+}
+
+TEST(PolicyDeviceTest, LadderStepsToHedgingOffAtHalfSpentBudget)
+{
+    // 2 of 4 completions violate the 10us target: rate 0.5 against a
+    // 1.0 budget = half spent -> HedgingOff.
+    ScriptedDevice inner({{IoStatus::Ok, microseconds(100)},
+                          {IoStatus::Ok, microseconds(5)},
+                          {IoStatus::Ok, microseconds(100)},
+                          {IoStatus::Ok, microseconds(5)}});
+    ResilientDevice rdev(inner);
+    ResiliencePolicy cfg = quietPolicy();
+    cfg.sloLatencyTarget = microseconds(10);
+    cfg.sloErrorBudget = 1.0;
+    cfg.ladderEvalEvery = 4;
+    PolicyDevice dev(rdev, cfg);
+    for (int i = 1; i <= 4; ++i)
+        (void)dev.submit(makeRead4k(0), milliseconds(i));
+    EXPECT_EQ(dev.ladderLevel(), DegradationLevel::HedgingOff);
+    EXPECT_EQ(dev.errorBudgetPpm(), 500000);
+    EXPECT_EQ(dev.counters().sloViolations, 2u);
+}
+
+TEST(PolicyDeviceTest, LadderFailFastShedsThenRecoversAfterDwell)
+{
+    ScriptedDevice inner({{IoStatus::Ok, microseconds(100)}});
+    ResilientDevice rdev(inner);
+    ResiliencePolicy cfg = quietPolicy();
+    cfg.sloLatencyTarget = microseconds(10); // Everything violates.
+    cfg.sloErrorBudget = 0.25;
+    cfg.ladderEvalEvery = 4;
+    cfg.failFastCooldown = milliseconds(100);
+    PolicyDevice dev(rdev, cfg);
+
+    for (int i = 1; i <= 4; ++i)
+        EXPECT_TRUE(dev.submit(makeRead4k(0), milliseconds(i)).ok());
+    EXPECT_EQ(dev.ladderLevel(), DegradationLevel::FailFast);
+    EXPECT_EQ(dev.errorBudgetPpm(), 0);
+
+    // Inside the dwell everything is shed, reads included.
+    const IoResult shed = dev.submit(makeRead4k(0), milliseconds(10));
+    EXPECT_EQ(shed.status, IoStatus::Rejected);
+    EXPECT_EQ(dev.counters().shedFailFast, 1u);
+
+    // After the dwell the ladder resets against a fresh window.
+    const IoResult ok = dev.submit(makeRead4k(0), milliseconds(200));
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(dev.ladderLevel(), DegradationLevel::Normal);
+}
+
+TEST(PolicyDeviceTest, WritesDeferredShedsWritesServesReads)
+{
+    ScriptedDevice inner({{IoStatus::Ok, microseconds(100)}});
+    ResilientDevice rdev(inner);
+    ResiliencePolicy cfg = quietPolicy();
+    cfg.sloLatencyTarget = microseconds(10);
+    // Every completion violates: rate 1.0 against a 0.75 budget puts
+    // the usage at 1.33 — inside the [1, 2) WritesDeferred band.
+    cfg.sloErrorBudget = 0.75;
+    cfg.ladderEvalEvery = 4;
+    PolicyDevice dev(rdev, cfg);
+    for (int i = 1; i <= 4; ++i)
+        (void)dev.submit(makeRead4k(0), milliseconds(i));
+    ASSERT_EQ(dev.ladderLevel(), DegradationLevel::WritesDeferred);
+
+    const IoResult w = dev.submit(makeWrite4k(0), milliseconds(10));
+    EXPECT_EQ(w.status, IoStatus::Rejected);
+    EXPECT_EQ(dev.counters().shedWriteDeferred, 1u);
+    const IoResult r = dev.submit(makeRead4k(0), milliseconds(11));
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(PolicyDeviceTest, SupervisorHealthFloorsLadderAtHedgingOff)
+{
+    ScriptedDevice inner({{IoStatus::Ok, microseconds(5)}});
+    ResilientDevice rdev(inner);
+    ResiliencePolicy cfg = quietPolicy();
+    cfg.sloLatencyTarget = milliseconds(1000); // Nothing violates.
+    cfg.ladderEvalEvery = 4;
+    PolicyDevice dev(rdev, cfg);
+
+    dev.observeHealth(core::HealthState::Degraded);
+    EXPECT_EQ(dev.ladderLevel(), DegradationLevel::HedgingOff);
+    // A clean eval cannot drop below the floor while degraded.
+    for (int i = 1; i <= 4; ++i)
+        (void)dev.submit(makeRead4k(0), milliseconds(i));
+    EXPECT_EQ(dev.ladderLevel(), DegradationLevel::HedgingOff);
+    // Recovery lifts the floor; the next eval returns to Normal.
+    dev.observeHealth(core::HealthState::Healthy);
+    for (int i = 5; i <= 8; ++i)
+        (void)dev.submit(makeRead4k(0), milliseconds(i));
+    EXPECT_EQ(dev.ladderLevel(), DegradationLevel::Normal);
+}
+
+TEST(PolicyDeviceTest, DeadlineBudgetSurfacesExpired)
+{
+    // One scripted 800ms stall: with default retries the exchange
+    // would take seconds; a 5ms budget cuts it off at the boundary.
+    ScriptedDevice inner({{IoStatus::Ok, milliseconds(800)}});
+    ResilientDevice rdev(inner);
+    ResiliencePolicy cfg = quietPolicy();
+    cfg.deadlineBudget = milliseconds(5);
+    PolicyDevice dev(rdev, cfg);
+    const IoResult res = dev.submit(makeRead4k(0), milliseconds(1));
+    EXPECT_EQ(res.status, IoStatus::Expired);
+    EXPECT_LE(res.completeTime, milliseconds(6));
+    EXPECT_EQ(dev.counters().deadlineExpired, 1u);
+    EXPECT_LE(dev.maxExchange(), cfg.deadlineBudget);
+}
+
+TEST(PolicyDeviceTest, SaveLoadRoundtripRestoresDynamicState)
+{
+    ScriptedDevice inner({{IoStatus::DeviceFault, microseconds(100)},
+                          {IoStatus::DeviceFault, microseconds(100)},
+                          {IoStatus::DeviceFault, microseconds(100)},
+                          {IoStatus::DeviceFault, microseconds(100)}});
+    ResilientDevice rdev(inner);
+    PolicyDevice a(rdev, quietPolicy());
+    for (int i = 1; i <= 4; ++i)
+        (void)a.submit(makeRead4k(0), milliseconds(i));
+    (void)a.submit(makeRead4k(0), milliseconds(5)); // One breaker shed.
+    ASSERT_EQ(a.breakerState(), BreakerState::Open);
+
+    recovery::StateWriter w;
+    a.saveState(w);
+
+    ScriptedDevice inner2({});
+    ResilientDevice rdev2(inner2);
+    PolicyDevice b(rdev2, quietPolicy());
+    recovery::StateReader r(w.bytes().data(), w.bytes().size());
+    ASSERT_TRUE(b.loadState(r));
+    EXPECT_TRUE(r.atEnd());
+
+    EXPECT_EQ(b.breakerState(), a.breakerState());
+    EXPECT_EQ(b.ladderLevel(), a.ladderLevel());
+    EXPECT_EQ(b.errorBudgetPpm(), a.errorBudgetPpm());
+    EXPECT_EQ(b.maxExchange(), a.maxExchange());
+    EXPECT_EQ(b.hedgeDelayEffective(), a.hedgeDelayEffective());
+    EXPECT_EQ(b.counters().submissions, a.counters().submissions);
+    EXPECT_EQ(b.counters().shedBreaker, a.counters().shedBreaker);
+    EXPECT_EQ(b.counters().breakerOpens, a.counters().breakerOpens);
+    EXPECT_EQ(b.counters().sloViolations, a.counters().sloViolations);
+
+    // The restored breaker honors the saved open timestamp: still
+    // shedding right after the trip, half-open once the dwell passes.
+    EXPECT_EQ(b.submit(makeRead4k(0), milliseconds(6)).status,
+              IoStatus::Rejected);
+    EXPECT_TRUE(b.submit(makeRead4k(0), milliseconds(20)).ok());
+    EXPECT_EQ(b.breakerState(), BreakerState::HalfOpen);
+}
+
+TEST(PolicyDeviceTest, LoadStateRejectsTruncatedAndIncompatibleState)
+{
+    ScriptedDevice inner({{IoStatus::Ok, microseconds(100)}});
+    ResilientDevice rdev(inner);
+    PolicyDevice a(rdev, quietPolicy());
+    (void)a.submit(makeRead4k(0), milliseconds(1));
+    recovery::StateWriter w;
+    a.saveState(w);
+
+    PolicyDevice truncated(rdev, quietPolicy());
+    recovery::StateReader half(w.bytes().data(), w.size() / 2);
+    EXPECT_FALSE(truncated.loadState(half));
+
+    // A config whose eval period is shorter than the saved countdown
+    // is structurally incompatible, even at full length.
+    ResiliencePolicy small = quietPolicy();
+    small.ladderEvalEvery = 2;
+    PolicyDevice incompatible(rdev, small);
+    recovery::StateReader full(w.bytes().data(), w.bytes().size());
+    EXPECT_FALSE(incompatible.loadState(full));
+    EXPECT_NE(full.error().find("countdown"), std::string::npos);
+}
+
+} // namespace
+} // namespace ssdcheck::resilience

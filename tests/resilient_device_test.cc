@@ -5,9 +5,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "blockdev/resilient_device.h"
+#include "sim/rng.h"
 
 namespace ssdcheck::blockdev {
 namespace {
@@ -175,6 +177,131 @@ TEST(ResilientDeviceTest, TimeoutClassificationCanBeDisabled)
     EXPECT_TRUE(res.ok());
     EXPECT_EQ(res.attempts, 1u);
     EXPECT_EQ(dev.counters().timeouts, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Property tests: the contracts the resilience policy layer builds on.
+// ---------------------------------------------------------------------
+
+/** Device whose per-attempt outcome is drawn from a seeded stream:
+ *  fast successes, retryable media errors, stalls past the timeout
+ *  threshold, and permanent faults — the full classification space. */
+class RandomFaultyDevice : public BlockDevice
+{
+  public:
+    explicit RandomFaultyDevice(uint64_t seed) : rng_(seed) {}
+
+    IoResult submit(const IoRequest &req, sim::SimTime now) override
+    {
+        (void)req;
+        IoResult res;
+        res.submitTime = now;
+        const double roll = rng_.uniform01();
+        sim::SimDuration lat;
+        if (roll < 0.55) {
+            res.status = IoStatus::Ok;
+            lat = microseconds(rng_.uniformInt(50, 2000));
+        } else if (roll < 0.80) {
+            res.status = IoStatus::MediaError;
+            lat = microseconds(rng_.uniformInt(200, 5000));
+        } else if (roll < 0.95) {
+            // Slow success: the host classifies it Timeout and retries.
+            res.status = IoStatus::Ok;
+            lat = milliseconds(rng_.uniformInt(600, 900));
+        } else {
+            res.status = IoStatus::DeviceFault;
+            lat = microseconds(rng_.uniformInt(5, 50));
+        }
+        res.completeTime = now + lat;
+        return res;
+    }
+
+    uint64_t capacitySectors() const override { return 1 << 20; }
+    void purge(sim::SimTime) override {}
+    std::string name() const override { return "random-faulty"; }
+
+  private:
+    sim::Rng rng_;
+};
+
+TEST(ResilientDeviceProperty, BackoffDeterministicPerConfigAndCapped)
+{
+    for (uint64_t seed = 1; seed <= 16; ++seed) {
+        sim::Rng rng(seed);
+        ResilienceConfig cfg;
+        cfg.backoffBase = microseconds(rng.uniformInt(1, 1000));
+        cfg.backoffCap =
+            cfg.backoffBase + microseconds(rng.uniformInt(0, 50000));
+        ScriptedDevice inner({});
+        ResilientDevice a(inner, cfg);
+        ResilientDevice b(inner, cfg);
+        sim::SimDuration prev = 0;
+        sim::SimDuration expect = cfg.backoffBase;
+        for (uint32_t k = 1; k <= 40; ++k) {
+            const sim::SimDuration d = a.backoffFor(k);
+            EXPECT_EQ(d, b.backoffFor(k)) << "seed " << seed;
+            EXPECT_LE(d, cfg.backoffCap) << "seed " << seed;
+            EXPECT_GE(d, prev) << "seed " << seed; // Monotone.
+            EXPECT_EQ(d, std::min(expect, cfg.backoffCap))
+                << "seed " << seed << " retry " << k;
+            prev = d;
+            if (expect < cfg.backoffCap)
+                expect *= 2; // Saturate: the exact doubling ladder.
+        }
+    }
+}
+
+TEST(ResilientDeviceProperty, DeadlineBudgetsAlwaysDominate)
+{
+    // Against arbitrary fault streams and arbitrary budgets, a bounded
+    // exchange never consumes sim time past its deadline — and the
+    // whole exchange stream is a pure function of the seed.
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        RandomFaultyDevice innerA(seed);
+        RandomFaultyDevice innerB(seed);
+        ResilientDevice a(innerA);
+        ResilientDevice b(innerB);
+        sim::Rng ctl(seed ^ 0x9e3779b97f4a7c15ULL);
+        sim::SimTime now = 0;
+        for (int i = 0; i < 200; ++i) {
+            const sim::SimDuration budget =
+                microseconds(ctl.uniformInt(0, 800000));
+            const sim::SimTime deadline = budget == 0 ? 0 : now + budget;
+            const IoResult ra = a.submitBounded(makeRead4k(0), now, deadline);
+            const IoResult rb = b.submitBounded(makeRead4k(0), now, deadline);
+            EXPECT_EQ(ra.status, rb.status) << "seed " << seed;
+            EXPECT_EQ(ra.completeTime, rb.completeTime) << "seed " << seed;
+            EXPECT_EQ(ra.attempts, rb.attempts) << "seed " << seed;
+            EXPECT_GE(ra.completeTime, now);
+            if (deadline != 0) {
+                EXPECT_LE(ra.completeTime, deadline)
+                    << "seed " << seed << " req " << i << " status "
+                    << toString(ra.status);
+            } else {
+                EXPECT_NE(ra.status, IoStatus::Expired);
+            }
+            now = ra.completeTime + microseconds(10);
+        }
+        EXPECT_EQ(a.counters().expired, b.counters().expired);
+        EXPECT_EQ(a.counters().attemptsIssued, b.counters().attemptsIssued);
+    }
+}
+
+TEST(ResilientDeviceProperty, UnboundedSubmitMatchesZeroDeadline)
+{
+    RandomFaultyDevice innerA(42);
+    RandomFaultyDevice innerB(42);
+    ResilientDevice a(innerA);
+    ResilientDevice b(innerB);
+    sim::SimTime now = 0;
+    for (int i = 0; i < 100; ++i) {
+        const IoResult ra = a.submit(makeRead4k(0), now);
+        const IoResult rb = b.submitBounded(makeRead4k(0), now, 0);
+        EXPECT_EQ(ra.status, rb.status);
+        EXPECT_EQ(ra.completeTime, rb.completeTime);
+        EXPECT_EQ(ra.attempts, rb.attempts);
+        now = ra.completeTime + microseconds(10);
+    }
 }
 
 TEST(ResilientDeviceTest, ZeroMaxRetriesFailsFast)

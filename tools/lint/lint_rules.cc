@@ -1,6 +1,6 @@
 /**
  * @file
- * The five ssdcheck_lint rules. Each is a token-level check over the
+ * The six ssdcheck_lint rules. Each is a token-level check over the
  * pre-lexed (comment/literal-blanked) source; see lint.h for the
  * rationale and DESIGN.md for the rule table.
  */
@@ -52,7 +52,8 @@ underAny(const SourceFile &f, std::initializer_list<const char *> dirs)
 
 /** Dirs whose results must be a pure function of (config, seed). */
 constexpr std::initializer_list<const char *> kDeterministicDirs = {
-    "src/sim", "src/ssd", "src/nand", "src/core", "src/obs"};
+    "src/sim", "src/ssd", "src/nand", "src/core", "src/obs",
+    "src/resilience"};
 
 // -- R1: wall-clock -------------------------------------------------------
 
@@ -430,7 +431,7 @@ class ConsoleIoRule : public Rule
         // A stray printf in the device model is both a layering leak
         // and an unmeasured hot-path cost.
         if (!underAny(f, {"src/sim", "src/ssd", "src/nand", "src/core",
-                          "src/blockdev", "src/obs"}))
+                          "src/blockdev", "src/obs", "src/resilience"}))
             return;
         // Stream objects banned anywhere they are named.
         static const std::array<const char *, 3> banned = {
@@ -471,6 +472,92 @@ class ConsoleIoRule : public Rule
     }
 };
 
+// -- R6: nodiscard --------------------------------------------------------
+
+class NodiscardRule : public Rule
+{
+  public:
+    std::string id() const override { return "nodiscard"; }
+
+    void check(const SourceFile &f, std::vector<Finding> &out) const override
+    {
+        // An IoResult carries the request's error status and an
+        // ignored LoadError is a silently-swallowed restore failure —
+        // both must be [[nodiscard]] on the I/O-path and recovery
+        // public APIs so call sites cannot drop them.
+        if (!f.isHeader() ||
+            !underAny(f, {"src/blockdev", "src/resilience",
+                          "src/recovery"}))
+            return;
+        const JoinedCode j = JoinedCode::from(f);
+        for (const char *type : {"IoResult", "LoadError"})
+            checkType(j, type, f, out);
+    }
+
+  private:
+    void checkType(const JoinedCode &j, const std::string &type,
+                   const SourceFile &f, std::vector<Finding> &out) const
+    {
+        const std::string &text = j.text;
+        size_t pos = 0;
+        while ((pos = text.find(type, pos)) != std::string::npos) {
+            const size_t typePos = pos;
+            pos += type.size();
+            if (!wholeWord(text, typePos, type.size()))
+                continue;
+            // Must read as a declaration `Type name(`: an identifier
+            // then '(' right after the type. Anything else (a local,
+            // a parameter, a member, `= Type`, a cast) is not a
+            // returning API.
+            size_t i = skipSpaces(text, typePos + type.size());
+            const size_t nameBegin = i;
+            while (i < text.size() && identChar(text[i]))
+                ++i;
+            if (i == nameBegin)
+                continue;
+            const std::string name = text.substr(nameBegin, i - nameBegin);
+            i = skipSpaces(text, i);
+            if (i >= text.size() || text[i] != '(')
+                continue;
+            // Back up over namespace qualifiers (`blockdev::IoResult`)
+            // to the start of the return-type expression.
+            size_t declBegin = typePos;
+            while (declBegin >= 2 && text[declBegin - 1] == ':' &&
+                   text[declBegin - 2] == ':') {
+                declBegin -= 2;
+                while (declBegin > 0 && identChar(text[declBegin - 1]))
+                    --declBegin;
+            }
+            // The declaration's specifier region runs from the
+            // previous statement/brace boundary; [[nodiscard]] (or a
+            // disqualifying token) must appear in it.
+            size_t regionBegin = declBegin;
+            while (regionBegin > 0 && text[regionBegin - 1] != ';' &&
+                   text[regionBegin - 1] != '{' &&
+                   text[regionBegin - 1] != '}')
+                --regionBegin;
+            const std::string region =
+                text.substr(regionBegin, i - regionBegin);
+            // `= IoResult(...)`, `return IoResult(...)`, `(IoResult(`:
+            // expression uses of the type name, not declarations.
+            const std::string prefix =
+                text.substr(regionBegin, declBegin - regionBegin);
+            if (prefix.find('=') != std::string::npos ||
+                prefix.find('(') != std::string::npos ||
+                prefix.find("return") != std::string::npos ||
+                prefix.find("new") != std::string::npos)
+                continue;
+            if (region.find("[[nodiscard]]") != std::string::npos)
+                continue;
+            out.push_back(Finding{
+                f.relPath, j.lineAt(typePos), id(),
+                "public API `" + name + "` returns " + type +
+                    " without [[nodiscard]] — dropping an I/O status "
+                    "or load error must not compile silently"});
+        }
+    }
+};
+
 } // namespace
 
 std::vector<std::unique_ptr<Rule>>
@@ -482,6 +569,7 @@ makeDefaultRules()
     rules.push_back(std::make_unique<StdFunctionRule>());
     rules.push_back(std::make_unique<HeaderHygieneRule>());
     rules.push_back(std::make_unique<ConsoleIoRule>());
+    rules.push_back(std::make_unique<NodiscardRule>());
     return rules;
 }
 

@@ -186,7 +186,8 @@ std::vector<uint8_t>
 readAll(const std::string &path)
 {
     std::vector<uint8_t> bytes;
-    recovery::readFile(path, &bytes);
+    if (recovery::readFile(path, &bytes) != recovery::LoadError::Ok)
+        bytes.clear();
     return bytes;
 }
 

@@ -42,6 +42,14 @@
  *   ssdcheck faults
  *       List the fault-injection profiles.
  *
+ *   ssdcheck chaos --scenario FILE [--jobs N] [--verify]
+ *       Run an adversarial fault campaign: parse a chaos scenario
+ *       (correlated fault phases + resilience policy + SLO
+ *       assertions, see examples/chaos/), replay it once per seed
+ *       sharded over N threads, and fail (exit 8) if any shard
+ *       violates its SLOs or, with --verify, if a --jobs 1 rerun does
+ *       not reproduce the campaign digest bit-for-bit.
+ *
  *   ssdcheck bench [--jobs N] [--scale F] [--seeds K] [--out FILE]
  *                  [--baseline FILE] [--max-regress F]
  *       Run the Fig. 11 experiment grid sharded over N worker threads
@@ -63,9 +71,12 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "blockdev/resilient_device.h"
+#include "exit_codes.h"
+#include "resilience/chaos.h"
 #include "core/accuracy.h"
 #include "core/health_supervisor.h"
 #include "core/ssdcheck.h"
@@ -248,7 +259,7 @@ cmdFingerprint(const Args &args)
     for (const auto &n : names) {
         auto dev = makeDevice(n, args);
         if (!dev)
-            return 2;
+            return cli::kBadArgs;
         core::DiagnosisRunner runner(*dev, core::DiagnosisConfig{});
         const core::FeatureSet fs = runner.extractFeatures();
         std::printf("%-8s %s\n", dev->name().c_str(),
@@ -262,12 +273,12 @@ cmdAccuracy(const Args &args)
 {
     auto dev = makeDevice(args.get("device", "A"), args);
     if (!dev)
-        return 2;
+        return cli::kBadArgs;
     bool ok = true;
     const auto w = workloadByName(args.get("workload", "RW Mixed"), &ok);
     if (!ok) {
         std::fprintf(stderr, "unknown workload\n");
-        return 2;
+        return cli::kBadArgs;
     }
     const double scale = std::stod(args.get("scale", "0.05"));
 
@@ -318,7 +329,7 @@ cmdAccuracy(const Args &args)
         const std::string path = args.get("metrics-out", "metrics.json");
         if (!writeFile(path,
                        [&](std::ostream &os) { registry.writeJson(os, end); }))
-            return 2;
+            return cli::kBadArgs;
         std::printf("wrote %zu metrics to %s\n", registry.size(),
                     path.c_str());
     }
@@ -351,7 +362,7 @@ cmdAccuracy(const Args &args)
                          "%.2f%% (floor %.2f%%)\n",
                          disabled ? "disabled" : "enabled",
                          rollingHl * 100, floor * 100);
-            return 3;
+            return cli::kRecoveryFloor;
         }
         std::printf("rolling HL accuracy %.2f%% meets floor %.2f%%\n",
                     rollingHl * 100, floor * 100);
@@ -366,12 +377,12 @@ cmdSynth(const Args &args)
     const auto w = workloadByName(args.get("workload", "RW Mixed"), &ok);
     if (!ok) {
         std::fprintf(stderr, "unknown workload\n");
-        return 2;
+        return cli::kBadArgs;
     }
     const std::string out = args.get("out", "");
     if (out.empty()) {
         std::fprintf(stderr, "--out FILE required\n");
-        return 2;
+        return cli::kBadArgs;
     }
     const double scale = std::stod(args.get("scale", "0.05"));
     const uint64_t span = std::stoull(args.get("span", "131072"));
@@ -379,7 +390,7 @@ cmdSynth(const Args &args)
     std::ofstream os(out);
     if (!os) {
         std::fprintf(stderr, "cannot open %s\n", out.c_str());
-        return 2;
+        return cli::kBadArgs;
     }
     trace.saveText(os);
     std::printf("wrote %zu records to %s\n", trace.size(), out.c_str());
@@ -391,12 +402,12 @@ cmdReplay(const Args &args)
 {
     auto dev = makeDevice(args.get("device", "A"), args);
     if (!dev)
-        return 2;
+        return cli::kBadArgs;
     const std::string path = args.get("trace", "");
     std::ifstream is(path);
     if (!is) {
         std::fprintf(stderr, "cannot open %s\n", path.c_str());
-        return 2;
+        return cli::kBadArgs;
     }
     size_t errorLine = 0;
     const auto trace = workload::Trace::loadText(is, &errorLine);
@@ -407,7 +418,7 @@ cmdReplay(const Args &args)
         else
             std::fprintf(stderr, "malformed trace file %s: line %zu\n",
                          path.c_str(), errorLine);
-        return 2;
+        return cli::kBadArgs;
     }
     blockdev::ResilientDevice rdev(*dev);
     core::DiagnosisRunner prep(rdev, core::DiagnosisConfig{});
@@ -443,12 +454,12 @@ cmdTrace(const Args &args)
 {
     auto dev = makeDevice(args.get("device", "A"), args);
     if (!dev)
-        return 2;
+        return cli::kBadArgs;
     bool ok = true;
     const auto w = workloadByName(args.get("workload", "RW Mixed"), &ok);
     if (!ok) {
         std::fprintf(stderr, "unknown workload\n");
-        return 2;
+        return cli::kBadArgs;
     }
     const double scale = std::stod(args.get("scale", "0.05"));
 
@@ -461,7 +472,7 @@ cmdTrace(const Args &args)
     if (!fs.bufferModelUsable()) {
         std::fprintf(stderr,
                      "no usable buffer model; nothing to trace\n");
-        return 2;
+        return cli::kBadArgs;
     }
     core::SsdCheck check(fs);
     std::unique_ptr<core::HealthSupervisor> sup;
@@ -492,7 +503,7 @@ cmdTrace(const Args &args)
     const std::string tracePath = args.get("out", "trace.json");
     if (!writeFile(tracePath,
                    [&](std::ostream &os) { recorder.writeChromeJson(os); }))
-        return 2;
+        return cli::kBadArgs;
     std::printf("wrote %zu trace events to %s "
                 "(open in chrome://tracing or ui.perfetto.dev)\n",
                 recorder.events(), tracePath.c_str());
@@ -500,7 +511,7 @@ cmdTrace(const Args &args)
         const std::string path = args.get("metrics-out", "metrics.json");
         if (!writeFile(path,
                        [&](std::ostream &os) { registry.writeJson(os, end); }))
-            return 2;
+            return cli::kBadArgs;
         std::printf("wrote %zu metrics to %s\n", registry.size(),
                     path.c_str());
     }
@@ -508,7 +519,7 @@ cmdTrace(const Args &args)
         const std::string path = args.get("audit-out", "audit.jsonl");
         if (!writeFile(path,
                        [&](std::ostream &os) { audit.writeJsonl(os); }))
-            return 2;
+            return cli::kBadArgs;
         std::printf("wrote %zu audit records to %s\n", audit.size(),
                     path.c_str());
     }
@@ -529,7 +540,7 @@ cmdBench(const Args &args)
     const uint64_t seedCount = std::stoull(args.get("seeds", "1"));
     if (seedCount == 0 || scale <= 0) {
         std::fprintf(stderr, "--seeds and --scale must be positive\n");
-        return 2;
+        return cli::kBadArgs;
     }
 
     perf::GridSpec spec = perf::GridSpec::fig11(scale);
@@ -559,7 +570,7 @@ cmdBench(const Args &args)
     const std::string out = args.get("out", "BENCH_grid.json");
     if (!perf::writeBenchGridJson(out, "cli_bench_grid", grid.timing)) {
         std::fprintf(stderr, "cannot write %s\n", out.c_str());
-        return 2;
+        return cli::kBadArgs;
     }
     std::printf("wrote %s\n", out.c_str());
 
@@ -569,7 +580,7 @@ cmdBench(const Args &args)
         if (!baseline) {
             std::fprintf(stderr, "cannot read baseline %s\n",
                          basePath.c_str());
-            return 2;
+            return cli::kBadArgs;
         }
         const double maxRegress =
             std::stod(args.get("max-regress", "0.30"));
@@ -580,7 +591,7 @@ cmdBench(const Args &args)
                          "FAIL: %.0f IOs/s is below the regression floor "
                          "%.0f (baseline %.0f, max regress %.0f%%)\n",
                          measured, floor, *baseline, maxRegress * 100);
-            return 4;
+            return cli::kPerfGate;
         }
         std::printf("perf gate OK: %.0f IOs/s vs floor %.0f "
                     "(baseline %.0f, max regress %.0f%%)\n",
@@ -625,6 +636,7 @@ cmdRun(const Args &args)
     params.scale = std::stod(args.get("scale", "0.05"));
     params.supervisor = args.has("supervisor");
     params.timelineMs = std::stoll(args.get("timeline-ms", "0"));
+    params.resilience = args.get("resilience", "off");
 
     const std::string resumePath = args.get("resume", "");
     const std::string ckptOut = args.get("checkpoint-out", "");
@@ -639,7 +651,7 @@ cmdRun(const Args &args)
     if ((ckptEvery > 0) != !ckptOut.empty()) {
         std::fprintf(stderr, "--checkpoint-every and --checkpoint-out "
                              "must be given together\n");
-        return 2;
+        return cli::kBadArgs;
     }
     if (!ckptOut.empty() && ckptOut != resumePath &&
         fileExists(ckptOut) && !force) {
@@ -647,7 +659,7 @@ cmdRun(const Args &args)
                      "refusing to overwrite existing checkpoint %s; "
                      "pass --force to allow it\n",
                      ckptOut.c_str());
-        return 2;
+        return cli::kBadArgs;
     }
 
     recovery::Snapshot snap;
@@ -660,7 +672,7 @@ cmdRun(const Args &args)
         if (e != recovery::LoadError::Ok) {
             std::fprintf(stderr, "cannot read snapshot %s: %s\n",
                          resumePath.c_str(), detail.c_str());
-            return 2;
+            return cli::kBadArgs;
         }
         e = snap.parse(bytes, &detail);
         if (e != recovery::LoadError::Ok) {
@@ -670,7 +682,7 @@ cmdRun(const Args &args)
                          "--resume to start over\n",
                          resumePath.c_str(),
                          recovery::toString(e).c_str(), detail.c_str());
-            return 5;
+            return cli::kCorruptSnapshot;
         }
         if (snap.configHash() != params.configHash() && !force) {
             std::string taken = "<unrecorded>";
@@ -686,7 +698,7 @@ cmdRun(const Args &args)
                          "to resume anyway\n",
                          resumePath.c_str(), taken.c_str(),
                          params.canonical().c_str());
-            return 6;
+            return cli::kConfigMismatch;
         }
     }
 
@@ -694,20 +706,20 @@ cmdRun(const Args &args)
     auto run = recovery::CheckpointableRun::create(params, resuming, &err);
     if (!run) {
         std::fprintf(stderr, "%s\n", err.c_str());
-        return 2;
+        return cli::kBadArgs;
     }
     if (resuming) {
         std::string detail;
         const recovery::LoadError e = run->restore(snap, &detail, force);
         if (e == recovery::LoadError::ConfigMismatch) {
             std::fprintf(stderr, "config mismatch: %s\n", detail.c_str());
-            return 6;
+            return cli::kConfigMismatch;
         }
         if (e != recovery::LoadError::Ok) {
             std::fprintf(stderr, "unusable snapshot %s [%s]: %s\n",
                          resumePath.c_str(),
                          recovery::toString(e).c_str(), detail.c_str());
-            return 5;
+            return cli::kCorruptSnapshot;
         }
         std::printf("resumed %s at request %llu of %zu (t=%s)\n",
                     resumePath.c_str(),
@@ -730,7 +742,7 @@ cmdRun(const Args &args)
             if (!werr.empty()) {
                 std::fprintf(stderr, "checkpoint failed: %s\n",
                              werr.c_str());
-                return 2;
+                return cli::kBadArgs;
             }
             nextCkpt += ckptEvery;
         }
@@ -744,7 +756,7 @@ cmdRun(const Args &args)
                                       run->checkpoint().serialize());
         if (!werr.empty()) {
             std::fprintf(stderr, "checkpoint failed: %s\n", werr.c_str());
-            return 2;
+            return cli::kBadArgs;
         }
     }
     if (!finalOut.empty()) {
@@ -753,7 +765,7 @@ cmdRun(const Args &args)
         if (!werr.empty()) {
             std::fprintf(stderr, "final state write failed: %s\n",
                          werr.c_str());
-            return 2;
+            return cli::kBadArgs;
         }
     }
     if (args.has("metrics-out")) {
@@ -761,7 +773,7 @@ cmdRun(const Args &args)
         if (!writeFile(path, [&](std::ostream &os) {
                 os << run->metricsJson();
             }))
-            return 2;
+            return cli::kBadArgs;
     }
 
     const core::AccuracyResult &acc = run->accuracy();
@@ -784,10 +796,96 @@ cmdRun(const Args &args)
         for (const std::string &v : violations)
             std::fprintf(stderr, "INVARIANT VIOLATED: %s\n", v.c_str());
         if (!violations.empty())
-            return 7;
+            return cli::kInvariantViolation;
         std::printf("cross-layer invariants: OK\n");
     }
     return 0;
+}
+
+int
+cmdChaos(const Args &args)
+{
+    const std::string path = args.get("scenario", "");
+    if (path.empty()) {
+        std::fprintf(stderr, "--scenario FILE required\n");
+        return cli::kBadArgs;
+    }
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return cli::kBadArgs;
+    }
+    std::stringstream buf;
+    buf << is.rdbuf();
+
+    resilience::ChaosScenario scenario;
+    std::string err;
+    if (!resilience::ChaosScenario::parse(buf.str(), &scenario, &err)) {
+        std::fprintf(stderr, "bad scenario %s: %s\n", path.c_str(),
+                     err.c_str());
+        return cli::kBadArgs;
+    }
+    const unsigned jobs = static_cast<unsigned>(
+        std::stoul(args.get("jobs",
+                            std::to_string(perf::ThreadPool::defaultJobs()))));
+
+    std::printf("chaos campaign '%s': %zu seeds, jobs=%u, policy "
+                "deadline %s\n",
+                scenario.name.c_str(), scenario.seeds.size(), jobs,
+                sim::formatDuration(scenario.policy.deadlineBudget).c_str());
+    const resilience::ChaosCampaignResult res =
+        resilience::runChaosCampaign(scenario, jobs);
+    if (!res.error.empty()) {
+        std::fprintf(stderr, "%s\n", res.error.c_str());
+        return cli::kBadArgs;
+    }
+
+    stats::TablePrinter t;
+    t.header({"seed", "ok", "shed", "expired", "hedges(won)", "breaker",
+              "p99.9", "verdict"});
+    for (const resilience::ChaosShardResult &s : res.shards) {
+        t.row({std::to_string(s.seed), std::to_string(s.completedOk),
+               std::to_string(s.shed), std::to_string(s.deadlineExpired),
+               std::to_string(s.hedgesIssued) + "(" +
+                   std::to_string(s.hedgeWins) + ")",
+               std::to_string(s.breakerOpens) + "/" +
+                   std::to_string(s.breakerCloses),
+               sim::formatDuration(s.p999),
+               s.failures.empty() ? "pass" : "FAIL"});
+    }
+    t.print(std::cout);
+    for (const resilience::ChaosShardResult &s : res.shards)
+        for (const std::string &f : s.failures)
+            std::fprintf(stderr, "seed %llu: %s\n",
+                         static_cast<unsigned long long>(s.seed),
+                         f.c_str());
+    std::printf("campaign digest: %016llx\n",
+                static_cast<unsigned long long>(res.campaignDigest));
+
+    if (args.has("verify")) {
+        // Bit-exactness gate: the whole campaign must reproduce on a
+        // single thread — any divergence means hidden cross-shard
+        // state or nondeterminism in the policy stack.
+        const resilience::ChaosCampaignResult serial =
+            resilience::runChaosCampaign(scenario, 1);
+        if (serial.campaignDigest != res.campaignDigest) {
+            std::fprintf(stderr,
+                         "FAIL: --jobs 1 rerun digest %016llx differs "
+                         "from %016llx\n",
+                         static_cast<unsigned long long>(
+                             serial.campaignDigest),
+                         static_cast<unsigned long long>(
+                             res.campaignDigest));
+            return cli::kSloViolation;
+        }
+        std::printf("determinism verify OK: --jobs 1 rerun reproduced "
+                    "the digest\n");
+    }
+    if (!res.pass)
+        return cli::kSloViolation;
+    std::printf("all %zu shards passed their SLO assertions\n",
+                res.shards.size());
+    return cli::kOk;
 }
 
 int
@@ -811,7 +909,7 @@ cmdFaults()
 }
 
 int
-usage()
+usage(int rc)
 {
     std::printf(
         "ssdcheck <command> [options]\n"
@@ -829,22 +927,25 @@ usage()
         "  replay     --device X --trace FILE [--faults PROFILE]\n"
         "  run        --device X [--workload NAME] [--scale F]"
         " [--faults PROFILE]\n"
-        "             [--supervisor] [--timeline-ms N]"
-        " [--metrics-out FILE]\n"
+        "             [--supervisor] [--resilience off|guarded|strict]\n"
+        "             [--timeline-ms N] [--metrics-out FILE]\n"
         "             [--checkpoint-every N --checkpoint-out FILE]"
         " [--resume FILE]\n"
         "             [--force] [--final-state-out FILE]"
         " [--check-invariants]\n"
         "             [--kill-after-requests N] [--kill-in-checkpoint]\n"
-        "             exit codes: 5 = corrupt snapshot, 6 = config"
-        " mismatch,\n"
-        "                         7 = invariant violation\n"
+        "  chaos      --scenario FILE [--jobs N] [--verify]\n"
         "  faults\n"
         "  bench      [--jobs N] [--scale F] [--seeds K] [--out FILE]\n"
         "             [--baseline FILE] [--max-regress F]\n"
+        "  help\n"
         "workloads: TPCE Homes Web Exch Live Build 'RW Mixed'\n"
-        "fault profiles: none flaky-reads wearout stalls drift hostile\n");
-    return 1;
+        "fault profiles: none flaky-reads wearout stalls drift storms"
+        " hostile\n"
+        "resilience policies: off guarded strict\n"
+        "%s",
+        cli::kExitCodeTable);
+    return rc;
 }
 
 } // namespace
@@ -865,9 +966,14 @@ main(int argc, char **argv)
         return cmdTrace(args);
     if (args.command == "run")
         return cmdRun(args);
+    if (args.command == "chaos")
+        return cmdChaos(args);
     if (args.command == "bench")
         return cmdBench(args);
     if (args.command == "faults")
         return cmdFaults();
-    return usage();
+    if (args.command == "help" || args.command == "--help" ||
+        args.command == "-h")
+        return usage(cli::kOk);
+    return usage(cli::kUsage);
 }
