@@ -23,6 +23,8 @@ evaluatePredictionAccuracy(blockdev::BlockDevice &dev, SsdCheck &check,
     AccuracyResult acc;
     obs::TraceRecorder *spans = sink != nullptr ? sink->trace : nullptr;
     obs::Registry *metrics = sink != nullptr ? sink->metrics : nullptr;
+    if (sink != nullptr && sink->audit != nullptr)
+        sink->audit->reserve(sink->audit->size() + trace.records().size());
     obs::Histogram hostLatency;
     if (metrics != nullptr)
         hostLatency =
@@ -39,15 +41,16 @@ evaluatePredictionAccuracy(blockdev::BlockDevice &dev, SsdCheck &check,
             req, pred, t, res.completeTime, res.status, res.attempts);
         if (supervisor != nullptr)
             supervisor->onCompletion(req, actualHl, res);
-        if (spans != nullptr)
-            spans->complete(
+        if (spans != nullptr) {
+            obs::TraceArg *a = spans->completeFill(
                 "host", "host.request",
                 obs::TraceTrack{obs::kHostPid, obs::kHostWorkloadTid}, t,
-                res.completeTime - t,
-                {{"lba", static_cast<int64_t>(req.lba)},
-                 {"write", req.isWrite() ? 1 : 0},
-                 {"pred_hl", pred.hl ? 1 : 0},
-                 {"actual_hl", actualHl ? 1 : 0}});
+                res.completeTime - t, 4);
+            a[0] = {"lba", static_cast<int64_t>(req.lba)};
+            a[1] = {"write", req.isWrite() ? 1 : 0};
+            a[2] = {"pred_hl", pred.hl ? 1 : 0};
+            a[3] = {"actual_hl", actualHl ? 1 : 0};
+        }
         if (metrics != nullptr) {
             hostLatency.observe(res.completeTime - t);
             metrics->tick(res.completeTime);

@@ -141,14 +141,15 @@ SsdCheck::observeCompletion(const blockdev::IoRequest &req,
                             bool actualHl)
 {
     const sim::SimDuration actual = complete - submit;
-    if (trace_ != nullptr)
-        trace_->complete(
+    if (trace_ != nullptr) {
+        obs::TraceArg *a = trace_->completeFill(
             "model", "model.predict",
             obs::TraceTrack{obs::kHostPid, obs::kHostModelTid}, submit,
-            actual,
-            {{"pred_hl", pred.hl ? 1 : 0},
-             {"actual_hl", actualHl ? 1 : 0},
-             {"eet_ns", pred.eet}});
+            actual, 3);
+        a[0] = {"pred_hl", pred.hl ? 1 : 0};
+        a[1] = {"actual_hl", actualHl ? 1 : 0};
+        a[2] = {"eet_ns", pred.eet};
+    }
     if (audit_ != nullptr) {
         obs::AuditRecord r;
         r.submit = submit;

@@ -10,83 +10,14 @@ NandArray::NandArray(const NandGeometry &geo, const NandTiming &timing)
     : geo_(geo), timing_(timing)
 {
     assert(geo.valid());
-    chips_.reserve(geo.chips());
-    for (uint32_t c = 0; c < geo.chips(); ++c)
-        chips_.emplace_back(geo, timing);
-}
-
-NandArray::ChipCoord
-NandArray::chipOfPlane(uint32_t plane) const
-{
-    assert(plane < geo_.totalPlanes());
-    return ChipCoord{plane / geo_.planesPerChip(),
-                     plane % geo_.planesPerChip()};
-}
-
-sim::SimDuration
-NandArray::programPage(Ppn ppn, uint64_t payload)
-{
-    const PhysicalPageAddress a = decodePpn(geo_, ppn);
-    const ChipCoord cc = chipOfPlane(a.plane);
-    return chips_[cc.chip].programPage(cc.localPlane, a.block, a.page,
-                                       payload);
-}
-
-sim::SimDuration
-NandArray::readPage(Ppn ppn, uint64_t *payloadOut)
-{
-    const PhysicalPageAddress a = decodePpn(geo_, ppn);
-    const ChipCoord cc = chipOfPlane(a.plane);
-    return chips_[cc.chip].readPage(cc.localPlane, a.block, a.page,
-                                    payloadOut);
-}
-
-sim::SimDuration
-NandArray::eraseBlock(Pbn pbn)
-{
-    assert(pbn < totalBlocks());
-    const uint32_t plane = static_cast<uint32_t>(pbn / geo_.blocksPerPlane);
-    const uint32_t block = static_cast<uint32_t>(pbn % geo_.blocksPerPlane);
-    const ChipCoord cc = chipOfPlane(plane);
-    return chips_[cc.chip].eraseBlock(cc.localPlane, block);
-}
-
-uint32_t
-NandArray::blockWritePointer(Pbn pbn) const
-{
-    assert(pbn < totalBlocks());
-    const uint32_t plane = static_cast<uint32_t>(pbn / geo_.blocksPerPlane);
-    const uint32_t block = static_cast<uint32_t>(pbn % geo_.blocksPerPlane);
-    const ChipCoord cc = chipOfPlane(plane);
-    return chips_[cc.chip].writePointer(cc.localPlane, block);
-}
-
-uint32_t
-NandArray::blockEraseCount(Pbn pbn) const
-{
-    assert(pbn < totalBlocks());
-    const uint32_t plane = static_cast<uint32_t>(pbn / geo_.blocksPerPlane);
-    const uint32_t block = static_cast<uint32_t>(pbn % geo_.blocksPerPlane);
-    const ChipCoord cc = chipOfPlane(plane);
-    return chips_[cc.chip].eraseCount(cc.localPlane, block);
-}
-
-uint32_t
-NandArray::blockReadCount(Pbn pbn) const
-{
-    assert(pbn < totalBlocks());
-    const uint32_t plane = static_cast<uint32_t>(pbn / geo_.blocksPerPlane);
-    const uint32_t block = static_cast<uint32_t>(pbn % geo_.blocksPerPlane);
-    const ChipCoord cc = chipOfPlane(plane);
-    return chips_[cc.chip].readCount(cc.localPlane, block);
-}
-
-bool
-NandArray::isProgrammed(Ppn ppn) const
-{
-    const PhysicalPageAddress a = decodePpn(geo_, ppn);
-    const ChipCoord cc = chipOfPlane(a.plane);
-    return chips_[cc.chip].isProgrammed(cc.localPlane, a.block, a.page);
+    ppb_ = geo.pagesPerBlock;
+    totalPlanes_ = geo.totalPlanes();
+    totalBlocks_ = geo.totalBlocks();
+    totalPages_ = geo.totalPages();
+    writePtr_.assign(totalBlocks_, 0);
+    eraseCount_.assign(totalBlocks_, 0);
+    readCount_.assign(totalBlocks_, 0);
+    payloads_.assign(totalPages_, kErasedPayload);
 }
 
 sim::SimDuration
@@ -94,8 +25,7 @@ NandArray::batchProgramTime(uint64_t pages, bool slc) const
 {
     if (pages == 0)
         return 0;
-    const uint64_t waves =
-        (pages + geo_.totalPlanes() - 1) / geo_.totalPlanes();
+    const uint64_t waves = (pages + totalPlanes_ - 1) / totalPlanes_;
     const sim::SimDuration per =
         slc ? timing_.slcProgramLatency : timing_.programLatency;
     return static_cast<sim::SimDuration>(waves) * per;
@@ -106,30 +36,53 @@ NandArray::batchReadTime(uint64_t pages) const
 {
     if (pages == 0)
         return 0;
-    const uint64_t waves =
-        (pages + geo_.totalPlanes() - 1) / geo_.totalPlanes();
+    const uint64_t waves = (pages + totalPlanes_ - 1) / totalPlanes_;
     return static_cast<sim::SimDuration>(waves) * timing_.readLatency;
 }
 
 void
 NandArray::saveState(recovery::StateWriter &w) const
 {
-    w.u64(chips_.size());
-    for (const NandChip &c : chips_)
-        c.saveState(w);
+    // Flat structure-of-arrays layout (container format v3): block
+    // state arrays in sequence, then the payload array.
+    w.u64(totalBlocks_);
+    for (uint32_t v : writePtr_)
+        w.u32(v);
+    for (uint32_t v : eraseCount_)
+        w.u32(v);
+    for (uint32_t v : readCount_)
+        w.u32(v);
+    w.u64(payloads_.size());
+    for (uint64_t p : payloads_)
+        w.u64(p);
 }
 
 bool
 NandArray::loadState(recovery::StateReader &r)
 {
-    const uint64_t n = r.u64();
-    if (r.ok() && n != chips_.size()) {
-        r.fail("NAND chip count does not match this geometry");
+    const uint64_t nBlocks = r.u64();
+    if (r.ok() && nBlocks != totalBlocks_) {
+        r.fail("NAND block count does not match this geometry");
         return false;
     }
-    for (NandChip &c : chips_)
-        if (!c.loadState(r))
+    for (auto &v : writePtr_) {
+        v = r.u32();
+        if (r.ok() && v > ppb_) {
+            r.fail("NAND block write pointer past end of block");
             return false;
+        }
+    }
+    for (auto &v : eraseCount_)
+        v = r.u32();
+    for (auto &v : readCount_)
+        v = r.u32();
+    const uint64_t nPages = r.u64();
+    if (r.ok() && nPages != payloads_.size()) {
+        r.fail("NAND page count does not match this geometry");
+        return false;
+    }
+    for (auto &p : payloads_)
+        p = r.u64();
     return r.ok();
 }
 

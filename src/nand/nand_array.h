@@ -3,14 +3,23 @@
  * A multi-channel array of NAND chips with flat physical addressing.
  *
  * The FTL (ssd/page_mapper, ssd/garbage_collector) addresses pages by
- * flat Ppn; the array routes each operation to the owning chip and
- * plane and provides the batch-timing model: operations spread over N
- * planes proceed in parallel, so a batch of k page programs costs
- * ceil(k / totalPlanes) * tProg (paper §III-A: buffered writes are
- * distributed to all chips in channels in parallel).
+ * flat Ppn. State is kept structure-of-arrays over the *flat* address
+ * space — one write-pointer / erase-count / read-count word per flat
+ * block and one payload stamp per flat page — because the flat Ppn
+ * encoding is plane-major and planes map to chips in contiguous
+ * ranges, so no per-operation chip routing (divide by planes-per-chip)
+ * is needed at all. Chip-level invariants (erase-before-write,
+ * sequential in-block programming) are enforced directly on the flat
+ * state; NandChip remains as the reference model for the unit tests.
+ *
+ * The array also provides the batch-timing model: operations spread
+ * over N planes proceed in parallel, so a batch of k page programs
+ * costs ceil(k / totalPlanes) * tProg (paper §III-A: buffered writes
+ * are distributed to all chips in channels in parallel).
  */
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -24,32 +33,81 @@ class StateReader;
 
 namespace ssdcheck::nand {
 
-/** Array of NAND chips addressed by flat physical page number. */
+/** Flat structure-of-arrays NAND state addressed by Ppn/Pbn. */
 class NandArray
 {
   public:
     NandArray(const NandGeometry &geo, const NandTiming &timing);
 
     /** Program one page (must follow the block's write pointer). */
-    sim::SimDuration programPage(Ppn ppn, uint64_t payload);
+    sim::SimDuration programPage(Ppn ppn, uint64_t payload)
+    {
+        assert(ppn < totalPages_);
+        const Pbn pbn = ppn / ppb_;
+        const uint32_t page = static_cast<uint32_t>(ppn - pbn * ppb_);
+        assert(page == writePtr_[pbn] &&
+               "NAND requires sequential in-block writes");
+        assert(page < ppb_ && "block is full");
+        (void)page;
+        payloads_[ppn] = payload;
+        ++writePtr_[pbn];
+        return timing_.programLatency;
+    }
 
     /** Read one programmed page (counts read-disturb exposure). */
-    sim::SimDuration readPage(Ppn ppn, uint64_t *payloadOut = nullptr);
+    sim::SimDuration readPage(Ppn ppn, uint64_t *payloadOut = nullptr)
+    {
+        assert(ppn < totalPages_);
+        const Pbn pbn = ppn / ppb_;
+        assert(ppn - pbn * ppb_ < writePtr_[pbn] &&
+               "reading an unprogrammed page");
+        ++readCount_[pbn];
+        if (payloadOut != nullptr)
+            *payloadOut = payloads_[ppn];
+        return timing_.readLatency;
+    }
 
     /** Erase the block containing flat block number @p pbn. */
-    sim::SimDuration eraseBlock(Pbn pbn);
+    sim::SimDuration eraseBlock(Pbn pbn)
+    {
+        assert(pbn < totalBlocks_);
+        writePtr_[pbn] = 0;
+        readCount_[pbn] = 0;
+        ++eraseCount_[pbn];
+        const size_t base = static_cast<size_t>(pbn) * ppb_;
+        for (uint32_t p = 0; p < ppb_; ++p)
+            payloads_[base + p] = kErasedPayload;
+        return timing_.eraseLatency;
+    }
 
     /** Write pointer (pages programmed) of flat block @p pbn. */
-    uint32_t blockWritePointer(Pbn pbn) const;
+    uint32_t blockWritePointer(Pbn pbn) const
+    {
+        assert(pbn < totalBlocks_);
+        return writePtr_[pbn];
+    }
 
     /** Erase count of flat block @p pbn. */
-    uint32_t blockEraseCount(Pbn pbn) const;
+    uint32_t blockEraseCount(Pbn pbn) const
+    {
+        assert(pbn < totalBlocks_);
+        return eraseCount_[pbn];
+    }
 
     /** Reads served from flat block @p pbn since its last erase. */
-    uint32_t blockReadCount(Pbn pbn) const;
+    uint32_t blockReadCount(Pbn pbn) const
+    {
+        assert(pbn < totalBlocks_);
+        return readCount_[pbn];
+    }
 
     /** True if @p ppn currently holds data. */
-    bool isProgrammed(Ppn ppn) const;
+    bool isProgrammed(Ppn ppn) const
+    {
+        assert(ppn < totalPages_);
+        const Pbn pbn = ppn / ppb_;
+        return ppn - pbn * ppb_ < writePtr_[pbn];
+    }
 
     /**
      * Virtual-time cost of programming @p pages pages striped across
@@ -64,31 +122,34 @@ class NandArray
     const NandTiming &timing() const { return timing_; }
 
     /** Total pages in the array. */
-    uint64_t totalPages() const { return geo_.totalPages(); }
+    uint64_t totalPages() const { return totalPages_; }
 
     /** Total blocks in the array. */
-    uint64_t totalBlocks() const { return geo_.totalBlocks(); }
+    uint64_t totalBlocks() const { return totalBlocks_; }
 
-    /** Serialize every chip's block state and page payloads. */
+    /** Pages per block (cached geometry, hot-path divisor). */
+    uint32_t pagesPerBlock() const { return ppb_; }
+
+    /** Serialize the flat block state and page payloads. */
     void saveState(recovery::StateWriter &w) const;
 
     /** Restore state saved by saveState() (geometry must match). */
     bool loadState(recovery::StateReader &r);
 
   private:
-    struct ChipCoord
-    {
-        uint32_t chip;
-        uint32_t localPlane;
-    };
-
-    /** Map a global plane index to (chip, chip-local plane). */
-    ChipCoord chipOfPlane(uint32_t plane) const;
-
     NandGeometry geo_;
     NandTiming timing_;
-    std::vector<NandChip> chips_;
+    // Cached geometry products so hot operations never chase the
+    // multi-field geometry struct.
+    uint32_t ppb_ = 0;
+    uint32_t totalPlanes_ = 0;
+    uint64_t totalBlocks_ = 0;
+    uint64_t totalPages_ = 0;
+    // Structure-of-arrays block state: indexed by flat Pbn.
+    std::vector<uint32_t> writePtr_;   ///< Next page to program.
+    std::vector<uint32_t> eraseCount_; ///< Erase cycles (wear).
+    std::vector<uint32_t> readCount_;  ///< Reads since the last erase.
+    std::vector<uint64_t> payloads_;   ///< One stamp per flat Ppn.
 };
 
 } // namespace ssdcheck::nand
-

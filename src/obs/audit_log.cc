@@ -45,13 +45,62 @@ classifyAudit(const AuditRecord &r, sim::SimDuration gcThresholdNs)
     return AuditCause::Unknown;
 }
 
-AuditLog::AuditLog(sim::SimDuration gcThresholdNs)
-    : gcThresholdNs_(gcThresholdNs)
+namespace {
+
+/**
+ * Thread-local recycling pool for record storage. Replay loops log
+ * one ~80-byte record per request, so a fresh log's backing store is
+ * tens of MB of never-touched pages — and on this path the minor
+ * faults of first touch dominate the appends themselves. Destroyed
+ * logs donate their (already-faulted) storage to the next one.
+ */
+class RecordStorePool
 {
-    // A log is only constructed when observability was requested, so
-    // pre-faulting a first chunk is free in the disabled path and
-    // skips the early realloc-copy ladder in the hot one.
-    records_.reserve(4096);
+  public:
+    std::vector<AuditRecord> acquire()
+    {
+        if (free_.empty()) {
+            std::vector<AuditRecord> v;
+            // Pre-faulting a first chunk is free in the disabled path
+            // and skips the early realloc-copy ladder in the hot one.
+            v.reserve(4096);
+            return v;
+        }
+        std::vector<AuditRecord> v = std::move(free_.back());
+        free_.pop_back();
+        v.clear();
+        return v;
+    }
+
+    void release(std::vector<AuditRecord> &&v)
+    {
+        // Only faulted-in storage is worth keeping.
+        if (v.capacity() >= 4096 && free_.size() < kMaxFree)
+            free_.push_back(std::move(v));
+    }
+
+  private:
+    static constexpr size_t kMaxFree = 4;
+    std::vector<std::vector<AuditRecord>> free_;
+};
+
+RecordStorePool &
+recordPool()
+{
+    thread_local RecordStorePool pool;
+    return pool;
+}
+
+} // namespace
+
+AuditLog::AuditLog(sim::SimDuration gcThresholdNs)
+    : records_(recordPool().acquire()), gcThresholdNs_(gcThresholdNs)
+{
+}
+
+AuditLog::~AuditLog()
+{
+    recordPool().release(std::move(records_));
 }
 
 AuditReport

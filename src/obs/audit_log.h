@@ -101,11 +101,26 @@ class AuditLog
     /** @param gcThresholdNs classification threshold (see classify). */
     explicit AuditLog(sim::SimDuration gcThresholdNs = 0);
 
+    /** Donates the record storage to a thread-local reuse pool. */
+    ~AuditLog();
+
     /** The monitor's adapted thresholds become known at attach time. */
     void setGcThreshold(sim::SimDuration ns) { gcThresholdNs_ = ns; }
     sim::SimDuration gcThreshold() const { return gcThresholdNs_; }
 
-    void add(const AuditRecord &r) { records_.push_back(r); }
+    void add(const AuditRecord &r)
+    {
+        records_.push_back(r);
+        // One record lands per simulated request; prefetch the next
+        // slot so its read-for-ownership is off the critical path by
+        // the time the next completion records (cf. TraceRecorder).
+        const AuditRecord *next = records_.data() + records_.size();
+        __builtin_prefetch(next, 1);
+        __builtin_prefetch(reinterpret_cast<const char *>(next) + 64, 1);
+    }
+
+    /** Pre-size for @p n records (replay loops know their length). */
+    void reserve(size_t n) { records_.reserve(n); }
 
     const std::vector<AuditRecord> &records() const { return records_; }
     size_t size() const { return records_.size(); }

@@ -8,19 +8,6 @@
 
 namespace ssdcheck::obs {
 
-void
-Histogram::observe(int64_t v)
-{
-    if (d_ == nullptr)
-        return;
-    size_t i = 0;
-    while (i < d_->bounds.size() && v > d_->bounds[i])
-        ++i;
-    ++d_->counts[i];
-    ++d_->count;
-    d_->sum += v;
-}
-
 /** One registered metric: owned storage or a view into a component. */
 struct Registry::Metric
 {

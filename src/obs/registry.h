@@ -98,7 +98,19 @@ class Histogram
 {
   public:
     Histogram() = default;
-    void observe(int64_t v);
+
+    /** Bucket @p v (inline: one observe per replayed request). */
+    void observe(int64_t v)
+    {
+        if (d_ == nullptr)
+            return;
+        size_t i = 0;
+        while (i < d_->bounds.size() && v > d_->bounds[i])
+            ++i;
+        ++d_->counts[i];
+        ++d_->count;
+        d_->sum += v;
+    }
     uint64_t count() const { return d_ == nullptr ? 0 : d_->count; }
     int64_t sum() const { return d_ == nullptr ? 0 : d_->sum; }
 

@@ -1,0 +1,226 @@
+#include "obs/trace_binary.h"
+
+#include <cassert>
+#include <istream>
+#include <iterator>
+#include <ostream>
+
+namespace ssdcheck::obs {
+
+namespace {
+
+/** Flush granularity: bounds encoder memory in spill mode. */
+constexpr size_t kFlushBytes = 64 * 1024;
+
+} // namespace
+
+TraceBinaryEncoder::TraceBinaryEncoder(std::ostream &os) : os_(os)
+{
+    os_.write(kTraceBinaryMagic, sizeof kTraceBinaryMagic);
+    w_.u32(kTraceBinaryVersion);
+}
+
+uint16_t
+TraceBinaryEncoder::intern(const char *s)
+{
+    assert(ids_.size() < 0xFFFF && "trace binary string table overflow");
+    const auto [it, inserted] =
+        ids_.try_emplace(s, static_cast<uint16_t>(ids_.size()));
+    if (inserted) {
+        w_.u8(kTagStringDef);
+        w_.u16(it->second);
+        w_.str(std::string(s));
+    }
+    return it->second;
+}
+
+void
+TraceBinaryEncoder::event(const TraceRecorder &rec,
+                          const TraceRecorder::Event &e,
+                          const TraceArg *args)
+{
+    // Intern before emitting the event tag so every StringDef lands
+    // ahead of the record that references it.
+    const uint16_t cat = intern(rec.strings()[e.catId]);
+    const uint16_t name = intern(rec.strings()[e.nameId]);
+    uint16_t keyIds[TraceRecorder::kMaxArgs];
+    for (uint8_t i = 0; i < e.numArgs; ++i)
+        keyIds[i] = intern(args[i].key);
+    w_.u8(kTagEvent);
+    w_.u8(static_cast<uint8_t>(e.phase));
+    w_.u16(cat);
+    w_.u16(name);
+    w_.u16(e.pid);
+    w_.u16(e.tid);
+    w_.i64(e.ts);
+    if (e.phase == 'X')
+        w_.i64(e.dur);
+    w_.u8(e.numArgs);
+    for (uint8_t i = 0; i < e.numArgs; ++i) {
+        w_.u16(keyIds[i]);
+        w_.i64(args[i].value);
+    }
+    if (w_.size() >= kFlushBytes)
+        flush();
+}
+
+void
+TraceBinaryEncoder::finish(const TraceRecorder &rec)
+{
+    // Metadata last: it can be registered at any point of a spilled
+    // run, and JSON rendering orders it from the replayed vectors, not
+    // from stream position.
+    for (const auto &[pid, name] : rec.processNames()) {
+        w_.u8(kTagProcessName);
+        w_.u32(pid);
+        w_.str(name);
+    }
+    for (const auto &[track, name] : rec.threadNames()) {
+        w_.u8(kTagThreadName);
+        w_.u32(track.pid);
+        w_.u32(track.tid);
+        w_.str(name);
+    }
+    w_.u8(kTagEnd);
+    flush();
+    os_.flush();
+}
+
+void
+TraceBinaryEncoder::flush()
+{
+    const std::vector<uint8_t> bytes = w_.take();
+    os_.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+void
+writeTraceBinary(const TraceRecorder &rec, std::ostream &os)
+{
+    TraceBinaryEncoder enc(os);
+    for (size_t i = rec.firstLiveEvent(); i < rec.events(); ++i) {
+        const TraceRecorder::Event &e = rec.eventAt(i);
+        enc.event(rec, e, rec.eventArgs(e));
+    }
+    enc.finish(rec);
+}
+
+bool
+TraceBinaryReader::read(std::istream &is)
+{
+    const std::vector<uint8_t> buf{std::istreambuf_iterator<char>(is),
+                                   std::istreambuf_iterator<char>()};
+    recovery::StateReader r(buf);
+
+    char magic[sizeof kTraceBinaryMagic];
+    r.raw(reinterpret_cast<uint8_t *>(magic), sizeof magic);
+    if (r.ok() &&
+        std::memcmp(magic, kTraceBinaryMagic, sizeof magic) != 0) {
+        error_ = "not a trace.bin stream (bad magic)";
+        return false;
+    }
+    const uint32_t version = r.u32();
+    if (r.ok() && version != kTraceBinaryVersion) {
+        error_ = "unsupported trace.bin version " + std::to_string(version);
+        return false;
+    }
+
+    bool sawEnd = false;
+    while (r.ok() && !sawEnd) {
+        const uint8_t tag = r.u8();
+        switch (tag) {
+          case kTagStringDef: {
+            const uint16_t id = r.u16();
+            std::string s = r.str();
+            if (r.ok() && id != byId_.size()) {
+                r.fail("string ids must be dense and ascending");
+                break;
+            }
+            storage_.push_back(std::move(s));
+            byId_.push_back(storage_.back().c_str());
+            break;
+          }
+          case kTagProcessName: {
+            const uint32_t pid = r.u32();
+            const std::string name = r.str();
+            if (r.ok())
+                rec_.setProcessName(pid, name);
+            break;
+          }
+          case kTagThreadName: {
+            const uint32_t pid = r.u32();
+            const uint32_t tid = r.u32();
+            const std::string name = r.str();
+            if (r.ok())
+                rec_.setThreadName(TraceTrack{pid, tid}, name);
+            break;
+          }
+          case kTagEvent: {
+            const char phase = static_cast<char>(r.u8());
+            const uint16_t cat = r.u16();
+            const uint16_t name = r.u16();
+            const uint16_t pid = r.u16();
+            const uint16_t tid = r.u16();
+            const int64_t ts = r.i64();
+            const int64_t dur = phase == 'X' ? r.i64() : 0;
+            const uint8_t numArgs = r.u8();
+            if (r.ok() && numArgs > TraceRecorder::kMaxArgs) {
+                r.fail("event arg count exceeds kMaxArgs");
+                break;
+            }
+            TraceArg args[TraceRecorder::kMaxArgs];
+            bool argsOk = true;
+            for (uint8_t i = 0; i < numArgs; ++i) {
+                const uint16_t key = r.u16();
+                const int64_t value = r.i64();
+                if (key >= byId_.size()) {
+                    r.fail("event references an undefined string id");
+                    argsOk = false;
+                    break;
+                }
+                args[i] = TraceArg{byId_[key], value};
+            }
+            if (!r.ok() || !argsOk)
+                break;
+            if (cat >= byId_.size() || name >= byId_.size()) {
+                r.fail("event references an undefined string id");
+                break;
+            }
+            rec_.append(phase, byId_[cat], byId_[name],
+                        TraceTrack{pid, tid}, ts, dur, args, numArgs);
+            break;
+          }
+          case kTagEnd:
+            sawEnd = true;
+            break;
+          default:
+            r.fail("unknown record tag " + std::to_string(tag));
+            break;
+        }
+    }
+    if (r.ok() && !sawEnd)
+        r.fail("stream ends without an End record");
+    if (r.ok() && !r.atEnd())
+        r.fail("trailing bytes after the End record");
+    if (!r.ok()) {
+        error_ = r.error();
+        return false;
+    }
+    return true;
+}
+
+bool
+convertTraceBinaryToJson(std::istream &in, std::ostream &out,
+                         std::string *error)
+{
+    TraceBinaryReader reader;
+    if (!reader.read(in)) {
+        if (error != nullptr)
+            *error = reader.error();
+        return false;
+    }
+    reader.recorder().writeChromeJson(out);
+    return true;
+}
+
+} // namespace ssdcheck::obs

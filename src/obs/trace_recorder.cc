@@ -1,5 +1,9 @@
 #include "obs/trace_recorder.h"
 
+#include "obs/trace_binary.h"
+
+#include <algorithm>
+#include <cassert>
 #include <cstdio>
 #include <ostream>
 #include <sstream>
@@ -73,21 +77,173 @@ writeArgs(std::ostream &os, const TraceArg *args, uint8_t numArgs)
 
 } // namespace
 
-TraceRecorder::TraceRecorder() = default;
+namespace {
 
-void
-TraceRecorder::growEvents()
+/**
+ * Thread-local recycling pools for event/arg chunks. Faulting in a
+ * fresh 48-64 KB chunk costs far more than every event it will ever
+ * hold (each page is a minor fault on first touch), so chunks are
+ * returned here on clear()/destruction and handed to the next grower
+ * already faulted. Thread-local because each grid worker records into
+ * its own recorder; chunk contents are never read before being
+ * overwritten, so reuse cannot leak state between runs.
+ */
+template <typename T, size_t kCount>
+class ChunkPool
 {
-    chunks_.push_back(std::make_unique<Event[]>(kChunkEvents));
+  public:
+    std::unique_ptr<T[]> acquire()
+    {
+        if (free_.empty())
+            // for_overwrite: a value-initialized chunk would memset
+            // memory push() is about to overwrite anyway.
+            return std::make_unique_for_overwrite<T[]>(kCount);
+        std::unique_ptr<T[]> p = std::move(free_.back());
+        free_.pop_back();
+        return p;
+    }
+
+    void release(std::vector<std::unique_ptr<T[]>> &chunks)
+    {
+        for (auto &c : chunks)
+            if (free_.size() < kMaxFree)
+                free_.push_back(std::move(c));
+        chunks.clear();
+    }
+
+  private:
+    /** Bound on retained memory (~48-64 MB per arena type). */
+    static constexpr size_t kMaxFree = 1024;
+    std::vector<std::unique_ptr<T[]>> free_;
+};
+
+} // namespace
+
+// Out-of-line accessors so trace_recorder.h stays free of the pool.
+static ChunkPool<TraceRecorder::Event, TraceRecorder::kChunkEvents> &
+eventPool()
+{
+    thread_local ChunkPool<TraceRecorder::Event,
+                           TraceRecorder::kChunkEvents> pool;
+    return pool;
+}
+
+static ChunkPool<TraceArg, TraceRecorder::kChunkArgs> &
+argPool()
+{
+    thread_local ChunkPool<TraceArg, TraceRecorder::kChunkArgs> pool;
+    return pool;
+}
+
+TraceRecorder::TraceRecorder() : table_(256, 0) {}
+
+uint16_t
+TraceRecorder::internSlow(const char *s)
+{
+    if (strings_.size() * 2 >= table_.size()) {
+        // Rehash at 50% load so the inline probe loop always finds an
+        // empty slot. Distinct strings are a handful of literals in
+        // practice; this path is effectively startup-only.
+        std::vector<uint32_t> bigger(table_.size() * 2, 0);
+        const size_t mask = bigger.size() - 1;
+        for (uint32_t id = 1; id <= strings_.size(); ++id) {
+            const auto h = reinterpret_cast<uintptr_t>(strings_[id - 1]);
+            size_t i = (h >> 3) * 0x9E3779B97F4A7C15ull >> 32 & mask;
+            while (bigger[i] != 0)
+                i = (i + 1) & mask;
+            bigger[i] = id;
+        }
+        table_ = std::move(bigger);
+    }
+    assert(strings_.size() < 0xFFFF && "trace string table overflow");
+    strings_.push_back(s);
+    const auto id = static_cast<uint32_t>(strings_.size());
+    const auto h = reinterpret_cast<uintptr_t>(s);
+    const size_t mask = table_.size() - 1;
+    size_t i = (h >> 3) * 0x9E3779B97F4A7C15ull >> 32 & mask;
+    while (table_[i] != 0)
+        i = (i + 1) & mask;
+    table_[i] = id;
+    return static_cast<uint16_t>(id - 1);
+}
+
+TraceRecorder::~TraceRecorder()
+{
+    eventPool().release(chunks_);
+    argPool().release(argChunks_);
 }
 
 void
-TraceRecorder::growArgs()
+TraceRecorder::advanceEventChunk()
+{
+    if (spill_ != nullptr &&
+        count_ - spilledEvents_ == kSpillLiveChunks << kEventShift)
+        spillOldestChunk();
+    if (count_ - spilledEvents_ == chunks_.size() << kEventShift)
+        chunks_.push_back(eventPool().acquire());
+    curEventChunk_ =
+        chunks_[(count_ - spilledEvents_) >> kEventShift].get();
+}
+
+void
+TraceRecorder::advanceArgChunk(size_t n)
 {
     // Pad out the current chunk's tail so one event's args never
     // straddle a chunk boundary (serialization reads one span).
-    argCount_ = argChunks_.size() << kArgShift;
-    argChunks_.push_back(std::make_unique<TraceArg[]>(kChunkArgs));
+    const size_t apos = argCount_ & (kChunkArgs - 1);
+    if (apos != 0 && apos + n > kChunkArgs)
+        argCount_ += kChunkArgs - apos;
+    const size_t live = argCount_ - (spilledArgChunks_ << kArgShift);
+    if (live == argChunks_.size() << kArgShift)
+        argChunks_.push_back(argPool().acquire());
+    curArgChunk_ = argChunks_[live >> kArgShift].get();
+}
+
+void
+TraceRecorder::spillTo(std::ostream &os)
+{
+    assert(count_ == 0 && "spill mode must be enabled before recording");
+    spill_ = std::make_unique<TraceBinaryEncoder>(os);
+}
+
+void
+TraceRecorder::spillOldestChunk()
+{
+    for (size_t i = spilledEvents_; i < spilledEvents_ + kChunkEvents;
+         ++i) {
+        const Event &e = at(i);
+        spill_->event(*this, e, argsAt(e.argPos));
+    }
+    spilledEvents_ += kChunkEvents;
+    // Rotate the drained event chunk behind the live window for reuse.
+    std::unique_ptr<Event[]> c = std::move(chunks_.front());
+    chunks_.erase(chunks_.begin());
+    chunks_.push_back(std::move(c));
+    // Arg chunks wholly below the first live arg position are drained
+    // too (argPos is monotone across events).
+    const size_t liveArg = count_ == spilledEvents_
+                               ? argCount_
+                               : at(spilledEvents_).argPos;
+    while ((spilledArgChunks_ + 1) << kArgShift <= liveArg) {
+        std::unique_ptr<TraceArg[]> a = std::move(argChunks_.front());
+        argChunks_.erase(argChunks_.begin());
+        argChunks_.push_back(std::move(a));
+        ++spilledArgChunks_;
+    }
+}
+
+void
+TraceRecorder::finishSpill()
+{
+    if (spill_ == nullptr)
+        return;
+    for (size_t i = spilledEvents_; i < count_; ++i) {
+        const Event &e = at(i);
+        spill_->event(*this, e, argsAt(e.argPos));
+    }
+    spilledEvents_ = count_;
+    spill_->finish(*this);
+    spill_.reset();
 }
 
 void
@@ -105,12 +261,25 @@ TraceRecorder::setThreadName(TraceTrack track, const std::string &name)
 void
 TraceRecorder::clear()
 {
-    chunks_.clear();
+    // Arenas are retained: a cleared recorder is about to record again
+    // (attach/record/export cycles), and the chunks' pages are already
+    // faulted in — the expensive part of growing.
     count_ = 0;
-    argChunks_.clear();
     argCount_ = 0;
+    curEventChunk_ = nullptr;
+    curArgChunk_ = nullptr;
+    // Reset interning too: a cleared recorder must behave exactly like
+    // a fresh one (string ids are observable through the binary trace
+    // format).
+    strings_.clear();
+    std::fill(table_.begin(), table_.end(), 0u);
     processNames_.clear();
     threadNames_.clear();
+    // clear() abandons an in-progress spill stream (the caller owns
+    // the ostream and decides what to do with the partial file).
+    spill_.reset();
+    spilledEvents_ = 0;
+    spilledArgChunks_ = 0;
 }
 
 void
@@ -136,11 +305,12 @@ TraceRecorder::writeChromeJson(std::ostream &os) const
            << ",\"tid\":" << track.tid << ",\"args\":{\"name\":\""
            << escapeJson(name) << "\"}}";
     }
-    for (size_t i = 0; i < count_; ++i) {
+    for (size_t i = spilledEvents_; i < count_; ++i) {
         const Event &e = at(i);
         sep();
-        os << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.cat
-           << "\",\"ph\":\"" << e.phase << "\",\"ts\":";
+        os << "{\"name\":\"" << strings_[e.nameId] << "\",\"cat\":\""
+           << strings_[e.catId] << "\",\"ph\":\"" << e.phase
+           << "\",\"ts\":";
         writeMicros(os, e.ts);
         if (e.phase == 'X') {
             os << ",\"dur\":";

@@ -37,6 +37,8 @@
 
 namespace ssdcheck::obs {
 
+class TraceBinaryEncoder;
+
 /** One event argument: a string-literal key and an integer value. */
 struct TraceArg
 {
@@ -67,6 +69,9 @@ class TraceRecorder
 {
   public:
     TraceRecorder();
+    ~TraceRecorder();
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
 
     /**
      * A span [start, start+dur] (Chrome "X" complete event).
@@ -78,6 +83,19 @@ class TraceRecorder
                   std::initializer_list<TraceArg> args = {})
     {
         push('X', cat, name, track, start, dur, args);
+    }
+
+    /**
+     * complete() for per-request hot paths: reserves @p numArgs
+     * (≤ kMaxArgs) arg slots and returns them for the caller to fill
+     * in place, skipping the initializer-list staging copy. The
+     * returned span is valid until the next record call.
+     */
+    TraceArg *completeFill(const char *cat, const char *name,
+                           TraceTrack track, sim::SimTime start,
+                           sim::SimDuration dur, size_t numArgs)
+    {
+        return pushFill('X', cat, name, track, start, dur, numArgs);
     }
 
     /** A point event (Chrome "i" instant, thread scope). */
@@ -103,6 +121,24 @@ class TraceRecorder
     /** Events recorded so far (metadata names not counted). */
     size_t events() const { return count_; }
 
+    /**
+     * Ring/spill mode: bound live memory to a few arena chunks and
+     * stream drained chunks to @p os as the binary trace format
+     * (trace.bin — see obs/trace_binary.h). Must be enabled before
+     * the first event; finishSpill() completes the stream. The bytes
+     * are identical to writeTraceBinary() over a fully retained
+     * recorder of the same run. While spilling, only the live window
+     * is addressable in memory: writeChromeJson() renders the tail
+     * only — full JSON comes from converting the spilled stream.
+     */
+    void spillTo(std::ostream &os);
+
+    /** Encode the live tail + metadata + End, and leave spill mode. */
+    void finishSpill();
+
+    /** First event still in memory (> 0 only while spilling). */
+    size_t firstLiveEvent() const { return spilledEvents_; }
+
     void clear();
 
     /** Serialize as Chrome trace-event JSON (object format). */
@@ -114,18 +150,22 @@ class TraceRecorder
     /** Maximum args kept per event; extras are dropped. */
     static constexpr size_t kMaxArgs = 4;
 
-  private:
-    // One cache-line-friendly POD (48 bytes); args live in a chunked
-    // pool so an event only pays for the args it actually has.
-    // pid/tid are stored narrow: every track id used in the repo fits
-    // 16 bits (kDeviceInterfaceTid = 0xFFFF is the ceiling).
+    // One half-cache-line POD (32 bytes); args live in a chunked pool
+    // so an event only pays for the args it actually has. Category and
+    // name are interned to small ids at record time (see strings()) —
+    // the arena is the hot path's dominant memory traffic, and two
+    // L1-hot table probes cost less than the extra 16 bytes per event
+    // ever did. pid/tid are stored narrow: every track id used in the
+    // repo fits 16 bits (kDeviceInterfaceTid = 0xFFFF is the ceiling).
+    // Public (read-only via eventAt/argsAt) for the binary trace
+    // writer.
     struct Event
     {
-        const char *cat;
-        const char *name;
         int64_t ts;
         int64_t dur;      ///< Only meaningful for phase 'X'.
         uint32_t argPos;  ///< First arg in the arg arena.
+        uint16_t catId;   ///< Index into strings().
+        uint16_t nameId;  ///< Index into strings().
         uint16_t pid;
         uint16_t tid;
         char phase;       ///< 'X', 'i' or 'C'.
@@ -144,56 +184,164 @@ class TraceRecorder
     static constexpr size_t kArgShift = 12;   ///< 4096 args = 64 KB.
     static constexpr size_t kChunkArgs = size_t{1} << kArgShift;
 
+    /** Event @p i in record order (i < events()). */
+    const Event &eventAt(size_t i) const { return at(i); }
+
+    /** Args of an event, contiguous (see Event::argPos/numArgs). */
+    const TraceArg *eventArgs(const Event &e) const
+    {
+        return argsAt(e.argPos);
+    }
+
+    /** Interned category/name strings; Event ids index this. */
+    const std::vector<const char *> &strings() const { return strings_; }
+
+    /** pid → display-name pairs in registration order. */
+    const std::vector<std::pair<uint32_t, std::string>> &
+    processNames() const
+    {
+        return processNames_;
+    }
+
+    /** (pid, tid) → display-name pairs in registration order. */
+    const std::vector<std::pair<TraceTrack, std::string>> &
+    threadNames() const
+    {
+        return threadNames_;
+    }
+
+    /**
+     * Raw append with a runtime-length arg span (the trace-convert
+     * replay path; hot-path recording uses the literal-arg wrappers
+     * above). The same literal-lifetime contract applies: @p cat,
+     * @p name and arg keys are stored by pointer.
+     */
+    void append(char phase, const char *cat, const char *name,
+                TraceTrack track, sim::SimTime ts, sim::SimDuration dur,
+                const TraceArg *args, size_t numArgs)
+    {
+        pushSpan(phase, cat, name, track, ts, dur, args, numArgs);
+    }
+
+  private:
+
     void push(char phase, const char *cat, const char *name,
               TraceTrack track, sim::SimTime ts, sim::SimDuration dur,
               std::initializer_list<TraceArg> args)
     {
-        if (count_ == chunks_.size() << kEventShift) [[unlikely]]
-            growEvents();
-        Event &e =
-            chunks_[count_ >> kEventShift][count_ & (kChunkEvents - 1)];
+        pushSpan(phase, cat, name, track, ts, dur, args.begin(),
+                 args.size());
+    }
+
+    void pushSpan(char phase, const char *cat, const char *name,
+                  TraceTrack track, sim::SimTime ts, sim::SimDuration dur,
+                  const TraceArg *args, size_t numArgs)
+    {
+        TraceArg *slot =
+            pushFill(phase, cat, name, track, ts, dur, numArgs);
+        const size_t n = numArgs < kMaxArgs ? numArgs : kMaxArgs;
+        for (size_t i = 0; i < n; ++i)
+            slot[i] = args[i];
+    }
+
+    TraceArg *pushFill(char phase, const char *cat, const char *name,
+                       TraceTrack track, sim::SimTime ts,
+                       sim::SimDuration dur, size_t numArgs)
+    {
+        // curEventChunk_/curArgChunk_ shortcut the vector-of-unique_ptr
+        // double indirection: a push touches only member fields and the
+        // two arena tails. The advance helpers (cold, out of line)
+        // materialize or step to the chunk holding the current cursor,
+        // reusing retained chunks after clear().
+        if ((count_ & (kChunkEvents - 1)) == 0) [[unlikely]]
+            advanceEventChunk();
+        Event &e = curEventChunk_[count_ & (kChunkEvents - 1)];
         ++count_;
-        e.cat = cat;
-        e.name = name;
+        e.catId = internId(cat);
+        e.nameId = internId(name);
         e.ts = ts;
         e.dur = dur;
         e.pid = static_cast<uint16_t>(track.pid);
         e.tid = static_cast<uint16_t>(track.tid);
         e.phase = phase;
-        const size_t n = args.size() < kMaxArgs ? args.size() : kMaxArgs;
-        if (argCount_ + n > argChunks_.size() << kArgShift) [[unlikely]]
-            growArgs();
+        const size_t n = numArgs < kMaxArgs ? numArgs : kMaxArgs;
+        const size_t apos = argCount_ & (kChunkArgs - 1);
+        if (apos == 0 || apos + n > kChunkArgs) [[unlikely]]
+            advanceArgChunk(n);
         e.argPos = static_cast<uint32_t>(argCount_);
         e.numArgs = static_cast<uint8_t>(n);
-        TraceArg *slot =
-            &argChunks_[argCount_ >> kArgShift][argCount_ &
-                                               (kChunkArgs - 1)];
+        TraceArg *slot = &curArgChunk_[argCount_ & (kChunkArgs - 1)];
         argCount_ += n;
-        size_t i = 0;
-        for (const TraceArg &a : args) {
-            if (i >= n)
-                break;
-            slot[i++] = a;
+        // Pull the next event/arg slots into cache now: pushes are
+        // isolated (one per simulated request), so by the next push
+        // the arena tail has been evicted and its read-for-ownership
+        // would land on the critical path. Past-the-end prefetches at
+        // chunk boundaries are harmless (prefetch never faults).
+        __builtin_prefetch(&e + 1, 1);
+        __builtin_prefetch(slot + n, 1);
+        __builtin_prefetch(slot + n + 3, 1);
+        return slot;
+    }
+
+    /**
+     * Intern @p s by pointer identity (everything recorded is a
+     * string literal or converter-owned stable storage, so equal
+     * pointers mean equal strings; distinct addresses with equal
+     * content just waste one table slot). The open-address table is
+     * ~1 KB and L1-resident; a hit is two or three loads.
+     */
+    uint16_t internId(const char *s)
+    {
+        const auto h = reinterpret_cast<uintptr_t>(s);
+        const size_t mask = table_.size() - 1;
+        size_t i = (h >> 3) * 0x9E3779B97F4A7C15ull >> 32 & mask;
+        for (;; i = (i + 1) & mask) {
+            const uint32_t v = table_[i];
+            if (v == 0)
+                return internSlow(s);
+            if (strings_[v - 1] == s)
+                return static_cast<uint16_t>(v - 1);
         }
     }
 
-    void growEvents();
-    void growArgs();
+    uint16_t internSlow(const char *s);
+    void advanceEventChunk();
+    void advanceArgChunk(size_t n);
+    void spillOldestChunk();
+
+    // Chunk indexing is relative to the spill window: chunks_[0] holds
+    // event spilledEvents_ (0 when not spilling, so the subtraction
+    // folds away into the plain lookup).
     const Event &at(size_t i) const
     {
-        return chunks_[i >> kEventShift][i & (kChunkEvents - 1)];
+        return chunks_[(i >> kEventShift) -
+                       (spilledEvents_ >> kEventShift)]
+                      [i & (kChunkEvents - 1)];
     }
     const TraceArg *argsAt(uint32_t pos) const
     {
-        return &argChunks_[pos >> kArgShift][pos & (kChunkArgs - 1)];
+        return &argChunks_[(pos >> kArgShift) - spilledArgChunks_]
+                          [pos & (kChunkArgs - 1)];
     }
 
+    std::vector<const char *> strings_;
+    std::vector<uint32_t> table_; ///< Open-address: id + 1, 0 = empty.
     std::vector<std::unique_ptr<Event[]>> chunks_;
     size_t count_ = 0;
     std::vector<std::unique_ptr<TraceArg[]>> argChunks_;
     size_t argCount_ = 0;
+    Event *curEventChunk_ = nullptr;   ///< chunks_.back(), raw.
+    TraceArg *curArgChunk_ = nullptr;  ///< argChunks_.back(), raw.
     std::vector<std::pair<uint32_t, std::string>> processNames_;
     std::vector<std::pair<TraceTrack, std::string>> threadNames_;
+    // Ring/spill state (see spillTo). Live events are
+    // [spilledEvents_, count_); drained chunks rotate to the back of
+    // their vector for reuse, so steady-state spilling allocates
+    // nothing.
+    static constexpr size_t kSpillLiveChunks = 4;
+    std::unique_ptr<TraceBinaryEncoder> spill_;
+    size_t spilledEvents_ = 0;
+    size_t spilledArgChunks_ = 0;
 };
 
 } // namespace ssdcheck::obs

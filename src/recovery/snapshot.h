@@ -38,8 +38,11 @@ namespace ssdcheck::recovery {
 /** Current snapshot format version. Bump on any layout change.
  *  v2: ResilientDevice gained expired/attemptsIssued counters,
  *  FaultInjector gained burst-regime state, and the Resilience/Chaos
- *  sections were added. */
-inline constexpr uint32_t kFormatVersion = 2;
+ *  sections were added.
+ *  v3: NandArray serializes flat structure-of-arrays state (all write
+ *  pointers, then erase counts, then read counts) instead of the old
+ *  per-chip interleaved block records. */
+inline constexpr uint32_t kFormatVersion = 3;
 
 /** Snapshot file magic ("SSDCKPT1"). */
 inline constexpr uint8_t kMagic[8] = {'S', 'S', 'D', 'C', 'K', 'P', 'T', '1'};

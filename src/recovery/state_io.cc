@@ -50,6 +50,13 @@ fnv1a(const std::string &s)
 }
 
 void
+StateWriter::u16(uint16_t v)
+{
+    bytes_.push_back(static_cast<uint8_t>(v));
+    bytes_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
 StateWriter::u32(uint32_t v)
 {
     for (int i = 0; i < 4; ++i)
@@ -100,6 +107,17 @@ StateReader::u8()
     if (!need(1))
         return 0;
     return data_[pos_++];
+}
+
+uint16_t
+StateReader::u16()
+{
+    if (!need(2))
+        return 0;
+    uint16_t v = static_cast<uint16_t>(data_[pos_]);
+    v |= static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return v;
 }
 
 uint32_t

@@ -37,6 +37,7 @@ class StateWriter
 {
   public:
     void u8(uint8_t v) { bytes_.push_back(v); }
+    void u16(uint16_t v);
     void u32(uint32_t v);
     void u64(uint64_t v);
     void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
@@ -76,6 +77,7 @@ class StateReader
     }
 
     uint8_t u8();
+    uint16_t u16();
     uint32_t u32();
     uint64_t u64();
     int64_t i64() { return static_cast<int64_t>(u64()); }

@@ -20,12 +20,6 @@ splitmix64(uint64_t &x)
     return z ^ (z >> 31);
 }
 
-uint64_t
-rotl(uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(uint64_t seed) : seed_(seed)
@@ -33,62 +27,6 @@ Rng::Rng(uint64_t seed) : seed_(seed)
     uint64_t sm = seed;
     for (auto &s : s_)
         s = splitmix64(sm);
-}
-
-uint64_t
-Rng::next()
-{
-    ++draws_;
-    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-uint64_t
-Rng::nextBelow(uint64_t bound)
-{
-    assert(bound > 0);
-    // Rejection sampling to remove modulo bias.
-    const uint64_t threshold = (0 - bound) % bound;
-    for (;;) {
-        const uint64_t r = next();
-        if (r >= threshold)
-            return r % bound;
-    }
-}
-
-int64_t
-Rng::uniformInt(int64_t lo, int64_t hi)
-{
-    assert(lo <= hi);
-    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
-    if (span == 0) // full 64-bit range
-        return static_cast<int64_t>(next());
-    return lo + static_cast<int64_t>(nextBelow(span));
-}
-
-double
-Rng::uniform01()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-double
-Rng::uniformReal(double lo, double hi)
-{
-    return lo + (hi - lo) * uniform01();
-}
-
-bool
-Rng::bernoulli(double p)
-{
-    return uniform01() < p;
 }
 
 double

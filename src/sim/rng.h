@@ -10,6 +10,7 @@
  */
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 
@@ -33,8 +34,24 @@ class Rng
     /** Construct from a 64-bit seed (expanded with splitmix64). */
     explicit Rng(uint64_t seed = 0x5eed5eedULL);
 
+    // The short draw helpers are inline: jitter/hiccup/fault draws sit
+    // on the per-request hot path, and an out-of-line call per draw
+    // costs more than the five-op generator itself.
+
     /** Next raw 64-bit value. */
-    uint64_t next();
+    uint64_t next()
+    {
+        ++draws_;
+        const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** The seed this stream was constructed (or restored) from. */
     uint64_t seed() const { return seed_; }
@@ -60,19 +77,42 @@ class Rng
     static Rng replayTo(uint64_t seed, uint64_t draws);
 
     /** Uniform integer in [0, bound). bound must be > 0. */
-    uint64_t nextBelow(uint64_t bound);
+    uint64_t nextBelow(uint64_t bound)
+    {
+        assert(bound > 0);
+        // Rejection sampling to remove modulo bias.
+        const uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            const uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
-    int64_t uniformInt(int64_t lo, int64_t hi);
+    int64_t uniformInt(int64_t lo, int64_t hi)
+    {
+        assert(lo <= hi);
+        const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+        if (span == 0) // full 64-bit range
+            return static_cast<int64_t>(next());
+        return lo + static_cast<int64_t>(nextBelow(span));
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform01();
+    double uniform01()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform double in [lo, hi). */
-    double uniformReal(double lo, double hi);
+    double uniformReal(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform01();
+    }
 
     /** True with probability p. */
-    bool bernoulli(double p);
+    bool bernoulli(double p) { return uniform01() < p; }
 
     /** Standard normal via Box-Muller (no cached spare; stateless). */
     double gaussian();
@@ -93,6 +133,11 @@ class Rng
     bool loadState(recovery::StateReader &r);
 
   private:
+    static uint64_t rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     uint64_t s_[4];
     uint64_t seed_ = 0;
     uint64_t draws_ = 0;

@@ -47,7 +47,8 @@ class SmallCallback
             // Oversized capture: box it; the inline storage holds only
             // the pointer.
             *reinterpret_cast<Fn **>(storage_) =
-                new Fn(std::forward<F>(f));
+                new Fn( // lint:allow(heap-alloc): cold boxed fallback
+                    std::forward<F>(f));
             vt_ = &boxedVTable<Fn>;
         }
     }

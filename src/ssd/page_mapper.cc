@@ -1,6 +1,7 @@
 #include "ssd/page_mapper.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <sstream>
 
@@ -16,8 +17,15 @@ PageMapper::PageMapper(nand::NandArray &nand, uint64_t userPages,
     assert(userPages > 0);
     assert(userPages < nand.totalPages() &&
            "need overprovisioning for GC to make progress");
+    ppb_ = nand.geometry().pagesPerBlock;
+    ppbShift_ = std::has_single_bit(ppb_)
+                    ? static_cast<uint32_t>(std::countr_zero(ppb_))
+                    : 0;
+    totalBlocks_ = nand.totalBlocks();
+    totalPages_ = nand.totalPages();
     lpnToPpn_.assign(userPages, nand::kInvalidPpn);
     ppnToLpn_.assign(nand.totalPages(), kInvalidLpn);
+    validWords_.assign((totalPages_ + 63) / 64, 0);
     blockValid_.assign(nand.totalBlocks(), 0);
     blockFree_.assign(nand.totalBlocks(), 1);
     blockRetired_.assign(nand.totalBlocks(), 0);
@@ -34,7 +42,7 @@ nand::Ppn
 PageMapper::allocatePage(Stream stream)
 {
     OpenBlock &ob = open_[static_cast<size_t>(stream)];
-    const uint32_t ppb = nand_.geometry().pagesPerBlock;
+    const uint32_t ppb = ppb_;
     if (ob.block == kNoVictim || ob.nextPage >= ppb) {
         assert(!freeList_.empty() && "free-block pool exhausted; "
                "GC watermarks are misconfigured");
@@ -75,11 +83,12 @@ PageMapper::invalidate(uint64_t lpn)
     const nand::Ppn old = lpnToPpn_[lpn];
     if (old == nand::kInvalidPpn)
         return;
-    const nand::Pbn blk = old / nand_.geometry().pagesPerBlock;
+    const nand::Pbn blk = blockOf(old);
     assert(blockValid_[blk] > 0);
     --blockValid_[blk];
     if (candidate_[blk])
         pushBucket(blk, blockValid_[blk]);
+    markInvalid(old);
     ppnToLpn_[old] = kInvalidLpn;
     lpnToPpn_[lpn] = nand::kInvalidPpn;
     --totalValid_;
@@ -94,7 +103,8 @@ PageMapper::writePage(uint64_t lpn, uint64_t payload)
     nand_.programPage(ppn, payload);
     lpnToPpn_[lpn] = ppn;
     ppnToLpn_[ppn] = lpn;
-    ++blockValid_[ppn / nand_.geometry().pagesPerBlock];
+    markValid(ppn);
+    ++blockValid_[blockOf(ppn)];
     ++totalValid_;
 }
 
@@ -133,6 +143,7 @@ PageMapper::trimAll()
 {
     lpnToPpn_.assign(userPages_, nand::kInvalidPpn);
     ppnToLpn_.assign(nand_.totalPages(), kInvalidLpn);
+    validWords_.assign(validWords_.size(), 0);
     freeList_.clear();
     for (nand::Pbn b = nand_.totalBlocks(); b-- > 0;) {
         if (blockRetired_[b])
@@ -152,7 +163,7 @@ PageMapper::trimAll()
     candidate_.assign(nand_.totalBlocks(), 0);
     for (auto &bkt : buckets_)
         bkt.clear();
-    minBucket_ = nand_.geometry().pagesPerBlock + 1;
+    minBucket_ = ppb_ + 1;
 }
 
 uint32_t
@@ -185,7 +196,7 @@ PageMapper::closeBlock(nand::Pbn b)
         return;
     if (b == open_[0].block || b == open_[1].block)
         return;
-    if (nand_.blockWritePointer(b) != nand_.geometry().pagesPerBlock)
+    if (nand_.blockWritePointer(b) != ppb_)
         return;
     candidate_[b] = 1;
     pushBucket(b, blockValid_[b]);
@@ -201,7 +212,7 @@ PageMapper::isGcCandidate(nand::Pbn pbn) const
 nand::Pbn
 PageMapper::pickVictimGreedy() const
 {
-    const uint32_t ppb = nand_.geometry().pagesPerBlock;
+    const uint32_t ppb = ppb_;
     // Pop-min over the valid-count buckets, pruning stale entries as
     // they surface. Each stale entry is discarded exactly once, so the
     // amortized cost per call is O(1); the winner stays in its bucket
@@ -227,25 +238,49 @@ PageMapper::collectBlock(nand::Pbn victim)
 {
     assert(victim != kNoVictim);
     assert(!blockFree_[victim]);
-    const uint32_t ppb = nand_.geometry().pagesPerBlock;
+    const nand::Ppn first = victim * static_cast<nand::Ppn>(ppb_);
+    const nand::Ppn last = first + ppb_;
     uint64_t moved = 0;
-    for (uint32_t p = 0; p < ppb; ++p) {
-        const nand::Ppn ppn =
-            victim * static_cast<nand::Ppn>(ppb) + p;
-        const uint64_t lpn = ppnToLpn_[ppn];
-        if (lpn == kInvalidLpn)
+    // Batch migrate: walk the victim's live pages as one scan over its
+    // packed validity words — countr_zero jumps straight to the next
+    // set bit, so mostly-invalid victims (the greedy common case) cost
+    // a handful of word loads instead of ppb inverse-map probes.
+    for (nand::Ppn p = first; p < last;) {
+        const uint64_t w = validWords_[p >> 6] >> (p & 63);
+        if (w == 0) {
+            p = (p | 63) + 1; // skip to the next word boundary
             continue;
+        }
+        p += static_cast<unsigned>(std::countr_zero(w));
+        if (p >= last)
+            break;
+        const uint64_t lpn = ppnToLpn_[p];
+        assert(lpn != kInvalidLpn);
         // Merge step: read the valid page and re-program it from the
         // GC-open block (paper §II-A "merge operation").
         uint64_t payload = 0;
-        nand_.readPage(ppn, &payload);
+        nand_.readPage(p, &payload);
         const nand::Ppn dst = allocatePage(Stream::Gc);
         nand_.programPage(dst, payload);
         lpnToPpn_[lpn] = dst;
         ppnToLpn_[dst] = lpn;
-        ppnToLpn_[ppn] = kInvalidLpn;
-        ++blockValid_[dst / ppb];
+        markValid(dst);
+        ppnToLpn_[p] = kInvalidLpn;
+        ++blockValid_[blockOf(dst)];
         ++moved;
+        ++p;
+    }
+    assert(moved == blockValid_[victim]);
+    // Batch invalidate: clear the victim's validity span word-wise
+    // (partial words at the edges keep their neighbors' bits).
+    for (nand::Ppn p = first; p < last;) {
+        if ((p & 63) == 0 && last - p >= 64) {
+            validWords_[p >> 6] = 0;
+            p += 64;
+        } else {
+            markInvalid(p);
+            ++p;
+        }
     }
     blockValid_[victim] = 0;
     nand_.eraseBlock(victim);
@@ -265,7 +300,7 @@ PageMapper::lpnOfPpn(nand::Ppn ppn) const
 nand::Pbn
 PageMapper::pickColdestClosedBlock() const
 {
-    const uint32_t ppb = nand_.geometry().pagesPerBlock;
+    const uint32_t ppb = ppb_;
     nand::Pbn best = kNoVictim;
     uint32_t bestErase = ~0u;
     for (nand::Pbn b = 0; b < nand_.totalBlocks(); ++b) {
@@ -300,7 +335,7 @@ std::string
 PageMapper::checkConsistency() const
 {
     std::ostringstream err;
-    const uint32_t ppb = nand_.geometry().pagesPerBlock;
+    const uint32_t ppb = ppb_;
     uint64_t validSeen = 0;
     for (uint64_t lpn = 0; lpn < userPages_; ++lpn) {
         const nand::Ppn ppn = lpnToPpn_[lpn];
@@ -319,14 +354,42 @@ PageMapper::checkConsistency() const
     if (validSeen != totalValid_)
         err << "totalValid mismatch; ";
 
+    // O(n) reference scan of the inverse map, cross-checked three
+    // ways: per-block counts from the scan, the packed validity
+    // bitmap (bit-for-bit and via per-block popcounts), and the
+    // maintained blockValid_ counters must all agree.
     std::vector<uint32_t> counted(nand_.totalBlocks(), 0);
     for (nand::Ppn p = 0; p < nand_.totalPages(); ++p) {
-        if (ppnToLpn_[p] != kInvalidLpn)
+        const bool mapped = ppnToLpn_[p] != kInvalidLpn;
+        if (mapped)
             ++counted[p / ppb];
+        if (mapped != isPpnValid(p)) {
+            err << "validity bitmap mismatch at ppn " << p << "; ";
+            break;
+        }
     }
+    if (validWords_.size() != (nand_.totalPages() + 63) / 64)
+        err << "validity bitmap word count mismatch; ";
     for (nand::Pbn b = 0; b < nand_.totalBlocks(); ++b) {
         if (counted[b] != blockValid_[b]) {
             err << "block valid-count mismatch at block " << b << "; ";
+            break;
+        }
+        uint32_t pop = 0;
+        for (nand::Ppn p = b * static_cast<nand::Ppn>(ppb);
+             p < (b + 1) * static_cast<nand::Ppn>(ppb);) {
+            if ((p & 63) == 0 && (b + 1) * static_cast<nand::Ppn>(ppb) -
+                                         p >= 64) {
+                pop += static_cast<uint32_t>(
+                    std::popcount(validWords_[p >> 6]));
+                p += 64;
+            } else {
+                pop += isPpnValid(p) ? 1u : 0u;
+                ++p;
+            }
+        }
+        if (pop != blockValid_[b]) {
+            err << "bitmap popcount mismatch at block " << b << "; ";
             break;
         }
         if (blockFree_[b] && nand_.blockWritePointer(b) != 0) {
@@ -480,6 +543,13 @@ PageMapper::loadState(recovery::StateReader &r)
     retiredBlocks_ = r.u64();
     if (!r.ok())
         return false;
+
+    // Rebuild the derived validity bitmap from the restored inverse
+    // map (it is never serialized).
+    validWords_.assign(validWords_.size(), 0);
+    for (nand::Ppn p = 0; p < totalPages; ++p)
+        if (ppnToLpn_[p] != kInvalidLpn)
+            markValid(p);
 
     // Rebuild the lazy victim buckets fresh from the candidate set.
     // pickVictimGreedy() prunes stale entries before choosing, so the

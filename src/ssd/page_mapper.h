@@ -131,6 +131,18 @@ class PageMapper
     /** Inverse lookup: lpn stored in physical page @p ppn (or kInvalidLpn). */
     uint64_t lpnOfPpn(nand::Ppn ppn) const;
 
+    /** True when physical page @p ppn holds a live (mapped) page. */
+    bool isPpnValid(nand::Ppn ppn) const
+    {
+        return (validWords_[ppn >> 6] >> (ppn & 63)) & 1ULL;
+    }
+
+    /** Packed validity bitmap word @p i (64 pages per word; tests). */
+    uint64_t validWord(size_t i) const { return validWords_[i]; }
+
+    /** Number of packed validity words. */
+    size_t validWords() const { return validWords_.size(); }
+
     /**
      * The closed (fully programmed) block with the lowest erase count
      * — the static-wear-leveling candidate.
@@ -185,11 +197,45 @@ class PageMapper
     /** Record candidate @p b under valid count @p valid. */
     void pushBucket(nand::Pbn b, uint32_t valid) const;
 
+    /** Flat block containing @p ppn (shift when ppb is a power of 2). */
+    nand::Pbn blockOf(nand::Ppn ppn) const
+    {
+        return ppbShift_ != 0 ? ppn >> ppbShift_ : ppn / ppb_;
+    }
+
+    /** Set the validity bit of @p ppn. */
+    void markValid(nand::Ppn ppn)
+    {
+        validWords_[ppn >> 6] |= 1ULL << (ppn & 63);
+    }
+
+    /** Clear the validity bit of @p ppn. */
+    void markInvalid(nand::Ppn ppn)
+    {
+        validWords_[ppn >> 6] &= ~(1ULL << (ppn & 63));
+    }
+
     nand::NandArray &nand_;
     uint64_t userPages_;
     bool wearAwareAllocation_;
+    // Cached geometry (hot-path divisors; ppbShift_ nonzero when ppb
+    // is a power of two, enabling shift instead of divide).
+    uint32_t ppb_ = 0;
+    uint32_t ppbShift_ = 0;
+    uint64_t totalBlocks_ = 0;
+    uint64_t totalPages_ = 0;
     std::vector<nand::Ppn> lpnToPpn_;
     std::vector<uint64_t> ppnToLpn_;
+    /**
+     * Packed per-page validity: bit (ppn & 63) of word (ppn >> 6) is
+     * set exactly when ppnToLpn_[ppn] != kInvalidLpn. Redundant with
+     * the inverse map but enables the popcount-assisted batch paths:
+     * collectBlock() walks a victim's live pages as one bitmap scan
+     * and batch-clears the victim's words, instead of probing the
+     * inverse map page by page. Derived state: rebuilt on load, not
+     * serialized.
+     */
+    std::vector<uint64_t> validWords_;
     std::vector<uint32_t> blockValid_;
     std::vector<uint8_t> blockFree_;
     std::vector<uint8_t> blockRetired_; ///< Grown-bad-block list.

@@ -31,20 +31,8 @@ SsdConfig::volumeOf(uint64_t lba) const
 uint64_t
 SsdConfig::localLpn(uint64_t lba) const
 {
-    // Page index, then squeeze out each volume-selecting page bit,
-    // highest bit first so lower positions stay valid.
-    uint64_t page = lba / blockdev::kSectorsPerPage;
-    std::vector<uint32_t> pageBits;
-    pageBits.reserve(volumeBits.size());
-    for (uint32_t b : volumeBits)
-        pageBits.push_back(b - 3); // sector bit -> page bit (4KB = 2^3 sectors)
-    std::sort(pageBits.rbegin(), pageBits.rend());
-    for (uint32_t pb : pageBits) {
-        const uint64_t low = page & ((1ULL << pb) - 1);
-        const uint64_t high = page >> (pb + 1);
-        page = (high << pb) | low;
-    }
-    return page;
+    // Cold-path convenience; hot paths hold an LbaRouter instead.
+    return LbaRouter(*this).localLpn(lba);
 }
 
 uint64_t

@@ -207,5 +207,65 @@ struct SsdConfig
     std::string validate() const;
 };
 
+/**
+ * Precomputed LBA→(volume, local LPN) router for the submit hot path.
+ *
+ * SsdConfig::volumeOf/localLpn recompute the squeeze-bit order from
+ * the raw volumeBits vector on every call; this snapshot does that
+ * work once at device construction (volume bits never drift) and
+ * serves every request from two small fixed arrays.
+ */
+class LbaRouter
+{
+  public:
+    LbaRouter() = default;
+
+    explicit LbaRouter(const SsdConfig &cfg)
+    {
+        n_ = static_cast<uint32_t>(cfg.volumeBits.size());
+        for (uint32_t i = 0; i < n_ && i < kMaxBits; ++i) {
+            volBits_[i] = cfg.volumeBits[i];
+            // Sector bit -> page bit (4KB = 2^3 sectors).
+            pageBitsDesc_[i] = cfg.volumeBits[i] - 3;
+        }
+        // Squeeze highest page bit first so lower positions stay valid.
+        for (uint32_t i = 1; i < n_; ++i) {
+            const uint32_t b = pageBitsDesc_[i];
+            uint32_t j = i;
+            for (; j > 0 && pageBitsDesc_[j - 1] < b; --j)
+                pageBitsDesc_[j] = pageBitsDesc_[j - 1];
+            pageBitsDesc_[j] = b;
+        }
+    }
+
+    /** Volume index of a sector LBA (concatenated volume bits). */
+    uint32_t volumeOf(uint64_t lba) const
+    {
+        uint32_t v = 0;
+        for (uint32_t i = 0; i < n_; ++i)
+            v |= static_cast<uint32_t>((lba >> volBits_[i]) & 1ULL) << i;
+        return v;
+    }
+
+    /** Volume-local logical page number of a sector LBA. */
+    uint64_t localLpn(uint64_t lba) const
+    {
+        uint64_t page = lba / blockdev::kSectorsPerPage;
+        for (uint32_t i = 0; i < n_; ++i) {
+            const uint32_t pb = pageBitsDesc_[i];
+            const uint64_t low = page & ((1ULL << pb) - 1);
+            const uint64_t high = page >> (pb + 1);
+            page = (high << pb) | low;
+        }
+        return page;
+    }
+
+  private:
+    static constexpr uint32_t kMaxBits = 16;
+    uint32_t n_ = 0;
+    uint32_t volBits_[kMaxBits] = {};
+    uint32_t pageBitsDesc_[kMaxBits] = {}; ///< Page bits, descending.
+};
+
 } // namespace ssdcheck::ssd
 

@@ -8,7 +8,7 @@
 namespace ssdcheck::ssd {
 
 SsdDevice::SsdDevice(SsdConfig cfg)
-    : cfg_(std::move(cfg)), rng_(cfg_.seed),
+    : cfg_(std::move(cfg)), router_(cfg_), rng_(cfg_.seed),
       faults_(cfg_.faults, sim::Rng(cfg_.seed).fork(0xFA17))
 {
     const std::string err = cfg_.validate();
@@ -111,8 +111,8 @@ SsdDevice::submitDetailed(const blockdev::IoRequest &req, sim::SimTime now,
     for (uint32_t p = 0; p < req.pages(); ++p) {
         const uint64_t lba =
             (firstPage + p) * blockdev::kSectorsPerPage;
-        const uint32_t vol = cfg_.volumeOf(lba);
-        const uint64_t lpn = cfg_.localLpn(lba);
+        const uint32_t vol = router_.volumeOf(lba);
+        const uint64_t lpn = router_.localLpn(lba);
         sim::SimTime done;
         if (req.isWrite()) {
             const uint64_t stamp =
@@ -175,13 +175,14 @@ SsdDevice::submitDetailed(const blockdev::IoRequest &req, sim::SimTime now,
     }
 
     res.completeTime = complete;
-    if (trace_ != nullptr)
-        trace_->complete(
-            "dev", "dev.request", kBusTrack, now, complete - now,
-            {{"lba", static_cast<int64_t>(req.lba)},
-             {"pages", static_cast<int64_t>(req.pages())},
-             {"write", req.isWrite() ? 1 : 0},
-             {"status", static_cast<int64_t>(res.status)}});
+    if (trace_ != nullptr) {
+        obs::TraceArg *a = trace_->completeFill(
+            "dev", "dev.request", kBusTrack, now, complete - now, 4);
+        a[0] = {"lba", static_cast<int64_t>(req.lba)};
+        a[1] = {"pages", static_cast<int64_t>(req.pages())};
+        a[2] = {"write", req.isWrite() ? 1 : 0};
+        a[3] = {"status", static_cast<int64_t>(res.status)};
+    }
     return res;
 }
 
@@ -268,8 +269,8 @@ SsdDevice::peekPage(uint64_t pageIndex, uint64_t *payload) const
             *payload = it->second;
         return true;
     }
-    const uint32_t vol = cfg_.volumeOf(lba);
-    return volumes_[vol]->peek(cfg_.localLpn(lba), payload);
+    const uint32_t vol = router_.volumeOf(lba);
+    return volumes_[vol]->peek(router_.localLpn(lba), payload);
 }
 
 const VolumeCounters &

@@ -35,7 +35,7 @@ class StateReader;
 namespace ssdcheck::ssd {
 
 /** Simulated SSD exposing the black-box block interface. */
-class SsdDevice : public blockdev::BlockDevice
+class SsdDevice final : public blockdev::BlockDevice
 {
   public:
     /** @param cfg validated configuration (asserts on invalid). */
@@ -115,6 +115,7 @@ class SsdDevice : public blockdev::BlockDevice
     void applyDrift();
 
     SsdConfig cfg_;
+    LbaRouter router_; ///< Precomputed LBA routing (hot path).
     sim::Rng rng_;
     FaultInjector faults_;
     std::vector<std::unique_ptr<Volume>> volumes_;

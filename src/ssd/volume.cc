@@ -10,18 +10,14 @@ namespace ssdcheck::ssd {
 Volume::Volume(const SsdConfig &cfg, uint32_t volumeIndex, sim::Rng rng,
                FaultInjector *faults)
     : cfg_(cfg), volumeIndex_(volumeIndex), rng_(rng), faults_(faults),
+      nand_(cfg.volumeGeometry(), cfg.nandTiming),
+      mapper_(nand_, cfg.userPagesPerVolume(), cfg.wearLevelThreshold > 0),
+      gc_(mapper_, nand_, cfg.gcLowBlocks, cfg.gcHighBlocks,
+          cfg.wearLevelThreshold, cfg.readDisturbLimit),
       buffer_(cfg.bufferPages())
 {
-    nand_ = std::make_unique<nand::NandArray>(cfg.volumeGeometry(),
-                                              cfg.nandTiming);
-    mapper_ = std::make_unique<PageMapper>(*nand_, cfg.userPagesPerVolume(),
-                                           cfg.wearLevelThreshold > 0);
-    gc_ = std::make_unique<GarbageCollector>(*mapper_, *nand_,
-                                             cfg.gcLowBlocks,
-                                             cfg.gcHighBlocks,
-                                             cfg.wearLevelThreshold,
-                                             cfg.readDisturbLimit);
     slcCycleCapacity_ = cfg.slcCapacityPages;
+    victimScratch_.reserve(64);
 }
 
 sim::SimDuration
@@ -42,13 +38,13 @@ Volume::flush(sim::SimTime at, IoDetail *detail, FlushReason reason)
     if (nandBusyUntil_ <= at)
         busyIncludesGc_ = false; // previous busy window fully drained
 
-    const auto entries = buffer_.drain();
+    const auto &entries = buffer_.drain();
     for (const auto &e : entries)
-        mapper_->writePage(e.lpn, e.payload);
+        mapper_.writePage(e.lpn, e.payload);
 
     sim::SimDuration flushDur = 0;
     if (cfg_.wbFlushCostEnabled) {
-        flushDur = nand_->batchProgramTime(entries.size(), cfg_.slcCache) +
+        flushDur = nand_.batchProgramTime(entries.size(), cfg_.slcCache) +
                    cfg_.flushOverheadTime;
         flushDur = jitter(flushDur);
     }
@@ -59,7 +55,7 @@ Volume::flush(sim::SimTime at, IoDetail *detail, FlushReason reason)
     // not).
     if (faults_ != nullptr && faults_->programFails()) {
         flushDur += faults_->profile().programFailCost;
-        if (mapper_->retireFreeBlock(cfg_.gcHighBlocks + 2)) {
+        if (mapper_.retireFreeBlock(cfg_.gcHighBlocks + 2)) {
             faults_->noteBlockRetired();
             ++counters_.retiredBlocks;
         }
@@ -88,8 +84,8 @@ Volume::flush(sim::SimTime at, IoDetail *detail, FlushReason reason)
             // array; the remainder drains lazily in background.
             const uint64_t chunk =
                 std::min<uint64_t>(slcUsedPages_, cfg_.slcMigrateChunkPages);
-            sim::SimDuration mig = nand_->batchReadTime(chunk) +
-                                   nand_->batchProgramTime(chunk);
+            sim::SimDuration mig = nand_.batchReadTime(chunk) +
+                                   nand_.batchProgramTime(chunk);
             if (!cfg_.wbFlushCostEnabled)
                 mig = 0;
             if (trace_ != nullptr && mig > 0)
@@ -113,10 +109,10 @@ Volume::flush(sim::SimTime at, IoDetail *detail, FlushReason reason)
     // GC runs when the flush depleted the free pool (paper §II-A).
     // The reclaim target varies a little per invocation, like adaptive
     // firmware does; this is what gives GC intervals a distribution.
-    if (gc_->needed()) {
+    if (gc_.needed()) {
         victimScratch_.clear();
         const GcResult res =
-            gc_->collect(static_cast<uint32_t>(rng_.nextBelow(4)),
+            gc_.collect(static_cast<uint32_t>(rng_.nextBelow(4)),
                          trace_ != nullptr ? &victimScratch_ : nullptr);
         if (res.ran()) {
             sim::SimDuration gcDur =
@@ -129,7 +125,7 @@ Volume::flush(sim::SimTime at, IoDetail *detail, FlushReason reason)
             if (faults_ != nullptr) {
                 for (uint64_t b = 0; b < res.blocksErased; ++b) {
                     if (faults_->eraseFails() &&
-                        mapper_->retireFreeBlock(cfg_.gcHighBlocks + 2)) {
+                        mapper_.retireFreeBlock(cfg_.gcHighBlocks + 2)) {
                         faults_->noteBlockRetired();
                         ++counters_.retiredBlocks;
                     }
@@ -151,7 +147,7 @@ Volume::flush(sim::SimTime at, IoDetail *detail, FlushReason reason)
                 trace_->instant(
                     "gc", "gc.trigger", track_, gcStart,
                     {{"free_blocks",
-                      static_cast<int64_t>(mapper_->freeBlocks())}});
+                      static_cast<int64_t>(mapper_.freeBlocks())}});
                 trace_->complete(
                     "gc", "gc.run", track_, gcStart, gcDur,
                     {{"blocks_erased",
@@ -278,7 +274,7 @@ Volume::serveRead(sim::SimTime start, uint64_t lpn, uint64_t *payloadOut,
 
     sim::SimDuration nandLat = cfg_.nandTiming.readLatency;
     uint64_t payload = 0;
-    if (mapper_->readPage(lpn, &payload)) {
+    if (mapper_.readPage(lpn, &payload)) {
         if (payloadOut != nullptr)
             *payloadOut = payload;
     } else {
@@ -304,7 +300,7 @@ void
 Volume::reset()
 {
     buffer_.clear();
-    mapper_->trimAll();
+    mapper_.trimAll();
     writeGate_ = 0;
     nandBusyUntil_ = 0;
     readGate_ = 0;
@@ -316,11 +312,11 @@ void
 Volume::prefill(uint64_t stampBase)
 {
     for (uint64_t lpn = 0; lpn < cfg_.userPagesPerVolume(); ++lpn)
-        mapper_->writePage(lpn, stampBase + lpn);
+        mapper_.writePage(lpn, stampBase + lpn);
     // Preconditioning may leave the pool near the trigger; settle it
     // now so the first measured request doesn't eat a giant GC.
-    if (gc_->needed())
-        gc_->collect();
+    if (gc_.needed())
+        gc_.collect();
 }
 
 void
@@ -360,17 +356,17 @@ Volume::peek(uint64_t lpn, uint64_t *payload) const
 {
     if (buffer_.lookup(lpn, payload))
         return true;
-    return mapper_->readPage(lpn, payload);
+    return mapper_.readPage(lpn, payload);
 }
 
 void
 Volume::saveState(recovery::StateWriter &w) const
 {
     rng_.saveState(w);
-    nand_->saveState(w);
-    mapper_->saveState(w);
+    nand_.saveState(w);
+    mapper_.saveState(w);
     buffer_.saveState(w);
-    gc_->saveState(w);
+    gc_.saveState(w);
     w.i64(writeGate_);
     w.i64(nandBusyUntil_);
     w.i64(readGate_);
@@ -394,9 +390,9 @@ Volume::saveState(recovery::StateWriter &w) const
 bool
 Volume::loadState(recovery::StateReader &r)
 {
-    if (!rng_.loadState(r) || !nand_->loadState(r) ||
-        !mapper_->loadState(r) || !buffer_.loadState(r) ||
-        !gc_->loadState(r))
+    if (!rng_.loadState(r) || !nand_.loadState(r) ||
+        !mapper_.loadState(r) || !buffer_.loadState(r) ||
+        !gc_.loadState(r))
         return false;
     writeGate_ = r.i64();
     nandBusyUntil_ = r.i64();

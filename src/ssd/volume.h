@@ -19,7 +19,6 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -133,7 +132,7 @@ class Volume
     void prefill(uint64_t stampBase);
 
     /** FTL state, for integrity checks in tests. */
-    const PageMapper &mapper() const { return *mapper_; }
+    const PageMapper &mapper() const { return mapper_; }
 
     /** Read the latest value of logical page (buffer-aware). */
     bool peek(uint64_t lpn, uint64_t *payload) const;
@@ -193,9 +192,12 @@ class Volume
     sim::Rng rng_;
     FaultInjector *faults_;
 
-    std::unique_ptr<nand::NandArray> nand_;
-    std::unique_ptr<PageMapper> mapper_;
-    std::unique_ptr<GarbageCollector> gc_;
+    // Direct members (declaration order is construction order: the
+    // mapper and collector hold references into nand_/mapper_), so the
+    // hot submit path needs no pointer chase per component.
+    nand::NandArray nand_;
+    PageMapper mapper_;
+    GarbageCollector gc_;
     WriteBuffer buffer_;
 
     sim::SimTime writeGate_ = 0;

@@ -1,6 +1,7 @@
 #include "ssd/write_buffer.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "recovery/state_io.h"
@@ -11,11 +12,45 @@ WriteBuffer::WriteBuffer(uint32_t capacityPages) : capacity_(capacityPages)
 {
     assert(capacityPages > 0);
     entries_.reserve(capacityPages);
-    // One slot per buffered write; reserving up front keeps add() and
-    // lookup() rehash-free for the whole life of the buffer (drain()
-    // clears but never shrinks the table).
-    newest_.max_load_factor(0.5f);
-    newest_.reserve(capacityPages + 1);
+    scratch_.reserve(capacityPages);
+    // Slot count at least 2x the fill keeps probe chains short; the
+    // table only ever grows (drain() clears it by generation bump).
+    rehash(static_cast<size_t>(capacityPages) * 2 + 2);
+}
+
+void
+WriteBuffer::rehash(size_t minSlots)
+{
+    const size_t n = std::bit_ceil(std::max<size_t>(minSlots, 8));
+    slots_.assign(n, Slot{});
+    mask_ = n - 1;
+    gen_ = 1;
+    for (size_t i = 0; i < entries_.size(); ++i)
+        indexNewest(entries_[i].lpn, static_cast<uint32_t>(i));
+}
+
+void
+WriteBuffer::resetTable()
+{
+    ++gen_;
+    if (gen_ == 0) { // generation wrapped: old tags are ambiguous now
+        slots_.assign(slots_.size(), Slot{});
+        gen_ = 1;
+    }
+}
+
+void
+WriteBuffer::indexNewest(uint64_t lpn, uint32_t idx)
+{
+    for (size_t i = hashLpn(lpn) & mask_;; i = (i + 1) & mask_) {
+        Slot &s = slots_[i];
+        if (s.gen == gen_ && s.lpn != lpn)
+            continue;
+        s.lpn = lpn;
+        s.idx = idx;
+        s.gen = gen_;
+        return;
+    }
 }
 
 bool
@@ -24,8 +59,10 @@ WriteBuffer::add(uint64_t lpn, uint64_t payload)
     // May be entered on an already-full buffer right after a capacity
     // shrink (firmware drift); the caller flushes as soon as this
     // returns true, so fill only ever overshoots transiently.
+    if ((entries_.size() + 2) * 2 > slots_.size())
+        rehash(slots_.size() * 2);
     entries_.push_back(Entry{lpn, payload});
-    newest_[lpn] = entries_.size() - 1;
+    indexNewest(lpn, static_cast<uint32_t>(entries_.size() - 1));
     return full();
 }
 
@@ -35,32 +72,20 @@ WriteBuffer::setCapacity(uint32_t capacityPages)
     capacity_ = capacityPages > 0 ? capacityPages : 1;
 }
 
-bool
-WriteBuffer::lookup(uint64_t lpn, uint64_t *payload) const
-{
-    const auto it = newest_.find(lpn);
-    if (it == newest_.end())
-        return false;
-    if (payload != nullptr)
-        *payload = entries_[it->second].payload;
-    return true;
-}
-
-std::vector<WriteBuffer::Entry>
+const std::vector<WriteBuffer::Entry> &
 WriteBuffer::drain()
 {
-    std::vector<Entry> out = std::move(entries_);
+    std::swap(entries_, scratch_);
     entries_.clear();
-    entries_.reserve(capacity_);
-    newest_.clear();
-    return out;
+    resetTable();
+    return scratch_;
 }
 
 void
 WriteBuffer::clear()
 {
     entries_.clear();
-    newest_.clear();
+    resetTable();
 }
 
 void
@@ -87,13 +112,15 @@ WriteBuffer::loadState(recovery::StateReader &r)
         return false;
     capacity_ = capacity;
     entries_.clear();
-    newest_.clear();
+    resetTable();
     entries_.reserve(std::max<uint64_t>(capacity_, n));
     for (uint64_t i = 0; i < n; ++i) {
         const uint64_t lpn = r.u64();
         const uint64_t payload = r.u64();
+        if ((entries_.size() + 2) * 2 > slots_.size())
+            rehash(slots_.size() * 2);
         entries_.push_back(Entry{lpn, payload});
-        newest_[lpn] = entries_.size() - 1;
+        indexNewest(lpn, static_cast<uint32_t>(entries_.size() - 1));
     }
     return r.ok();
 }

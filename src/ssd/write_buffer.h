@@ -12,12 +12,17 @@
  * Each write occupies one slot even when it overwrites an LBA already
  * buffered (no coalescing): the paper measures buffer size by counting
  * writes between flushes, which requires slot-per-write semantics.
+ *
+ * The newest-entry index is an open-addressing flat table (linear
+ * probing, power-of-two size, generation-tagged slots) instead of a
+ * std::unordered_map: one cache line per probe, no per-node
+ * allocation, and a flush clears it by bumping the generation — the
+ * whole add/lookup/drain cycle is allocation-free at steady state.
  */
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace ssdcheck::recovery {
@@ -67,13 +72,27 @@ class WriteBuffer
      * Latest buffered payload for @p lpn.
      * @return true and set @p payload when present.
      */
-    bool lookup(uint64_t lpn, uint64_t *payload) const;
+    bool lookup(uint64_t lpn, uint64_t *payload) const
+    {
+        for (size_t i = hashLpn(lpn) & mask_;; i = (i + 1) & mask_) {
+            const Slot &s = slots_[i];
+            if (s.gen != gen_)
+                return false;
+            if (s.lpn == lpn) {
+                if (payload != nullptr)
+                    *payload = entries_[s.idx].payload;
+                return true;
+            }
+        }
+    }
 
     /**
-     * Remove and return all entries in arrival order (a flush).
-     * The buffer is empty afterwards.
+     * Remove all entries (a flush) and return them in arrival order
+     * via a reused member scratch buffer: the reference stays valid
+     * until the next drain()/add() cycle touches the buffer again, so
+     * callers iterate it in place — no per-flush allocation.
      */
-    std::vector<Entry> drain();
+    const std::vector<Entry> &drain();
 
     /** Discard all contents (purge). */
     void clear();
@@ -85,11 +104,39 @@ class WriteBuffer
     bool loadState(recovery::StateReader &r);
 
   private:
+    /** One open-addressing slot; live iff gen == gen_. */
+    struct Slot
+    {
+        uint64_t lpn = 0;
+        uint32_t idx = 0; ///< Newest entries_ index for this lpn.
+        uint32_t gen = 0;
+    };
+
+    /** Deterministic 64-bit mix (splitmix64 finalizer). */
+    static uint64_t hashLpn(uint64_t x)
+    {
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    }
+
+    /** Point the newest-index of @p lpn at entries_[idx]. */
+    void indexNewest(uint64_t lpn, uint32_t idx);
+
+    /** Rebuild the slot table at @p minSlots (rounded up to 2^k). */
+    void rehash(size_t minSlots);
+
+    /** Invalidate every slot (generation bump; wrap-safe). */
+    void resetTable();
+
     uint32_t capacity_;
     std::vector<Entry> entries_;
-    /** lpn -> index of the newest entry for that lpn. */
-    std::unordered_map<uint64_t, size_t> newest_;
+    std::vector<Entry> scratch_; ///< drain() return storage, reused.
+    std::vector<Slot> slots_;
+    size_t mask_ = 0;
+    uint32_t gen_ = 1;
 };
 
 } // namespace ssdcheck::ssd
-

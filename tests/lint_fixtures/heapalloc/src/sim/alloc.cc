@@ -1,0 +1,29 @@
+// R7 fixture: heap allocation in the allocation-free core.
+#include <memory>
+
+namespace fixture {
+
+struct Node
+{
+    int v = 0;
+};
+
+int *
+leak()
+{
+    return new int(42);
+}
+
+std::unique_ptr<Node>
+boxed()
+{
+    return std::make_unique<Node>();
+}
+
+std::shared_ptr<Node>
+shared()
+{
+    return std::make_shared<Node>();
+}
+
+} // namespace fixture

@@ -1,0 +1,11 @@
+// R7 fixture: a reasoned suppression absorbs a deliberate cold-path
+// allocation.
+namespace fixture {
+
+int *
+coldInit()
+{
+    return new int(7); // lint:allow(heap-alloc): one-time cold init
+}
+
+} // namespace fixture

@@ -1,0 +1,19 @@
+// R7 fixture: src/ssd files outside the named FTL hot files are not
+// in the heap-alloc scope (construction-time allocation is fine
+// there).
+#include <memory>
+
+namespace fixture {
+
+struct Helper
+{
+    int v = 0;
+};
+
+std::unique_ptr<Helper>
+makeHelper()
+{
+    return std::make_unique<Helper>();
+}
+
+} // namespace fixture

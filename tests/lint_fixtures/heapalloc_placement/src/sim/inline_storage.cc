@@ -1,0 +1,21 @@
+// R7 fixture: placement new into inline storage is exempt, and the
+// preprocessor line naming <new> is ignored.
+#include <new>
+#include <utility>
+
+namespace fixture {
+
+struct Slot
+{
+    alignas(8) unsigned char storage[16];
+};
+
+template <typename T, typename... A>
+T *
+constructInto(Slot &s, A &&...args)
+{
+    return ::new (static_cast<void *>(s.storage))
+        T(std::forward<A>(args)...);
+}
+
+} // namespace fixture

@@ -194,6 +194,42 @@ TEST(LintRules, NodiscardAnnotatedAndExpressionUsesPass)
         << (r.findings.empty() ? "" : r.findings[0].format());
 }
 
+TEST(LintRules, HeapAllocFlaggedInAllocationFreeCore)
+{
+    const lint::LintResult r = runCase("heapalloc");
+    ASSERT_EQ(r.findings.size(), 3u);
+    for (const auto &f : r.findings) {
+        EXPECT_EQ(f.rule, "heap-alloc");
+        EXPECT_EQ(f.file, "src/sim/alloc.cc");
+    }
+    EXPECT_EQ(r.findings[0].line, 14u); // new int(42)
+    EXPECT_EQ(r.findings[1].line, 20u); // make_unique
+    EXPECT_EQ(r.findings[2].line, 26u); // make_shared
+}
+
+TEST(LintRules, HeapAllocExemptsPlacementNewAndPreprocessor)
+{
+    const lint::LintResult r = runCase("heapalloc_placement");
+    EXPECT_TRUE(r.findings.empty())
+        << (r.findings.empty() ? "" : r.findings[0].format());
+}
+
+TEST(LintRules, HeapAllocScopedToCoreDirsAndHotFtlFiles)
+{
+    // src/ssd files other than the three FTL hot files are out of
+    // scope: construction-time allocation is fine there.
+    const lint::LintResult r = runCase("heapalloc_outside");
+    EXPECT_TRUE(r.findings.empty())
+        << (r.findings.empty() ? "" : r.findings[0].format());
+}
+
+TEST(LintRules, HeapAllocReasonedSuppressionAbsorbsFinding)
+{
+    const lint::LintResult r = runCase("heapalloc_allowed");
+    EXPECT_TRUE(r.findings.empty())
+        << (r.findings.empty() ? "" : r.findings[0].format());
+}
+
 TEST(LintBinary, ExitCodesAndOutputFormat)
 {
     std::string out;

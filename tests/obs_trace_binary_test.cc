@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests of the binary trace format (obs/trace_binary.h): JSON
+ * byte-identity through the offline converter, retained-vs-spill
+ * stream identity, bounded live memory while spilling, and sticky
+ * rejection of malformed streams.
+ */
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace_binary.h"
+#include "obs/trace_recorder.h"
+#include "sim/sim_time.h"
+
+namespace ssdcheck::obs {
+namespace {
+
+/** Deterministic mixed-shape event feed shared by the tests. */
+void
+record(TraceRecorder &tr, size_t events)
+{
+    tr.setProcessName(kHostPid, "host");
+    tr.setProcessName(kDevicePid, "device \"A\"");
+    tr.setThreadName({kHostPid, kHostModelTid}, "model");
+    tr.setThreadName({kDevicePid, kDeviceInterfaceTid}, "bus");
+    for (size_t i = 0; i < events; ++i) {
+        const auto t = static_cast<sim::SimTime>(i) * 1000 + 500;
+        switch (i % 4) {
+          case 0:
+            tr.complete("dev", "dev.request",
+                        {kDevicePid, kDeviceInterfaceTid}, t, 2000,
+                        {{"lba", static_cast<int64_t>(i)},
+                         {"write", 1},
+                         {"pages", 4},
+                         {"status", 0}});
+            break;
+          case 1:
+            tr.instant("wb", "wb.enqueue", {kDevicePid, 0}, t,
+                       {{"fill", static_cast<int64_t>(i % 33)}});
+            break;
+          case 2:
+            tr.counter("queue", {kHostPid, kHostWorkloadTid}, t, "depth",
+                       static_cast<int64_t>(i % 7));
+            break;
+          default:
+            // Over-long arg list exercises the kMaxArgs clamp, and a
+            // negative timestamp the sign handling.
+            tr.complete("gc", "gc.run", {kDevicePid, 1}, -t, 1,
+                        {{"a", 1}, {"b", 2}, {"c", 3}, {"d", 4}, {"e", 5}});
+            break;
+        }
+    }
+}
+
+std::string
+binaryOf(const TraceRecorder &tr)
+{
+    std::ostringstream os;
+    writeTraceBinary(tr, os);
+    return os.str();
+}
+
+TEST(TraceBinary, ConverterEmitsByteIdenticalJson)
+{
+    TraceRecorder tr;
+    record(tr, 257);
+
+    std::istringstream in(binaryOf(tr));
+    std::ostringstream out;
+    std::string error;
+    ASSERT_TRUE(convertTraceBinaryToJson(in, out, &error)) << error;
+    EXPECT_EQ(out.str(), tr.toChromeJson());
+}
+
+TEST(TraceBinary, BinaryIsSmallerThanJson)
+{
+    TraceRecorder tr;
+    record(tr, 1000);
+    EXPECT_LT(binaryOf(tr).size(), tr.toChromeJson().size() / 2);
+}
+
+TEST(TraceBinary, EmptyRecorderRoundTrips)
+{
+    TraceRecorder tr;
+    std::istringstream in(binaryOf(tr));
+    std::ostringstream out;
+    ASSERT_TRUE(convertTraceBinaryToJson(in, out, nullptr));
+    EXPECT_EQ(out.str(), tr.toChromeJson());
+}
+
+TEST(TraceBinary, SpillStreamMatchesRetainedStream)
+{
+    // Enough events to drain the live window several times over
+    // (kChunkEvents = 1024, live window = 4 chunks).
+    constexpr size_t kEvents = 10000;
+
+    TraceRecorder retained;
+    record(retained, kEvents);
+
+    std::ostringstream spillOs;
+    TraceRecorder spilling;
+    spilling.spillTo(spillOs);
+    record(spilling, kEvents);
+    spilling.finishSpill();
+
+    EXPECT_EQ(spilling.events(), kEvents);
+    EXPECT_EQ(spilling.firstLiveEvent(), kEvents);
+    EXPECT_EQ(spillOs.str(), binaryOf(retained));
+
+    // And the converted JSON equals what the retained recorder
+    // renders directly.
+    std::istringstream in(spillOs.str());
+    std::ostringstream json;
+    std::string error;
+    ASSERT_TRUE(convertTraceBinaryToJson(in, json, &error)) << error;
+    EXPECT_EQ(json.str(), retained.toChromeJson());
+}
+
+TEST(TraceBinary, SpillKeepsLiveWindowBounded)
+{
+    std::ostringstream os;
+    TraceRecorder tr;
+    tr.spillTo(os);
+    record(tr, 50000);
+    // Live events never exceed the ring window.
+    EXPECT_LE(tr.events() - tr.firstLiveEvent(),
+              TraceRecorder::kChunkEvents * 4);
+    tr.finishSpill();
+}
+
+TEST(TraceBinary, RejectsMalformedStreams)
+{
+    TraceRecorder tr;
+    record(tr, 16);
+    const std::string good = binaryOf(tr);
+
+    const auto rejects = [](std::string bytes, const char *what) {
+        std::istringstream in(bytes);
+        std::ostringstream out;
+        std::string error;
+        EXPECT_FALSE(convertTraceBinaryToJson(in, out, &error)) << what;
+        EXPECT_FALSE(error.empty()) << what;
+    };
+
+    std::string badMagic = good;
+    badMagic[0] = 'X';
+    rejects(badMagic, "bad magic");
+
+    std::string badVersion = good;
+    badVersion[8] = static_cast<char>(0xEE);
+    rejects(badVersion, "bad version");
+
+    rejects(good.substr(0, good.size() - 1), "truncated");
+    rejects(good.substr(0, good.size() / 2), "half stream");
+    rejects(good + "x", "trailing bytes");
+
+    std::string noEnd = good.substr(0, good.size() - 1);
+    rejects(noEnd, "missing End");
+}
+
+} // namespace
+} // namespace ssdcheck::obs

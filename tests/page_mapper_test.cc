@@ -265,6 +265,61 @@ TEST(PageMapperPropertyTest, VictimMatchesReferenceScan)
     ASSERT_EQ(m.checkConsistency(), "");
 }
 
+/**
+ * Bit-equivalence of the packed SoA state against a naive reference
+ * mapper: rebuild the validity bitmap words, per-block valid counters
+ * and totalValid from scratch out of the plain forward map (one
+ * lookup() per logical page — the representation the pre-SoA mapper
+ * kept) at checkpoints of a randomized write/trim/GC schedule, and
+ * require the maintained SoA state to match word for word.
+ */
+TEST(PageMapperPropertyTest, SoaStateMatchesNaiveReference)
+{
+    nand::NandArray arr(smallGeo(), nand::NandTiming{});
+    const uint64_t userPages = 160;
+    const uint32_t ppb = smallGeo().pagesPerBlock;
+    PageMapper m(arr, userPages);
+    sim::Rng rng(424242);
+
+    const auto naiveCheck = [&]() {
+        std::vector<uint64_t> words(m.validWords(), 0);
+        std::vector<uint32_t> counts(m.totalBlocks(), 0);
+        uint64_t valid = 0;
+        for (uint64_t lpn = 0; lpn < userPages; ++lpn) {
+            const nand::Ppn ppn = m.lookup(lpn);
+            if (ppn == nand::kInvalidPpn)
+                continue;
+            ++valid;
+            words[ppn >> 6] |= 1ULL << (ppn & 63);
+            ++counts[ppn / ppb];
+            EXPECT_TRUE(m.isPpnValid(ppn));
+            EXPECT_EQ(m.lpnOfPpn(ppn), lpn);
+        }
+        EXPECT_EQ(valid, m.totalValid());
+        for (size_t w = 0; w < words.size(); ++w)
+            ASSERT_EQ(words[w], m.validWord(w)) << "word " << w;
+        for (nand::Pbn b = 0; b < m.totalBlocks(); ++b)
+            ASSERT_EQ(counts[b], m.blockValidCount(b)) << "block " << b;
+    };
+
+    for (int op = 0; op < 5000; ++op) {
+        while (m.freeBlocks() < 4) {
+            const nand::Pbn victim = m.pickVictimGreedy();
+            ASSERT_NE(victim, PageMapper::kNoVictim);
+            m.collectBlock(victim);
+        }
+        m.writePage(rng.nextBelow(userPages), op);
+        if (op % 193 == 0)
+            naiveCheck();
+        if (op == 2500) {
+            m.trimAll();
+            naiveCheck();
+        }
+    }
+    naiveCheck();
+    ASSERT_EQ(m.checkConsistency(), "");
+}
+
 /** Write amplification sanity: uniform random overwrites move pages. */
 TEST(PageMapperPropertyTest, GcMovesFewerPagesWithSelfInvalidation)
 {

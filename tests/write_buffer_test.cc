@@ -1,6 +1,10 @@
-/** @file Unit tests for ssd/write_buffer.h. */
+/** @file Unit and property tests for ssd/write_buffer.h. */
+#include <unordered_map>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "sim/rng.h"
 #include "ssd/write_buffer.h"
 
 namespace ssdcheck::ssd {
@@ -83,6 +87,77 @@ TEST(WriteBufferTest, LookupWithNullPayloadPointer)
     WriteBuffer b(2);
     b.add(1, 42);
     EXPECT_TRUE(b.lookup(1, nullptr));
+}
+
+TEST(WriteBufferTest, DrainedEntriesStayValidUntilNextCycle)
+{
+    // drain() returns a reused scratch buffer: the reference must keep
+    // the drained contents until the buffer is touched again, so the
+    // flush loop in Volume can iterate it without a copy.
+    WriteBuffer b(3);
+    b.add(1, 10);
+    b.add(2, 20);
+    const std::vector<WriteBuffer::Entry> &first = b.drain();
+    ASSERT_EQ(first.size(), 2u);
+    EXPECT_EQ(first[0].lpn, 1u);
+    EXPECT_EQ(first[1].payload, 20u);
+
+    b.add(3, 30);
+    const std::vector<WriteBuffer::Entry> &second = b.drain();
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0].lpn, 3u);
+    EXPECT_EQ(&first, &second); // same storage, reused
+}
+
+/**
+ * Property test: the open-addressing newest-entry index is equivalent
+ * to a naive last-writer-wins map through randomized add / lookup /
+ * drain / clear / capacity-drift schedules.
+ */
+TEST(WriteBufferPropertyTest, LookupMatchesNaiveNewestMap)
+{
+    WriteBuffer b(32);
+    sim::Rng rng(20260807);
+    std::unordered_map<uint64_t, uint64_t> naive;
+    std::vector<WriteBuffer::Entry> naiveFifo;
+
+    for (int op = 0; op < 20000; ++op) {
+        // Sparse, clustered lpn space to force collisions and probes.
+        const uint64_t lpn = rng.nextBelow(64) * 0x10001ULL;
+        const uint64_t payload = static_cast<uint64_t>(op);
+        const bool full = b.add(lpn, payload);
+        naive[lpn] = payload;
+        naiveFifo.push_back({lpn, payload});
+        EXPECT_EQ(full, naiveFifo.size() >= b.capacity());
+
+        const uint64_t probe = rng.nextBelow(64) * 0x10001ULL;
+        uint64_t got = 0;
+        const auto it = naive.find(probe);
+        if (it == naive.end()) {
+            EXPECT_FALSE(b.lookup(probe, &got)) << "op " << op;
+        } else {
+            ASSERT_TRUE(b.lookup(probe, &got)) << "op " << op;
+            EXPECT_EQ(got, it->second) << "op " << op;
+        }
+
+        if (full || op % 277 == 0) {
+            const std::vector<WriteBuffer::Entry> &drained = b.drain();
+            ASSERT_EQ(drained.size(), naiveFifo.size()) << "op " << op;
+            for (size_t i = 0; i < drained.size(); ++i) {
+                EXPECT_EQ(drained[i].lpn, naiveFifo[i].lpn);
+                EXPECT_EQ(drained[i].payload, naiveFifo[i].payload);
+            }
+            naive.clear();
+            naiveFifo.clear();
+        }
+        if (op % 1111 == 0) {
+            b.clear();
+            naive.clear();
+            naiveFifo.clear();
+        }
+        if (op % 3001 == 0)
+            b.setCapacity(8 + static_cast<uint32_t>(rng.nextBelow(48)));
+    }
 }
 
 } // namespace

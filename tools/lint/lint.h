@@ -6,7 +6,7 @@
  * (config, seed, trace): bit-identical at any --jobs value, on any
  * machine. The type system cannot express that, and the golden tests
  * only catch a violation after it has shipped a wrong number. This
- * little token-level linter closes the gap at review time with five
+ * little token-level linter closes the gap at review time with seven
  * rules (see DESIGN.md "Static analysis & determinism invariants"):
  *
  *   wall-clock      (R1) no wall-clock or ambient-entropy sources in
@@ -29,6 +29,15 @@
  *                        src/ssd, src/nand, src/core, src/blockdev,
  *                        src/obs) — reporting belongs to tools/ and
  *                        src/stats; libraries return data.
+ *   nodiscard       (R6) status-returning public APIs in
+ *                        src/blockdev, src/resilience and
+ *                        src/recovery headers must be [[nodiscard]].
+ *   heap-alloc      (R7) no `new`/std::make_unique/std::make_shared
+ *                        in the allocation-free core (src/sim,
+ *                        src/nand, and the FTL hot files
+ *                        src/ssd/{page_mapper,garbage_collector,
+ *                        write_buffer}.cc). Placement `new (` is
+ *                        exempt (inline-storage construction).
  *
  * Suppressions: append `// lint:allow(<rule-id>): <reason>` to the
  * offending line. The reason is mandatory — a reasonless allow is
@@ -105,7 +114,7 @@ class Rule
                        std::vector<Finding> &out) const = 0;
 };
 
-/** The repo rule set, R1..R5. */
+/** The repo rule set, R1..R7. */
 std::vector<std::unique_ptr<Rule>> makeDefaultRules();
 
 // -- engine ---------------------------------------------------------------

@@ -1,6 +1,6 @@
 /**
  * @file
- * The six ssdcheck_lint rules. Each is a token-level check over the
+ * The seven ssdcheck_lint rules. Each is a token-level check over the
  * pre-lexed (comment/literal-blanked) source; see lint.h for the
  * rationale and DESIGN.md for the rule table.
  */
@@ -558,6 +558,93 @@ class NodiscardRule : public Rule
     }
 };
 
+// -- R7: heap-alloc -------------------------------------------------------
+
+class HeapAllocRule : public Rule
+{
+  public:
+    std::string id() const override { return "heap-alloc"; }
+
+    void check(const SourceFile &f, std::vector<Finding> &out) const override
+    {
+        // The SoA rework made the per-request core allocation-free:
+        // arenas, flat tables and packed bitmaps only. Ban the
+        // allocating vocabulary (`new`, std::make_unique/make_shared)
+        // in that core so a convenience allocation cannot creep back
+        // onto the hot path. Placement new (`new (`) stays legal —
+        // sim::SmallCallback constructs into inline storage — and a
+        // deliberate cold-path allocation can carry a reasoned allow
+        // marker for this rule.
+        static const std::array<const char *, 3> kHotFiles = {
+            "src/ssd/page_mapper.cc", "src/ssd/garbage_collector.cc",
+            "src/ssd/write_buffer.cc"};
+        bool scoped = underAny(f, {"src/sim", "src/nand"});
+        for (const char *p : kHotFiles)
+            scoped = scoped || f.relPath == p;
+        if (!scoped)
+            return;
+        for (size_t li = 0; li < f.code.size(); ++li) {
+            const std::string &line = f.code[li];
+            const uint32_t lineNo = static_cast<uint32_t>(li + 1);
+            const size_t first = line.find_first_not_of(" \t");
+            if (first != std::string::npos && line[first] == '#')
+                continue; // preprocessor (`#include <new>`).
+            findNew(line, lineNo, f, out);
+            for (const char *word :
+                 {"make_unique", "make_shared",
+                  "make_unique_for_overwrite",
+                  "make_shared_for_overwrite"})
+                findMaker(line, word, lineNo, f, out);
+        }
+    }
+
+  private:
+    void findNew(const std::string &line, uint32_t lineNo,
+                 const SourceFile &f, std::vector<Finding> &out) const
+    {
+        size_t pos = 0;
+        while ((pos = line.find("new", pos)) != std::string::npos) {
+            const size_t after = pos + 3;
+            if (!wholeWord(line, pos, 3)) {
+                pos = after;
+                continue;
+            }
+            // Placement new constructs into caller-owned storage: the
+            // next token is '('. A heap `new T` starts with a type
+            // name (possibly cv-qualified or ::-scoped).
+            const size_t next = skipSpaces(line, after);
+            if (next < line.size() && line[next] == '(') {
+                pos = after;
+                continue;
+            }
+            out.push_back(Finding{
+                f.relPath, lineNo, id(),
+                "`new` in the allocation-free core — use an arena, a "
+                "flat table, or inline storage (placement `new (` is "
+                "exempt)"});
+            pos = after;
+        }
+    }
+
+    void findMaker(const std::string &line, const std::string &word,
+                   uint32_t lineNo, const SourceFile &f,
+                   std::vector<Finding> &out) const
+    {
+        size_t pos = 0;
+        while ((pos = line.find(word, pos)) != std::string::npos) {
+            const size_t after = pos + word.size();
+            if (wholeWord(line, pos, word.size()))
+                out.push_back(Finding{
+                    f.relPath, lineNo, id(),
+                    "`" + word +
+                        "` in the allocation-free core — no per-"
+                        "request heap allocation in src/sim, src/nand "
+                        "or the FTL hot files"});
+            pos = after;
+        }
+    }
+};
+
 } // namespace
 
 std::vector<std::unique_ptr<Rule>>
@@ -570,6 +657,7 @@ makeDefaultRules()
     rules.push_back(std::make_unique<HeaderHygieneRule>());
     rules.push_back(std::make_unique<ConsoleIoRule>());
     rules.push_back(std::make_unique<NodiscardRule>());
+    rules.push_back(std::make_unique<HeapAllocRule>());
     return rules;
 }
 

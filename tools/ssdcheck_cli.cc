@@ -22,12 +22,19 @@
  *       Replay a saved trace and print the latency distribution.
  *
  *   ssdcheck trace --device X [--workload NAME] [--scale F]
- *                  [--out FILE] [--metrics-out FILE] [--audit-out FILE]
- *                  [--timeline-ms N] [--supervisor] [--faults PROFILE]
+ *                  [--out FILE] [--binary-out FILE] [--metrics-out FILE]
+ *                  [--audit-out FILE] [--timeline-ms N] [--supervisor]
+ *                  [--faults PROFILE]
  *       Run the accuracy replay with full observability attached:
  *       write a Chrome trace-event JSON (open in chrome://tracing or
  *       Perfetto), a metrics-registry snapshot and a misprediction
- *       audit JSONL, then print the audit report.
+ *       audit JSONL, then print the audit report. --binary-out also
+ *       writes the compact trace.bin form (obs/trace_binary.h).
+ *
+ *   ssdcheck trace-convert [--in trace.bin] [--out trace.json]
+ *       Offline converter: turn a binary trace into Chrome JSON,
+ *       byte-identical to what `ssdcheck trace` itself would have
+ *       written for that run.
  *
  *   ssdcheck run --device X [--workload NAME] [--scale F] ...
  *       The accuracy replay as a checkpointable run: with
@@ -81,6 +88,7 @@
 #include "core/health_supervisor.h"
 #include "core/ssdcheck.h"
 #include "obs/sink.h"
+#include "obs/trace_binary.h"
 #include "perf/grid.h"
 #include "perf/thread_pool.h"
 #include "recovery/invariants.h"
@@ -515,6 +523,16 @@ cmdTrace(const Args &args)
         std::printf("wrote %zu metrics to %s\n", registry.size(),
                     path.c_str());
     }
+    if (args.has("binary-out")) {
+        const std::string path = args.get("binary-out", "trace.bin");
+        if (!writeFile(path, [&](std::ostream &os) {
+                obs::writeTraceBinary(recorder, os);
+            }))
+            return cli::kBadArgs;
+        std::printf("wrote binary trace to %s "
+                    "(convert with `ssdcheck trace-convert`)\n",
+                    path.c_str());
+    }
     if (args.has("audit-out")) {
         const std::string path = args.get("audit-out", "audit.jsonl");
         if (!writeFile(path,
@@ -527,6 +545,32 @@ cmdTrace(const Args &args)
     stats::printBanner(std::cout, "misprediction audit");
     std::printf("%s", audit.analyze().format().c_str());
     printFaultReport(*dev, rdev);
+    return 0;
+}
+
+int
+cmdTraceConvert(const Args &args)
+{
+    const std::string inPath = args.get("in", "trace.bin");
+    const std::string outPath = args.get("out", "trace.json");
+    std::ifstream is(inPath, std::ios::binary);
+    if (!is) {
+        std::fprintf(stderr, "cannot open %s\n", inPath.c_str());
+        return cli::kBadArgs;
+    }
+    obs::TraceBinaryReader reader;
+    if (!reader.read(is)) {
+        std::fprintf(stderr, "%s: %s\n", inPath.c_str(),
+                     reader.error().c_str());
+        return cli::kBadArgs;
+    }
+    if (!writeFile(outPath, [&](std::ostream &os) {
+            reader.recorder().writeChromeJson(os);
+        }))
+        return cli::kBadArgs;
+    std::printf("converted %zu trace events: %s -> %s\n",
+                reader.recorder().events(), inPath.c_str(),
+                outPath.c_str());
     return 0;
 }
 
@@ -596,6 +640,17 @@ cmdBench(const Args &args)
         std::printf("perf gate OK: %.0f IOs/s vs floor %.0f "
                     "(baseline %.0f, max regress %.0f%%)\n",
                     measured, floor, *baseline, maxRegress * 100);
+        // Two-sided: a result far above the baseline is not an error,
+        // but it means the floor has lost its teeth — a subsequent
+        // regression back to the stale baseline would pass the gate.
+        // Warn (never fail) so the baseline gets re-recorded.
+        const double ceiling = *baseline * (1.0 + maxRegress);
+        if (measured > ceiling)
+            std::printf(
+                "WARN: %.0f IOs/s is more than %.0f%% above the "
+                "baseline %.0f — re-baseline bench/baseline.json so "
+                "the regression floor keeps its teeth\n",
+                measured, maxRegress * 100, *baseline);
     }
     return 0;
 }
@@ -920,9 +975,11 @@ usage(int rc)
         "             [--metrics-out FILE] [--timeline-ms N]\n"
         "  trace      --device X [--workload NAME] [--scale F]"
         " [--faults PROFILE]\n"
-        "             [--out FILE] [--metrics-out FILE]"
-        " [--audit-out FILE]\n"
-        "             [--timeline-ms N] [--supervisor]\n"
+        "             [--out FILE] [--binary-out FILE]"
+        " [--metrics-out FILE]\n"
+        "             [--audit-out FILE] [--timeline-ms N]"
+        " [--supervisor]\n"
+        "  trace-convert [--in trace.bin] [--out trace.json]\n"
         "  synth      --workload NAME --out FILE [--scale F] [--span P]\n"
         "  replay     --device X --trace FILE [--faults PROFILE]\n"
         "  run        --device X [--workload NAME] [--scale F]"
@@ -964,6 +1021,8 @@ main(int argc, char **argv)
         return cmdReplay(args);
     if (args.command == "trace")
         return cmdTrace(args);
+    if (args.command == "trace-convert")
+        return cmdTraceConvert(args);
     if (args.command == "run")
         return cmdRun(args);
     if (args.command == "chaos")
