@@ -39,7 +39,7 @@ struct DiagnosedDevice
 {
     std::unique_ptr<ssd::SsdDevice> dev;
     core::FeatureSet features;
-    sim::SimTime now = 0;
+    sim::SimTime now;
 };
 
 /** Build and fully diagnose one Table-I preset. */

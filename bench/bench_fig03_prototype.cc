@@ -65,7 +65,7 @@ runVariant(ssd::PrototypeVariant v)
     // Steady-state churn before measuring.
     const auto warm =
         workload::buildRandomWriteTrace(40000, dev.capacityPages(), 9);
-    sim::SimTime t = 0;
+    sim::SimTime t;
     for (const auto &rec : warm.records())
         t = dev.submit(rec.req, t).completeTime;
 

@@ -49,7 +49,7 @@ runPair(workload::SniaWorkload readW, workload::SniaWorkload writeW,
     // The writer loops so the colocation pressure lasts for the whole
     // read-tenant measurement, as in the paper's concurrent setup.
     tenants[1].loop = true;
-    const auto res = usecases::runTenantsClosedLoop(tenants, 0);
+    const auto res = usecases::runTenantsClosedLoop(tenants, sim::kTimeZero);
     return PairResult{res[0].throughputMbps(),
                       res[0].readLatency.percentile(99.5),
                       res[1].throughputMbps()};

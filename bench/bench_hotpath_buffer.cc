@@ -46,7 +46,7 @@ runCap(uint32_t capacity)
         // Fill to capacity (the add path, including duplicate lpns).
         const auto a0 = std::chrono::steady_clock::now();
         for (uint32_t i = 0; i < capacity; ++i)
-            wb.add(rng.nextBelow(span), i);
+            wb.add(core::Lpn{rng.nextBelow(span)}, i);
         addTime += std::chrono::steady_clock::now() - a0;
         adds += capacity;
 
@@ -54,7 +54,7 @@ runCap(uint32_t capacity)
         uint64_t payload = 0;
         const auto h0 = std::chrono::steady_clock::now();
         for (uint32_t i = 0; i < capacity; ++i) {
-            if (wb.lookup(rng.nextBelow(span), &payload))
+            if (wb.lookup(core::Lpn{rng.nextBelow(span)}, &payload))
                 sink += payload;
         }
         hitTime += std::chrono::steady_clock::now() - h0;
@@ -63,7 +63,7 @@ runCap(uint32_t capacity)
         // ...and lookups guaranteed to miss (lpns beyond the span).
         const auto m0 = std::chrono::steady_clock::now();
         for (uint32_t i = 0; i < capacity; ++i) {
-            if (wb.lookup(span + rng.nextBelow(span), &payload))
+            if (wb.lookup(core::Lpn{span + rng.nextBelow(span)}, &payload))
                 sink += payload;
         }
         missTime += std::chrono::steady_clock::now() - m0;

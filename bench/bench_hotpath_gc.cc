@@ -55,11 +55,11 @@ runSize(uint32_t blocksPerPlane)
 
     // Fill once, then fragment with random overwrites.
     for (uint64_t lpn = 0; lpn < userPages; ++lpn) {
-        m.writePage(lpn, lpn);
+        m.writePage(core::Lpn{lpn}, lpn);
         gcIfNeeded();
     }
     for (uint64_t i = 0; i < userPages; ++i) {
-        m.writePage(rng.nextBelow(userPages), i);
+        m.writePage(core::Lpn{rng.nextBelow(userPages)}, i);
         gcIfNeeded();
     }
 
@@ -70,7 +70,7 @@ runSize(uint32_t blocksPerPlane)
     uint64_t picks = 0;
     const auto t0 = std::chrono::steady_clock::now();
     for (uint64_t i = 0; i < iters; ++i) {
-        m.writePage(rng.nextBelow(userPages), i);
+        m.writePage(core::Lpn{rng.nextBelow(userPages)}, i);
         const auto p0 = std::chrono::steady_clock::now();
         const nand::Pbn v = m.pickVictimGreedy();
         pickTime += std::chrono::steady_clock::now() - p0;

@@ -68,11 +68,11 @@ runSize(uint32_t blocksPerPlane)
     // write invalidates an existing mapping and victims carry a
     // realistic mix of live pages.
     for (uint64_t lpn = 0; lpn < userPages; ++lpn) {
-        m.writePage(lpn, lpn);
+        m.writePage(core::Lpn{lpn}, lpn);
         gcIfNeeded();
     }
     for (uint64_t i = 0; i < userPages; ++i) {
-        m.writePage(rng.nextBelow(userPages), i);
+        m.writePage(core::Lpn{rng.nextBelow(userPages)}, i);
         gcIfNeeded();
     }
 
@@ -89,7 +89,7 @@ runSize(uint32_t blocksPerPlane)
         // invalidate + one program.
         const uint64_t lpn = rng.nextBelow(userPages);
         const auto w0 = std::chrono::steady_clock::now();
-        m.writePage(lpn, i);
+        m.writePage(core::Lpn{lpn}, i);
         invalidateTime += std::chrono::steady_clock::now() - w0;
         ++invalidates;
 

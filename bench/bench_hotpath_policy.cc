@@ -54,7 +54,7 @@ runBare(uint64_t *ops)
     ssd::SsdDevice dev(ssd::makePreset(ssd::SsdModel::A, 1));
     blockdev::ResilientDevice rdev(dev);
     sim::Rng rng(7);
-    sim::SimTime now = 0;
+    sim::SimTime now;
     const auto t0 = std::chrono::steady_clock::now();
     for (uint64_t i = 0; i < kRequests; ++i) {
         const blockdev::IoRequest req =
@@ -77,7 +77,7 @@ runPolicy(const resilience::ResiliencePolicy &pol, double baselineNs)
     blockdev::ResilientDevice rdev(dev);
     resilience::PolicyDevice pdev(rdev, pol);
     sim::Rng rng(7);
-    sim::SimTime now = 0;
+    sim::SimTime now;
     const auto t0 = std::chrono::steady_clock::now();
     for (uint64_t i = 0; i < kRequests; ++i) {
         const blockdev::IoRequest req =

@@ -66,7 +66,7 @@ runRep(const core::FeatureSet &features, const workload::Trace &trace,
         check.attachObservability(sink);
     }
     const auto t0 = std::chrono::steady_clock::now();
-    *acc = core::evaluatePredictionAccuracy(dev, check, trace, 0, nullptr,
+    *acc = core::evaluatePredictionAccuracy(dev, check, trace, sim::kTimeZero, nullptr,
                                             nullptr,
                                             attach ? &sink : nullptr);
     const auto t1 = std::chrono::steady_clock::now();

@@ -32,7 +32,7 @@ BM_Predict(benchmark::State &state)
 {
     core::SsdCheck check(features(static_cast<size_t>(state.range(0))));
     sim::Rng rng(1);
-    sim::SimTime now = 0;
+    sim::SimTime now;
     for (auto _ : state) {
         const auto req = blockdev::makeRead4k(rng.nextBelow(1 << 20));
         now += 1000;
@@ -46,7 +46,7 @@ BM_PredictWrite(benchmark::State &state)
 {
     core::SsdCheck check(features(0));
     sim::Rng rng(2);
-    sim::SimTime now = 0;
+    sim::SimTime now;
     for (auto _ : state) {
         const auto req = blockdev::makeWrite4k(rng.nextBelow(1 << 20));
         now += 1000;
@@ -60,7 +60,7 @@ BM_OnSubmit(benchmark::State &state)
 {
     core::SsdCheck check(features(0));
     sim::Rng rng(3);
-    sim::SimTime now = 0;
+    sim::SimTime now;
     for (auto _ : state) {
         const auto req = blockdev::makeWrite4k(rng.nextBelow(1 << 20));
         now += 1000;
@@ -74,7 +74,7 @@ BM_FullPredictSubmitComplete(benchmark::State &state)
 {
     core::SsdCheck check(features(0));
     sim::Rng rng(4);
-    sim::SimTime now = 0;
+    sim::SimTime now;
     for (auto _ : state) {
         const auto req = blockdev::makeWrite4k(rng.nextBelow(1 << 20));
         now += 1000;

@@ -31,7 +31,7 @@ main()
         const core::FeatureSet fs = runner.extractFeatures();
         std::printf("%-8s %-40s %s\n", dev.name().c_str(),
                     fs.summary().c_str(),
-                    sim::formatDuration(runner.now()).c_str());
+                    sim::formatDuration(runner.now().ns()).c_str());
     }
 
     std::printf("\nVolume bits feed VA-LVM partitioning; buffer "

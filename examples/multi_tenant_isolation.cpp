@@ -46,7 +46,7 @@ runScheme(bool volumeAware, const std::vector<uint32_t> &volumeBits)
     tenants[1].name = "log-writer";
     tenants[1].loop = true;
 
-    const auto res = usecases::runTenantsClosedLoop(tenants, 0);
+    const auto res = usecases::runTenantsClosedLoop(tenants, sim::kTimeZero);
     std::printf("%s:\n", volumeAware ? "VA-LVM (volume-aware)"
                                      : "Linear-LVM (conventional)");
     for (const auto &r : res) {

@@ -98,8 +98,8 @@ struct IoRequest
 /** Completion record returned by a device for one request. */
 struct IoResult
 {
-    sim::SimTime submitTime = 0;   ///< When the host submitted it.
-    sim::SimTime completeTime = 0; ///< When the device completed it.
+    sim::SimTime submitTime;   ///< When the host submitted it.
+    sim::SimTime completeTime; ///< When the device completed it.
     IoStatus status = IoStatus::Ok;
     /**
      * Host-visible submission count: 1 for a first-try success; a

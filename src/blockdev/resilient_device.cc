@@ -41,7 +41,7 @@ constexpr uint32_t kTraceAttempts = 8;
 IoResult
 ResilientDevice::submit(const IoRequest &req, sim::SimTime now)
 {
-    return submitBounded(req, now, /*deadline=*/0);
+    return submitBounded(req, now, /*deadline=*/sim::kTimeZero);
 }
 
 IoResult
@@ -66,7 +66,7 @@ ResilientDevice::submitBounded(const IoRequest &req, sim::SimTime now,
         // up without touching the device again. On the first attempt
         // the deadline sat in the past (or the inner clock ran ahead
         // of it), so the device never sees the request at all.
-        if (deadline > 0 && attemptTime >= deadline) {
+        if (deadline > sim::kTimeZero && attemptTime >= deadline) {
             ++counters_.expired;
             if (sawError)
                 ++counters_.erroredRequests;
@@ -114,7 +114,7 @@ ResilientDevice::submitBounded(const IoRequest &req, sim::SimTime now,
         // Deadline budget dominates every other policy: an attempt
         // whose outcome would land past the budget is abandoned at the
         // boundary regardless of how the device eventually answered.
-        if (deadline > 0 && settled > deadline) {
+        if (deadline > sim::kTimeZero && settled > deadline) {
             res.status = IoStatus::Expired;
             settled = deadline;
             res.completeTime = deadline;
@@ -235,7 +235,7 @@ ResilientDevice::saveState(recovery::StateWriter &w) const
     w.u64(counters_.erroredRequests);
     w.u64(counters_.expired);
     w.u64(counters_.attemptsIssued);
-    w.i64(innerClock_);
+    w.i64(innerClock_.ns());
 }
 
 bool
@@ -251,7 +251,7 @@ ResilientDevice::loadState(recovery::StateReader &r)
     counters_.erroredRequests = r.u64();
     counters_.expired = r.u64();
     counters_.attemptsIssued = r.u64();
-    innerClock_ = r.i64();
+    innerClock_ = sim::SimTime{r.i64()};
     return r.ok();
 }
 

@@ -148,16 +148,16 @@ class ResilientDevice : public BlockDevice
     bool loadState(recovery::StateReader &r);
 
   private:
-    BlockDevice &inner_;
-    ResilienceConfig cfg_;
+    BlockDevice &inner_; // snapshot:skip(ctor-wired reference to the wrapped device; the restore harness rebuilds the object graph)
+    ResilienceConfig cfg_; // snapshot:skip(construction-time config; restore constructs an identical wrapper before loadState)
     ResilienceCounters counters_;
     /** High-water mark of inner submissions: retries run ahead of the
      *  caller's clock, and the inner device requires nondecreasing
      *  submit times. */
-    sim::SimTime innerClock_ = 0;
+    sim::SimTime innerClock_;
 
     // Observability (null until attachObservability()).
-    obs::TraceRecorder *trace_ = nullptr;
+    obs::TraceRecorder *trace_ = nullptr; // snapshot:skip(non-owning observability hook, re-attached after restore)
 };
 
 } // namespace ssdcheck::blockdev

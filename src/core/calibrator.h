@@ -117,7 +117,7 @@ class Calibrator
   private:
     void ewma(sim::SimDuration &est, sim::SimDuration sample);
 
-    CalibratorConfig cfg_;
+    CalibratorConfig cfg_; // snapshot:skip(construction-time config; restore constructs an identical calibrator before loadState)
     sim::SimDuration readService_;
     sim::SimDuration writeService_;
     sim::SimDuration flushOverhead_;

@@ -132,7 +132,7 @@ class DiagnosisRunner
      *        device must stay monotone across its whole life).
      */
     DiagnosisRunner(blockdev::BlockDevice &dev, DiagnosisConfig cfg,
-                    sim::SimTime startTime = 0);
+                    sim::SimTime startTime = sim::kTimeZero);
 
     /** Purge + sequential fill + random churn (SNIA-style). */
     void precondition();

@@ -65,7 +65,7 @@ class GcModel
     /** Current quantile estimate (0 when history too short). */
     uint32_t thresholdIntervals() const;
 
-    GcModelConfig cfg_;
+    GcModelConfig cfg_; // snapshot:skip(construction-time config; loadState only validates it against the checkpoint)
     uint32_t intervalCounter_ = 0;
     std::deque<uint32_t> history_;
 };

@@ -498,7 +498,7 @@ HealthSupervisor::saveState(recovery::StateWriter &w) const
     w.u32(swapPages_);
     w.u64(completionsAtRecovery_);
     w.boolean(started_);
-    w.i64(firstSeen_);
+    w.i64(firstSeen_.ns());
 }
 
 bool
@@ -558,7 +558,7 @@ HealthSupervisor::loadState(recovery::StateReader &r)
     swapPages_ = r.u32();
     completionsAtRecovery_ = r.u64();
     started_ = r.boolean();
-    firstSeen_ = r.i64();
+    firstSeen_ = sim::SimTime{r.i64()};
     // Do not replay a state-transition trace instant for the restored
     // state: the uninterrupted run traced it when it happened.
     lastTracedState_ = state_;

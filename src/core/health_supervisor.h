@@ -232,9 +232,9 @@ class HealthSupervisor
     uint64_t probeLba(bool upperHalf);
     bool inProbeVolume(uint64_t lba) const;
 
-    SsdCheck &check_;
-    blockdev::BlockDevice &dev_;
-    HealthSupervisorConfig cfg_;
+    SsdCheck &check_; // snapshot:skip(ctor-wired reference; the restore harness rebuilds the object graph)
+    blockdev::BlockDevice &dev_; // snapshot:skip(ctor-wired reference; the restore harness rebuilds the object graph)
+    HealthSupervisorConfig cfg_; // snapshot:skip(construction-time config; restore constructs an identical supervisor before loadState)
     sim::Rng rng_;
 
     HealthState state_ = HealthState::Healthy;
@@ -263,14 +263,14 @@ class HealthSupervisor
 
     // Time accounting for the probe budget.
     bool started_ = false;
-    sim::SimTime firstSeen_ = 0;
+    sim::SimTime firstSeen_;
 
     // Observability (null until attachObservability()). Transitions
     // are traced lazily: the timed entry points compare against the
     // last traced state, so the state machine itself needs no
     // timestamps threaded through.
-    obs::TraceRecorder *trace_ = nullptr;
-    HealthState lastTracedState_ = HealthState::Healthy;
+    obs::TraceRecorder *trace_ = nullptr; // snapshot:skip(non-owning observability hook, re-attached after restore)
+    HealthState lastTracedState_ = HealthState::Healthy; // snapshot:skip(trace-dedup cursor; loadState re-primes it from the restored state)
 
     /** Emit a sup.state instant when the state changed since the last
      *  traced one (called from the timed entry points). */

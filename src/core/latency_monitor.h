@@ -72,8 +72,8 @@ class LatencyMonitor
         bool actualHl;
     };
 
-    LatencyThresholds thresholds_;
-    uint32_t window_;
+    LatencyThresholds thresholds_; // snapshot:skip(construction-time config; restore constructs an identical monitor before loadState)
+    uint32_t window_; // snapshot:skip(construction-time config; loadState only validates it against the checkpoint)
     std::deque<Outcome> outcomes_;
     uint32_t hlTotal_ = 0;
     uint32_t hlCorrect_ = 0;

@@ -41,7 +41,7 @@ PredictionEngine::PredictionEngine(const FeatureSet &features,
         volumes_.push_back(VolumeState{
             WriteBufferModel(features.bufferPages(),
                              features.flushAlgorithms.readTrigger),
-            GcModel(gcCfg), SecondaryModel(gcCfg), 0});
+            GcModel(gcCfg), SecondaryModel(gcCfg), sim::kTimeZero});
     }
 }
 
@@ -250,7 +250,7 @@ PredictionEngine::saveState(recovery::StateWriter &w) const
         s.wb.saveState(w);
         s.gc.saveState(w);
         s.sec.saveState(w);
-        w.i64(s.ebt);
+        w.i64(s.ebt.ns());
         w.u32(s.unexpectedHlStreak);
         w.boolean(s.gcCharged);
     }
@@ -268,7 +268,7 @@ PredictionEngine::loadState(recovery::StateReader &r)
         if (!s.wb.loadState(r) || !s.gc.loadState(r) ||
             !s.sec.loadState(r))
             return false;
-        s.ebt = r.i64();
+        s.ebt = sim::SimTime{r.i64()};
         s.unexpectedHlStreak = r.u32();
         s.gcCharged = r.boolean();
     }

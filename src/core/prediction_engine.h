@@ -126,7 +126,7 @@ class PredictionEngine
         WriteBufferModel wb;
         GcModel gc;
         SecondaryModel sec;
-        sim::SimTime ebt = 0;
+        sim::SimTime ebt;
         uint32_t unexpectedHlStreak = 0;
         bool gcCharged = false; ///< A pending (unconfirmed) GC charge.
     };
@@ -134,12 +134,12 @@ class PredictionEngine
     /** Apply an assumed flush at @p now to volume @p s. */
     void applyFlush(VolumeState &s, sim::SimTime now);
 
-    FeatureSet features_;
-    std::vector<uint32_t> volumeBits_;
-    Calibrator &calibrator_;
-    LatencyMonitor &monitor_;
-    Options options_;
-    bool fore_;
+    FeatureSet features_; // snapshot:skip(construction-time feature set; restore re-runs diagnosis or replays the saved features)
+    std::vector<uint32_t> volumeBits_; // snapshot:skip(derived from the feature set in the constructor)
+    Calibrator &calibrator_; // snapshot:skip(ctor-wired reference; the restore harness rebuilds the object graph)
+    LatencyMonitor &monitor_; // snapshot:skip(ctor-wired reference; the restore harness rebuilds the object graph)
+    Options options_; // snapshot:skip(construction-time config; restore constructs an identical engine before loadState)
+    bool fore_; // snapshot:skip(derived from the feature set in the constructor)
     std::vector<VolumeState> volumes_;
 };
 

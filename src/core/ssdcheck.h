@@ -83,7 +83,7 @@ class SsdCheck
     /** Run the §III-B diagnosis snippets against a device. */
     static FeatureSet diagnose(blockdev::BlockDevice &dev,
                                DiagnosisConfig cfg = {},
-                               sim::SimTime startTime = 0);
+                               sim::SimTime startTime = sim::kTimeZero);
 
     /** Predict the latency of @p req if submitted at @p now. */
     Prediction predict(const blockdev::IoRequest &req,
@@ -180,15 +180,15 @@ class SsdCheck
                            uint32_t attempts, bool actualHl);
 
     FeatureSet features_;
-    RuntimeConfig cfg_;
+    RuntimeConfig cfg_; // snapshot:skip(construction-time config; loadState only validates it against the checkpoint)
     Calibrator calibrator_;
     LatencyMonitor monitor_;
     std::unique_ptr<PredictionEngine> engine_;
     bool degraded_ = false;
 
     // Observability (null until attachObservability()).
-    obs::TraceRecorder *trace_ = nullptr;
-    obs::AuditLog *audit_ = nullptr;
+    obs::TraceRecorder *trace_ = nullptr; // snapshot:skip(non-owning observability hook, re-attached after restore)
+    obs::AuditLog *audit_ = nullptr; // snapshot:skip(non-owning audit sink, re-attached after restore; loadState only resets its dedup cursor)
 };
 
 } // namespace ssdcheck::core

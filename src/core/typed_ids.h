@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Strong identifier types for the repo's address domains.
+ *
+ * The simulator juggles three flat 64-bit address spaces — logical
+ * page numbers (Lpn), physical page numbers (nand::Ppn) and physical
+ * block numbers (nand::Pbn) — plus virtual timestamps (sim::SimTime).
+ * As raw uint64_t aliases they convert into each other silently, and
+ * an Lpn handed to a Ppn parameter is exactly the bug class the
+ * deterministic golden tests only catch after it has shipped a wrong
+ * number. TypedId wraps the raw word in a zero-cost struct with an
+ * explicit constructor so every cross-domain conversion is spelled
+ * out at the call site, and lint rule R9 (typed-ids) bans raw-integer
+ * id parameters from the public signatures of src/{ssd,nand,sim,
+ * workload}.
+ *
+ * Deliberately a minimal vocabulary type: explicit ctor, value(),
+ * comparisons, and a splitmix64-compatible hash (the same finalizer
+ * the WriteBuffer's flat table and the trace interner already use, so
+ * hashed containers keyed by an id stay exactly as well-distributed
+ * as before). No arithmetic — address math happens on .value() where
+ * the surrounding code makes the unit obvious.
+ *
+ * Header-only and dependency-free on purpose: src/nand and src/ssd
+ * include it without linking ssdcheck_core.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace ssdcheck::core {
+
+/** Deterministic 64-bit mix (splitmix64 finalizer). */
+constexpr uint64_t
+splitmix64(uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * A 64-bit identifier in the address domain named by @p Tag.
+ * Distinct tags are distinct, non-converting types.
+ */
+template <class Tag>
+struct TypedId
+{
+    constexpr TypedId() = default;
+    constexpr explicit TypedId(uint64_t v) : v_(v) {}
+
+    /** The raw 64-bit value (the only way out of the domain). */
+    constexpr uint64_t value() const { return v_; }
+
+    /** Splitmix64-mixed value for hashed containers. */
+    constexpr uint64_t hash() const { return splitmix64(v_); }
+
+    friend constexpr bool operator==(TypedId a, TypedId b)
+    {
+        return a.v_ == b.v_;
+    }
+    friend constexpr bool operator!=(TypedId a, TypedId b)
+    {
+        return a.v_ != b.v_;
+    }
+    friend constexpr bool operator<(TypedId a, TypedId b)
+    {
+        return a.v_ < b.v_;
+    }
+    friend constexpr bool operator<=(TypedId a, TypedId b)
+    {
+        return a.v_ <= b.v_;
+    }
+    friend constexpr bool operator>(TypedId a, TypedId b)
+    {
+        return a.v_ > b.v_;
+    }
+    friend constexpr bool operator>=(TypedId a, TypedId b)
+    {
+        return a.v_ >= b.v_;
+    }
+
+  private:
+    uint64_t v_ = 0;
+};
+
+struct LpnTag
+{
+};
+
+/** Logical page number: the host-visible 4KB-page address space. */
+using Lpn = TypedId<LpnTag>;
+
+/** Sentinel for "no logical page" (unmapped / erased inverse entry). */
+inline constexpr Lpn kInvalidLpn{~0ULL};
+
+} // namespace ssdcheck::core
+
+namespace std {
+template <class Tag>
+struct hash<ssdcheck::core::TypedId<Tag>>
+{
+    size_t operator()(ssdcheck::core::TypedId<Tag> id) const
+    {
+        return static_cast<size_t>(id.hash());
+    }
+};
+} // namespace std

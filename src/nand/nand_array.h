@@ -42,14 +42,15 @@ class NandArray
     /** Program one page (must follow the block's write pointer). */
     sim::SimDuration programPage(Ppn ppn, uint64_t payload)
     {
-        assert(ppn < totalPages_);
-        const Pbn pbn = ppn / ppb_;
-        const uint32_t page = static_cast<uint32_t>(ppn - pbn * ppb_);
+        const uint64_t p = ppn.value();
+        assert(p < totalPages_);
+        const uint64_t pbn = p / ppb_;
+        const uint32_t page = static_cast<uint32_t>(p - pbn * ppb_);
         assert(page == writePtr_[pbn] &&
                "NAND requires sequential in-block writes");
         assert(page < ppb_ && "block is full");
         (void)page;
-        payloads_[ppn] = payload;
+        payloads_[p] = payload;
         ++writePtr_[pbn];
         return timing_.programLatency;
     }
@@ -57,24 +58,26 @@ class NandArray
     /** Read one programmed page (counts read-disturb exposure). */
     sim::SimDuration readPage(Ppn ppn, uint64_t *payloadOut = nullptr)
     {
-        assert(ppn < totalPages_);
-        const Pbn pbn = ppn / ppb_;
-        assert(ppn - pbn * ppb_ < writePtr_[pbn] &&
+        const uint64_t p = ppn.value();
+        assert(p < totalPages_);
+        const uint64_t pbn = p / ppb_;
+        assert(p - pbn * ppb_ < writePtr_[pbn] &&
                "reading an unprogrammed page");
         ++readCount_[pbn];
         if (payloadOut != nullptr)
-            *payloadOut = payloads_[ppn];
+            *payloadOut = payloads_[p];
         return timing_.readLatency;
     }
 
     /** Erase the block containing flat block number @p pbn. */
     sim::SimDuration eraseBlock(Pbn pbn)
     {
-        assert(pbn < totalBlocks_);
-        writePtr_[pbn] = 0;
-        readCount_[pbn] = 0;
-        ++eraseCount_[pbn];
-        const size_t base = static_cast<size_t>(pbn) * ppb_;
+        const uint64_t b = pbn.value();
+        assert(b < totalBlocks_);
+        writePtr_[b] = 0;
+        readCount_[b] = 0;
+        ++eraseCount_[b];
+        const size_t base = static_cast<size_t>(b) * ppb_;
         for (uint32_t p = 0; p < ppb_; ++p)
             payloads_[base + p] = kErasedPayload;
         return timing_.eraseLatency;
@@ -83,30 +86,31 @@ class NandArray
     /** Write pointer (pages programmed) of flat block @p pbn. */
     uint32_t blockWritePointer(Pbn pbn) const
     {
-        assert(pbn < totalBlocks_);
-        return writePtr_[pbn];
+        assert(pbn.value() < totalBlocks_);
+        return writePtr_[pbn.value()];
     }
 
     /** Erase count of flat block @p pbn. */
     uint32_t blockEraseCount(Pbn pbn) const
     {
-        assert(pbn < totalBlocks_);
-        return eraseCount_[pbn];
+        assert(pbn.value() < totalBlocks_);
+        return eraseCount_[pbn.value()];
     }
 
     /** Reads served from flat block @p pbn since its last erase. */
     uint32_t blockReadCount(Pbn pbn) const
     {
-        assert(pbn < totalBlocks_);
-        return readCount_[pbn];
+        assert(pbn.value() < totalBlocks_);
+        return readCount_[pbn.value()];
     }
 
     /** True if @p ppn currently holds data. */
     bool isProgrammed(Ppn ppn) const
     {
-        assert(ppn < totalPages_);
-        const Pbn pbn = ppn / ppb_;
-        return ppn - pbn * ppb_ < writePtr_[pbn];
+        const uint64_t p = ppn.value();
+        assert(p < totalPages_);
+        const uint64_t pbn = p / ppb_;
+        return p - pbn * ppb_ < writePtr_[pbn];
     }
 
     /**
@@ -137,14 +141,14 @@ class NandArray
     bool loadState(recovery::StateReader &r);
 
   private:
-    NandGeometry geo_;
-    NandTiming timing_;
+    NandGeometry geo_; // snapshot:skip(construction-time geometry; restore constructs an identical array before loadState)
+    NandTiming timing_; // snapshot:skip(construction-time timing model; restore constructs an identical array before loadState)
     // Cached geometry products so hot operations never chase the
     // multi-field geometry struct.
-    uint32_t ppb_ = 0;
-    uint32_t totalPlanes_ = 0;
+    uint32_t ppb_ = 0; // snapshot:skip(derived from the geometry in the constructor)
+    uint32_t totalPlanes_ = 0; // snapshot:skip(derived from the geometry in the constructor)
     uint64_t totalBlocks_ = 0;
-    uint64_t totalPages_ = 0;
+    uint64_t totalPages_ = 0; // snapshot:skip(derived from the geometry in the constructor)
     // Structure-of-arrays block state: indexed by flat Pbn.
     std::vector<uint32_t> writePtr_;   ///< Next page to program.
     std::vector<uint32_t> eraseCount_; ///< Erase cycles (wear).

@@ -98,8 +98,8 @@ class NandChip
     size_t blockIndex(uint32_t plane, uint32_t block) const;
     size_t pageIndex(uint32_t plane, uint32_t block, uint32_t page) const;
 
-    NandGeometry geo_;
-    NandTiming timing_;
+    NandGeometry geo_; // snapshot:skip(construction-time geometry; loadState only validates it against the checkpoint)
+    NandTiming timing_; // snapshot:skip(construction-time timing model; restore constructs an identical chip before loadState)
     std::vector<BlockState> blocks_;   ///< planesPerChip * blocksPerPlane.
     std::vector<uint64_t> payloads_;   ///< One stamp per page.
 };

@@ -17,18 +17,19 @@ encodePpn(const NandGeometry &geo, const PhysicalPageAddress &a)
     assert(a.plane < geo.totalPlanes());
     assert(a.block < geo.blocksPerPlane);
     assert(a.page < geo.pagesPerBlock);
-    return (static_cast<Ppn>(a.plane) * geo.blocksPerPlane + a.block) *
-               geo.pagesPerBlock +
-           a.page;
+    return Ppn{(static_cast<uint64_t>(a.plane) * geo.blocksPerPlane +
+                a.block) *
+                   geo.pagesPerBlock +
+               a.page};
 }
 
 PhysicalPageAddress
 decodePpn(const NandGeometry &geo, Ppn ppn)
 {
-    assert(ppn < geo.totalPages());
+    assert(ppn.value() < geo.totalPages());
     PhysicalPageAddress a;
-    a.page = static_cast<uint32_t>(ppn % geo.pagesPerBlock);
-    const Pbn blk = ppn / geo.pagesPerBlock;
+    a.page = static_cast<uint32_t>(ppn.value() % geo.pagesPerBlock);
+    const uint64_t blk = ppn.value() / geo.pagesPerBlock;
     a.block = static_cast<uint32_t>(blk % geo.blocksPerPlane);
     a.plane = static_cast<uint32_t>(blk / geo.blocksPerPlane);
     return a;
@@ -37,8 +38,8 @@ decodePpn(const NandGeometry &geo, Ppn ppn)
 Pbn
 blockOfPpn(const NandGeometry &geo, Ppn ppn)
 {
-    assert(ppn < geo.totalPages());
-    return ppn / geo.pagesPerBlock;
+    assert(ppn.value() < geo.totalPages());
+    return Pbn{ppn.value() / geo.pagesPerBlock};
 }
 
 } // namespace ssdcheck::nand

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "core/typed_ids.h"
 #include "sim/sim_time.h"
 
 namespace ssdcheck::nand {
@@ -59,14 +60,30 @@ struct PhysicalPageAddress
     uint32_t page = 0;  ///< Page index within the block.
 };
 
-/** Flat physical page number over the whole array. */
-using Ppn = uint64_t;
+struct PpnTag
+{
+};
+struct PbnTag
+{
+};
 
-/** Flat physical block number over the whole array. */
-using Pbn = uint64_t;
+/**
+ * Flat physical page number over the whole array. A strong type (see
+ * core/typed_ids.h): constructing one from a raw index, or extracting
+ * the index for address math, is explicit at the call site, so a
+ * logical page number can never be passed where a physical one
+ * belongs.
+ */
+using Ppn = core::TypedId<PpnTag>;
+
+/** Flat physical block number over the whole array (strong type). */
+using Pbn = core::TypedId<PbnTag>;
 
 /** Sentinel for "no physical page". */
-inline constexpr Ppn kInvalidPpn = ~0ULL;
+inline constexpr Ppn kInvalidPpn{~0ULL};
+
+/** Sentinel for "no physical block". */
+inline constexpr Pbn kInvalidPbn{~0ULL};
 
 /** Encode a PhysicalPageAddress into a flat Ppn. */
 Ppn encodePpn(const NandGeometry &geo, const PhysicalPageAddress &a);

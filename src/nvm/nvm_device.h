@@ -84,7 +84,7 @@ class NvmDevice : public blockdev::BlockDevice
 
     NvmConfig cfg_;
     sim::Rng rng_;
-    sim::SimTime busGate_ = 0;
+    sim::SimTime busGate_;
     std::deque<Entry> fifo_;                       ///< Eviction clock.
     std::unordered_map<uint64_t, uint64_t> dirty_; ///< page -> stamp.
     uint64_t totalWrites_ = 0;

@@ -179,8 +179,8 @@ struct FieldSpec
 };
 
 constexpr FieldSpec kFields[] = {
-    {"submit_ns", [](const AuditRecord &r) { return r.submit; },
-     [](AuditRecord &r, int64_t v) { r.submit = v; }},
+    {"submit_ns", [](const AuditRecord &r) { return r.submit.ns(); },
+     [](AuditRecord &r, int64_t v) { r.submit = sim::SimTime{v}; }},
     {"actual_ns", [](const AuditRecord &r) { return r.actualNs; },
      [](AuditRecord &r, int64_t v) { r.actualNs = v; }},
     {"eet_ns", [](const AuditRecord &r) { return r.predictedEetNs; },

@@ -50,7 +50,7 @@ std::string toString(AuditCause c);
 /** One completed request as the model saw it. */
 struct AuditRecord
 {
-    sim::SimTime submit = 0;
+    sim::SimTime submit;
     sim::SimDuration actualNs = 0;
     sim::SimDuration predictedEetNs = 0;
     uint8_t type = 0;    ///< blockdev::IoType as raw value.

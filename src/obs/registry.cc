@@ -187,7 +187,7 @@ void
 Registry::enableTimeline(sim::SimDuration interval)
 {
     timelineInterval_ = interval;
-    timelineNext_ = interval;
+    timelineNext_ = sim::kTimeZero + interval;
 }
 
 void
@@ -229,7 +229,7 @@ writeLabels(std::ostream &os, const Labels &labels)
 void
 Registry::writeJson(std::ostream &os, sim::SimTime now) const
 {
-    os << "{\"time_ns\":" << now << ",\"metrics\":[";
+    os << "{\"time_ns\":" << now.ns() << ",\"metrics\":[";
     for (size_t i = 0; i < metrics_.size(); ++i) {
         const Metric &m = *metrics_[i];
         os << (i > 0 ? ",\n" : "\n");
@@ -261,7 +261,8 @@ Registry::writeJson(std::ostream &os, sim::SimTime now) const
            << ",\"timeline\":[";
         for (size_t i = 0; i < timeline_.size(); ++i) {
             os << (i > 0 ? ",\n" : "\n");
-            os << "{\"time_ns\":" << timeline_[i].time << ",\"values\":[";
+            os << "{\"time_ns\":" << timeline_[i].time.ns()
+               << ",\"values\":[";
             for (size_t v = 0; v < timeline_[i].values.size(); ++v) {
                 if (v > 0)
                     os << ',';
@@ -322,12 +323,12 @@ Registry::saveState(recovery::StateWriter &w) const
     }
     w.u32(static_cast<uint32_t>(timeline_.size()));
     for (const TimelineSample &s : timeline_) {
-        w.i64(s.time);
+        w.i64(s.time.ns());
         w.u32(static_cast<uint32_t>(s.values.size()));
         for (int64_t v : s.values)
             w.i64(v);
     }
-    w.i64(timelineNext_);
+    w.i64(timelineNext_.ns());
 }
 
 bool
@@ -383,13 +384,13 @@ Registry::loadState(recovery::StateReader &r)
     timeline_.clear();
     for (uint64_t i = 0; i < nSamples && r.ok(); ++i) {
         TimelineSample s;
-        s.time = r.i64();
+        s.time = sim::SimTime{r.i64()};
         const uint64_t nValues = r.checkCount(r.u32(), 8);
         for (uint64_t v = 0; v < nValues; ++v)
             s.values.push_back(r.i64());
         timeline_.push_back(std::move(s));
     }
-    timelineNext_ = r.i64();
+    timelineNext_ = sim::SimTime{r.i64()};
     return r.ok();
 }
 

@@ -211,8 +211,8 @@ class Registry
 
     std::vector<Metric *> metrics_; ///< Owned; stable addresses.
     std::vector<TimelineSample> timeline_;
-    sim::SimDuration timelineInterval_ = 0;
-    sim::SimTime timelineNext_ = 0;
+    sim::SimDuration timelineInterval_ = 0; // snapshot:skip(run-setup config; the restore path calls enableTimeline from RunParams, only the timelineNext_ deadline is state)
+    sim::SimTime timelineNext_;
 };
 
 } // namespace ssdcheck::obs

@@ -187,7 +187,8 @@ TraceBinaryReader::read(std::istream &is)
                 break;
             }
             rec_.append(phase, byId_[cat], byId_[name],
-                        TraceTrack{pid, tid}, ts, dur, args, numArgs);
+                        TraceTrack{pid, tid}, sim::SimTime{ts}, dur, args,
+                        numArgs);
             break;
           }
           case kTagEnd:

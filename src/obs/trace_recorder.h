@@ -259,7 +259,7 @@ class TraceRecorder
         ++count_;
         e.catId = internId(cat);
         e.nameId = internId(name);
-        e.ts = ts;
+        e.ts = ts.ns();
         e.dur = dur;
         e.pid = static_cast<uint16_t>(track.pid);
         e.tid = static_cast<uint16_t>(track.tid);

@@ -56,7 +56,7 @@ struct GridCell
     uint64_t seed = 0;
     core::AccuracyResult accuracy;
     uint64_t requests = 0;
-    sim::SimTime simEnd = 0; ///< Virtual time when the replay finished.
+    sim::SimTime simEnd; ///< Virtual time when the replay finished.
 };
 
 /** Wall-clock accounting for one independently-timed unit of work. */

@@ -27,12 +27,13 @@ fmt(const char *format, ...)
  * lowest block number on ties — the greedy policy restated as an O(n)
  * scan, independent of the mapper's lazy bucket structure.
  */
-uint64_t
+nand::Pbn
 referenceVictim(const ssd::PageMapper &m)
 {
-    uint64_t best = ssd::PageMapper::kNoVictim;
+    nand::Pbn best = ssd::PageMapper::kNoVictim;
     uint32_t bestValid = 0;
-    for (uint64_t pbn = 0; pbn < m.totalBlocks(); ++pbn) {
+    for (uint64_t b = 0; b < m.totalBlocks(); ++b) {
+        const nand::Pbn pbn{b};
         if (!m.isGcCandidate(pbn))
             continue;
         const uint32_t valid = m.blockValidCount(pbn);
@@ -65,8 +66,8 @@ checkInvariants(const CheckpointableRun &run)
                 fmt("volume %u: write buffer holds %u pages over its "
                     "capacity of %u",
                     v, vol.bufferFill(), vol.bufferCapacity()));
-        const uint64_t picked = mapper.pickVictimGreedy();
-        const uint64_t reference = referenceVictim(mapper);
+        const nand::Pbn picked = mapper.pickVictimGreedy();
+        const nand::Pbn reference = referenceVictim(mapper);
         // The greedy policy is fully determined by (valid count, block
         // number), so the lazy buckets must agree with a fresh scan.
         if (picked != reference &&
@@ -77,7 +78,7 @@ checkInvariants(const CheckpointableRun &run)
             violations.push_back(
                 fmt("volume %u: greedy victim %" PRIu64
                     " disagrees with reference scan %" PRIu64,
-                    v, picked, reference));
+                    v, picked.value(), reference.value()));
     }
 
     // -- counter conservation across layers ------------------------------
@@ -153,9 +154,9 @@ checkInvariants(const CheckpointableRun &run)
     }
 
     // -- time sanity ------------------------------------------------------
-    if (run.now() < 0)
+    if (run.now().ns() < 0)
         violations.push_back(fmt("virtual time is negative (%" PRId64 ")",
-                                 run.now()));
+                                 run.now().ns()));
 
     // -- supervisor state-machine sanity ----------------------------------
     if (sup != nullptr) {

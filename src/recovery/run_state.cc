@@ -186,7 +186,7 @@ Snapshot
 CheckpointableRun::checkpoint() const
 {
     Snapshot snap;
-    snap.begin(params_.configHash(), cursor_, t_);
+    snap.begin(params_.configHash(), cursor_, t_.ns());
     {
         StateWriter w;
         dev_->saveState(w);
@@ -327,7 +327,7 @@ CheckpointableRun::restore(const Snapshot &snap, std::string *detail,
         return e;
 
     cursor_ = snap.requestIndex();
-    t_ = snap.simTimeNs();
+    t_ = sim::SimTime{snap.simTimeNs()};
     return LoadError::Ok;
 }
 

@@ -155,7 +155,7 @@ class CheckpointableRun
     obs::Histogram hostLatency_;
     workload::Trace trace_;
     core::AccuracyResult acc_;
-    sim::SimTime t_ = 0;
+    sim::SimTime t_;
     uint64_t cursor_ = 0;
 };
 

@@ -447,7 +447,7 @@ ChaosShard::step()
 {
     const blockdev::IoRequest &req = trace_.records()[cursor_].req;
     const sim::SimTime arrival =
-        t0_ + static_cast<sim::SimTime>(cursor_) * scenario_.arrivalPeriod;
+        t0_ + static_cast<sim::SimDuration>(cursor_) * scenario_.arrivalPeriod;
     // Open pacing: t_ is the host submit clock — it follows arrivals
     // even while the device's completion horizon runs ahead (that gap
     // is what admission control measures). Closed pacing folds the
@@ -477,7 +477,7 @@ ChaosShard::step()
     digest_ = chaosDigestFold(digest_, cursor_);
     digest_ = chaosDigestFold(digest_, static_cast<uint64_t>(res.status));
     digest_ = chaosDigestFold(digest_,
-                              static_cast<uint64_t>(res.completeTime));
+                              static_cast<uint64_t>(res.completeTime.ns()));
     digest_ = chaosDigestFold(digest_, res.attempts);
     if (res.ok()) {
         ++completedOk_;
@@ -502,7 +502,7 @@ ChaosShard::checkpoint() const
     using recovery::SectionId;
     using recovery::StateWriter;
     recovery::Snapshot snap;
-    snap.begin(configHash(), cursor_, t_);
+    snap.begin(configHash(), cursor_, t_.ns());
     {
         StateWriter w;
         dev_->saveState(w);
@@ -533,7 +533,7 @@ ChaosShard::checkpoint() const
         w.u64(digest_);
         w.u64(completedOk_);
         w.i64(lastLatency_);
-        w.i64(t0_);
+        w.i64(t0_.ns());
         w.u64(lat_.count());
         for (const sim::SimDuration s : lat_.sorted())
             w.i64(s);
@@ -615,7 +615,7 @@ ChaosShard::restore(const recovery::Snapshot &snap, std::string *detail)
         digest_ = r.u64();
         completedOk_ = r.u64();
         lastLatency_ = r.i64();
-        t0_ = r.i64();
+        t0_ = sim::SimTime{r.i64()};
         const uint64_t n = r.checkCount(r.u64(), sizeof(int64_t));
         lat_.clear();
         for (uint64_t i = 0; i < n && r.ok(); ++i)
@@ -627,7 +627,7 @@ ChaosShard::restore(const recovery::Snapshot &snap, std::string *detail)
         return e;
 
     cursor_ = snap.requestIndex();
-    t_ = snap.simTimeNs();
+    t_ = sim::SimTime{snap.simTimeNs()};
     return LoadError::Ok;
 }
 

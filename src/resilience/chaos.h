@@ -140,8 +140,8 @@ class ChaosShard
     std::unique_ptr<core::HealthSupervisor> sup_;
     workload::Trace trace_;
     uint64_t cursor_ = 0;
-    sim::SimTime t_ = 0;
-    sim::SimTime t0_ = 0; ///< Arrival-clock origin (post-diagnosis).
+    sim::SimTime t_;
+    sim::SimTime t0_; ///< Arrival-clock origin (post-diagnosis).
     uint64_t digest_ = 0;
     uint64_t completedOk_ = 0;
     sim::SimDuration lastLatency_ = 0; ///< Hedge hint without a model.
@@ -162,7 +162,7 @@ struct ChaosShardResult
     uint64_t breakerCloses = 0;
     sim::SimDuration p999 = 0;
     sim::SimDuration maxExchange = 0;
-    sim::SimTime finalTime = 0;
+    sim::SimTime finalTime;
     /** Assertion/invariant failures (empty = shard passed). */
     std::vector<std::string> failures;
 };

@@ -351,13 +351,15 @@ PolicyDevice::submitHinted(const blockdev::IoRequest &req, sim::SimTime now,
                                  static_cast<double>(kTokenScale)),
         kTokenCapMicro);
 
-    const sim::SimTime deadline =
-        cfg_.deadlineBudget > 0 ? now + cfg_.deadlineBudget : 0;
+    const sim::SimTime deadline = cfg_.deadlineBudget > 0
+                                      ? now + cfg_.deadlineBudget
+                                      : sim::kTimeZero;
 
     bool wantHedge = !trial && cfg_.hedgeReads && req.isRead() &&
                      ladder_ == kNormal && hedgeDelayEff_ > 0 &&
                      predictedLatency > hedgeDelayEff_ &&
-                     (deadline == 0 || now + hedgeDelayEff_ < deadline);
+                     (deadline == sim::kTimeZero ||
+                      now + hedgeDelayEff_ < deadline);
     if (wantHedge && hedgeTokensMicro_ < kTokenScale) {
         ++counters_.hedgeTokenDenied;
         wantHedge = false;
@@ -461,7 +463,7 @@ PolicyDevice::saveState(recovery::StateWriter &w) const
     w.u64(counters_.sloViolations);
     w.u64(counters_.ladderTransitions);
     w.u8(breakerState_);
-    w.i64(breakerOpenedAt_);
+    w.i64(breakerOpenedAt_.ns());
     w.i64(breakerCooldownCur_);
     w.u32(halfOpenOk_);
     w.raw(outcomeRing_, kRingCapacity);
@@ -475,7 +477,7 @@ PolicyDevice::saveState(recovery::StateWriter &w) const
     w.u32(violationFilled_);
     w.u32(violationCount_);
     w.u32(evalCountdown_);
-    w.i64(failFastUntil_);
+    w.i64(failFastUntil_.ns());
     w.i64(errorBudgetPpm_);
     w.i64(hedgeTokensMicro_);
     w.i64(hedgeDelayEff_);
@@ -483,7 +485,7 @@ PolicyDevice::saveState(recovery::StateWriter &w) const
         w.i64(latencyRing_[i]);
     w.u32(latencyHead_);
     w.u32(latencyFilled_);
-    w.i64(horizon_);
+    w.i64(horizon_.ns());
     w.i64(maxExchangeNs_);
 }
 
@@ -508,7 +510,7 @@ PolicyDevice::loadState(recovery::StateReader &r)
     counters_.sloViolations = r.u64();
     counters_.ladderTransitions = r.u64();
     breakerState_ = r.u8();
-    breakerOpenedAt_ = r.i64();
+    breakerOpenedAt_ = sim::SimTime{r.i64()};
     breakerCooldownCur_ = r.i64();
     halfOpenOk_ = r.u32();
     r.raw(outcomeRing_, kRingCapacity);
@@ -522,7 +524,7 @@ PolicyDevice::loadState(recovery::StateReader &r)
     violationFilled_ = r.u32();
     violationCount_ = r.u32();
     evalCountdown_ = r.u32();
-    failFastUntil_ = r.i64();
+    failFastUntil_ = sim::SimTime{r.i64()};
     errorBudgetPpm_ = r.i64();
     hedgeTokensMicro_ = r.i64();
     hedgeDelayEff_ = r.i64();
@@ -530,7 +532,7 @@ PolicyDevice::loadState(recovery::StateReader &r)
         latencyRing_[i] = r.i64();
     latencyHead_ = r.u32();
     latencyFilled_ = r.u32();
-    horizon_ = r.i64();
+    horizon_ = sim::SimTime{r.i64()};
     maxExchangeNs_ = r.i64();
     if (r.ok()) {
         if (breakerState_ > kHalfOpen)

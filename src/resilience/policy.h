@@ -250,13 +250,13 @@ class PolicyDevice : public blockdev::BlockDevice
     void breakerTransition(uint8_t to, sim::SimTime now);
     sim::SimDuration latencyP95() const;
 
-    blockdev::ResilientDevice &inner_;
-    ResiliencePolicy cfg_;
+    blockdev::ResilientDevice &inner_; // snapshot:skip(ctor-wired reference to the wrapped device; the restore harness rebuilds the object graph)
+    ResiliencePolicy cfg_; // snapshot:skip(construction-time config; loadState only validates it against the checkpoint)
     PolicyCounters counters_;
 
     // Breaker.
     uint8_t breakerState_ = 0; ///< BreakerState (uint8 for the gauge).
-    sim::SimTime breakerOpenedAt_ = 0;
+    sim::SimTime breakerOpenedAt_;
     sim::SimDuration breakerCooldownCur_ = 0;
     uint32_t halfOpenOk_ = 0;
     uint8_t outcomeRing_[kRingCapacity] = {};
@@ -272,7 +272,7 @@ class PolicyDevice : public blockdev::BlockDevice
     uint32_t violationFilled_ = 0;
     uint32_t violationCount_ = 0; ///< Running violation count in ring.
     uint32_t evalCountdown_ = 0;
-    sim::SimTime failFastUntil_ = 0;
+    sim::SimTime failFastUntil_;
     int64_t errorBudgetPpm_ = 0;
 
     // Hedging.
@@ -283,11 +283,11 @@ class PolicyDevice : public blockdev::BlockDevice
     uint32_t latencyFilled_ = 0;
 
     // Admission.
-    sim::SimTime horizon_ = 0; ///< Max completion time seen.
+    sim::SimTime horizon_; ///< Max completion time seen.
     sim::SimDuration maxExchangeNs_ = 0;
 
     // Observability (null until attachObservability()).
-    obs::TraceRecorder *trace_ = nullptr;
+    obs::TraceRecorder *trace_ = nullptr; // snapshot:skip(non-owning observability hook, re-attached after restore)
 };
 
 /** Named policy presets for the CLI / chaos scenarios. */

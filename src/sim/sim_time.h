@@ -3,24 +3,107 @@
  * Virtual time primitives for the discrete-time simulation.
  *
  * All latencies and timestamps in the library are expressed in
- * SimTime ticks (nanoseconds of virtual time). Nothing in the library
- * reads the wall clock; experiments are bit-for-bit reproducible.
+ * nanoseconds of virtual time. Nothing in the library reads the wall
+ * clock; experiments are bit-for-bit reproducible.
+ *
+ * SimTime is a checked point-in-time type, not an integer alias: a
+ * timestamp and a duration are different quantities, and the class
+ * only defines the operations that are dimensionally meaningful —
+ * point + duration, point - duration, point - point (a duration) and
+ * comparisons. Adding two timestamps, passing a latency where a
+ * deadline is expected, or silently mixing a timestamp into integer
+ * arithmetic no longer compiles; the raw tick count leaves the type
+ * only through the explicit ns() accessor. Debug builds additionally
+ * assert that point±duration arithmetic does not overflow the 64-bit
+ * tick counter (≈292 years of virtual time). SimDuration stays a
+ * plain signed integer: durations are freely scaled, divided and
+ * accumulated by the latency models, where integer arithmetic is the
+ * point rather than a hazard.
  */
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 
 namespace ssdcheck::sim {
 
-/** Virtual time in nanoseconds. Signed so durations can be subtracted. */
-using SimTime = int64_t;
-
-/** A duration in virtual nanoseconds (alias for clarity at call sites). */
+/** A duration in virtual nanoseconds (signed; freely arithmetic). */
 using SimDuration = int64_t;
 
+/** A point in virtual time, measured in nanoseconds since the epoch. */
+class SimTime
+{
+  public:
+    /** The simulation epoch (tick zero). */
+    constexpr SimTime() = default;
+
+    /** A timestamp @p ns ticks after the epoch (explicit on purpose:
+     *  every integer→time conversion is a visible domain crossing). */
+    constexpr explicit SimTime(int64_t ns) : ns_(ns) {}
+
+    /** Nanoseconds since the epoch (the only way out of the type). */
+    constexpr int64_t ns() const { return ns_; }
+
+    friend constexpr bool operator==(SimTime a, SimTime b)
+    {
+        return a.ns_ == b.ns_;
+    }
+    friend constexpr bool operator!=(SimTime a, SimTime b)
+    {
+        return a.ns_ != b.ns_;
+    }
+    friend constexpr bool operator<(SimTime a, SimTime b)
+    {
+        return a.ns_ < b.ns_;
+    }
+    friend constexpr bool operator<=(SimTime a, SimTime b)
+    {
+        return a.ns_ <= b.ns_;
+    }
+    friend constexpr bool operator>(SimTime a, SimTime b)
+    {
+        return a.ns_ > b.ns_;
+    }
+    friend constexpr bool operator>=(SimTime a, SimTime b)
+    {
+        return a.ns_ >= b.ns_;
+    }
+
+    friend constexpr SimTime operator+(SimTime t, SimDuration d)
+    {
+        assert(!addOverflows(t.ns_, d) && "SimTime overflow");
+        return SimTime(t.ns_ + d);
+    }
+    friend constexpr SimTime operator+(SimDuration d, SimTime t)
+    {
+        return t + d;
+    }
+    friend constexpr SimTime operator-(SimTime t, SimDuration d)
+    {
+        assert(!addOverflows(t.ns_, -d) && "SimTime underflow");
+        return SimTime(t.ns_ - d);
+    }
+    /** Elapsed time between two points. */
+    friend constexpr SimDuration operator-(SimTime a, SimTime b)
+    {
+        return a.ns_ - b.ns_;
+    }
+
+    constexpr SimTime &operator+=(SimDuration d) { return *this = *this + d; }
+    constexpr SimTime &operator-=(SimDuration d) { return *this = *this - d; }
+
+  private:
+    static constexpr bool addOverflows(int64_t a, int64_t b)
+    {
+        return (b > 0 && a > INT64_MAX - b) || (b < 0 && a < INT64_MIN - b);
+    }
+
+    int64_t ns_ = 0;
+};
+
 /** The zero timestamp (simulation epoch). */
-inline constexpr SimTime kTimeZero = 0;
+inline constexpr SimTime kTimeZero{};
 
 /** Construct a duration from nanoseconds. */
 constexpr SimDuration nanoseconds(int64_t n) { return n; }
@@ -50,4 +133,3 @@ constexpr double toSeconds(SimDuration d) { return static_cast<double>(d) / 1e9;
 std::string formatDuration(SimDuration d);
 
 } // namespace ssdcheck::sim
-

@@ -248,15 +248,15 @@ class FaultInjector
      *  the profile's base regime; nullptr = regimes off). */
     const FaultRegime *regimeFor(uint64_t requestIndex) const;
 
-    FaultProfile profile_;
+    FaultProfile profile_; // snapshot:skip(construction-time fault profile; restore constructs an identical injector before loadState)
     sim::Rng rng_;
     FaultCounters counters_;
     bool driftFired_ = false;
     bool burst_ = false;
     /** Rate multipliers for the request being served (reset by
      *  beginRequest; 1.0 while calm or with regimes off). */
-    double curUncFactor_ = 1.0;
-    double curStallFactor_ = 1.0;
+    double curUncFactor_ = 1.0; // snapshot:skip(recomputed by beginRequest at the start of every request)
+    double curStallFactor_ = 1.0; // snapshot:skip(recomputed by beginRequest at the start of every request)
 };
 
 /** Named fault-profile presets for the CLI / benches. */

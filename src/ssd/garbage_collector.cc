@@ -72,7 +72,8 @@ GarbageCollector::refreshDisturbed(GcResult &res)
     // the ECC budget runs out. One block per invocation keeps the
     // added stall bounded.
     const uint32_t ppb = nand_.geometry().pagesPerBlock;
-    for (nand::Pbn b = 0; b < nand_.totalBlocks(); ++b) {
+    for (uint64_t i = 0; i < nand_.totalBlocks(); ++i) {
+        const nand::Pbn b{i};
         if (nand_.blockWritePointer(b) < ppb)
             continue; // open or free blocks are rewritten soon anyway
         if (nand_.blockReadCount(b) <= readDisturbLimit_)

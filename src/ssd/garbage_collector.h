@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "nand/nand_config.h"
 #include "sim/sim_time.h"
 
 namespace ssdcheck::nand {
@@ -33,7 +34,7 @@ class PageMapper;
 /** One reclaimed block of a GC invocation (trace forensics). */
 struct GcVictim
 {
-    uint64_t pbn = 0;          ///< Physical block reclaimed.
+    nand::Pbn pbn;             ///< Physical block reclaimed.
     uint64_t validMoved = 0;   ///< Valid pages merged out of it.
     /** Migration time charged before this victim started (relative to
      *  the invocation's start, pre-jitter). */
@@ -117,12 +118,12 @@ class GarbageCollector
      *  (bounded work per invocation). */
     void refreshDisturbed(GcResult &res);
 
-    PageMapper &mapper_;
-    nand::NandArray &nand_;
-    uint32_t lowBlocks_;
-    uint32_t highBlocks_;
-    uint32_t wearThreshold_;
-    uint32_t readDisturbLimit_;
+    PageMapper &mapper_; // snapshot:skip(ctor-wired reference; the restore harness rebuilds the object graph)
+    nand::NandArray &nand_; // snapshot:skip(ctor-wired reference; the restore harness rebuilds the object graph)
+    uint32_t lowBlocks_; // snapshot:skip(construction-time watermark config; restore constructs an identical collector)
+    uint32_t highBlocks_; // snapshot:skip(construction-time watermark config; restore constructs an identical collector)
+    uint32_t wearThreshold_; // snapshot:skip(construction-time wear config; restore constructs an identical collector)
+    uint32_t readDisturbLimit_; // snapshot:skip(construction-time disturb config; restore constructs an identical collector)
     uint64_t invocations_ = 0;
 };
 

@@ -34,8 +34,8 @@ PageMapper::PageMapper(nand::NandArray &nand, uint64_t userPages,
     minBucket_ = nand.geometry().pagesPerBlock + 1;
     freeList_.reserve(nand.totalBlocks());
     // Highest block first so allocation proceeds from block 0 upward.
-    for (nand::Pbn b = nand.totalBlocks(); b-- > 0;)
-        freeList_.push_back(b);
+    for (uint64_t b = nand.totalBlocks(); b-- > 0;)
+        freeList_.push_back(nand::Pbn{b});
 }
 
 nand::Ppn
@@ -62,7 +62,7 @@ PageMapper::allocatePage(Stream stream)
         ob.block = freeList_[pick];
         freeList_[pick] = freeList_.back();
         freeList_.pop_back();
-        blockFree_[ob.block] = 0;
+        blockFree_[ob.block.value()] = 0;
         ob.nextPage = 0;
         assert(nand_.blockWritePointer(ob.block) == 0 &&
                "allocated block was not erased");
@@ -71,52 +71,51 @@ PageMapper::allocatePage(Stream stream)
         // closeBlock re-checks its state).
         closeBlock(closed);
     }
-    const nand::Ppn ppn =
-        ob.block * static_cast<nand::Ppn>(ppb) + ob.nextPage;
+    const nand::Ppn ppn{ob.block.value() * ppb + ob.nextPage};
     ++ob.nextPage;
     return ppn;
 }
 
 void
-PageMapper::invalidate(uint64_t lpn)
+PageMapper::invalidate(Lpn lpn)
 {
-    const nand::Ppn old = lpnToPpn_[lpn];
+    const nand::Ppn old = lpnToPpn_[lpn.value()];
     if (old == nand::kInvalidPpn)
         return;
     const nand::Pbn blk = blockOf(old);
-    assert(blockValid_[blk] > 0);
-    --blockValid_[blk];
-    if (candidate_[blk])
-        pushBucket(blk, blockValid_[blk]);
+    assert(blockValid_[blk.value()] > 0);
+    --blockValid_[blk.value()];
+    if (candidate_[blk.value()])
+        pushBucket(blk, blockValid_[blk.value()]);
     markInvalid(old);
-    ppnToLpn_[old] = kInvalidLpn;
-    lpnToPpn_[lpn] = nand::kInvalidPpn;
+    ppnToLpn_[old.value()] = kInvalidLpn;
+    lpnToPpn_[lpn.value()] = nand::kInvalidPpn;
     --totalValid_;
 }
 
 void
-PageMapper::writePage(uint64_t lpn, uint64_t payload)
+PageMapper::writePage(Lpn lpn, uint64_t payload)
 {
-    assert(lpn < userPages_);
+    assert(lpn.value() < userPages_);
     invalidate(lpn);
     const nand::Ppn ppn = allocatePage(Stream::Host);
     nand_.programPage(ppn, payload);
-    lpnToPpn_[lpn] = ppn;
-    ppnToLpn_[ppn] = lpn;
+    lpnToPpn_[lpn.value()] = ppn;
+    ppnToLpn_[ppn.value()] = lpn;
     markValid(ppn);
-    ++blockValid_[blockOf(ppn)];
+    ++blockValid_[blockOf(ppn).value()];
     ++totalValid_;
 }
 
 nand::Ppn
-PageMapper::lookup(uint64_t lpn) const
+PageMapper::lookup(Lpn lpn) const
 {
-    assert(lpn < userPages_);
-    return lpnToPpn_[lpn];
+    assert(lpn.value() < userPages_);
+    return lpnToPpn_[lpn.value()];
 }
 
 bool
-PageMapper::readPage(uint64_t lpn, uint64_t *payload) const
+PageMapper::readPage(Lpn lpn, uint64_t *payload) const
 {
     const nand::Ppn ppn = lookup(lpn);
     if (ppn == nand::kInvalidPpn)
@@ -132,8 +131,8 @@ PageMapper::retireFreeBlock(size_t minFreeBlocks)
         return false;
     const nand::Pbn victim = freeList_.back();
     freeList_.pop_back();
-    blockFree_[victim] = 0;
-    blockRetired_[victim] = 1;
+    blockFree_[victim.value()] = 0;
+    blockRetired_[victim.value()] = 1;
     ++retiredBlocks_;
     return true;
 }
@@ -145,17 +144,17 @@ PageMapper::trimAll()
     ppnToLpn_.assign(nand_.totalPages(), kInvalidLpn);
     validWords_.assign(validWords_.size(), 0);
     freeList_.clear();
-    for (nand::Pbn b = nand_.totalBlocks(); b-- > 0;) {
+    for (uint64_t b = nand_.totalBlocks(); b-- > 0;) {
         if (blockRetired_[b])
             continue; // grown bad blocks never come back
-        if (nand_.blockWritePointer(b) != 0)
-            nand_.eraseBlock(b);
+        if (nand_.blockWritePointer(nand::Pbn{b}) != 0)
+            nand_.eraseBlock(nand::Pbn{b});
         blockValid_[b] = 0;
         blockFree_[b] = 1;
     }
-    for (nand::Pbn b = nand_.totalBlocks(); b-- > 0;) {
+    for (uint64_t b = nand_.totalBlocks(); b-- > 0;) {
         if (!blockRetired_[b])
-            freeList_.push_back(b);
+            freeList_.push_back(nand::Pbn{b});
     }
     open_[0] = OpenBlock{};
     open_[1] = OpenBlock{};
@@ -169,8 +168,8 @@ PageMapper::trimAll()
 uint32_t
 PageMapper::blockValidCount(nand::Pbn pbn) const
 {
-    assert(pbn < nand_.totalBlocks());
-    return blockValid_[pbn];
+    assert(pbn.value() < nand_.totalBlocks());
+    return blockValid_[pbn.value()];
 }
 
 void
@@ -192,21 +191,22 @@ PageMapper::closeBlock(nand::Pbn b)
     // block may have been reclaimed (read-disturb refresh), retired,
     // or even reallocated to the other stream — only a still-closed
     // live block becomes a candidate.
-    if (blockFree_[b] || blockRetired_[b] || candidate_[b])
+    if (blockFree_[b.value()] || blockRetired_[b.value()] ||
+        candidate_[b.value()])
         return;
     if (b == open_[0].block || b == open_[1].block)
         return;
     if (nand_.blockWritePointer(b) != ppb_)
         return;
-    candidate_[b] = 1;
-    pushBucket(b, blockValid_[b]);
+    candidate_[b.value()] = 1;
+    pushBucket(b, blockValid_[b.value()]);
 }
 
 bool
 PageMapper::isGcCandidate(nand::Pbn pbn) const
 {
-    assert(pbn < nand_.totalBlocks());
-    return candidate_[pbn] != 0;
+    assert(pbn.value() < nand_.totalBlocks());
+    return candidate_[pbn.value()] != 0;
 }
 
 nand::Pbn
@@ -221,7 +221,7 @@ PageMapper::pickVictimGreedy() const
         auto &bkt = buckets_[v];
         while (!bkt.empty()) {
             const nand::Pbn b = bkt.front();
-            if (candidate_[b] && blockValid_[b] == v) {
+            if (candidate_[b.value()] && blockValid_[b.value()] == v) {
                 minBucket_ = v;
                 return b;
             }
@@ -237,15 +237,15 @@ uint64_t
 PageMapper::collectBlock(nand::Pbn victim)
 {
     assert(victim != kNoVictim);
-    assert(!blockFree_[victim]);
-    const nand::Ppn first = victim * static_cast<nand::Ppn>(ppb_);
-    const nand::Ppn last = first + ppb_;
+    assert(!blockFree_[victim.value()]);
+    const uint64_t first = victim.value() * ppb_;
+    const uint64_t last = first + ppb_;
     uint64_t moved = 0;
     // Batch migrate: walk the victim's live pages as one scan over its
     // packed validity words — countr_zero jumps straight to the next
     // set bit, so mostly-invalid victims (the greedy common case) cost
     // a handful of word loads instead of ppb inverse-map probes.
-    for (nand::Ppn p = first; p < last;) {
+    for (uint64_t p = first; p < last;) {
         const uint64_t w = validWords_[p >> 6] >> (p & 63);
         if (w == 0) {
             p = (p | 63) + 1; // skip to the next word boundary
@@ -254,47 +254,47 @@ PageMapper::collectBlock(nand::Pbn victim)
         p += static_cast<unsigned>(std::countr_zero(w));
         if (p >= last)
             break;
-        const uint64_t lpn = ppnToLpn_[p];
+        const Lpn lpn = ppnToLpn_[p];
         assert(lpn != kInvalidLpn);
         // Merge step: read the valid page and re-program it from the
         // GC-open block (paper §II-A "merge operation").
         uint64_t payload = 0;
-        nand_.readPage(p, &payload);
+        nand_.readPage(nand::Ppn{p}, &payload);
         const nand::Ppn dst = allocatePage(Stream::Gc);
         nand_.programPage(dst, payload);
-        lpnToPpn_[lpn] = dst;
-        ppnToLpn_[dst] = lpn;
+        lpnToPpn_[lpn.value()] = dst;
+        ppnToLpn_[dst.value()] = lpn;
         markValid(dst);
         ppnToLpn_[p] = kInvalidLpn;
-        ++blockValid_[blockOf(dst)];
+        ++blockValid_[blockOf(dst).value()];
         ++moved;
         ++p;
     }
-    assert(moved == blockValid_[victim]);
+    assert(moved == blockValid_[victim.value()]);
     // Batch invalidate: clear the victim's validity span word-wise
     // (partial words at the edges keep their neighbors' bits).
-    for (nand::Ppn p = first; p < last;) {
+    for (uint64_t p = first; p < last;) {
         if ((p & 63) == 0 && last - p >= 64) {
             validWords_[p >> 6] = 0;
             p += 64;
         } else {
-            markInvalid(p);
+            markInvalid(nand::Ppn{p});
             ++p;
         }
     }
-    blockValid_[victim] = 0;
+    blockValid_[victim.value()] = 0;
     nand_.eraseBlock(victim);
-    blockFree_[victim] = 1;
-    candidate_[victim] = 0; // its bucket entries are stale now
+    blockFree_[victim.value()] = 1;
+    candidate_[victim.value()] = 0; // its bucket entries are stale now
     freeList_.push_back(victim);
     return moved;
 }
 
-uint64_t
+Lpn
 PageMapper::lpnOfPpn(nand::Ppn ppn) const
 {
-    assert(ppn < nand_.totalPages());
-    return ppnToLpn_[ppn];
+    assert(ppn.value() < nand_.totalPages());
+    return ppnToLpn_[ppn.value()];
 }
 
 nand::Pbn
@@ -303,17 +303,18 @@ PageMapper::pickColdestClosedBlock() const
     const uint32_t ppb = ppb_;
     nand::Pbn best = kNoVictim;
     uint32_t bestErase = ~0u;
-    for (nand::Pbn b = 0; b < nand_.totalBlocks(); ++b) {
+    for (uint64_t b = 0; b < nand_.totalBlocks(); ++b) {
+        const nand::Pbn pbn{b};
         if (blockFree_[b])
             continue;
-        if (b == open_[0].block || b == open_[1].block)
+        if (pbn == open_[0].block || pbn == open_[1].block)
             continue;
-        if (nand_.blockWritePointer(b) < ppb)
+        if (nand_.blockWritePointer(pbn) < ppb)
             continue;
-        const uint32_t e = nand_.blockEraseCount(b);
+        const uint32_t e = nand_.blockEraseCount(pbn);
         if (e < bestErase) {
             bestErase = e;
-            best = b;
+            best = pbn;
         }
     }
     return best;
@@ -323,8 +324,8 @@ std::pair<uint32_t, uint32_t>
 PageMapper::eraseCountRange() const
 {
     uint32_t lo = ~0u, hi = 0;
-    for (nand::Pbn b = 0; b < nand_.totalBlocks(); ++b) {
-        const uint32_t e = nand_.blockEraseCount(b);
+    for (uint64_t b = 0; b < nand_.totalBlocks(); ++b) {
+        const uint32_t e = nand_.blockEraseCount(nand::Pbn{b});
         lo = std::min(lo, e);
         hi = std::max(hi, e);
     }
@@ -342,7 +343,7 @@ PageMapper::checkConsistency() const
         if (ppn == nand::kInvalidPpn)
             continue;
         ++validSeen;
-        if (ppnToLpn_[ppn] != lpn) {
+        if (ppnToLpn_[ppn.value()] != Lpn{lpn}) {
             err << "inverse map mismatch at lpn " << lpn << "; ";
             break;
         }
@@ -359,32 +360,30 @@ PageMapper::checkConsistency() const
     // bitmap (bit-for-bit and via per-block popcounts), and the
     // maintained blockValid_ counters must all agree.
     std::vector<uint32_t> counted(nand_.totalBlocks(), 0);
-    for (nand::Ppn p = 0; p < nand_.totalPages(); ++p) {
+    for (uint64_t p = 0; p < nand_.totalPages(); ++p) {
         const bool mapped = ppnToLpn_[p] != kInvalidLpn;
         if (mapped)
             ++counted[p / ppb];
-        if (mapped != isPpnValid(p)) {
+        if (mapped != isPpnValid(nand::Ppn{p})) {
             err << "validity bitmap mismatch at ppn " << p << "; ";
             break;
         }
     }
     if (validWords_.size() != (nand_.totalPages() + 63) / 64)
         err << "validity bitmap word count mismatch; ";
-    for (nand::Pbn b = 0; b < nand_.totalBlocks(); ++b) {
+    for (uint64_t b = 0; b < nand_.totalBlocks(); ++b) {
         if (counted[b] != blockValid_[b]) {
             err << "block valid-count mismatch at block " << b << "; ";
             break;
         }
         uint32_t pop = 0;
-        for (nand::Ppn p = b * static_cast<nand::Ppn>(ppb);
-             p < (b + 1) * static_cast<nand::Ppn>(ppb);) {
-            if ((p & 63) == 0 && (b + 1) * static_cast<nand::Ppn>(ppb) -
-                                         p >= 64) {
+        for (uint64_t p = b * ppb; p < (b + 1) * ppb;) {
+            if ((p & 63) == 0 && (b + 1) * ppb - p >= 64) {
                 pop += static_cast<uint32_t>(
                     std::popcount(validWords_[p >> 6]));
                 p += 64;
             } else {
-                pop += isPpnValid(p) ? 1u : 0u;
+                pop += isPpnValid(nand::Ppn{p}) ? 1u : 0u;
                 ++p;
             }
         }
@@ -392,7 +391,7 @@ PageMapper::checkConsistency() const
             err << "bitmap popcount mismatch at block " << b << "; ";
             break;
         }
-        if (blockFree_[b] && nand_.blockWritePointer(b) != 0) {
+        if (blockFree_[b] && nand_.blockWritePointer(nand::Pbn{b}) != 0) {
             err << "free block " << b << " not erased; ";
             break;
         }
@@ -401,18 +400,19 @@ PageMapper::checkConsistency() const
     // Victim-bucket invariants: the candidate set is exactly the
     // closed, live, non-open blocks, and every candidate has a fresh
     // entry in the bucket matching its current valid count.
-    for (nand::Pbn b = 0; b < nand_.totalBlocks(); ++b) {
+    for (uint64_t b = 0; b < nand_.totalBlocks(); ++b) {
+        const nand::Pbn pbn{b};
         const bool eligible =
             !blockFree_[b] && !blockRetired_[b] &&
-            b != open_[0].block && b != open_[1].block &&
-            nand_.blockWritePointer(b) == ppb;
+            pbn != open_[0].block && pbn != open_[1].block &&
+            nand_.blockWritePointer(pbn) == ppb;
         if (eligible != (candidate_[b] != 0)) {
             err << "candidate flag mismatch at block " << b << "; ";
             break;
         }
         if (candidate_[b]) {
             const auto &bkt = buckets_[blockValid_[b]];
-            if (std::find(bkt.begin(), bkt.end(), b) == bkt.end()) {
+            if (std::find(bkt.begin(), bkt.end(), pbn) == bkt.end()) {
                 err << "candidate " << b << " missing from bucket "
                     << blockValid_[b] << "; ";
                 break;
@@ -432,10 +432,10 @@ PageMapper::saveState(recovery::StateWriter &w) const
     w.u64(userPages_);
     w.u64(lpnToPpn_.size());
     for (nand::Ppn p : lpnToPpn_)
-        w.u64(p);
+        w.u64(p.value());
     w.u64(ppnToLpn_.size());
-    for (uint64_t l : ppnToLpn_)
-        w.u64(l);
+    for (Lpn l : ppnToLpn_)
+        w.u64(l.value());
     w.u64(blockValid_.size());
     for (uint32_t v : blockValid_)
         w.u32(v);
@@ -447,9 +447,9 @@ PageMapper::saveState(recovery::StateWriter &w) const
         w.u8(c);
     w.u64(freeList_.size());
     for (nand::Pbn b : freeList_)
-        w.u64(b);
+        w.u64(b.value());
     for (const OpenBlock &ob : open_) {
-        w.u64(ob.block);
+        w.u64(ob.block.value());
         w.u32(ob.nextPage);
     }
     w.u64(totalValid_);
@@ -472,8 +472,8 @@ PageMapper::loadState(recovery::StateReader &r)
         return false;
     }
     for (auto &p : lpnToPpn_) {
-        p = r.u64();
-        if (r.ok() && p != nand::kInvalidPpn && p >= totalPages) {
+        p = nand::Ppn{r.u64()};
+        if (r.ok() && p != nand::kInvalidPpn && p.value() >= totalPages) {
             r.fail("mapper LPN entry points past end of NAND");
             return false;
         }
@@ -483,8 +483,8 @@ PageMapper::loadState(recovery::StateReader &r)
         return false;
     }
     for (auto &l : ppnToLpn_) {
-        l = r.u64();
-        if (r.ok() && l != kInvalidLpn && l >= userPages_) {
+        l = Lpn{r.u64()};
+        if (r.ok() && l != kInvalidLpn && l.value() >= userPages_) {
             r.fail("mapper PPN entry points past end of volume");
             return false;
         }
@@ -522,18 +522,18 @@ PageMapper::loadState(recovery::StateReader &r)
     }
     freeList_.clear();
     for (uint64_t i = 0; i < nFree; ++i) {
-        const nand::Pbn b = r.u64();
-        if (r.ok() && b >= totalBlocks) {
+        const nand::Pbn b{r.u64()};
+        if (r.ok() && b.value() >= totalBlocks) {
             r.fail("mapper free-list entry past end of NAND");
             return false;
         }
         freeList_.push_back(b);
     }
     for (auto &ob : open_) {
-        ob.block = r.u64();
+        ob.block = nand::Pbn{r.u64()};
         ob.nextPage = r.u32();
         if (r.ok() &&
-            ((ob.block != kNoVictim && ob.block >= totalBlocks) ||
+            ((ob.block != kNoVictim && ob.block.value() >= totalBlocks) ||
              ob.nextPage > ppb)) {
             r.fail("mapper open-block pointer out of range");
             return false;
@@ -547,9 +547,9 @@ PageMapper::loadState(recovery::StateReader &r)
     // Rebuild the derived validity bitmap from the restored inverse
     // map (it is never serialized).
     validWords_.assign(validWords_.size(), 0);
-    for (nand::Ppn p = 0; p < totalPages; ++p)
+    for (uint64_t p = 0; p < totalPages; ++p)
         if (ppnToLpn_[p] != kInvalidLpn)
-            markValid(p);
+            markValid(nand::Ppn{p});
 
     // Rebuild the lazy victim buckets fresh from the candidate set.
     // pickVictimGreedy() prunes stale entries before choosing, so the
@@ -557,9 +557,9 @@ PageMapper::loadState(recovery::StateReader &r)
     for (auto &bkt : buckets_)
         bkt.clear();
     minBucket_ = ppb + 1;
-    for (nand::Pbn b = 0; b < totalBlocks; ++b)
+    for (uint64_t b = 0; b < totalBlocks; ++b)
         if (candidate_[b])
-            pushBucket(b, blockValid_[b]);
+            pushBucket(nand::Pbn{b}, blockValid_[b]);
 
     // Full structural validation against the (already restored) NAND
     // state; a payload that passed CRC but mutated semantics must

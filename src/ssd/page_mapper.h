@@ -8,6 +8,11 @@
  * the NandArray so the chip-level invariants (erase-before-write,
  * sequential in-block programming) are enforced at the source.
  *
+ * Addresses are strong types (core::Lpn, nand::Ppn, nand::Pbn): the
+ * translation layer is exactly where the logical and physical address
+ * domains meet, and the typed signatures make a crossed-up argument a
+ * compile error instead of a silent corruption.
+ *
  * GC victim selection is incremental: closed blocks are bucketed by
  * valid-page count (one lazy min-heap of block numbers per count),
  * maintained on block close / page invalidate / collect, so
@@ -26,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/typed_ids.h"
 #include "nand/nand_array.h"
 #include "nand/nand_config.h"
 
@@ -36,8 +42,8 @@ class StateReader;
 
 namespace ssdcheck::ssd {
 
-/** Sentinel for an unmapped logical page. */
-inline constexpr uint64_t kInvalidLpn = ~0ULL;
+using core::kInvalidLpn;
+using core::Lpn;
 
 /** Page-level address mapping and block accounting for one volume. */
 class PageMapper
@@ -61,16 +67,16 @@ class PageMapper
      * invalidates any previous mapping and programs a fresh page from
      * the host-open block.
      */
-    void writePage(uint64_t lpn, uint64_t payload);
+    void writePage(Lpn lpn, uint64_t payload);
 
     /** Current physical page of @p lpn, or nand::kInvalidPpn. */
-    nand::Ppn lookup(uint64_t lpn) const;
+    nand::Ppn lookup(Lpn lpn) const;
 
     /**
      * Read the payload of logical page @p lpn from NAND.
      * @return false when the page was never written (or trimmed).
      */
-    bool readPage(uint64_t lpn, uint64_t *payload) const;
+    bool readPage(Lpn lpn, uint64_t *payload) const;
 
     /** Drop every mapping and erase-free all blocks (TRIM whole volume). */
     void trimAll();
@@ -119,7 +125,7 @@ class PageMapper
     bool isGcCandidate(nand::Pbn pbn) const;
 
     /** Sentinel returned by pickVictimGreedy when nothing is eligible. */
-    static constexpr nand::Pbn kNoVictim = ~0ULL;
+    static constexpr nand::Pbn kNoVictim = nand::kInvalidPbn;
 
     /**
      * Relocate every valid page of @p victim to the GC-open block and
@@ -129,12 +135,12 @@ class PageMapper
     uint64_t collectBlock(nand::Pbn victim);
 
     /** Inverse lookup: lpn stored in physical page @p ppn (or kInvalidLpn). */
-    uint64_t lpnOfPpn(nand::Ppn ppn) const;
+    Lpn lpnOfPpn(nand::Ppn ppn) const;
 
     /** True when physical page @p ppn holds a live (mapped) page. */
     bool isPpnValid(nand::Ppn ppn) const
     {
-        return (validWords_[ppn >> 6] >> (ppn & 63)) & 1ULL;
+        return (validWords_[ppn.value() >> 6] >> (ppn.value() & 63)) & 1ULL;
     }
 
     /** Packed validity bitmap word @p i (64 pages per word; tests). */
@@ -186,7 +192,7 @@ class PageMapper
     nand::Ppn allocatePage(Stream stream);
 
     /** Invalidate the mapping currently held by @p lpn, if any. */
-    void invalidate(uint64_t lpn);
+    void invalidate(Lpn lpn);
 
     /**
      * A stream's open-block pointer moved past @p b: if it is still a
@@ -200,32 +206,35 @@ class PageMapper
     /** Flat block containing @p ppn (shift when ppb is a power of 2). */
     nand::Pbn blockOf(nand::Ppn ppn) const
     {
-        return ppbShift_ != 0 ? ppn >> ppbShift_ : ppn / ppb_;
+        return nand::Pbn{ppbShift_ != 0 ? ppn.value() >> ppbShift_
+                                        : ppn.value() / ppb_};
     }
 
     /** Set the validity bit of @p ppn. */
     void markValid(nand::Ppn ppn)
     {
-        validWords_[ppn >> 6] |= 1ULL << (ppn & 63);
+        validWords_[ppn.value() >> 6] |= 1ULL << (ppn.value() & 63);
     }
 
     /** Clear the validity bit of @p ppn. */
     void markInvalid(nand::Ppn ppn)
     {
-        validWords_[ppn >> 6] &= ~(1ULL << (ppn & 63));
+        validWords_[ppn.value() >> 6] &= ~(1ULL << (ppn.value() & 63));
     }
 
-    nand::NandArray &nand_;
+    nand::NandArray &nand_; // snapshot:skip(ctor-wired reference; loadState re-derives occupancy from it)
     uint64_t userPages_;
-    bool wearAwareAllocation_;
+    bool wearAwareAllocation_; // snapshot:skip(construction-time config; restore constructs an identical mapper before loadState)
     // Cached geometry (hot-path divisors; ppbShift_ nonzero when ppb
     // is a power of two, enabling shift instead of divide).
-    uint32_t ppb_ = 0;
-    uint32_t ppbShift_ = 0;
-    uint64_t totalBlocks_ = 0;
-    uint64_t totalPages_ = 0;
+    // snapshot:skip fields below are rebuilt by the constructor from
+    // the NAND geometry, which loadState() validates against.
+    uint32_t ppb_ = 0;         // snapshot:skip(derived from geometry)
+    uint32_t ppbShift_ = 0;    // snapshot:skip(derived from geometry)
+    uint64_t totalBlocks_ = 0; // snapshot:skip(derived from geometry)
+    uint64_t totalPages_ = 0;  // snapshot:skip(derived from geometry)
     std::vector<nand::Ppn> lpnToPpn_;
-    std::vector<uint64_t> ppnToLpn_;
+    std::vector<Lpn> ppnToLpn_;
     /**
      * Packed per-page validity: bit (ppn & 63) of word (ppn >> 6) is
      * set exactly when ppnToLpn_[ppn] != kInvalidLpn. Redundant with
@@ -235,7 +244,7 @@ class PageMapper
      * inverse map page by page. Derived state: rebuilt on load, not
      * serialized.
      */
-    std::vector<uint64_t> validWords_;
+    std::vector<uint64_t> validWords_; // snapshot:skip(rebuilt from inverse map on load)
     std::vector<uint32_t> blockValid_;
     std::vector<uint8_t> blockFree_;
     std::vector<uint8_t> blockRetired_; ///< Grown-bad-block list.
@@ -252,12 +261,11 @@ class PageMapper
      * every valid-count change and on close, and stale entries (count
      * moved on, or no longer a candidate) are pruned when they surface
      * at the top during pickVictimGreedy(). Pruning does not change
-     * logical state, hence mutable.
+     * logical state, hence mutable. Derived: rebuilt fresh on load.
      */
-    mutable std::vector<std::vector<nand::Pbn>> buckets_;
+    mutable std::vector<std::vector<nand::Pbn>> buckets_; // snapshot:skip(rebuilt from candidate set on load)
     /** No fresh bucket entry exists below this valid count. */
-    mutable uint32_t minBucket_ = 0;
+    mutable uint32_t minBucket_ = 0; // snapshot:skip(rebuilt with buckets on load)
 };
 
 } // namespace ssdcheck::ssd
-

@@ -112,7 +112,7 @@ SsdDevice::submitDetailed(const blockdev::IoRequest &req, sim::SimTime now,
         const uint64_t lba =
             (firstPage + p) * blockdev::kSectorsPerPage;
         const uint32_t vol = router_.volumeOf(lba);
-        const uint64_t lpn = router_.localLpn(lba);
+        const Lpn lpn{router_.localLpn(lba)};
         sim::SimTime done;
         if (req.isWrite()) {
             const uint64_t stamp =
@@ -270,7 +270,7 @@ SsdDevice::peekPage(uint64_t pageIndex, uint64_t *payload) const
         return true;
     }
     const uint32_t vol = router_.volumeOf(lba);
-    return volumes_[vol]->peek(router_.localLpn(lba), payload);
+    return volumes_[vol]->peek(Lpn{router_.localLpn(lba)}, payload);
 }
 
 const VolumeCounters &
@@ -314,8 +314,8 @@ SsdDevice::saveState(recovery::StateWriter &w) const
     w.u32(static_cast<uint32_t>(volumes_.size()));
     for (const auto &v : volumes_)
         v->saveState(w);
-    w.i64(busGate_);
-    w.i64(lastSubmit_);
+    w.i64(busGate_.ns());
+    w.i64(lastSubmit_.ns());
     w.u64(requestsServed_);
     // Serialize the optimal-mode store in key order so the snapshot
     // bytes are deterministic regardless of hash-table layout.
@@ -347,8 +347,8 @@ SsdDevice::loadState(recovery::StateReader &r)
             return false;
     cfg_.bufferBytes = bufferBytes;
     cfg_.readTriggerFlush = readTrigger;
-    busGate_ = r.i64();
-    lastSubmit_ = r.i64();
+    busGate_ = sim::SimTime{r.i64()};
+    lastSubmit_ = sim::SimTime{r.i64()};
     requestsServed_ = r.u64();
     const uint64_t nStore = r.checkCount(r.u64(), 16);
     optimalStore_.clear();

@@ -115,18 +115,18 @@ class SsdDevice final : public blockdev::BlockDevice
     void applyDrift();
 
     SsdConfig cfg_;
-    LbaRouter router_; ///< Precomputed LBA routing (hot path).
+    LbaRouter router_; ///< Precomputed LBA routing (hot path). // snapshot:skip(derived from cfg_ in the constructor; pure function of the volume layout)
     sim::Rng rng_;
     FaultInjector faults_;
     std::vector<std::unique_ptr<Volume>> volumes_;
-    sim::SimTime busGate_ = 0;
-    sim::SimTime lastSubmit_ = 0;
+    sim::SimTime busGate_;
+    sim::SimTime lastSubmit_;
     uint64_t requestsServed_ = 0;
     /** Functional store used only in optimalMode. */
     std::unordered_map<uint64_t, uint64_t> optimalStore_;
 
     // Observability (null until attachObservability()).
-    obs::TraceRecorder *trace_ = nullptr;
+    obs::TraceRecorder *trace_ = nullptr; // snapshot:skip(non-owning observability hook, re-attached after restore)
     static constexpr obs::TraceTrack kBusTrack{obs::kDevicePid,
                                                obs::kDeviceInterfaceTid};
 };

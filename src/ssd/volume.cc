@@ -168,7 +168,7 @@ Volume::flush(sim::SimTime at, IoDetail *detail, FlushReason reason)
                                          : 0;
                     trace_->complete(
                         "gc", "gc.migrate", track_, vs, vd,
-                        {{"pbn", static_cast<int64_t>(v.pbn)},
+                        {{"pbn", static_cast<int64_t>(v.pbn.value())},
                          {"pages", static_cast<int64_t>(v.validMoved)}});
                 }
                 trace_->instant(
@@ -183,10 +183,10 @@ Volume::flush(sim::SimTime at, IoDetail *detail, FlushReason reason)
 }
 
 sim::SimTime
-Volume::serveWrite(sim::SimTime start, uint64_t lpn, uint64_t payload,
+Volume::serveWrite(sim::SimTime start, Lpn lpn, uint64_t payload,
                    IoDetail *detail)
 {
-    assert(lpn < cfg_.userPagesPerVolume());
+    assert(lpn.value() < cfg_.userPagesPerVolume());
     ++counters_.writes;
     if (detail != nullptr)
         detail->volume = volumeIndex_;
@@ -197,7 +197,7 @@ Volume::serveWrite(sim::SimTime start, uint64_t lpn, uint64_t payload,
     buffer_.add(lpn, payload);
     if (trace_ != nullptr)
         trace_->instant("wb", "wb.enqueue", track_, admit,
-                        {{"lpn", static_cast<int64_t>(lpn)},
+                        {{"lpn", static_cast<int64_t>(lpn.value())},
                          {"fill", static_cast<int64_t>(buffer_.fill())}});
     if (buffer_.full()) {
         // Note: flush() may clear busyIncludesGc_, so capture whether
@@ -231,10 +231,10 @@ Volume::serveWrite(sim::SimTime start, uint64_t lpn, uint64_t payload,
 }
 
 sim::SimTime
-Volume::serveRead(sim::SimTime start, uint64_t lpn, uint64_t *payloadOut,
+Volume::serveRead(sim::SimTime start, Lpn lpn, uint64_t *payloadOut,
                   IoDetail *detail)
 {
-    assert(lpn < cfg_.userPagesPerVolume());
+    assert(lpn.value() < cfg_.userPagesPerVolume());
     ++counters_.reads;
     if (detail != nullptr)
         detail->volume = volumeIndex_;
@@ -257,7 +257,7 @@ Volume::serveRead(sim::SimTime start, uint64_t lpn, uint64_t *payloadOut,
             detail->bufferHit = true;
         if (trace_ != nullptr)
             trace_->instant("wb", "wb.hit", track_, start,
-                            {{"lpn", static_cast<int64_t>(lpn)}});
+                            {{"lpn", static_cast<int64_t>(lpn.value())}});
         return start + jitter(cfg_.bufferReadTime);
     }
 
@@ -290,7 +290,7 @@ Volume::serveRead(sim::SimTime start, uint64_t lpn, uint64_t *payloadOut,
     const sim::SimDuration service = jitter(cfg_.readOverheadTime + nandLat);
     if (trace_ != nullptr)
         trace_->complete("nand", "nand.read", track_, ready, service,
-                         {{"lpn", static_cast<int64_t>(lpn)},
+                         {{"lpn", static_cast<int64_t>(lpn.value())},
                           {"wait_ns", std::max<sim::SimDuration>(
                                           0, ready - start)}});
     return ready + service;
@@ -301,9 +301,9 @@ Volume::reset()
 {
     buffer_.clear();
     mapper_.trimAll();
-    writeGate_ = 0;
-    nandBusyUntil_ = 0;
-    readGate_ = 0;
+    writeGate_ = sim::kTimeZero;
+    nandBusyUntil_ = sim::kTimeZero;
+    readGate_ = sim::kTimeZero;
     slcUsedPages_ = 0;
     slcCycleCapacity_ = cfg_.slcCapacityPages;
 }
@@ -312,7 +312,7 @@ void
 Volume::prefill(uint64_t stampBase)
 {
     for (uint64_t lpn = 0; lpn < cfg_.userPagesPerVolume(); ++lpn)
-        mapper_.writePage(lpn, stampBase + lpn);
+        mapper_.writePage(Lpn{lpn}, stampBase + lpn);
     // Preconditioning may leave the pool near the trigger; settle it
     // now so the first measured request doesn't eat a giant GC.
     if (gc_.needed())
@@ -352,7 +352,7 @@ Volume::attachObservability(const obs::Sink &sink, const std::string &device)
 }
 
 bool
-Volume::peek(uint64_t lpn, uint64_t *payload) const
+Volume::peek(Lpn lpn, uint64_t *payload) const
 {
     if (buffer_.lookup(lpn, payload))
         return true;
@@ -367,9 +367,9 @@ Volume::saveState(recovery::StateWriter &w) const
     mapper_.saveState(w);
     buffer_.saveState(w);
     gc_.saveState(w);
-    w.i64(writeGate_);
-    w.i64(nandBusyUntil_);
-    w.i64(readGate_);
+    w.i64(writeGate_.ns());
+    w.i64(nandBusyUntil_.ns());
+    w.i64(readGate_.ns());
     w.boolean(busyIncludesGc_);
     w.u64(slcUsedPages_);
     w.u64(slcCycleCapacity_);
@@ -394,9 +394,9 @@ Volume::loadState(recovery::StateReader &r)
         !mapper_.loadState(r) || !buffer_.loadState(r) ||
         !gc_.loadState(r))
         return false;
-    writeGate_ = r.i64();
-    nandBusyUntil_ = r.i64();
-    readGate_ = r.i64();
+    writeGate_ = sim::SimTime{r.i64()};
+    nandBusyUntil_ = sim::SimTime{r.i64()};
+    readGate_ = sim::SimTime{r.i64()};
     busyIncludesGc_ = r.boolean();
     slcUsedPages_ = r.u64();
     slcCycleCapacity_ = r.u64();

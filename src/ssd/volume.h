@@ -56,6 +56,7 @@ struct IoDetail
     bool programFailure = false;  ///< A flush hit a program failure.
     bool stalled = false;         ///< Injected command stall.
     sim::SimDuration flushTime = 0; ///< Flush busy time charged.
+    // (durations, not points: they accumulate across the request)
     sim::SimDuration gcTime = 0;    ///< GC busy time charged.
     sim::SimDuration waitTime = 0;  ///< Time spent waiting on busy NAND.
 
@@ -111,14 +112,14 @@ class Volume
      * Serve a page write submitted at @p start.
      * @return completion time; @p detail (optional) gets annotations.
      */
-    sim::SimTime serveWrite(sim::SimTime start, uint64_t lpn,
-                            uint64_t payload, IoDetail *detail);
+    sim::SimTime serveWrite(sim::SimTime start, Lpn lpn, uint64_t payload,
+                            IoDetail *detail);
 
     /**
      * Serve a page read submitted at @p start.
      * @param payloadOut receives the page stamp when mapped (optional).
      */
-    sim::SimTime serveRead(sim::SimTime start, uint64_t lpn,
+    sim::SimTime serveRead(sim::SimTime start, Lpn lpn,
                            uint64_t *payloadOut, IoDetail *detail);
 
     /** Drop buffer and mappings; reset all gates (device purge). */
@@ -135,7 +136,7 @@ class Volume
     const PageMapper &mapper() const { return mapper_; }
 
     /** Read the latest value of logical page (buffer-aware). */
-    bool peek(uint64_t lpn, uint64_t *payload) const;
+    bool peek(Lpn lpn, uint64_t *payload) const;
 
     const VolumeCounters &counters() const { return counters_; }
 
@@ -187,10 +188,10 @@ class Volume
     /** Apply lognormal jitter to a service-time component. */
     sim::SimDuration jitter(sim::SimDuration d);
 
-    const SsdConfig &cfg_;
-    uint32_t volumeIndex_;
+    const SsdConfig &cfg_; // snapshot:skip(construction-time config; restore constructs an identical volume before loadState)
+    uint32_t volumeIndex_; // snapshot:skip(construction-time identity; restore constructs volumes in the same order)
     sim::Rng rng_;
-    FaultInjector *faults_;
+    FaultInjector *faults_; // snapshot:skip(non-owning pointer to the device-level injector, whose state the device serializes)
 
     // Direct members (declaration order is construction order: the
     // mapper and collector hold references into nand_/mapper_), so the
@@ -200,9 +201,9 @@ class Volume
     GarbageCollector gc_;
     WriteBuffer buffer_;
 
-    sim::SimTime writeGate_ = 0;
-    sim::SimTime nandBusyUntil_ = 0;
-    sim::SimTime readGate_ = 0;
+    sim::SimTime writeGate_;
+    sim::SimTime nandBusyUntil_;
+    sim::SimTime readGate_;
     /** True while the current NAND busy window includes a GC run, so
      *  requests stalled by it are attributed to GC (Fig. 3c/3d). */
     bool busyIncludesGc_ = false;
@@ -214,9 +215,9 @@ class Volume
     VolumeCounters counters_;
 
     // Observability (null/unused until attachObservability()).
-    obs::TraceRecorder *trace_ = nullptr;
-    obs::TraceTrack track_{obs::kDevicePid, 0};
-    std::vector<GcVictim> victimScratch_; ///< Reused across GC runs.
+    obs::TraceRecorder *trace_ = nullptr; // snapshot:skip(non-owning observability hook, re-attached after restore)
+    obs::TraceTrack track_{obs::kDevicePid, 0}; // snapshot:skip(non-owning observability hook, re-attached after restore)
+    std::vector<GcVictim> victimScratch_; ///< Reused across GC runs. // snapshot:skip(transient scratch, cleared before each use)
 };
 
 } // namespace ssdcheck::ssd

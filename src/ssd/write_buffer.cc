@@ -40,9 +40,9 @@ WriteBuffer::resetTable()
 }
 
 void
-WriteBuffer::indexNewest(uint64_t lpn, uint32_t idx)
+WriteBuffer::indexNewest(core::Lpn lpn, uint32_t idx)
 {
-    for (size_t i = hashLpn(lpn) & mask_;; i = (i + 1) & mask_) {
+    for (size_t i = lpn.hash() & mask_;; i = (i + 1) & mask_) {
         Slot &s = slots_[i];
         if (s.gen == gen_ && s.lpn != lpn)
             continue;
@@ -54,7 +54,7 @@ WriteBuffer::indexNewest(uint64_t lpn, uint32_t idx)
 }
 
 bool
-WriteBuffer::add(uint64_t lpn, uint64_t payload)
+WriteBuffer::add(core::Lpn lpn, uint64_t payload)
 {
     // May be entered on an already-full buffer right after a capacity
     // shrink (firmware drift); the caller flushes as soon as this
@@ -94,7 +94,7 @@ WriteBuffer::saveState(recovery::StateWriter &w) const
     w.u32(capacity_);
     w.u64(entries_.size());
     for (const Entry &e : entries_) {
-        w.u64(e.lpn);
+        w.u64(e.lpn.value());
         w.u64(e.payload);
     }
 }
@@ -115,7 +115,7 @@ WriteBuffer::loadState(recovery::StateReader &r)
     resetTable();
     entries_.reserve(std::max<uint64_t>(capacity_, n));
     for (uint64_t i = 0; i < n; ++i) {
-        const uint64_t lpn = r.u64();
+        const core::Lpn lpn{r.u64()};
         const uint64_t payload = r.u64();
         if ((entries_.size() + 2) * 2 > slots_.size())
             rehash(slots_.size() * 2);

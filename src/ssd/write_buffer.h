@@ -25,6 +25,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/typed_ids.h"
+
 namespace ssdcheck::recovery {
 class StateWriter;
 class StateReader;
@@ -39,7 +41,7 @@ class WriteBuffer
     /** One buffered page write. */
     struct Entry
     {
-        uint64_t lpn;
+        core::Lpn lpn;
         uint64_t payload;
     };
 
@@ -47,7 +49,7 @@ class WriteBuffer
     explicit WriteBuffer(uint32_t capacityPages);
 
     /** Append a page write. @return true when the buffer is now full. */
-    bool add(uint64_t lpn, uint64_t payload);
+    bool add(core::Lpn lpn, uint64_t payload);
 
     /** Pages currently buffered. */
     uint32_t fill() const { return static_cast<uint32_t>(entries_.size()); }
@@ -72,9 +74,9 @@ class WriteBuffer
      * Latest buffered payload for @p lpn.
      * @return true and set @p payload when present.
      */
-    bool lookup(uint64_t lpn, uint64_t *payload) const
+    bool lookup(core::Lpn lpn, uint64_t *payload) const
     {
-        for (size_t i = hashLpn(lpn) & mask_;; i = (i + 1) & mask_) {
+        for (size_t i = lpn.hash() & mask_;; i = (i + 1) & mask_) {
             const Slot &s = slots_[i];
             if (s.gen != gen_)
                 return false;
@@ -107,23 +109,13 @@ class WriteBuffer
     /** One open-addressing slot; live iff gen == gen_. */
     struct Slot
     {
-        uint64_t lpn = 0;
+        core::Lpn lpn;
         uint32_t idx = 0; ///< Newest entries_ index for this lpn.
         uint32_t gen = 0;
     };
 
-    /** Deterministic 64-bit mix (splitmix64 finalizer). */
-    static uint64_t hashLpn(uint64_t x)
-    {
-        x ^= x >> 30;
-        x *= 0xbf58476d1ce4e5b9ULL;
-        x ^= x >> 27;
-        x *= 0x94d049bb133111ebULL;
-        return x ^ (x >> 31);
-    }
-
     /** Point the newest-index of @p lpn at entries_[idx]. */
-    void indexNewest(uint64_t lpn, uint32_t idx);
+    void indexNewest(core::Lpn lpn, uint32_t idx);
 
     /** Rebuild the slot table at @p minSlots (rounded up to 2^k). */
     void rehash(size_t minSlots);
@@ -133,10 +125,10 @@ class WriteBuffer
 
     uint32_t capacity_;
     std::vector<Entry> entries_;
-    std::vector<Entry> scratch_; ///< drain() return storage, reused.
-    std::vector<Slot> slots_;
-    size_t mask_ = 0;
-    uint32_t gen_ = 1;
+    std::vector<Entry> scratch_; ///< drain() return storage, reused. // snapshot:skip(transient scratch, cleared before each use)
+    std::vector<Slot> slots_; // snapshot:skip(hash table rebuilt by loadState via resetTable/rehash/indexNewest)
+    size_t mask_ = 0; // snapshot:skip(hash table rebuilt by loadState via resetTable/rehash/indexNewest)
+    uint32_t gen_ = 1; // snapshot:skip(hash table rebuilt by loadState via resetTable/rehash/indexNewest)
 };
 
 } // namespace ssdcheck::ssd

@@ -65,8 +65,8 @@ class Histogram
     bool loadState(recovery::StateReader &r);
 
   private:
-    int64_t lo_;
-    int64_t binWidth_;
+    int64_t lo_; // snapshot:skip(construction-time bin layout; loadState only validates it against the checkpoint)
+    int64_t binWidth_; // snapshot:skip(construction-time bin layout; loadState only validates it against the checkpoint)
     std::vector<uint64_t> counts_;
     uint64_t total_ = 0;
 };

@@ -11,10 +11,10 @@ Timeline::Timeline(sim::SimDuration window) : window_(window)
 }
 
 void
-Timeline::add(sim::SimTime when, uint64_t bytes)
+Timeline::add(sim::SimDuration sinceStart, uint64_t bytes)
 {
-    assert(when >= 0);
-    const size_t idx = static_cast<size_t>(when / window_);
+    assert(sinceStart >= 0);
+    const size_t idx = static_cast<size_t>(sinceStart / window_);
     if (idx >= bytes_.size()) {
         bytes_.resize(idx + 1, 0);
         ios_.resize(idx + 1, 0);

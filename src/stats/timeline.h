@@ -23,7 +23,7 @@ class Timeline
     explicit Timeline(sim::SimDuration window);
 
     /** Record @p bytes completed at time @p when. */
-    void add(sim::SimTime when, uint64_t bytes);
+    void add(sim::SimDuration sinceStart, uint64_t bytes);
 
     /** Number of windows touched so far. */
     size_t numWindows() const { return bytes_.size(); }

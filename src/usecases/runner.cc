@@ -74,7 +74,7 @@ runTenantsClosedLoop(const std::vector<TenantSpec> &tenants,
     struct State
     {
         size_t next = 0;           ///< Next trace index.
-        sim::SimTime ready = 0;    ///< Earliest next submission.
+        sim::SimTime ready;    ///< Earliest next submission.
     };
     std::vector<StreamResult> out(tenants.size());
     std::vector<State> st(tenants.size());

@@ -37,8 +37,8 @@ struct StreamResult
     stats::LatencyRecorder readLatency;  ///< Reads only.
     stats::LatencyRecorder writeLatency; ///< Writes only.
     stats::Timeline timeline{sim::milliseconds(100)};
-    sim::SimTime startTime = 0;
-    sim::SimTime endTime = 0;
+    sim::SimTime startTime;
+    sim::SimTime endTime;
     uint64_t requests = 0;
     uint64_t bytes = 0;
     // Error accounting lives on the resilient path / registry

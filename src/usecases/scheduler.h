@@ -23,7 +23,7 @@ namespace ssdcheck::usecases {
 struct QueuedRequest
 {
     blockdev::IoRequest req;
-    sim::SimTime arrival = 0;
+    sim::SimTime arrival;
     uint64_t seq = 0; ///< Submission order (FIFO tie-break).
     /**
      * Ordering barrier (paper §IV-B: "when the strict order is

@@ -59,7 +59,7 @@ void
 Trace::assignPoissonArrivals(double iops, sim::Rng &rng)
 {
     assert(iops > 0.0);
-    sim::SimTime t = 0;
+    sim::SimDuration t = 0;
     for (auto &r : records_) {
         r.arrival = t;
         // Exponential inter-arrival with mean 1/iops seconds.
@@ -67,7 +67,7 @@ Trace::assignPoissonArrivals(double iops, sim::Rng &rng)
         if (u <= 0.0)
             u = 1e-12;
         const double gapSec = -std::log(u) / iops;
-        t += static_cast<sim::SimTime>(gapSec * 1e9);
+        t += static_cast<sim::SimDuration>(gapSec * 1e9);
     }
 }
 

@@ -26,7 +26,7 @@ namespace ssdcheck::workload {
 /** One trace entry. */
 struct TraceRecord
 {
-    sim::SimTime arrival = 0; ///< Arrival offset from trace start.
+    sim::SimDuration arrival = 0; ///< Arrival offset from trace start.
     blockdev::IoRequest req;
 };
 

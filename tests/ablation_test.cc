@@ -48,9 +48,10 @@ TEST(AblationTest, GcModelOffNeverExpectsGc)
     Prediction hl;
     hl.hl = true;
     for (int i = 0; i < 50; ++i) {
-        check.onSubmit(blockdev::makeWrite4k(0), i * 1000);
-        check.onComplete(blockdev::makeWrite4k(0), hl, i * 1000,
-                         i * 1000 + sim::milliseconds(20));
+        check.onSubmit(blockdev::makeWrite4k(0), sim::SimTime{i * 1000});
+        check.onComplete(blockdev::makeWrite4k(0), hl,
+                         sim::SimTime{i * 1000},
+                         sim::SimTime{i * 1000} + sim::milliseconds(20));
     }
     EXPECT_FALSE(check.engine()->gcModel(0).gcExpectedOnNextFlush());
 }
@@ -62,13 +63,14 @@ TEST(AblationTest, CalibratorOffSkipsResync)
     SsdCheck check(twoVolumeFeatures(), rc);
     // Two consecutive unexpected HL writes would normally resync the
     // buffer counter to zero; with the calibrator off they must not.
-    check.onSubmit(blockdev::makeWrite4k(0), 0);
-    check.onSubmit(blockdev::makeWrite4k(1), 0);
+    check.onSubmit(blockdev::makeWrite4k(0), sim::kTimeZero);
+    check.onSubmit(blockdev::makeWrite4k(1), sim::kTimeZero);
     Prediction nl; // predicted NL, observed HL
-    check.onComplete(blockdev::makeWrite4k(2), nl, 0,
-                     sim::microseconds(900));
-    check.onComplete(blockdev::makeWrite4k(3), nl, sim::milliseconds(1),
-                     sim::milliseconds(2));
+    check.onComplete(blockdev::makeWrite4k(2), nl, sim::kTimeZero,
+                     sim::kTimeZero + sim::microseconds(900));
+    check.onComplete(blockdev::makeWrite4k(3), nl,
+                     sim::kTimeZero + sim::milliseconds(1),
+                     sim::kTimeZero + sim::milliseconds(2));
     EXPECT_EQ(check.engine()->wbModel(0).counter(), 2u);
 }
 

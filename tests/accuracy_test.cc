@@ -69,7 +69,7 @@ TEST(AccuracyTest, DisabledCheckPredictsEverythingNl)
     const auto trace =
         workload::buildRwMixedTrace(20000, dev.capacityPages(), 3);
     const AccuracyResult acc =
-        evaluatePredictionAccuracy(dev, check, trace, 0);
+        evaluatePredictionAccuracy(dev, check, trace, sim::kTimeZero);
     // Harmless: NL perfect, HL entirely missed.
     EXPECT_DOUBLE_EQ(acc.nlAccuracy(), 1.0);
     EXPECT_DOUBLE_EQ(acc.hlAccuracy(), 0.0);
@@ -133,9 +133,10 @@ TEST(AccuracyTest, EndTimeReported)
     SsdCheck check(fs);
     const auto trace =
         workload::buildRandomWriteTrace(1000, dev.capacityPages(), 5);
-    sim::SimTime end = 0;
-    evaluatePredictionAccuracy(dev, check, trace, sim::seconds(1), &end);
-    EXPECT_GT(end, sim::seconds(1));
+    sim::SimTime end;
+    evaluatePredictionAccuracy(dev, check, trace,
+                               sim::kTimeZero + sim::seconds(1), &end);
+    EXPECT_GT(end, sim::kTimeZero + sim::seconds(1));
 }
 
 } // namespace

@@ -83,12 +83,13 @@ TEST(DiagnosisRobustnessTest, PreconditionFalseSkipsDeviceReset)
     ssd::SsdDevice dev(ssd::makePreset(ssd::SsdModel::A));
     dev.precondition();
     uint64_t stamp = 4242;
-    dev.submitDetailed(blockdev::makeWrite4k(7), 0, nullptr, &stamp,
+    dev.submitDetailed(blockdev::makeWrite4k(7), sim::kTimeZero, nullptr,
+                       &stamp,
                        nullptr);
     DiagnosisConfig cfg;
     cfg.precondition = false;
     cfg.maxBit = 5; // keep it quick
-    DiagnosisRunner runner(dev, cfg, sim::milliseconds(1));
+    DiagnosisRunner runner(dev, cfg, sim::kTimeZero + sim::milliseconds(1));
     runner.scanAllocationVolumes();
     uint64_t got = 0;
     // The write survived (no purge) — though later scan writes may

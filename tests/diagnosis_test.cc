@@ -165,10 +165,11 @@ TEST(DiagnosisTest, NvmBackedSsdIsDiagnosable)
 TEST(DiagnosisTest, TimeAdvancesMonotonically)
 {
     SsdDevice dev(makePreset(SsdModel::A));
-    DiagnosisRunner runner(dev, DiagnosisConfig{}, sim::seconds(5));
-    EXPECT_EQ(runner.now(), sim::seconds(5));
+    DiagnosisRunner runner(dev, DiagnosisConfig{},
+                           sim::kTimeZero + sim::seconds(5));
+    EXPECT_EQ(runner.now(), sim::kTimeZero + sim::seconds(5));
     runner.sequentialFill();
-    EXPECT_GT(runner.now(), sim::seconds(5));
+    EXPECT_GT(runner.now(), sim::kTimeZero + sim::seconds(5));
 }
 
 } // namespace

@@ -54,7 +54,7 @@ TEST(EndToEndTest, VaLvmIsolatesTenantsOnSsdD)
         tenants[1].dev = vols[1].get();
         tenants[1].name = "write";
         tenants[1].loop = true; // sustained colocation pressure
-        return usecases::runTenantsClosedLoop(tenants, 0);
+        return usecases::runTenantsClosedLoop(tenants, sim::kTimeZero);
     };
 
     const auto linear = runPair(false);

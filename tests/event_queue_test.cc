@@ -21,12 +21,12 @@ TEST(EventQueueTest, FiresInTimeOrder)
 {
     EventQueue q;
     std::vector<int> order;
-    q.schedule(300, [&](SimTime) { order.push_back(3); });
-    q.schedule(100, [&](SimTime) { order.push_back(1); });
-    q.schedule(200, [&](SimTime) { order.push_back(2); });
+    q.schedule(SimTime{300}, [&](SimTime) { order.push_back(3); });
+    q.schedule(SimTime{100}, [&](SimTime) { order.push_back(1); });
+    q.schedule(SimTime{200}, [&](SimTime) { order.push_back(2); });
     q.runAll();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-    EXPECT_EQ(q.now(), 300);
+    EXPECT_EQ(q.now(), SimTime{300});
 }
 
 TEST(EventQueueTest, TiesFireInSchedulingOrder)
@@ -34,7 +34,7 @@ TEST(EventQueueTest, TiesFireInSchedulingOrder)
     EventQueue q;
     std::vector<int> order;
     for (int i = 0; i < 5; ++i)
-        q.schedule(42, [&order, i](SimTime) { order.push_back(i); });
+        q.schedule(SimTime{42}, [&order, i](SimTime) { order.push_back(i); });
     q.runAll();
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
@@ -42,30 +42,30 @@ TEST(EventQueueTest, TiesFireInSchedulingOrder)
 TEST(EventQueueTest, CallbackReceivesFireTime)
 {
     EventQueue q;
-    SimTime seen = -1;
-    q.schedule(777, [&](SimTime t) { seen = t; });
+    SimTime seen{-1};
+    q.schedule(SimTime{777}, [&](SimTime t) { seen = t; });
     q.runOne();
-    EXPECT_EQ(seen, 777);
+    EXPECT_EQ(seen, SimTime{777});
 }
 
 TEST(EventQueueTest, ScheduleAfterUsesCurrentTime)
 {
     EventQueue q;
-    SimTime fired = -1;
-    q.schedule(100, [&](SimTime) {
+    SimTime fired{-1};
+    q.schedule(SimTime{100}, [&](SimTime) {
         q.scheduleAfter(50, [&](SimTime t) { fired = t; });
     });
     q.runAll();
-    EXPECT_EQ(fired, 150);
+    EXPECT_EQ(fired, SimTime{150});
 }
 
 TEST(EventQueueTest, EventsScheduledDuringRunAllAlsoFire)
 {
     EventQueue q;
     int count = 0;
-    q.schedule(10, [&](SimTime) {
+    q.schedule(SimTime{10}, [&](SimTime) {
         ++count;
-        q.schedule(20, [&](SimTime) { ++count; });
+        q.schedule(SimTime{20}, [&](SimTime) { ++count; });
     });
     q.runAll();
     EXPECT_EQ(count, 2);
@@ -75,20 +75,20 @@ TEST(EventQueueTest, RunUntilStopsAtLimit)
 {
     EventQueue q;
     int fired = 0;
-    q.schedule(10, [&](SimTime) { ++fired; });
-    q.schedule(20, [&](SimTime) { ++fired; });
-    q.schedule(30, [&](SimTime) { ++fired; });
-    q.runUntil(20);
+    q.schedule(SimTime{10}, [&](SimTime) { ++fired; });
+    q.schedule(SimTime{20}, [&](SimTime) { ++fired; });
+    q.schedule(SimTime{30}, [&](SimTime) { ++fired; });
+    q.runUntil(SimTime{20});
     EXPECT_EQ(fired, 2);
     EXPECT_EQ(q.size(), 1u);
-    EXPECT_EQ(q.now(), 20);
+    EXPECT_EQ(q.now(), SimTime{20});
 }
 
 TEST(EventQueueTest, RunUntilAdvancesNowWhenIdle)
 {
     EventQueue q;
-    q.runUntil(500);
-    EXPECT_EQ(q.now(), 500);
+    q.runUntil(SimTime{500});
+    EXPECT_EQ(q.now(), SimTime{500});
 }
 
 TEST(EventQueueTest, ManyInterleavedEventsStaySorted)
@@ -97,7 +97,8 @@ TEST(EventQueueTest, ManyInterleavedEventsStaySorted)
     std::vector<SimTime> fires;
     // Schedule in a scrambled but deterministic order.
     for (int i = 0; i < 500; ++i)
-        q.schedule((i * 7919) % 1000, [&](SimTime t) { fires.push_back(t); });
+        q.schedule(SimTime{(i * 7919) % 1000},
+                   [&](SimTime t) { fires.push_back(t); });
     q.runAll();
     ASSERT_EQ(fires.size(), 500u);
     for (size_t i = 1; i < fires.size(); ++i)

@@ -78,18 +78,21 @@ TEST(FaultE2eTest, FailedCompletionsNeverTouchCalibratorEwmas)
     const sim::SimDuration flushBefore = check.calibrator().flushOverhead();
 
     const auto req = makeRead4k(1);
-    const Prediction pred = check.predict(req, 0);
+    const Prediction pred = check.predict(req, sim::kTimeZero);
     // Failed completion with a 50ms retry-loop latency.
-    EXPECT_TRUE(check.onComplete(req, pred, 0, milliseconds(50),
+    EXPECT_TRUE(check.onComplete(req, pred, sim::kTimeZero,
+                                 sim::kTimeZero + milliseconds(50),
                                  IoStatus::MediaError, 1));
     // Recovered-after-retries completion (Ok but attempts > 1).
-    EXPECT_TRUE(check.onComplete(req, pred, 0, milliseconds(80),
+    EXPECT_TRUE(check.onComplete(req, pred, sim::kTimeZero,
+                                 sim::kTimeZero + milliseconds(80),
                                  IoStatus::Ok, 3));
     EXPECT_EQ(check.calibrator().readService(), readBefore);
     EXPECT_EQ(check.calibrator().flushOverhead(), flushBefore);
 
     // A clean completion still calibrates as before.
-    check.onComplete(req, pred, 0, microseconds(120), IoStatus::Ok, 1);
+    check.onComplete(req, pred, sim::kTimeZero,
+                     sim::kTimeZero + microseconds(120), IoStatus::Ok, 1);
     EXPECT_NE(check.calibrator().readService(), readBefore);
 }
 
@@ -111,7 +114,7 @@ TEST(FaultE2eTest, TransientReadErrorsRetriedAndExcluded)
     SsdCheck faulty(usableFeatures());
     SsdCheck clean(usableFeatures());
 
-    sim::SimTime t = 0;
+    sim::SimTime t;
     uint64_t taintedSeen = 0;
     for (uint64_t i = 0; i < 4000; ++i) {
         const auto req = makeRead4k((i * 37) % cfg.userCapacityPages);
@@ -167,7 +170,7 @@ TEST(FaultE2eTest, GrownBadBlocksIncreaseGcFrequency)
         }
         ssd::SsdDevice dev(cfg);
         dev.precondition();
-        usecases::runClosedLoop(dev, trace, 1, 0, 0);
+        usecases::runClosedLoop(dev, trace, 1, 0, sim::kTimeZero);
         if (retired != nullptr)
             *retired = dev.faultCounters().blocksRetired;
         return dev.totalCounters().gcInvocations;

@@ -169,8 +169,8 @@ TEST(FaultInjectorDeviceTest, UncReadsSurfaceAsLatencySpikes)
     cdev.precondition();
     fdev.precondition();
 
-    const auto cres = cdev.submit(makeRead4k(42), 0);
-    const auto fres = fdev.submit(makeRead4k(42), 0);
+    const auto cres = cdev.submit(makeRead4k(42), sim::kTimeZero);
+    const auto fres = fdev.submit(makeRead4k(42), sim::kTimeZero);
     EXPECT_EQ(cres.status, IoStatus::Ok);
     EXPECT_EQ(fres.status, IoStatus::Ok); // transient: recovered in-device
     // The in-device retry loop is visible only as added latency.
@@ -186,7 +186,7 @@ TEST(FaultInjectorDeviceTest, HardUncCompletesAsMediaError)
     cfg.faults.readUncHardFraction = 1.0;
     SsdDevice dev(cfg);
     dev.precondition();
-    const auto res = dev.submit(makeRead4k(7), 0);
+    const auto res = dev.submit(makeRead4k(7), sim::kTimeZero);
     EXPECT_EQ(res.status, IoStatus::MediaError);
     EXPECT_FALSE(res.ok());
     // Even a failed read pays the full retry loop before giving up.
@@ -205,7 +205,7 @@ TEST(FaultInjectorDeviceTest, StallsDelayCompletion)
     cfg.faults.stallMax = milliseconds(60);
     SsdDevice dev(cfg);
     dev.precondition();
-    const auto res = dev.submit(makeRead4k(1), 0);
+    const auto res = dev.submit(makeRead4k(1), sim::kTimeZero);
     EXPECT_EQ(res.status, IoStatus::Ok);
     EXPECT_GE(res.latency(), milliseconds(50));
     EXPECT_EQ(dev.faultCounters().stalls, 1u);
@@ -221,7 +221,7 @@ TEST(FaultInjectorDeviceTest, WearoutRetiresBlocks)
     dev.precondition();
     const auto trace =
         workload::buildRandomWriteTrace(40000, cfg.userCapacityPages, 5);
-    usecases::runClosedLoop(dev, trace, 1, 0, 0);
+    usecases::runClosedLoop(dev, trace, 1, 0, sim::kTimeZero);
     EXPECT_GT(dev.faultCounters().blocksRetired, 0u);
     EXPECT_EQ(dev.totalCounters().retiredBlocks,
               dev.faultCounters().blocksRetired);
@@ -241,7 +241,7 @@ TEST(FaultInjectorDeviceTest, BufferDriftMutatesDeviceConfig)
     dev.precondition();
     const uint64_t before = dev.config().bufferBytes;
     for (uint64_t i = 0; i < 128; ++i)
-        dev.submit(makeWrite4k(i), milliseconds(i));
+        dev.submit(makeWrite4k(i), sim::kTimeZero + milliseconds(i));
     EXPECT_EQ(dev.faultCounters().driftEvents, 1u);
     EXPECT_EQ(dev.config().bufferBytes, before / 2);
 }
@@ -304,7 +304,7 @@ TEST(FaultInjectorDeviceTest, ReadTriggerDriftFlipsFlag)
     dev.precondition();
     const bool before = dev.config().readTriggerFlush;
     for (uint64_t i = 0; i < 20; ++i)
-        dev.submit(makeWrite4k(i), milliseconds(i));
+        dev.submit(makeWrite4k(i), sim::kTimeZero + milliseconds(i));
     EXPECT_EQ(dev.config().readTriggerFlush, !before);
 }
 

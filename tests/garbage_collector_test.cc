@@ -9,6 +9,8 @@
 namespace ssdcheck::ssd {
 namespace {
 
+using core::Lpn;
+
 nand::NandGeometry
 geo()
 {
@@ -36,7 +38,7 @@ class GcTest : public ::testing::Test
         for (uint64_t i = 0; i < writes; ++i) {
             if (gc_.needed())
                 gc_.collect();
-            m_.writePage(rng.nextBelow(span), i);
+            m_.writePage(Lpn{rng.nextBelow(span)}, i);
         }
     }
 
@@ -59,7 +61,7 @@ TEST_F(GcTest, NeededWhenPoolDepletes)
     // Fill enough blocks to drop below the low watermark.
     uint64_t lpn = 0;
     while (m_.freeBlocks() >= 3) {
-        m_.writePage(lpn % 160, lpn);
+        m_.writePage(Lpn{lpn % 160}, lpn);
         ++lpn;
     }
     EXPECT_TRUE(gc_.needed());
@@ -69,7 +71,7 @@ TEST_F(GcTest, CollectReachesHighWatermark)
 {
     churn(2000);
     while (!gc_.needed())
-        m_.writePage(0, 1);
+        m_.writePage(Lpn{0}, 1);
     const GcResult res = gc_.collect();
     EXPECT_TRUE(res.ran());
     EXPECT_GE(m_.freeBlocks(), 6u);
@@ -80,7 +82,7 @@ TEST_F(GcTest, ExtraBlocksRaiseTheTarget)
 {
     churn(2000);
     while (!gc_.needed())
-        m_.writePage(0, 1);
+        m_.writePage(Lpn{0}, 1);
     gc_.collect(2);
     EXPECT_GE(m_.freeBlocks(), 8u);
 }
@@ -89,7 +91,7 @@ TEST_F(GcTest, DurationAccountsMovesAndErases)
 {
     churn(3000);
     while (!gc_.needed())
-        m_.writePage(0, 1);
+        m_.writePage(Lpn{0}, 1);
     const GcResult res = gc_.collect();
     ASSERT_TRUE(res.ran());
     // Lower bound: at least one erase wave.
@@ -123,7 +125,7 @@ TEST_F(GcTest, SelfInvalidationMakesEraseOnlyGc)
                 erased += res.blocksErased;
             }
         }
-        m_.writePage(3, i);
+        m_.writePage(Lpn{3}, i);
     }
     ASSERT_GT(erased, 0u);
     EXPECT_LT(static_cast<double>(moved) / static_cast<double>(erased), 1.0);

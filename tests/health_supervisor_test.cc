@@ -97,7 +97,7 @@ struct Rig
     ssd::SsdDevice dev{probeDeviceCfg()};
     SsdCheck check{usableFeatures(), fastRuntime()};
     HealthSupervisor sup;
-    sim::SimTime t = microseconds(1);
+    sim::SimTime t = sim::kTimeZero + microseconds(1);
 
     explicit Rig(HealthSupervisorConfig cfg = passiveCfg())
         : sup(check, dev, cfg)
@@ -190,8 +190,10 @@ TEST(HealthSupervisorTest, DegradedPredictionsMatchDisabledBaseline)
     for (uint64_t page : {0ULL, 7ULL, 123ULL}) {
         for (const auto &req :
              {blockdev::makeRead4k(page), makeWrite4k(page)}) {
-            const Prediction pd = degraded.predict(req, microseconds(10));
-            const Prediction px = disabled.predict(req, microseconds(10));
+            const Prediction pd =
+                degraded.predict(req, sim::kTimeZero + microseconds(10));
+            const Prediction px =
+                disabled.predict(req, sim::kTimeZero + microseconds(10));
             EXPECT_FALSE(pd.hl);
             EXPECT_EQ(pd.eet, px.eet);
         }
@@ -332,7 +334,8 @@ TEST(HealthSupervisorTest, ActiveProbingRecoversAgainstRealDevice)
     // Probe I/O stayed within its device-time budget (one probe of
     // slack: the check is evaluated before each submission).
     const auto &c = rig.sup.counters();
-    const sim::SimDuration elapsed = rig.t - microseconds(1);
+    const sim::SimDuration elapsed =
+        rig.t - (sim::kTimeZero + microseconds(1));
     EXPECT_LE(static_cast<double>(c.probeBusyNs),
               cfg.probeBudgetFraction * static_cast<double>(elapsed) +
                   static_cast<double>(milliseconds(50)));

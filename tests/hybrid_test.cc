@@ -56,7 +56,7 @@ TEST(HybridTierTest, BaselineAbsorbsWritesUntilFull)
     cfg.drainPeriod = sim::seconds(100); // effectively no drain
     HybridTier tier(ssd, nvm, nullptr, HybridMode::Baseline, cfg);
 
-    SimTime t = 0;
+    SimTime t;
     for (uint64_t p = 0; p < 16; ++p) {
         const auto res = tier.submit(makeWrite4k(p), t);
         EXPECT_LT(res.latency(), microseconds(10)) << p; // NVM speed
@@ -80,7 +80,7 @@ TEST(HybridTierTest, DrainMovesPagesToSsd)
     cfg.drainThresholdFraction = 0.0; // drain whenever dirty
     HybridTier tier(ssd, nvm, nullptr, HybridMode::Baseline, cfg);
 
-    SimTime t = 0;
+    SimTime t;
     for (uint64_t p = 0; p < 8; ++p)
         t = tier.submit(makeWrite4k(p), t).completeTime;
     EXPECT_EQ(nvm.dirtyPages(), 8u);
@@ -101,7 +101,7 @@ TEST(HybridTierTest, ReadsServedFromNvmWhenDirty)
     cfg.drainPeriod = sim::seconds(100);
     HybridTier tier(ssd, nvm, nullptr, HybridMode::Baseline, cfg);
 
-    SimTime t = tier.submit(makeWrite4k(5), 0).completeTime;
+    SimTime t = tier.submit(makeWrite4k(5), sim::kTimeZero).completeTime;
     const auto hit = tier.submit(makeRead4k(5), t);
     EXPECT_LT(hit.latency(), microseconds(10));
     const auto miss = tier.submit(makeRead4k(6), hit.completeTime);
@@ -118,7 +118,7 @@ TEST(HybridTierTest, HybridPasSplitsNlWritesByWeight)
     cfg.drainPeriod = sim::seconds(100);
     HybridTier tier(ssd, nvm, &check, HybridMode::HybridPas, cfg);
 
-    SimTime t = 0;
+    SimTime t;
     const int n = 4000;
     sim::Rng rng(3);
     for (int i = 0; i < n; ++i) {
@@ -149,7 +149,7 @@ TEST(HybridTierTest, HybridReducesNvmPressureVsBaseline)
         HybridTier tier(ssd, nvm, mode == HybridMode::HybridPas ? &check
                                                                 : nullptr,
                         mode, cfg);
-        SimTime t = 0;
+        SimTime t;
         sim::Rng rng(5);
         for (int i = 0; i < n; ++i)
             t = tier.submit(makeWrite4k(rng.nextBelow(8192)), t)
@@ -169,7 +169,7 @@ TEST(HybridTierTest, SsdWriteInvalidatesStaleNvmCopy)
     cfg.drainPeriod = sim::seconds(100); // manual drain control
     HybridTier tier(ssd, nvm, nullptr, HybridMode::Baseline, cfg);
 
-    SimTime t = 0;
+    SimTime t;
     // Fill the NVM: pages 0..3 dirty.
     for (uint64_t p = 0; p < 4; ++p)
         t = tier.submit(makeWrite4k(p), t).completeTime;
@@ -189,7 +189,7 @@ TEST(HybridTierTest, PurgeClearsBothTiers)
     ssd::SsdDevice ssd(ssdCfg());
     nvm::NvmDevice nvm(nvmCfg(64));
     HybridTier tier(ssd, nvm, nullptr, HybridMode::Baseline, {});
-    SimTime t = tier.submit(makeWrite4k(5), 0).completeTime;
+    SimTime t = tier.submit(makeWrite4k(5), sim::kTimeZero).completeTime;
     tier.purge(t);
     EXPECT_EQ(nvm.dirtyPages(), 0u);
     uint64_t payload = 0;

@@ -1,0 +1,21 @@
+#include <cstdint>
+
+namespace demo {
+
+Store::Store(Config cfg) : cfg_(cfg) {}
+
+void
+Store::saveState() const
+{
+    persist(used_);
+}
+
+bool
+Store::loadState()
+{
+    used_ = 0;
+    rebuild();
+    return true;
+}
+
+} // namespace demo

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+namespace demo {
+
+struct Config
+{
+    uint32_t depth = 4;
+};
+
+class Store
+{
+  public:
+    explicit Store(Config cfg = {});
+
+    void saveState() const;
+    bool loadState();
+
+  private:
+    Config cfg_; // snapshot:skip(construction-time config; restore builds an identical store)
+    uint64_t used_ = 0;
+    uint64_t table_ = 0; // snapshot:skip(rebuilt by loadState from used_)
+};
+
+} // namespace demo

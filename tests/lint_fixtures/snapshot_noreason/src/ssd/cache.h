@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+namespace demo {
+
+class Cache
+{
+  public:
+    void saveState() const
+    {
+        persist(lpns_);
+    }
+    bool loadState()
+    {
+        restore(lpns_);
+        return true;
+    }
+
+  private:
+    void persist(uint64_t v) const;
+    void restore(uint64_t v);
+
+    uint64_t lpns_ = 0;
+    uint64_t stale_ = 0; // snapshot:skip()
+};
+
+} // namespace demo

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+namespace demo {
+
+// snapshot:skip(this marker is attached to nothing)
+class Cache
+{
+  public:
+    void saveState() const
+    {
+        persist(lpns_); // snapshot:skip(markers inside bodies are dead too)
+    }
+    bool loadState()
+    {
+        restore(lpns_);
+        return true;
+    }
+
+  private:
+    void persist(uint64_t v) const;
+    void restore(uint64_t v);
+
+    uint64_t lpns_ = 0;
+};
+
+} // namespace demo

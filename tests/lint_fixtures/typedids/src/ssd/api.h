@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+
+namespace demo {
+
+class Mapper
+{
+  public:
+    void map(uint64_t lpn, uint64_t ppn);
+    uint64_t pageCount(uint64_t bytes) const;
+
+  private:
+    void translate(uint64_t lpn);
+};
+
+void scrub(uint32_t pbn);
+
+} // namespace demo

@@ -1,0 +1,10 @@
+#pragma once
+
+#include <cstdint>
+
+namespace demo {
+
+// src/core is outside the typed domains: raw ids stay legal here.
+void probe(uint64_t lpn);
+
+} // namespace demo

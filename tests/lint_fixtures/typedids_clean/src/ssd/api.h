@@ -1,0 +1,14 @@
+#pragma once
+
+#include <cstdint>
+
+namespace demo {
+
+class Mapper
+{
+  public:
+    void map(core::Lpn lpn, nand::Ppn ppn);
+    uint64_t pageCount(uint64_t bytes) const;
+};
+
+} // namespace demo

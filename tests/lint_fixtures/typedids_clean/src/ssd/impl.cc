@@ -1,0 +1,12 @@
+#include <cstdint>
+
+namespace demo {
+
+// Non-header: R9 scopes to public header signatures only.
+void
+localHelper(uint64_t lpn)
+{
+    (void)lpn;
+}
+
+} // namespace demo

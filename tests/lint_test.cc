@@ -12,6 +12,8 @@
  *   SSDCHECK_LINT_BIN       absolute path of the ssdcheck_lint binary
  */
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -230,6 +232,134 @@ TEST(LintRules, HeapAllocReasonedSuppressionAbsorbsFinding)
         << (r.findings.empty() ? "" : r.findings[0].format());
 }
 
+TEST(LintSnapshotRule, MissingFieldsFlaggedPerBody)
+{
+    const lint::LintResult r = runCase("snapshot_missing");
+    ASSERT_EQ(r.findings.size(), 2u);
+    for (const auto &f : r.findings) {
+        EXPECT_EQ(f.rule, "snapshot-coverage");
+        EXPECT_EQ(f.file, "src/ssd/cache.h");
+    }
+    // hits_ is restored but never saved; misses_ appears in neither.
+    EXPECT_EQ(r.findings[0].line, 26u);
+    EXPECT_NE(r.findings[0].message.find("`Cache::hits_`"),
+              std::string::npos)
+        << r.findings[0].format();
+    EXPECT_NE(r.findings[0].message.find("saveState"), std::string::npos);
+    EXPECT_EQ(r.findings[0].message.find("loadState"), std::string::npos);
+    EXPECT_EQ(r.findings[1].line, 27u);
+    EXPECT_NE(r.findings[1].message.find("`Cache::misses_`"),
+              std::string::npos)
+        << r.findings[1].format();
+    EXPECT_NE(r.findings[1].message.find("saveState or loadState"),
+              std::string::npos);
+}
+
+TEST(LintSnapshotRule, ReasonedSkipsAndOutOfLineBodiesPass)
+{
+    // Bodies live in store.cc; members in store.h. Skipped members
+    // carry reasons, used_ is referenced in both bodies.
+    const lint::LintResult r = runCase("snapshot_clean");
+    EXPECT_EQ(r.filesScanned, 2u);
+    EXPECT_TRUE(r.findings.empty())
+        << (r.findings.empty() ? "" : r.findings[0].format());
+}
+
+TEST(LintSnapshotRule, ReasonlessSkipIsReported)
+{
+    const lint::LintResult r = runCase("snapshot_noreason");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "snapshot-coverage");
+    EXPECT_EQ(r.findings[0].line, 25u);
+    EXPECT_NE(r.findings[0].message.find("needs a reason"),
+              std::string::npos)
+        << r.findings[0].format();
+}
+
+TEST(LintSnapshotRule, DetachedMarkersAreReported)
+{
+    // A marker above the class head and one inside a method body
+    // annotate no member; both are dead and must be called out.
+    const lint::LintResult r = runCase("snapshot_orphan");
+    ASSERT_EQ(r.findings.size(), 2u);
+    for (const auto &f : r.findings) {
+        EXPECT_EQ(f.rule, "snapshot-coverage");
+        EXPECT_NE(f.message.find("not attached"), std::string::npos)
+            << f.format();
+    }
+    EXPECT_EQ(r.findings[0].line, 7u);
+    EXPECT_EQ(r.findings[1].line, 13u);
+}
+
+TEST(LintTypedIdsRule, RawIdParamsFlaggedInPublicHeaderApis)
+{
+    const lint::LintResult r = runCase("typedids");
+    ASSERT_EQ(r.findings.size(), 3u);
+    bool sawLpn = false;
+    bool sawPpn = false;
+    bool sawPbn = false;
+    for (const auto &f : r.findings) {
+        EXPECT_EQ(f.rule, "typed-ids");
+        EXPECT_EQ(f.file, "src/ssd/api.h");
+        sawLpn |= f.message.find("core::Lpn") != std::string::npos;
+        sawPpn |= f.message.find("nand::Ppn") != std::string::npos;
+        sawPbn |= f.message.find("nand::Pbn") != std::string::npos;
+    }
+    EXPECT_TRUE(sawLpn && sawPpn && sawPbn);
+    // The public method (line 10, twice) and the free function
+    // (line 17); the private `translate` on line 14 is not public API.
+    EXPECT_EQ(r.findings[0].line, 10u);
+    EXPECT_EQ(r.findings[1].line, 10u);
+    EXPECT_EQ(r.findings[2].line, 17u);
+}
+
+TEST(LintTypedIdsRule, StrongTypesNonHeadersAndOtherDirsPass)
+{
+    const lint::LintResult r = runCase("typedids_clean");
+    EXPECT_EQ(r.filesScanned, 3u);
+    EXPECT_TRUE(r.findings.empty())
+        << (r.findings.empty() ? "" : r.findings[0].format());
+}
+
+TEST(LintSnapshotRule, PlantedWriteBufferFieldFailsLint)
+{
+    // The end-to-end story R8 exists for: add a field to a live
+    // snapshot class, forget the serialization, and the tree must
+    // stop being lint-clean. Copy the real WriteBuffer pair into a
+    // scratch root and plant an unserialized member.
+    namespace fs = std::filesystem;
+    const std::string fixtures(SSDCHECK_LINT_FIXTURES);
+    const fs::path repoRoot = fixtures.substr(0, fixtures.rfind("/tests/"));
+    const fs::path root =
+        fs::path(::testing::TempDir()) / "ssdcheck_lint_planted";
+    fs::remove_all(root);
+    fs::create_directories(root / "src/ssd");
+    fs::copy_file(repoRoot / "src/ssd/write_buffer.cc",
+                  root / "src/ssd/write_buffer.cc");
+    std::ifstream in(repoRoot / "src/ssd/write_buffer.h");
+    ASSERT_TRUE(in.is_open());
+    std::ofstream out(root / "src/ssd/write_buffer.h");
+    std::string line;
+    bool planted = false;
+    while (std::getline(in, line)) {
+        out << line << "\n";
+        if (!planted && line.find("uint32_t gen_") != std::string::npos) {
+            out << "    uint64_t plantedTelemetry_ = 0;\n";
+            planted = true;
+        }
+    }
+    ASSERT_TRUE(planted) << "anchor member gen_ not found";
+    out.close();
+
+    const lint::LintResult r = lint::runLint(root.string(), {"src"});
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "snapshot-coverage");
+    EXPECT_NE(
+        r.findings[0].message.find("`WriteBuffer::plantedTelemetry_`"),
+        std::string::npos)
+        << r.findings[0].format();
+}
+
 TEST(LintBinary, ExitCodesAndOutputFormat)
 {
     std::string out;
@@ -246,6 +376,41 @@ TEST(LintBinary, ExitCodesAndOutputFormat)
     EXPECT_EQ(runBinary("--root " + fixtureRoot("clean") + " nonexistent",
                         nullptr),
               2);
+}
+
+TEST(LintBinary, JsonAndGithubFormats)
+{
+    std::string out;
+    EXPECT_EQ(runBinary("--root " + fixtureRoot("typedids") +
+                            " --format=json src",
+                        &out),
+              1);
+    EXPECT_NE(out.find("\"filesScanned\": 1"), std::string::npos) << out;
+    EXPECT_NE(out.find("\"rule\": \"typed-ids\""), std::string::npos)
+        << out;
+
+    EXPECT_EQ(runBinary("--root " + fixtureRoot("typedids") +
+                            " --format=github src",
+                        &out),
+              1);
+    EXPECT_NE(out.find("::error file=src/ssd/api.h,line=10,"),
+              std::string::npos)
+        << out;
+}
+
+TEST(LintBinary, OutputIdenticalAtAnyJobsValue)
+{
+    std::string serial;
+    std::string parallel;
+    EXPECT_EQ(runBinary("--root " + fixtureRoot("typedids") +
+                            " --jobs 1 src",
+                        &serial),
+              1);
+    EXPECT_EQ(runBinary("--root " + fixtureRoot("typedids") +
+                            " --jobs 8 src",
+                        &parallel),
+              1);
+    EXPECT_EQ(serial, parallel);
 }
 
 TEST(LintBinary, RealTreeIsCleanRightNow)

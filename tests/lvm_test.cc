@@ -78,8 +78,8 @@ TEST(LvmTest, LinearVolumesAreContiguousSlices)
     const uint64_t stamp0 = 100, stamp1 = 200;
     auto *d0 = dynamic_cast<blockdev::BlockDevice *>(vols[0].get());
     ASSERT_NE(d0, nullptr);
-    vols[0]->submit(makeWrite4k(0), 0);
-    vols[1]->submit(makeWrite4k(0), sim::microseconds(10));
+    vols[0]->submit(makeWrite4k(0), sim::kTimeZero);
+    vols[1]->submit(makeWrite4k(0), sim::kTimeZero + sim::microseconds(10));
     (void)stamp0;
     (void)stamp1;
 }
@@ -92,7 +92,7 @@ TEST(LvmTest, VolumeAwareVolumesPinTheVolumeBit)
     ASSERT_EQ(vols.size(), 2u);
     // Drive traffic through both logical volumes; each must only
     // touch its own internal volume.
-    sim::SimTime t = 0;
+    sim::SimTime t;
     for (uint64_t p = 0; p < 200; ++p) {
         t = vols[0]->submit(makeWrite4k(p), t).completeTime;
         t = vols[1]->submit(makeWrite4k(p), t).completeTime;
@@ -108,7 +108,7 @@ TEST(LvmTest, LinearVolumesStraddleInternalVolumes)
     ssd::SsdConfig cfg = twoVolCfg();
     ssd::SsdDevice dev(cfg);
     const auto vols = makeLinearVolumes(dev, 2);
-    sim::SimTime t = 0;
+    sim::SimTime t;
     // Volume-bit 10 = sector granularity 1024 sectors = 128 pages:
     // sweep 400 pages of the first linear volume -> hits both.
     for (uint64_t p = 0; p < 400; ++p)
@@ -123,7 +123,7 @@ TEST(LvmTest, DataRoundTripsThroughVaLvm)
     ssd::SsdDevice dev(cfg);
     const auto vols = makeVolumeAwareVolumes(dev, cfg.volumeBits);
     // Same logical page on both volumes must be independent data.
-    sim::SimTime t = 0;
+    sim::SimTime t;
     for (uint32_t v = 0; v < 2; ++v) {
         auto *lv = vols[v].get();
         blockdev::IoRequest w = makeWrite4k(7);
@@ -150,10 +150,10 @@ TEST(LvmTest, OutOfRangeAccessAssertsInDebug)
     const auto vols = makeLinearVolumes(dev, 2);
     const uint64_t lastPage = vols[0]->capacitySectors() / kSectorsPerPage - 1;
     // In-range access at the very end works.
-    vols[0]->submit(makeRead4k(lastPage), 0);
+    vols[0]->submit(makeRead4k(lastPage), sim::kTimeZero);
 #ifndef NDEBUG
     EXPECT_DEATH(vols[0]->submit(makeRead4k(lastPage + 1),
-                                 sim::microseconds(10)),
+                                 sim::kTimeZero + sim::microseconds(10)),
                  "");
 #endif
 }

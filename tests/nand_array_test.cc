@@ -40,20 +40,20 @@ TEST(NandArrayTest, FlatAddressingRoutesToChips)
 TEST(NandArrayTest, BlockWritePointerTracksFlatBlocks)
 {
     NandArray arr(geo32(), NandTiming{});
-    EXPECT_EQ(arr.blockWritePointer(5), 0u);
+    EXPECT_EQ(arr.blockWritePointer(Pbn{5}), 0u);
     const auto g = geo32();
-    const Ppn base = 5 * static_cast<Ppn>(g.pagesPerBlock);
-    arr.programPage(base + 0, 1);
-    arr.programPage(base + 1, 2);
-    EXPECT_EQ(arr.blockWritePointer(5), 2u);
+    const uint64_t base = 5 * uint64_t{g.pagesPerBlock};
+    arr.programPage(Ppn{base + 0}, 1);
+    arr.programPage(Ppn{base + 1}, 2);
+    EXPECT_EQ(arr.blockWritePointer(Pbn{5}), 2u);
 }
 
 TEST(NandArrayTest, EraseBlockByFlatNumber)
 {
     NandArray arr(geo32(), NandTiming{});
     const auto g = geo32();
-    const Pbn blk = g.totalBlocks() - 1;
-    const Ppn base = blk * g.pagesPerBlock;
+    const Pbn blk{g.totalBlocks() - 1};
+    const Ppn base{blk.value() * g.pagesPerBlock};
     arr.programPage(base, 42);
     EXPECT_EQ(arr.blockEraseCount(blk), 0u);
     arr.eraseBlock(blk);
@@ -112,14 +112,14 @@ TEST_P(NandArrayGeometrySweep, FullFillAndEraseEveryBlock)
     g.blocksPerPlane = 2;
     g.pagesPerBlock = ppb;
     NandArray arr(g, NandTiming{});
-    for (Pbn b = 0; b < arr.totalBlocks(); ++b) {
+    for (uint64_t b = 0; b < arr.totalBlocks(); ++b) {
         for (uint32_t p = 0; p < ppb; ++p)
-            arr.programPage(b * ppb + p, b * 1000 + p);
-        EXPECT_EQ(arr.blockWritePointer(b), ppb);
+            arr.programPage(Ppn{b * ppb + p}, b * 1000 + p);
+        EXPECT_EQ(arr.blockWritePointer(Pbn{b}), ppb);
     }
-    for (Pbn b = 0; b < arr.totalBlocks(); ++b) {
-        arr.eraseBlock(b);
-        EXPECT_EQ(arr.blockWritePointer(b), 0u);
+    for (uint64_t b = 0; b < arr.totalBlocks(); ++b) {
+        arr.eraseBlock(Pbn{b});
+        EXPECT_EQ(arr.blockWritePointer(Pbn{b}), 0u);
     }
 }
 

@@ -65,9 +65,9 @@ TEST(PpnCodecTest, PpnsAreDenseAndUnique)
         for (uint32_t b = 0; b < g.blocksPerPlane; ++b) {
             for (uint32_t p = 0; p < g.pagesPerBlock; ++p) {
                 const Ppn ppn = encodePpn(g, {pl, b, p});
-                ASSERT_LT(ppn, g.totalPages());
-                EXPECT_FALSE(seen[ppn]);
-                seen[ppn] = true;
+                ASSERT_LT(ppn.value(), g.totalPages());
+                EXPECT_FALSE(seen[ppn.value()]);
+                seen[ppn.value()] = true;
             }
         }
     }
@@ -78,10 +78,12 @@ TEST(PpnCodecTest, BlockOfPpnConsistentWithDecode)
     NandGeometry g;
     g.blocksPerPlane = 8;
     g.pagesPerBlock = 16;
-    for (Ppn ppn = 0; ppn < g.totalPages(); ppn += 7) {
+    for (uint64_t raw = 0; raw < g.totalPages(); raw += 7) {
+        const Ppn ppn{raw};
         const Pbn blk = blockOfPpn(g, ppn);
         const PhysicalPageAddress a = decodePpn(g, ppn);
-        EXPECT_EQ(blk, static_cast<Pbn>(a.plane) * g.blocksPerPlane + a.block);
+        EXPECT_EQ(blk.value(),
+                  uint64_t{a.plane} * g.blocksPerPlane + a.block);
     }
 }
 

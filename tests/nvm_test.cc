@@ -22,7 +22,7 @@ smallCfg()
 TEST(NvmDeviceTest, WritesAreMicrosecondScale)
 {
     NvmDevice nvm(smallCfg());
-    const auto res = nvm.submit(makeWrite4k(1), 0);
+    const auto res = nvm.submit(makeWrite4k(1), sim::kTimeZero);
     EXPECT_LE(res.latency(), sim::microseconds(10));
 }
 
@@ -30,7 +30,7 @@ TEST(NvmDeviceTest, DirtyTrackingAndHolds)
 {
     NvmDevice nvm(smallCfg());
     EXPECT_FALSE(nvm.holds(5));
-    nvm.submit(makeWrite4k(5), 0);
+    nvm.submit(makeWrite4k(5), sim::kTimeZero);
     EXPECT_TRUE(nvm.holds(5));
     EXPECT_EQ(nvm.dirtyPages(), 1u);
     EXPECT_EQ(nvm.freePages(), 7u);
@@ -39,8 +39,8 @@ TEST(NvmDeviceTest, DirtyTrackingAndHolds)
 TEST(NvmDeviceTest, RewriteSamePageUsesOneSlot)
 {
     NvmDevice nvm(smallCfg());
-    nvm.submit(makeWrite4k(5), 0);
-    nvm.submit(makeWrite4k(5), sim::microseconds(10));
+    nvm.submit(makeWrite4k(5), sim::kTimeZero);
+    nvm.submit(makeWrite4k(5), sim::kTimeZero + sim::microseconds(10));
     EXPECT_EQ(nvm.dirtyPages(), 1u);
     EXPECT_EQ(nvm.totalWritesAbsorbed(), 2u);
 }
@@ -49,7 +49,7 @@ TEST(NvmDeviceTest, FullWhenCapacityReached)
 {
     NvmDevice nvm(smallCfg());
     for (uint64_t p = 0; p < 8; ++p)
-        nvm.submit(makeWrite4k(p), sim::microseconds(p));
+        nvm.submit(makeWrite4k(p), sim::kTimeZero + sim::microseconds(p));
     EXPECT_TRUE(nvm.full());
     EXPECT_EQ(nvm.freePages(), 0u);
 }
@@ -58,7 +58,7 @@ TEST(NvmDeviceTest, TakeDirtyDrainsFifoOrder)
 {
     NvmDevice nvm(smallCfg());
     for (uint64_t p : {3, 1, 7})
-        nvm.submit(makeWrite4k(p), 0);
+        nvm.submit(makeWrite4k(p), sim::kTimeZero);
     const auto first = nvm.takeDirty(2);
     EXPECT_EQ(first, (std::vector<uint64_t>{3, 1}));
     EXPECT_EQ(nvm.dirtyPages(), 1u);
@@ -72,8 +72,8 @@ TEST(NvmDeviceTest, TakeDirtyDrainsFifoOrder)
 TEST(NvmDeviceTest, SecondChanceKeepsRewrittenPagesResident)
 {
     NvmDevice nvm(smallCfg());
-    nvm.submit(makeWrite4k(2), 0);
-    nvm.submit(makeWrite4k(2), 1000); // rewritten since enqueue
+    nvm.submit(makeWrite4k(2), sim::kTimeZero);
+    nvm.submit(makeWrite4k(2), sim::SimTime{1000}); // rewritten since enqueue
     // First pass: the page earns a second chance, nothing drains.
     EXPECT_TRUE(nvm.takeDirty(10).empty());
     EXPECT_TRUE(nvm.holds(2));
@@ -85,7 +85,7 @@ TEST(NvmDeviceTest, SecondChanceKeepsRewrittenPagesResident)
 TEST(NvmDeviceTest, InvalidateDropsDirtyCopy)
 {
     NvmDevice nvm(smallCfg());
-    nvm.submit(makeWrite4k(3), 0);
+    nvm.submit(makeWrite4k(3), sim::kTimeZero);
     nvm.invalidate(3);
     EXPECT_FALSE(nvm.holds(3));
     EXPECT_TRUE(nvm.takeDirty(10).empty()); // stale entry skipped
@@ -95,16 +95,16 @@ TEST(NvmDeviceTest, InvalidateDropsDirtyCopy)
 TEST(NvmDeviceTest, ReadsAreFast)
 {
     NvmDevice nvm(smallCfg());
-    nvm.submit(makeWrite4k(1), 0);
-    const auto res = nvm.submit(makeRead4k(1), sim::microseconds(10));
+    nvm.submit(makeWrite4k(1), sim::kTimeZero);
+    const auto res = nvm.submit(makeRead4k(1), sim::kTimeZero + sim::microseconds(10));
     EXPECT_LE(res.latency(), sim::microseconds(5));
 }
 
 TEST(NvmDeviceTest, PurgeEmptiesPool)
 {
     NvmDevice nvm(smallCfg());
-    nvm.submit(makeWrite4k(1), 0);
-    nvm.purge(sim::microseconds(5));
+    nvm.submit(makeWrite4k(1), sim::kTimeZero);
+    nvm.purge(sim::kTimeZero + sim::microseconds(5));
     EXPECT_EQ(nvm.dirtyPages(), 0u);
     EXPECT_FALSE(nvm.holds(1));
     EXPECT_TRUE(nvm.takeDirty(10).empty());
@@ -114,7 +114,7 @@ TEST(NvmDeviceTest, PressureCounterMonotone)
 {
     NvmDevice nvm(smallCfg());
     for (int i = 0; i < 5; ++i)
-        nvm.submit(makeWrite4k(i), sim::microseconds(i));
+        nvm.submit(makeWrite4k(i), sim::kTimeZero + sim::microseconds(i));
     EXPECT_EQ(nvm.totalWritesAbsorbed(), 5u);
     nvm.takeDirty(5);
     EXPECT_EQ(nvm.totalWritesAbsorbed(), 5u); // drains don't count
@@ -124,14 +124,14 @@ TEST(NvmDeviceValidationTest, WriteToFullPoolRejectedAsFault)
 {
     NvmDevice nvm(smallCfg());
     for (uint64_t p = 0; p < 8; ++p)
-        nvm.submit(makeWrite4k(p), sim::microseconds(p));
+        nvm.submit(makeWrite4k(p), sim::kTimeZero + sim::microseconds(p));
     // A caller that ignored backpressure gets a rejected command, not
     // silent data loss.
-    const auto res = nvm.submit(makeWrite4k(99), sim::microseconds(99));
+    const auto res = nvm.submit(makeWrite4k(99), sim::kTimeZero + sim::microseconds(99));
     EXPECT_EQ(res.status, blockdev::IoStatus::DeviceFault);
     EXPECT_FALSE(nvm.holds(99));
     // Rewriting an already-dirty page needs no free slot and stays Ok.
-    EXPECT_TRUE(nvm.submit(makeWrite4k(3), sim::microseconds(100)).ok());
+    EXPECT_TRUE(nvm.submit(makeWrite4k(3), sim::kTimeZero + sim::microseconds(100)).ok());
 }
 
 TEST(NvmDeviceValidationTest, ZeroSectorRequestRejected)
@@ -139,7 +139,7 @@ TEST(NvmDeviceValidationTest, ZeroSectorRequestRejected)
     NvmDevice nvm(smallCfg());
     blockdev::IoRequest req = makeRead4k(0);
     req.sectors = 0;
-    const auto res = nvm.submit(req, 0);
+    const auto res = nvm.submit(req, sim::kTimeZero);
     EXPECT_EQ(res.status, blockdev::IoStatus::DeviceFault);
     EXPECT_GT(res.completeTime, res.submitTime);
 }

@@ -106,7 +106,7 @@ TEST(AuditLog, JsonlRoundTripPreservesEveryField)
 {
     AuditLog log(kGcThreshold);
     AuditRecord r;
-    r.submit = sim::seconds(2);
+    r.submit = sim::kTimeZero + sim::seconds(2);
     r.actualNs = sim::milliseconds(4);
     r.predictedEetNs = sim::microseconds(120);
     r.type = 2;

@@ -42,7 +42,7 @@ constexpr double kSniaScale = 0.05;
 struct RunOutcome
 {
     AccuracyResult acc;
-    sim::SimTime end = 0;
+    sim::SimTime end;
     ssd::VolumeCounters counters;
     std::string trace;
 };

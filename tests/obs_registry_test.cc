@@ -87,7 +87,7 @@ TEST(Registry, HistogramBucketsInclusiveUpperBound)
     EXPECT_EQ(h.sum(), 55);
     // value() reports the observation count for histograms.
     EXPECT_EQ(reg.value("lat"), 4);
-    const std::string json = reg.toJson(0);
+    const std::string json = reg.toJson(sim::kTimeZero);
     EXPECT_NE(json.find("\"buckets\":[{\"le\":10,\"count\":2},"
                         "{\"le\":20,\"count\":1},"
                         "{\"le\":\"+inf\",\"count\":1}]"),
@@ -100,15 +100,16 @@ TEST(Registry, TimelineSamplesOnFedSimTime)
     Registry reg;
     Counter c = reg.counter("reqs");
     reg.enableTimeline(sim::milliseconds(1));
-    reg.tick(0); // before the first interval: no sample
+    reg.tick(sim::kTimeZero); // before the first interval: no sample
     EXPECT_EQ(reg.timelineSamples(), 0u);
     c.inc();
-    reg.tick(sim::milliseconds(1)); // first interval boundary
+    reg.tick(sim::kTimeZero + sim::milliseconds(1)); // interval boundary
     c.inc(4);
-    reg.tick(sim::milliseconds(1) + 10); // same window: no sample
-    reg.tick(sim::milliseconds(5)); // idle gap: one sample, not four
+    reg.tick(sim::kTimeZero + sim::milliseconds(1) + 10); // same window
+    reg.tick(sim::kTimeZero + sim::milliseconds(5)); // idle gap: one sample
     EXPECT_EQ(reg.timelineSamples(), 2u);
-    const std::string json = reg.toJson(sim::milliseconds(5));
+    const std::string json =
+        reg.toJson(sim::kTimeZero + sim::milliseconds(5));
     EXPECT_NE(json.find("\"timeline_interval_ns\":1000000"),
               std::string::npos);
     EXPECT_NE(json.find("{\"time_ns\":1000000,\"values\":[1]}"),
@@ -146,7 +147,7 @@ TEST(Registry, GoldenSnapshotJson)
         "\"count\":2,\"sum\":550,\"buckets\":["
         "{\"le\":100,\"count\":1},{\"le\":\"+inf\",\"count\":1}]}\n"
         "]}\n";
-    EXPECT_EQ(reg.toJson(42), expected);
+    EXPECT_EQ(reg.toJson(sim::SimTime{42}), expected);
 }
 
 } // namespace

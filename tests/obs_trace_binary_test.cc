@@ -28,7 +28,7 @@ record(TraceRecorder &tr, size_t events)
     tr.setThreadName({kHostPid, kHostModelTid}, "model");
     tr.setThreadName({kDevicePid, kDeviceInterfaceTid}, "bus");
     for (size_t i = 0; i < events; ++i) {
-        const auto t = static_cast<sim::SimTime>(i) * 1000 + 500;
+        const sim::SimTime t{static_cast<int64_t>(i) * 1000 + 500};
         switch (i % 4) {
           case 0:
             tr.complete("dev", "dev.request",
@@ -49,7 +49,8 @@ record(TraceRecorder &tr, size_t events)
           default:
             // Over-long arg list exercises the kMaxArgs clamp, and a
             // negative timestamp the sign handling.
-            tr.complete("gc", "gc.run", {kDevicePid, 1}, -t, 1,
+            tr.complete("gc", "gc.run", {kDevicePid, 1}, sim::SimTime{-t.ns()},
+                        1,
                         {{"a", 1}, {"b", 2}, {"c", 3}, {"d", 4}, {"e", 5}});
             break;
         }

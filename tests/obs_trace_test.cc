@@ -19,11 +19,13 @@ TEST(TraceRecorder, RecordsCompleteInstantAndCounterEvents)
     TraceRecorder tr;
     EXPECT_EQ(tr.events(), 0u);
     tr.complete("dev", "dev.request", {kDevicePid, kDeviceInterfaceTid},
-                sim::microseconds(1) + 500, sim::microseconds(2),
+                sim::kTimeZero + sim::microseconds(1) + 500, sim::microseconds(2),
                 {{"lba", 42}, {"write", 1}});
-    tr.instant("wb", "wb.enqueue", {kDevicePid, 0}, sim::microseconds(3),
+    tr.instant("wb", "wb.enqueue", {kDevicePid, 0},
+               sim::kTimeZero + sim::microseconds(3),
                {{"fill", 7}});
-    tr.counter("queue", {kHostPid, kHostWorkloadTid}, sim::microseconds(4),
+    tr.counter("queue", {kHostPid, kHostWorkloadTid},
+               sim::kTimeZero + sim::microseconds(4),
                "depth", 3);
     EXPECT_EQ(tr.events(), 3u);
 
@@ -54,7 +56,7 @@ TEST(TraceRecorder, RecordsCompleteInstantAndCounterEvents)
 TEST(TraceRecorder, MetadataNamesSerializeFirst)
 {
     TraceRecorder tr;
-    tr.complete("a", "span", {0, 0}, 0, 1);
+    tr.complete("a", "span", {0, 0}, sim::kTimeZero, 1);
     tr.setProcessName(kHostPid, "host");
     tr.setThreadName({kHostPid, kHostModelTid}, "ssdcheck-model");
     const std::string json = tr.toChromeJson();
@@ -79,7 +81,7 @@ TEST(TraceRecorder, MetadataNamesSerializeFirst)
 TEST(TraceRecorder, ArgsCappedAtKMaxArgs)
 {
     TraceRecorder tr;
-    tr.complete("c", "busy", {0, 0}, 0, 1,
+    tr.complete("c", "busy", {0, 0}, sim::kTimeZero, 1,
                 {{"a", 1}, {"b", 2}, {"c", 3}, {"d", 4}, {"e", 5}});
     const std::string json = tr.toChromeJson();
     EXPECT_NE(json.find("\"d\":4"), std::string::npos);
@@ -91,7 +93,7 @@ TEST(TraceRecorder, NegativeTimestampsStayFixedPoint)
     // Negative sim offsets never happen in real runs, but the writer
     // must not fall back to float formatting for them either.
     TraceRecorder tr;
-    tr.instant("t", "early", {0, 0}, -1500);
+    tr.instant("t", "early", {0, 0}, sim::SimTime{-1500});
     EXPECT_NE(tr.toChromeJson().find("\"ts\":-1.500"), std::string::npos);
 }
 
@@ -102,11 +104,13 @@ TEST(TraceRecorder, SerializationIsByteStable)
         tr.setThreadName({kDevicePid, 0}, "volume 0");
         for (int i = 0; i < 100; ++i) {
             tr.complete("nand", "nand.read", {kDevicePid, 0},
-                        sim::microseconds(i), sim::microseconds(1) + i,
+                        sim::kTimeZero + sim::microseconds(i),
+                        sim::microseconds(1) + i,
                         {{"lpn", i}, {"wait_ns", 10 * i}});
             if (i % 7 == 0)
                 tr.instant("gc", "gc.trigger", {kDevicePid, 0},
-                           sim::microseconds(i), {{"free_blocks", i}});
+                           sim::kTimeZero + sim::microseconds(i),
+                           {{"free_blocks", i}});
         }
     };
     TraceRecorder a;
@@ -122,7 +126,7 @@ TEST(TraceRecorder, ClearDropsEventsAndMetadata)
 {
     TraceRecorder tr;
     tr.setProcessName(0, "host");
-    tr.instant("x", "y", {0, 0}, 0);
+    tr.instant("x", "y", {0, 0}, sim::kTimeZero);
     tr.clear();
     EXPECT_EQ(tr.events(), 0u);
     EXPECT_EQ(tr.toChromeJson().find("host"), std::string::npos);

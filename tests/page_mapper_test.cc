@@ -8,6 +8,8 @@
 namespace ssdcheck::ssd {
 namespace {
 
+using core::Lpn;
+
 nand::NandGeometry
 smallGeo()
 {
@@ -33,33 +35,33 @@ TEST_F(PageMapperTest, FreshMapperHasNoMappings)
 {
     EXPECT_EQ(m_.totalValid(), 0u);
     EXPECT_EQ(m_.freeBlocks(), 32u);
-    EXPECT_EQ(m_.lookup(0), nand::kInvalidPpn);
+    EXPECT_EQ(m_.lookup(Lpn{0}), nand::kInvalidPpn);
     uint64_t payload = 0;
-    EXPECT_FALSE(m_.readPage(0, &payload));
+    EXPECT_FALSE(m_.readPage(Lpn{0}, &payload));
     EXPECT_EQ(m_.checkConsistency(), "");
 }
 
 TEST_F(PageMapperTest, WriteThenReadRoundTrips)
 {
-    m_.writePage(5, 555);
+    m_.writePage(Lpn{5}, 555);
     uint64_t payload = 0;
-    ASSERT_TRUE(m_.readPage(5, &payload));
+    ASSERT_TRUE(m_.readPage(Lpn{5}, &payload));
     EXPECT_EQ(payload, 555u);
     EXPECT_EQ(m_.totalValid(), 1u);
 }
 
 TEST_F(PageMapperTest, OverwriteInvalidatesOldPpn)
 {
-    m_.writePage(5, 1);
-    const nand::Ppn first = m_.lookup(5);
-    m_.writePage(5, 2);
-    const nand::Ppn second = m_.lookup(5);
+    m_.writePage(Lpn{5}, 1);
+    const nand::Ppn first = m_.lookup(Lpn{5});
+    m_.writePage(Lpn{5}, 2);
+    const nand::Ppn second = m_.lookup(Lpn{5});
     EXPECT_NE(first, second);
     EXPECT_EQ(m_.lpnOfPpn(first), kInvalidLpn);
-    EXPECT_EQ(m_.lpnOfPpn(second), 5u);
+    EXPECT_EQ(m_.lpnOfPpn(second), Lpn{5});
     EXPECT_EQ(m_.totalValid(), 1u);
     uint64_t payload = 0;
-    m_.readPage(5, &payload);
+    m_.readPage(Lpn{5}, &payload);
     EXPECT_EQ(payload, 2u);
 }
 
@@ -67,10 +69,10 @@ TEST_F(PageMapperTest, AllocationFillsBlocksSequentially)
 {
     const uint32_t ppb = smallGeo().pagesPerBlock;
     for (uint64_t lpn = 0; lpn < ppb; ++lpn)
-        m_.writePage(lpn, lpn);
+        m_.writePage(Lpn{lpn}, lpn);
     // One block consumed from the free pool (host-open block full).
     EXPECT_EQ(m_.freeBlocks(), 31u);
-    EXPECT_EQ(m_.blockValidCount(m_.lookup(0) / ppb), ppb);
+    EXPECT_EQ(m_.blockValidCount(nand::Pbn{m_.lookup(Lpn{0}).value() / ppb}), ppb);
 }
 
 TEST_F(PageMapperTest, GreedyVictimPicksLeastValid)
@@ -78,11 +80,11 @@ TEST_F(PageMapperTest, GreedyVictimPicksLeastValid)
     const uint32_t ppb = smallGeo().pagesPerBlock;
     // Fill two blocks: block A with lpns 0..7, block B with 8..15.
     for (uint64_t lpn = 0; lpn < 2 * ppb; ++lpn)
-        m_.writePage(lpn, lpn);
-    const nand::Pbn blockA = m_.lookup(0) / ppb;
+        m_.writePage(Lpn{lpn}, lpn);
+    const nand::Pbn blockA{m_.lookup(Lpn{0}).value() / ppb};
     // Invalidate most of block A by overwriting its lpns.
     for (uint64_t lpn = 0; lpn < 6; ++lpn)
-        m_.writePage(lpn, 100 + lpn);
+        m_.writePage(Lpn{lpn}, 100 + lpn);
     const nand::Pbn victim = m_.pickVictimGreedy();
     EXPECT_EQ(victim, blockA);
     EXPECT_EQ(m_.blockValidCount(blockA), 2u);
@@ -91,7 +93,7 @@ TEST_F(PageMapperTest, GreedyVictimPicksLeastValid)
 TEST_F(PageMapperTest, VictimSelectionIgnoresOpenAndFreeBlocks)
 {
     // Only a partially-written (open) block exists: no victim.
-    m_.writePage(0, 1);
+    m_.writePage(Lpn{0}, 1);
     EXPECT_EQ(m_.pickVictimGreedy(), PageMapper::kNoVictim);
 }
 
@@ -99,9 +101,9 @@ TEST_F(PageMapperTest, CollectBlockRelocatesValidPages)
 {
     const uint32_t ppb = smallGeo().pagesPerBlock;
     for (uint64_t lpn = 0; lpn < 2 * ppb; ++lpn)
-        m_.writePage(lpn, 1000 + lpn);
+        m_.writePage(Lpn{lpn}, 1000 + lpn);
     for (uint64_t lpn = 0; lpn < 5; ++lpn)
-        m_.writePage(lpn, 2000 + lpn);
+        m_.writePage(Lpn{lpn}, 2000 + lpn);
     const nand::Pbn victim = m_.pickVictimGreedy();
     const uint64_t victimValid = m_.blockValidCount(victim);
     const size_t freeBefore = m_.freeBlocks();
@@ -115,7 +117,7 @@ TEST_F(PageMapperTest, CollectBlockRelocatesValidPages)
     // Every lpn still readable with the right payload.
     for (uint64_t lpn = 0; lpn < 2 * ppb; ++lpn) {
         uint64_t payload = 0;
-        ASSERT_TRUE(m_.readPage(lpn, &payload));
+        ASSERT_TRUE(m_.readPage(Lpn{lpn}, &payload));
         EXPECT_EQ(payload, lpn < 5 ? 2000 + lpn : 1000 + lpn);
     }
 }
@@ -123,16 +125,16 @@ TEST_F(PageMapperTest, CollectBlockRelocatesValidPages)
 TEST_F(PageMapperTest, TrimAllResetsEverything)
 {
     for (uint64_t lpn = 0; lpn < 50; ++lpn)
-        m_.writePage(lpn, lpn);
+        m_.writePage(Lpn{lpn}, lpn);
     m_.trimAll();
     EXPECT_EQ(m_.totalValid(), 0u);
     EXPECT_EQ(m_.freeBlocks(), 32u);
-    EXPECT_EQ(m_.lookup(0), nand::kInvalidPpn);
+    EXPECT_EQ(m_.lookup(Lpn{0}), nand::kInvalidPpn);
     EXPECT_EQ(m_.checkConsistency(), "");
     // Usable again after trim.
-    m_.writePage(3, 33);
+    m_.writePage(Lpn{3}, 33);
     uint64_t payload = 0;
-    EXPECT_TRUE(m_.readPage(3, &payload));
+    EXPECT_TRUE(m_.readPage(Lpn{3}, &payload));
     EXPECT_EQ(payload, 33u);
 }
 
@@ -159,7 +161,7 @@ TEST(PageMapperPropertyTest, RandomOpsPreserveConsistencyAndData)
             m.collectBlock(victim);
         }
         const uint64_t lpn = rng.nextBelow(userPages);
-        m.writePage(lpn, stamp);
+        m.writePage(Lpn{lpn}, stamp);
         expected[lpn] = stamp;
         ++stamp;
 
@@ -171,9 +173,9 @@ TEST(PageMapperPropertyTest, RandomOpsPreserveConsistencyAndData)
     for (uint64_t lpn = 0; lpn < userPages; ++lpn) {
         uint64_t payload = 0;
         if (expected[lpn] == ~0ULL) {
-            EXPECT_FALSE(m.readPage(lpn, &payload));
+            EXPECT_FALSE(m.readPage(Lpn{lpn}, &payload));
         } else {
-            ASSERT_TRUE(m.readPage(lpn, &payload));
+            ASSERT_TRUE(m.readPage(Lpn{lpn}, &payload));
             EXPECT_EQ(payload, expected[lpn]) << "lpn " << lpn;
         }
     }
@@ -186,8 +188,8 @@ TEST_F(PageMapperTest, FullBlockStaysOpenUntilPointerMovesOn)
     // open-block pointer has not moved past it yet, so it is neither a
     // candidate nor a victim.
     for (uint64_t lpn = 0; lpn < ppb; ++lpn)
-        m_.writePage(lpn, lpn);
-    const nand::Pbn full = m_.lookup(0) / ppb;
+        m_.writePage(Lpn{lpn}, lpn);
+    const nand::Pbn full{m_.lookup(Lpn{0}).value() / ppb};
     EXPECT_EQ(m_.blockValidCount(full), ppb);
     EXPECT_FALSE(m_.isGcCandidate(full));
     EXPECT_EQ(m_.pickVictimGreedy(), PageMapper::kNoVictim);
@@ -195,7 +197,7 @@ TEST_F(PageMapperTest, FullBlockStaysOpenUntilPointerMovesOn)
 
     // The next write replaces the open block; now (and only now) the
     // previous block closes and becomes the victim.
-    m_.writePage(ppb, ppb);
+    m_.writePage(Lpn{ppb}, ppb);
     EXPECT_TRUE(m_.isGcCandidate(full));
     EXPECT_EQ(m_.pickVictimGreedy(), full);
     EXPECT_EQ(m_.checkConsistency(), "");
@@ -206,9 +208,9 @@ TEST_F(PageMapperTest, PartiallyWrittenBlocksAreNeverCandidates)
     const uint32_t ppb = smallGeo().pagesPerBlock;
     // Write 1.5 blocks: the first closes, the second stays open.
     for (uint64_t lpn = 0; lpn < ppb + ppb / 2; ++lpn)
-        m_.writePage(lpn, lpn);
-    const nand::Pbn closed = m_.lookup(0) / ppb;
-    const nand::Pbn open = m_.lookup(ppb) / ppb;
+        m_.writePage(Lpn{lpn}, lpn);
+    const nand::Pbn closed{m_.lookup(Lpn{0}).value() / ppb};
+    const nand::Pbn open{m_.lookup(Lpn{ppb}).value() / ppb};
     EXPECT_TRUE(m_.isGcCandidate(closed));
     EXPECT_FALSE(m_.isGcCandidate(open));
     EXPECT_EQ(m_.pickVictimGreedy(), closed);
@@ -231,7 +233,8 @@ TEST(PageMapperPropertyTest, VictimMatchesReferenceScan)
     auto referenceVictim = [&]() {
         nand::Pbn best = PageMapper::kNoVictim;
         uint32_t bestValid = ~0U;
-        for (nand::Pbn b = 0; b < totalBlocks; ++b) {
+        for (uint64_t raw = 0; raw < totalBlocks; ++raw) {
+            const nand::Pbn b{raw};
             if (!m.isGcCandidate(b))
                 continue;
             if (m.blockValidCount(b) < bestValid) {
@@ -249,7 +252,7 @@ TEST(PageMapperPropertyTest, VictimMatchesReferenceScan)
             ASSERT_NE(victim, PageMapper::kNoVictim);
             m.collectBlock(victim);
         }
-        m.writePage(rng.nextBelow(userPages), op);
+        m.writePage(Lpn{rng.nextBelow(userPages)}, op);
         if (op % 61 == 0) {
             ASSERT_EQ(m.pickVictimGreedy(), referenceVictim())
                 << "at op " << op;
@@ -286,20 +289,21 @@ TEST(PageMapperPropertyTest, SoaStateMatchesNaiveReference)
         std::vector<uint32_t> counts(m.totalBlocks(), 0);
         uint64_t valid = 0;
         for (uint64_t lpn = 0; lpn < userPages; ++lpn) {
-            const nand::Ppn ppn = m.lookup(lpn);
+            const nand::Ppn ppn = m.lookup(Lpn{lpn});
             if (ppn == nand::kInvalidPpn)
                 continue;
             ++valid;
-            words[ppn >> 6] |= 1ULL << (ppn & 63);
-            ++counts[ppn / ppb];
+            words[ppn.value() >> 6] |= 1ULL << (ppn.value() & 63);
+            ++counts[ppn.value() / ppb];
             EXPECT_TRUE(m.isPpnValid(ppn));
-            EXPECT_EQ(m.lpnOfPpn(ppn), lpn);
+            EXPECT_EQ(m.lpnOfPpn(ppn), Lpn{lpn});
         }
         EXPECT_EQ(valid, m.totalValid());
         for (size_t w = 0; w < words.size(); ++w)
             ASSERT_EQ(words[w], m.validWord(w)) << "word " << w;
-        for (nand::Pbn b = 0; b < m.totalBlocks(); ++b)
-            ASSERT_EQ(counts[b], m.blockValidCount(b)) << "block " << b;
+        for (uint64_t b = 0; b < m.totalBlocks(); ++b)
+            ASSERT_EQ(counts[b], m.blockValidCount(nand::Pbn{b}))
+                << "block " << b;
     };
 
     for (int op = 0; op < 5000; ++op) {
@@ -308,7 +312,7 @@ TEST(PageMapperPropertyTest, SoaStateMatchesNaiveReference)
             ASSERT_NE(victim, PageMapper::kNoVictim);
             m.collectBlock(victim);
         }
-        m.writePage(rng.nextBelow(userPages), op);
+        m.writePage(Lpn{rng.nextBelow(userPages)}, op);
         if (op % 193 == 0)
             naiveCheck();
         if (op == 2500) {
@@ -333,7 +337,7 @@ TEST(PageMapperPropertyTest, GcMovesFewerPagesWithSelfInvalidation)
             ASSERT_NE(victim, PageMapper::kNoVictim);
             movedTotal += m.collectBlock(victim);
         }
-        m.writePage(7, op);
+        m.writePage(Lpn{7}, op);
     }
     // Nearly all victim blocks were fully invalidated.
     EXPECT_LT(movedTotal, 50u);

@@ -10,6 +10,7 @@ namespace {
 
 using blockdev::makeRead4k;
 using blockdev::makeWrite4k;
+using sim::kTimeZero;
 using sim::microseconds;
 using sim::milliseconds;
 
@@ -29,7 +30,7 @@ qr(const blockdev::IoRequest &req, uint64_t seq)
 {
     QueuedRequest q;
     q.req = req;
-    q.arrival = static_cast<sim::SimTime>(seq);
+    q.arrival = sim::SimTime{static_cast<int64_t>(seq)};
     q.seq = seq;
     return q;
 }
@@ -40,8 +41,8 @@ TEST(PasSchedulerTest, PureClassesStayFifo)
     PasScheduler s(check);
     s.enqueue(qr(makeWrite4k(0), 0));
     s.enqueue(qr(makeWrite4k(1), 1));
-    EXPECT_EQ(s.dequeue(0).seq, 0u);
-    EXPECT_EQ(s.dequeue(0).seq, 1u);
+    EXPECT_EQ(s.dequeue(kTimeZero).seq, 0u);
+    EXPECT_EQ(s.dequeue(kTimeZero).seq, 1u);
 }
 
 TEST(PasSchedulerTest, ReadJumpsFlushTriggeringWrites)
@@ -49,8 +50,8 @@ TEST(PasSchedulerTest, ReadJumpsFlushTriggeringWrites)
     // Fig. 10: queue W1 W2 R1, where W2 would fill the buffer.
     core::SsdCheck check(smallFeatures());
     // Model state: 2 of 4 pages already buffered.
-    check.onSubmit(makeWrite4k(50), 0);
-    check.onSubmit(makeWrite4k(51), 0);
+    check.onSubmit(makeWrite4k(50), kTimeZero);
+    check.onSubmit(makeWrite4k(51), kTimeZero);
 
     PasScheduler s(check);
     s.enqueue(qr(makeWrite4k(1), 0));
@@ -58,11 +59,11 @@ TEST(PasSchedulerTest, ReadJumpsFlushTriggeringWrites)
     s.enqueue(qr(makeRead4k(100), 2));
     // The oldest read, issued in original order, lands after the
     // flush: PAS pulls it ahead.
-    const QueuedRequest first = s.dequeue(microseconds(10));
+    const QueuedRequest first = s.dequeue(kTimeZero + microseconds(10));
     EXPECT_TRUE(first.req.isRead());
     // Remaining writes keep their order.
-    EXPECT_EQ(s.dequeue(microseconds(10)).seq, 0u);
-    EXPECT_EQ(s.dequeue(microseconds(10)).seq, 1u);
+    EXPECT_EQ(s.dequeue(kTimeZero + microseconds(10)).seq, 0u);
+    EXPECT_EQ(s.dequeue(kTimeZero + microseconds(10)).seq, 1u);
 }
 
 TEST(PasSchedulerTest, NoReorderWhenNoFlushAhead)
@@ -71,7 +72,7 @@ TEST(PasSchedulerTest, NoReorderWhenNoFlushAhead)
     PasScheduler s(check);
     s.enqueue(qr(makeWrite4k(1), 0)); // buffer far from full
     s.enqueue(qr(makeRead4k(100), 1));
-    EXPECT_EQ(s.dequeue(microseconds(10)).seq, 0u); // oldest first
+    EXPECT_EQ(s.dequeue(kTimeZero + microseconds(10)).seq, 0u); // oldest first
 }
 
 TEST(PasSchedulerTest, FrontReadDispatchesDirectly)
@@ -80,7 +81,7 @@ TEST(PasSchedulerTest, FrontReadDispatchesDirectly)
     PasScheduler s(check);
     s.enqueue(qr(makeRead4k(9), 0));
     s.enqueue(qr(makeWrite4k(1), 1));
-    EXPECT_EQ(s.dequeue(0).seq, 0u);
+    EXPECT_EQ(s.dequeue(kTimeZero).seq, 0u);
 }
 
 TEST(PasSchedulerTest, BusyEbtAlsoPullsReadForward)
@@ -88,12 +89,12 @@ TEST(PasSchedulerTest, BusyEbtAlsoPullsReadForward)
     core::SsdCheck check(smallFeatures());
     // Force a modeled flush: fill the 4-page buffer.
     for (int i = 0; i < 4; ++i)
-        check.onSubmit(makeWrite4k(i), 0);
+        check.onSubmit(makeWrite4k(i), kTimeZero);
     PasScheduler s(check);
     s.enqueue(qr(makeWrite4k(10), 0));
     s.enqueue(qr(makeRead4k(100), 1));
     // EBT is high: the read would be slow; PAS pulls it ahead.
-    EXPECT_TRUE(s.dequeue(microseconds(5)).req.isRead());
+    EXPECT_TRUE(s.dequeue(kTimeZero + microseconds(5)).req.isRead());
 }
 
 ssd::SsdConfig
@@ -113,7 +114,7 @@ TEST(IdealPasSchedulerTest, UsesGroundTruthBufferFill)
 {
     ssd::SsdDevice dev(idealCfg());
     // Fill 2 of 4 buffer slots on the real device.
-    sim::SimTime t = 0;
+    sim::SimTime t;
     t = dev.submit(makeWrite4k(50), t).completeTime;
     t = dev.submit(makeWrite4k(51), t).completeTime;
 
@@ -127,7 +128,7 @@ TEST(IdealPasSchedulerTest, UsesGroundTruthBufferFill)
 TEST(IdealPasSchedulerTest, UsesGroundTruthBusyNand)
 {
     ssd::SsdDevice dev(idealCfg());
-    sim::SimTime t = 0;
+    sim::SimTime t;
     for (int i = 0; i < 4; ++i)
         t = dev.submit(makeWrite4k(i), t).completeTime; // flush running
     IdealPasScheduler s(dev);
@@ -148,8 +149,8 @@ TEST(PasSchedulerTest, BarrierBlocksReordering)
     // the second write is a barrier: order must be preserved
     // (paper §IV-B: PAS enforces order when strictness is required).
     core::SsdCheck check(smallFeatures());
-    check.onSubmit(makeWrite4k(50), 0);
-    check.onSubmit(makeWrite4k(51), 0);
+    check.onSubmit(makeWrite4k(50), kTimeZero);
+    check.onSubmit(makeWrite4k(51), kTimeZero);
 
     PasScheduler s(check);
     s.enqueue(qr(makeWrite4k(1), 0));
@@ -157,16 +158,16 @@ TEST(PasSchedulerTest, BarrierBlocksReordering)
     barrier.barrier = true;
     s.enqueue(barrier);
     s.enqueue(qr(makeRead4k(100), 2));
-    EXPECT_EQ(s.dequeue(microseconds(10)).seq, 0u);
-    EXPECT_EQ(s.dequeue(microseconds(10)).seq, 1u);
-    EXPECT_EQ(s.dequeue(microseconds(10)).seq, 2u);
+    EXPECT_EQ(s.dequeue(kTimeZero + microseconds(10)).seq, 0u);
+    EXPECT_EQ(s.dequeue(kTimeZero + microseconds(10)).seq, 1u);
+    EXPECT_EQ(s.dequeue(kTimeZero + microseconds(10)).seq, 2u);
 }
 
 TEST(PasSchedulerTest, ReadBeforeBarrierStillJumps)
 {
     core::SsdCheck check(smallFeatures());
-    check.onSubmit(makeWrite4k(50), 0);
-    check.onSubmit(makeWrite4k(51), 0);
+    check.onSubmit(makeWrite4k(50), kTimeZero);
+    check.onSubmit(makeWrite4k(51), kTimeZero);
 
     PasScheduler s(check);
     s.enqueue(qr(makeWrite4k(1), 0));
@@ -177,13 +178,13 @@ TEST(PasSchedulerTest, ReadBeforeBarrierStillJumps)
     s.enqueue(barrier);
     // The read sits before the barrier: reordering within the window
     // is still allowed.
-    EXPECT_TRUE(s.dequeue(microseconds(10)).req.isRead());
+    EXPECT_TRUE(s.dequeue(kTimeZero + microseconds(10)).req.isRead());
 }
 
 TEST(IdealPasSchedulerTest, BarrierBlocksReordering)
 {
     ssd::SsdDevice dev(idealCfg());
-    sim::SimTime t = 0;
+    sim::SimTime t;
     t = dev.submit(makeWrite4k(50), t).completeTime;
     t = dev.submit(makeWrite4k(51), t).completeTime;
     IdealPasScheduler s(dev);

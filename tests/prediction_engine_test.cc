@@ -9,6 +9,7 @@ namespace {
 
 using blockdev::makeRead4k;
 using blockdev::makeWrite4k;
+using sim::kTimeZero;
 using sim::microseconds;
 using sim::milliseconds;
 using sim::SimTime;
@@ -41,12 +42,12 @@ class EngineTest : public ::testing::Test
 TEST_F(EngineTest, FreshEngineSingleVolume)
 {
     EXPECT_EQ(engine_.numVolumes(), 1u);
-    EXPECT_EQ(engine_.ebt(0), 0);
+    EXPECT_EQ(engine_.ebt(0), kTimeZero);
 }
 
 TEST_F(EngineTest, PlainWritePredictedNl)
 {
-    const Prediction p = engine_.predict(makeWrite4k(0), microseconds(100));
+    const Prediction p = engine_.predict(makeWrite4k(0), kTimeZero + microseconds(100));
     EXPECT_FALSE(p.hl);
     EXPECT_FALSE(p.flushExpected);
     EXPECT_EQ(p.eet, calib_.writeService());
@@ -55,8 +56,8 @@ TEST_F(EngineTest, PlainWritePredictedNl)
 TEST_F(EngineTest, FlushExpectedAtBufferCapacity)
 {
     for (int i = 0; i < 3; ++i)
-        engine_.onSubmit(makeWrite4k(i), microseconds(i * 10));
-    const Prediction p = engine_.predict(makeWrite4k(3), microseconds(40));
+        engine_.onSubmit(makeWrite4k(i), kTimeZero + microseconds(i * 10));
+    const Prediction p = engine_.predict(makeWrite4k(3), kTimeZero + microseconds(40));
     EXPECT_TRUE(p.flushExpected);
     // Back type: the triggering write itself is not delayed.
     EXPECT_FALSE(p.hl);
@@ -65,9 +66,9 @@ TEST_F(EngineTest, FlushExpectedAtBufferCapacity)
 TEST_F(EngineTest, FlushRaisesEbtAndBlocksPredictedReads)
 {
     for (int i = 0; i < 4; ++i)
-        engine_.onSubmit(makeWrite4k(i), microseconds(i * 10));
-    EXPECT_GT(engine_.ebt(0), microseconds(30));
-    const Prediction p = engine_.predict(makeRead4k(100), microseconds(40));
+        engine_.onSubmit(makeWrite4k(i), kTimeZero + microseconds(i * 10));
+    EXPECT_GT(engine_.ebt(0), kTimeZero + microseconds(30));
+    const Prediction p = engine_.predict(makeRead4k(100), kTimeZero + microseconds(40));
     EXPECT_TRUE(p.hl); // read during the predicted flush window
     EXPECT_GT(p.eet, microseconds(250));
 }
@@ -75,7 +76,7 @@ TEST_F(EngineTest, FlushRaisesEbtAndBlocksPredictedReads)
 TEST_F(EngineTest, ReadAfterPredictedFlushEndIsNl)
 {
     for (int i = 0; i < 4; ++i)
-        engine_.onSubmit(makeWrite4k(i), microseconds(i * 10));
+        engine_.onSubmit(makeWrite4k(i), kTimeZero + microseconds(i * 10));
     const SimTime after = engine_.ebt(0) + microseconds(10);
     const Prediction p = engine_.predict(makeRead4k(100), after);
     EXPECT_FALSE(p.hl);
@@ -90,8 +91,8 @@ TEST_F(EngineTest, ForeTypeTriggerWritePredictedHl)
     LatencyMonitor monitor;
     PredictionEngine eng(fs, calib, monitor);
     for (int i = 0; i < 3; ++i)
-        eng.onSubmit(makeWrite4k(i), microseconds(i * 10));
-    const Prediction p = eng.predict(makeWrite4k(3), microseconds(40));
+        eng.onSubmit(makeWrite4k(i), kTimeZero + microseconds(i * 10));
+    const Prediction p = eng.predict(makeWrite4k(3), kTimeZero + microseconds(40));
     EXPECT_TRUE(p.flushExpected);
     EXPECT_TRUE(p.hl); // fore: ack waits for the flush
 }
@@ -104,14 +105,14 @@ TEST_F(EngineTest, ReadTriggerPredictsHlReadOnNonEmptyBuffer)
     calib.seedFlushOverhead(milliseconds(2));
     LatencyMonitor monitor;
     PredictionEngine eng(fs, calib, monitor);
-    eng.onSubmit(makeWrite4k(0), 0);
-    const Prediction p = eng.predict(makeRead4k(9), microseconds(10));
+    eng.onSubmit(makeWrite4k(0), kTimeZero);
+    const Prediction p = eng.predict(makeRead4k(9), kTimeZero + microseconds(10));
     EXPECT_TRUE(p.hl);
     EXPECT_TRUE(p.flushExpected);
     // Submitting the read consumes the modeled buffer and starts the
     // assumed flush; once that window passes, reads are NL again.
-    eng.onSubmit(makeRead4k(9), microseconds(10));
-    const Prediction during = eng.predict(makeRead4k(9), microseconds(20));
+    eng.onSubmit(makeRead4k(9), kTimeZero + microseconds(10));
+    const Prediction during = eng.predict(makeRead4k(9), kTimeZero + microseconds(20));
     EXPECT_TRUE(during.hl); // still inside the flush EBT window
     EXPECT_FALSE(during.flushExpected); // but no new flush expected
     const Prediction after =
@@ -132,9 +133,9 @@ TEST_F(EngineTest, VolumeSelectorRoutesByBits)
     EXPECT_EQ(eng.volumeOf(vol1), 1u);
     // Filling volume 0's buffer must not move volume 1's EBT.
     for (int i = 0; i < 4; ++i)
-        eng.onSubmit(makeWrite4k(i), microseconds(i));
-    EXPECT_GT(eng.ebt(0), 0);
-    EXPECT_EQ(eng.ebt(1), 0);
+        eng.onSubmit(makeWrite4k(i), kTimeZero + microseconds(i));
+    EXPECT_GT(eng.ebt(0), kTimeZero);
+    EXPECT_EQ(eng.ebt(1), kTimeZero);
 }
 
 TEST_F(EngineTest, GcUnionBitsUsedForVolumes)
@@ -151,9 +152,10 @@ TEST_F(EngineTest, GcUnionBitsUsedForVolumes)
 TEST_F(EngineTest, OnCompleteClassifiesAndCalibrates)
 {
     const auto w = makeWrite4k(0);
-    const Prediction p = engine_.predict(w, 0);
-    engine_.onSubmit(w, 0);
-    const bool hl = engine_.onComplete(w, p, 0, microseconds(40));
+    const Prediction p = engine_.predict(w, kTimeZero);
+    engine_.onSubmit(w, kTimeZero);
+    const bool hl =
+        engine_.onComplete(w, p, kTimeZero, kTimeZero + microseconds(40));
     EXPECT_FALSE(hl);
     // NL write observation moved the write-service EWMA toward 40us.
     EXPECT_NE(calib_.writeService(),
@@ -163,31 +165,31 @@ TEST_F(EngineTest, OnCompleteClassifiesAndCalibrates)
 TEST_F(EngineTest, UnexpectedHlStreakResyncsBufferCounter)
 {
     // Two consecutive unexpected HL completions reset the counter.
-    engine_.onSubmit(makeWrite4k(0), 0);
-    engine_.onSubmit(makeWrite4k(1), 0);
+    engine_.onSubmit(makeWrite4k(0), kTimeZero);
+    engine_.onSubmit(makeWrite4k(1), kTimeZero);
     EXPECT_EQ(engine_.wbModel(0).counter(), 2u);
     Prediction nl;
     nl.hl = false;
-    engine_.onComplete(makeWrite4k(2), nl, microseconds(10),
-                       microseconds(800));
+    engine_.onComplete(makeWrite4k(2), nl, kTimeZero + microseconds(10),
+                       kTimeZero + microseconds(800));
     EXPECT_EQ(engine_.wbModel(0).counter(), 2u); // first strike only
-    engine_.onComplete(makeWrite4k(3), nl, microseconds(900),
-                       microseconds(1700));
+    engine_.onComplete(makeWrite4k(3), nl, kTimeZero + microseconds(900),
+                       kTimeZero + microseconds(1700));
     EXPECT_EQ(engine_.wbModel(0).counter(), 0u); // resynced
 }
 
 TEST_F(EngineTest, CorrectHlPredictionClearsStreak)
 {
-    engine_.onSubmit(makeWrite4k(0), 0);
+    engine_.onSubmit(makeWrite4k(0), kTimeZero);
     Prediction nl;
     nl.hl = false;
     Prediction hl;
     hl.hl = true;
-    engine_.onComplete(makeWrite4k(1), nl, 0, microseconds(800));
-    engine_.onComplete(makeRead4k(2), hl, microseconds(900),
-                       microseconds(1900));
-    engine_.onComplete(makeWrite4k(3), nl, microseconds(2000),
-                       microseconds(2800));
+    engine_.onComplete(makeWrite4k(1), nl, kTimeZero, kTimeZero + microseconds(800));
+    engine_.onComplete(makeRead4k(2), hl, kTimeZero + microseconds(900),
+                       kTimeZero + microseconds(1900));
+    engine_.onComplete(makeWrite4k(3), nl, kTimeZero + microseconds(2000),
+                       kTimeZero + microseconds(2800));
     // Streak was interrupted: still only one strike, no resync.
     EXPECT_EQ(engine_.wbModel(0).counter(), 1u);
 }
@@ -195,22 +197,22 @@ TEST_F(EngineTest, CorrectHlPredictionClearsStreak)
 TEST_F(EngineTest, NlReadPullsBackOverpredictedEbt)
 {
     for (int i = 0; i < 4; ++i)
-        engine_.onSubmit(makeWrite4k(i), 0);
+        engine_.onSubmit(makeWrite4k(i), kTimeZero);
     const SimTime inflatedEbt = engine_.ebt(0);
-    ASSERT_GT(inflatedEbt, 0);
+    ASSERT_GT(inflatedEbt, kTimeZero);
     // An NL read completing earlier proves the device is idle.
     Prediction p;
     p.hl = false;
-    engine_.onComplete(makeRead4k(50), p, microseconds(10),
-                       microseconds(100));
-    EXPECT_LE(engine_.ebt(0), microseconds(100));
+    engine_.onComplete(makeRead4k(50), p, kTimeZero + microseconds(10),
+                       kTimeZero + microseconds(100));
+    EXPECT_LE(engine_.ebt(0), kTimeZero + microseconds(100));
 }
 
 TEST_F(EngineTest, GcObservationFeedsGcModel)
 {
     Prediction p;
     p.hl = true;
-    engine_.onComplete(makeWrite4k(0), p, 0, milliseconds(20));
+    engine_.onComplete(makeWrite4k(0), p, kTimeZero, kTimeZero + milliseconds(20));
     EXPECT_EQ(engine_.gcModel(0).history().size(), 1u);
 }
 

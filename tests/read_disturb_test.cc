@@ -25,13 +25,13 @@ geo()
 TEST(ReadDisturbTest, ReadCountTracksAndResetsOnErase)
 {
     nand::NandArray arr(geo(), nand::NandTiming{});
-    arr.programPage(0, 42);
-    EXPECT_EQ(arr.blockReadCount(0), 0u);
+    arr.programPage(nand::Ppn{0}, 42);
+    EXPECT_EQ(arr.blockReadCount(nand::Pbn{0}), 0u);
     for (int i = 0; i < 5; ++i)
-        arr.readPage(0);
-    EXPECT_EQ(arr.blockReadCount(0), 5u);
-    arr.eraseBlock(0);
-    EXPECT_EQ(arr.blockReadCount(0), 0u);
+        arr.readPage(nand::Ppn{0});
+    EXPECT_EQ(arr.blockReadCount(nand::Pbn{0}), 5u);
+    arr.eraseBlock(nand::Pbn{0});
+    EXPECT_EQ(arr.blockReadCount(nand::Pbn{0}), 0u);
 }
 
 TEST(ReadDisturbTest, RefreshRelocatesHotReadBlock)
@@ -41,23 +41,24 @@ TEST(ReadDisturbTest, RefreshRelocatesHotReadBlock)
     GarbageCollector gc(m, arr, 3, 6, /*wearThreshold=*/0,
                         /*readDisturbLimit=*/100);
     for (uint64_t lpn = 0; lpn < 160; ++lpn)
-        m.writePage(lpn, 2000 + lpn);
+        m.writePage(Lpn{lpn}, 2000 + lpn);
 
     // Hammer reads on lpn 0's block past the limit.
-    const nand::Pbn hot =
-        m.lookup(0) / arr.geometry().pagesPerBlock;
+    const nand::Pbn hot{m.lookup(Lpn{0}).value() /
+                        arr.geometry().pagesPerBlock};
     for (int i = 0; i < 150; ++i)
-        m.readPage(0, nullptr);
+        m.readPage(Lpn{0}, nullptr);
     ASSERT_GT(arr.blockReadCount(hot), 100u);
 
     const GcResult res = gc.collect();
     EXPECT_GT(res.refreshMoves, 0u);
     // The data moved off the disturbed block...
-    const nand::Pbn now = m.lookup(0) / arr.geometry().pagesPerBlock;
+    const nand::Pbn now{m.lookup(Lpn{0}).value() /
+                        arr.geometry().pagesPerBlock};
     EXPECT_NE(now, hot);
     // ...with content intact and the FTL consistent.
     uint64_t payload = 0;
-    ASSERT_TRUE(m.readPage(0, &payload));
+    ASSERT_TRUE(m.readPage(Lpn{0}, &payload));
     EXPECT_EQ(payload, 2000u);
     EXPECT_EQ(m.checkConsistency(), "");
     EXPECT_EQ(arr.blockReadCount(hot), 0u); // erased
@@ -69,9 +70,9 @@ TEST(ReadDisturbTest, NoRefreshBelowLimit)
     PageMapper m(arr, 160);
     GarbageCollector gc(m, arr, 3, 6, 0, /*readDisturbLimit=*/1000);
     for (uint64_t lpn = 0; lpn < 160; ++lpn)
-        m.writePage(lpn, lpn);
+        m.writePage(Lpn{lpn}, lpn);
     for (int i = 0; i < 100; ++i)
-        m.readPage(0, nullptr);
+        m.readPage(Lpn{0}, nullptr);
     const GcResult res = gc.collect();
     EXPECT_EQ(res.refreshMoves, 0u);
 }
@@ -82,9 +83,9 @@ TEST(ReadDisturbTest, DisabledByDefault)
     PageMapper m(arr, 160);
     GarbageCollector gc(m, arr, 3, 6); // limit 0 = off
     for (uint64_t lpn = 0; lpn < 160; ++lpn)
-        m.writePage(lpn, lpn);
+        m.writePage(Lpn{lpn}, lpn);
     for (int i = 0; i < 100000; ++i)
-        m.readPage(0, nullptr);
+        m.readPage(Lpn{0}, nullptr);
     EXPECT_EQ(gc.collect().refreshMoves, 0u);
 }
 
@@ -101,7 +102,7 @@ TEST(ReadDisturbTest, DeviceLevelRefreshUnderReadHammer)
     SsdDevice dev(cfg);
     dev.precondition();
     sim::Rng rng(3);
-    sim::SimTime t = 0;
+    sim::SimTime t;
     // Read-hammer one page; sprinkle writes so GC (the refresh hook)
     // keeps running.
     for (int i = 0; i < 60000; ++i) {

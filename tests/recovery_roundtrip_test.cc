@@ -39,7 +39,7 @@ struct GoldenRun
     std::vector<std::pair<uint64_t, std::vector<uint8_t>>> snapshots;
     std::vector<uint8_t> finalBytes;
     std::string finalMetrics;
-    int64_t finalNow = 0;
+    sim::SimTime finalNow;
     core::AccuracyResult finalAcc;
     uint64_t traceSize = 0;
 };

@@ -64,8 +64,8 @@ TEST(RequestTest, Make4kHelpers)
 TEST(RequestTest, IoResultLatency)
 {
     IoResult res;
-    res.submitTime = 100;
-    res.completeTime = 350;
+    res.submitTime = sim::SimTime{100};
+    res.completeTime = sim::SimTime{350};
     EXPECT_EQ(res.latency(), 250);
 }
 

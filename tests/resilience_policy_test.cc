@@ -23,6 +23,7 @@ using blockdev::makeRead4k;
 using blockdev::makeWrite4k;
 using blockdev::ResilienceConfig;
 using blockdev::ResilientDevice;
+using sim::kTimeZero;
 using sim::microseconds;
 using sim::milliseconds;
 
@@ -126,7 +127,7 @@ TEST(PolicyDeviceTest, DisabledPolicyIsPureEnabledPassThrough)
     ScriptedDevice inner({{IoStatus::Ok, microseconds(80)}});
     ResilientDevice rdev(inner);
     PolicyDevice dev(rdev, ResiliencePolicy{}); // enabled = false
-    const IoResult res = dev.submit(makeRead4k(0), milliseconds(1));
+    const IoResult res = dev.submit(makeRead4k(0), kTimeZero + milliseconds(1));
     EXPECT_TRUE(res.ok());
     EXPECT_EQ(res.latency(), microseconds(80));
     // A disabled policy takes no decisions and counts nothing.
@@ -151,25 +152,25 @@ TEST(PolicyDeviceTest, BreakerOpensShedsAndRecloses)
 
     // Four straight failures fill breakerMinSamples at 100% error rate.
     for (int i = 1; i <= 4; ++i) {
-        const IoResult res = dev.submit(makeRead4k(0), milliseconds(i));
+        const IoResult res = dev.submit(makeRead4k(0), kTimeZero + milliseconds(i));
         EXPECT_EQ(res.status, IoStatus::DeviceFault);
     }
     EXPECT_EQ(dev.breakerState(), BreakerState::Open);
     EXPECT_EQ(dev.counters().breakerOpens, 1u);
 
     // Open sheds instantly: host-side completion, device untouched.
-    const IoResult shed = dev.submit(makeRead4k(0), milliseconds(5));
+    const IoResult shed = dev.submit(makeRead4k(0), kTimeZero + milliseconds(5));
     EXPECT_EQ(shed.status, IoStatus::Rejected);
     EXPECT_EQ(shed.attempts, 0u);
-    EXPECT_EQ(shed.completeTime, milliseconds(5));
+    EXPECT_EQ(shed.completeTime, kTimeZero + milliseconds(5));
     EXPECT_EQ(dev.counters().shedBreaker, 1u);
 
     // After the cooldown the next submissions are HalfOpen trials;
     // two successes re-close the breaker.
-    const IoResult t1 = dev.submit(makeRead4k(0), milliseconds(20));
+    const IoResult t1 = dev.submit(makeRead4k(0), kTimeZero + milliseconds(20));
     EXPECT_TRUE(t1.ok());
     EXPECT_EQ(dev.breakerState(), BreakerState::HalfOpen);
-    const IoResult t2 = dev.submit(makeRead4k(0), milliseconds(21));
+    const IoResult t2 = dev.submit(makeRead4k(0), kTimeZero + milliseconds(21));
     EXPECT_TRUE(t2.ok());
     EXPECT_EQ(dev.breakerState(), BreakerState::Closed);
     EXPECT_EQ(dev.counters().breakerCloses, 1u);
@@ -188,21 +189,21 @@ TEST(PolicyDeviceTest, HalfOpenFailureReopensWithDoubledCooldown)
     PolicyDevice dev(rdev, quietPolicy());
 
     for (int i = 1; i <= 4; ++i)
-        (void)dev.submit(makeRead4k(0), milliseconds(i));
+        (void)dev.submit(makeRead4k(0), kTimeZero + milliseconds(i));
     ASSERT_EQ(dev.breakerState(), BreakerState::Open);
 
     // The HalfOpen trial fails: back to Open with a doubled dwell.
-    const IoResult trial = dev.submit(makeRead4k(0), milliseconds(20));
+    const IoResult trial = dev.submit(makeRead4k(0), kTimeZero + milliseconds(20));
     EXPECT_EQ(trial.status, IoStatus::DeviceFault);
     EXPECT_EQ(dev.breakerState(), BreakerState::Open);
     EXPECT_EQ(dev.counters().breakerReopens, 1u);
 
     // One base cooldown after the reopen is now too early...
-    const IoResult early = dev.submit(makeRead4k(0), milliseconds(31));
+    const IoResult early = dev.submit(makeRead4k(0), kTimeZero + milliseconds(31));
     EXPECT_EQ(early.status, IoStatus::Rejected);
     EXPECT_EQ(dev.breakerState(), BreakerState::Open);
     // ...but two base cooldowns later the trial stream resumes.
-    const IoResult late = dev.submit(makeRead4k(0), milliseconds(41));
+    const IoResult late = dev.submit(makeRead4k(0), kTimeZero + milliseconds(41));
     EXPECT_TRUE(late.ok());
     EXPECT_EQ(dev.breakerState(), BreakerState::HalfOpen);
 }
@@ -217,13 +218,14 @@ TEST(PolicyDeviceTest, AdmissionControlShedsOnBacklog)
     PolicyDevice dev(rdev, cfg);
 
     // The first request runs the completion horizon 50ms ahead.
-    EXPECT_TRUE(dev.submit(makeRead4k(0), 0).ok());
+    EXPECT_TRUE(dev.submit(makeRead4k(0), kTimeZero).ok());
     // An arrival 1ms later sees a 49ms backlog > the 5ms bound.
-    const IoResult shed = dev.submit(makeRead4k(0), milliseconds(1));
+    const IoResult shed =
+        dev.submit(makeRead4k(0), kTimeZero + milliseconds(1));
     EXPECT_EQ(shed.status, IoStatus::Rejected);
     EXPECT_EQ(dev.counters().shedOverload, 1u);
     // Once arrivals catch up with the horizon, service resumes.
-    EXPECT_TRUE(dev.submit(makeRead4k(0), milliseconds(60)).ok());
+    EXPECT_TRUE(dev.submit(makeRead4k(0), kTimeZero + milliseconds(60)).ok());
     EXPECT_EQ(dev.counters().forwarded, 2u);
 }
 
@@ -243,21 +245,22 @@ TEST(PolicyDeviceTest, HedgedReadWinsCancelsLoserAndAccounts)
     PolicyDevice dev(rdev, cfg);
 
     const IoResult won =
-        dev.submitHinted(makeRead4k(0), 0, milliseconds(5));
+        dev.submitHinted(makeRead4k(0), kTimeZero, milliseconds(5));
     EXPECT_TRUE(won.ok());
     // The backup launched at +500us and finished in 100us, well before
     // the 10ms primary; the merged result keeps the original submit.
-    EXPECT_EQ(won.submitTime, 0);
-    EXPECT_EQ(won.completeTime, microseconds(600));
+    EXPECT_EQ(won.submitTime, kTimeZero);
+    EXPECT_EQ(won.completeTime, kTimeZero + microseconds(600));
     EXPECT_EQ(dev.counters().hedgesIssued, 1u);
     EXPECT_EQ(dev.counters().hedgeWins, 1u);
     EXPECT_EQ(dev.counters().hedgeCancelled, 1u);
 
     const IoResult lost =
-        dev.submitHinted(makeRead4k(0), milliseconds(100), milliseconds(5));
+        dev.submitHinted(makeRead4k(0), kTimeZero + milliseconds(100), milliseconds(5));
     EXPECT_TRUE(lost.ok());
     // The primary won this time: the backup is cancelled, not counted.
-    EXPECT_EQ(lost.completeTime, milliseconds(100) + microseconds(50));
+    EXPECT_EQ(lost.completeTime,
+              kTimeZero + milliseconds(100) + microseconds(50));
     EXPECT_EQ(dev.counters().hedgesIssued, 2u);
     EXPECT_EQ(dev.counters().hedgeWins, 1u);
     EXPECT_EQ(dev.counters().hedgeCancelled, 2u);
@@ -274,7 +277,7 @@ TEST(PolicyDeviceTest, HedgeTokenBudgetBoundsAmplification)
     PolicyDevice dev(rdev, cfg);
 
     const IoResult res =
-        dev.submitHinted(makeRead4k(0), 0, milliseconds(5));
+        dev.submitHinted(makeRead4k(0), kTimeZero, milliseconds(5));
     EXPECT_TRUE(res.ok());
     EXPECT_EQ(dev.counters().hedgesIssued, 0u);
     EXPECT_EQ(dev.counters().hedgeTokenDenied, 1u);
@@ -289,7 +292,7 @@ TEST(PolicyDeviceTest, WritesAreNeverHedged)
     cfg.hedgeDelay = microseconds(500);
     cfg.hedgeBudgetFraction = 1.0;
     PolicyDevice dev(rdev, cfg);
-    EXPECT_TRUE(dev.submitHinted(makeWrite4k(0), 0, milliseconds(5)).ok());
+    EXPECT_TRUE(dev.submitHinted(makeWrite4k(0), kTimeZero, milliseconds(5)).ok());
     EXPECT_EQ(dev.counters().hedgesIssued, 0u);
     EXPECT_EQ(dev.counters().hedgeTokenDenied, 0u);
 }
@@ -309,7 +312,7 @@ TEST(PolicyDeviceTest, LadderStepsToHedgingOffAtHalfSpentBudget)
     cfg.ladderEvalEvery = 4;
     PolicyDevice dev(rdev, cfg);
     for (int i = 1; i <= 4; ++i)
-        (void)dev.submit(makeRead4k(0), milliseconds(i));
+        (void)dev.submit(makeRead4k(0), kTimeZero + milliseconds(i));
     EXPECT_EQ(dev.ladderLevel(), DegradationLevel::HedgingOff);
     EXPECT_EQ(dev.errorBudgetPpm(), 500000);
     EXPECT_EQ(dev.counters().sloViolations, 2u);
@@ -327,17 +330,17 @@ TEST(PolicyDeviceTest, LadderFailFastShedsThenRecoversAfterDwell)
     PolicyDevice dev(rdev, cfg);
 
     for (int i = 1; i <= 4; ++i)
-        EXPECT_TRUE(dev.submit(makeRead4k(0), milliseconds(i)).ok());
+        EXPECT_TRUE(dev.submit(makeRead4k(0), kTimeZero + milliseconds(i)).ok());
     EXPECT_EQ(dev.ladderLevel(), DegradationLevel::FailFast);
     EXPECT_EQ(dev.errorBudgetPpm(), 0);
 
     // Inside the dwell everything is shed, reads included.
-    const IoResult shed = dev.submit(makeRead4k(0), milliseconds(10));
+    const IoResult shed = dev.submit(makeRead4k(0), kTimeZero + milliseconds(10));
     EXPECT_EQ(shed.status, IoStatus::Rejected);
     EXPECT_EQ(dev.counters().shedFailFast, 1u);
 
     // After the dwell the ladder resets against a fresh window.
-    const IoResult ok = dev.submit(makeRead4k(0), milliseconds(200));
+    const IoResult ok = dev.submit(makeRead4k(0), kTimeZero + milliseconds(200));
     EXPECT_TRUE(ok.ok());
     EXPECT_EQ(dev.ladderLevel(), DegradationLevel::Normal);
 }
@@ -354,13 +357,13 @@ TEST(PolicyDeviceTest, WritesDeferredShedsWritesServesReads)
     cfg.ladderEvalEvery = 4;
     PolicyDevice dev(rdev, cfg);
     for (int i = 1; i <= 4; ++i)
-        (void)dev.submit(makeRead4k(0), milliseconds(i));
+        (void)dev.submit(makeRead4k(0), kTimeZero + milliseconds(i));
     ASSERT_EQ(dev.ladderLevel(), DegradationLevel::WritesDeferred);
 
-    const IoResult w = dev.submit(makeWrite4k(0), milliseconds(10));
+    const IoResult w = dev.submit(makeWrite4k(0), kTimeZero + milliseconds(10));
     EXPECT_EQ(w.status, IoStatus::Rejected);
     EXPECT_EQ(dev.counters().shedWriteDeferred, 1u);
-    const IoResult r = dev.submit(makeRead4k(0), milliseconds(11));
+    const IoResult r = dev.submit(makeRead4k(0), kTimeZero + milliseconds(11));
     EXPECT_TRUE(r.ok());
 }
 
@@ -377,12 +380,12 @@ TEST(PolicyDeviceTest, SupervisorHealthFloorsLadderAtHedgingOff)
     EXPECT_EQ(dev.ladderLevel(), DegradationLevel::HedgingOff);
     // A clean eval cannot drop below the floor while degraded.
     for (int i = 1; i <= 4; ++i)
-        (void)dev.submit(makeRead4k(0), milliseconds(i));
+        (void)dev.submit(makeRead4k(0), kTimeZero + milliseconds(i));
     EXPECT_EQ(dev.ladderLevel(), DegradationLevel::HedgingOff);
     // Recovery lifts the floor; the next eval returns to Normal.
     dev.observeHealth(core::HealthState::Healthy);
     for (int i = 5; i <= 8; ++i)
-        (void)dev.submit(makeRead4k(0), milliseconds(i));
+        (void)dev.submit(makeRead4k(0), kTimeZero + milliseconds(i));
     EXPECT_EQ(dev.ladderLevel(), DegradationLevel::Normal);
 }
 
@@ -395,9 +398,9 @@ TEST(PolicyDeviceTest, DeadlineBudgetSurfacesExpired)
     ResiliencePolicy cfg = quietPolicy();
     cfg.deadlineBudget = milliseconds(5);
     PolicyDevice dev(rdev, cfg);
-    const IoResult res = dev.submit(makeRead4k(0), milliseconds(1));
+    const IoResult res = dev.submit(makeRead4k(0), kTimeZero + milliseconds(1));
     EXPECT_EQ(res.status, IoStatus::Expired);
-    EXPECT_LE(res.completeTime, milliseconds(6));
+    EXPECT_LE(res.completeTime, kTimeZero + milliseconds(6));
     EXPECT_EQ(dev.counters().deadlineExpired, 1u);
     EXPECT_LE(dev.maxExchange(), cfg.deadlineBudget);
 }
@@ -411,8 +414,8 @@ TEST(PolicyDeviceTest, SaveLoadRoundtripRestoresDynamicState)
     ResilientDevice rdev(inner);
     PolicyDevice a(rdev, quietPolicy());
     for (int i = 1; i <= 4; ++i)
-        (void)a.submit(makeRead4k(0), milliseconds(i));
-    (void)a.submit(makeRead4k(0), milliseconds(5)); // One breaker shed.
+        (void)a.submit(makeRead4k(0), kTimeZero + milliseconds(i));
+    (void)a.submit(makeRead4k(0), kTimeZero + milliseconds(5)); // One breaker shed.
     ASSERT_EQ(a.breakerState(), BreakerState::Open);
 
     recovery::StateWriter w;
@@ -437,9 +440,9 @@ TEST(PolicyDeviceTest, SaveLoadRoundtripRestoresDynamicState)
 
     // The restored breaker honors the saved open timestamp: still
     // shedding right after the trip, half-open once the dwell passes.
-    EXPECT_EQ(b.submit(makeRead4k(0), milliseconds(6)).status,
+    EXPECT_EQ(b.submit(makeRead4k(0), kTimeZero + milliseconds(6)).status,
               IoStatus::Rejected);
-    EXPECT_TRUE(b.submit(makeRead4k(0), milliseconds(20)).ok());
+    EXPECT_TRUE(b.submit(makeRead4k(0), kTimeZero + milliseconds(20)).ok());
     EXPECT_EQ(b.breakerState(), BreakerState::HalfOpen);
 }
 
@@ -448,7 +451,7 @@ TEST(PolicyDeviceTest, LoadStateRejectsTruncatedAndIncompatibleState)
     ScriptedDevice inner({{IoStatus::Ok, microseconds(100)}});
     ResilientDevice rdev(inner);
     PolicyDevice a(rdev, quietPolicy());
-    (void)a.submit(makeRead4k(0), milliseconds(1));
+    (void)a.submit(makeRead4k(0), kTimeZero + milliseconds(1));
     recovery::StateWriter w;
     a.saveState(w);
 

@@ -72,10 +72,10 @@ TEST(ResilientDeviceTest, HealthyPassThrough)
 {
     ScriptedDevice inner({{IoStatus::Ok, microseconds(80)}});
     ResilientDevice dev(inner);
-    const IoResult res = dev.submit(makeRead4k(0), milliseconds(1));
+    const IoResult res = dev.submit(makeRead4k(0), sim::kTimeZero + milliseconds(1));
     EXPECT_TRUE(res.ok());
     EXPECT_EQ(res.attempts, 1u);
-    EXPECT_EQ(res.submitTime, milliseconds(1));
+    EXPECT_EQ(res.submitTime, sim::kTimeZero + milliseconds(1));
     EXPECT_EQ(res.latency(), microseconds(80));
     EXPECT_EQ(dev.counters().totalErrors(), 0u);
     EXPECT_EQ(dev.name(), "scripted");
@@ -87,15 +87,15 @@ TEST(ResilientDeviceTest, MediaErrorRetriedThenRecovers)
     ScriptedDevice inner({{IoStatus::MediaError, microseconds(500)},
                           {IoStatus::Ok, microseconds(100)}});
     ResilientDevice dev(inner);
-    const IoResult res = dev.submit(makeRead4k(0), 0);
+    const IoResult res = dev.submit(makeRead4k(0), sim::kTimeZero);
     EXPECT_TRUE(res.ok());
     EXPECT_EQ(res.attempts, 2u);
     // submitTime spans the whole exchange from the original submission.
-    EXPECT_EQ(res.submitTime, 0);
+    EXPECT_EQ(res.submitTime, sim::kTimeZero);
     ASSERT_EQ(inner.submits.size(), 2u);
     // The retry waits out the failed attempt plus the first backoff.
     EXPECT_EQ(inner.submits[1],
-              microseconds(500) + dev.config().backoffBase);
+              sim::kTimeZero + microseconds(500) + dev.config().backoffBase);
     EXPECT_EQ(dev.counters().mediaErrors, 1u);
     EXPECT_EQ(dev.counters().retries, 1u);
     EXPECT_EQ(dev.counters().recovered, 1u);
@@ -126,7 +126,7 @@ TEST(ResilientDeviceTest, ExhaustsAfterMaxRetries)
     ResilienceConfig cfg;
     cfg.maxRetries = 3;
     ResilientDevice dev(inner, cfg);
-    const IoResult res = dev.submit(makeWrite4k(0), 0);
+    const IoResult res = dev.submit(makeWrite4k(0), sim::kTimeZero);
     EXPECT_EQ(res.status, IoStatus::MediaError);
     EXPECT_EQ(res.attempts, 4u); // 1 original + 3 retries
     EXPECT_EQ(inner.submits.size(), 4u);
@@ -140,7 +140,7 @@ TEST(ResilientDeviceTest, DeviceFaultIsPermanent)
 {
     ScriptedDevice inner({{IoStatus::DeviceFault, microseconds(5)}});
     ResilientDevice dev(inner);
-    const IoResult res = dev.submit(makeRead4k(0), 0);
+    const IoResult res = dev.submit(makeRead4k(0), sim::kTimeZero);
     EXPECT_EQ(res.status, IoStatus::DeviceFault);
     EXPECT_EQ(res.attempts, 1u);
     EXPECT_EQ(inner.submits.size(), 1u); // no retry issued
@@ -155,7 +155,7 @@ TEST(ResilientDeviceTest, SlowCompletionClassifiedTimeoutAndRetried)
     ScriptedDevice inner({{IoStatus::Ok, milliseconds(800)}, // too slow
                           {IoStatus::Ok, microseconds(100)}});
     ResilientDevice dev(inner, cfg);
-    const IoResult res = dev.submit(makeRead4k(0), 0);
+    const IoResult res = dev.submit(makeRead4k(0), sim::kTimeZero);
     EXPECT_TRUE(res.ok());
     EXPECT_EQ(res.attempts, 2u);
     EXPECT_EQ(dev.counters().timeouts, 1u);
@@ -164,7 +164,7 @@ TEST(ResilientDeviceTest, SlowCompletionClassifiedTimeoutAndRetried)
     // The host gives up at the timeout threshold, not at the (later)
     // actual completion: the retry goes out from there.
     EXPECT_LE(inner.submits[1],
-              milliseconds(500) + dev.backoffFor(1));
+              sim::kTimeZero + milliseconds(500) + dev.backoffFor(1));
 }
 
 TEST(ResilientDeviceTest, TimeoutClassificationCanBeDisabled)
@@ -173,7 +173,7 @@ TEST(ResilientDeviceTest, TimeoutClassificationCanBeDisabled)
     cfg.timeoutAfter = 0;
     ScriptedDevice inner({{IoStatus::Ok, milliseconds(900)}});
     ResilientDevice dev(inner, cfg);
-    const IoResult res = dev.submit(makeRead4k(0), 0);
+    const IoResult res = dev.submit(makeRead4k(0), sim::kTimeZero);
     EXPECT_TRUE(res.ok());
     EXPECT_EQ(res.attempts, 1u);
     EXPECT_EQ(dev.counters().timeouts, 0u);
@@ -262,18 +262,19 @@ TEST(ResilientDeviceProperty, DeadlineBudgetsAlwaysDominate)
         ResilientDevice a(innerA);
         ResilientDevice b(innerB);
         sim::Rng ctl(seed ^ 0x9e3779b97f4a7c15ULL);
-        sim::SimTime now = 0;
+        sim::SimTime now;
         for (int i = 0; i < 200; ++i) {
             const sim::SimDuration budget =
                 microseconds(ctl.uniformInt(0, 800000));
-            const sim::SimTime deadline = budget == 0 ? 0 : now + budget;
+            const sim::SimTime deadline =
+                budget == 0 ? sim::kTimeZero : now + budget;
             const IoResult ra = a.submitBounded(makeRead4k(0), now, deadline);
             const IoResult rb = b.submitBounded(makeRead4k(0), now, deadline);
             EXPECT_EQ(ra.status, rb.status) << "seed " << seed;
             EXPECT_EQ(ra.completeTime, rb.completeTime) << "seed " << seed;
             EXPECT_EQ(ra.attempts, rb.attempts) << "seed " << seed;
             EXPECT_GE(ra.completeTime, now);
-            if (deadline != 0) {
+            if (deadline != sim::kTimeZero) {
                 EXPECT_LE(ra.completeTime, deadline)
                     << "seed " << seed << " req " << i << " status "
                     << toString(ra.status);
@@ -293,10 +294,10 @@ TEST(ResilientDeviceProperty, UnboundedSubmitMatchesZeroDeadline)
     RandomFaultyDevice innerB(42);
     ResilientDevice a(innerA);
     ResilientDevice b(innerB);
-    sim::SimTime now = 0;
+    sim::SimTime now;
     for (int i = 0; i < 100; ++i) {
         const IoResult ra = a.submit(makeRead4k(0), now);
-        const IoResult rb = b.submitBounded(makeRead4k(0), now, 0);
+        const IoResult rb = b.submitBounded(makeRead4k(0), now, sim::kTimeZero);
         EXPECT_EQ(ra.status, rb.status);
         EXPECT_EQ(ra.completeTime, rb.completeTime);
         EXPECT_EQ(ra.attempts, rb.attempts);
@@ -311,7 +312,7 @@ TEST(ResilientDeviceTest, ZeroMaxRetriesFailsFast)
     ScriptedDevice inner({{IoStatus::MediaError, microseconds(100)},
                           {IoStatus::Ok, microseconds(100)}});
     ResilientDevice dev(inner, cfg);
-    const IoResult res = dev.submit(makeRead4k(0), 0);
+    const IoResult res = dev.submit(makeRead4k(0), sim::kTimeZero);
     EXPECT_EQ(res.status, IoStatus::MediaError);
     EXPECT_EQ(res.attempts, 1u);
     EXPECT_EQ(dev.counters().exhausted, 1u);

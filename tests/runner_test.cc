@@ -30,7 +30,7 @@ TEST(ClosedLoopRunnerTest, RunsWholeTrace)
     ssd::SsdDevice dev(cfg());
     dev.precondition();
     const auto trace = workload::buildRandomWriteTrace(2000, 8192, 1);
-    const StreamResult res = runClosedLoop(dev, trace, 4, 0, 0);
+    const StreamResult res = runClosedLoop(dev, trace, 4, 0, sim::kTimeZero);
     EXPECT_EQ(res.requests, 2000u);
     EXPECT_EQ(res.latency.count(), 2000u);
     EXPECT_EQ(res.bytes, 2000u * 4096);
@@ -42,8 +42,8 @@ TEST(ClosedLoopRunnerTest, ThinktimeSlowsTheStream)
 {
     ssd::SsdDevice dev1(cfg()), dev2(cfg());
     const auto trace = workload::buildRandomWriteTrace(500, 8192, 1);
-    const auto fast = runClosedLoop(dev1, trace, 1, 0, 0);
-    const auto slow = runClosedLoop(dev2, trace, 1, microseconds(500), 0);
+    const auto fast = runClosedLoop(dev1, trace, 1, 0, sim::kTimeZero);
+    const auto slow = runClosedLoop(dev2, trace, 1, microseconds(500), sim::kTimeZero);
     EXPECT_GT(slow.endTime - slow.startTime,
               fast.endTime - fast.startTime);
 }
@@ -58,8 +58,8 @@ TEST(ClosedLoopRunnerTest, HigherQueueDepthRaisesThroughput)
     p.writeFraction = 0.0; // reads exploit the parallel read pipeline
     p.spanPages = 8192;
     const auto trace = workload::buildMixedTrace(p, "r");
-    const auto qd1 = runClosedLoop(dev1, trace, 1, 0, 0);
-    const auto qd8 = runClosedLoop(dev2, trace, 8, 0, 0);
+    const auto qd1 = runClosedLoop(dev1, trace, 1, 0, sim::kTimeZero);
+    const auto qd8 = runClosedLoop(dev2, trace, 8, 0, sim::kTimeZero);
     EXPECT_GT(qd8.throughputMbps(), qd1.throughputMbps() * 1.5);
 }
 
@@ -68,7 +68,7 @@ TEST(ClosedLoopRunnerTest, SeparatesReadAndWriteLatencies)
     ssd::SsdDevice dev(cfg());
     dev.precondition();
     const auto trace = workload::buildRwMixedTrace(2000, 8192, 2);
-    const StreamResult res = runClosedLoop(dev, trace, 1, 0, 0);
+    const StreamResult res = runClosedLoop(dev, trace, 1, 0, sim::kTimeZero);
     EXPECT_GT(res.readLatency.count(), 0u);
     EXPECT_GT(res.writeLatency.count(), 0u);
     EXPECT_EQ(res.readLatency.count() + res.writeLatency.count(),
@@ -97,14 +97,14 @@ TEST(TenantRunnerTest, TenantsInterleaveOnOneDevice)
     tenants[1].trace = &t2;
     tenants[1].dev = &dev;
     tenants[1].name = "reader";
-    const auto results = runTenantsClosedLoop(tenants, 0);
+    const auto results = runTenantsClosedLoop(tenants, sim::kTimeZero);
     ASSERT_EQ(results.size(), 2u);
     EXPECT_EQ(results[0].requests, 1000u);
     EXPECT_EQ(results[1].requests, 1000u);
     EXPECT_EQ(results[0].name, "writer");
     // Both ran concurrently: spans overlap.
-    EXPECT_GT(results[0].endTime, 0);
-    EXPECT_GT(results[1].endTime, 0);
+    EXPECT_GT(results[0].endTime, sim::kTimeZero);
+    EXPECT_GT(results[1].endTime, sim::kTimeZero);
 }
 
 TEST(ScheduledRunnerTest, CompletesAllArrivalsAndMeasuresQueueing)
@@ -115,7 +115,7 @@ TEST(ScheduledRunnerTest, CompletesAllArrivalsAndMeasuresQueueing)
     sim::Rng rng(6);
     trace.assignPoissonArrivals(5000.0, rng);
     NoopScheduler sched;
-    const auto res = runScheduled(dev, sched, trace, 0, nullptr);
+    const auto res = runScheduled(dev, sched, trace, sim::kTimeZero, nullptr);
     EXPECT_EQ(res.stream.requests, 2000u);
     EXPECT_EQ(res.schedulerName, "noop");
     EXPECT_GE(res.maxQueueDepth, 1u);
@@ -131,7 +131,7 @@ TEST(ScheduledRunnerTest, OverloadGrowsQueue)
     sim::Rng rng(8);
     trace.assignPoissonArrivals(1e6, rng); // far beyond service rate
     NoopScheduler sched;
-    const auto res = runScheduled(dev, sched, trace, 0, nullptr);
+    const auto res = runScheduled(dev, sched, trace, sim::kTimeZero, nullptr);
     EXPECT_GT(res.maxQueueDepth, 100u);
 }
 
@@ -152,7 +152,7 @@ TEST(ScheduledRunnerTest, WiderDispatchRaisesReadThroughput)
         trace.assignPoissonArrivals(30000.0, rng);
         NoopScheduler sched;
         const auto res =
-            runScheduled(dev, sched, trace, 0, nullptr, width);
+            runScheduled(dev, sched, trace, sim::kTimeZero, nullptr, width);
         return res.stream.endTime - res.stream.startTime;
     };
     EXPECT_LT(run(8), run(1));
@@ -166,7 +166,7 @@ TEST(ScheduledRunnerTest, WideDispatchCompletesEverything)
     sim::Rng rng(15);
     trace.assignPoissonArrivals(8000.0, rng);
     DeadlineScheduler sched;
-    const auto res = runScheduled(dev, sched, trace, 0, nullptr, 4);
+    const auto res = runScheduled(dev, sched, trace, sim::kTimeZero, nullptr, 4);
     EXPECT_EQ(res.stream.requests, 3000u);
 }
 
@@ -177,10 +177,10 @@ TEST(ScheduledRunnerTest, IdlePeriodsAreSkipped)
     sim::Rng rng(10);
     trace.assignPoissonArrivals(10.0, rng); // ~100ms gaps
     NoopScheduler sched;
-    const auto res = runScheduled(dev, sched, trace, 0, nullptr);
+    const auto res = runScheduled(dev, sched, trace, sim::kTimeZero, nullptr);
     EXPECT_EQ(res.stream.requests, 10u);
     // Makespan is dominated by arrival gaps, not service.
-    EXPECT_GT(res.stream.endTime, milliseconds(100));
+    EXPECT_GT(res.stream.endTime, sim::kTimeZero + milliseconds(100));
 }
 
 } // namespace

@@ -9,6 +9,7 @@ namespace {
 using blockdev::IoType;
 using blockdev::makeRead4k;
 using blockdev::makeWrite4k;
+using sim::kTimeZero;
 using sim::microseconds;
 using sim::milliseconds;
 
@@ -25,53 +26,53 @@ qr(const blockdev::IoRequest &req, sim::SimTime arrival, uint64_t seq)
 TEST(NoopSchedulerTest, StrictFifo)
 {
     NoopScheduler s;
-    s.enqueue(qr(makeWrite4k(1), 0, 0));
-    s.enqueue(qr(makeRead4k(2), 1, 1));
-    s.enqueue(qr(makeWrite4k(3), 2, 2));
+    s.enqueue(qr(makeWrite4k(1), kTimeZero, 0));
+    s.enqueue(qr(makeRead4k(2), kTimeZero + 1, 1));
+    s.enqueue(qr(makeWrite4k(3), kTimeZero + 2, 2));
     EXPECT_EQ(s.depth(), 3u);
-    EXPECT_EQ(s.dequeue(10).seq, 0u);
-    EXPECT_EQ(s.dequeue(10).seq, 1u);
-    EXPECT_EQ(s.dequeue(10).seq, 2u);
+    EXPECT_EQ(s.dequeue(kTimeZero + 10).seq, 0u);
+    EXPECT_EQ(s.dequeue(kTimeZero + 10).seq, 1u);
+    EXPECT_EQ(s.dequeue(kTimeZero + 10).seq, 2u);
     EXPECT_TRUE(s.empty());
 }
 
 TEST(DeadlineSchedulerTest, ReadsJumpWrites)
 {
     DeadlineScheduler s;
-    s.enqueue(qr(makeWrite4k(1), 0, 0));
-    s.enqueue(qr(makeRead4k(2), 1, 1));
-    EXPECT_EQ(s.dequeue(microseconds(10)).seq, 1u); // read first
-    EXPECT_EQ(s.dequeue(microseconds(10)).seq, 0u);
+    s.enqueue(qr(makeWrite4k(1), kTimeZero, 0));
+    s.enqueue(qr(makeRead4k(2), kTimeZero + 1, 1));
+    EXPECT_EQ(s.dequeue(kTimeZero + microseconds(10)).seq, 1u); // read first
+    EXPECT_EQ(s.dequeue(kTimeZero + microseconds(10)).seq, 0u);
 }
 
 TEST(DeadlineSchedulerTest, ExpiredWriteBeatsReads)
 {
     DeadlineScheduler s(microseconds(500), milliseconds(5));
-    s.enqueue(qr(makeWrite4k(1), 0, 0));
-    s.enqueue(qr(makeRead4k(2), milliseconds(6), 1));
+    s.enqueue(qr(makeWrite4k(1), kTimeZero, 0));
+    s.enqueue(qr(makeRead4k(2), kTimeZero + milliseconds(6), 1));
     // At t=6ms the write has waited past its 5ms deadline.
-    EXPECT_EQ(s.dequeue(milliseconds(6)).seq, 0u);
+    EXPECT_EQ(s.dequeue(kTimeZero + milliseconds(6)).seq, 0u);
 }
 
 TEST(DeadlineSchedulerTest, DrainsWritesWhenNoReads)
 {
     DeadlineScheduler s;
-    s.enqueue(qr(makeWrite4k(1), 0, 0));
-    s.enqueue(qr(makeWrite4k(2), 0, 1));
-    EXPECT_EQ(s.dequeue(0).seq, 0u);
-    EXPECT_EQ(s.dequeue(0).seq, 1u);
+    s.enqueue(qr(makeWrite4k(1), kTimeZero, 0));
+    s.enqueue(qr(makeWrite4k(2), kTimeZero, 1));
+    EXPECT_EQ(s.dequeue(kTimeZero).seq, 0u);
+    EXPECT_EQ(s.dequeue(kTimeZero).seq, 1u);
 }
 
 TEST(CfqSchedulerTest, ReadsGetLargerQuantum)
 {
     CfqScheduler s(2, 1);
     for (uint64_t i = 0; i < 4; ++i)
-        s.enqueue(qr(makeRead4k(i), 0, i));
+        s.enqueue(qr(makeRead4k(i), kTimeZero, i));
     for (uint64_t i = 0; i < 4; ++i)
-        s.enqueue(qr(makeWrite4k(i), 0, 10 + i));
+        s.enqueue(qr(makeWrite4k(i), kTimeZero, 10 + i));
     std::vector<bool> isRead;
     while (!s.empty())
-        isRead.push_back(s.dequeue(0).req.isRead());
+        isRead.push_back(s.dequeue(kTimeZero).req.isRead());
     // 2 reads : 1 write alternation until a class drains.
     ASSERT_EQ(isRead.size(), 8u);
     int reads = 0;
@@ -83,11 +84,11 @@ TEST(CfqSchedulerTest, ReadsGetLargerQuantum)
 TEST(CfqSchedulerTest, FallsBackWhenClassEmpty)
 {
     CfqScheduler s(2, 2);
-    s.enqueue(qr(makeWrite4k(1), 0, 0));
-    EXPECT_EQ(s.dequeue(0).seq, 0u);
+    s.enqueue(qr(makeWrite4k(1), kTimeZero, 0));
+    EXPECT_EQ(s.dequeue(kTimeZero).seq, 0u);
     EXPECT_TRUE(s.empty());
-    s.enqueue(qr(makeRead4k(1), 0, 1));
-    EXPECT_EQ(s.dequeue(0).seq, 1u);
+    s.enqueue(qr(makeRead4k(1), kTimeZero, 1));
+    EXPECT_EQ(s.dequeue(kTimeZero).seq, 1u);
 }
 
 TEST(SchedulerNamesTest, ReportNames)

@@ -33,10 +33,35 @@ TEST(SimTimeTest, ConversionsHandleFractions)
 
 TEST(SimTimeTest, DurationsAreSignedAndSubtractable)
 {
-    const SimTime a = microseconds(100);
-    const SimTime b = microseconds(350);
+    const SimTime a = kTimeZero + microseconds(100);
+    const SimTime b = kTimeZero + microseconds(350);
     EXPECT_EQ(b - a, microseconds(250));
     EXPECT_LT(a - b, 0);
+}
+
+TEST(SimTimeTest, PointPlusDurationIsAPoint)
+{
+    SimTime t{1000};
+    t += microseconds(1);
+    EXPECT_EQ(t.ns(), 1000 + 1000);
+    t -= nanoseconds(500);
+    EXPECT_EQ(t.ns(), 1500);
+    EXPECT_EQ((t + nanoseconds(500)).ns(), 2000);
+    EXPECT_EQ((nanoseconds(500) + t).ns(), 2000);
+    EXPECT_EQ((t - nanoseconds(500)).ns(), 1000);
+}
+
+TEST(SimTimeTest, PointsCompare)
+{
+    const SimTime a{10};
+    const SimTime b{20};
+    EXPECT_TRUE(a < b);
+    EXPECT_TRUE(b > a);
+    EXPECT_TRUE(a <= a);
+    EXPECT_TRUE(a >= a);
+    EXPECT_TRUE(a != b);
+    EXPECT_TRUE(a == SimTime{10});
+    EXPECT_EQ(kTimeZero.ns(), 0);
 }
 
 TEST(SimTimeTest, FormatPicksReadableUnits)

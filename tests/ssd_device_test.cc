@@ -15,6 +15,7 @@ using blockdev::IoType;
 using blockdev::kSectorsPerPage;
 using blockdev::makeRead4k;
 using blockdev::makeWrite4k;
+using sim::kTimeZero;
 using sim::microseconds;
 using sim::SimTime;
 
@@ -48,9 +49,9 @@ TEST(SsdDeviceTest, WriteReadRoundTripWithStamps)
 {
     SsdDevice dev(twoVolumeCfg());
     const uint64_t stamp = 0x1234;
-    dev.submitDetailed(makeWrite4k(100), 0, nullptr, &stamp, nullptr);
+    dev.submitDetailed(makeWrite4k(100), kTimeZero, nullptr, &stamp, nullptr);
     uint64_t got = 0;
-    dev.submitDetailed(makeRead4k(100), microseconds(100), nullptr, nullptr,
+    dev.submitDetailed(makeRead4k(100), kTimeZero + microseconds(100), nullptr, nullptr,
                        &got);
     EXPECT_EQ(got, stamp);
 }
@@ -61,7 +62,7 @@ TEST(SsdDeviceTest, VolumesDoNotBlockEachOther)
     SsdDevice dev(cfg);
     dev.precondition();
     // Fill volume 0's buffer (pages with bit 10 of the LBA clear).
-    SimTime t = 0;
+    SimTime t;
     for (uint32_t i = 0; i < cfg.bufferPages(); ++i) {
         const auto res = dev.submit(makeWrite4k(i), t);
         t = std::max(t, res.completeTime);
@@ -87,8 +88,8 @@ TEST(SsdDeviceTest, BusSerializesSubmissions)
     // shared resource is the host interface, so the second completes
     // exactly one bus slot later.
     const uint64_t vol1Page = (1ULL << 10) / blockdev::kSectorsPerPage;
-    const auto a = dev.submit(makeWrite4k(0), 0);
-    const auto b = dev.submit(makeWrite4k(vol1Page), 0);
+    const auto a = dev.submit(makeWrite4k(0), kTimeZero);
+    const auto b = dev.submit(makeWrite4k(vol1Page), kTimeZero);
     EXPECT_EQ(b.completeTime - a.completeTime, cfg.busTime);
 }
 
@@ -99,7 +100,7 @@ TEST(SsdDeviceTest, TrimCompletesQuickly)
     t.type = IoType::Trim;
     t.lba = 0;
     t.sectors = 8;
-    const auto res = dev.submit(t, 0);
+    const auto res = dev.submit(t, kTimeZero);
     EXPECT_LT(res.latency(), microseconds(50));
 }
 
@@ -107,8 +108,8 @@ TEST(SsdDeviceTest, PurgeDropsData)
 {
     SsdDevice dev(twoVolumeCfg());
     const uint64_t stamp = 9;
-    dev.submitDetailed(makeWrite4k(3), 0, nullptr, &stamp, nullptr);
-    dev.purge(microseconds(10));
+    dev.submitDetailed(makeWrite4k(3), kTimeZero, nullptr, &stamp, nullptr);
+    dev.purge(kTimeZero + microseconds(10));
     uint64_t got = 0;
     EXPECT_FALSE(dev.peekPage(3, &got));
 }
@@ -128,7 +129,7 @@ TEST(SsdDeviceTest, HiccupAlwaysFiresAtProbabilityOne)
     cfg.hiccupProbability = 1.0;
     SsdDevice dev(cfg);
     IoDetail d;
-    const auto res = dev.submitDetailed(makeWrite4k(0), 0, &d);
+    const auto res = dev.submitDetailed(makeWrite4k(0), kTimeZero, &d);
     EXPECT_TRUE(d.hiccup);
     EXPECT_GE(res.latency(), cfg.hiccupMin);
 }
@@ -145,7 +146,7 @@ TEST(SsdDeviceTest, MultiPageWriteSpanningVolumes)
     w.lba = boundaryPage * kSectorsPerPage;
     w.sectors = 2 * kSectorsPerPage;
     const uint64_t stamp = 500;
-    dev.submitDetailed(w, 0, nullptr, &stamp, nullptr);
+    dev.submitDetailed(w, kTimeZero, nullptr, &stamp, nullptr);
     uint64_t got = 0;
     ASSERT_TRUE(dev.peekPage(boundaryPage, &got));
     EXPECT_EQ(got, 500u);
@@ -158,11 +159,11 @@ TEST(SsdDeviceTest, OptimalModeIsFastAndFunctional)
     SsdConfig cfg = makePrototype(PrototypeVariant::Optimal);
     SsdDevice dev(cfg);
     const uint64_t stamp = 77;
-    const auto w = dev.submitDetailed(makeWrite4k(5), 0, nullptr, &stamp,
+    const auto w = dev.submitDetailed(makeWrite4k(5), kTimeZero, nullptr, &stamp,
                                       nullptr);
     EXPECT_LT(w.latency(), microseconds(30));
     uint64_t got = 0;
-    dev.submitDetailed(makeRead4k(5), microseconds(1), nullptr, nullptr,
+    dev.submitDetailed(makeRead4k(5), kTimeZero + microseconds(1), nullptr, nullptr,
                        &got);
     EXPECT_EQ(got, 77u);
     uint64_t peeked = 0;
@@ -174,7 +175,7 @@ TEST(SsdDeviceTest, TotalCountersAggregateVolumes)
 {
     const SsdConfig cfg = twoVolumeCfg();
     SsdDevice dev(cfg);
-    SimTime t = 0;
+    SimTime t;
     for (uint64_t p = 0; p < 20; ++p) {
         const auto res = dev.submit(makeWrite4k(p), t);
         t = res.completeTime;
@@ -194,8 +195,8 @@ TEST(SsdDeviceTest, TotalCountersAggregateVolumes)
 TEST(SsdDeviceDeathTest, NonMonotoneSubmissionAsserts)
 {
     SsdDevice dev(twoVolumeCfg());
-    dev.submit(makeWrite4k(0), microseconds(100));
-    EXPECT_DEATH(dev.submit(makeWrite4k(1), microseconds(50)),
+    dev.submit(makeWrite4k(0), kTimeZero + microseconds(100));
+    EXPECT_DEATH(dev.submit(makeWrite4k(1), kTimeZero + microseconds(50)),
                  "time-ordered");
 }
 #endif
@@ -223,7 +224,7 @@ TEST_P(PresetIntegrityTest, RandomWorkloadPreservesData)
 
     sim::Rng rng(static_cast<uint64_t>(GetParam()) + 1);
     std::unordered_map<uint64_t, uint64_t> expected;
-    SimTime t = 0;
+    SimTime t;
     uint64_t stamp = 1;
     for (int op = 0; op < 30000; ++op) {
         const uint64_t page = rng.nextBelow(cfg.userCapacityPages);
@@ -269,7 +270,7 @@ TEST(SsdDeviceValidationTest, ZeroSectorRequestRejected)
     SsdDevice dev(twoVolumeCfg());
     IoRequest req = makeRead4k(0);
     req.sectors = 0;
-    const auto res = dev.submit(req, microseconds(10));
+    const auto res = dev.submit(req, kTimeZero + microseconds(10));
     EXPECT_EQ(res.status, blockdev::IoStatus::DeviceFault);
     EXPECT_FALSE(res.ok());
     // Rejected fast, with time still advancing (nonzero error latency).
@@ -283,12 +284,12 @@ TEST(SsdDeviceValidationTest, OutOfCapacityRequestRejected)
     // First sector past the end: off-by-one probes must not slip in.
     IoRequest req = makeWrite4k(0);
     req.lba = dev.capacitySectors() - kSectorsPerPage + 1;
-    const auto res = dev.submit(req, 0);
+    const auto res = dev.submit(req, kTimeZero);
     EXPECT_EQ(res.status, blockdev::IoStatus::DeviceFault);
 
     // The last fully in-range page is still fine.
     IoRequest last = makeWrite4k(dev.capacityPages() - 1);
-    EXPECT_EQ(dev.submit(last, 0).status, blockdev::IoStatus::Ok);
+    EXPECT_EQ(dev.submit(last, kTimeZero).status, blockdev::IoStatus::Ok);
 }
 
 TEST(SsdDeviceValidationTest, AddressOverflowRejected)
@@ -296,7 +297,7 @@ TEST(SsdDeviceValidationTest, AddressOverflowRejected)
     SsdDevice dev(twoVolumeCfg());
     IoRequest req = makeRead4k(0);
     req.lba = ~0ULL - 2; // lba + sectors wraps around
-    const auto res = dev.submit(req, 0);
+    const auto res = dev.submit(req, kTimeZero);
     EXPECT_EQ(res.status, blockdev::IoStatus::DeviceFault);
 }
 
@@ -304,14 +305,14 @@ TEST(SsdDeviceValidationTest, RejectionLeavesDeviceStateIntact)
 {
     SsdDevice dev(twoVolumeCfg());
     const uint64_t stamp = 0x5eed;
-    dev.submitDetailed(makeWrite4k(9), 0, nullptr, &stamp, nullptr);
+    dev.submitDetailed(makeWrite4k(9), kTimeZero, nullptr, &stamp, nullptr);
 
     IoRequest bad = makeWrite4k(0);
     bad.lba = dev.capacitySectors(); // one page past the end
-    dev.submit(bad, microseconds(50));
+    dev.submit(bad, kTimeZero + microseconds(50));
 
     uint64_t got = 0;
-    dev.submitDetailed(makeRead4k(9), microseconds(100), nullptr, nullptr,
+    dev.submitDetailed(makeRead4k(9), kTimeZero + microseconds(100), nullptr, nullptr,
                        &got);
     EXPECT_EQ(got, stamp);
 }

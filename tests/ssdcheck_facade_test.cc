@@ -30,12 +30,13 @@ TEST(SsdCheckFacadeTest, UnusableFeaturesDisablePrediction)
     EXPECT_FALSE(check.enabled());
     EXPECT_EQ(check.engine(), nullptr);
     // Predictions are harmless NL.
-    const Prediction p = check.predict(makeRead4k(1), 0);
+    const Prediction p = check.predict(makeRead4k(1), sim::kTimeZero);
     EXPECT_FALSE(p.hl);
     // Completions still classify correctly.
-    EXPECT_TRUE(check.onComplete(makeRead4k(1), p, 0, milliseconds(5)));
-    EXPECT_FALSE(
-        check.onComplete(makeRead4k(1), p, 0, microseconds(100)));
+    EXPECT_TRUE(check.onComplete(makeRead4k(1), p, sim::kTimeZero,
+                                 sim::kTimeZero + milliseconds(5)));
+    EXPECT_FALSE(check.onComplete(makeRead4k(1), p, sim::kTimeZero,
+                                  sim::kTimeZero + microseconds(100)));
 }
 
 TEST(SsdCheckFacadeTest, UsableFeaturesEnablePrediction)
@@ -90,7 +91,7 @@ TEST(SsdCheckFacadeTest, PredictIsSideEffectFree)
 {
     SsdCheck check(usableFeatures());
     for (int i = 0; i < 100; ++i)
-        check.predict(makeWrite4k(i), i);
+        check.predict(makeWrite4k(i), sim::SimTime{i});
     // No submissions happened: the buffer counter is untouched.
     EXPECT_EQ(check.engine()->wbModel(0).counter(), 0u);
 }
@@ -105,7 +106,7 @@ TEST(SsdCheckFacadeTest, AutoDisableAfterSustainedFailure)
     SsdCheck check(usableFeatures(), rc);
     // Stream of HL completions the model never predicted.
     Prediction nl;
-    sim::SimTime t = 0;
+    sim::SimTime t;
     for (int i = 0; i < 600 && check.enabled(); ++i) {
         t += milliseconds(1);
         check.onComplete(makeRead4k(5), nl, t, t + microseconds(800));

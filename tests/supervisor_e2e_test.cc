@@ -62,7 +62,7 @@ struct E2eOutcome
     HealthState finalState = HealthState::Healthy;
     core::HealthCounters counters;
     uint32_t swapPages = 0;
-    sim::SimTime start = 0, end = 0;
+    sim::SimTime start, end;
 };
 
 /** Three-phase run: pre-drift, drift + (maybe) repair, post. */
@@ -89,7 +89,7 @@ runThreePhases(bool withSupervisor)
         kPhaseRequests, dev.capacityPages(), 79);
 
     E2eOutcome out;
-    sim::SimTime t = 0;
+    sim::SimTime t;
     out.start = t;
     out.pre = core::evaluatePredictionAccuracy(rdev, check, tracePre, t,
                                                &t, sup.get());

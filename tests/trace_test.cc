@@ -77,7 +77,7 @@ TEST(TraceTest, PoissonArrivalsAreMonotoneAndRoughlyRate)
         t.add(req(IoType::Read, i % 100));
     sim::Rng rng(1);
     t.assignPoissonArrivals(10000.0, rng); // 10k IOPS
-    sim::SimTime prev = -1;
+    sim::SimDuration prev = -1;
     for (const auto &r : t.records()) {
         EXPECT_GE(r.arrival, prev);
         prev = r.arrival;

@@ -7,6 +7,8 @@
 namespace ssdcheck::ssd {
 namespace {
 
+using core::Lpn;
+using sim::kTimeZero;
 using sim::microseconds;
 using sim::SimTime;
 
@@ -32,8 +34,8 @@ TEST(VolumeTest, NormalWriteLatencyIsAckTime)
     const SsdConfig cfg = smallCfg();
     Volume v(cfg, 0, sim::Rng(1));
     IoDetail d;
-    const SimTime done = v.serveWrite(0, 100, 42, &d);
-    EXPECT_EQ(done, cfg.writeAckTime);
+    const SimTime done = v.serveWrite(kTimeZero, Lpn{100}, 42, &d);
+    EXPECT_EQ(done, kTimeZero + cfg.writeAckTime);
     EXPECT_FALSE(d.triggeredFlush);
     EXPECT_EQ(d.cause(), IoDetail::Cause::Others);
 }
@@ -42,8 +44,8 @@ TEST(VolumeTest, WriteGateSerializesWrites)
 {
     const SsdConfig cfg = smallCfg();
     Volume v(cfg, 0, sim::Rng(1));
-    const SimTime a1 = v.serveWrite(0, 1, 0, nullptr);
-    const SimTime a2 = v.serveWrite(0, 2, 0, nullptr);
+    const SimTime a1 = v.serveWrite(kTimeZero, Lpn{1}, 0, nullptr);
+    const SimTime a2 = v.serveWrite(kTimeZero, Lpn{2}, 0, nullptr);
     EXPECT_EQ(a2 - a1, cfg.writeCpuTime);
 }
 
@@ -54,14 +56,14 @@ TEST(VolumeTest, BufferFillTriggersFlushAtCapacity)
     IoDetail d;
     for (uint32_t i = 0; i < cfg.bufferPages() - 1; ++i) {
         d = IoDetail{};
-        v.serveWrite(0, i, i, &d);
+        v.serveWrite(kTimeZero, Lpn{i}, i, &d);
         EXPECT_FALSE(d.triggeredFlush) << "write " << i;
     }
     d = IoDetail{};
-    v.serveWrite(0, 99, 99, &d);
+    v.serveWrite(kTimeZero, Lpn{99}, 99, &d);
     EXPECT_TRUE(d.triggeredFlush);
     EXPECT_GT(d.flushTime, 0);
-    EXPECT_GT(v.nandBusyUntil(), 0);
+    EXPECT_GT(v.nandBusyUntil(), kTimeZero);
     EXPECT_EQ(v.counters().flushes, 1u);
     EXPECT_EQ(v.bufferFill(), 0u);
 }
@@ -70,11 +72,11 @@ TEST(VolumeTest, BackTypeTriggerWriteAcksFast)
 {
     const SsdConfig cfg = smallCfg(); // back by default
     Volume v(cfg, 0, sim::Rng(1));
-    SimTime last = 0;
+    SimTime last;
     for (uint32_t i = 0; i < cfg.bufferPages(); ++i)
-        last = v.serveWrite(last, i, i, nullptr);
+        last = v.serveWrite(last, Lpn{i}, i, nullptr);
     // The flush runs in background: the triggering ack stays small.
-    EXPECT_LT(last, microseconds(800));
+    EXPECT_LT(last, kTimeZero + microseconds(800));
     EXPECT_GT(v.nandBusyUntil(), last);
 }
 
@@ -83,11 +85,11 @@ TEST(VolumeTest, ForeTypeTriggerWriteWaitsForFlush)
     SsdConfig cfg = smallCfg();
     cfg.bufferType = BufferType::Fore;
     Volume v(cfg, 0, sim::Rng(1));
-    SimTime last = 0;
+    SimTime last;
     for (uint32_t i = 0; i < cfg.bufferPages(); ++i)
-        last = v.serveWrite(last, i, i, nullptr);
+        last = v.serveWrite(last, Lpn{i}, i, nullptr);
     EXPECT_GE(last, v.nandBusyUntil());
-    EXPECT_GT(last, sim::milliseconds(1));
+    EXPECT_GT(last, kTimeZero + sim::milliseconds(1));
 }
 
 TEST(VolumeTest, ReadBlockedDuringFlush)
@@ -95,12 +97,12 @@ TEST(VolumeTest, ReadBlockedDuringFlush)
     const SsdConfig cfg = smallCfg();
     Volume v(cfg, 0, sim::Rng(1));
     v.prefill(0);
-    SimTime t = 0;
+    SimTime t;
     for (uint32_t i = 0; i < cfg.bufferPages(); ++i)
-        t = v.serveWrite(t, i, i, nullptr);
+        t = v.serveWrite(t, Lpn{i}, i, nullptr);
     // Read an address not in the buffer: must wait out the flush.
     IoDetail d;
-    const SimTime done = v.serveRead(t, 5000, nullptr, &d);
+    const SimTime done = v.serveRead(t, Lpn{5000}, nullptr, &d);
     EXPECT_TRUE(d.blockedByBusy);
     EXPECT_GE(done, v.nandBusyUntil());
     EXPECT_EQ(d.cause(), IoDetail::Cause::WriteBuffer);
@@ -111,12 +113,12 @@ TEST(VolumeTest, ReadAfterFlushCompletesIsNormal)
     const SsdConfig cfg = smallCfg();
     Volume v(cfg, 0, sim::Rng(1));
     v.prefill(0);
-    SimTime t = 0;
+    SimTime t;
     for (uint32_t i = 0; i < cfg.bufferPages(); ++i)
-        t = v.serveWrite(t, i, i, nullptr);
+        t = v.serveWrite(t, Lpn{i}, i, nullptr);
     const SimTime idle = v.nandBusyUntil() + microseconds(10);
     IoDetail d;
-    const SimTime done = v.serveRead(idle, 5000, nullptr, &d);
+    const SimTime done = v.serveRead(idle, Lpn{5000}, nullptr, &d);
     EXPECT_FALSE(d.blockedByBusy);
     EXPECT_EQ(done - idle,
               cfg.readOverheadTime + cfg.nandTiming.readLatency);
@@ -126,13 +128,14 @@ TEST(VolumeTest, BufferHitReadIsFast)
 {
     const SsdConfig cfg = smallCfg();
     Volume v(cfg, 0, sim::Rng(1));
-    v.serveWrite(0, 77, 4242, nullptr);
+    v.serveWrite(kTimeZero, Lpn{77}, 4242, nullptr);
     IoDetail d;
     uint64_t payload = 0;
-    const SimTime done = v.serveRead(microseconds(100), 77, &payload, &d);
+    const SimTime start = kTimeZero + microseconds(100);
+    const SimTime done = v.serveRead(start, Lpn{77}, &payload, &d);
     EXPECT_TRUE(d.bufferHit);
     EXPECT_EQ(payload, 4242u);
-    EXPECT_EQ(done - microseconds(100), cfg.bufferReadTime);
+    EXPECT_EQ(done - start, cfg.bufferReadTime);
 }
 
 TEST(VolumeTest, BackpressureWhenFlushesOverlap)
@@ -141,11 +144,11 @@ TEST(VolumeTest, BackpressureWhenFlushesOverlap)
     Volume v(cfg, 0, sim::Rng(1));
     // Two buffer fills back-to-back: the second flush must wait for
     // the first and backpressures its trigger write.
-    SimTime t = 0;
+    SimTime t;
     IoDetail last;
     for (uint32_t i = 0; i < 2 * cfg.bufferPages(); ++i) {
         last = IoDetail{};
-        t = v.serveWrite(t, i % 100, i, &last);
+        t = v.serveWrite(t, Lpn{i % 100}, i, &last);
     }
     EXPECT_TRUE(last.triggeredFlush);
     EXPECT_TRUE(last.backpressured);
@@ -161,16 +164,16 @@ TEST(VolumeTest, ReadTriggerFlushBlocksRead)
     Volume v(cfg, 0, sim::Rng(1));
     v.prefill(0);
     // A single buffered write, then a read: the read must flush.
-    SimTime t = v.serveWrite(0, 1, 1, nullptr);
+    const SimTime t = v.serveWrite(kTimeZero, Lpn{1}, 1, nullptr);
     IoDetail d;
-    const SimTime done = v.serveRead(t, 5000, nullptr, &d);
+    const SimTime done = v.serveRead(t, Lpn{5000}, nullptr, &d);
     EXPECT_TRUE(d.readTriggeredFlush);
     EXPECT_GT(done - t, sim::milliseconds(1));
     EXPECT_EQ(v.bufferFill(), 0u);
     // Next read with an empty buffer is normal.
     IoDetail d2;
     const SimTime t2 = done + microseconds(10);
-    v.serveRead(t2, 5001, nullptr, &d2);
+    v.serveRead(t2, Lpn{5001}, nullptr, &d2);
     EXPECT_FALSE(d2.readTriggeredFlush);
 }
 
@@ -180,12 +183,12 @@ TEST(VolumeTest, GcEventuallyRunsAndBlocksLonger)
     cfg.userCapacityPages = 2048; // small so GC engages quickly
     Volume v(cfg, 0, sim::Rng(1));
     v.prefill(0);
-    SimTime t = 0;
+    SimTime t;
     sim::Rng rng(7);
     bool sawGc = false;
     for (int i = 0; i < 20000 && !sawGc; ++i) {
         IoDetail d;
-        t = v.serveWrite(t, rng.nextBelow(2048), i, &d);
+        t = v.serveWrite(t, Lpn{rng.nextBelow(2048)}, i, &d);
         if (d.gcRan) {
             sawGc = true;
             EXPECT_GT(d.gcTime, sim::milliseconds(1));
@@ -203,9 +206,9 @@ TEST(VolumeTest, PrefillMakesEveryPageReadable)
     Volume v(cfg, 0, sim::Rng(1));
     v.prefill(1ULL << 32);
     uint64_t payload = 0;
-    ASSERT_TRUE(v.peek(0, &payload));
+    ASSERT_TRUE(v.peek(Lpn{0}, &payload));
     EXPECT_EQ(payload, 1ULL << 32);
-    ASSERT_TRUE(v.peek(4321, &payload));
+    ASSERT_TRUE(v.peek(Lpn{4321}, &payload));
     EXPECT_EQ(payload, (1ULL << 32) + 4321);
 }
 
@@ -213,9 +216,9 @@ TEST(VolumeTest, PeekSeesBufferedData)
 {
     const SsdConfig cfg = smallCfg();
     Volume v(cfg, 0, sim::Rng(1));
-    v.serveWrite(0, 9, 900, nullptr);
+    v.serveWrite(kTimeZero, Lpn{9}, 900, nullptr);
     uint64_t payload = 0;
-    ASSERT_TRUE(v.peek(9, &payload));
+    ASSERT_TRUE(v.peek(Lpn{9}, &payload));
     EXPECT_EQ(payload, 900u);
 }
 
@@ -225,12 +228,12 @@ TEST(VolumeTest, ResetClearsState)
     Volume v(cfg, 0, sim::Rng(1));
     v.prefill(0);
     for (uint32_t i = 0; i < cfg.bufferPages(); ++i)
-        v.serveWrite(sim::microseconds(i), i, i, nullptr);
+        v.serveWrite(kTimeZero + sim::microseconds(i), Lpn{i}, i, nullptr);
     v.reset();
     EXPECT_EQ(v.bufferFill(), 0u);
-    EXPECT_EQ(v.nandBusyUntil(), 0);
+    EXPECT_EQ(v.nandBusyUntil(), kTimeZero);
     uint64_t payload = 0;
-    EXPECT_FALSE(v.peek(0, &payload));
+    EXPECT_FALSE(v.peek(Lpn{0}, &payload));
     EXPECT_EQ(v.mapper().totalValid(), 0u);
 }
 
@@ -242,9 +245,9 @@ TEST(VolumeTest, SlcCacheMigrationEventuallyFires)
     cfg.slcMigrateChunkPages = 32;
     cfg.slcCapacityVariation = 0.2;
     Volume v(cfg, 0, sim::Rng(3));
-    SimTime t = 0;
+    SimTime t;
     for (int i = 0; i < 400; ++i)
-        t = v.serveWrite(t, i % 1000, i, nullptr);
+        t = v.serveWrite(t, Lpn{static_cast<uint64_t>(i % 1000)}, i, nullptr);
     EXPECT_GT(v.counters().slcMigrations, 0u);
 }
 
@@ -253,9 +256,9 @@ TEST(VolumeTest, JitterPerturbsLatencies)
     SsdConfig cfg = smallCfg();
     cfg.jitterSigma = 0.2;
     Volume v(cfg, 0, sim::Rng(5));
-    const SimTime a = v.serveWrite(0, 1, 0, nullptr);
+    const SimTime a = v.serveWrite(kTimeZero, Lpn{1}, 0, nullptr);
     const SimTime b =
-        v.serveWrite(sim::milliseconds(1), 2, 0, nullptr) -
+        v.serveWrite(kTimeZero + sim::milliseconds(1), Lpn{2}, 0, nullptr) -
         sim::milliseconds(1);
     EXPECT_NE(a, b); // same nominal service time, different jitter
 }

@@ -35,14 +35,14 @@ spreadAfterSkewedChurn(uint32_t wearThreshold)
     GarbageCollector gc(m, arr, 3, 6, wearThreshold);
     // Cold data: fill most of the logical space once.
     for (uint64_t lpn = 0; lpn < 160; ++lpn)
-        m.writePage(lpn, lpn);
+        m.writePage(Lpn{lpn}, lpn);
     // Hot churn: hammer a tiny range so only a few physical blocks
     // cycle while the cold blocks never get erased.
     sim::Rng rng(5);
     for (int i = 0; i < 30000; ++i) {
         if (gc.needed())
             gc.collect();
-        m.writePage(rng.nextBelow(8), i);
+        m.writePage(Lpn{rng.nextBelow(8)}, i);
     }
     const auto [lo, hi] = m.eraseCountRange();
     return hi - lo;
@@ -68,7 +68,7 @@ TEST(WearLevelingTest, LevelingPreservesData)
     GarbageCollector gc(m, arr, 3, 6, /*wearThreshold=*/8);
     std::vector<uint64_t> expected(160);
     for (uint64_t lpn = 0; lpn < 160; ++lpn) {
-        m.writePage(lpn, 1000 + lpn);
+        m.writePage(Lpn{lpn}, 1000 + lpn);
         expected[lpn] = 1000 + lpn;
     }
     sim::Rng rng(7);
@@ -77,13 +77,13 @@ TEST(WearLevelingTest, LevelingPreservesData)
         if (gc.needed())
             gc.collect();
         const uint64_t lpn = rng.nextBelow(8);
-        m.writePage(lpn, stamp);
+        m.writePage(Lpn{lpn}, stamp);
         expected[lpn] = stamp++;
     }
     ASSERT_EQ(m.checkConsistency(), "");
     for (uint64_t lpn = 0; lpn < 160; ++lpn) {
         uint64_t payload = 0;
-        ASSERT_TRUE(m.readPage(lpn, &payload));
+        ASSERT_TRUE(m.readPage(Lpn{lpn}, &payload));
         EXPECT_EQ(payload, expected[lpn]) << "lpn " << lpn;
     }
 }
@@ -94,13 +94,13 @@ TEST(WearLevelingTest, WearMovesReportedInGcResult)
     PageMapper m(arr, 160, /*wearAwareAllocation=*/true);
     GarbageCollector gc(m, arr, 3, 6, /*wearThreshold=*/4);
     for (uint64_t lpn = 0; lpn < 160; ++lpn)
-        m.writePage(lpn, lpn);
+        m.writePage(Lpn{lpn}, lpn);
     sim::Rng rng(9);
     uint64_t wearMoves = 0;
     for (int i = 0; i < 20000; ++i) {
         if (gc.needed())
             wearMoves += gc.collect().wearMoves;
-        m.writePage(rng.nextBelow(8), i);
+        m.writePage(Lpn{rng.nextBelow(8)}, i);
     }
     EXPECT_GT(wearMoves, 0u);
 }
@@ -118,7 +118,7 @@ TEST(WearLevelingTest, DeviceLevelCounterAggregates)
     SsdDevice dev(cfg);
     dev.precondition();
     sim::Rng rng(11);
-    sim::SimTime t = 0;
+    sim::SimTime t;
     for (int i = 0; i < 40000; ++i) {
         const auto res =
             dev.submit(blockdev::makeWrite4k(rng.nextBelow(16)), t);
@@ -134,7 +134,7 @@ TEST(WearLevelingTest, ColdestBlockSelection)
     // No closed blocks yet.
     EXPECT_EQ(m.pickColdestClosedBlock(), PageMapper::kNoVictim);
     for (uint64_t lpn = 0; lpn < 32; ++lpn)
-        m.writePage(lpn, lpn);
+        m.writePage(Lpn{lpn}, lpn);
     const nand::Pbn cold = m.pickColdestClosedBlock();
     ASSERT_NE(cold, PageMapper::kNoVictim);
     EXPECT_EQ(arr.blockEraseCount(cold), 0u);

@@ -10,14 +10,16 @@
 namespace ssdcheck::ssd {
 namespace {
 
+using core::Lpn;
+
 TEST(WriteBufferTest, FillsToCapacity)
 {
     WriteBuffer b(4);
     EXPECT_TRUE(b.empty());
-    EXPECT_FALSE(b.add(1, 10));
-    EXPECT_FALSE(b.add(2, 20));
-    EXPECT_FALSE(b.add(3, 30));
-    EXPECT_TRUE(b.add(4, 40)); // reports full
+    EXPECT_FALSE(b.add(Lpn{1}, 10));
+    EXPECT_FALSE(b.add(Lpn{2}, 20));
+    EXPECT_FALSE(b.add(Lpn{3}, 30));
+    EXPECT_TRUE(b.add(Lpn{4}, 40)); // reports full
     EXPECT_TRUE(b.full());
     EXPECT_EQ(b.fill(), 4u);
 }
@@ -27,66 +29,66 @@ TEST(WriteBufferTest, SlotPerWriteEvenForSameLpn)
     // The paper sizes buffers by counting writes between flushes,
     // which requires no coalescing.
     WriteBuffer b(3);
-    b.add(7, 1);
-    b.add(7, 2);
+    b.add(Lpn{7}, 1);
+    b.add(Lpn{7}, 2);
     EXPECT_EQ(b.fill(), 2u);
 }
 
 TEST(WriteBufferTest, LookupReturnsNewestPayload)
 {
     WriteBuffer b(4);
-    b.add(7, 1);
-    b.add(9, 5);
-    b.add(7, 2);
+    b.add(Lpn{7}, 1);
+    b.add(Lpn{9}, 5);
+    b.add(Lpn{7}, 2);
     uint64_t payload = 0;
-    EXPECT_TRUE(b.lookup(7, &payload));
+    EXPECT_TRUE(b.lookup(Lpn{7}, &payload));
     EXPECT_EQ(payload, 2u);
-    EXPECT_TRUE(b.lookup(9, &payload));
+    EXPECT_TRUE(b.lookup(Lpn{9}, &payload));
     EXPECT_EQ(payload, 5u);
-    EXPECT_FALSE(b.lookup(8, &payload));
+    EXPECT_FALSE(b.lookup(Lpn{8}, &payload));
 }
 
 TEST(WriteBufferTest, DrainReturnsArrivalOrderAndEmpties)
 {
     WriteBuffer b(4);
-    b.add(3, 30);
-    b.add(1, 10);
-    b.add(2, 20);
+    b.add(Lpn{3}, 30);
+    b.add(Lpn{1}, 10);
+    b.add(Lpn{2}, 20);
     const auto entries = b.drain();
     ASSERT_EQ(entries.size(), 3u);
-    EXPECT_EQ(entries[0].lpn, 3u);
-    EXPECT_EQ(entries[1].lpn, 1u);
-    EXPECT_EQ(entries[2].lpn, 2u);
+    EXPECT_EQ(entries[0].lpn, Lpn{3});
+    EXPECT_EQ(entries[1].lpn, Lpn{1});
+    EXPECT_EQ(entries[2].lpn, Lpn{2});
     EXPECT_TRUE(b.empty());
-    EXPECT_FALSE(b.lookup(3, nullptr));
+    EXPECT_FALSE(b.lookup(Lpn{3}, nullptr));
 }
 
 TEST(WriteBufferTest, ReusableAfterDrain)
 {
     WriteBuffer b(2);
-    b.add(1, 1);
-    b.add(2, 2);
+    b.add(Lpn{1}, 1);
+    b.add(Lpn{2}, 2);
     b.drain();
-    EXPECT_FALSE(b.add(5, 5));
+    EXPECT_FALSE(b.add(Lpn{5}, 5));
     uint64_t payload = 0;
-    EXPECT_TRUE(b.lookup(5, &payload));
+    EXPECT_TRUE(b.lookup(Lpn{5}, &payload));
     EXPECT_EQ(payload, 5u);
 }
 
 TEST(WriteBufferTest, ClearDiscards)
 {
     WriteBuffer b(4);
-    b.add(1, 1);
+    b.add(Lpn{1}, 1);
     b.clear();
     EXPECT_TRUE(b.empty());
-    EXPECT_FALSE(b.lookup(1, nullptr));
+    EXPECT_FALSE(b.lookup(Lpn{1}, nullptr));
 }
 
 TEST(WriteBufferTest, LookupWithNullPayloadPointer)
 {
     WriteBuffer b(2);
-    b.add(1, 42);
-    EXPECT_TRUE(b.lookup(1, nullptr));
+    b.add(Lpn{1}, 42);
+    EXPECT_TRUE(b.lookup(Lpn{1}, nullptr));
 }
 
 TEST(WriteBufferTest, DrainedEntriesStayValidUntilNextCycle)
@@ -95,17 +97,17 @@ TEST(WriteBufferTest, DrainedEntriesStayValidUntilNextCycle)
     // the drained contents until the buffer is touched again, so the
     // flush loop in Volume can iterate it without a copy.
     WriteBuffer b(3);
-    b.add(1, 10);
-    b.add(2, 20);
+    b.add(Lpn{1}, 10);
+    b.add(Lpn{2}, 20);
     const std::vector<WriteBuffer::Entry> &first = b.drain();
     ASSERT_EQ(first.size(), 2u);
-    EXPECT_EQ(first[0].lpn, 1u);
+    EXPECT_EQ(first[0].lpn, Lpn{1});
     EXPECT_EQ(first[1].payload, 20u);
 
-    b.add(3, 30);
+    b.add(Lpn{3}, 30);
     const std::vector<WriteBuffer::Entry> &second = b.drain();
     ASSERT_EQ(second.size(), 1u);
-    EXPECT_EQ(second[0].lpn, 3u);
+    EXPECT_EQ(second[0].lpn, Lpn{3});
     EXPECT_EQ(&first, &second); // same storage, reused
 }
 
@@ -118,19 +120,19 @@ TEST(WriteBufferPropertyTest, LookupMatchesNaiveNewestMap)
 {
     WriteBuffer b(32);
     sim::Rng rng(20260807);
-    std::unordered_map<uint64_t, uint64_t> naive;
+    std::unordered_map<Lpn, uint64_t> naive;
     std::vector<WriteBuffer::Entry> naiveFifo;
 
     for (int op = 0; op < 20000; ++op) {
         // Sparse, clustered lpn space to force collisions and probes.
-        const uint64_t lpn = rng.nextBelow(64) * 0x10001ULL;
+        const Lpn lpn{rng.nextBelow(64) * 0x10001ULL};
         const uint64_t payload = static_cast<uint64_t>(op);
         const bool full = b.add(lpn, payload);
         naive[lpn] = payload;
         naiveFifo.push_back({lpn, payload});
         EXPECT_EQ(full, naiveFifo.size() >= b.capacity());
 
-        const uint64_t probe = rng.nextBelow(64) * 0x10001ULL;
+        const Lpn probe{rng.nextBelow(64) * 0x10001ULL};
         uint64_t got = 0;
         const auto it = naive.find(probe);
         if (it == naive.end()) {

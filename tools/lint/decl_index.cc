@@ -1,0 +1,908 @@
+/**
+ * @file
+ * Declaration indexer implementation: one linear pass over the
+ * blanked text with an explicit scope stack. See decl_index.h for
+ * scope and rationale.
+ */
+#include "lint/decl_index.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ssdcheck::lint {
+
+namespace {
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool
+spaceChar(char c)
+{
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+/** Collapse runs of whitespace to single spaces and trim. */
+std::string
+normalize(const std::string &s)
+{
+    std::string out;
+    bool pendingSpace = false;
+    for (char c : s) {
+        if (spaceChar(c)) {
+            pendingSpace = !out.empty();
+            continue;
+        }
+        if (pendingSpace) {
+            out += ' ';
+            pendingSpace = false;
+        }
+        out += c;
+    }
+    return out;
+}
+
+std::vector<std::string>
+tokens(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t i = 0;
+    while (i < s.size()) {
+        if (identChar(s[i])) {
+            size_t j = i;
+            while (j < s.size() && identChar(s[j]))
+                ++j;
+            out.push_back(s.substr(i, j - i));
+            i = j;
+        } else {
+            ++i;
+        }
+    }
+    return out;
+}
+
+bool
+startsWithWord(const std::string &s, const std::string &word)
+{
+    return s.compare(0, word.size(), word) == 0 &&
+           (s.size() == word.size() || !identChar(s[word.size()]));
+}
+
+/**
+ * Offset of the first '(' at zero ()/[]/{} nesting, or npos. Used to
+ * split "declares a function" from "declares a variable": attribute
+ * arguments like [[deprecated( )]] sit inside brackets and do not
+ * count.
+ */
+size_t
+firstTopLevelParen(const std::string &s)
+{
+    int square = 0, brace = 0;
+    for (size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (c == '[')
+            ++square;
+        else if (c == ']')
+            --square;
+        else if (c == '{')
+            ++brace;
+        else if (c == '}')
+            --brace;
+        else if (c == '(' && square == 0 && brace == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+/** Does a top-level '=' appear in s before offset @p end? */
+bool
+topLevelEqBefore(const std::string &s, size_t end)
+{
+    int square = 0, brace = 0, angle = 0;
+    for (size_t i = 0; i < end && i < s.size(); ++i) {
+        const char c = s[i];
+        if (c == '[')
+            ++square;
+        else if (c == ']')
+            --square;
+        else if (c == '{')
+            ++brace;
+        else if (c == '}')
+            --brace;
+        else if (c == '<' && i > 0 && (identChar(s[i - 1]) || s[i - 1] == '>'))
+            ++angle;
+        else if (c == '>' && angle > 0)
+            --angle;
+        else if (c == '=' && square == 0 && brace == 0 && angle == 0) {
+            // Not ==, <=, >=, !=, +=, ... and not `operator=`.
+            const bool cmp =
+                (i + 1 < s.size() && s[i + 1] == '=') ||
+                (i > 0 && (s[i - 1] == '=' || s[i - 1] == '<' ||
+                           s[i - 1] == '>' || s[i - 1] == '!' ||
+                           s[i - 1] == '+' || s[i - 1] == '-' ||
+                           s[i - 1] == '*' || s[i - 1] == '/' ||
+                           s[i - 1] == '&' || s[i - 1] == '|' ||
+                           s[i - 1] == '^' || s[i - 1] == '%'));
+            const bool opAssign =
+                i >= 8 && s.compare(i - 8, 8, "operator") == 0;
+            if (!cmp && !opAssign)
+                return true;
+        }
+    }
+    return false;
+}
+
+/** Split on commas at zero <>/()/[]/{} nesting. */
+std::vector<std::string>
+splitTopLevelCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    int paren = 0, square = 0, brace = 0, angle = 0;
+    size_t start = 0;
+    for (size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (c == '(')
+            ++paren;
+        else if (c == ')')
+            --paren;
+        else if (c == '[')
+            ++square;
+        else if (c == ']')
+            --square;
+        else if (c == '{')
+            ++brace;
+        else if (c == '}')
+            --brace;
+        else if (c == '<' && i > 0 && (identChar(s[i - 1]) || s[i - 1] == '>'))
+            ++angle;
+        else if (c == '>' && angle > 0)
+            --angle;
+        else if (c == ',' && paren == 0 && square == 0 && brace == 0 &&
+                 angle == 0) {
+            out.push_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    out.push_back(s.substr(start));
+    return out;
+}
+
+/** Parse one parameter declarator into (type, name). */
+Param
+parseParam(const std::string &raw)
+{
+    Param p;
+    std::string s = normalize(raw);
+    // Strip a default argument.
+    int square = 0, brace = 0, angle = 0, paren = 0;
+    for (size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (c == '(')
+            ++paren;
+        else if (c == ')')
+            --paren;
+        else if (c == '[')
+            ++square;
+        else if (c == ']')
+            --square;
+        else if (c == '{')
+            ++brace;
+        else if (c == '}')
+            --brace;
+        else if (c == '<' && i > 0 && (identChar(s[i - 1]) || s[i - 1] == '>'))
+            ++angle;
+        else if (c == '>' && angle > 0)
+            --angle;
+        else if (c == '=' && paren == 0 && square == 0 && brace == 0 &&
+                 angle == 0) {
+            s = s.substr(0, i);
+            break;
+        }
+    }
+    // Drop an array suffix (`int a[4]`).
+    const size_t arr = s.find('[');
+    if (arr != std::string::npos)
+        s = s.substr(0, arr);
+    while (!s.empty() && spaceChar(s.back()))
+        s.pop_back();
+    if (s.empty() || s == "void" || s == "...")
+        return p;
+    // The name is a trailing identifier that is not the sole token
+    // (a lone `uint64_t` is an unnamed parameter of that type).
+    size_t end = s.size();
+    size_t begin = end;
+    while (begin > 0 && identChar(s[begin - 1]))
+        --begin;
+    const std::string last = s.substr(begin, end - begin);
+    static const char *kTypeWords[] = {
+        "int",      "long",   "short", "char",   "bool",     "float",
+        "double",   "auto",   "void",  "size_t", "uint8_t",  "uint16_t",
+        "uint32_t", "uint64_t", "int8_t", "int16_t", "int32_t",
+        "int64_t",  "unsigned", "signed", "const"};
+    bool lastIsTypeWord = false;
+    for (const char *w : kTypeWords)
+        lastIsTypeWord = lastIsTypeWord || last == w;
+    const std::string before = normalize(s.substr(0, begin));
+    const bool qualified = !before.empty() && before.size() >= 2 &&
+                           before.compare(before.size() - 2, 2, "::") == 0;
+    if (!last.empty() && !lastIsTypeWord && !before.empty() && !qualified &&
+        std::isdigit(static_cast<unsigned char>(last[0])) == 0) {
+        p.name = last;
+        p.type = before;
+        while (!p.type.empty() && spaceChar(p.type.back()))
+            p.type.pop_back();
+    } else {
+        p.type = s;
+    }
+    return p;
+}
+
+std::vector<Param>
+parseParams(const std::string &inside)
+{
+    std::vector<Param> out;
+    const std::string body = normalize(inside);
+    if (body.empty() || body == "void")
+        return out;
+    for (const auto &piece : splitTopLevelCommas(body)) {
+        Param p = parseParam(piece);
+        if (!p.type.empty() || !p.name.empty())
+            out.push_back(std::move(p));
+    }
+    return out;
+}
+
+/** Keywords that head statements the member parser must ignore. */
+bool
+skippableClassStatement(const std::string &stmt)
+{
+    for (const char *kw : {"using", "typedef", "friend", "static_assert",
+                           "enum", "class", "struct", "union", "public",
+                           "private", "protected"})
+        if (startsWithWord(stmt, kw))
+            return true;
+    return false;
+}
+
+/** Strip declaration specifiers that precede the type. Returns the
+ *  stripped statement; sets flags for the ones the rules care about. */
+std::string
+stripSpecifiers(std::string s, bool *isStatic, bool *isVirtual)
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        while (!s.empty() && spaceChar(s.front()))
+            s.erase(s.begin());
+        // Attributes.
+        if (s.size() >= 2 && s[0] == '[' && s[1] == '[') {
+            const size_t close = s.find("]]");
+            if (close == std::string::npos)
+                break;
+            s.erase(0, close + 2);
+            changed = true;
+            continue;
+        }
+        for (const char *kw : {"static", "virtual", "inline", "constexpr",
+                               "explicit", "mutable", "extern"}) {
+            if (startsWithWord(s, kw)) {
+                if (std::string(kw) == "static" && isStatic != nullptr)
+                    *isStatic = true;
+                if (std::string(kw) == "virtual" && isVirtual != nullptr)
+                    *isVirtual = true;
+                s.erase(0, std::string(kw).size());
+                changed = true;
+                break;
+            }
+        }
+        // A template<...> prefix on a member template.
+        if (startsWithWord(s, "template")) {
+            const size_t open = s.find('<');
+            if (open == std::string::npos)
+                break;
+            int depth = 0;
+            size_t i = open;
+            for (; i < s.size(); ++i) {
+                if (s[i] == '<')
+                    ++depth;
+                else if (s[i] == '>' && --depth == 0)
+                    break;
+            }
+            if (i >= s.size())
+                break;
+            s.erase(0, i + 1);
+            changed = true;
+        }
+    }
+    return s;
+}
+
+/** Name of the entity declared by a function-shaped statement: the
+ *  identifier (or operator token) immediately left of @p parenPos. */
+std::string
+functionName(const std::string &stmt, size_t parenPos)
+{
+    size_t end = parenPos;
+    while (end > 0 && spaceChar(stmt[end - 1]))
+        --end;
+    size_t begin = end;
+    while (begin > 0 && identChar(stmt[begin - 1]))
+        --begin;
+    std::string name = stmt.substr(begin, end - begin);
+    if (begin > 0 && stmt[begin - 1] == '~')
+        name = "~" + name;
+    if (name.empty()) {
+        // operator==, operator+, operator() ... : back up over the
+        // symbol run to the `operator` keyword.
+        size_t i = end;
+        while (i > 0 && !identChar(stmt[i - 1]) && !spaceChar(stmt[i - 1]))
+            --i;
+        size_t kwBegin = i;
+        while (kwBegin > 0 && identChar(stmt[kwBegin - 1]))
+            --kwBegin;
+        if (stmt.compare(kwBegin, i - kwBegin, "operator") == 0)
+            name = stmt.substr(kwBegin, end - kwBegin);
+    }
+    return name;
+}
+
+/** For out-of-line definitions: the qualifier immediately left of
+ *  `::name`, skipping a template argument list (`Foo<T>::name`). */
+std::string
+qualifierBefore(const std::string &stmt, size_t nameBegin)
+{
+    size_t i = nameBegin;
+    while (i > 0 && spaceChar(stmt[i - 1]))
+        --i;
+    if (i < 2 || stmt[i - 1] != ':' || stmt[i - 2] != ':')
+        return "";
+    i -= 2;
+    while (i > 0 && spaceChar(stmt[i - 1]))
+        --i;
+    if (i > 0 && stmt[i - 1] == '>') {
+        int depth = 0;
+        while (i > 0) {
+            if (stmt[i - 1] == '>')
+                ++depth;
+            else if (stmt[i - 1] == '<' && --depth == 0) {
+                --i;
+                break;
+            }
+            --i;
+        }
+        while (i > 0 && spaceChar(stmt[i - 1]))
+            --i;
+    }
+    size_t begin = i;
+    while (begin > 0 && identChar(stmt[begin - 1]))
+        --begin;
+    return stmt.substr(begin, i - begin);
+}
+
+/**
+ * Parse a `snapshot:skip(<reason>)` marker on one raw line. Only the
+ * paren form counts, and a reason containing angle brackets or quotes
+ * is documentation (`snapshot:skip(<reason>)` in a rule description),
+ * not an annotation — mirroring how validRuleId keeps `lint:allow`
+ * placeholders out of the suppression set.
+ */
+SnapshotSkip
+parseSkipLine(const std::string &raw)
+{
+    SnapshotSkip skip;
+    const size_t pos = raw.find("snapshot:skip(");
+    if (pos == std::string::npos)
+        return skip;
+    const size_t open = pos + std::string("snapshot:skip").size();
+    const size_t close = raw.find(')', open);
+    if (close == std::string::npos)
+        return skip;
+    const std::string reason = raw.substr(open + 1, close - open - 1);
+    if (reason.find_first_of("<>\"") != std::string::npos)
+        return skip;
+    skip.present = true;
+    skip.hasReason = reason.find_first_not_of(" \t") != std::string::npos;
+    return skip;
+}
+
+/** Raw-line scan for a snapshot:skip marker in [first, last]. */
+SnapshotSkip
+findSkipMarker(const SourceFile &f, uint32_t first, uint32_t last)
+{
+    SnapshotSkip skip;
+    for (uint32_t ln = first; ln <= last && ln <= f.raw.size(); ++ln) {
+        const SnapshotSkip s = parseSkipLine(f.raw[ln - 1]);
+        if (s.present)
+            skip = s;
+    }
+    return skip;
+}
+
+/** Scope-stack entry for the linear scan. */
+struct Scope
+{
+    enum class Kind : uint8_t
+    {
+        Namespace,
+        Class,
+        Block,
+    };
+    Kind kind = Kind::Block;
+    size_t classIdx = 0; ///< Into a file-local class list, for Kind::Class.
+    bool publicAccess = false;
+};
+
+} // namespace
+
+bool
+containsWord(const std::string &text, const std::string &word)
+{
+    size_t pos = 0;
+    while ((pos = text.find(word, pos)) != std::string::npos) {
+        const bool left = pos == 0 || !identChar(text[pos - 1]);
+        const size_t after = pos + word.size();
+        const bool right = after >= text.size() || !identChar(text[after]);
+        if (left && right)
+            return true;
+        pos = after;
+    }
+    return false;
+}
+
+const Method *
+ClassInfo::findMethod(const std::string &n) const
+{
+    for (const auto &m : methods)
+        if (m.name == n)
+            return &m;
+    return nullptr;
+}
+
+std::vector<const ClassInfo *>
+DeclIndex::classesNamed(const std::string &name) const
+{
+    std::vector<const ClassInfo *> out;
+    for (const auto &c : classes)
+        if (c.name == name)
+            out.push_back(&c);
+    return out;
+}
+
+namespace {
+
+/** Path without its extension, for header/.cc pairing. */
+std::string
+pathStem(const std::string &path)
+{
+    const size_t dot = path.rfind('.');
+    return dot == std::string::npos ? path : path.substr(0, dot);
+}
+
+} // namespace
+
+std::string
+DeclIndex::methodBodyText(const ClassInfo &cls,
+                          const std::string &method) const
+{
+    std::string out;
+    for (const auto &m : cls.methods)
+        if (m.name == method && m.hasBody)
+            out += m.body + "\n";
+    // Out-of-line bodies must come from the class's own translation
+    // unit (the same file, or the header's sibling .cc) — matching on
+    // the bare class name alone would cross-wire same-named classes
+    // in different namespaces.
+    for (const auto &b : bodies)
+        if (b.className == cls.name && b.method == method &&
+            (b.file == cls.file ||
+             pathStem(b.file) == pathStem(cls.file)))
+            out += b.body + "\n";
+    return out;
+}
+
+void
+DeclIndex::addFile(const SourceFile &f)
+{
+    // Join the blanked lines, additionally blanking preprocessor
+    // directives (incl. backslash continuations) so macro bodies
+    // cannot unbalance the scanner's brace accounting.
+    std::string text;
+    std::vector<size_t> lineStart;
+    lineStart.reserve(f.code.size());
+    bool continued = false;
+    for (size_t li = 0; li < f.code.size(); ++li) {
+        lineStart.push_back(text.size());
+        std::string line = f.code[li];
+        const size_t first = line.find_first_not_of(" \t");
+        const bool pp =
+            continued || (first != std::string::npos && line[first] == '#');
+        continued = pp && !line.empty() && line.back() == '\\';
+        if (pp)
+            line.assign(line.size(), ' ');
+        text += line;
+        text += '\n';
+    }
+    const auto lineAt = [&](size_t offset) {
+        const auto it = std::upper_bound(lineStart.begin(), lineStart.end(),
+                                         offset);
+        return static_cast<uint32_t>(it - lineStart.begin());
+    };
+
+    // Record every snapshot:skip marker; the coverage rule later
+    // diagnoses the ones no member claimed.
+    for (size_t li = 0; li < f.raw.size(); ++li)
+        if (parseSkipLine(f.raw[li]).present)
+            skipMarkers.push_back(
+                SkipMarker{f.relPath, static_cast<uint32_t>(li + 1)});
+
+    std::vector<ClassInfo> fileClasses;
+    std::vector<Scope> stack;
+    stack.push_back(Scope{Scope::Kind::Namespace, 0, true});
+
+    std::string stmt;
+    size_t stmtStart = 0; ///< Offset of the statement's first char.
+
+    const auto resetStmt = [&]() { stmt.clear(); };
+    const auto appendChar = [&](char c, size_t offset) {
+        if (spaceChar(c)) {
+            if (!stmt.empty() && stmt.back() != ' ')
+                stmt += ' ';
+            return;
+        }
+        if (stmt.empty() || stmt == " ") {
+            stmt.clear();
+            stmtStart = offset;
+        }
+        stmt += c;
+    };
+
+    /** Capture a balanced-brace body starting at text[open] == '{'.
+     *  Returns offset just past the closing brace. */
+    const auto captureBody = [&](size_t open, std::string *body) {
+        int depth = 0;
+        size_t i = open;
+        for (; i < text.size(); ++i) {
+            if (text[i] == '{')
+                ++depth;
+            else if (text[i] == '}' && --depth == 0) {
+                ++i;
+                break;
+            }
+        }
+        if (body != nullptr)
+            *body = text.substr(open + 1,
+                                i > open + 2 ? i - open - 2 : 0);
+        return i;
+    };
+
+    /** Parse the pending statement as a class-scope declaration
+     *  ending at line @p endLine. @p bodyOpen is the offset of an
+     *  inline body's '{', or npos for a plain `;` declaration.
+     *  Returns past-the-body offset (or npos when no body). */
+    const auto classMember = [&](Scope &sc, uint32_t endLine,
+                                 size_t bodyOpen) -> size_t {
+        ClassInfo &cls = fileClasses[sc.classIdx];
+        std::string s = normalize(stmt);
+        if (s.empty() || skippableClassStatement(s))
+            return bodyOpen == std::string::npos
+                       ? std::string::npos
+                       : captureBody(bodyOpen, nullptr);
+        bool isStatic = false;
+        s = stripSpecifiers(s, &isStatic, nullptr);
+        const size_t paren = firstTopLevelParen(s);
+        const bool isFunction =
+            paren != std::string::npos && !topLevelEqBefore(s, paren);
+        if (isFunction) {
+            Method m;
+            m.name = functionName(s, paren);
+            int depth = 0;
+            size_t close = paren;
+            for (; close < s.size(); ++close) {
+                if (s[close] == '(')
+                    ++depth;
+                else if (s[close] == ')' && --depth == 0)
+                    break;
+            }
+            m.params = parseParams(s.substr(paren + 1, close - paren - 1));
+            m.line = lineAt(stmtStart);
+            m.isPublic = sc.publicAccess;
+            m.isStatic = isStatic;
+            size_t next = std::string::npos;
+            if (bodyOpen != std::string::npos) {
+                m.hasBody = true;
+                next = captureBody(bodyOpen, &m.body);
+            }
+            if (!m.name.empty())
+                cls.methods.push_back(std::move(m));
+            return next;
+        }
+        if (isStatic) // static data member: not snapshot state.
+            return std::string::npos;
+        // Member variable(s). Cut each declarator at its initializer
+        // or bit-field width, then take the trailing identifier.
+        for (const auto &piece : splitTopLevelCommas(s)) {
+            std::string d = piece;
+            int angle = 0, sq = 0, br = 0;
+            for (size_t i = 0; i < d.size(); ++i) {
+                const char c = d[i];
+                if (angle == 0 && sq == 0 && br == 0) {
+                    const bool scopeColon =
+                        c == ':' &&
+                        ((i + 1 < d.size() && d[i + 1] == ':') ||
+                         (i > 0 && d[i - 1] == ':'));
+                    if (c == '=' || c == '{' ||
+                        (c == ':' && !scopeColon)) {
+                        d = d.substr(0, i);
+                        break;
+                    }
+                }
+                if (c == '<' && i > 0 &&
+                    (identChar(d[i - 1]) || d[i - 1] == '>'))
+                    ++angle;
+                else if (c == '>' && angle > 0)
+                    --angle;
+                else if (c == '[')
+                    ++sq;
+                else if (c == ']')
+                    --sq;
+                else if (c == '{')
+                    ++br;
+                else if (c == '}')
+                    --br;
+            }
+            const size_t arr = d.find('[');
+            if (arr != std::string::npos)
+                d = d.substr(0, arr);
+            while (!d.empty() && spaceChar(d.back()))
+                d.pop_back();
+            size_t end = d.size();
+            size_t begin = end;
+            while (begin > 0 && identChar(d[begin - 1]))
+                --begin;
+            if (begin == end || begin == 0)
+                continue; // No `type name` shape.
+            std::string type = normalize(d.substr(0, begin));
+            if (type.empty() ||
+                (type.size() >= 2 &&
+                 type.compare(type.size() - 2, 2, "::") == 0))
+                continue;
+            Member mem;
+            mem.name = d.substr(begin, end - begin);
+            mem.type = std::move(type);
+            mem.line = lineAt(stmtStart);
+            mem.skip = findSkipMarker(f, mem.line, endLine);
+            cls.members.push_back(std::move(mem));
+        }
+        return std::string::npos;
+    };
+
+    size_t i = 0;
+    while (i < text.size()) {
+        const char c = text[i];
+        if (c == '{') {
+            std::string head = normalize(stmt);
+            Scope &top = stack.back();
+            // A '{' while the statement's parens are still open is a
+            // braced default argument (`Config cfg = {}` mid-
+            // parameter-list), not a body: consume it and keep
+            // collecting the declaration.
+            int parenDepth = 0;
+            for (char hc : head) {
+                if (hc == '(')
+                    ++parenDepth;
+                else if (hc == ')')
+                    --parenDepth;
+            }
+            if (parenDepth > 0) {
+                i = captureBody(i, nullptr);
+                stmt += "{}";
+                continue;
+            }
+            // Class/struct head (not a forward reference inside a
+            // statement: the keyword must lead, after template<>).
+            std::string stripped =
+                stripSpecifiers(head, nullptr, nullptr);
+            const bool classHead =
+                (startsWithWord(stripped, "class") ||
+                 startsWithWord(stripped, "struct")) &&
+                !startsWithWord(stripped, "struct {");
+            if (startsWithWord(stripped, "namespace")) {
+                stack.push_back(Scope{Scope::Kind::Namespace, 0, true});
+                resetStmt();
+                ++i;
+                continue;
+            }
+            if (startsWithWord(stripped, "enum") ||
+                startsWithWord(stripped, "union")) {
+                i = captureBody(i, nullptr);
+                resetStmt();
+                continue;
+            }
+            if (classHead) {
+                const bool isStruct = startsWithWord(stripped, "struct");
+                std::string rest =
+                    stripped.substr(isStruct ? 6 : 5);
+                // Cut the base clause at a single ':' (skipping `::`
+                // scope qualifiers) and any template argument list,
+                // then the name is the last remaining identifier —
+                // handles `Outer::Nested` and `hash<TypedId<Tag>>`.
+                for (size_t k = 0; k < rest.size(); ++k) {
+                    if (rest[k] != ':')
+                        continue;
+                    if (k + 1 < rest.size() && rest[k + 1] == ':') {
+                        ++k;
+                        continue;
+                    }
+                    if (k > 0 && rest[k - 1] == ':')
+                        continue;
+                    rest = rest.substr(0, k);
+                    break;
+                }
+                const size_t angleOpen = rest.find('<');
+                if (angleOpen != std::string::npos)
+                    rest = rest.substr(0, angleOpen);
+                std::string name;
+                for (const auto &tok : tokens(rest)) {
+                    if (tok == "final" || tok == "alignas")
+                        continue;
+                    name = tok;
+                }
+                if (name.empty()) {
+                    // Anonymous struct: treat as an opaque block.
+                    stack.push_back(Scope{Scope::Kind::Block, 0, false});
+                    resetStmt();
+                    ++i;
+                    continue;
+                }
+                ClassInfo cls;
+                cls.name = name;
+                cls.file = f.relPath;
+                cls.line = lineAt(stmtStart);
+                cls.isStruct = isStruct;
+                fileClasses.push_back(std::move(cls));
+                stack.push_back(Scope{Scope::Kind::Class,
+                                      fileClasses.size() - 1, isStruct});
+                resetStmt();
+                ++i;
+                continue;
+            }
+            if (top.kind == Scope::Kind::Class) {
+                const std::string s =
+                    stripSpecifiers(head, nullptr, nullptr);
+                const size_t paren = firstTopLevelParen(s);
+                if (paren != std::string::npos &&
+                    !topLevelEqBefore(s, paren)) {
+                    // Inline method body.
+                    i = classMember(top, lineAt(i), i);
+                    resetStmt();
+                    continue;
+                }
+                // Brace initializer inside a member declaration:
+                // consume it and keep collecting until ';'.
+                std::string ignored;
+                i = captureBody(i, &ignored);
+                stmt += "{}";
+                continue;
+            }
+            if (top.kind == Scope::Kind::Namespace) {
+                const std::string s =
+                    stripSpecifiers(head, nullptr, nullptr);
+                const size_t paren = firstTopLevelParen(s);
+                if (paren != std::string::npos &&
+                    !topLevelEqBefore(s, paren)) {
+                    const std::string name = functionName(s, paren);
+                    size_t nameBegin = s.rfind(name, paren);
+                    const std::string qual =
+                        nameBegin == std::string::npos
+                            ? ""
+                            : qualifierBefore(s, nameBegin);
+                    std::string body;
+                    i = captureBody(i, &body);
+                    if (!qual.empty()) {
+                        bodies.push_back(MethodBody{
+                            qual, name, f.relPath, lineAt(stmtStart),
+                            std::move(body)});
+                    } else if (!name.empty()) {
+                        int depth = 0;
+                        size_t close = paren;
+                        for (; close < s.size(); ++close) {
+                            if (s[close] == '(')
+                                ++depth;
+                            else if (s[close] == ')' && --depth == 0)
+                                break;
+                        }
+                        freeFunctions.push_back(FreeFunction{
+                            name,
+                            parseParams(
+                                s.substr(paren + 1, close - paren - 1)),
+                            f.relPath, lineAt(stmtStart)});
+                    }
+                    resetStmt();
+                    continue;
+                }
+            }
+            stack.push_back(Scope{Scope::Kind::Block, 0, false});
+            resetStmt();
+            ++i;
+            continue;
+        }
+        if (c == '}') {
+            if (stack.size() > 1)
+                stack.pop_back();
+            resetStmt();
+            ++i;
+            continue;
+        }
+        if (c == ';') {
+            Scope &top = stack.back();
+            if (top.kind == Scope::Kind::Class) {
+                classMember(top, lineAt(i), std::string::npos);
+            } else if (top.kind == Scope::Kind::Namespace) {
+                // Free-function prototype in a header.
+                const std::string s = stripSpecifiers(normalize(stmt),
+                                                      nullptr, nullptr);
+                const size_t paren = firstTopLevelParen(s);
+                if (paren != std::string::npos &&
+                    !topLevelEqBefore(s, paren)) {
+                    const std::string name = functionName(s, paren);
+                    const size_t nameBegin = s.rfind(name, paren);
+                    const bool qualified =
+                        nameBegin != std::string::npos &&
+                        !qualifierBefore(s, nameBegin).empty();
+                    if (!name.empty() && !qualified) {
+                        int depth = 0;
+                        size_t close = paren;
+                        for (; close < s.size(); ++close) {
+                            if (s[close] == '(')
+                                ++depth;
+                            else if (s[close] == ')' && --depth == 0)
+                                break;
+                        }
+                        freeFunctions.push_back(FreeFunction{
+                            name,
+                            parseParams(
+                                s.substr(paren + 1, close - paren - 1)),
+                            f.relPath, lineAt(stmtStart)});
+                    }
+                }
+            }
+            resetStmt();
+            ++i;
+            continue;
+        }
+        if (c == ':' && stack.back().kind == Scope::Kind::Class) {
+            const std::string s = normalize(stmt);
+            bool isLabel = false;
+            for (const char *kw : {"public", "private", "protected"}) {
+                if (s == kw) {
+                    stack.back().publicAccess = s == "public";
+                    isLabel = true;
+                }
+            }
+            if (isLabel) {
+                resetStmt();
+                ++i;
+                continue;
+            }
+        }
+        appendChar(c, i);
+        ++i;
+    }
+
+    for (auto &cls : fileClasses)
+        classes.push_back(std::move(cls));
+}
+
+DeclIndex
+DeclIndex::build(const std::vector<SourceFile> &files)
+{
+    DeclIndex idx;
+    for (const auto &f : files)
+        idx.addFile(f);
+    return idx;
+}
+
+} // namespace ssdcheck::lint

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * A lightweight C++ declaration indexer for ssdcheck_lint.
+ *
+ * Built on the same comment/string-blanking lexer as the token rules
+ * (lint.h), one step up: a single linear pass over each file's blanked
+ * text with an explicit scope stack recovers, per class, the
+ * non-static data members and method signatures, and, per translation
+ * unit, the out-of-line method bodies (`Ret Class::method(...) {...}`).
+ * That is exactly the shape the symbol-level rules need:
+ *
+ *   R8 snapshot-coverage  members of a class defining saveState /
+ *                         loadState must be referenced in both bodies
+ *                         (or carry a reasoned `snapshot:skip`).
+ *   R9 typed-ids          public signatures in the typed domains may
+ *                         not take raw uint64_t/uint32_t where a
+ *                         strong id type (core::Lpn, nand::Ppn,
+ *                         nand::Pbn) exists.
+ *
+ * Deliberately not libclang: the indexer must build everywhere the
+ * repo builds (GCC-only boxes included) and run in milliseconds over
+ * the whole tree. It understands the subset of C++ the repo uses —
+ * classes/structs (nested included), access sections, templates,
+ * in-class brace/equals initializers, enum class, using aliases — and
+ * ignores what it cannot parse rather than guessing.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace ssdcheck::lint {
+
+/** One function parameter, as written (type text is normalized to
+ *  single spaces; default arguments stripped). */
+struct Param
+{
+    std::string type;
+    std::string name; ///< Empty for unnamed parameters.
+};
+
+/** A `// snapshot:skip(<reason>)` marker attached to a member. */
+struct SnapshotSkip
+{
+    bool present = false;
+    bool hasReason = false;
+};
+
+/** One non-static data member. */
+struct Member
+{
+    std::string name;
+    std::string type; ///< Declaration text left of the name, trimmed.
+    uint32_t line = 0;
+    SnapshotSkip skip;
+};
+
+/** One method declared in a class body. */
+struct Method
+{
+    std::string name;
+    std::vector<Param> params;
+    uint32_t line = 0;
+    bool isPublic = false;
+    bool isStatic = false;
+    bool hasBody = false; ///< Defined inline in the class.
+    std::string body;     ///< Blanked body text when hasBody.
+};
+
+/** One class or struct with a body. */
+struct ClassInfo
+{
+    std::string name; ///< Unqualified.
+    std::string file; ///< relPath of the declaring file.
+    uint32_t line = 0;
+    bool isStruct = false;
+    std::vector<Member> members;
+    std::vector<Method> methods;
+
+    const Method *findMethod(const std::string &n) const;
+};
+
+/** An out-of-line member function definition `Ret Class::m(...) {}`. */
+struct MethodBody
+{
+    std::string className;
+    std::string method;
+    std::string file;
+    uint32_t line = 0;
+    std::string body; ///< Blanked text between the braces.
+};
+
+/** A free function declared at namespace scope in a header. */
+struct FreeFunction
+{
+    std::string name;
+    std::vector<Param> params;
+    std::string file;
+    uint32_t line = 0;
+};
+
+/** A snapshot:skip marker seen anywhere in a file (line-keyed), used
+ *  to diagnose markers that did not attach to any member. */
+struct SkipMarker
+{
+    std::string file;
+    uint32_t line = 0;
+};
+
+/**
+ * The symbol index over a set of pre-lexed files. Classes appear in
+ * (file, declaration) order; lookups are linear — the whole tree is a
+ * few hundred classes, so an index structure would be noise.
+ */
+struct DeclIndex
+{
+    std::vector<ClassInfo> classes;
+    std::vector<MethodBody> bodies;
+    std::vector<FreeFunction> freeFunctions;
+    std::vector<SkipMarker> skipMarkers; ///< All markers, attached or not.
+
+    /** Parse one file into the index. */
+    void addFile(const SourceFile &f);
+
+    /** Index every file (call order = file order = deterministic). */
+    static DeclIndex build(const std::vector<SourceFile> &files);
+
+    /** All classes named @p name (usually one; collisions merged by
+     *  the rules). */
+    std::vector<const ClassInfo *>
+    classesNamed(const std::string &name) const;
+
+    /** Concatenated body text of @p method for class @p cls: inline
+     *  definitions plus every out-of-line `cls::method`. Empty when
+     *  the method is declared but never defined in the scanned set. */
+    std::string methodBodyText(const ClassInfo &cls,
+                               const std::string &method) const;
+};
+
+/** Whole-identifier containment: is @p word a token of @p text? */
+bool containsWord(const std::string &text, const std::string &word);
+
+} // namespace ssdcheck::lint

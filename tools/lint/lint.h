@@ -6,8 +6,8 @@
  * (config, seed, trace): bit-identical at any --jobs value, on any
  * machine. The type system cannot express that, and the golden tests
  * only catch a violation after it has shipped a wrong number. This
- * little token-level linter closes the gap at review time with seven
- * rules (see DESIGN.md "Static analysis & determinism invariants"):
+ * linter closes the gap at review time with nine rules (see DESIGN.md
+ * "Static analysis & determinism invariants"):
  *
  *   wall-clock      (R1) no wall-clock or ambient-entropy sources in
  *                        deterministic dirs (src/sim, src/ssd,
@@ -38,6 +38,18 @@
  *                        src/ssd/{page_mapper,garbage_collector,
  *                        write_buffer}.cc). Placement `new (` is
  *                        exempt (inline-storage construction).
+ *
+ * R1-R7 are per-file token scans. R8/R9 are symbol-level rules over a
+ * declaration index built from the same blanked text (decl_index.h):
+ *
+ *   snapshot-coverage (R8) every non-static data member of a class
+ *                        defining saveState/loadState must be
+ *                        referenced in both bodies, or carry a
+ *                        reasoned `// snapshot:skip(<reason>)`.
+ *   typed-ids       (R9) public signatures in src/{ssd,nand,sim,
+ *                        workload} headers may not take raw
+ *                        uint64_t/uint32_t where a strong id type
+ *                        (core::Lpn, nand::Ppn, nand::Pbn) exists.
  *
  * Suppressions: append `// lint:allow(<rule-id>): <reason>` to the
  * offending line. The reason is mandatory — a reasonless allow is
@@ -114,8 +126,25 @@ class Rule
                        std::vector<Finding> &out) const = 0;
 };
 
-/** The repo rule set, R1..R7. */
+/** The per-file repo rule set, R1..R7. */
 std::vector<std::unique_ptr<Rule>> makeDefaultRules();
+
+struct DeclIndex; // decl_index.h
+
+/** A symbol-level rule: one check over the whole-scan declaration
+ *  index (cross-file: members in headers, bodies in .cc files). */
+class GlobalRule
+{
+  public:
+    virtual ~GlobalRule() = default;
+    virtual std::string id() const = 0;
+    virtual void check(const DeclIndex &idx,
+                       const std::vector<SourceFile> &files,
+                       std::vector<Finding> &out) const = 0;
+};
+
+/** The symbol-level rule set, R8..R9. */
+std::vector<std::unique_ptr<GlobalRule>> makeGlobalRules();
 
 // -- engine ---------------------------------------------------------------
 
@@ -141,10 +170,18 @@ struct LintResult
 };
 
 /**
- * Lint @p paths under @p root with the default rules, honouring
- * reasoned `lint:allow` suppressions and reporting reasonless ones.
+ * Lint @p paths under @p root with the default per-file rules plus
+ * the symbol-level rules, honouring reasoned `lint:allow`
+ * suppressions and reporting reasonless ones.
+ *
+ * @p jobs > 1 shards file loading and the per-file rules over a
+ * perf::ThreadPool. Output is deterministic at any job count: files
+ * are collected sorted, per-file findings land in per-file slots
+ * merged in path order, and the declaration index plus global rules
+ * run serially over the already-ordered file set.
  */
 LintResult runLint(const std::string &root,
-                   const std::vector<std::string> &paths);
+                   const std::vector<std::string> &paths,
+                   unsigned jobs = 1);
 
 } // namespace ssdcheck::lint

@@ -11,6 +11,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "lint/decl_index.h"
+#include "perf/thread_pool.h"
+
 namespace ssdcheck::lint {
 
 namespace fs = std::filesystem;
@@ -295,8 +298,30 @@ collectFiles(const std::string &root, const std::vector<std::string> &paths,
     return out;
 }
 
+namespace {
+
+/** Drop findings absorbed by a reasoned `lint:allow(<rule>)` on
+ *  their line; @p f is the file the findings belong to. */
+void
+applyAllows(const SourceFile &f, std::vector<Finding> &raw,
+            std::vector<Finding> &out)
+{
+    for (auto &fi : raw) {
+        bool suppressed = false;
+        const auto range = f.allows.equal_range(fi.line);
+        for (auto it = range.first; it != range.second; ++it)
+            if (it->second.rule == fi.rule && it->second.hasReason)
+                suppressed = true;
+        if (!suppressed)
+            out.push_back(std::move(fi));
+    }
+}
+
+} // namespace
+
 LintResult
-runLint(const std::string &root, const std::vector<std::string> &paths)
+runLint(const std::string &root, const std::vector<std::string> &paths,
+        unsigned jobs)
 {
     LintResult result;
     std::string err;
@@ -306,34 +331,60 @@ runLint(const std::string &root, const std::vector<std::string> &paths)
         result.errorText = err;
         return result;
     }
+
+    // Stage 1 — load + pre-lex + per-file rules, sharded over the
+    // pool. Every shard writes only its own slot, so the merge below
+    // is path-ordered and identical at any --jobs value.
     const auto rules = makeDefaultRules();
-    for (const auto &rel : files) {
-        std::string loadErr;
-        const SourceFile f = loadSourceFile(
-            (fs::path(root) / rel).string(), rel, &loadErr);
-        if (!loadErr.empty()) {
+    std::vector<SourceFile> sources(files.size());
+    std::vector<std::string> loadErrs(files.size());
+    std::vector<std::vector<Finding>> perFile(files.size());
+    const auto scanOne = [&](size_t k) {
+        sources[k] = loadSourceFile((fs::path(root) / files[k]).string(),
+                                    files[k], &loadErrs[k]);
+        if (!loadErrs[k].empty())
+            return;
+        std::vector<Finding> raw;
+        for (const auto &rule : rules)
+            rule->check(sources[k], raw);
+        applyAllows(sources[k], raw, perFile[k]);
+    };
+    if (jobs > 1 && files.size() > 1) {
+        perf::ThreadPool pool(jobs);
+        for (size_t k = 0; k < files.size(); ++k)
+            pool.submit([&, k]() { scanOne(k); });
+        pool.wait();
+    } else {
+        for (size_t k = 0; k < files.size(); ++k)
+            scanOne(k);
+    }
+    for (size_t k = 0; k < files.size(); ++k) {
+        if (!loadErrs[k].empty()) {
             result.ioError = true;
-            result.errorText = loadErr;
+            result.errorText = loadErrs[k];
             return result;
         }
         ++result.filesScanned;
+        for (auto &fi : perFile[k])
+            result.findings.push_back(std::move(fi));
+    }
 
-        std::vector<Finding> raw;
-        for (const auto &rule : rules)
-            rule->check(f, raw);
+    // Stage 2 — symbol-level rules over the whole-scan declaration
+    // index (serial: the index is cheap and order-dependent).
+    const DeclIndex idx = DeclIndex::build(sources);
+    std::vector<Finding> globalRaw;
+    for (const auto &rule : makeGlobalRules())
+        rule->check(idx, sources, globalRaw);
+    for (size_t k = 0; k < sources.size(); ++k) {
+        std::vector<Finding> mine;
+        for (auto &fi : globalRaw)
+            if (fi.file == sources[k].relPath)
+                mine.push_back(fi);
+        applyAllows(sources[k], mine, result.findings);
+    }
 
-        // Apply suppressions: a reasoned `lint:allow(<rule>)` on the
-        // finding's line absorbs it; a reasonless one is itself a
-        // finding (and absorbs nothing).
-        for (auto &fi : raw) {
-            bool suppressed = false;
-            const auto range = f.allows.equal_range(fi.line);
-            for (auto it = range.first; it != range.second; ++it)
-                if (it->second.rule == fi.rule && it->second.hasReason)
-                    suppressed = true;
-            if (!suppressed)
-                result.findings.push_back(std::move(fi));
-        }
+    // A reasonless allow absorbs nothing and is itself a finding.
+    for (const auto &f : sources)
         for (const auto &[line, allow] : f.allows)
             if (!allow.hasReason)
                 result.findings.push_back(Finding{
@@ -341,7 +392,7 @@ runLint(const std::string &root, const std::vector<std::string> &paths)
                     "lint:allow(" + allow.rule +
                         ") needs a reason: `// lint:allow(" + allow.rule +
                         "): <why ordering/time cannot escape>`"});
-    }
+
     std::sort(result.findings.begin(), result.findings.end(),
               [](const Finding &a, const Finding &b) {
                   if (a.file != b.file)

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Symbol-level lint rules R8/R9, driven by the declaration index
+ * (decl_index.h) rather than per-line token scans:
+ *
+ *   R8 snapshot-coverage  every non-static data member of a class
+ *                         that defines saveState/loadState must be
+ *                         referenced in *both* bodies, or carry a
+ *                         reasoned `// snapshot:skip(<reason>)`.
+ *                         Catches the classic checkpoint bug: a new
+ *                         field compiles, ships, and silently resets
+ *                         on restore. A skip marker outside a member
+ *                         declaration is dead and reported too.
+ *
+ *   R9 typed-ids          public signatures in the typed domains
+ *                         (src/ssd, src/nand, src/sim, src/workload)
+ *                         may not take a raw uint64_t/uint32_t where
+ *                         a strong id type exists: parameters whose
+ *                         name ends in lpn/ppn/pbn must be core::Lpn,
+ *                         nand::Ppn, nand::Pbn. Keeps the Lpn/Ppn
+ *                         address spaces from silently mixing at API
+ *                         boundaries.
+ */
+#include "lint/decl_index.h"
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace ssdcheck::lint {
+
+namespace {
+
+// -- R8: snapshot-coverage ------------------------------------------------
+
+class SnapshotCoverageRule : public GlobalRule
+{
+  public:
+    std::string id() const override { return "snapshot-coverage"; }
+
+    void check(const DeclIndex &idx, const std::vector<SourceFile> &,
+               std::vector<Finding> &out) const override
+    {
+        // Lines whose skip marker annotates a real member — anything
+        // left over at the end is a dead marker.
+        std::set<std::pair<std::string, uint32_t>> claimed;
+
+        for (const auto &cls : idx.classes) {
+            const bool declares = cls.findMethod("saveState") != nullptr ||
+                                  cls.findMethod("loadState") != nullptr;
+            const std::string save = idx.methodBodyText(cls, "saveState");
+            const std::string load = idx.methodBodyText(cls, "loadState");
+            const bool snapshotClass =
+                declares || !save.empty() || !load.empty();
+            if (!snapshotClass) {
+                // Members of non-snapshot classes still claim their
+                // markers (a nested helper struct may carry one for
+                // documentation); the orphan check below only fires
+                // on markers attached to nothing.
+                continue;
+            }
+            if (save.empty() && load.empty())
+                continue; // Declared but never defined in the scan set.
+            for (const auto &m : cls.members) {
+                if (m.skip.present)
+                    claimed.insert({cls.file, m.line});
+                if (m.skip.present && m.skip.hasReason)
+                    continue;
+                if (m.skip.present && !m.skip.hasReason) {
+                    out.push_back(Finding{
+                        cls.file, m.line, id(),
+                        "snapshot:skip on `" + cls.name + "::" + m.name +
+                            "` needs a reason: `// snapshot:skip(<why "
+                            "this field is rebuilt or derived on "
+                            "load>)`"});
+                    continue;
+                }
+                const bool inSave =
+                    save.empty() || containsWord(save, m.name);
+                const bool inLoad =
+                    load.empty() || containsWord(load, m.name);
+                if (inSave && inLoad)
+                    continue;
+                const char *missing =
+                    !inSave && !inLoad
+                        ? "saveState or loadState"
+                        : (!inSave ? "saveState" : "loadState");
+                out.push_back(Finding{
+                    cls.file, m.line, id(),
+                    "field `" + cls.name + "::" + m.name +
+                        "` is not referenced in " + missing +
+                        " — serialize it or annotate `// snapshot:skip"
+                        "(<reason>)` if it is rebuilt on load"});
+            }
+        }
+
+        // Markers that annotate nothing: outside any class, on a
+        // non-member line, or in a class the indexer never saw.
+        for (const auto &cls : idx.classes)
+            for (const auto &m : cls.members)
+                if (m.skip.present)
+                    claimed.insert({cls.file, m.line});
+        for (const auto &marker : idx.skipMarkers) {
+            bool attached = false;
+            for (const auto &c : claimed)
+                if (c.first == marker.file && c.second == marker.line)
+                    attached = true;
+            if (!attached)
+                out.push_back(Finding{
+                    marker.file, marker.line, id(),
+                    "snapshot:skip marker is not attached to a class "
+                    "data member — it has no effect here"});
+        }
+    }
+};
+
+// -- R9: typed-ids --------------------------------------------------------
+
+class TypedIdsRule : public GlobalRule
+{
+  public:
+    std::string id() const override { return "typed-ids"; }
+
+    void check(const DeclIndex &idx, const std::vector<SourceFile> &,
+               std::vector<Finding> &out) const override
+    {
+        for (const auto &cls : idx.classes) {
+            if (!inTypedDomain(cls.file))
+                continue;
+            for (const auto &m : cls.methods) {
+                if (!m.isPublic)
+                    continue;
+                checkParams(cls.file, m.line,
+                            cls.name + "::" + m.name, m.params, out);
+            }
+        }
+        for (const auto &fn : idx.freeFunctions) {
+            if (!inTypedDomain(fn.file))
+                continue;
+            checkParams(fn.file, fn.line, fn.name, fn.params, out);
+        }
+    }
+
+  private:
+    static bool inTypedDomain(const std::string &file)
+    {
+        // Headers only: signatures in headers are the public API; a
+        // .cc is its mirror and would double-report.
+        if (file.size() < 2 ||
+            file.compare(file.size() - 2, 2, ".h") != 0)
+            return false;
+        for (const char *dir :
+             {"src/ssd/", "src/nand/", "src/sim/", "src/workload/"})
+            if (file.compare(0, std::string(dir).size(), dir) == 0)
+                return true;
+        return false;
+    }
+
+    /** The strong type a raw-integer parameter of this name must
+     *  use, or nullptr when the name carries no id meaning. */
+    static const char *domainTypeFor(const std::string &paramName)
+    {
+        std::string n;
+        for (char c : paramName)
+            n += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        while (!n.empty() && n.back() == '_')
+            n.pop_back();
+        const auto endsWith = [&](const char *suffix) {
+            const std::string s(suffix);
+            return n.size() >= s.size() &&
+                   n.compare(n.size() - s.size(), s.size(), s) == 0;
+        };
+        if (endsWith("lpn"))
+            return "core::Lpn";
+        if (endsWith("ppn"))
+            return "nand::Ppn";
+        if (endsWith("pbn"))
+            return "nand::Pbn";
+        return nullptr;
+    }
+
+    void checkParams(const std::string &file, uint32_t line,
+                     const std::string &what,
+                     const std::vector<Param> &params,
+                     std::vector<Finding> &out) const
+    {
+        for (const auto &p : params) {
+            if (p.name.empty())
+                continue;
+            if (!containsWord(p.type, "uint64_t") &&
+                !containsWord(p.type, "uint32_t"))
+                continue;
+            const char *want = domainTypeFor(p.name);
+            if (want == nullptr)
+                continue;
+            out.push_back(Finding{
+                file, line, id(),
+                "`" + what + "` takes raw `" + p.type + " " + p.name +
+                    "` — use the strong id type " + want +
+                    " so address spaces cannot mix"});
+        }
+    }
+};
+
+} // namespace
+
+std::vector<std::unique_ptr<GlobalRule>>
+makeGlobalRules()
+{
+    std::vector<std::unique_ptr<GlobalRule>> rules;
+    rules.push_back(std::make_unique<SnapshotCoverageRule>());
+    rules.push_back(std::make_unique<TypedIdsRule>());
+    return rules;
+}
+
+} // namespace ssdcheck::lint

@@ -2,20 +2,31 @@
  * @file
  * ssdcheck_lint CLI.
  *
- *   ssdcheck_lint [--root DIR] [path...]
+ *   ssdcheck_lint [--root DIR] [--jobs N] [--format text|json|github]
+ *                 [path...]
  *
  * Paths are files or directories relative to the root (default root:
  * the current directory; default paths: `src` and `tools`). Findings
- * print to stdout as `file:line: rule-id: message`.
+ * print to stdout:
+ *
+ *   text    `file:line: rule-id: message` (default)
+ *   json    one object: {"filesScanned": N, "findings": [...]}
+ *   github  the text lines plus `::error file=...` workflow command
+ *           lines, so CI findings annotate the diff in the PR view
+ *
+ * Output is deterministic at any --jobs value (findings are sorted
+ * by path/line/rule after the parallel scan).
  *
  * Exit codes: 0 clean, 1 findings, 2 usage or I/O error — so both CI
  * and the `lint` CMake target fail the build on any violation.
  */
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "lint/lint.h"
+#include "perf/thread_pool.h"
 
 namespace {
 
@@ -23,7 +34,8 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--root DIR] [path...]\n"
+                 "usage: %s [--root DIR] [--jobs N] "
+                 "[--format text|json|github] [path...]\n"
                  "  Lints .h/.cc files under each path (default: src "
                  "tools) against\n"
                  "  the ssdcheck determinism & hygiene rules. See "
@@ -32,19 +44,122 @@ usage(const char *argv0)
     return 2;
 }
 
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+printJson(const ssdcheck::lint::LintResult &result)
+{
+    std::printf("{\n  \"filesScanned\": %zu,\n  \"findings\": [",
+                result.filesScanned);
+    for (size_t i = 0; i < result.findings.size(); ++i) {
+        const auto &f = result.findings[i];
+        std::printf("%s\n    {\"file\": \"%s\", \"line\": %u, "
+                    "\"rule\": \"%s\", \"message\": \"%s\"}",
+                    i == 0 ? "" : ",", jsonEscape(f.file).c_str(), f.line,
+                    jsonEscape(f.rule).c_str(),
+                    jsonEscape(f.message).c_str());
+    }
+    std::printf("%s]\n}\n", result.findings.empty() ? "" : "\n  ");
+}
+
+/** GitHub workflow commands: `%` `\r` `\n` are property-escaped. */
+std::string
+ghEscape(const std::string &s, bool property)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '%')
+            out += "%25";
+        else if (c == '\r')
+            out += "%0D";
+        else if (c == '\n')
+            out += "%0A";
+        else if (property && c == ',')
+            out += "%2C";
+        else if (property && c == ':')
+            out += "%3A";
+        else
+            out += c;
+    }
+    return out;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string root = ".";
+    std::string format = "text";
+    unsigned jobs = ssdcheck::perf::ThreadPool::defaultJobs();
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        std::string arg = argv[i];
+        // Accept both `--opt value` and `--opt=value`.
+        std::string inlineValue;
+        bool hasInline = false;
+        if (arg.size() > 2 && arg.compare(0, 2, "--") == 0) {
+            const size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inlineValue = arg.substr(eq + 1);
+                arg.resize(eq);
+                hasInline = true;
+            }
+        }
+        const auto value = [&]() -> const char * {
+            if (hasInline)
+                return inlineValue.c_str();
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
         if (arg == "--root") {
-            if (i + 1 >= argc)
+            const char *v = value();
+            if (v == nullptr)
                 return usage(argv[0]);
-            root = argv[++i];
+            root = v;
+        } else if (arg == "--jobs") {
+            const char *v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+            if (jobs == 0)
+                jobs = 1;
+        } else if (arg == "--format") {
+            const char *v = value();
+            if (v == nullptr)
+                return usage(argv[0]);
+            format = v;
+            if (format != "text" && format != "json" &&
+                format != "github")
+                return usage(argv[0]);
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -58,14 +173,25 @@ main(int argc, char **argv)
         paths = {"src", "tools"};
 
     const ssdcheck::lint::LintResult result =
-        ssdcheck::lint::runLint(root, paths);
+        ssdcheck::lint::runLint(root, paths, jobs);
     if (result.ioError) {
         std::fprintf(stderr, "ssdcheck_lint: error: %s\n",
                      result.errorText.c_str());
         return 2;
     }
-    for (const auto &f : result.findings)
-        std::printf("%s\n", f.format().c_str());
+    if (format == "json") {
+        printJson(result);
+    } else {
+        for (const auto &f : result.findings) {
+            std::printf("%s\n", f.format().c_str());
+            if (format == "github")
+                std::printf("::error file=%s,line=%u,title=ssdcheck_lint "
+                            "%s::%s\n",
+                            ghEscape(f.file, true).c_str(), f.line,
+                            ghEscape(f.rule, true).c_str(),
+                            ghEscape(f.message, false).c_str());
+        }
+    }
     std::fprintf(stderr, "ssdcheck_lint: %zu finding(s) in %zu file(s)\n",
                  result.findings.size(), result.filesScanned);
     return result.findings.empty() ? 0 : 1;

@@ -329,7 +329,7 @@ cmdAccuracy(const Args &args)
     dev->precondition();
     const auto trace =
         workload::buildSniaTrace(w, dev->capacityPages(), scale);
-    sim::SimTime end = 0;
+    sim::SimTime end;
     const auto acc = core::evaluatePredictionAccuracy(
         rdev, check, trace, runner.now(), &end, sup.get(),
         wantMetrics ? &sink : nullptr);
@@ -499,7 +499,7 @@ cmdTrace(const Args &args)
     dev->precondition();
     const auto trace =
         workload::buildSniaTrace(w, dev->capacityPages(), scale);
-    sim::SimTime end = 0;
+    sim::SimTime end;
     const auto acc = core::evaluatePredictionAccuracy(
         rdev, check, trace, runner.now(), &end, sup.get(), &sink);
     std::printf("workload: %s (%zu requests, HL fraction %.2f%%)\n"
@@ -780,7 +780,7 @@ cmdRun(const Args &args)
                     resumePath.c_str(),
                     static_cast<unsigned long long>(run->cursor()),
                     run->trace().size(),
-                    sim::formatDuration(run->now()).c_str());
+                    sim::formatDuration(run->now().ns()).c_str());
     }
 
     uint64_t nextCkpt =
