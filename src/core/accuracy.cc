@@ -23,6 +23,7 @@ evaluatePredictionAccuracy(blockdev::BlockDevice &dev, SsdCheck &check,
     AccuracyResult acc;
     obs::TraceRecorder *spans = sink != nullptr ? sink->trace : nullptr;
     obs::Registry *metrics = sink != nullptr ? sink->metrics : nullptr;
+    obs::StageProfiler *stages = sink != nullptr ? sink->stages : nullptr;
     if (sink != nullptr && sink->audit != nullptr)
         sink->audit->reserve(sink->audit->size() + trace.records().size());
     obs::Histogram hostLatency;
@@ -41,20 +42,28 @@ evaluatePredictionAccuracy(blockdev::BlockDevice &dev, SsdCheck &check,
             req, pred, t, res.completeTime, res.status, res.attempts);
         if (supervisor != nullptr)
             supervisor->onCompletion(req, actualHl, res);
-        if (spans != nullptr) {
-            obs::TraceArg *a = spans->completeFill(
-                "host", "host.request",
-                obs::TraceTrack{obs::kHostPid, obs::kHostWorkloadTid}, t,
-                res.completeTime - t, 4);
-            a[0] = {"lba", static_cast<int64_t>(req.lba)};
-            a[1] = {"write", req.isWrite() ? 1 : 0};
-            a[2] = {"pred_hl", pred.hl ? 1 : 0};
-            a[3] = {"actual_hl", actualHl ? 1 : 0};
+        {
+            // Span emission and registry upkeep are observability
+            // overhead, not simulation work: bill them to the trace
+            // stage so the profiler separates them from wb/gc/nand.
+            const obs::StageScope obsStage(stages, obs::Stage::Trace);
+            if (spans != nullptr) {
+                obs::TraceArg *a = spans->completeFill(
+                    "host", "host.request",
+                    obs::TraceTrack{obs::kHostPid, obs::kHostWorkloadTid},
+                    t, res.completeTime - t, 4);
+                a[0] = {"lba", static_cast<int64_t>(req.lba)};
+                a[1] = {"write", req.isWrite() ? 1 : 0};
+                a[2] = {"pred_hl", pred.hl ? 1 : 0};
+                a[3] = {"actual_hl", actualHl ? 1 : 0};
+            }
+            if (metrics != nullptr) {
+                hostLatency.observe(res.completeTime - t);
+                metrics->tick(res.completeTime);
+            }
         }
-        if (metrics != nullptr) {
-            hostLatency.observe(res.completeTime - t);
-            metrics->tick(res.completeTime);
-        }
+        if (stages != nullptr)
+            stages->addRequest();
         if (!res.ok() || res.attempts > 1) {
             // Error-path exchanges measure the resilience layer, not
             // the prediction model; keep recall clean of them.

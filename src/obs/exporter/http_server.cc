@@ -1,0 +1,240 @@
+#include "obs/exporter/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ssdcheck::obs {
+
+namespace {
+
+/** Write all of @p data (MSG_NOSIGNAL: a dropped scraper must not
+ *  SIGPIPE the run). */
+void
+sendAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n <= 0)
+            return;
+        off += static_cast<size_t>(n);
+    }
+}
+
+void
+sendResponse(int fd, int status, const char *reason,
+             const char *contentType, const std::string &body)
+{
+    std::string head = "HTTP/1.0 " + std::to_string(status) + " " +
+                       reason + "\r\nContent-Type: " + contentType +
+                       "\r\nContent-Length: " +
+                       std::to_string(body.size()) +
+                       "\r\nConnection: close\r\n\r\n";
+    sendAll(fd, head + body);
+}
+
+void
+setIoTimeout(int fd)
+{
+    struct timeval tv;
+    tv.tv_sec = 5;
+    tv.tv_usec = 0;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+} // namespace
+
+bool
+HttpServer::start(uint16_t port, std::string *err)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (err != nullptr)
+            *err = "socket() failed";
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        if (err != nullptr)
+            *err = "bind(127.0.0.1:" + std::to_string(port) + ") failed";
+        ::close(fd);
+        return false;
+    }
+    if (::listen(fd, 8) != 0) {
+        if (err != nullptr)
+            *err = "listen() failed";
+        ::close(fd);
+        return false;
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                      &len) != 0) {
+        if (err != nullptr)
+            *err = "getsockname() failed";
+        ::close(fd);
+        return false;
+    }
+    port_ = ntohs(addr.sin_port);
+    listenFd_ = fd;
+    running_.store(true);
+    thread_ = std::thread([this] { loop(); });
+    return true;
+}
+
+void
+HttpServer::stop()
+{
+    if (!running_.exchange(false)) {
+        if (thread_.joinable())
+            thread_.join();
+        return;
+    }
+    // Shutting down the listening socket wakes the blocked accept().
+    ::shutdown(listenFd_, SHUT_RDWR);
+    if (thread_.joinable())
+        thread_.join();
+    ::close(listenFd_);
+    listenFd_ = -1;
+}
+
+void
+HttpServer::loop()
+{
+    while (running_.load()) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (!running_.load())
+                break;
+            continue;
+        }
+        setIoTimeout(fd);
+        handle(fd);
+        ::close(fd);
+    }
+}
+
+void
+HttpServer::handle(int fd)
+{
+    // Read until the end of the request head (or a small cap — the
+    // endpoints take no bodies).
+    std::string req;
+    char buf[1024];
+    while (req.find("\r\n") == std::string::npos && req.size() < 4096) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0)
+            break;
+        req.append(buf, static_cast<size_t>(n));
+    }
+    // Request line: METHOD SP PATH SP HTTP/x.y
+    const size_t eol = req.find("\r\n");
+    const size_t sp1 = req.find(' ');
+    const size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : req.find(' ', sp1 + 1);
+    if (eol == std::string::npos || sp1 == std::string::npos ||
+        sp2 == std::string::npos || sp2 > eol ||
+        req.compare(sp2 + 1, 5, "HTTP/") != 0) {
+        sendResponse(fd, 400, "Bad Request", "text/plain",
+                     "malformed request line\n");
+        return;
+    }
+    const std::string method = req.substr(0, sp1);
+    std::string path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+    const size_t query = path.find('?');
+    if (query != std::string::npos)
+        path.resize(query);
+    if (method != "GET") {
+        sendResponse(fd, 405, "Method Not Allowed", "text/plain",
+                     "only GET is supported\n");
+        return;
+    }
+    const std::shared_ptr<const TelemetrySnapshot> snap = hub_.snapshot();
+    if (path == "/metrics") {
+        if (snap == nullptr) {
+            sendResponse(fd, 503, "Service Unavailable", "text/plain",
+                         "no snapshot published yet\n");
+            return;
+        }
+        sendResponse(fd, 200, "OK",
+                     "text/plain; version=0.0.4; charset=utf-8",
+                     renderPrometheus(*snap));
+    } else if (path == "/runz") {
+        if (snap == nullptr) {
+            sendResponse(fd, 503, "Service Unavailable", "text/plain",
+                         "no snapshot published yet\n");
+            return;
+        }
+        sendResponse(fd, 200, "OK", "application/json",
+                     renderRunz(*snap));
+    } else if (path == "/healthz") {
+        std::string body;
+        const bool healthy = renderHealthz(
+            snap.get(), exporterWallNs(), staleNs_, &body);
+        sendResponse(fd, healthy ? 200 : 503,
+                     healthy ? "OK" : "Service Unavailable",
+                     "application/json", body);
+    } else {
+        sendResponse(fd, 404, "Not Found", "text/plain",
+                     "unknown path (try /metrics, /healthz, /runz)\n");
+    }
+}
+
+bool
+httpGet(uint16_t port, const std::string &path, int *status,
+        std::string *body)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    setIoTimeout(fd);
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        return false;
+    }
+    sendAll(fd, "GET " + path + " HTTP/1.0\r\n\r\n");
+    std::string resp;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0)
+            break;
+        resp.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    // "HTTP/1.0 NNN ..." then headers, blank line, body.
+    if (resp.compare(0, 5, "HTTP/") != 0)
+        return false;
+    const size_t sp = resp.find(' ');
+    if (sp == std::string::npos || sp + 4 > resp.size())
+        return false;
+    if (status != nullptr)
+        *status = std::atoi(resp.c_str() + sp + 1);
+    const size_t blank = resp.find("\r\n\r\n");
+    if (blank == std::string::npos)
+        return false;
+    if (body != nullptr)
+        *body = resp.substr(blank + 4);
+    return true;
+}
+
+} // namespace ssdcheck::obs

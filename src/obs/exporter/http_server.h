@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal embedded HTTP/1.0 server for the live telemetry plane.
+ *
+ * One listener thread on 127.0.0.1 serving three read-only endpoints
+ * over the TelemetryHub's immutable snapshots:
+ *
+ *   GET /metrics   Prometheus text exposition (format 0.0.4)
+ *   GET /healthz   200/503 + JSON verdict (publish staleness watchdog)
+ *   GET /runz      JSON run progress
+ *
+ * The server never touches live simulator state — only published
+ * snapshots — so it can run while the sim thread is mid-step, and a
+ * stuck or killed run loop flips /healthz to 503 once the latest
+ * snapshot goes stale. Requests are handled sequentially (scrapes are
+ * rare and tiny); malformed request lines get 400, unknown paths 404,
+ * non-GET methods 405. Connections close after one response.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/exporter/telemetry.h"
+
+namespace ssdcheck::obs {
+
+/** The telemetry endpoint server (one per listening CLI command). */
+class HttpServer
+{
+  public:
+    /** @param hub snapshot source; must outlive the server. */
+    explicit HttpServer(TelemetryHub &hub) : hub_(hub) {}
+    ~HttpServer() { stop(); }
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** /healthz staleness threshold (default 10s). Set before start(). */
+    void setStaleNs(uint64_t ns) { staleNs_ = ns; }
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = ephemeral, see port()) and start the
+     * listener thread. @return false with @p err set on failure.
+     */
+    bool start(uint16_t port, std::string *err);
+
+    /** The bound port (after a successful start). */
+    uint16_t port() const { return port_; }
+
+    /** Stop the listener and join the thread (idempotent). */
+    void stop();
+
+  private:
+    void loop();
+    void handle(int fd);
+
+    TelemetryHub &hub_;
+    uint64_t staleNs_ = 10ull * 1000 * 1000 * 1000;
+    int listenFd_ = -1;
+    uint16_t port_ = 0;
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+};
+
+/**
+ * Tiny blocking HTTP GET against 127.0.0.1:@p port (test/harness
+ * client; 5s socket timeouts). @return false when the connection or
+ * parse failed; otherwise @p status and @p body receive the response.
+ */
+bool httpGet(uint16_t port, const std::string &path, int *status,
+             std::string *body);
+
+} // namespace ssdcheck::obs

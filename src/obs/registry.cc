@@ -149,6 +149,69 @@ Registry::exportGauge(const std::string &name, Labels labels,
 }
 
 int64_t
+histogramQuantile(const HistogramData &h, uint32_t permille)
+{
+    if (h.count == 0 || h.bounds.empty())
+        return 0;
+    // 1-based rank of the requested quantile, rounding up so p100
+    // style requests land on the last observation.
+    uint64_t rank = (h.count * permille + 999) / 1000;
+    if (rank == 0)
+        rank = 1;
+    if (rank > h.count)
+        rank = h.count;
+    uint64_t cum = 0;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+        const uint64_t before = cum;
+        cum += h.counts[i];
+        if (cum < rank || h.counts[i] == 0)
+            continue;
+        const int64_t lower = i == 0 ? 0 : h.bounds[i - 1];
+        // The +inf bucket has no finite width: clamp to the last
+        // finite bound (the exporter's documented estimate).
+        const int64_t upper =
+            i < h.bounds.size() ? h.bounds[i] : h.bounds.back();
+        if (upper <= lower)
+            return upper;
+        const uint64_t pos = rank - before; // 1..counts[i]
+        return lower + static_cast<int64_t>(
+                           static_cast<uint64_t>(upper - lower) * pos /
+                           h.counts[i]);
+    }
+    return h.bounds.back();
+}
+
+std::vector<MetricSnapshot>
+Registry::snapshotMetrics() const
+{
+    std::vector<MetricSnapshot> out;
+    out.reserve(metrics_.size());
+    for (const Metric *m : metrics_) {
+        MetricSnapshot s;
+        s.name = m->name;
+        s.labels = m->labels;
+        switch (m->kind) {
+          case Metric::Kind::OwnedCounter:
+          case Metric::Kind::ViewU64:
+            s.type = MetricSnapshot::Type::Counter;
+            break;
+          case Metric::Kind::OwnedHistogram:
+            s.type = MetricSnapshot::Type::Histogram;
+            s.hist = m->hist;
+            break;
+          case Metric::Kind::OwnedGauge:
+          case Metric::Kind::ViewI64:
+          case Metric::Kind::ViewU8:
+            s.type = MetricSnapshot::Type::Gauge;
+            break;
+        }
+        s.value = read(*m);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+int64_t
 Registry::read(const Metric &m)
 {
     switch (m.kind) {
@@ -238,6 +301,10 @@ Registry::writeJson(std::ostream &os, sim::SimTime now) const
         os << ",\"type\":\"" << m.typeName() << "\"";
         if (m.kind == Metric::Kind::OwnedHistogram) {
             os << ",\"count\":" << m.hist.count << ",\"sum\":" << m.hist.sum
+               << ",\"p50\":" << histogramQuantile(m.hist, 500)
+               << ",\"p95\":" << histogramQuantile(m.hist, 950)
+               << ",\"p99\":" << histogramQuantile(m.hist, 990)
+               << ",\"p999\":" << histogramQuantile(m.hist, 999)
                << ",\"buckets\":[";
             for (size_t b = 0; b < m.hist.counts.size(); ++b) {
                 if (b > 0)

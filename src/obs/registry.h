@@ -93,6 +93,33 @@ struct HistogramData
     int64_t sum = 0;
 };
 
+/**
+ * Bucket-interpolated quantile estimate (integer math only, so the
+ * result is byte-stable across hosts). @p permille is the quantile in
+ * thousandths (500 = p50, 999 = p99.9). Linear interpolation within
+ * the covering bucket; the +inf bucket clamps to the last finite
+ * bound. 0 when the histogram is empty. Shared by the JSON snapshot
+ * and the Prometheus exporter's quantile gauges.
+ */
+int64_t histogramQuantile(const HistogramData &h, uint32_t permille);
+
+/** One metric copied out of the registry (see snapshotMetrics()). */
+struct MetricSnapshot
+{
+    enum class Type : uint8_t
+    {
+        Counter,
+        Gauge,
+        Histogram,
+    };
+
+    std::string name;
+    Labels labels;
+    Type type = Type::Counter;
+    int64_t value = 0;  ///< Counter/gauge value; histogram count.
+    HistogramData hist; ///< Histogram detail (empty otherwise).
+};
+
 /** Handle to a registry-owned histogram. */
 class Histogram
 {
@@ -156,6 +183,14 @@ class Registry
 
     /** Registered metrics (tests/introspection). */
     size_t size() const;
+
+    /**
+     * Deep-copy every metric, in registration order, resolving view
+     * sources to their current values. The returned vector shares no
+     * storage with the registry — the telemetry publisher hands it to
+     * the exporter thread as an immutable snapshot.
+     */
+    std::vector<MetricSnapshot> snapshotMetrics() const;
 
     // -- timeline ---------------------------------------------------------
     /** Start sampling every metric's value each @p interval of fed

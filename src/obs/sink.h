@@ -14,6 +14,7 @@
 
 #include "obs/audit_log.h"
 #include "obs/registry.h"
+#include "obs/stage_profiler.h"
 #include "obs/trace_recorder.h"
 
 namespace ssdcheck::obs {
@@ -24,10 +25,12 @@ struct Sink
     TraceRecorder *trace = nullptr;
     Registry *metrics = nullptr;
     AuditLog *audit = nullptr;
+    StageProfiler *stages = nullptr;
 
     bool any() const
     {
-        return trace != nullptr || metrics != nullptr || audit != nullptr;
+        return trace != nullptr || metrics != nullptr ||
+               audit != nullptr || stages != nullptr;
     }
 };
 

@@ -1,0 +1,40 @@
+#include "obs/stage_profiler.h"
+
+#include "obs/registry.h"
+
+namespace ssdcheck::obs {
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+      case Stage::Wb:
+        return "wb";
+      case Stage::Gc:
+        return "gc";
+      case Stage::Nand:
+        return "nand";
+      case Stage::Model:
+        return "model";
+      case Stage::Trace:
+        return "trace";
+      case Stage::Policy:
+        return "policy";
+    }
+    return "unknown";
+}
+
+void
+StageProfiler::exportTo(Registry &reg) const
+{
+    for (size_t i = 0; i < kStageCount; ++i) {
+        const Stage s = static_cast<Stage>(i);
+        reg.exportCounter("stage_self_ns", {{"stage", stageName(s)}},
+                          &selfNs_[i]);
+        reg.exportCounter("stage_calls", {{"stage", stageName(s)}},
+                          &calls_[i]);
+    }
+    reg.exportCounter("stage_requests", {}, &requests_);
+}
+
+} // namespace ssdcheck::obs

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Per-stage cost attribution for the simulator hot path.
+ *
+ * The bench gate says *that* throughput regressed; this profiler says
+ * *which* stage did. Components bracket their work with StageScope
+ * markers (wb, gc, nand, model, trace, policy) and the profiler
+ * attributes elapsed time to the innermost open stage (self-time, not
+ * inclusive time), so nested scopes never double count: a GC run
+ * inside a flush bills to gc, the rest of the flush to wb.
+ *
+ * Determinism: the profiler never names a clock. Time comes from an
+ * injected StageNowFn — perf::wallNowNs() in real runs (src/perf is
+ * the allowlisted wall-clock layer), a fake counter in tests — and
+ * profiling writes only profiler-owned storage, so attaching one
+ * cannot perturb simulation results. Totals surface on the registry
+ * as exported views (`stage_self_ns`/`stage_calls` per stage), which
+ * the registry deliberately does not serialize: checkpoint bytes are
+ * identical with and without a profiler attached.
+ */
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ssdcheck::obs {
+
+class Registry;
+
+/** The stage taxonomy (see DESIGN.md "Live telemetry"). */
+enum class Stage : uint8_t
+{
+    Wb = 0,     ///< Write-buffer admission, drain and flush.
+    Gc = 1,     ///< Garbage collection inside a flush window.
+    Nand = 2,   ///< Read service (NAND wait + page reads).
+    Model = 3,  ///< SSDcheck predict/observe model work.
+    Trace = 4,  ///< Observability fan-out (trace/metrics/audit).
+    Policy = 5, ///< Resilience policy admission/bookkeeping.
+};
+
+inline constexpr size_t kStageCount = 6;
+
+/** Stable lowercase stage label ("wb", "gc", ...). */
+const char *stageName(Stage s);
+
+/** Injected time source: monotonic nanoseconds, epoch unspecified. */
+using StageNowFn = uint64_t (*)();
+
+/** Self-time profiler over the Stage taxonomy. Not thread-safe: one
+ *  profiler belongs to one run loop, like the other obs pillars. */
+class StageProfiler
+{
+  public:
+    explicit StageProfiler(StageNowFn now) : now_(now) {}
+    StageProfiler(const StageProfiler &) = delete;
+    StageProfiler &operator=(const StageProfiler &) = delete;
+
+    /** Open @p s: elapsed time since the last mark bills to the
+     *  previously innermost stage. Prefer StageScope. */
+    void enter(Stage s)
+    {
+        const uint64_t t = now_();
+        if (depth_ > 0 && depth_ <= kMaxDepth)
+            selfNs_[idx(stack_[depth_ - 1])] += t - lastMark_;
+        lastMark_ = t;
+        if (depth_ < kMaxDepth)
+            stack_[depth_] = s;
+        ++depth_;
+        ++calls_[idx(s)];
+    }
+
+    /** Close the innermost stage (billing its tail self-time). */
+    void exit()
+    {
+        if (depth_ == 0)
+            return;
+        const uint64_t t = now_();
+        if (depth_ <= kMaxDepth)
+            selfNs_[idx(stack_[depth_ - 1])] += t - lastMark_;
+        lastMark_ = t;
+        --depth_;
+    }
+
+    /** Count one host request (the ns/request denominator). */
+    void addRequest() { ++requests_; }
+
+    uint64_t selfNs(Stage s) const { return selfNs_[idx(s)]; }
+    uint64_t calls(Stage s) const { return calls_[idx(s)]; }
+    uint64_t requests() const { return requests_; }
+
+    /** Total self-time over all stages. */
+    uint64_t totalNs() const
+    {
+        uint64_t t = 0;
+        for (uint64_t v : selfNs_)
+            t += v;
+        return t;
+    }
+
+    /** Average self-ns per counted request for @p s (0 if none). */
+    uint64_t nsPerRequest(Stage s) const
+    {
+        return requests_ == 0 ? 0 : selfNs(s) / requests_;
+    }
+
+    /**
+     * Surface totals on @p reg as exported views:
+     * `stage_self_ns{stage=...}`, `stage_calls{stage=...}` and
+     * `stage_requests`. Views are not serialized, so checkpoint bytes
+     * stay identical with and without a profiler.
+     */
+    void exportTo(Registry &reg) const;
+
+  private:
+    static constexpr size_t kMaxDepth = 16;
+    static size_t idx(Stage s) { return static_cast<size_t>(s); }
+
+    StageNowFn now_;
+    uint64_t lastMark_ = 0;
+    uint32_t depth_ = 0;
+    std::array<Stage, kMaxDepth> stack_{};
+    std::array<uint64_t, kStageCount> selfNs_{};
+    std::array<uint64_t, kStageCount> calls_{};
+    uint64_t requests_ = 0;
+};
+
+/** RAII stage bracket; null profiler = zero-cost no-op. */
+class StageScope
+{
+  public:
+    StageScope(StageProfiler *p, Stage s) : p_(p)
+    {
+        if (p_ != nullptr)
+            p_->enter(s);
+    }
+    ~StageScope()
+    {
+        if (p_ != nullptr)
+            p_->exit();
+    }
+    StageScope(const StageScope &) = delete;
+    StageScope &operator=(const StageScope &) = delete;
+
+  private:
+    StageProfiler *p_;
+};
+
+} // namespace ssdcheck::obs

@@ -1,0 +1,225 @@
+#include "obs/trace_stats.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace ssdcheck::obs {
+
+namespace {
+
+/** Interned-string id of @p name in @p rec, or -1 when the trace
+ *  never recorded it (ids index rec.strings()). */
+int
+stringIdOf(const TraceRecorder &rec, const char *name)
+{
+    const std::vector<const char *> &strings = rec.strings();
+    for (size_t i = 0; i < strings.size(); ++i)
+        if (std::strcmp(strings[i], name) == 0)
+            return static_cast<int>(i);
+    return -1;
+}
+
+int64_t
+argValue(const TraceRecorder &rec, const TraceRecorder::Event &e,
+         const char *key, int64_t fallback)
+{
+    const TraceArg *args = rec.eventArgs(e);
+    for (size_t i = 0; i < e.numArgs; ++i)
+        if (std::strcmp(args[i].key, key) == 0)
+            return args[i].value;
+    return fallback;
+}
+
+} // namespace
+
+TraceStats
+computeTraceStats(const TraceRecorder &rec, size_t topN)
+{
+    TraceStats s;
+    s.events = rec.events();
+    // Decade buckets for stall durations (ns).
+    s.stallHist.bounds = {1000,      10000,      100000,   1000000,
+                          10000000,  100000000};
+    s.stallHist.counts.assign(s.stallHist.bounds.size() + 1, 0);
+    if (rec.events() == 0)
+        return s;
+
+    const int gcRunId = stringIdOf(rec, "gc.run");
+    const int stallId = stringIdOf(rec, "dev.stall");
+    const int wbHitId = stringIdOf(rec, "wb.hit");
+    const int wbFlushId = stringIdOf(rec, "wb.flush");
+    const int nandReadId = stringIdOf(rec, "nand.read");
+    const int hostReqId = stringIdOf(rec, "host.request");
+
+    int64_t minTs = 0;
+    int64_t maxEnd = 0;
+    bool first = true;
+    std::vector<std::pair<uint32_t, GcVolumeStats>> gc; // by volume tid.
+    // (index, dur) of every host.request, ranked after the scan.
+    std::vector<size_t> hostIdx;
+
+    for (size_t i = 0; i < rec.events(); ++i) {
+        const TraceRecorder::Event &e = rec.eventAt(i);
+        const int64_t end = e.phase == 'X' ? e.ts + e.dur : e.ts;
+        if (first || e.ts < minTs)
+            minTs = e.ts;
+        if (first || end > maxEnd)
+            maxEnd = end;
+        first = false;
+
+        if (static_cast<int>(e.nameId) == gcRunId && e.phase == 'X' &&
+            e.pid == kDevicePid) {
+            auto it = std::find_if(
+                gc.begin(), gc.end(),
+                [&](const auto &p) { return p.first == e.tid; });
+            if (it == gc.end()) {
+                gc.push_back({e.tid, GcVolumeStats{}});
+                it = gc.end() - 1;
+                it->second.volume = e.tid;
+            }
+            ++it->second.runs;
+            it->second.busyNs += e.dur;
+            ++s.gcRuns;
+            s.gcBusyNs += e.dur;
+        } else if (static_cast<int>(e.nameId) == stallId) {
+            const int64_t dur = argValue(rec, e, "dur_ns", 0);
+            ++s.stallCount;
+            s.stallTotalNs += dur;
+            size_t b = 0;
+            while (b < s.stallHist.bounds.size() &&
+                   dur > s.stallHist.bounds[b])
+                ++b;
+            ++s.stallHist.counts[b];
+            ++s.stallHist.count;
+            s.stallHist.sum += dur;
+        } else if (static_cast<int>(e.nameId) == wbHitId) {
+            ++s.wbHits;
+        } else if (static_cast<int>(e.nameId) == wbFlushId) {
+            ++s.wbFlushes;
+        } else if (static_cast<int>(e.nameId) == nandReadId) {
+            ++s.nandReads;
+        } else if (static_cast<int>(e.nameId) == hostReqId &&
+                   e.phase == 'X') {
+            ++s.hostRequests;
+            hostIdx.push_back(i);
+        }
+    }
+
+    s.spanNs = maxEnd - minTs;
+    std::sort(gc.begin(), gc.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    for (auto &p : gc) {
+        if (s.spanNs > 0)
+            p.second.dutyPermille = static_cast<uint64_t>(
+                p.second.busyNs * 1000 / s.spanNs);
+        s.gcByVolume.push_back(p.second);
+    }
+    if (s.spanNs > 0)
+        s.gcDutyPermille =
+            static_cast<uint64_t>(s.gcBusyNs * 1000 / s.spanNs);
+    if (s.wbHits + s.nandReads > 0)
+        s.wbHitPermille = s.wbHits * 1000 / (s.wbHits + s.nandReads);
+
+    // Longest host.request spans: (dur desc, ts asc, record order).
+    std::sort(hostIdx.begin(), hostIdx.end(), [&](size_t a, size_t b) {
+        const TraceRecorder::Event &ea = rec.eventAt(a);
+        const TraceRecorder::Event &eb = rec.eventAt(b);
+        if (ea.dur != eb.dur)
+            return ea.dur > eb.dur;
+        if (ea.ts != eb.ts)
+            return ea.ts < eb.ts;
+        return a < b;
+    });
+    if (hostIdx.size() > topN)
+        hostIdx.resize(topN);
+    for (size_t i : hostIdx) {
+        const TraceRecorder::Event &e = rec.eventAt(i);
+        HostRequestSpan span;
+        span.ts = e.ts;
+        span.durNs = e.dur;
+        span.lba = argValue(rec, e, "lba", -1);
+        span.write = argValue(rec, e, "write", -1);
+        span.predHl = argValue(rec, e, "pred_hl", -1);
+        span.actualHl = argValue(rec, e, "actual_hl", -1);
+        s.topRequests.push_back(span);
+    }
+    return s;
+}
+
+std::string
+renderTraceStatsText(const TraceStats &s)
+{
+    std::ostringstream os;
+    os << "trace-stats: " << s.events << " events over " << s.spanNs
+       << " ns\n\n";
+    os << "gc duty cycle: " << s.gcRuns << " runs, " << s.gcBusyNs
+       << " ns busy (" << s.gcDutyPermille << " permille of span)\n";
+    for (const GcVolumeStats &v : s.gcByVolume)
+        os << "  volume " << v.volume << ": " << v.runs << " runs, "
+           << v.busyNs << " ns (" << v.dutyPermille << " permille)\n";
+    os << "\nstalls: " << s.stallCount << " events, " << s.stallTotalNs
+       << " ns total\n";
+    for (size_t b = 0; b < s.stallHist.counts.size(); ++b) {
+        os << "  le ";
+        if (b < s.stallHist.bounds.size())
+            os << s.stallHist.bounds[b] << " ns";
+        else
+            os << "+inf";
+        os << ": " << s.stallHist.counts[b] << '\n';
+    }
+    os << "\nwrite buffer: " << s.wbHits << " hits / " << s.nandReads
+       << " NAND reads (" << s.wbHitPermille << " permille hit rate), "
+       << s.wbFlushes << " flushes\n";
+    os << "\nhost requests: " << s.hostRequests << " total; top "
+       << s.topRequests.size() << " longest:\n";
+    for (const HostRequestSpan &r : s.topRequests)
+        os << "  ts " << r.ts << " dur " << r.durNs << " ns lba " << r.lba
+           << (r.write == 1 ? " write" : " read") << " pred_hl "
+           << r.predHl << " actual_hl " << r.actualHl << '\n';
+    return os.str();
+}
+
+std::string
+renderTraceStatsJson(const TraceStats &s)
+{
+    std::ostringstream os;
+    os << "{\"events\":" << s.events << ",\"span_ns\":" << s.spanNs;
+    os << ",\"gc\":{\"runs\":" << s.gcRuns << ",\"busy_ns\":" << s.gcBusyNs
+       << ",\"duty_permille\":" << s.gcDutyPermille << ",\"volumes\":[";
+    for (size_t i = 0; i < s.gcByVolume.size(); ++i) {
+        const GcVolumeStats &v = s.gcByVolume[i];
+        os << (i > 0 ? "," : "") << "{\"volume\":" << v.volume
+           << ",\"runs\":" << v.runs << ",\"busy_ns\":" << v.busyNs
+           << ",\"duty_permille\":" << v.dutyPermille << '}';
+    }
+    os << "]}";
+    os << ",\"stalls\":{\"count\":" << s.stallCount
+       << ",\"total_ns\":" << s.stallTotalNs << ",\"buckets\":[";
+    for (size_t b = 0; b < s.stallHist.counts.size(); ++b) {
+        os << (b > 0 ? "," : "") << "{\"le\":";
+        if (b < s.stallHist.bounds.size())
+            os << s.stallHist.bounds[b];
+        else
+            os << "\"+inf\"";
+        os << ",\"count\":" << s.stallHist.counts[b] << '}';
+    }
+    os << "]}";
+    os << ",\"write_buffer\":{\"hits\":" << s.wbHits
+       << ",\"nand_reads\":" << s.nandReads
+       << ",\"hit_permille\":" << s.wbHitPermille
+       << ",\"flushes\":" << s.wbFlushes << '}';
+    os << ",\"host_requests\":{\"count\":" << s.hostRequests
+       << ",\"top\":[";
+    for (size_t i = 0; i < s.topRequests.size(); ++i) {
+        const HostRequestSpan &r = s.topRequests[i];
+        os << (i > 0 ? "," : "") << "{\"ts\":" << r.ts
+           << ",\"dur_ns\":" << r.durNs << ",\"lba\":" << r.lba
+           << ",\"write\":" << r.write << ",\"pred_hl\":" << r.predHl
+           << ",\"actual_hl\":" << r.actualHl << '}';
+    }
+    os << "]}}\n";
+    return os.str();
+}
+
+} // namespace ssdcheck::obs

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Offline analytics over a recorded trace (`ssdcheck trace-stats`).
+ *
+ * Computes the operator-facing aggregates post-mortem from a replayed
+ * SSDTRBIN stream (or any populated TraceRecorder): per-volume GC
+ * duty cycle, device stall count/duration histogram, write-buffer hit
+ * rate, and the top-N longest host.request spans. Pure functions over
+ * the recorder — the library renders to strings and never prints
+ * (lint R5), the CLI owns the console.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "obs/trace_recorder.h"
+
+namespace ssdcheck::obs {
+
+/** GC occupancy of one device volume track. */
+struct GcVolumeStats
+{
+    uint32_t volume = 0;
+    uint64_t runs = 0;       ///< gc.run spans on this track.
+    int64_t busyNs = 0;      ///< Total gc.run duration.
+    uint64_t dutyPermille = 0; ///< busyNs * 1000 / trace span.
+};
+
+/** One host.request span (top-N longest report). */
+struct HostRequestSpan
+{
+    int64_t ts = 0;
+    int64_t durNs = 0;
+    int64_t lba = -1;
+    int64_t write = -1;
+    int64_t predHl = -1;
+    int64_t actualHl = -1;
+};
+
+/** The trace-stats aggregate report. */
+struct TraceStats
+{
+    uint64_t events = 0;
+    int64_t spanNs = 0; ///< max(ts + dur) - min(ts), 0 when empty.
+
+    std::vector<GcVolumeStats> gcByVolume; ///< Ascending volume index.
+    uint64_t gcRuns = 0;
+    int64_t gcBusyNs = 0;
+    uint64_t gcDutyPermille = 0;
+
+    uint64_t stallCount = 0;
+    int64_t stallTotalNs = 0;
+    HistogramData stallHist; ///< dev.stall dur_ns, decade buckets.
+
+    uint64_t wbHits = 0;
+    uint64_t nandReads = 0;
+    uint64_t wbFlushes = 0;
+    uint64_t wbHitPermille = 0; ///< hits * 1000 / (hits + nandReads).
+
+    uint64_t hostRequests = 0;
+    std::vector<HostRequestSpan> topRequests; ///< Longest first.
+};
+
+/**
+ * Scan @p rec once and aggregate. @p topN bounds the longest-request
+ * report; ties break on (earlier ts, record order) so the result is
+ * deterministic for a given trace.
+ */
+TraceStats computeTraceStats(const TraceRecorder &rec, size_t topN = 10);
+
+/** Human-readable report (the CLI's default --format=text). */
+std::string renderTraceStatsText(const TraceStats &s);
+
+/** Machine-readable report (--format=json; integers only). */
+std::string renderTraceStatsJson(const TraceStats &s);
+
+} // namespace ssdcheck::obs

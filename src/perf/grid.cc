@@ -3,11 +3,13 @@
 #include <chrono>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
 #include "core/diagnosis.h"
 #include "core/ssdcheck.h"
+#include "obs/exporter/telemetry.h"
 #include "perf/thread_pool.h"
 #include "ssd/ssd_device.h"
 
@@ -111,6 +113,27 @@ runGrid(const GridSpec &spec, unsigned jobs)
     // Pre-sized so shard tasks write disjoint slots without locking.
     std::vector<std::vector<GridCell>> cellsByShard(shards.size());
 
+    // Live-progress state shared by shard tasks when a telemetry hub
+    // is attached. One mutex guards both the counters and the publish,
+    // so concurrent shard completions publish consistent snapshots.
+    struct GridProgress
+    {
+        std::mutex mu;
+        obs::Registry reg;
+        uint64_t shardsDone = 0;
+        uint64_t requestsDone = 0;
+    };
+    std::unique_ptr<GridProgress> progress;
+    if (spec.telemetry != nullptr) {
+        progress = std::make_unique<GridProgress>();
+        progress->reg.exportCounter("grid_shards_done", {},
+                                    &progress->shardsDone);
+        progress->reg.exportCounter("grid_requests_done", {},
+                                    &progress->requestsDone);
+    }
+    GridProgress *prog = progress.get();
+    const uint64_t shardCount = shards.size();
+
     std::vector<std::pair<std::string, std::function<uint64_t()>>> tasks;
     tasks.reserve(shards.size());
     for (size_t i = 0; i < shards.size(); ++i) {
@@ -118,7 +141,8 @@ runGrid(const GridSpec &spec, unsigned jobs)
         std::string label = ssd::toString(sh.model);
         if (spec.seeds.size() > 1 || sh.seed != 0)
             label += "/seed" + std::to_string(sh.seed);
-        tasks.emplace_back(label, [&spec, sh, i, &cellsByShard]() {
+        tasks.emplace_back(label, [&spec, sh, i, &cellsByShard, prog,
+                                   shardCount]() {
             auto dev = std::make_unique<ssd::SsdDevice>(
                 ssd::makePreset(sh.model, sh.seed));
             core::DiagnosisRunner runner(*dev, core::DiagnosisConfig{});
@@ -145,6 +169,16 @@ runGrid(const GridSpec &spec, unsigned jobs)
                 ios += trace.size();
                 cells.push_back(cell);
             }
+            if (prog != nullptr) {
+                const std::lock_guard<std::mutex> lk(prog->mu);
+                prog->shardsDone += 1;
+                prog->requestsDone += ios;
+                obs::RunStatus st;
+                st.phase = "grid";
+                st.cursor = prog->shardsDone;
+                st.totalRequests = shardCount;
+                spec.telemetry->publish(prog->reg, st);
+            }
             return ios;
         });
     }
@@ -155,12 +189,25 @@ runGrid(const GridSpec &spec, unsigned jobs)
     for (auto &shardCells : cellsByShard)
         for (auto &c : shardCells)
             out.cells.push_back(c);
+
+    // Deterministic final publish: all shards merged, cursor = total.
+    if (prog != nullptr) {
+        const std::lock_guard<std::mutex> lk(prog->mu);
+        obs::RunStatus st;
+        st.phase = "done";
+        st.cursor = prog->shardsDone;
+        st.totalRequests = shardCount;
+        st.simTimeNs =
+            out.cells.empty() ? 0 : out.cells.back().simEnd.ns();
+        spec.telemetry->publish(prog->reg, st);
+    }
     return out;
 }
 
 bool
 writeBenchGridJson(const std::string &path, const std::string &name,
-                   const BatchTiming &timing)
+                   const BatchTiming &timing,
+                   const std::string &extraJson)
 {
     std::ofstream os(path);
     if (!os)
@@ -179,6 +226,8 @@ writeBenchGridJson(const std::string &path, const std::string &name,
          << ",\n";
     body << "  \"simulated_ios\": " << timing.simulatedIos() << ",\n";
     body << "  \"ios_per_sec\": " << timing.iosPerSec() << ",\n";
+    if (!extraJson.empty())
+        body << "  " << extraJson << ",\n";
     body << "  \"tasks\": [\n";
     for (size_t i = 0; i < timing.tasks.size(); ++i) {
         const TaskTiming &t = timing.tasks[i];
@@ -212,6 +261,34 @@ readBaselineIosPerSec(const std::string &path)
         return std::nullopt;
     try {
         return std::stod(text.substr(colon + 1));
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
+std::optional<int64_t>
+readBaselineStageNs(const std::string &path, const std::string &stage)
+{
+    std::ifstream is(path);
+    if (!is)
+        return std::nullopt;
+    std::stringstream ss;
+    ss << is.rdbuf();
+    const std::string text = ss.str();
+    const size_t block = text.find("\"stage_ns\"");
+    if (block == std::string::npos)
+        return std::nullopt;
+    const size_t entry = text.find("\"" + stage + "\"", block);
+    if (entry == std::string::npos)
+        return std::nullopt;
+    const size_t key = text.find("\"ns_per_request\"", entry);
+    if (key == std::string::npos)
+        return std::nullopt;
+    const size_t colon = text.find(':', key);
+    if (colon == std::string::npos)
+        return std::nullopt;
+    try {
+        return static_cast<int64_t>(std::stoll(text.substr(colon + 1)));
     } catch (...) {
         return std::nullopt;
     }

@@ -31,6 +31,10 @@
 #include "ssd/presets.h"
 #include "workload/snia_synth.h"
 
+namespace ssdcheck::obs {
+class TelemetryHub;
+} // namespace ssdcheck::obs
+
 namespace ssdcheck::perf {
 
 /** What to run: the cross product of models × seeds × workloads. */
@@ -43,6 +47,14 @@ struct GridSpec
     uint64_t traceSeedBase = 1000;  ///< Trace RNG seed = base + workload.
     /** Virtual-time gap between workloads on one device (Fig. 11). */
     sim::SimDuration interWorkloadGap = sim::milliseconds(100);
+
+    /**
+     * Optional live-telemetry hub (not owned): each completing shard
+     * publishes a grid-progress snapshot, and the merge step publishes
+     * a deterministic final one. Attaching a hub never changes cell
+     * results — publishes only copy already-computed counters.
+     */
+    obs::TelemetryHub *telemetry = nullptr;
 
     /** Convenience: the full Fig. 11 grid (all models × workloads). */
     static GridSpec fig11(double scale = 0.03);
@@ -120,10 +132,14 @@ BatchTiming runTimedBatch(
 
 /**
  * Write the machine-readable benchmark report (BENCH_grid.json).
+ * @param extraJson optional extra top-level member(s), a complete
+ *        `"key": value` fragment without the trailing comma (the
+ *        bench CLI passes its `"stage_ns": {...}` block here).
  * @return false when the file could not be opened.
  */
 bool writeBenchGridJson(const std::string &path, const std::string &name,
-                        const BatchTiming &timing);
+                        const BatchTiming &timing,
+                        const std::string &extraJson = "");
 
 /**
  * Extract "ios_per_sec" from a previously written BENCH_grid.json
@@ -131,6 +147,16 @@ bool writeBenchGridJson(const std::string &path, const std::string &name,
  * dependency in the tree.
  */
 std::optional<double> readBaselineIosPerSec(const std::string &path);
+
+/**
+ * Extract one stage's "ns_per_request" from the "stage_ns" block of a
+ * BENCH_grid.json (same tolerant scanning as readBaselineIosPerSec).
+ * @return nullopt when the file, the block or the stage is absent —
+ *         callers skip the per-stage gate for missing entries, so old
+ *         baselines without a stage_ns block keep working.
+ */
+std::optional<int64_t> readBaselineStageNs(const std::string &path,
+                                           const std::string &stage);
 
 } // namespace ssdcheck::perf
 

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The one wall-clock read shared by the timing layers.
+ *
+ * src/perf is the allowlisted wall-clock layer (lint R1): the grid
+ * timer reads it for throughput reports and the stage profiler takes
+ * it as an injected obs::StageNowFn so src/obs never names a clock.
+ * Everything under the determinism contract keeps using sim::SimTime.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ssdcheck::perf {
+
+/** Monotonic wall-clock nanoseconds (epoch unspecified). */
+inline uint64_t
+wallNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace ssdcheck::perf

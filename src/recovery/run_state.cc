@@ -38,7 +38,7 @@ RunParams::configHash() const
 
 std::unique_ptr<CheckpointableRun>
 CheckpointableRun::create(const RunParams &params, bool forResume,
-                          std::string *err)
+                          std::string *err, obs::StageProfiler *stages)
 {
     auto fail = [&](const std::string &why) {
         if (err != nullptr)
@@ -125,6 +125,8 @@ CheckpointableRun::create(const RunParams &params, bool forResume,
     // the registry's registration order (its restore key) matches.
     obs::Sink sink;
     sink.metrics = &run->registry_;
+    sink.stages = stages;
+    run->stages_ = stages;
     if (params.timelineMs > 0)
         run->registry_.enableTimeline(sim::milliseconds(params.timelineMs));
     run->dev_->attachObservability(sink);
@@ -136,6 +138,10 @@ CheckpointableRun::create(const RunParams &params, bool forResume,
         run->sup_->attachObservability(sink);
     run->hostLatency_ =
         run->registry_.histogram("host_latency_ns", kHostLatencyBounds);
+    // Stage views last: they are registry views (never serialized), so
+    // their presence cannot perturb checkpoint bytes or restore order.
+    if (stages != nullptr)
+        stages->exportTo(run->registry_);
 
     if (!forResume)
         run->dev_->precondition();
@@ -165,8 +171,15 @@ CheckpointableRun::step()
                                              res.attempts);
     if (sup_)
         sup_->onCompletion(req, actualHl, res);
-    hostLatency_.observe(res.completeTime - t_);
-    registry_.tick(res.completeTime);
+    {
+        // Registry upkeep is observability overhead, not simulation
+        // work: bill it to the trace stage (mirrors accuracy.cc).
+        const obs::StageScope obsStage(stages_, obs::Stage::Trace);
+        hostLatency_.observe(res.completeTime - t_);
+        registry_.tick(res.completeTime);
+    }
+    if (stages_ != nullptr)
+        stages_->addRequest();
     if (!res.ok() || res.attempts > 1) {
         ++acc_.faulted;
     } else if (actualHl) {

@@ -76,10 +76,15 @@ class CheckpointableRun
      *        restore() replaces.
      * @param err receives a description when construction fails
      *        (unknown device/workload/fault profile, unusable model).
+     * @param stages optional per-stage cost profiler, threaded through
+     *        every component's observability sink and exported onto
+     *        the run's registry. Stage views are never serialized, so
+     *        attaching one cannot change checkpoint bytes.
      * @return the run, or nullptr (with @p err set).
      */
     static std::unique_ptr<CheckpointableRun>
-    create(const RunParams &params, bool forResume, std::string *err);
+    create(const RunParams &params, bool forResume, std::string *err,
+           obs::StageProfiler *stages = nullptr);
 
     /** True when the whole trace has been replayed. */
     bool done() const { return cursor_ >= trace_.size(); }
@@ -157,6 +162,7 @@ class CheckpointableRun
     core::AccuracyResult acc_;
     sim::SimTime t_;
     uint64_t cursor_ = 0;
+    obs::StageProfiler *stages_ = nullptr; // snapshot:skip(non-owning observability hook, re-attached after restore)
 };
 
 } // namespace ssdcheck::recovery

@@ -5,9 +5,11 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <sstream>
 
 #include "core/diagnosis.h"
+#include "obs/exporter/telemetry.h"
 #include "perf/thread_pool.h"
 #include "recovery/state_io.h"
 #include "ssd/presets.h"
@@ -690,7 +692,8 @@ ChaosShard::checkInvariants() const
 }
 
 ChaosCampaignResult
-runChaosCampaign(const ChaosScenario &scenario, unsigned jobs)
+runChaosCampaign(const ChaosScenario &scenario, unsigned jobs,
+                 obs::TelemetryHub *telemetry)
 {
     ChaosCampaignResult out;
     if (scenario.seeds.empty()) {
@@ -700,6 +703,30 @@ runChaosCampaign(const ChaosScenario &scenario, unsigned jobs)
 
     const size_t n = scenario.seeds.size();
     out.shards.resize(n);
+
+    // Campaign-progress state shared by shard tasks when a telemetry
+    // hub is attached. One mutex guards both the counters and the
+    // publish, so concurrent shard completions publish consistently.
+    struct CampaignProgress
+    {
+        std::mutex mu;
+        obs::Registry reg;
+        uint64_t shardsDone = 0;
+        uint64_t completedOk = 0;
+        uint64_t shed = 0;
+    };
+    std::unique_ptr<CampaignProgress> progress;
+    if (telemetry != nullptr) {
+        progress = std::make_unique<CampaignProgress>();
+        progress->reg.exportCounter("chaos_shards_done", {},
+                                    &progress->shardsDone);
+        progress->reg.exportCounter("chaos_completed_ok", {},
+                                    &progress->completedOk);
+        progress->reg.exportCounter("chaos_shed_total", {},
+                                    &progress->shed);
+    }
+    CampaignProgress *prog = progress.get();
+
     perf::ThreadPool pool(jobs == 0 ? 1 : jobs);
     parallelFor(pool, n, [&](size_t i) {
         ChaosShardResult &r = out.shards[i];
@@ -753,6 +780,25 @@ runChaosCampaign(const ChaosScenario &scenario, unsigned jobs)
                 "path");
         for (std::string &v : shard->checkInvariants())
             r.failures.push_back("invariant: " + std::move(v));
+
+        if (prog != nullptr) {
+            const std::lock_guard<std::mutex> lk(prog->mu);
+            prog->shardsDone += 1;
+            prog->completedOk += r.completedOk;
+            prog->shed += r.shed;
+            obs::RunStatus st;
+            st.phase = "chaos";
+            st.cursor = prog->shardsDone;
+            st.totalRequests = n;
+            st.simTimeNs = r.finalTime.ns();
+            st.breakerState =
+                static_cast<uint8_t>(shard->policy().breakerState());
+            st.ladderLevel =
+                static_cast<uint8_t>(shard->policy().ladderLevel());
+            st.shedTotal = prog->shed;
+            st.healthy = r.failures.empty();
+            telemetry->publish(prog->reg, st);
+        }
     });
 
     out.campaignDigest = kChaosDigestInit;
@@ -761,6 +807,18 @@ runChaosCampaign(const ChaosScenario &scenario, unsigned jobs)
         out.campaignDigest = chaosDigestFold(out.campaignDigest, r.digest);
         if (!r.failures.empty())
             out.pass = false;
+    }
+
+    // Deterministic final publish after the seed-order fold.
+    if (prog != nullptr) {
+        const std::lock_guard<std::mutex> lk(prog->mu);
+        obs::RunStatus st;
+        st.phase = "done";
+        st.cursor = prog->shardsDone;
+        st.totalRequests = n;
+        st.shedTotal = prog->shed;
+        st.healthy = out.pass;
+        telemetry->publish(prog->reg, st);
     }
     return out;
 }

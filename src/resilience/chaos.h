@@ -33,6 +33,10 @@
 #include "stats/latency_recorder.h"
 #include "workload/trace.h"
 
+namespace ssdcheck::obs {
+class TelemetryHub;
+} // namespace ssdcheck::obs
+
 namespace ssdcheck::resilience {
 
 /** How the host clock advances between requests. */
@@ -180,9 +184,15 @@ struct ChaosCampaignResult
  * Run every seed of @p scenario, @p jobs shards in parallel.
  * Results are bit-identical for any jobs value: each shard is
  * deterministic in (scenario, seed) and the fold is in seed order.
+ * @param telemetry optional live-telemetry hub (not owned): each
+ *        completing shard publishes campaign progress, and the fold
+ *        publishes a deterministic final snapshot. Attaching a hub
+ *        never changes shard results.
  */
 ChaosCampaignResult runChaosCampaign(const ChaosScenario &scenario,
-                                     unsigned jobs);
+                                     unsigned jobs,
+                                     obs::TelemetryHub *telemetry =
+                                         nullptr);
 
 /** Fold a value into a running FNV-1a digest (exposed for tests). */
 uint64_t chaosDigestFold(uint64_t digest, uint64_t value);

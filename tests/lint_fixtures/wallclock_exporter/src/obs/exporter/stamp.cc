@@ -1,0 +1,16 @@
+// Negative fixture for R1: src/obs/exporter is the telemetry
+// endpoint layer, allowlisted for wall-clock reads (snapshot publish
+// stamps, /healthz staleness) like src/perf.
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+uint64_t
+stamp()
+{
+    const auto t = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(t.time_since_epoch().count());
+}
+
+} // namespace fixture

@@ -1,0 +1,16 @@
+// Positive fixture for R1: the exporter carve-out is exact — src/obs
+// outside src/obs/exporter is still a deterministic dir, so a clock
+// read here must be flagged.
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+uint64_t
+tick()
+{
+    const auto t = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(t.time_since_epoch().count());
+}
+
+} // namespace fixture

@@ -96,6 +96,22 @@ TEST(LintRules, WallClockAllowedInPerfLayer)
     EXPECT_TRUE(r.findings.empty());
 }
 
+TEST(LintRules, WallClockStillFlaggedInObsOutsideExporter)
+{
+    // The exporter carve-out must not widen to the rest of src/obs.
+    const lint::LintResult r = runCase("wallclock_obs");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "wall-clock");
+    EXPECT_EQ(r.findings[0].file, "src/obs/tick.cc");
+}
+
+TEST(LintRules, WallClockAllowedInObsExporter)
+{
+    const lint::LintResult r = runCase("wallclock_exporter");
+    EXPECT_TRUE(r.findings.empty())
+        << (r.findings.empty() ? "" : r.findings[0].format());
+}
+
 TEST(LintRules, UnorderedIterationFlaggedBothForms)
 {
     const lint::LintResult r = runCase("unordered");

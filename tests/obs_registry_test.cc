@@ -95,6 +95,59 @@ TEST(Registry, HistogramBucketsInclusiveUpperBound)
         << json;
 }
 
+TEST(Registry, HistogramQuantileInterpolatesWithinBucket)
+{
+    // 10 observations spread over two finite buckets + the +inf tail:
+    // 4 in (0,100], 4 in (100,200], 2 above.
+    HistogramData h;
+    h.bounds = {100, 200};
+    h.counts = {4, 4, 2};
+    h.count = 10;
+    // p50 -> rank 5, first observation of the (100,200] bucket.
+    EXPECT_EQ(histogramQuantile(h, 500), 100 + 100 * 1 / 4);
+    // p95 -> rank 10, the +inf bucket clamps to the last finite bound.
+    EXPECT_EQ(histogramQuantile(h, 950), 200);
+    EXPECT_EQ(histogramQuantile(h, 999), 200);
+    // p1 -> rank 1, first observation of the first bucket.
+    EXPECT_EQ(histogramQuantile(h, 10), 100 * 1 / 4);
+
+    HistogramData empty;
+    empty.bounds = {100};
+    empty.counts = {0, 0};
+    EXPECT_EQ(histogramQuantile(empty, 500), 0);
+}
+
+TEST(Registry, SnapshotMetricsDeepCopiesInRegistrationOrder)
+{
+    Registry reg;
+    Counter c = reg.counter("reqs", {{"device", "A"}});
+    c.inc(7);
+    uint64_t served = 3;
+    reg.exportCounter("served", {}, &served);
+    Histogram h = reg.histogram("lat", {10});
+    h.observe(4);
+
+    const std::vector<MetricSnapshot> snap = reg.snapshotMetrics();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].name, "reqs");
+    EXPECT_EQ(snap[0].type, MetricSnapshot::Type::Counter);
+    EXPECT_EQ(snap[0].value, 7);
+    EXPECT_EQ(snap[1].name, "served");
+    EXPECT_EQ(snap[1].value, 3);
+    EXPECT_EQ(snap[2].type, MetricSnapshot::Type::Histogram);
+    EXPECT_EQ(snap[2].hist.count, 1u);
+    EXPECT_EQ(snap[2].hist.sum, 4);
+
+    // Deep copy: later registry activity must not leak into the
+    // snapshot (the exporter thread reads it lock-free).
+    c.inc(100);
+    served = 99;
+    h.observe(5);
+    EXPECT_EQ(snap[0].value, 7);
+    EXPECT_EQ(snap[1].value, 3);
+    EXPECT_EQ(snap[2].hist.count, 1u);
+}
+
 TEST(Registry, TimelineSamplesOnFedSimTime)
 {
     Registry reg;
@@ -144,7 +197,8 @@ TEST(Registry, GoldenSnapshotJson)
         "{\"name\":\"depth\",\"labels\":{},\"type\":\"gauge\","
         "\"value\":-3},\n"
         "{\"name\":\"lat\",\"labels\":{},\"type\":\"histogram\","
-        "\"count\":2,\"sum\":550,\"buckets\":["
+        "\"count\":2,\"sum\":550,"
+        "\"p50\":100,\"p95\":100,\"p99\":100,\"p999\":100,\"buckets\":["
         "{\"le\":100,\"count\":1},{\"le\":\"+inf\",\"count\":1}]}\n"
         "]}\n";
     EXPECT_EQ(reg.toJson(sim::SimTime{42}), expected);

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests of the offline trace analytics behind `ssdcheck trace-stats`:
+ * aggregation over a synthetic recorder (GC duty cycle per volume,
+ * stall histogram, write-buffer hit rate, top-N longest host
+ * requests) and both render formats.
+ */
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace_recorder.h"
+#include "obs/trace_stats.h"
+#include "sim/sim_time.h"
+
+namespace ssdcheck::obs {
+namespace {
+
+sim::SimTime
+at(int64_t ns)
+{
+    return sim::SimTime(ns);
+}
+
+/** A hand-built trace covering every aggregate the scanner computes:
+ *  span 0..10000ns, 3 gc.run spans (vol0 busy 400, vol1 busy 100),
+ *  2 stalls (50ns, 5000ns), 3 wb hits vs 1 NAND read, 2 flushes and
+ *  5 host requests whose longest carries full prediction args. */
+void
+fillTrace(TraceRecorder *rec)
+{
+    const TraceTrack vol0{kDevicePid, 0};
+    const TraceTrack vol1{kDevicePid, 1};
+    const TraceTrack iface{kDevicePid, kDeviceInterfaceTid};
+    const TraceTrack host{kHostPid, kHostWorkloadTid};
+
+    rec->complete("gc", "gc.run", vol0, at(0), 100);
+    rec->complete("gc", "gc.run", vol0, at(200), 300);
+    rec->complete("gc", "gc.run", vol1, at(600), 100);
+
+    rec->instant("dev", "dev.stall", iface, at(1000), {{"dur_ns", 50}});
+    rec->instant("dev", "dev.stall", iface, at(1100),
+                 {{"dur_ns", 5000}});
+
+    rec->instant("wb", "wb.hit", iface, at(2000));
+    rec->instant("wb", "wb.hit", iface, at(2001));
+    rec->instant("wb", "wb.hit", iface, at(2002));
+    rec->instant("nand", "nand.read", iface, at(2100));
+    rec->instant("wb", "wb.flush", iface, at(2200));
+    rec->instant("wb", "wb.flush", iface, at(2300));
+
+    rec->complete("host", "host.request", host, at(3000), 10);
+    rec->complete("host", "host.request", host, at(3100), 20);
+    rec->complete("host", "host.request", host, at(3200), 30);
+    rec->complete("host", "host.request", host, at(3300), 40);
+    rec->complete("host", "host.request", host, at(5000), 5000,
+                  {{"lba", 42},
+                   {"write", 1},
+                   {"pred_hl", 1},
+                   {"actual_hl", 0}});
+}
+
+TEST(TraceStatsTest, AggregatesSyntheticTrace)
+{
+    TraceRecorder rec;
+    fillTrace(&rec);
+    const TraceStats s = computeTraceStats(rec, 3);
+
+    EXPECT_EQ(s.events, 16u);
+    EXPECT_EQ(s.spanNs, 10000); // last host request ends at 10000ns.
+
+    EXPECT_EQ(s.gcRuns, 3u);
+    EXPECT_EQ(s.gcBusyNs, 500);
+    EXPECT_EQ(s.gcDutyPermille, 50u);
+    ASSERT_EQ(s.gcByVolume.size(), 2u);
+    EXPECT_EQ(s.gcByVolume[0].volume, 0u);
+    EXPECT_EQ(s.gcByVolume[0].runs, 2u);
+    EXPECT_EQ(s.gcByVolume[0].busyNs, 400);
+    EXPECT_EQ(s.gcByVolume[0].dutyPermille, 40u);
+    EXPECT_EQ(s.gcByVolume[1].volume, 1u);
+    EXPECT_EQ(s.gcByVolume[1].dutyPermille, 10u);
+
+    EXPECT_EQ(s.stallCount, 2u);
+    EXPECT_EQ(s.stallTotalNs, 5050);
+    ASSERT_GE(s.stallHist.counts.size(), 2u);
+    EXPECT_EQ(s.stallHist.counts[0], 1u); // 50ns <= 1us bucket.
+    EXPECT_EQ(s.stallHist.counts[1], 1u); // 5000ns <= 10us bucket.
+    EXPECT_EQ(s.stallHist.count, 2u);
+
+    EXPECT_EQ(s.wbHits, 3u);
+    EXPECT_EQ(s.nandReads, 1u);
+    EXPECT_EQ(s.wbFlushes, 2u);
+    EXPECT_EQ(s.wbHitPermille, 750u);
+
+    // Top-3 of 5 requests: durations 5000, 40, 30 (desc).
+    EXPECT_EQ(s.hostRequests, 5u);
+    ASSERT_EQ(s.topRequests.size(), 3u);
+    EXPECT_EQ(s.topRequests[0].durNs, 5000);
+    EXPECT_EQ(s.topRequests[0].lba, 42);
+    EXPECT_EQ(s.topRequests[0].write, 1);
+    EXPECT_EQ(s.topRequests[0].predHl, 1);
+    EXPECT_EQ(s.topRequests[0].actualHl, 0);
+    EXPECT_EQ(s.topRequests[1].durNs, 40);
+    EXPECT_EQ(s.topRequests[1].lba, -1); // recorded without args.
+    EXPECT_EQ(s.topRequests[2].durNs, 30);
+}
+
+TEST(TraceStatsTest, EmptyRecorderYieldsZeroesNotCrashes)
+{
+    TraceRecorder rec;
+    const TraceStats s = computeTraceStats(rec);
+    EXPECT_EQ(s.events, 0u);
+    EXPECT_EQ(s.spanNs, 0);
+    EXPECT_EQ(s.gcByVolume.size(), 0u);
+    EXPECT_EQ(s.topRequests.size(), 0u);
+    EXPECT_FALSE(renderTraceStatsText(s).empty());
+    EXPECT_FALSE(renderTraceStatsJson(s).empty());
+}
+
+TEST(TraceStatsTest, TextReportCarriesEveryAggregate)
+{
+    TraceRecorder rec;
+    fillTrace(&rec);
+    const std::string text =
+        renderTraceStatsText(computeTraceStats(rec, 3));
+    EXPECT_NE(text.find("16 events over 10000 ns"), std::string::npos);
+    EXPECT_NE(text.find("3 runs, 500 ns busy (50 permille"),
+              std::string::npos);
+    EXPECT_NE(text.find("volume 0: 2 runs, 400 ns (40 permille)"),
+              std::string::npos);
+    EXPECT_NE(text.find("stalls: 2 events, 5050 ns total"),
+              std::string::npos);
+    EXPECT_NE(text.find("750 permille hit rate"), std::string::npos);
+    EXPECT_NE(text.find("top 3 longest"), std::string::npos);
+    EXPECT_NE(text.find("lba 42 write pred_hl 1 actual_hl 0"),
+              std::string::npos);
+}
+
+TEST(TraceStatsTest, JsonReportIsIntegerOnlyAndComplete)
+{
+    TraceRecorder rec;
+    fillTrace(&rec);
+    const TraceStats s = computeTraceStats(rec, 3);
+    const std::string json = renderTraceStatsJson(s);
+    EXPECT_NE(json.find("\"events\":16"), std::string::npos);
+    EXPECT_NE(json.find("\"span_ns\":10000"), std::string::npos);
+    EXPECT_NE(json.find("\"runs\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"duty_permille\":50"), std::string::npos);
+    EXPECT_NE(json.find("\"count\":2,\"total_ns\":5050"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"hits\":3,\"nand_reads\":1,"
+                        "\"hit_permille\":750,\"flushes\":2"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"lba\":42,\"write\":1,\"pred_hl\":1,"
+                        "\"actual_hl\":0"),
+              std::string::npos);
+    // Determinism: the report is a pure function of the trace.
+    EXPECT_EQ(json, renderTraceStatsJson(computeTraceStats(rec, 3)));
+    EXPECT_EQ(json.find('.'), std::string::npos); // integers only.
+}
+
+} // namespace
+} // namespace ssdcheck::obs

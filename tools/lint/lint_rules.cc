@@ -66,6 +66,12 @@ class WallClockRule : public Rule
     {
         if (!underAny(f, kDeterministicDirs))
             return;
+        // The telemetry endpoint layer is the one obs carve-out: it
+        // stamps published snapshots with wall time for /healthz
+        // staleness and never feeds the simulation (like src/perf).
+        // Everything else under src/obs stays sim-time-only.
+        if (f.underDir("src/obs/exporter"))
+            return;
         // Identifiers banned anywhere (types and functions that read
         // wall-clock time or ambient entropy).
         static const std::array<const char *, 10> banned = {

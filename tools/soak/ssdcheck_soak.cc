@@ -23,11 +23,18 @@
  *   3. Final cycle: an uninterrupted child resumes from the last
  *      checkpoint, finishes the workload and writes its final state,
  *      which must equal the golden bytes exactly.
+ *   4. Telemetry probe (skip with --no-telemetry-probe): a child run
+ *      with --listen is parked mid-run via --hang-after-requests; the
+ *      harness scrapes /metrics and /runz from the live server, then
+ *      asserts /healthz flips to 503 once the parked run stops
+ *      publishing (the staleness watchdog is what pages an operator
+ *      when a real run wedges), and SIGKILLs the child.
  *
  * Exit 0 only when every cycle verified and the final comparison is
  * byte-for-byte identical. All randomness is seeded (--seed); the
  * campaign itself is reproducible.
  */
+#include <signal.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -36,6 +43,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -43,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/exporter/http_server.h"
 #include "recovery/invariants.h"
 #include "recovery/run_state.h"
 #include "recovery/snapshot.h"
@@ -191,6 +200,151 @@ readAll(const std::string &path)
     return bytes;
 }
 
+/** Spawn `ssdcheck run` without waiting, stdout redirected to
+ *  @p logPath (the telemetry port line is grepped from there).
+ *  @return the child pid, or -1 on failure. */
+pid_t
+spawnRunAsync(const std::string &cli,
+              const std::vector<std::string> &args,
+              const std::string &logPath)
+{
+    std::vector<std::string> full = {cli, "run"};
+    full.insert(full.end(), args.begin(), args.end());
+    const pid_t pid = fork();
+    if (pid < 0) {
+        std::perror("fork");
+        return -1;
+    }
+    if (pid == 0) {
+        if (FILE *sink = std::fopen(logPath.c_str(), "w")) {
+            dup2(fileno(sink), STDOUT_FILENO);
+            std::fclose(sink);
+        }
+        std::vector<char *> argv;
+        argv.reserve(full.size() + 1);
+        for (std::string &s : full)
+            argv.push_back(s.data());
+        argv.push_back(nullptr);
+        execv(cli.c_str(), argv.data());
+        std::perror("execv");
+        _exit(127);
+    }
+    return pid;
+}
+
+/** Poll @p logPath for the "telemetry: http://127.0.0.1:PORT" line the
+ *  CLI prints (and flushes) once its exporter is listening.
+ *  @return the port, or 0 on timeout. */
+uint16_t
+waitForTelemetryPort(const std::string &logPath, int timeoutMs)
+{
+    for (int waited = 0; waited < timeoutMs; waited += 50) {
+        std::ifstream is(logPath);
+        std::string line;
+        while (std::getline(is, line)) {
+            const std::string needle = "http://127.0.0.1:";
+            const size_t at = line.find(needle);
+            if (at == std::string::npos)
+                continue;
+            const int port =
+                std::atoi(line.c_str() + at + needle.size());
+            if (port > 0 && port <= 65535)
+                return static_cast<uint16_t>(port);
+        }
+        usleep(50 * 1000);
+    }
+    return 0;
+}
+
+/**
+ * Telemetry probe: park a child run mid-workload with a live exporter,
+ * scrape its endpoints, and assert the staleness watchdog notices that
+ * the run stopped publishing. This is the operator-facing contract of
+ * a wedged run: /metrics and /runz keep serving the last snapshot
+ * (for post-mortem scraping) while /healthz flips to 503.
+ */
+bool
+probeTelemetry(const std::string &cli, const std::string &dir)
+{
+    const std::string log = dir + "/telemetry.log";
+    const pid_t pid = spawnRunAsync(
+        cli,
+        {"--device", "A", "--workload", "RW Mixed", "--scale", "0.02",
+         "--listen", "0", "--stale-ms", "300", "--publish-every", "64",
+         "--hang-after-requests", "256"},
+        log);
+    if (pid < 0)
+        return false;
+
+    bool ok = false;
+    const uint16_t port = waitForTelemetryPort(log, 5000);
+    if (port == 0) {
+        std::fprintf(stderr,
+                     "FAIL: telemetry child never printed its port "
+                     "(see %s)\n",
+                     log.c_str());
+    } else {
+        int status = 0;
+        std::string body;
+        // The server comes up before the run publishes its first
+        // snapshot (device diagnosis runs in between), so poll until
+        // /metrics stops answering 503 "no snapshot published yet".
+        bool metricsOk = false;
+        for (int waited = 0; waited < 10000; waited += 100) {
+            if (obs::httpGet(port, "/metrics", &status, &body) &&
+                status == 200) {
+                metricsOk =
+                    body.find("# TYPE") != std::string::npos &&
+                    body.find("ssdcheck_") != std::string::npos;
+                break;
+            }
+            usleep(100 * 1000);
+        }
+        if (!metricsOk)
+            std::fprintf(stderr,
+                         "FAIL: /metrics scrape on a hung run "
+                         "(status %d, %zu bytes)\n",
+                         status, body.size());
+        const bool runzOk =
+            obs::httpGet(port, "/runz", &status, &body) &&
+            status == 200 &&
+            body.find("\"sequence\"") != std::string::npos &&
+            body.find("\"phase\"") != std::string::npos;
+        if (!runzOk)
+            std::fprintf(stderr,
+                         "FAIL: /runz scrape on a hung run "
+                         "(status %d, %zu bytes)\n",
+                         status, body.size());
+        // The child parked after 256 requests and will never publish
+        // again; with --stale-ms 300 the watchdog must flip within a
+        // few polls.
+        bool staleOk = false;
+        for (int waited = 0; waited < 10000; waited += 100) {
+            if (obs::httpGet(port, "/healthz", &status, &body) &&
+                status == 503) {
+                staleOk = true;
+                break;
+            }
+            usleep(100 * 1000);
+        }
+        if (!staleOk)
+            std::fprintf(stderr,
+                         "FAIL: /healthz never flipped to 503 after "
+                         "the run stopped publishing (last status "
+                         "%d)\n",
+                         status);
+        ok = metricsOk && runzOk && staleOk;
+    }
+
+    kill(pid, SIGKILL);
+    int status = 0;
+    waitpid(pid, &status, 0);
+    if (ok)
+        std::printf("telemetry probe: scraped /metrics and /runz on a "
+                    "hung run; /healthz flipped to 503\n");
+    return ok;
+}
+
 } // namespace
 
 int
@@ -202,7 +356,8 @@ main(int argc, char **argv)
             "ssdcheck_soak [--cli PATH] [--cycles N] [--device X]\n"
             "              [--workload NAME] [--scale F] [--faults P]\n"
             "              [--supervisor] [--checkpoint-every N]\n"
-            "              [--torn-every K] [--seed S] [--dir D]\n");
+            "              [--torn-every K] [--seed S] [--dir D]\n"
+            "              [--no-telemetry-probe]\n");
         return 1;
     }
 
@@ -389,6 +544,11 @@ main(int argc, char **argv)
                      finalBytes.size(), goldenBytes.size());
         return 1;
     }
+
+    // -- telemetry probe: live scrape of a hung child ---------------------
+    if (!args.has("no-telemetry-probe") && !probeTelemetry(cli, dir))
+        return 1;
+
     std::printf("PASS: %llu kills (%llu mid-checkpoint-write), %llu "
                 "completions; resumed final state is bit-identical to "
                 "the golden run (%zu bytes)\n",

@@ -36,6 +36,11 @@
  *       byte-identical to what `ssdcheck trace` itself would have
  *       written for that run.
  *
+ *   ssdcheck trace-stats [--in trace.bin] [--format text|json] [--top N]
+ *       Offline analytics over a recorded binary trace: per-volume GC
+ *       duty cycle, stall count/duration histogram, write-buffer hit
+ *       rate, and the top-N longest host requests.
+ *
  *   ssdcheck run --device X [--workload NAME] [--scale F] ...
  *       The accuracy replay as a checkpointable run: with
  *       --checkpoint-every N --checkpoint-out F a complete snapshot of
@@ -45,6 +50,12 @@
  *       mismatch). --kill-after-requests / --kill-in-checkpoint are
  *       the chaos hooks the soak harness (tools/soak) drives; see
  *       DESIGN.md "Crash consistency & state serialization".
+ *       --listen PORT serves live telemetry (GET /metrics /runz
+ *       /healthz) from immutable snapshots published every
+ *       --publish-every requests and at checkpoints — attaching it is
+ *       bit-identical to running without. --profile-stages attributes
+ *       wall-ns/request to simulator stages (wb gc nand model trace
+ *       policy) and prints the attribution table.
  *
  *   ssdcheck faults
  *       List the fault-injection profiles.
@@ -72,6 +83,7 @@
  * Devices are the simulated presets; on a real system the same code
  * would sit behind an ioctl-capable block device.
  */
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -80,17 +92,24 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "blockdev/resilient_device.h"
 #include "exit_codes.h"
 #include "resilience/chaos.h"
 #include "core/accuracy.h"
+#include "core/diagnosis.h"
 #include "core/health_supervisor.h"
 #include "core/ssdcheck.h"
+#include "obs/exporter/http_server.h"
+#include "obs/exporter/telemetry.h"
 #include "obs/sink.h"
+#include "obs/stage_profiler.h"
 #include "obs/trace_binary.h"
+#include "obs/trace_stats.h"
 #include "perf/grid.h"
 #include "perf/thread_pool.h"
+#include "perf/wall_clock.h"
 #include "recovery/invariants.h"
 #include "recovery/run_state.h"
 #include "recovery/snapshot.h"
@@ -129,7 +148,12 @@ parse(int argc, char **argv)
         if (key.rfind("--", 0) != 0)
             continue;
         key = key.substr(2);
-        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        // Both spellings: `--format json` and `--format=json`.
+        const size_t eq = key.find('=');
+        if (eq != std::string::npos) {
+            a.options[key.substr(0, eq)] = key.substr(eq + 1);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
             a.options[key] = argv[++i];
         } else {
             a.options[key] = "";
@@ -251,6 +275,99 @@ workloadByName(const std::string &name, bool *ok)
     }
     *ok = false;
     return workload::SniaWorkload::RwMixed;
+}
+
+/**
+ * The live telemetry endpoint of one command invocation: a hub the
+ * run loop publishes into plus the HTTP server scraping it. Inactive
+ * (hub unused, no server) unless --listen was given.
+ */
+struct Telemetry
+{
+    obs::TelemetryHub hub;
+    std::unique_ptr<obs::HttpServer> server;
+
+    bool active() const { return server != nullptr; }
+    obs::TelemetryHub *hubPtr() { return active() ? &hub : nullptr; }
+};
+
+/**
+ * Start the telemetry server when --listen PORT is present (PORT 0 =
+ * ephemeral; the bound port is printed either way). --stale-ms N
+ * tunes the /healthz staleness watchdog (default 10s).
+ * @return false when the server could not start (@p rc set).
+ */
+bool
+startTelemetry(const Args &args, Telemetry *t, int *rc)
+{
+    if (!args.has("listen"))
+        return true;
+    const uint16_t port =
+        static_cast<uint16_t>(std::stoul(args.get("listen", "0")));
+    t->server = std::make_unique<obs::HttpServer>(t->hub);
+    if (args.has("stale-ms"))
+        t->server->setStaleNs(
+            std::stoull(args.get("stale-ms", "10000")) * 1000000ull);
+    std::string err;
+    if (!t->server->start(port, &err)) {
+        std::fprintf(stderr, "cannot start telemetry server: %s\n",
+                     err.c_str());
+        t->server.reset();
+        *rc = cli::kBadArgs;
+        return false;
+    }
+    std::printf("telemetry: http://127.0.0.1:%u  "
+                "(/metrics /runz /healthz)\n",
+                t->server->port());
+    // Scrape harnesses grep this line from a redirected log while the
+    // run is still going; don't leave it in the stdio buffer.
+    std::fflush(stdout);
+    return true;
+}
+
+/** Snapshot the run's progress for a telemetry publish. */
+obs::RunStatus
+runStatusOf(const recovery::CheckpointableRun &run, const char *phase,
+            uint64_t checkpoints)
+{
+    obs::RunStatus st;
+    st.phase = phase;
+    st.cursor = run.cursor();
+    st.totalRequests = run.trace().size();
+    st.simTimeNs = run.now().ns();
+    st.checkpoints = checkpoints;
+    if (const resilience::PolicyDevice *p = run.policyPtr()) {
+        st.breakerState = static_cast<uint8_t>(p->breakerState());
+        st.ladderLevel = static_cast<uint8_t>(p->ladderLevel());
+        st.shedTotal = p->counters().shedTotal();
+        const int64_t ppm = p->errorBudgetPpm();
+        st.errorBudgetPpm = ppm > 0 ? static_cast<uint64_t>(ppm) : 0;
+    }
+    if (const core::HealthSupervisor *s = run.supervisorPtr())
+        st.supervisorState = static_cast<uint8_t>(s->state());
+    return st;
+}
+
+/** Print the per-stage cost attribution table (--profile-stages). */
+void
+printStageReport(const obs::StageProfiler &prof)
+{
+    stats::printBanner(std::cout, "per-stage cost attribution");
+    stats::TablePrinter t;
+    t.header({"stage", "self wall", "calls", "ns/request"});
+    for (size_t i = 0; i < obs::kStageCount; ++i) {
+        const auto s = static_cast<obs::Stage>(i);
+        t.row({obs::stageName(s),
+               stats::TablePrinter::num(
+                   static_cast<double>(prof.selfNs(s)) / 1e6, 1) +
+                   "ms",
+               std::to_string(prof.calls(s)),
+               std::to_string(prof.nsPerRequest(s))});
+    }
+    t.print(std::cout);
+    std::printf("%llu requests, %.1fms attributed in total\n",
+                static_cast<unsigned long long>(prof.requests()),
+                static_cast<double>(prof.totalNs()) / 1e6);
 }
 
 int
@@ -574,6 +691,99 @@ cmdTraceConvert(const Args &args)
     return 0;
 }
 
+/**
+ * The per-stage cost-attribution pass of `ssdcheck bench`: one serial
+ * profiled replay of every workload on device A behind the guarded
+ * policy stack (the full hot path: wb/gc/nand + model + policy +
+ * trace-stage registry upkeep), mirroring the grid shard protocol so
+ * ns/request is attributable to the same code the gate times.
+ */
+bool
+profileStagePass(double scale, obs::StageProfiler *prof, std::string *err)
+{
+    auto dev = std::make_unique<ssd::SsdDevice>(
+        ssd::makePreset(ssd::SsdModel::A));
+    blockdev::ResilientDevice rdev(*dev);
+    resilience::ResiliencePolicy policy;
+    resilience::resiliencePolicyByName("guarded", &policy);
+    resilience::PolicyDevice pdev(rdev, policy);
+    core::DiagnosisRunner runner(*dev, core::DiagnosisConfig{});
+    const core::FeatureSet fs = runner.extractFeatures();
+    if (!fs.bufferModelUsable()) {
+        *err = "no usable buffer model on device A";
+        return false;
+    }
+    core::SsdCheck check(fs);
+    obs::Sink sink;
+    sink.stages = prof;
+    dev->attachObservability(sink);
+    rdev.attachObservability(sink);
+    pdev.attachObservability(sink);
+    check.attachObservability(sink);
+    sim::SimTime now = runner.now();
+    for (const auto w : workload::allSniaWorkloads()) {
+        const auto trace = workload::buildSniaTrace(
+            w, dev->capacityPages(), scale,
+            1000 + static_cast<uint64_t>(w));
+        sim::SimTime end = now;
+        (void)core::evaluatePredictionAccuracy(pdev, check, trace, now,
+                                               &end, nullptr, &sink);
+        now = end + sim::milliseconds(100);
+    }
+    return true;
+}
+
+/** The "stage_ns" member of BENCH_grid.json (integers only). */
+std::string
+renderStageNsJson(const obs::StageProfiler &prof)
+{
+    std::ostringstream os;
+    os << "\"stage_ns\": {";
+    for (size_t i = 0; i < obs::kStageCount; ++i) {
+        const auto s = static_cast<obs::Stage>(i);
+        os << (i > 0 ? ", " : "") << "\"" << obs::stageName(s)
+           << "\": {\"self_ns\": " << prof.selfNs(s)
+           << ", \"calls\": " << prof.calls(s)
+           << ", \"ns_per_request\": " << prof.nsPerRequest(s) << "}";
+    }
+    os << ", \"requests\": " << prof.requests()
+       << ", \"total_ns\": " << prof.totalNs() << "}";
+    return os.str();
+}
+
+int
+cmdTraceStats(const Args &args)
+{
+    const std::string inPath = args.get("in", "trace.bin");
+    std::ifstream is(inPath, std::ios::binary);
+    if (!is) {
+        std::fprintf(stderr, "cannot open %s\n", inPath.c_str());
+        return cli::kBadArgs;
+    }
+    obs::TraceBinaryReader reader;
+    if (!reader.read(is)) {
+        std::fprintf(stderr, "%s: %s\n", inPath.c_str(),
+                     reader.error().c_str());
+        return cli::kBadArgs;
+    }
+    const size_t topN =
+        static_cast<size_t>(std::stoull(args.get("top", "10")));
+    const obs::TraceStats stats =
+        obs::computeTraceStats(reader.recorder(), topN);
+    const std::string format = args.get("format", "text");
+    if (format == "json") {
+        std::printf("%s", obs::renderTraceStatsJson(stats).c_str());
+    } else if (format == "text") {
+        std::printf("%s", obs::renderTraceStatsText(stats).c_str());
+    } else {
+        std::fprintf(stderr,
+                     "unknown --format '%s' (text or json)\n",
+                     format.c_str());
+        return cli::kBadArgs;
+    }
+    return cli::kOk;
+}
+
 int
 cmdBench(const Args &args)
 {
@@ -587,16 +797,32 @@ cmdBench(const Args &args)
         return cli::kBadArgs;
     }
 
+    Telemetry tele;
+    int rc = cli::kOk;
+    if (!startTelemetry(args, &tele, &rc))
+        return rc;
+
     perf::GridSpec spec = perf::GridSpec::fig11(scale);
     spec.seeds.clear();
     for (uint64_t s = 0; s < seedCount; ++s)
         spec.seeds.push_back(s);
+    spec.telemetry = tele.hubPtr();
 
     std::printf("grid: %zu models x %zu workloads x %llu seeds, "
                 "jobs=%u, scale=%.3f\n",
                 spec.models.size(), spec.workloads.size(),
                 static_cast<unsigned long long>(seedCount), jobs, scale);
     const perf::GridResult grid = perf::runGrid(spec, jobs);
+
+    // Serial cost-attribution pass: which stage owns each wall-ns.
+    obs::StageProfiler profiler(&perf::wallNowNs);
+    std::string perr;
+    if (!profileStagePass(scale, &profiler, &perr)) {
+        std::fprintf(stderr, "stage profile pass failed: %s\n",
+                     perr.c_str());
+        return cli::kBadArgs;
+    }
+    printStageReport(profiler);
 
     stats::TablePrinter t;
     t.header({"shard", "requests", "wall", "IOs/s"});
@@ -612,7 +838,8 @@ cmdBench(const Args &args)
                 grid.timing.iosPerSec());
 
     const std::string out = args.get("out", "BENCH_grid.json");
-    if (!perf::writeBenchGridJson(out, "cli_bench_grid", grid.timing)) {
+    if (!perf::writeBenchGridJson(out, "cli_bench_grid", grid.timing,
+                                  renderStageNsJson(profiler))) {
         std::fprintf(stderr, "cannot write %s\n", out.c_str());
         return cli::kBadArgs;
     }
@@ -651,6 +878,50 @@ cmdBench(const Args &args)
                 "baseline %.0f — re-baseline bench/baseline.json so "
                 "the regression floor keeps its teeth\n",
                 measured, maxRegress * 100, *baseline);
+
+        // Per-stage two-sided gate: the aggregate gate says *that*
+        // throughput regressed, this one says *which* stage did.
+        // Per-stage wall-ns is noisier than the aggregate, so the
+        // allowed band is deliberately generous (default 3x each
+        // way); the high side fails, the low side only warns that
+        // the baseline has gone stale — like the aggregate gate.
+        const double maxStage =
+            std::stod(args.get("max-stage-regress", "3.0"));
+        bool stageFail = false;
+        for (size_t i = 0; i < obs::kStageCount; ++i) {
+            const auto s = static_cast<obs::Stage>(i);
+            const auto base =
+                perf::readBaselineStageNs(basePath, obs::stageName(s));
+            if (!base || *base <= 0)
+                continue; // absent/zero entry: nothing to gate against
+            const auto stageNs =
+                static_cast<double>(profiler.nsPerRequest(s));
+            const double stageCeil =
+                static_cast<double>(*base) * (1.0 + maxStage);
+            if (stageNs > stageCeil) {
+                std::fprintf(
+                    stderr,
+                    "FAIL: stage '%s' costs %.0f ns/request, over the "
+                    "%.0f ceiling (baseline %lld, max regress "
+                    "%.0f%%)\n",
+                    obs::stageName(s), stageNs, stageCeil,
+                    static_cast<long long>(*base), maxStage * 100);
+                stageFail = true;
+            } else if (stageNs * (1.0 + maxStage) <
+                       static_cast<double>(*base)) {
+                std::printf(
+                    "WARN: stage '%s' costs %.0f ns/request, far below "
+                    "the baseline %lld — re-baseline "
+                    "bench/baseline.json so the stage gate keeps its "
+                    "teeth\n",
+                    obs::stageName(s), stageNs,
+                    static_cast<long long>(*base));
+            }
+        }
+        if (stageFail)
+            return cli::kPerfGate;
+        std::printf("stage gate OK (max regress %.0f%% per stage)\n",
+                    maxStage * 100);
     }
     return 0;
 }
@@ -702,6 +973,14 @@ cmdRun(const Args &args)
     const uint64_t killAfter =
         std::stoull(args.get("kill-after-requests", "0"));
     const bool killInCkpt = args.has("kill-in-checkpoint");
+    uint64_t publishEvery =
+        std::stoull(args.get("publish-every", "1024"));
+    if (publishEvery == 0)
+        publishEvery = 1;
+    // Chaos hook for the telemetry watchdog: park the sim thread after
+    // N requests so /healthz flips 503 once the snapshot goes stale.
+    const uint64_t hangAfter =
+        std::stoull(args.get("hang-after-requests", "0"));
 
     if ((ckptEvery > 0) != !ckptOut.empty()) {
         std::fprintf(stderr, "--checkpoint-every and --checkpoint-out "
@@ -757,8 +1036,18 @@ cmdRun(const Args &args)
         }
     }
 
+    Telemetry tele;
+    int rc = cli::kOk;
+    if (!startTelemetry(args, &tele, &rc))
+        return rc;
+    std::unique_ptr<obs::StageProfiler> profiler;
+    if (args.has("profile-stages"))
+        profiler =
+            std::make_unique<obs::StageProfiler>(&perf::wallNowNs);
+
     std::string err;
-    auto run = recovery::CheckpointableRun::create(params, resuming, &err);
+    auto run = recovery::CheckpointableRun::create(params, resuming, &err,
+                                                  profiler.get());
     if (!run) {
         std::fprintf(stderr, "%s\n", err.c_str());
         return cli::kBadArgs;
@@ -783,6 +1072,11 @@ cmdRun(const Args &args)
                     sim::formatDuration(run->now().ns()).c_str());
     }
 
+    uint64_t checkpoints = 0;
+    if (tele.active())
+        tele.hub.publish(run->registry(),
+                         runStatusOf(*run, "run", checkpoints));
+
     uint64_t nextCkpt =
         ckptEvery > 0 ? (run->cursor() / ckptEvery + 1) * ckptEvery : 0;
     while (!run->done()) {
@@ -800,10 +1094,30 @@ cmdRun(const Args &args)
                 return cli::kBadArgs;
             }
             nextCkpt += ckptEvery;
+            ++checkpoints;
+            // Checkpoint boundaries are natural publish points: the
+            // run is quiescent and the registry self-consistent.
+            if (tele.active())
+                tele.hub.publish(run->registry(),
+                                 runStatusOf(*run, "run", checkpoints));
+        }
+        if (tele.active() && run->cursor() % publishEvery == 0)
+            tele.hub.publish(run->registry(),
+                             runStatusOf(*run, "run", checkpoints));
+        if (hangAfter > 0 && run->cursor() >= hangAfter) {
+            std::printf("hanging after %llu requests (telemetry "
+                        "watchdog hook); kill me\n",
+                        static_cast<unsigned long long>(run->cursor()));
+            std::fflush(stdout);
+            for (;;)
+                std::this_thread::sleep_for(std::chrono::seconds(3600));
         }
         if (killAfter > 0 && !killInCkpt && run->cursor() >= killAfter)
             std::raise(SIGKILL);
     }
+    if (tele.active())
+        tele.hub.publish(run->registry(),
+                         runStatusOf(*run, "done", checkpoints));
 
     if (!ckptOut.empty()) {
         const std::string werr =
@@ -845,6 +1159,8 @@ cmdRun(const Args &args)
         std::printf("%s", run->supervisorPtr()->report().c_str());
     }
     printFaultReport(run->device(), run->resilient());
+    if (profiler)
+        printStageReport(*profiler);
 
     if (args.has("check-invariants")) {
         const auto violations = recovery::checkInvariants(*run);
@@ -883,13 +1199,17 @@ cmdChaos(const Args &args)
     const unsigned jobs = static_cast<unsigned>(
         std::stoul(args.get("jobs",
                             std::to_string(perf::ThreadPool::defaultJobs()))));
+    Telemetry tele;
+    int rc = cli::kOk;
+    if (!startTelemetry(args, &tele, &rc))
+        return rc;
 
     std::printf("chaos campaign '%s': %zu seeds, jobs=%u, policy "
                 "deadline %s\n",
                 scenario.name.c_str(), scenario.seeds.size(), jobs,
                 sim::formatDuration(scenario.policy.deadlineBudget).c_str());
     const resilience::ChaosCampaignResult res =
-        resilience::runChaosCampaign(scenario, jobs);
+        resilience::runChaosCampaign(scenario, jobs, tele.hubPtr());
     if (!res.error.empty()) {
         std::fprintf(stderr, "%s\n", res.error.c_str());
         return cli::kBadArgs;
@@ -980,6 +1300,7 @@ usage(int rc)
         "             [--audit-out FILE] [--timeline-ms N]"
         " [--supervisor]\n"
         "  trace-convert [--in trace.bin] [--out trace.json]\n"
+        "  trace-stats [--in trace.bin] [--format text|json] [--top N]\n"
         "  synth      --workload NAME --out FILE [--scale F] [--span P]\n"
         "  replay     --device X --trace FILE [--faults PROFILE]\n"
         "  run        --device X [--workload NAME] [--scale F]"
@@ -991,10 +1312,15 @@ usage(int rc)
         "             [--force] [--final-state-out FILE]"
         " [--check-invariants]\n"
         "             [--kill-after-requests N] [--kill-in-checkpoint]\n"
-        "  chaos      --scenario FILE [--jobs N] [--verify]\n"
+        "             [--listen PORT] [--stale-ms N] [--publish-every N]\n"
+        "             [--profile-stages]\n"
+        "  chaos      --scenario FILE [--jobs N] [--verify]"
+        " [--listen PORT]\n"
         "  faults\n"
         "  bench      [--jobs N] [--scale F] [--seeds K] [--out FILE]\n"
-        "             [--baseline FILE] [--max-regress F]\n"
+        "             [--baseline FILE] [--max-regress F]"
+        " [--max-stage-regress F]\n"
+        "             [--listen PORT]\n"
         "  help\n"
         "workloads: TPCE Homes Web Exch Live Build 'RW Mixed'\n"
         "fault profiles: none flaky-reads wearout stalls drift storms"
@@ -1023,6 +1349,8 @@ main(int argc, char **argv)
         return cmdTrace(args);
     if (args.command == "trace-convert")
         return cmdTraceConvert(args);
+    if (args.command == "trace-stats")
+        return cmdTraceStats(args);
     if (args.command == "run")
         return cmdRun(args);
     if (args.command == "chaos")
